@@ -1,0 +1,144 @@
+//! Compressed-sensing problem instances.
+//!
+//! A problem bundles the measurement matrix `A` (i.i.d. Gaussian with
+//! variance 1/M so that columns have approximately unit norm — the
+//! normalization AMP's state evolution assumes), the `k`-sparse signal
+//! `x₀`, additive measurement noise `w`, and the measurements
+//! `y = A·x₀ + w`.
+
+use cim_simkit::linalg::Matrix;
+use cim_simkit::rng::{normal_vec, seeded, sparse_normal_vec, standard_normal};
+
+/// One compressed-sensing instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsProblem {
+    /// The `M × N` measurement matrix.
+    pub matrix: Matrix,
+    /// The true `k`-sparse signal `x₀` of length `N`.
+    pub signal: Vec<f64>,
+    /// The noisy measurements `y` of length `M`.
+    pub measurements: Vec<f64>,
+    /// Standard deviation of the additive measurement noise.
+    pub noise_std: f64,
+    /// Sparsity (number of nonzero signal entries).
+    pub sparsity: usize,
+}
+
+impl CsProblem {
+    /// Generates a problem with an `m × n` Gaussian matrix, a `k`-sparse
+    /// standard-normal signal and noise of standard deviation
+    /// `noise_std`, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`, `n == 0`, `m > n`, or `k > n`.
+    pub fn generate(m: usize, n: usize, k: usize, noise_std: f64, seed: u64) -> Self {
+        assert!(m > 0 && n > 0, "empty problem");
+        assert!(m <= n, "compressed sensing needs M ≤ N, got {m} > {n}");
+        assert!(k <= n, "sparsity {k} exceeds signal length {n}");
+        let mut rng = seeded(seed);
+        let scale = 1.0 / (m as f64).sqrt();
+        let entries = normal_vec(&mut rng, m * n);
+        let matrix = Matrix::from_vec(m, n, entries.iter().map(|e| e * scale).collect());
+        let signal = sparse_normal_vec(&mut rng, n, k);
+        let mut measurements = matrix.matvec(&signal);
+        if noise_std > 0.0 {
+            for y in &mut measurements {
+                *y += noise_std * standard_normal(&mut rng);
+            }
+        }
+        CsProblem {
+            matrix,
+            signal,
+            measurements,
+            noise_std,
+            sparsity: k,
+        }
+    }
+
+    /// Number of measurements `M`.
+    pub fn m(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Signal dimension `N`.
+    pub fn n(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// Undersampling ratio `δ = M/N`.
+    pub fn undersampling(&self) -> f64 {
+        self.m() as f64 / self.n() as f64
+    }
+
+    /// Sparsity ratio `ρ = k/M`.
+    pub fn sparsity_ratio(&self) -> f64 {
+        self.sparsity as f64 / self.m() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_simkit::linalg::norm2;
+
+    #[test]
+    fn dimensions_and_ratios() {
+        let p = CsProblem::generate(128, 256, 16, 0.0, 1);
+        assert_eq!(p.m(), 128);
+        assert_eq!(p.n(), 256);
+        assert_eq!(p.undersampling(), 0.5);
+        assert_eq!(p.sparsity_ratio(), 0.125);
+        assert_eq!(p.measurements.len(), 128);
+        assert_eq!(p.signal.len(), 256);
+    }
+
+    #[test]
+    fn columns_have_unit_norm_on_average() {
+        let p = CsProblem::generate(200, 400, 10, 0.0, 2);
+        let a_t = p.matrix.transpose();
+        let norms: Vec<f64> = (0..20).map(|j| norm2(a_t.row(j))).collect();
+        let mean = norms.iter().sum::<f64>() / norms.len() as f64;
+        assert!((mean - 1.0).abs() < 0.1, "mean column norm {mean}");
+    }
+
+    #[test]
+    fn signal_has_exact_sparsity() {
+        let p = CsProblem::generate(50, 100, 7, 0.0, 3);
+        let nnz = p.signal.iter().filter(|x| **x != 0.0).count();
+        assert_eq!(nnz, 7);
+    }
+
+    #[test]
+    fn noiseless_measurements_are_consistent() {
+        let p = CsProblem::generate(64, 128, 8, 0.0, 4);
+        let y = p.matrix.matvec(&p.signal);
+        for (a, b) in y.iter().zip(&p.measurements) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn noise_perturbs_measurements() {
+        let clean = CsProblem::generate(64, 128, 8, 0.0, 5);
+        let noisy = CsProblem::generate(64, 128, 8, 0.1, 5);
+        // Same matrix/signal (same seed stream order), different y.
+        assert_eq!(clean.matrix, noisy.matrix);
+        assert_eq!(clean.signal, noisy.signal);
+        assert_ne!(clean.measurements, noisy.measurements);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        assert_eq!(
+            CsProblem::generate(32, 64, 4, 0.01, 9),
+            CsProblem::generate(32, 64, 4, 0.01, 9)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "M ≤ N")]
+    fn overdetermined_rejected() {
+        let _ = CsProblem::generate(100, 50, 5, 0.0, 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! Analytical model of the conventional multicore baseline.
+//!
+//! The paper's baseline is an Intel Xeon E5-2680-class machine: 4 cores at
+//! 2.5 GHz, each with 32 KB L1 and 256 KB L2, sharing a 4 GB DRAM. The
+//! delay model is the classic CPI decomposition
+//!
+//! ```text
+//! CPI(m₁, m₂) = CPI_base + f_ref · m₁ · (t_L2 + m₂ · t_DRAM)
+//! delay       = N · CPI / (cores · f_clk)
+//! ```
+//!
+//! with the L1 hit time folded into the base CPI. The energy model charges
+//! per-access hierarchy energies plus static (leakage + refresh) power for
+//! the whole runtime:
+//!
+//! ```text
+//! E = N·(E_exec + f_ref·(E_L1 + m₁·(E_L2 + m₂·E_DRAM))) + P_static·delay
+//! ```
+
+use crate::params::{Workload, MEM_REF_RATE_OTHER};
+use cim_simkit::units::{ByteSize, Hertz, Joules, Seconds, Watts};
+
+/// Microarchitectural and energy parameters of the conventional machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConventionalParams {
+    /// Number of identical cores.
+    pub cores: usize,
+    /// Core clock frequency.
+    pub clock: Hertz,
+    /// Base cycles per instruction (L1 hit time folded in).
+    pub cpi_base: f64,
+    /// Additional cycles for an L1-missing access served by L2.
+    pub l2_penalty_cycles: f64,
+    /// Additional cycles for an L2-missing access served by DRAM.
+    pub dram_penalty_cycles: f64,
+    /// Core energy per instruction (fetch/decode/execute, L1 folded in
+    /// separately below).
+    pub energy_exec: Joules,
+    /// Energy per L1 access.
+    pub energy_l1: Joules,
+    /// Energy per L2 access (on L1 miss).
+    pub energy_l2: Joules,
+    /// Energy per DRAM access (on L2 miss).
+    pub energy_dram: Joules,
+    /// Static power of the whole package + DRAM (leakage, refresh).
+    pub static_power: Watts,
+    /// L1 capacity (documentation/reporting).
+    pub l1_capacity: ByteSize,
+    /// L2 capacity (documentation/reporting).
+    pub l2_capacity: ByteSize,
+    /// DRAM capacity (documentation/reporting).
+    pub dram_capacity: ByteSize,
+}
+
+/// The conventional multicore baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConventionalMachine {
+    params: ConventionalParams,
+}
+
+impl ConventionalMachine {
+    /// Creates a machine from explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or the clock is non-positive.
+    pub fn new(params: ConventionalParams) -> Self {
+        assert!(params.cores > 0, "need at least one core");
+        assert!(params.clock.0 > 0.0, "clock must be positive");
+        ConventionalMachine { params }
+    }
+
+    /// The paper's baseline: 4-core Xeon E5-2680-class at 2.5 GHz with
+    /// 32 KB L1, 256 KB L2, 4 GB DRAM. Latency/energy constants are
+    /// first-order textbook values for this machine class.
+    pub fn xeon_e5_2680() -> Self {
+        ConventionalMachine::new(ConventionalParams {
+            cores: 4,
+            clock: Hertz::from_giga(2.5),
+            cpi_base: 1.0,
+            l2_penalty_cycles: 12.0,
+            dram_penalty_cycles: 200.0,
+            energy_exec: Joules::from_picos(200.0),
+            energy_l1: Joules::from_picos(30.0),
+            energy_l2: Joules::from_picos(150.0),
+            energy_dram: Joules::from_nanos(15.0),
+            static_power: Watts(35.0),
+            l1_capacity: ByteSize::kibibytes(32),
+            l2_capacity: ByteSize::kibibytes(256),
+            dram_capacity: ByteSize::gibibytes(4),
+        })
+    }
+
+    /// A single-core variant of the same microarchitecture (used as the
+    /// host processor of the CIM system).
+    pub fn single_core_host() -> Self {
+        let mut p = ConventionalMachine::xeon_e5_2680().params;
+        p.cores = 1;
+        // One core plus a 1 GB DRAM leaks far less than the 4-core
+        // package: the paper's CIM system replaces 3 GB of DRAM with
+        // non-volatile CIM arrays.
+        p.static_power = Watts(5.0);
+        p.dram_capacity = ByteSize::gibibytes(1);
+        ConventionalMachine::new(p)
+    }
+
+    /// The machine parameters.
+    pub fn params(&self) -> &ConventionalParams {
+        &self.params
+    }
+
+    /// Effective cycles per instruction under the workload's miss rates
+    /// and memory-reference mix.
+    pub fn cpi(&self, mem_ref_rate: f64, l1_miss: f64, l2_miss: f64) -> f64 {
+        let p = &self.params;
+        p.cpi_base
+            + mem_ref_rate
+                * l1_miss
+                * (p.l2_penalty_cycles + l2_miss * p.dram_penalty_cycles)
+    }
+
+    /// Total runtime of the workload with ideal multicore scaling.
+    pub fn delay(&self, w: &Workload) -> Seconds {
+        let cpi = self.cpi(w.mem_ref_rate(), w.l1_miss, w.l2_miss);
+        let cycles = w.instructions * cpi / self.params.cores as f64;
+        self.params.clock.period() * cycles
+    }
+
+    /// Dynamic energy of `n` instructions at the given reference rate and
+    /// miss rates (no static term).
+    pub fn dynamic_energy(
+        &self,
+        n: f64,
+        mem_ref_rate: f64,
+        l1_miss: f64,
+        l2_miss: f64,
+    ) -> Joules {
+        let p = &self.params;
+        let per_access = p.energy_l1.0
+            + l1_miss * (p.energy_l2.0 + l2_miss * p.energy_dram.0);
+        Joules(n * (p.energy_exec.0 + mem_ref_rate * per_access))
+    }
+
+    /// Total energy of the workload: dynamic + static × runtime.
+    pub fn energy(&self, w: &Workload) -> Joules {
+        let dynamic = self.dynamic_energy(w.instructions, w.mem_ref_rate(), w.l1_miss, w.l2_miss);
+        dynamic + self.params.static_power * self.delay(w)
+    }
+
+    /// The memory-reference rate of ordinary (host) instructions.
+    pub fn host_mem_ref_rate(&self) -> f64 {
+        MEM_REF_RATE_OTHER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpi_at_zero_miss_is_base() {
+        let m = ConventionalMachine::xeon_e5_2680();
+        assert_eq!(m.cpi(0.5, 0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn cpi_worst_case() {
+        let m = ConventionalMachine::xeon_e5_2680();
+        // f_ref = 1: 1 + 12 + 200 = 213.
+        assert!((m.cpi(1.0, 1.0, 1.0) - 213.0).abs() < 1e-12);
+        // Misses to L2 only.
+        assert!((m.cpi(1.0, 1.0, 0.0) - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_scales_with_cores() {
+        let four = ConventionalMachine::xeon_e5_2680();
+        let mut p = *four.params();
+        p.cores = 1;
+        p.static_power = four.params().static_power;
+        let one = ConventionalMachine::new(p);
+        let w = Workload::paper_32gib(0.3, 0.5, 0.5);
+        assert!((one.delay(&w) / four.delay(&w) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_monotone_in_miss_rates() {
+        let m = ConventionalMachine::xeon_e5_2680();
+        let mut last = 0.0;
+        for i in 0..=10 {
+            let r = i as f64 / 10.0;
+            let w = Workload::paper_32gib(0.6, r, r);
+            let d = m.delay(&w).0;
+            assert!(d > last, "delay must grow with miss rate");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn energy_has_static_floor() {
+        let m = ConventionalMachine::xeon_e5_2680();
+        let w = Workload::paper_32gib(0.3, 0.0, 0.0);
+        let static_part = m.params().static_power * m.delay(&w);
+        assert!(m.energy(&w).0 > static_part.0);
+        // At zero miss rate the static term dominates dynamic for this
+        // memory-bound machine class.
+        assert!(static_part.0 > m.energy(&w).0 * 0.5);
+    }
+
+    #[test]
+    fn worst_case_delay_magnitude() {
+        // 4.3e9 instructions × 199/4 cycles at 2.5 GHz ≈ 85 s — the model
+        // produces sensible absolute scales for a 32 GiB pass.
+        let m = ConventionalMachine::xeon_e5_2680();
+        let w = Workload::paper_32gib(0.9, 1.0, 1.0);
+        let d = m.delay(&w).0;
+        assert!(d > 50.0 && d < 150.0, "delay {d}");
+    }
+}

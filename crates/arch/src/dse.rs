@@ -1,0 +1,179 @@
+//! Design-space exploration over CIM-unit parameters.
+//!
+//! §II-C: "Using an analytical evaluation model makes it faster to
+//! perform a design space exploration, although it could be less
+//! accurate." This module does exactly that exploration: it sweeps the
+//! CIM unit's design knobs (effective parallelism, per-op energy,
+//! peripheral static power), evaluates each candidate on a workload
+//! with the analytical models, and extracts the delay/energy Pareto
+//! front a designer would choose from.
+
+use crate::cim::{CimSystem, CimUnitParams};
+use crate::conventional::ConventionalMachine;
+use crate::params::Workload;
+use cim_simkit::units::{Joules, Seconds, Watts};
+
+/// One evaluated design candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// The CIM-unit configuration of this candidate.
+    pub params: CimUnitParams,
+    /// Workload runtime on this candidate.
+    pub delay: Seconds,
+    /// Workload energy on this candidate.
+    pub energy: Joules,
+}
+
+impl DesignPoint {
+    /// `true` if this point dominates `other` (no worse in both
+    /// objectives, strictly better in at least one).
+    pub fn dominates(&self, other: &DesignPoint) -> bool {
+        let no_worse = self.delay.0 <= other.delay.0 && self.energy.0 <= other.energy.0;
+        let better = self.delay.0 < other.delay.0 || self.energy.0 < other.energy.0;
+        no_worse && better
+    }
+}
+
+/// The swept ranges of the exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpace {
+    /// Candidate effective-parallelism factors.
+    pub parallelism: Vec<f64>,
+    /// Candidate per-op energies.
+    pub energy_per_op: Vec<Joules>,
+    /// Candidate peripheral static powers (higher parallelism costs
+    /// more periphery; the cross product models that trade-off space).
+    pub static_power: Vec<Watts>,
+}
+
+impl DesignSpace {
+    /// A representative sweep around the paper's calibrated point
+    /// (P_eff = 20, 10 pJ/op, 2 W).
+    pub fn paper_neighborhood() -> Self {
+        DesignSpace {
+            parallelism: vec![5.0, 10.0, 20.0, 40.0, 80.0],
+            energy_per_op: vec![
+                Joules::from_picos(5.0),
+                Joules::from_picos(10.0),
+                Joules::from_picos(20.0),
+            ],
+            static_power: vec![Watts(1.0), Watts(2.0), Watts(4.0)],
+        }
+    }
+
+    /// Evaluates every candidate in the cross product on `workload`.
+    pub fn evaluate(&self, host: &ConventionalMachine, workload: &Workload) -> Vec<DesignPoint> {
+        let mut out = Vec::new();
+        for &p in &self.parallelism {
+            for &e in &self.energy_per_op {
+                for &s in &self.static_power {
+                    let params = CimUnitParams {
+                        effective_parallelism: p,
+                        energy_per_op: e,
+                        active_static_power: s,
+                        ..CimUnitParams::default()
+                    };
+                    let system = CimSystem::new(*host, params);
+                    out.push(DesignPoint {
+                        params,
+                        delay: system.delay(workload),
+                        energy: system.energy(workload),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Extracts the non-dominated (Pareto-optimal) subset, sorted by delay.
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut front: Vec<DesignPoint> = points
+        .iter()
+        .filter(|candidate| !points.iter().any(|other| other.dominates(candidate)))
+        .copied()
+        .collect();
+    front.sort_by(|a, b| a.delay.0.partial_cmp(&b.delay.0).unwrap());
+    front.dedup_by(|a, b| a.delay == b.delay && a.energy == b.energy);
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conventional::ConventionalMachine;
+
+    fn evaluated() -> Vec<DesignPoint> {
+        let host = ConventionalMachine::single_core_host();
+        let w = Workload::paper_32gib(0.9, 0.8, 0.8);
+        DesignSpace::paper_neighborhood().evaluate(&host, &w)
+    }
+
+    #[test]
+    fn sweep_covers_cross_product() {
+        let pts = evaluated();
+        assert_eq!(pts.len(), 5 * 3 * 3);
+        assert!(pts.iter().all(|p| p.delay.0 > 0.0 && p.energy.0 > 0.0));
+    }
+
+    #[test]
+    fn front_is_non_dominated_and_sorted() {
+        let pts = evaluated();
+        let front = pareto_front(&pts);
+        assert!(!front.is_empty());
+        assert!(front.len() < pts.len());
+        for (i, a) in front.iter().enumerate() {
+            for b in &front[i + 1..] {
+                assert!(!a.dominates(b) && !b.dominates(a), "front must be non-dominated");
+            }
+        }
+        for w in front.windows(2) {
+            assert!(w[0].delay.0 <= w[1].delay.0);
+            // Sorted by delay ⇒ energy must be non-increasing on a front.
+            assert!(w[0].energy.0 >= w[1].energy.0);
+        }
+    }
+
+    #[test]
+    fn front_contains_fastest_and_most_efficient() {
+        let pts = evaluated();
+        let front = pareto_front(&pts);
+        let fastest = pts
+            .iter()
+            .map(|p| p.delay.0)
+            .fold(f64::INFINITY, f64::min);
+        let thriftiest = pts
+            .iter()
+            .map(|p| p.energy.0)
+            .fold(f64::INFINITY, f64::min);
+        assert!(front.iter().any(|p| p.delay.0 == fastest));
+        assert!(front.iter().any(|p| p.energy.0 == thriftiest));
+    }
+
+    #[test]
+    fn more_parallelism_never_slower() {
+        let host = ConventionalMachine::single_core_host();
+        let w = Workload::paper_32gib(0.9, 0.8, 0.8);
+        let mk = |p: f64| {
+            let params = CimUnitParams {
+                effective_parallelism: p,
+                ..CimUnitParams::default()
+            };
+            CimSystem::new(host, params).delay(&w)
+        };
+        assert!(mk(40.0).0 < mk(10.0).0);
+    }
+
+    #[test]
+    fn domination_relation() {
+        let base = evaluated()[0];
+        let better = DesignPoint {
+            delay: base.delay * 0.5,
+            energy: base.energy * 0.5,
+            ..base
+        };
+        assert!(better.dominates(&base));
+        assert!(!base.dominates(&better));
+        assert!(!base.dominates(&base));
+    }
+}

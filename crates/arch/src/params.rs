@@ -1,0 +1,112 @@
+//! Workload description for the analytical models.
+//!
+//! The §II workloads (QUERY SELECT on bitmap indexes, one-time-pad XOR)
+//! are streams of simple instructions over a large problem size `PS`.
+//! A fraction `X` of the dynamic instructions is *acceleratable*: bit-wise
+//! logic over streaming data whose every instruction references memory.
+//! The remaining `1 − X` host instructions reference memory at the
+//! customary ≈30 % rate. The L1/L2 miss rates `m₁`, `m₂` are the sweep
+//! axes of Figures 3 and 4.
+
+use cim_simkit::units::ByteSize;
+
+/// Fraction of ordinary (non-accelerated) instructions that reference
+/// memory. The accelerated bit-wise instructions reference memory at
+/// rate 1.0 by construction.
+pub const MEM_REF_RATE_OTHER: f64 = 0.3;
+
+/// Bytes processed per dynamic instruction (64-bit word streaming).
+pub const BYTES_PER_INSTRUCTION: f64 = 8.0;
+
+/// A parameterized §II workload instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Total dynamic instruction count.
+    pub instructions: f64,
+    /// Fraction `X` of instructions the CIM core can absorb.
+    pub accel_fraction: f64,
+    /// L1 miss rate `m₁` of the data-intensive access stream.
+    pub l1_miss: f64,
+    /// L2 (local) miss rate `m₂` of the data-intensive access stream.
+    pub l2_miss: f64,
+}
+
+impl Workload {
+    /// Builds a workload over `problem_size` bytes (one pass, one 64-bit
+    /// word per instruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fraction lies outside `[0, 1]`.
+    pub fn new(problem_size: ByteSize, accel_fraction: f64, l1_miss: f64, l2_miss: f64) -> Self {
+        for (name, v) in [
+            ("accel_fraction", accel_fraction),
+            ("l1_miss", l1_miss),
+            ("l2_miss", l2_miss),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name} out of range: {v}");
+        }
+        Workload {
+            instructions: problem_size.as_f64() / BYTES_PER_INSTRUCTION,
+            accel_fraction,
+            l1_miss,
+            l2_miss,
+        }
+    }
+
+    /// The paper's ~32 GiB problem size.
+    pub fn paper_32gib(accel_fraction: f64, l1_miss: f64, l2_miss: f64) -> Self {
+        Workload::new(ByteSize::gibibytes(32), accel_fraction, l1_miss, l2_miss)
+    }
+
+    /// Overall memory-reference rate of the mixed instruction stream:
+    /// the accelerated fraction references memory every instruction, the
+    /// rest at [`MEM_REF_RATE_OTHER`].
+    pub fn mem_ref_rate(&self) -> f64 {
+        self.accel_fraction + (1.0 - self.accel_fraction) * MEM_REF_RATE_OTHER
+    }
+
+    /// Instruction count of the acceleratable part.
+    pub fn accel_instructions(&self) -> f64 {
+        self.instructions * self.accel_fraction
+    }
+
+    /// Instruction count of the host-resident part.
+    pub fn host_instructions(&self) -> f64 {
+        self.instructions * (1.0 - self.accel_fraction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_count_from_problem_size() {
+        let w = Workload::paper_32gib(0.5, 0.0, 0.0);
+        // 32 GiB / 8 B = 4.295e9 instructions.
+        assert!((w.instructions - 32.0 * 1024.0f64.powi(3) / 8.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn split_sums_to_total() {
+        let w = Workload::paper_32gib(0.3, 0.5, 0.5);
+        assert!((w.accel_instructions() + w.host_instructions() - w.instructions).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mixed_memory_reference_rate() {
+        let w = Workload::paper_32gib(0.0, 0.0, 0.0);
+        assert!((w.mem_ref_rate() - MEM_REF_RATE_OTHER).abs() < 1e-12);
+        let w = Workload::paper_32gib(1.0, 0.0, 0.0);
+        assert!((w.mem_ref_rate() - 1.0).abs() < 1e-12);
+        let w = Workload::paper_32gib(0.3, 0.0, 0.0);
+        assert!((w.mem_ref_rate() - (0.3 + 0.7 * 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "l1_miss out of range")]
+    fn miss_rate_validated() {
+        let _ = Workload::paper_32gib(0.3, 1.5, 0.0);
+    }
+}

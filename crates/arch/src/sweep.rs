@@ -1,0 +1,306 @@
+//! Miss-rate sweeps regenerating the Fig. 3 / Fig. 4 surfaces.
+//!
+//! Each figure in the paper is a pair of surfaces (conventional red, CIM
+//! green) over the (L1 miss, L2 miss) unit square, one subplot per
+//! accelerated fraction X ∈ {30 %, 60 %, 90 %}. [`MissRateGrid::sweep`]
+//! computes both architectures at every grid point; normalization and
+//! ratio helpers turn the raw seconds/joules into the quantities the
+//! paper plots.
+//!
+//! The calibration tests at the bottom pin the paper's headline claims to
+//! this implementation with explicit tolerances.
+
+use crate::cim::CimSystem;
+use crate::conventional::ConventionalMachine;
+use crate::params::Workload;
+use cim_simkit::units::{ByteSize, Joules, Seconds};
+
+/// One grid point of a Fig. 3/4 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// L1 miss rate at this point.
+    pub l1_miss: f64,
+    /// L2 miss rate at this point.
+    pub l2_miss: f64,
+    /// Conventional-architecture runtime.
+    pub delay_conventional: Seconds,
+    /// CIM-architecture runtime.
+    pub delay_cim: Seconds,
+    /// Conventional-architecture energy.
+    pub energy_conventional: Joules,
+    /// CIM-architecture energy.
+    pub energy_cim: Joules,
+}
+
+impl SweepPoint {
+    /// Delay ratio conventional / CIM (>1 means CIM is faster).
+    pub fn speedup(&self) -> f64 {
+        self.delay_conventional / self.delay_cim
+    }
+
+    /// Energy ratio conventional / CIM (>1 means CIM is more efficient).
+    pub fn energy_gain(&self) -> f64 {
+        self.energy_conventional / self.energy_cim
+    }
+}
+
+/// An (m₁, m₂) grid sweep configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MissRateGrid {
+    /// Grid points per axis (the paper plots a smooth surface; 11 gives
+    /// 0.0, 0.1, …, 1.0).
+    pub points_per_axis: usize,
+    /// Problem size of every workload in the sweep.
+    pub problem_size: ByteSize,
+    /// Accelerated fraction X of every workload in the sweep.
+    pub accel_fraction: f64,
+}
+
+impl MissRateGrid {
+    /// The paper's configuration: ~32 GiB problem at the given X.
+    pub fn paper(accel_fraction: f64) -> Self {
+        MissRateGrid {
+            points_per_axis: 11,
+            problem_size: ByteSize::gibibytes(32),
+            accel_fraction,
+        }
+    }
+
+    /// Runs both analytical models over the grid, row-major in `m₁`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid has fewer than 2 points per axis.
+    pub fn sweep(&self, conv: &ConventionalMachine, cim: &CimSystem) -> Vec<SweepPoint> {
+        assert!(self.points_per_axis >= 2, "grid needs at least 2 points");
+        let n = self.points_per_axis;
+        let mut out = Vec::with_capacity(n * n);
+        for i in 0..n {
+            let m1 = i as f64 / (n - 1) as f64;
+            for j in 0..n {
+                let m2 = j as f64 / (n - 1) as f64;
+                let w = Workload::new(self.problem_size, self.accel_fraction, m1, m2);
+                out.push(SweepPoint {
+                    l1_miss: m1,
+                    l2_miss: m2,
+                    delay_conventional: conv.delay(&w),
+                    delay_cim: cim.delay(&w),
+                    energy_conventional: conv.energy(&w),
+                    energy_cim: cim.energy(&w),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Runs the paper's three-subplot sweep (X = 30 %, 60 %, 90 %) with the
+/// default machines, returning `(X, points)` per subplot.
+pub fn paper_figure_sweeps() -> Vec<(f64, Vec<SweepPoint>)> {
+    let conv = ConventionalMachine::xeon_e5_2680();
+    let cim = CimSystem::paper_default();
+    [0.3, 0.6, 0.9]
+        .into_iter()
+        .map(|x| (x, MissRateGrid::paper(x).sweep(&conv, &cim)))
+        .collect()
+}
+
+/// One point of a problem-size sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizePoint {
+    /// Problem size of the workload.
+    pub problem_size: ByteSize,
+    /// Delay ratio conventional / CIM at this size.
+    pub speedup: f64,
+    /// Energy ratio conventional / CIM at this size.
+    pub energy_gain: f64,
+}
+
+/// Sweeps the problem size at fixed X and miss rates — the §V remark
+/// that "the extent of improvement … is application and problem-size
+/// dependent": small problems cannot amortize the fixed offload
+/// overhead, large ones can.
+pub fn problem_size_sweep(
+    conv: &ConventionalMachine,
+    cim: &CimSystem,
+    sizes: &[ByteSize],
+    accel_fraction: f64,
+    l1_miss: f64,
+    l2_miss: f64,
+) -> Vec<SizePoint> {
+    sizes
+        .iter()
+        .map(|&ps| {
+            let w = Workload::new(ps, accel_fraction, l1_miss, l2_miss);
+            SizePoint {
+                problem_size: ps,
+                speedup: conv.delay(&w) / cim.delay(&w),
+                energy_gain: conv.energy(&w) / cim.energy(&w),
+            }
+        })
+        .collect()
+}
+
+/// Normalizes a surface of values by its value at (m₁=0, m₂=0) — the
+/// presentation used for the paper's "normalized delay/energy" axes.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or the reference value is zero.
+pub fn normalize_to_origin(values: &[f64]) -> Vec<f64> {
+    assert!(!values.is_empty(), "cannot normalize an empty surface");
+    let origin = values[0];
+    assert!(origin != 0.0, "zero reference value at origin");
+    values.iter().map(|v| v / origin).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corner(points: &[SweepPoint], m1: f64, m2: f64) -> SweepPoint {
+        *points
+            .iter()
+            .find(|p| (p.l1_miss - m1).abs() < 1e-9 && (p.l2_miss - m2).abs() < 1e-9)
+            .expect("grid corner present")
+    }
+
+    #[test]
+    fn grid_has_expected_size_and_corners() {
+        let sweeps = paper_figure_sweeps();
+        assert_eq!(sweeps.len(), 3);
+        for (_, pts) in &sweeps {
+            assert_eq!(pts.len(), 121);
+            corner(pts, 0.0, 0.0);
+            corner(pts, 1.0, 1.0);
+        }
+    }
+
+    // --- calibration against the paper's headline claims ---------------
+
+    #[test]
+    fn calibration_speedup_reaches_35x_at_x90() {
+        let (_, pts) = &paper_figure_sweeps()[2];
+        let best = pts.iter().map(|p| p.speedup()).fold(0.0, f64::max);
+        assert!(
+            (30.0..=45.0).contains(&best),
+            "paper: speedup reaches ~35x; model gives {best:.1}"
+        );
+    }
+
+    #[test]
+    fn calibration_conventional_wins_at_low_miss_x30() {
+        let (_, pts) = &paper_figure_sweeps()[0];
+        let p = corner(pts, 0.0, 0.0);
+        assert!(
+            p.speedup() < 1.0,
+            "paper: CIM can be worse at low miss rates and X=30%; got speedup {:.2}",
+            p.speedup()
+        );
+    }
+
+    #[test]
+    fn calibration_cim_wins_at_high_miss_for_all_x() {
+        for (x, pts) in &paper_figure_sweeps() {
+            let p = corner(pts, 1.0, 1.0);
+            assert!(
+                p.speedup() > 1.0,
+                "CIM must win at worst-case misses (X={x}): {:.2}",
+                p.speedup()
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_speedup_grows_with_x() {
+        let sweeps = paper_figure_sweeps();
+        let s: Vec<f64> = sweeps
+            .iter()
+            .map(|(_, pts)| corner(pts, 1.0, 1.0).speedup())
+            .collect();
+        assert!(s[0] < s[1] && s[1] < s[2], "speedups {s:?}");
+    }
+
+    #[test]
+    fn calibration_energy_always_lower_on_cim() {
+        // Paper: "the energy consumption of the CIM architecture is always
+        // lower, irrespective of the cache miss rates".
+        for (x, pts) in &paper_figure_sweeps() {
+            for p in pts {
+                assert!(
+                    p.energy_gain() > 1.0,
+                    "CIM energy must always win (X={x}, m1={}, m2={}): gain {:.2}",
+                    p.l1_miss,
+                    p.l2_miss,
+                    p.energy_gain()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_energy_gain_about_6x_at_x30() {
+        let (_, pts) = &paper_figure_sweeps()[0];
+        let p = corner(pts, 0.5, 0.5);
+        assert!(
+            (4.0..=9.0).contains(&p.energy_gain()),
+            "paper: ~6x energy at X=30%; model gives {:.2}",
+            p.energy_gain()
+        );
+    }
+
+    #[test]
+    fn calibration_energy_gain_two_orders_at_x90() {
+        let (_, pts) = &paper_figure_sweeps()[2];
+        let best = pts.iter().map(|p| p.energy_gain()).fold(0.0, f64::max);
+        assert!(
+            (100.0..=250.0).contains(&best),
+            "paper: up to two orders of magnitude at X=90%; model gives {best:.1}"
+        );
+    }
+
+    #[test]
+    fn calibration_speedup_monotone_in_miss_rates() {
+        let (_, pts) = &paper_figure_sweeps()[1];
+        // Along the diagonal the gap between the planes must widen.
+        let mut last = 0.0;
+        for i in 0..=10 {
+            let r = i as f64 / 10.0;
+            let s = corner(pts, r, r).speedup();
+            assert!(s > last, "speedup must grow along the diagonal");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn problem_size_dependence() {
+        // §V: improvement is problem-size dependent — the fixed offload
+        // overhead dominates small problems and amortizes over large
+        // ones.
+        let conv = ConventionalMachine::xeon_e5_2680();
+        let cim = CimSystem::paper_default();
+        let sizes = [
+            ByteSize::kibibytes(64),
+            ByteSize::mebibytes(16),
+            ByteSize::gibibytes(32),
+        ];
+        let pts = problem_size_sweep(&conv, &cim, &sizes, 0.9, 1.0, 1.0);
+        assert!(pts[0].speedup < pts[1].speedup);
+        assert!(pts[1].speedup <= pts[2].speedup + 1e-9);
+        assert!(pts[2].speedup > 30.0, "32 GiB speedup {}", pts[2].speedup);
+        // At cache-friendly miss rates a tiny problem loses outright:
+        // the offload overhead cannot amortize.
+        let cold = problem_size_sweep(&conv, &cim, &sizes, 0.9, 0.1, 0.1);
+        assert!(cold[0].speedup < 1.0, "64 KiB speedup {}", cold[0].speedup);
+        assert!(cold[0].speedup < cold[2].speedup);
+    }
+
+    #[test]
+    fn normalization_starts_at_one() {
+        let (_, pts) = &paper_figure_sweeps()[0];
+        let delays: Vec<f64> = pts.iter().map(|p| p.delay_conventional.0).collect();
+        let norm = normalize_to_origin(&delays);
+        assert!((norm[0] - 1.0).abs() < 1e-12);
+        assert!(norm.iter().all(|&v| v >= 1.0));
+    }
+}

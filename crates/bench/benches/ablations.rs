@@ -1,0 +1,85 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! ADC resolution of the analog MVM, scouting fan-in of the Q6 plan,
+//! crossbar tile size, and HD dimensionality.
+
+use cim_bitmap_db::query::Q6CimEngine;
+use cim_bitmap_db::tpch::{LineItemTable, Q6Params};
+use cim_crossbar::analog::{AnalogCrossbar, AnalogParams};
+use cim_hdc::lang::LanguageTask;
+use cim_simkit::linalg::Matrix;
+use cim_simkit::rng::seeded;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn ablation_adc_bits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_adc_bits");
+    group.sample_size(10);
+    let m = Matrix::from_fn(64, 64, |i, j| ((i * 64 + j) % 9) as f64 / 9.0);
+    let x = vec![0.5; 64];
+    for &bits in &[4u32, 8, 12] {
+        let mut params = AnalogParams::default();
+        params.adc_bits = bits;
+        let mut rng = seeded(1);
+        let mut xbar = AnalogCrossbar::new(64, 64, params);
+        xbar.program_matrix(&m, &mut rng);
+        group.bench_with_input(BenchmarkId::new("mvm_64x64", bits), &bits, |b, _| {
+            b.iter(|| black_box(xbar.matvec(&x, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_scouting_fan_in(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_q6_fan_in");
+    group.sample_size(10);
+    let table = LineItemTable::generate(4000, 3);
+    let params = Q6Params::tpch_default();
+    for &fan_in in &[2usize, 4, 8] {
+        let mut engine = Q6CimEngine::load(&table, 4000, fan_in);
+        group.bench_with_input(BenchmarkId::new("q6", fan_in), &fan_in, |b, _| {
+            b.iter(|| black_box(engine.execute(&params, &table)))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_tile_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tile_size");
+    group.sample_size(10);
+    for &n in &[16usize, 64, 128] {
+        let m = Matrix::from_fn(n, n, |i, j| ((i + j) % 5) as f64 / 5.0);
+        let x = vec![0.5; n];
+        let mut rng = seeded(2);
+        let mut xbar = AnalogCrossbar::new(n, n, AnalogParams::default());
+        xbar.program_matrix(&m, &mut rng);
+        group.bench_with_input(BenchmarkId::new("mvm", n), &n, |b, _| {
+            b.iter(|| black_box(xbar.matvec(&x, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_hd_dimension(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_hd_dimension");
+    group.sample_size(10);
+    for &d in &[1024usize, 4096] {
+        let mut task = LanguageTask::train(6, d, 3, 1200, 4);
+        group.bench_with_input(BenchmarkId::new("classify_100", d), &d, |b, _| {
+            b.iter(|| black_box(task.classify_sample(2, 100)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = ablation_adc_bits,
+    ablation_scouting_fan_in,
+    ablation_tile_size,
+    ablation_hd_dimension
+}
+criterion_main!(benches);

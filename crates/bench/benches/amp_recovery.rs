@@ -1,0 +1,41 @@
+//! Criterion bench E4/E12: AMP compressed-sensing recovery — exact
+//! float backend vs the simulated PCM crossbar backend.
+
+use cim_amp::problem::CsProblem;
+use cim_amp::solver::{AmpSolver, CrossbarBackend, ExactBackend};
+use cim_crossbar::analog::AnalogParams;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_amp(c: &mut Criterion) {
+    let p = CsProblem::generate(96, 192, 10, 0.0, 5);
+    let solver = AmpSolver {
+        max_iterations: 20,
+        ..AmpSolver::default()
+    };
+    let mut group = c.benchmark_group("amp");
+
+    group.bench_function("exact_backend_96x192", |b| {
+        b.iter(|| {
+            let mut backend = ExactBackend::new(p.matrix.clone());
+            black_box(solver.solve(&mut backend, &p.measurements, p.n()))
+        })
+    });
+
+    group.sample_size(10);
+    let mut crossbar = CrossbarBackend::new(&p.matrix, AnalogParams::default(), 3);
+    group.bench_function("crossbar_backend_96x192", |b| {
+        b.iter(|| black_box(solver.solve(&mut crossbar, &p.measurements, p.n())))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_amp
+}
+criterion_main!(benches);

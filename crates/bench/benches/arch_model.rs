@@ -1,0 +1,40 @@
+//! Criterion bench E1/E2: evaluating the Fig. 3/4 analytical models —
+//! single-point evaluation and the full 11×11 miss-rate sweep.
+
+use cim_arch::conventional::ConventionalMachine;
+use cim_arch::cim::CimSystem;
+use cim_arch::params::Workload;
+use cim_arch::sweep::MissRateGrid;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_arch_model(c: &mut Criterion) {
+    let conv = ConventionalMachine::xeon_e5_2680();
+    let cim = CimSystem::paper_default();
+
+    c.bench_function("arch/single_point_delay_energy", |b| {
+        let w = Workload::paper_32gib(0.6, 0.5, 0.5);
+        b.iter(|| {
+            let d1 = conv.delay(black_box(&w));
+            let e1 = conv.energy(black_box(&w));
+            let d2 = cim.delay(black_box(&w));
+            let e2 = cim.energy(black_box(&w));
+            black_box((d1, e1, d2, e2))
+        })
+    });
+
+    c.bench_function("arch/fig3_fig4_full_sweep_x60", |b| {
+        let grid = MissRateGrid::paper(0.6);
+        b.iter(|| black_box(grid.sweep(&conv, &cim)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_arch_model
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench E6: HD computing primitives at the paper's
+//! d = 10,000 — MAP operations, sequence encoding and associative
+//! search, digital vs CIM.
+
+use cim_crossbar::analog::AnalogParams;
+use cim_hdc::assoc::AssociativeMemory;
+use cim_hdc::cim::CimAssociativeMemory;
+use cim_hdc::encoder::NgramEncoder;
+use cim_hdc::hypervector::Hypervector;
+use cim_hdc::item_memory::ItemMemory;
+use cim_simkit::rng::seeded;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const D: usize = 10_000;
+
+fn bench_hdc(c: &mut Criterion) {
+    let mut rng = seeded(1);
+    let a = Hypervector::random(D, &mut rng);
+    let b = Hypervector::random(D, &mut rng);
+    let mut group = c.benchmark_group("hdc");
+
+    group.bench_function("bind_d10k", |bch| bch.iter(|| black_box(a.bind(&b))));
+    group.bench_function("permute_d10k", |bch| bch.iter(|| black_box(a.permute(1))));
+    group.bench_function("hamming_d10k", |bch| bch.iter(|| black_box(a.hamming(&b))));
+
+    let encoder = NgramEncoder::new(ItemMemory::new(27, D, 2), 3);
+    let text: Vec<usize> = (0..200).map(|i| (i * 7 + 3) % 27).collect();
+    group.bench_function("encode_200_symbols_d10k", |bch| {
+        bch.iter(|| black_box(encoder.encode_sequence(&text)))
+    });
+
+    // Associative search: digital Hamming vs simulated analog crossbar.
+    let mut am = AssociativeMemory::new(8, D);
+    for cl in 0..8 {
+        for i in 0..3 {
+            am.train(cl, &Hypervector::random(D, &mut seeded((cl * 10 + i) as u64)));
+        }
+    }
+    let prototypes = am.finalize().to_vec();
+    let query = Hypervector::random(D, &mut rng);
+    group.bench_function("assoc_search_digital_8xd10k", |bch| {
+        bch.iter(|| black_box(am.classify(&query)))
+    });
+
+    group.sample_size(10);
+    let (mut cam, _) = CimAssociativeMemory::program(&prototypes, AnalogParams::default(), 3);
+    group.bench_function("assoc_search_cim_simulated_8xd10k", |bch| {
+        bch.iter(|| black_box(cam.classify(&query)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_hdc
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench E11: image filters — O(1) box filter, bilateral and
+//! guided filter on a 96×96 frame.
+
+use cim_imgproc::bilateral::{bilateral_filter, BilateralParams};
+use cim_imgproc::boxfilter::{box_filter, box_filter_naive};
+use cim_imgproc::guided::{guided_filter, GuidedParams};
+use cim_imgproc::image::GrayImage;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_imgproc(c: &mut Criterion) {
+    let img = GrayImage::checkerboard(96, 96, 8, 0.2, 0.8).with_gaussian_noise(0.05, 1);
+    let mut group = c.benchmark_group("imgproc");
+
+    group.bench_function("box_integral_r4_96", |b| {
+        b.iter(|| black_box(box_filter(&img, 4)))
+    });
+    group.bench_function("box_naive_r4_96", |b| {
+        b.iter(|| black_box(box_filter_naive(&img, 4)))
+    });
+    group.bench_function("guided_r4_96", |b| {
+        b.iter(|| {
+            black_box(guided_filter(
+                &img,
+                &img,
+                &GuidedParams { radius: 4, epsilon: 0.01 },
+            ))
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("bilateral_r4_96", |b| {
+        b.iter(|| black_box(bilateral_filter(&img, &BilateralParams::default())))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_imgproc
+}
+criterion_main!(benches);

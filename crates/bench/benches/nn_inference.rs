@@ -1,0 +1,42 @@
+//! Criterion bench E5: neural-network inference — float forward pass vs
+//! the simulated crossbar forward pass, and the Fig. 7(b) series
+//! evaluation.
+
+use cim_crossbar::analog::AnalogParams;
+use cim_nn::crossbar::CrossbarNetwork;
+use cim_nn::energy::{fig7b_dims, fig7b_series};
+use cim_nn::task::SensoryTask;
+use cim_nn::train::TrainConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_nn(c: &mut Criterion) {
+    let task = SensoryTask::generate(16, 4, 50, 0.2, 1);
+    let net = TrainConfig::default().train(&task, 4);
+    let x = vec![0.5; 16];
+    let mut group = c.benchmark_group("nn");
+
+    group.bench_function("float_forward_16_32_4", |b| {
+        b.iter(|| black_box(net.forward(&x)))
+    });
+
+    let (mut cbn, _) = CrossbarNetwork::program(&net, AnalogParams::default(), 2);
+    group.bench_function("crossbar_forward_16_32_4", |b| {
+        b.iter(|| black_box(cbn.forward(&x)))
+    });
+
+    group.bench_function("fig7b_series", |b| {
+        b.iter(|| black_box(fig7b_series(&fig7b_dims())))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_nn
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench E9: TPC-H Query-6 — scalar scan vs bitmap-CPU vs the
+//! CIM scouting-logic engine (simulator wall-clock; the architectural
+//! latency/energy come from the `query_select` binary).
+
+use cim_bitmap_db::query::{q6_bitmap_cpu_with_indexes, q6_scan, Q6CimEngine, Q6Indexes};
+use cim_bitmap_db::tpch::{LineItemTable, Q6Params};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_query_select(c: &mut Criterion) {
+    let table = LineItemTable::generate(20_000, 42);
+    let params = Q6Params::tpch_default();
+    let indexes = Q6Indexes::build(&table);
+    let mut group = c.benchmark_group("query_select");
+
+    group.bench_function("scalar_scan_20k", |b| {
+        b.iter(|| black_box(q6_scan(&table, &params)))
+    });
+
+    group.bench_function("bitmap_cpu_20k", |b| {
+        b.iter(|| black_box(q6_bitmap_cpu_with_indexes(&table, &indexes, &params)))
+    });
+
+    group.sample_size(10);
+    let mut engine = Q6CimEngine::load(&table, 4096, 8);
+    group.bench_function("bitmap_cim_simulated_20k", |b| {
+        b.iter(|| black_box(engine.execute(&params, &table)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_query_select
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench E8: scouting-logic array accesses vs the equivalent
+//! CPU word-at-a-time bitwise operations, across row widths.
+
+use cim_crossbar::digital::DigitalArray;
+use cim_crossbar::scouting::ScoutOp;
+use cim_device::reram::ReramParams;
+use cim_simkit::bitvec::BitVec;
+use cim_simkit::rng::seeded;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_scouting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scouting");
+    for &width in &[256usize, 1024, 4096] {
+        let mut rng = seeded(1);
+        let mut arr = DigitalArray::new(2, width, ReramParams::default(), &mut rng);
+        let a = BitVec::from_fn(width, |i| i % 3 == 0);
+        let b = BitVec::from_fn(width, |i| i % 5 == 0);
+        arr.write_row(0, &a);
+        arr.write_row(1, &b);
+
+        group.bench_with_input(BenchmarkId::new("cim_simulated_and", width), &width, |bench, _| {
+            bench.iter(|| black_box(arr.scout(ScoutOp::And, &[0, 1], &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("cpu_bitvec_and", width), &width, |bench, _| {
+            bench.iter(|| black_box(a.and(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_scouting
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench E10: one-time-pad encryption — software XOR vs the
+//! CIM scouting-XOR engine across message sizes.
+
+use cim_xor_cipher::cim::CimXorEngine;
+use cim_xor_cipher::otp::OneTimePad;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_xor_cipher(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xor_cipher");
+    for &size in &[1024usize, 16 * 1024] {
+        let pad = OneTimePad::generate(size, 7);
+        let msg: Vec<u8> = (0..size).map(|i| (i * 31) as u8).collect();
+        group.throughput(Throughput::Bytes(size as u64));
+
+        group.bench_with_input(BenchmarkId::new("software", size), &size, |b, _| {
+            b.iter(|| black_box(pad.encrypt(&msg).unwrap()))
+        });
+
+        let mut engine = CimXorEngine::new(pad.clone(), 128);
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("cim_simulated", size), &size, |b, _| {
+            b.iter(|| black_box(engine.encrypt(&msg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_xor_cipher
+}
+criterion_main!(benches);

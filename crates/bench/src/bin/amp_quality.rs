@@ -1,0 +1,60 @@
+//! Regenerates the §III-B recovery-quality study: AMP on exact floating
+//! point vs the PCM crossbar backend across sparsity levels and ADC
+//! resolutions.
+
+use cim_amp::problem::CsProblem;
+use cim_amp::solver::{AmpSolver, CrossbarBackend, ExactBackend};
+use cim_bench::print_table;
+use cim_crossbar::analog::AnalogParams;
+use cim_simkit::stats::nmse_db;
+
+fn main() {
+    println!("# §III-B — AMP compressed-sensing recovery quality\n");
+    let (m, n) = (128, 256);
+    let solver = AmpSolver::default();
+
+    println!("## Sparsity sweep (M = {m}, N = {n}, noiseless, 8-bit converters)\n");
+    let mut rows = Vec::new();
+    for &k in &[6usize, 12, 24, 36] {
+        let p = CsProblem::generate(m, n, k, 0.0, 7 + k as u64);
+        let exact = solver.solve(
+            &mut ExactBackend::new(p.matrix.clone()),
+            &p.measurements,
+            p.n(),
+        );
+        let mut backend = CrossbarBackend::new(&p.matrix, AnalogParams::default(), 1);
+        let xbar = solver.solve(&mut backend, &p.measurements, p.n());
+        rows.push(vec![
+            k.to_string(),
+            format!("{:.3}", k as f64 / m as f64),
+            format!("{:.1} dB", nmse_db(&p.signal, &exact.estimate)),
+            format!("{:.1} dB", nmse_db(&p.signal, &xbar.estimate)),
+            exact.iterations.to_string(),
+        ]);
+    }
+    print_table(
+        &["k", "rho = k/M", "NMSE float", "NMSE crossbar", "iters"],
+        &rows,
+    );
+
+    println!("\n## ADC resolution sweep (k = 12)\n");
+    let p = CsProblem::generate(m, n, 12, 0.0, 99);
+    let mut rows = Vec::new();
+    for &bits in &[4u32, 6, 8, 10, 12] {
+        let mut params = AnalogParams::default();
+        params.adc_bits = bits;
+        params.dac_bits = bits;
+        let mut backend = CrossbarBackend::new(&p.matrix, params, 2);
+        let r = solver.solve(&mut backend, &p.measurements, p.n());
+        rows.push(vec![
+            bits.to_string(),
+            format!("{:.1} dB", nmse_db(&p.signal, &r.estimate)),
+        ]);
+    }
+    print_table(&["DAC/ADC bits", "NMSE crossbar"], &rows);
+    println!(
+        "\npaper context: the prototype PCM chip computes at ~4-bit \
+         equivalent precision; AMP tolerates the analog error and recovery \
+         degrades gracefully with converter resolution."
+    );
+}

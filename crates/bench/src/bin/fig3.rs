@@ -1,0 +1,45 @@
+//! Regenerates **Figure 3**: normalized delay of the conventional vs CIM
+//! architecture over (L1, L2) miss rates for X ∈ {30 %, 60 %, 90 %}.
+//!
+//! The paper plots two surfaces per subplot; this binary prints the
+//! diagonal profile (m1 = m2) of each surface plus the corner summary,
+//! normalized to the conventional machine at zero miss rate, and the
+//! headline speedups.
+
+use cim_arch::sweep::paper_figure_sweeps;
+use cim_bench::print_table;
+
+fn main() {
+    println!("# Figure 3 — normalized delay surfaces (PS ~ 32 GiB)\n");
+    for (x, points) in paper_figure_sweeps() {
+        let origin = points
+            .iter()
+            .find(|p| p.l1_miss == 0.0 && p.l2_miss == 0.0)
+            .unwrap()
+            .delay_conventional;
+        println!("## X = {:.0}% accelerated instructions", x * 100.0);
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .filter(|p| (p.l1_miss - p.l2_miss).abs() < 1e-9)
+            .map(|p| {
+                vec![
+                    format!("{:.1}", p.l1_miss),
+                    format!("{:.1}", p.l2_miss),
+                    format!("{:.3}", p.delay_conventional / origin),
+                    format!("{:.3}", p.delay_cim / origin),
+                    format!("{:.2}x", p.speedup()),
+                ]
+            })
+            .collect();
+        print_table(
+            &["L1 miss", "L2 miss", "norm delay (conv)", "norm delay (CIM)", "speedup"],
+            &rows,
+        );
+        let best = points.iter().map(|p| p.speedup()).fold(0.0, f64::max);
+        let worst = points.iter().map(|p| p.speedup()).fold(f64::INFINITY, f64::min);
+        println!(
+            "max speedup {best:.1}x, min speedup {worst:.2}x \
+             (paper: up to ~35x at X=90%; CIM can lose at low miss rates)\n"
+        );
+    }
+}

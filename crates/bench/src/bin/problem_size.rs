@@ -1,0 +1,46 @@
+//! Regenerates the §V observation that "the extent of improvement in
+//! terms of energy/time efficiency is application and problem-size
+//! dependent": speedup and energy gain vs problem size at the paper's
+//! three accelerated fractions.
+
+use cim_arch::cim::CimSystem;
+use cim_arch::conventional::ConventionalMachine;
+use cim_arch::sweep::problem_size_sweep;
+use cim_bench::print_table;
+use cim_simkit::units::ByteSize;
+
+fn main() {
+    let conv = ConventionalMachine::xeon_e5_2680();
+    let cim = CimSystem::paper_default();
+    let sizes = [
+        ByteSize::kibibytes(64),
+        ByteSize::mebibytes(1),
+        ByteSize::mebibytes(64),
+        ByteSize::gibibytes(1),
+        ByteSize::gibibytes(32),
+    ];
+
+    println!("# §V — problem-size dependence (m1 = m2 = 0.5)\n");
+    for &x in &[0.3, 0.6, 0.9] {
+        println!("## X = {:.0}%", x * 100.0);
+        let pts = problem_size_sweep(&conv, &cim, &sizes, x, 0.5, 0.5);
+        let rows: Vec<Vec<String>> = pts
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{}", p.problem_size),
+                    format!("{:.2}x", p.speedup),
+                    format!("{:.1}x", p.energy_gain),
+                ]
+            })
+            .collect();
+        print_table(&["problem size", "speedup", "energy gain"], &rows);
+        println!();
+    }
+    println!(
+        "reading: the fixed offload overhead (~10 µs) dominates small \
+         problems; gains saturate once the working set is orders of \
+         magnitude larger — one reason the paper targets big-data \
+         analytics."
+    );
+}

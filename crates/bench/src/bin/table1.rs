@@ -1,0 +1,37 @@
+//! Regenerates **Table I**: FPGA resource utilization, frequency and
+//! power of the 1024-unit AMP dot-product accelerator on the XCKU115.
+
+use cim_bench::print_table;
+use cim_tech::fpga::{AmpAcceleratorDesign, FpgaDevice};
+
+fn main() {
+    let design = AmpAcceleratorDesign::paper();
+    let device = FpgaDevice::xcku115();
+    let u = design.utilization(&device);
+
+    println!(
+        "# Table I — FPGA utilization of the AMP accelerator ({} units, {}-bit, {})\n",
+        design.units, design.precision_bits, device.name
+    );
+    print_table(
+        &["LUT", "FF", "BRAM", "f[MHz]", "Pstatic[W]", "Pdynamic[W]"],
+        &[vec![
+            format!("{} [{:.1}%]", u.luts, u.lut_frac * 100.0),
+            format!("{} [{:.1}%]", u.ffs, u.ff_frac * 100.0),
+            format!("{} [{:.1}%]", u.brams, u.bram_frac * 100.0),
+            format!("{:.0}", design.clock.0 / 1e6),
+            format!("{:.2}", device.static_power_w),
+            format!("{:.1}", design.dynamic_power().0),
+        ]],
+    );
+    println!(
+        "\npaper: 307908 [46.4%] | 180368 [13.6%] | 1024 [47.4%] | 200 | 4.04 | 26.4"
+    );
+    println!(
+        "\nderived: dot product = {} cycles, MVM latency = {:.0} ns, MVM energy = {:.1} µJ",
+        design.dot_product_cycles(),
+        design.mvm_latency(1024).nanos(),
+        design.mvm_energy(1024).micro()
+    );
+    println!("paper:   dot product = 133 cycles, MVM latency = 665 ns, MVM energy = 17.7 µJ");
+}

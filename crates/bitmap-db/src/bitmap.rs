@@ -1,0 +1,218 @@
+//! Bin encoders and the transposed bitmap index.
+//!
+//! A bitmap index turns a low-cardinality column into a set of *bins*;
+//! bin `b` owns a bit vector whose `i`-th bit says whether entry `i`
+//! falls into the bin (Fig. 2(b) of the paper shows this transposed
+//! layout: bins are rows, entries are columns). Equality bins give exact
+//! single-value filters; a range predicate is the OR of the bins it
+//! covers, which is why low-cardinality equality binning keeps query
+//! plans exact.
+
+use cim_simkit::bitvec::BitVec;
+
+/// How a column is carved into bins.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BinSpec {
+    /// One bin per distinct integer value in `lo..=hi`.
+    Equality {
+        /// Smallest binned value.
+        lo: i64,
+        /// Largest binned value.
+        hi: i64,
+    },
+    /// Explicit half-open ranges `[edge[i], edge[i+1])`.
+    Ranges {
+        /// Bin edges, strictly increasing, at least two.
+        edges: Vec<i64>,
+    },
+}
+
+impl BinSpec {
+    /// Number of bins this specification produces.
+    pub fn bin_count(&self) -> usize {
+        match self {
+            BinSpec::Equality { lo, hi } => (hi - lo + 1).max(0) as usize,
+            BinSpec::Ranges { edges } => edges.len().saturating_sub(1),
+        }
+    }
+
+    /// The bin index of a value, or `None` if it falls outside all bins.
+    pub fn bin_of(&self, value: i64) -> Option<usize> {
+        match self {
+            BinSpec::Equality { lo, hi } => {
+                if value >= *lo && value <= *hi {
+                    Some((value - lo) as usize)
+                } else {
+                    None
+                }
+            }
+            BinSpec::Ranges { edges } => {
+                if edges.len() < 2 || value < edges[0] || value >= *edges.last().unwrap() {
+                    return None;
+                }
+                // Last edge strictly bounds; partition_point finds the
+                // first edge greater than value.
+                let idx = edges.partition_point(|&e| e <= value);
+                Some(idx - 1)
+            }
+        }
+    }
+
+    /// Indices of the bins that lie **entirely** inside `[lo, hi]`
+    /// (closed interval on values). For equality bins this is exact
+    /// coverage; for range bins, bins straddling the boundary are
+    /// excluded (the caller must recheck those candidates).
+    pub fn bins_within(&self, lo: i64, hi: i64) -> Vec<usize> {
+        match self {
+            BinSpec::Equality { lo: blo, hi: bhi } => {
+                let from = lo.max(*blo);
+                let to = hi.min(*bhi);
+                (from..=to).map(|v| (v - blo) as usize).collect()
+            }
+            BinSpec::Ranges { edges } => {
+                let mut out = Vec::new();
+                for i in 0..edges.len().saturating_sub(1) {
+                    if edges[i] >= lo && edges[i + 1] - 1 <= hi {
+                        out.push(i);
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// A bitmap index over one integer column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitmapIndex {
+    spec: BinSpec,
+    bins: Vec<BitVec>,
+    entries: usize,
+}
+
+impl BitmapIndex {
+    /// Builds the index of `values` under `spec`. Values outside the
+    /// binning range are simply absent from every bin.
+    pub fn build(spec: BinSpec, values: &[i64]) -> Self {
+        let n_bins = spec.bin_count();
+        let mut bins = vec![BitVec::zeros(values.len()); n_bins];
+        for (i, &v) in values.iter().enumerate() {
+            if let Some(b) = spec.bin_of(v) {
+                bins[b].set(i, true);
+            }
+        }
+        BitmapIndex {
+            spec,
+            bins,
+            entries: values.len(),
+        }
+    }
+
+    /// The binning specification.
+    pub fn spec(&self) -> &BinSpec {
+        &self.spec
+    }
+
+    /// Number of bins.
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Number of indexed entries (width of every bin row).
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// The bit vector of bin `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn bin(&self, b: usize) -> &BitVec {
+        &self.bins[b]
+    }
+
+    /// OR of the bins covering `[lo, hi]` — the CPU execution of a range
+    /// predicate. Returns an all-zero vector when no bin qualifies.
+    pub fn select_range(&self, lo: i64, hi: i64) -> BitVec {
+        let mut acc = BitVec::zeros(self.entries);
+        for b in self.spec.bins_within(lo, hi) {
+            acc.or_assign(&self.bins[b]);
+        }
+        acc
+    }
+
+    /// Every bin's ones-count — bin occupancy histogram.
+    pub fn histogram(&self) -> Vec<usize> {
+        self.bins.iter().map(BitVec::count_ones).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_spec_binning() {
+        let spec = BinSpec::Equality { lo: 1, hi: 50 };
+        assert_eq!(spec.bin_count(), 50);
+        assert_eq!(spec.bin_of(1), Some(0));
+        assert_eq!(spec.bin_of(50), Some(49));
+        assert_eq!(spec.bin_of(0), None);
+        assert_eq!(spec.bin_of(51), None);
+        assert_eq!(spec.bins_within(1, 23), (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_spec_binning() {
+        let spec = BinSpec::Ranges {
+            edges: vec![0, 10, 20, 40],
+        };
+        assert_eq!(spec.bin_count(), 3);
+        assert_eq!(spec.bin_of(0), Some(0));
+        assert_eq!(spec.bin_of(9), Some(0));
+        assert_eq!(spec.bin_of(10), Some(1));
+        assert_eq!(spec.bin_of(39), Some(2));
+        assert_eq!(spec.bin_of(40), None);
+        assert_eq!(spec.bin_of(-1), None);
+        // Only bins fully inside [0, 19] qualify.
+        assert_eq!(spec.bins_within(0, 19), vec![0, 1]);
+        assert_eq!(spec.bins_within(0, 25), vec![0, 1]);
+        assert_eq!(spec.bins_within(5, 19), vec![1]);
+    }
+
+    #[test]
+    fn index_bins_partition_entries() {
+        let values = [3i64, 7, 3, 1, 9, 7, 7];
+        let idx = BitmapIndex::build(BinSpec::Equality { lo: 1, hi: 9 }, &values);
+        assert_eq!(idx.entries(), 7);
+        // Every entry appears in exactly one bin.
+        let total: usize = idx.histogram().iter().sum();
+        assert_eq!(total, 7);
+        assert_eq!(idx.bin(2).count_ones(), 2); // value 3 at rows 0, 2
+        assert!(idx.bin(2).get(0) && idx.bin(2).get(2));
+    }
+
+    #[test]
+    fn select_range_matches_scalar_filter() {
+        let values: Vec<i64> = (0..500).map(|i| (i * 37 + 11) % 50 + 1).collect();
+        let idx = BitmapIndex::build(BinSpec::Equality { lo: 1, hi: 50 }, &values);
+        let sel = idx.select_range(10, 24);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(sel.get(i), (10..=24).contains(&v), "row {i} value {v}");
+        }
+    }
+
+    #[test]
+    fn select_empty_range() {
+        let idx = BitmapIndex::build(BinSpec::Equality { lo: 1, hi: 5 }, &[1, 2, 3]);
+        assert_eq!(idx.select_range(7, 9).count_ones(), 0);
+    }
+
+    #[test]
+    fn out_of_range_values_unindexed() {
+        let idx = BitmapIndex::build(BinSpec::Equality { lo: 1, hi: 3 }, &[0, 1, 4]);
+        let total: usize = idx.histogram().iter().sum();
+        assert_eq!(total, 1);
+    }
+}

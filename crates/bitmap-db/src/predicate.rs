@@ -1,0 +1,340 @@
+//! A generic predicate algebra over bitmap-indexed columns.
+//!
+//! Query-6 is one fixed plan; real bitmap databases compile arbitrary
+//! boolean predicates to bitwise plans. [`Predicate`] is a small AST —
+//! ranges and equalities on integer columns combined with AND/OR/NOT —
+//! and [`Catalog`] evaluates it two ways:
+//!
+//! * [`Catalog::evaluate_scan`] — row-at-a-time reference semantics;
+//! * [`Catalog::evaluate_bitmap`] — bin selection + packed bitwise ops,
+//!   counting the row-wide operations a CIM engine would execute.
+//!
+//! The property tests in `tests/properties.rs` and the unit tests below
+//! pin the two evaluators to identical semantics.
+
+use crate::bitmap::{BinSpec, BitmapIndex};
+use cim_simkit::bitvec::BitVec;
+use std::collections::BTreeMap;
+
+/// A boolean predicate over integer columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `column == value`.
+    Equals {
+        /// Column name.
+        column: String,
+        /// The value to match.
+        value: i64,
+    },
+    /// `lo <= column <= hi` (closed range).
+    Range {
+        /// Column name.
+        column: String,
+        /// Lower bound, inclusive.
+        lo: i64,
+        /// Upper bound, inclusive.
+        hi: i64,
+    },
+    /// Logical negation.
+    Not(Box<Predicate>),
+    /// Conjunction of all children (empty = true).
+    And(Vec<Predicate>),
+    /// Disjunction of all children (empty = false).
+    Or(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience constructor for equality.
+    pub fn equals(column: &str, value: i64) -> Self {
+        Predicate::Equals {
+            column: column.to_string(),
+            value,
+        }
+    }
+
+    /// Convenience constructor for a closed range.
+    pub fn range(column: &str, lo: i64, hi: i64) -> Self {
+        Predicate::Range {
+            column: column.to_string(),
+            lo,
+            hi,
+        }
+    }
+
+    /// Negates this predicate.
+    pub fn not(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// The column names this predicate touches.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Predicate::Equals { column, .. } | Predicate::Range { column, .. } => {
+                out.push(column)
+            }
+            Predicate::Not(inner) => inner.collect_columns(out),
+            Predicate::And(children) | Predicate::Or(children) => {
+                for c in children {
+                    c.collect_columns(out);
+                }
+            }
+        }
+    }
+}
+
+/// An execution tally of a bitmap plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanStats {
+    /// Row-wide bitwise operations (OR/AND/NOT over whole bitmaps).
+    pub bitwise_ops: u64,
+    /// Bin bitmaps touched.
+    pub bins_read: u64,
+}
+
+/// A set of integer columns with their bitmap indexes.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    columns: BTreeMap<String, (Vec<i64>, BitmapIndex)>,
+    rows: usize,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Adds an integer column and builds its equality-bin index over
+    /// the value domain `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column length differs from previously added
+    /// columns, or the name repeats.
+    pub fn add_column(&mut self, name: &str, values: Vec<i64>, lo: i64, hi: i64) -> &mut Self {
+        if !self.columns.is_empty() {
+            assert_eq!(values.len(), self.rows, "column length mismatch");
+        } else {
+            self.rows = values.len();
+        }
+        assert!(
+            !self.columns.contains_key(name),
+            "duplicate column name {name}"
+        );
+        let index = BitmapIndex::build(BinSpec::Equality { lo, hi }, &values);
+        self.columns.insert(name.to_string(), (values, index));
+        self
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row-at-a-time reference evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the predicate references an unknown column.
+    pub fn evaluate_scan(&self, predicate: &Predicate) -> BitVec {
+        BitVec::from_fn(self.rows, |row| self.matches(predicate, row))
+    }
+
+    fn matches(&self, predicate: &Predicate, row: usize) -> bool {
+        match predicate {
+            Predicate::Equals { column, value } => self.value(column, row) == *value,
+            Predicate::Range { column, lo, hi } => {
+                let v = self.value(column, row);
+                v >= *lo && v <= *hi
+            }
+            Predicate::Not(inner) => !self.matches(inner, row),
+            Predicate::And(children) => children.iter().all(|c| self.matches(c, row)),
+            Predicate::Or(children) => children.iter().any(|c| self.matches(c, row)),
+        }
+    }
+
+    fn value(&self, column: &str, row: usize) -> i64 {
+        self.columns
+            .get(column)
+            .unwrap_or_else(|| panic!("unknown column {column}"))
+            .0[row]
+    }
+
+    /// Bitmap-plan evaluation: compiles the predicate to bin selections
+    /// and packed bitwise operations, returning the selection and the
+    /// operation tally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the predicate references an unknown column.
+    pub fn evaluate_bitmap(&self, predicate: &Predicate) -> (BitVec, PlanStats) {
+        let mut stats = PlanStats::default();
+        let bits = self.eval(predicate, &mut stats);
+        (bits, stats)
+    }
+
+    fn eval(&self, predicate: &Predicate, stats: &mut PlanStats) -> BitVec {
+        match predicate {
+            Predicate::Equals { column, value } => {
+                self.eval(&Predicate::range(column, *value, *value), stats)
+            }
+            Predicate::Range { column, lo, hi } => {
+                let (_, index) = self
+                    .columns
+                    .get(column)
+                    .unwrap_or_else(|| panic!("unknown column {column}"));
+                let bins = index.spec().bins_within(*lo, *hi);
+                stats.bins_read += bins.len() as u64;
+                stats.bitwise_ops += bins.len().saturating_sub(1) as u64;
+                let mut acc = BitVec::zeros(self.rows);
+                for b in bins {
+                    acc.or_assign(index.bin(b));
+                }
+                acc
+            }
+            Predicate::Not(inner) => {
+                let bits = self.eval(inner, stats);
+                stats.bitwise_ops += 1;
+                bits.not()
+            }
+            Predicate::And(children) => {
+                let mut acc = BitVec::ones(self.rows);
+                for (i, c) in children.iter().enumerate() {
+                    let bits = self.eval(c, stats);
+                    if i > 0 || children.len() == 1 {
+                        stats.bitwise_ops += 1;
+                    }
+                    acc.and_assign(&bits);
+                }
+                acc
+            }
+            Predicate::Or(children) => {
+                let mut acc = BitVec::zeros(self.rows);
+                for (i, c) in children.iter().enumerate() {
+                    let bits = self.eval(c, stats);
+                    if i > 0 || children.len() == 1 {
+                        stats.bitwise_ops += 1;
+                    }
+                    acc.or_assign(&bits);
+                }
+                acc
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn catalog(rows: usize, seed: u64) -> Catalog {
+        let mut rng = cim_simkit::rng::seeded(seed);
+        let mut c = Catalog::new();
+        c.add_column("a", (0..rows).map(|_| rng.gen_range(0..20)).collect(), 0, 19);
+        c.add_column("b", (0..rows).map(|_| rng.gen_range(0..8)).collect(), 0, 7);
+        c.add_column("c", (0..rows).map(|_| rng.gen_range(-5..5)).collect(), -5, 4);
+        c
+    }
+
+    fn assert_equivalent(cat: &Catalog, p: &Predicate) {
+        let scan = cat.evaluate_scan(p);
+        let (bitmap, stats) = cat.evaluate_bitmap(p);
+        assert_eq!(scan, bitmap, "predicate {p:?}");
+        assert!(stats.bins_read > 0 || matches!(p, Predicate::And(_) | Predicate::Or(_)));
+    }
+
+    #[test]
+    fn simple_predicates_equivalent() {
+        let cat = catalog(500, 1);
+        assert_equivalent(&cat, &Predicate::equals("a", 7));
+        assert_equivalent(&cat, &Predicate::range("a", 3, 12));
+        assert_equivalent(&cat, &Predicate::range("c", -5, -1));
+        assert_equivalent(&cat, &Predicate::equals("b", 0).not());
+    }
+
+    #[test]
+    fn composite_predicates_equivalent() {
+        let cat = catalog(800, 2);
+        let q6_like = Predicate::And(vec![
+            Predicate::range("a", 5, 9),
+            Predicate::range("b", 2, 4),
+            Predicate::range("c", -2, 4),
+        ]);
+        assert_equivalent(&cat, &q6_like);
+
+        let nested = Predicate::Or(vec![
+            Predicate::And(vec![
+                Predicate::equals("a", 3),
+                Predicate::equals("b", 1).not(),
+            ]),
+            Predicate::range("c", 0, 2),
+        ]);
+        assert_equivalent(&cat, &nested);
+    }
+
+    #[test]
+    fn de_morgan_holds_in_both_evaluators() {
+        let cat = catalog(400, 3);
+        let p = Predicate::equals("a", 4);
+        let q = Predicate::range("b", 1, 3);
+        let lhs = Predicate::And(vec![p.clone(), q.clone()]).not();
+        let rhs = Predicate::Or(vec![p.not(), q.not()]);
+        assert_eq!(cat.evaluate_scan(&lhs), cat.evaluate_scan(&rhs));
+        assert_eq!(cat.evaluate_bitmap(&lhs).0, cat.evaluate_bitmap(&rhs).0);
+    }
+
+    #[test]
+    fn empty_connectives() {
+        let cat = catalog(100, 4);
+        let (all, _) = cat.evaluate_bitmap(&Predicate::And(vec![]));
+        assert_eq!(all.count_ones(), 100);
+        let (none, _) = cat.evaluate_bitmap(&Predicate::Or(vec![]));
+        assert_eq!(none.count_ones(), 0);
+    }
+
+    #[test]
+    fn plan_stats_reflect_plan_shape() {
+        let cat = catalog(300, 5);
+        // Range over 10 values → 10 bins, 9 ORs.
+        let (_, stats) = cat.evaluate_bitmap(&Predicate::range("a", 0, 9));
+        assert_eq!(stats.bins_read, 10);
+        assert_eq!(stats.bitwise_ops, 9);
+        // NOT adds one op.
+        let (_, stats) = cat.evaluate_bitmap(&Predicate::equals("b", 3).not());
+        assert_eq!(stats.bins_read, 1);
+        assert_eq!(stats.bitwise_ops, 1);
+    }
+
+    #[test]
+    fn columns_lists_dependencies() {
+        let p = Predicate::And(vec![
+            Predicate::equals("b", 1),
+            Predicate::Or(vec![Predicate::range("a", 0, 3), Predicate::equals("b", 2)]),
+        ]);
+        assert_eq!(p.columns(), vec!["a", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown column")]
+    fn unknown_column_panics() {
+        let cat = catalog(10, 6);
+        let _ = cat.evaluate_scan(&Predicate::equals("zzz", 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "column length mismatch")]
+    fn ragged_columns_rejected() {
+        let mut cat = Catalog::new();
+        cat.add_column("a", vec![1, 2, 3], 0, 5);
+        cat.add_column("b", vec![1, 2], 0, 5);
+    }
+}

@@ -1,0 +1,188 @@
+//! The paper's Fig. 2(a) star-catalog example.
+//!
+//! Eight newly discovered stars (A–H) with three characteristics:
+//! distance, size and discovery year. Fig. 2(b) encodes them as seven
+//! bitmap rows — far/near (distance > 40), Large/Medium/Small, and
+//! new/old (discovered in 2010 or later) — with one column per star.
+//! This module reproduces the dataset and its transposed bitmap so the
+//! worked example in the paper is runnable (see
+//! `examples/query_select.rs`).
+
+use crate::bitmap::{BinSpec, BitmapIndex};
+use cim_simkit::bitvec::BitVec;
+
+/// Size class of a star in the example dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StarSize {
+    /// Large star.
+    Large,
+    /// Medium star.
+    Medium,
+    /// Small star.
+    Small,
+}
+
+/// One catalog entry of Fig. 2(a).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Star {
+    /// Single-letter identifier (A–H).
+    pub name: char,
+    /// Distance (the paper's unit-less "Dist." column).
+    pub distance: u32,
+    /// Size class.
+    pub size: StarSize,
+    /// Discovery year.
+    pub year: u32,
+}
+
+/// Distance above which a star is binned as "far".
+pub const FAR_THRESHOLD: u32 = 40;
+/// Year from which a star is binned as "new".
+pub const NEW_THRESHOLD: u32 = 2010;
+
+/// The eight stars of Fig. 2(a).
+pub fn star_catalog() -> Vec<Star> {
+    use StarSize::*;
+    vec![
+        Star { name: 'A', distance: 55, size: Large, year: 2016 },
+        Star { name: 'B', distance: 23, size: Medium, year: 2014 },
+        Star { name: 'C', distance: 43, size: Small, year: 2015 },
+        Star { name: 'D', distance: 60, size: Medium, year: 2016 },
+        Star { name: 'E', distance: 25, size: Medium, year: 2000 },
+        Star { name: 'F', distance: 34, size: Medium, year: 2001 },
+        Star { name: 'G', distance: 18, size: Small, year: 2012 },
+        Star { name: 'H', distance: 30, size: Small, year: 2011 },
+    ]
+}
+
+/// The transposed bitmap representation of Fig. 2(b): seven named rows,
+/// one column per star.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StarBitmap {
+    /// Row labels in storage order.
+    pub labels: Vec<&'static str>,
+    /// One bitmap row per label.
+    pub rows: Vec<BitVec>,
+}
+
+impl StarBitmap {
+    /// Builds the seven-row bitmap from a catalog.
+    pub fn build(stars: &[Star]) -> Self {
+        let n = stars.len();
+        let row = |f: &dyn Fn(&Star) -> bool| BitVec::from_fn(n, |i| f(&stars[i]));
+        StarBitmap {
+            labels: vec![
+                "dist:far", "dist:near", "size:large", "size:medium", "size:small",
+                "year:new", "year:old",
+            ],
+            rows: vec![
+                row(&|s| s.distance > FAR_THRESHOLD),
+                row(&|s| s.distance <= FAR_THRESHOLD),
+                row(&|s| s.size == StarSize::Large),
+                row(&|s| s.size == StarSize::Medium),
+                row(&|s| s.size == StarSize::Small),
+                row(&|s| s.year >= NEW_THRESHOLD),
+                row(&|s| s.year < NEW_THRESHOLD),
+            ],
+        }
+    }
+
+    /// The bitmap row with the given label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is unknown.
+    pub fn row(&self, label: &str) -> &BitVec {
+        let idx = self
+            .labels
+            .iter()
+            .position(|&l| l == label)
+            .unwrap_or_else(|| panic!("unknown bitmap row label: {label}"));
+        &self.rows[idx]
+    }
+}
+
+/// A distance bitmap index over the catalog as a two-bin range index —
+/// the generic-machinery version of the far/near rows.
+pub fn distance_index(stars: &[Star]) -> BitmapIndex {
+    let distances: Vec<i64> = stars.iter().map(|s| s.distance as i64).collect();
+    BitmapIndex::build(
+        BinSpec::Ranges {
+            edges: vec![0, FAR_THRESHOLD as i64 + 1, 1000],
+        },
+        &distances,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_figure() {
+        let stars = star_catalog();
+        assert_eq!(stars.len(), 8);
+        assert_eq!(stars[0].name, 'A');
+        assert_eq!(stars[3].distance, 60);
+        assert_eq!(stars[6].year, 2012);
+    }
+
+    #[test]
+    fn bitmap_has_seven_rows() {
+        let bm = StarBitmap::build(&star_catalog());
+        assert_eq!(bm.rows.len(), 7);
+        assert_eq!(bm.labels.len(), 7);
+    }
+
+    #[test]
+    fn far_stars_are_a_c_d() {
+        let bm = StarBitmap::build(&star_catalog());
+        let far = bm.row("dist:far");
+        let names: Vec<usize> = far.iter_ones().collect();
+        assert_eq!(names, vec![0, 2, 3]); // A, C, D
+    }
+
+    #[test]
+    fn complementary_rows_partition() {
+        let bm = StarBitmap::build(&star_catalog());
+        assert_eq!(bm.row("dist:far").and(bm.row("dist:near")).count_ones(), 0);
+        assert_eq!(bm.row("dist:far").or(bm.row("dist:near")).count_ones(), 8);
+        assert_eq!(bm.row("year:new").or(bm.row("year:old")).count_ones(), 8);
+    }
+
+    #[test]
+    fn size_rows_partition() {
+        let bm = StarBitmap::build(&star_catalog());
+        let total = bm.row("size:large").count_ones()
+            + bm.row("size:medium").count_ones()
+            + bm.row("size:small").count_ones();
+        assert_eq!(total, 8);
+        assert_eq!(bm.row("size:large").count_ones(), 1); // only A
+    }
+
+    #[test]
+    fn example_query_medium_and_new() {
+        // "medium stars discovered since 2010" = B and D.
+        let bm = StarBitmap::build(&star_catalog());
+        let sel = bm.row("size:medium").and(bm.row("year:new"));
+        let hits: Vec<usize> = sel.iter_ones().collect();
+        assert_eq!(hits, vec![1, 3]);
+    }
+
+    #[test]
+    fn range_index_agrees_with_rows() {
+        let stars = star_catalog();
+        let idx = distance_index(&stars);
+        let bm = StarBitmap::build(&stars);
+        // Bin 0 = near (0..=40), bin 1 = far (41..).
+        assert_eq!(idx.bin(0), bm.row("dist:near"));
+        assert_eq!(idx.bin(1), bm.row("dist:far"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown bitmap row label")]
+    fn unknown_label_panics() {
+        let bm = StarBitmap::build(&star_catalog());
+        let _ = bm.row("size:gigantic");
+    }
+}

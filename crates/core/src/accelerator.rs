@@ -1,0 +1,405 @@
+//! The CIM accelerator: tiles, executor and statistics.
+//!
+//! [`CimAccelerator`] owns a set of digital tiles (binary ReRAM arrays
+//! with Scouting Logic) and analog tiles (PCM differential crossbars for
+//! signed matrix-vector products), executes [`CimInstruction`]s against
+//! them, and accounts per-class operation counts, energy and busy time.
+//!
+//! Construction goes through [`CimAcceleratorBuilder`] (C-BUILDER): tile
+//! counts and geometries vary per application, and the accelerator owns a
+//! seeded RNG so whole workloads are reproducible.
+
+use crate::isa::{CimInstruction, CimResponse};
+use cim_crossbar::analog::{AnalogParams, DifferentialCrossbar};
+use cim_crossbar::digital::DigitalArray;
+use cim_crossbar::energy::OperationCost;
+use cim_device::reram::ReramParams;
+use cim_simkit::rng::seeded;
+use cim_simkit::units::{Joules, Seconds};
+use rand::rngs::StdRng;
+
+/// Aggregate execution statistics of an accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExecutionStats {
+    /// Row writes executed.
+    pub row_writes: u64,
+    /// Row reads executed.
+    pub row_reads: u64,
+    /// Scouting-Logic operations executed.
+    pub logic_ops: u64,
+    /// Matrix programming operations executed.
+    pub matrix_programs: u64,
+    /// Analog matrix-vector products executed (forward + transpose).
+    pub mvms: u64,
+    /// Total energy over all executed instructions.
+    pub energy: Joules,
+    /// Total busy time over all executed instructions.
+    pub busy_time: Seconds,
+}
+
+impl ExecutionStats {
+    /// Total instruction count.
+    pub fn instructions(&self) -> u64 {
+        self.row_writes + self.row_reads + self.logic_ops + self.matrix_programs + self.mvms
+    }
+}
+
+/// Builder for [`CimAccelerator`].
+#[derive(Debug, Clone)]
+pub struct CimAcceleratorBuilder {
+    digital: Vec<(usize, usize)>,
+    analog: Vec<(usize, usize)>,
+    reram: ReramParams,
+    analog_params: AnalogParams,
+    seed: u64,
+}
+
+impl CimAcceleratorBuilder {
+    /// Starts an empty accelerator description.
+    pub fn new() -> Self {
+        CimAcceleratorBuilder {
+            digital: Vec::new(),
+            analog: Vec::new(),
+            reram: ReramParams::default(),
+            analog_params: AnalogParams::default(),
+            seed: 0,
+        }
+    }
+
+    /// Adds `count` digital tiles of `rows × cols` devices.
+    pub fn digital_tiles(&mut self, count: usize, rows: usize, cols: usize) -> &mut Self {
+        self.digital.extend(std::iter::repeat((rows, cols)).take(count));
+        self
+    }
+
+    /// Adds `count` analog (differential) tiles of `rows × cols` weights.
+    pub fn analog_tiles(&mut self, count: usize, rows: usize, cols: usize) -> &mut Self {
+        self.analog.extend(std::iter::repeat((rows, cols)).take(count));
+        self
+    }
+
+    /// Sets the binary-device technology for digital tiles.
+    pub fn reram_params(&mut self, params: ReramParams) -> &mut Self {
+        self.reram = params;
+        self
+    }
+
+    /// Sets the analog tile configuration (PCM devices, converters).
+    pub fn analog_params(&mut self, params: AnalogParams) -> &mut Self {
+        self.analog_params = params;
+        self
+    }
+
+    /// Sets the RNG seed used for fabrication variation and runtime noise.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Fabricates the accelerator.
+    pub fn build(&self) -> CimAccelerator {
+        let mut rng = seeded(self.seed);
+        let digital_tiles = self
+            .digital
+            .iter()
+            .map(|&(r, c)| DigitalArray::new(r, c, self.reram, &mut rng))
+            .collect();
+        let analog_tiles = self
+            .analog
+            .iter()
+            .map(|&(r, c)| DifferentialCrossbar::new(r, c, self.analog_params))
+            .collect();
+        CimAccelerator {
+            digital_tiles,
+            analog_tiles,
+            rng,
+            stats: ExecutionStats::default(),
+        }
+    }
+}
+
+impl Default for CimAcceleratorBuilder {
+    fn default() -> Self {
+        CimAcceleratorBuilder::new()
+    }
+}
+
+/// A fabricated CIM accelerator instance.
+#[derive(Debug)]
+pub struct CimAccelerator {
+    digital_tiles: Vec<DigitalArray>,
+    analog_tiles: Vec<DifferentialCrossbar>,
+    rng: StdRng,
+    stats: ExecutionStats,
+}
+
+impl CimAccelerator {
+    /// Number of digital tiles.
+    pub fn digital_tile_count(&self) -> usize {
+        self.digital_tiles.len()
+    }
+
+    /// Number of analog tiles.
+    pub fn analog_tile_count(&self) -> usize {
+        self.analog_tiles.len()
+    }
+
+    /// Accumulated execution statistics.
+    pub fn stats(&self) -> &ExecutionStats {
+        &self.stats
+    }
+
+    /// Direct access to a digital tile (for workload setup/inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile index is out of range.
+    pub fn digital_tile(&self, tile: usize) -> &DigitalArray {
+        &self.digital_tiles[tile]
+    }
+
+    /// Direct access to an analog tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile index is out of range.
+    pub fn analog_tile(&self, tile: usize) -> &DifferentialCrossbar {
+        &self.analog_tiles[tile]
+    }
+
+    /// Executes one instruction, returning its response.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed instructions: unknown tile indices, shape
+    /// mismatches, or unsupported logic fan-in (the conditions documented
+    /// on the underlying tile operations).
+    pub fn execute(&mut self, instruction: CimInstruction) -> CimResponse {
+        self.execute_with_cost(instruction).0
+    }
+
+    /// Executes one instruction, returning the response and its cost.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::execute`].
+    pub fn execute_with_cost(
+        &mut self,
+        instruction: CimInstruction,
+    ) -> (CimResponse, OperationCost) {
+        match instruction {
+            CimInstruction::WriteRow { tile, row, bits } => {
+                let cost = self.digital_tiles[tile].write_row(row, &bits);
+                self.stats.row_writes += 1;
+                self.account(cost);
+                (CimResponse::Done, cost)
+            }
+            CimInstruction::ReadRow { tile, row } => {
+                let t = &mut self.digital_tiles[tile];
+                let before = t.stats().energy;
+                let bits = t.read_row(row, &mut self.rng);
+                let cost = OperationCost {
+                    energy: t.stats().energy - before,
+                    latency: t.params().read_latency,
+                };
+                self.stats.row_reads += 1;
+                self.account(cost);
+                (CimResponse::Bits(bits), cost)
+            }
+            CimInstruction::Logic { tile, op, rows } => {
+                let (bits, cost) =
+                    self.digital_tiles[tile].scout_with_cost(op, &rows, &mut self.rng);
+                self.stats.logic_ops += 1;
+                self.account(cost);
+                (CimResponse::Bits(bits), cost)
+            }
+            CimInstruction::ProgramMatrix { tile, matrix } => {
+                let cost = self.analog_tiles[tile].program_matrix(&matrix, &mut self.rng);
+                self.stats.matrix_programs += 1;
+                self.account(cost);
+                (CimResponse::Done, cost)
+            }
+            CimInstruction::Mvm { tile, x } => {
+                let (y, cost) = self.analog_tiles[tile].matvec_with_cost(&x, &mut self.rng);
+                self.stats.mvms += 1;
+                self.account(cost);
+                (CimResponse::Vector(y), cost)
+            }
+            CimInstruction::MvmT { tile, z } => {
+                let t = &mut self.analog_tiles[tile];
+                let before = t.stats();
+                let y = t.matvec_t(&z, &mut self.rng);
+                let after = t.stats();
+                let cost = OperationCost {
+                    energy: after.energy - before.energy,
+                    latency: after.busy_time - before.busy_time,
+                };
+                self.stats.mvms += 1;
+                self.account(cost);
+                (CimResponse::Vector(y), cost)
+            }
+        }
+    }
+
+    /// Runs a straight-line sequence of instructions, returning the last
+    /// response (or `Done` for an empty sequence).
+    pub fn run<I: IntoIterator<Item = CimInstruction>>(&mut self, program: I) -> CimResponse {
+        let mut last = CimResponse::Done;
+        for instr in program {
+            last = self.execute(instr);
+        }
+        last
+    }
+
+    fn account(&mut self, cost: OperationCost) {
+        self.stats.energy += cost.energy;
+        self.stats.busy_time += cost.latency;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_crossbar::scouting::ScoutOp;
+    use cim_simkit::bitvec::BitVec;
+    use cim_simkit::linalg::Matrix;
+
+    fn small_accelerator() -> CimAccelerator {
+        CimAcceleratorBuilder::new()
+            .digital_tiles(2, 8, 32)
+            .analog_tiles(1, 8, 8)
+            .analog_params(AnalogParams::ideal())
+            .seed(3)
+            .build()
+    }
+
+    #[test]
+    fn builder_creates_requested_tiles() {
+        let acc = small_accelerator();
+        assert_eq!(acc.digital_tile_count(), 2);
+        assert_eq!(acc.analog_tile_count(), 1);
+        assert_eq!(acc.digital_tile(0).shape(), (8, 32));
+        assert_eq!(acc.analog_tile(0).shape(), (8, 8));
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut acc = small_accelerator();
+        let bits = BitVec::from_fn(32, |i| i % 3 == 0);
+        acc.execute(CimInstruction::WriteRow {
+            tile: 1,
+            row: 4,
+            bits: bits.clone(),
+        });
+        let resp = acc.execute(CimInstruction::ReadRow { tile: 1, row: 4 });
+        assert_eq!(resp.into_bits().unwrap(), bits);
+    }
+
+    #[test]
+    fn logic_instruction_computes_boolean() {
+        let mut acc = small_accelerator();
+        let a = BitVec::from_fn(32, |i| i % 2 == 0);
+        let b = BitVec::from_fn(32, |i| i % 4 == 0);
+        acc.run([
+            CimInstruction::WriteRow { tile: 0, row: 0, bits: a.clone() },
+            CimInstruction::WriteRow { tile: 0, row: 1, bits: b.clone() },
+        ]);
+        let and = acc
+            .execute(CimInstruction::Logic { tile: 0, op: ScoutOp::And, rows: vec![0, 1] })
+            .into_bits()
+            .unwrap();
+        assert_eq!(and, a.and(&b));
+    }
+
+    #[test]
+    fn mvm_round_trip() {
+        let mut acc = small_accelerator();
+        let m = Matrix::from_fn(8, 8, |i, j| (i as f64 - j as f64) / 8.0);
+        acc.execute(CimInstruction::ProgramMatrix { tile: 0, matrix: m.clone() });
+        let x = vec![0.5; 8];
+        let y = acc
+            .execute(CimInstruction::Mvm { tile: 0, x: x.clone() })
+            .into_vector()
+            .unwrap();
+        let y_exact = m.matvec(&x);
+        for (a, b) in y.iter().zip(&y_exact) {
+            assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+        let z = vec![0.25; 8];
+        let yt = acc
+            .execute(CimInstruction::MvmT { tile: 0, z: z.clone() })
+            .into_vector()
+            .unwrap();
+        let yt_exact = m.matvec_t(&z);
+        for (a, b) in yt.iter().zip(&yt_exact) {
+            assert!((a - b).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn stats_count_every_instruction_class() {
+        let mut acc = small_accelerator();
+        acc.execute(CimInstruction::WriteRow { tile: 0, row: 0, bits: BitVec::zeros(32) });
+        acc.execute(CimInstruction::WriteRow { tile: 0, row: 1, bits: BitVec::ones(32) });
+        acc.execute(CimInstruction::ReadRow { tile: 0, row: 0 });
+        acc.execute(CimInstruction::Logic { tile: 0, op: ScoutOp::Or, rows: vec![0, 1] });
+        acc.execute(CimInstruction::ProgramMatrix {
+            tile: 0,
+            matrix: Matrix::from_fn(8, 8, |i, j| ((i + j) % 2) as f64),
+        });
+        acc.execute(CimInstruction::Mvm { tile: 0, x: vec![0.0; 8] });
+        let s = acc.stats();
+        assert_eq!(s.row_writes, 2);
+        assert_eq!(s.row_reads, 1);
+        assert_eq!(s.logic_ops, 1);
+        assert_eq!(s.matrix_programs, 1);
+        assert_eq!(s.mvms, 1);
+        assert_eq!(s.instructions(), 6);
+        assert!(s.energy.0 > 0.0);
+        assert!(s.busy_time.0 > 0.0);
+    }
+
+    #[test]
+    fn costs_sum_to_stats() {
+        let mut acc = small_accelerator();
+        let mut total = Joules::ZERO;
+        for row in 0..4 {
+            let (_, c) = acc.execute_with_cost(CimInstruction::WriteRow {
+                tile: 0,
+                row,
+                bits: BitVec::ones(32),
+            });
+            total += c.energy;
+        }
+        let (_, c) = acc.execute_with_cost(CimInstruction::Logic {
+            tile: 0,
+            op: ScoutOp::And,
+            rows: vec![0, 1, 2, 3],
+        });
+        total += c.energy;
+        assert!((acc.stats().energy.0 - total.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut acc = small_accelerator();
+            acc.execute(CimInstruction::WriteRow {
+                tile: 0,
+                row: 0,
+                bits: BitVec::from_fn(32, |i| i % 5 == 0),
+            });
+            acc.execute(CimInstruction::ReadRow { tile: 0, row: 0 })
+                .into_bits()
+                .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn unknown_tile_panics() {
+        let mut acc = small_accelerator();
+        acc.execute(CimInstruction::ReadRow { tile: 9, row: 0 });
+    }
+}

@@ -1,0 +1,182 @@
+//! Extended address space mapping.
+//!
+//! §II-B: "Like the main memory, CIM core is addressable from the
+//! processor and uses an extended address space." [`AddressMap`] places a
+//! bank of identical tiles at a base address; byte addresses translate to
+//! a `(tile, row)` coordinate plus an offset within the row. Data stored
+//! in the CIM core is not duplicated in DRAM, so the map also answers
+//! which address ranges the (simplified) coherence scheme must treat as
+//! uncacheable.
+
+use cim_simkit::units::ByteSize;
+use std::fmt;
+
+/// A `(tile, row, byte offset)` coordinate inside the CIM core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileRow {
+    /// Tile index.
+    pub tile: usize,
+    /// Row within the tile.
+    pub row: usize,
+    /// Byte offset within the row.
+    pub offset: usize,
+}
+
+/// Linear mapping of a physical address window onto CIM tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    base: u64,
+    tiles: usize,
+    rows_per_tile: usize,
+    row_bytes: usize,
+}
+
+impl AddressMap {
+    /// Creates a map for `tiles` tiles of `rows_per_tile` rows of
+    /// `row_bytes` bytes each, starting at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(base: u64, tiles: usize, rows_per_tile: usize, row_bytes: usize) -> Self {
+        assert!(tiles > 0 && rows_per_tile > 0 && row_bytes > 0, "empty address map");
+        AddressMap {
+            base,
+            tiles,
+            rows_per_tile,
+            row_bytes,
+        }
+    }
+
+    /// First byte address of the CIM window.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Total capacity of the mapped CIM core.
+    pub fn capacity(&self) -> ByteSize {
+        ByteSize((self.tiles * self.rows_per_tile * self.row_bytes) as u64)
+    }
+
+    /// One past the last mapped byte address.
+    pub fn end(&self) -> u64 {
+        self.base + self.capacity().bytes()
+    }
+
+    /// `true` if the address falls inside the CIM window (and must bypass
+    /// the host caches under the simplified coherence scheme).
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+
+    /// Translates a byte address to its tile/row coordinate.
+    /// Rows are interleaved across tiles so that consecutive rows of a
+    /// dataset land on different tiles and can be scouted in parallel.
+    ///
+    /// Returns `None` if the address is outside the window.
+    pub fn translate(&self, addr: u64) -> Option<TileRow> {
+        if !self.contains(addr) {
+            return None;
+        }
+        let rel = (addr - self.base) as usize;
+        let row_index = rel / self.row_bytes;
+        let offset = rel % self.row_bytes;
+        let tile = row_index % self.tiles;
+        let row = row_index / self.tiles;
+        if row >= self.rows_per_tile {
+            return None;
+        }
+        Some(TileRow { tile, row, offset })
+    }
+
+    /// Inverse of [`Self::translate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate lies outside the map.
+    pub fn address_of(&self, loc: TileRow) -> u64 {
+        assert!(loc.tile < self.tiles, "tile out of range");
+        assert!(loc.row < self.rows_per_tile, "row out of range");
+        assert!(loc.offset < self.row_bytes, "offset out of range");
+        let row_index = loc.row * self.tiles + loc.tile;
+        self.base + (row_index * self.row_bytes + loc.offset) as u64
+    }
+}
+
+impl fmt::Display for AddressMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CIM window 0x{:x}..0x{:x} ({} across {} tiles)",
+            self.base,
+            self.end(),
+            self.capacity(),
+            self.tiles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> AddressMap {
+        // 4 tiles × 1024 rows × 128 B rows = 512 KiB at 16 MiB.
+        AddressMap::new(16 << 20, 4, 1024, 128)
+    }
+
+    #[test]
+    fn capacity_and_bounds() {
+        let m = map();
+        assert_eq!(m.capacity(), ByteSize::kibibytes(512));
+        assert!(m.contains(m.base()));
+        assert!(m.contains(m.end() - 1));
+        assert!(!m.contains(m.end()));
+        assert!(!m.contains(m.base() - 1));
+    }
+
+    #[test]
+    fn translation_round_trip() {
+        let m = map();
+        for addr in [m.base(), m.base() + 127, m.base() + 128, m.base() + 129, m.end() - 1] {
+            let loc = m.translate(addr).expect("in range");
+            assert_eq!(m.address_of(loc), addr - (addr - m.base()) % 1 + 0);
+            assert_eq!(m.address_of(loc), addr);
+        }
+    }
+
+    #[test]
+    fn rows_interleave_across_tiles() {
+        let m = map();
+        let r0 = m.translate(m.base()).unwrap();
+        let r1 = m.translate(m.base() + 128).unwrap();
+        let r2 = m.translate(m.base() + 256).unwrap();
+        assert_eq!((r0.tile, r0.row), (0, 0));
+        assert_eq!((r1.tile, r1.row), (1, 0));
+        assert_eq!((r2.tile, r2.row), (2, 0));
+        // After a full stripe the row index advances.
+        let r4 = m.translate(m.base() + 4 * 128).unwrap();
+        assert_eq!((r4.tile, r4.row), (0, 1));
+    }
+
+    #[test]
+    fn out_of_window_is_none() {
+        let m = map();
+        assert_eq!(m.translate(0), None);
+        assert_eq!(m.translate(m.end()), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = format!("{}", map());
+        assert!(s.contains("tiles"));
+        assert!(s.contains("512.00 KiB"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row out of range")]
+    fn address_of_validates() {
+        let m = map();
+        let _ = m.address_of(TileRow { tile: 0, row: 5000, offset: 0 });
+    }
+}

@@ -1,0 +1,186 @@
+//! The CIM instruction set and the CIM-A / CIM-P taxonomy.
+//!
+//! §I of the paper divides CIM designs by *where the result of the
+//! computation is produced*: inside the memory array (**CIM-A**, e.g.
+//! majority/implication logic in the cells) or in the peripheral circuits
+//! (**CIM-P**, e.g. Scouting Logic in the sense amplifiers, analog MVM in
+//! the column ADCs). Every instruction below carries its class; the
+//! accelerator in this workspace is a CIM-P design throughout, matching
+//! the paper's choice ("CIM-P entails a lesser impact on the design").
+
+use cim_crossbar::scouting::ScoutOp;
+use cim_simkit::bitvec::BitVec;
+use cim_simkit::linalg::Matrix;
+
+/// Where a CIM operation produces its result (§I taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CimClass {
+    /// Result produced inside the memory array (cell states change).
+    Array,
+    /// Result produced in the peripheral circuitry (sense amplifiers,
+    /// ADCs); cell states are only read.
+    Periphery,
+}
+
+/// One instruction for the CIM accelerator.
+///
+/// Tile indices address digital tiles for bit-wise instructions and
+/// analog tiles for matrix instructions; the two tile families have
+/// separate index spaces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CimInstruction {
+    /// Store a bit vector into a digital tile row.
+    WriteRow {
+        /// Digital tile index.
+        tile: usize,
+        /// Row within the tile.
+        row: usize,
+        /// Bits to store (must match the tile width).
+        bits: BitVec,
+    },
+    /// Read a digital tile row through its sense amplifiers.
+    ReadRow {
+        /// Digital tile index.
+        tile: usize,
+        /// Row within the tile.
+        row: usize,
+    },
+    /// Scouting-Logic bit-wise operation over stored rows (single access).
+    Logic {
+        /// Digital tile index.
+        tile: usize,
+        /// Bit-wise operation.
+        op: ScoutOp,
+        /// Activated rows (2+ for OR/AND, exactly 2 for XOR).
+        rows: Vec<usize>,
+    },
+    /// Program a signed matrix into an analog tile (differential pair).
+    ProgramMatrix {
+        /// Analog tile index.
+        tile: usize,
+        /// The matrix to program.
+        matrix: Matrix,
+    },
+    /// Analog matrix-vector product `A·x` on an analog tile.
+    Mvm {
+        /// Analog tile index.
+        tile: usize,
+        /// Input vector (length = matrix columns).
+        x: Vec<f64>,
+    },
+    /// Analog transpose product `Aᵀ·z` on the same analog tile.
+    MvmT {
+        /// Analog tile index.
+        tile: usize,
+        /// Input vector (length = matrix rows).
+        z: Vec<f64>,
+    },
+}
+
+impl CimInstruction {
+    /// The taxonomy class of this instruction. Everything this
+    /// accelerator executes is CIM-P except matrix programming, which
+    /// changes cell states.
+    pub fn class(&self) -> CimClass {
+        match self {
+            CimInstruction::WriteRow { .. } | CimInstruction::ProgramMatrix { .. } => {
+                CimClass::Array
+            }
+            _ => CimClass::Periphery,
+        }
+    }
+
+    /// Short mnemonic for traces and reports.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            CimInstruction::WriteRow { .. } => "CIM.WR",
+            CimInstruction::ReadRow { .. } => "CIM.RD",
+            CimInstruction::Logic { op, .. } => match op {
+                ScoutOp::Or => "CIM.OR",
+                ScoutOp::And => "CIM.AND",
+                ScoutOp::Xor => "CIM.XOR",
+            },
+            CimInstruction::ProgramMatrix { .. } => "CIM.PROG",
+            CimInstruction::Mvm { .. } => "CIM.MVM",
+            CimInstruction::MvmT { .. } => "CIM.MVMT",
+        }
+    }
+}
+
+/// The value an instruction returns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CimResponse {
+    /// No data (writes, programming).
+    Done,
+    /// A bit vector (row reads, logic operations).
+    Bits(BitVec),
+    /// A real vector (matrix products).
+    Vector(Vec<f64>),
+}
+
+impl CimResponse {
+    /// Extracts the bit-vector payload, if any.
+    pub fn into_bits(self) -> Option<BitVec> {
+        match self {
+            CimResponse::Bits(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Extracts the real-vector payload, if any.
+    pub fn into_vector(self) -> Option<Vec<f64>> {
+        match self {
+            CimResponse::Vector(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_follow_taxonomy() {
+        let wr = CimInstruction::WriteRow {
+            tile: 0,
+            row: 0,
+            bits: BitVec::zeros(4),
+        };
+        assert_eq!(wr.class(), CimClass::Array);
+        let logic = CimInstruction::Logic {
+            tile: 0,
+            op: ScoutOp::Or,
+            rows: vec![0, 1],
+        };
+        assert_eq!(logic.class(), CimClass::Periphery);
+        let mvm = CimInstruction::Mvm { tile: 0, x: vec![] };
+        assert_eq!(mvm.class(), CimClass::Periphery);
+    }
+
+    #[test]
+    fn mnemonics_are_distinct_per_logic_op() {
+        let mk = |op| CimInstruction::Logic {
+            tile: 0,
+            op,
+            rows: vec![0, 1],
+        };
+        assert_eq!(mk(ScoutOp::Or).mnemonic(), "CIM.OR");
+        assert_eq!(mk(ScoutOp::And).mnemonic(), "CIM.AND");
+        assert_eq!(mk(ScoutOp::Xor).mnemonic(), "CIM.XOR");
+    }
+
+    #[test]
+    fn response_extractors() {
+        assert_eq!(CimResponse::Done.into_bits(), None);
+        assert_eq!(
+            CimResponse::Bits(BitVec::ones(3)).into_bits(),
+            Some(BitVec::ones(3))
+        );
+        assert_eq!(
+            CimResponse::Vector(vec![1.0]).into_vector(),
+            Some(vec![1.0])
+        );
+        assert_eq!(CimResponse::Bits(BitVec::ones(3)).into_vector(), None);
+    }
+}

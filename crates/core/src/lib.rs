@@ -1,0 +1,64 @@
+//! # cim-core
+//!
+//! The CIM accelerator as a library — the architecture contribution of the
+//! DATE'19 paper assembled from the workspace substrates.
+//!
+//! Figure 1 of the paper shows the target system: a conventional CPU with
+//! its DRAM, plus a **CIM core** used as an on-chip accelerator. The CIM
+//! core consists of dense memristive crossbar tiles and CMOS periphery;
+//! the processor reaches it through an extended address space, and
+//! memory-intensive loops are offloaded to it while the rest of the
+//! program stays on the host.
+//!
+//! * [`isa`] — the CIM instruction set: row writes/reads, Scouting-Logic
+//!   operations, analog matrix-vector products and matrix programming.
+//!   Each instruction documents whether it computes in the array
+//!   (CIM-A) or in the periphery (CIM-P), the taxonomy of §I.
+//! * [`accelerator`] — [`CimAccelerator`]: a set of digital and analog
+//!   tiles with an executor that runs instructions and accounts energy,
+//!   latency and operation counts.
+//! * [`address`] — the extended address space mapping host addresses onto
+//!   (tile, row) coordinates.
+//! * [`offload`] — the Fig. 1(b) execution model: programs as host
+//!   sections and CIM-able loops, planned onto the architecture and
+//!   costed with the `cim-arch` analytical models.
+//!
+//! # Example
+//!
+//! ```
+//! use cim_core::accelerator::CimAcceleratorBuilder;
+//! use cim_core::isa::CimInstruction;
+//! use cim_crossbar::scouting::ScoutOp;
+//! use cim_simkit::bitvec::BitVec;
+//!
+//! let mut acc = CimAcceleratorBuilder::new()
+//!     .digital_tiles(1, 8, 64)
+//!     .seed(1)
+//!     .build();
+//! acc.execute(CimInstruction::WriteRow {
+//!     tile: 0,
+//!     row: 0,
+//!     bits: BitVec::ones(64),
+//! });
+//! acc.execute(CimInstruction::WriteRow {
+//!     tile: 0,
+//!     row: 1,
+//!     bits: BitVec::zeros(64),
+//! });
+//! let resp = acc.execute(CimInstruction::Logic {
+//!     tile: 0,
+//!     op: ScoutOp::Xor,
+//!     rows: vec![0, 1],
+//! });
+//! assert_eq!(resp.into_bits().unwrap().count_ones(), 64);
+//! ```
+
+pub mod accelerator;
+pub mod address;
+pub mod isa;
+pub mod offload;
+
+pub use accelerator::{CimAccelerator, CimAcceleratorBuilder, ExecutionStats};
+pub use address::{AddressMap, TileRow};
+pub use isa::{CimClass, CimInstruction, CimResponse};
+pub use offload::{OffloadEstimate, Program, Section};

@@ -1,0 +1,724 @@
+//! Analog matrix-vector multiplication in a PCM crossbar.
+//!
+//! The measurement matrix (or weight matrix) is programmed as device
+//! conductances; a matrix-vector product is one physical read:
+//!
+//! 1. the input vector is quantized by row DACs and applied as voltages
+//!    (negative elements as negative voltages, §III-B-2),
+//! 2. every column wire sums `I_j = Σ_i V_i·G_ij` (Ohm + Kirchhoff),
+//! 3. a reference column carrying the zero-weight conductance `g_min` is
+//!    subtracted to remove the mapping offset,
+//! 4. column ADCs digitize the currents, and the result is rescaled back
+//!    to weight×input units.
+//!
+//! The transpose product `Aᵀ·z` drives the *columns* and reads the *rows*
+//! of the same array — this is what lets AMP reuse one programmed matrix
+//! for both of its products (§III-B-2).
+//!
+//! [`DifferentialCrossbar`] pairs two arrays with a subtraction circuit to
+//! represent signed matrices.
+
+use crate::energy::{CrossbarEnergyModel, OperationCost};
+use crate::mapping::{split_signed, ConductanceMapping};
+use cim_device::pcm::{PcmDevice, PcmParams};
+use cim_simkit::linalg::Matrix;
+use cim_simkit::quant::UniformQuantizer;
+use cim_simkit::units::{Joules, Seconds, Volts};
+use rand::Rng;
+
+/// Configuration of an analog crossbar tile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalogParams {
+    /// Device technology parameters.
+    pub pcm: PcmParams,
+    /// Row-DAC resolution in bits.
+    pub dac_bits: u32,
+    /// Column-ADC resolution in bits.
+    pub adc_bits: u32,
+    /// Relative tolerance for iterative program-and-verify.
+    pub program_tolerance: f64,
+    /// Time elapsed since programming, applied as drift on every read.
+    pub age: Seconds,
+    /// Full-scale read voltage on a row.
+    pub read_voltage: Volts,
+    /// Input magnitude mapped to the full-scale read voltage when
+    /// dynamic scaling is off.
+    pub input_full_scale: f64,
+    /// Digitally pre-scale every input vector so its largest magnitude
+    /// hits the DAC full scale (and undo the factor on the outputs).
+    /// This is the standard per-vector scaling used by analog MVM
+    /// hardware; disable it only to study DAC clipping.
+    pub dynamic_input_scaling: bool,
+    /// Optional ADC full-scale current override. `None` sizes the ADC to
+    /// the worst-case column current (never clips, coarser steps).
+    pub adc_full_scale_override: Option<f64>,
+}
+
+impl Default for AnalogParams {
+    fn default() -> Self {
+        AnalogParams {
+            pcm: PcmParams::default(),
+            dac_bits: 8,
+            adc_bits: 8,
+            program_tolerance: 0.01,
+            age: Seconds(1.0),
+            read_voltage: Volts(0.2),
+            input_full_scale: 1.0,
+            dynamic_input_scaling: true,
+            adc_full_scale_override: None,
+        }
+    }
+}
+
+impl AnalogParams {
+    /// Idealized configuration (noise-free devices, 16-bit converters) for
+    /// isolating algorithmic behaviour from analog non-idealities.
+    pub fn ideal() -> Self {
+        AnalogParams {
+            pcm: PcmParams::ideal(),
+            dac_bits: 16,
+            adc_bits: 16,
+            program_tolerance: 1e-6,
+            ..AnalogParams::default()
+        }
+    }
+}
+
+/// Execution statistics accumulated by a crossbar tile.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CrossbarStats {
+    /// Completed forward matrix-vector products.
+    pub mvms: u64,
+    /// Completed transpose matrix-vector products.
+    pub transpose_mvms: u64,
+    /// Matrix programming operations.
+    pub programs: u64,
+    /// Total program-and-verify pulses across all devices.
+    pub program_pulses: u64,
+    /// Total energy across all operations.
+    pub energy: Joules,
+    /// Total busy time across all operations.
+    pub busy_time: Seconds,
+}
+
+/// A single analog crossbar tile storing a non-negative matrix.
+#[derive(Debug, Clone)]
+pub struct AnalogCrossbar {
+    rows: usize,
+    cols: usize,
+    params: AnalogParams,
+    devices: Vec<PcmDevice>,
+    mapping: Option<ConductanceMapping>,
+    energy_model: CrossbarEnergyModel,
+    stats: CrossbarStats,
+}
+
+impl AnalogCrossbar {
+    /// Creates an unprogrammed `rows × cols` tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize, params: AnalogParams) -> Self {
+        assert!(rows > 0 && cols > 0, "crossbar dimensions must be nonzero");
+        let devices = vec![PcmDevice::new(params.pcm); rows * cols];
+        let energy_model = CrossbarEnergyModel::for_tile(rows, cols, params.adc_bits);
+        AnalogCrossbar {
+            rows,
+            cols,
+            params,
+            devices,
+            mapping: None,
+            energy_model,
+            stats: CrossbarStats::default(),
+        }
+    }
+
+    /// Tile dimensions `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Tile configuration.
+    pub fn params(&self) -> &AnalogParams {
+        &self.params
+    }
+
+    /// Accumulated execution statistics.
+    pub fn stats(&self) -> &CrossbarStats {
+        &self.stats
+    }
+
+    /// The active weight↔conductance mapping, if programmed.
+    pub fn mapping(&self) -> Option<&ConductanceMapping> {
+        self.mapping.as_ref()
+    }
+
+    /// Programs a non-negative matrix, deriving the mapping from its
+    /// largest entry. Returns the total programming cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape mismatches the tile, contains negative
+    /// entries, or is all zeros.
+    pub fn program_matrix<R: Rng + ?Sized>(&mut self, m: &Matrix, rng: &mut R) -> OperationCost {
+        let mapping = ConductanceMapping::for_matrix(
+            self.params.pcm.g_min,
+            self.params.pcm.g_max,
+            m,
+        );
+        self.program_matrix_with_mapping(m, mapping, rng)
+    }
+
+    /// Programs a non-negative matrix under an explicit mapping (shared
+    /// across the tiles of a differential pair).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape mismatches the tile or contains negative
+    /// entries.
+    pub fn program_matrix_with_mapping<R: Rng + ?Sized>(
+        &mut self,
+        m: &Matrix,
+        mapping: ConductanceMapping,
+        rng: &mut R,
+    ) -> OperationCost {
+        assert_eq!(
+            (m.rows(), m.cols()),
+            (self.rows, self.cols),
+            "matrix shape mismatch"
+        );
+        let mut pulses = 0u64;
+        let mut energy = Joules::ZERO;
+        let mut latency = Seconds::ZERO;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let w = m.get(i, j);
+                assert!(w >= 0.0, "negative weight {w} on a single-ended tile");
+                let target = mapping.weight_to_conductance(w);
+                let report = self.devices[i * self.cols + j].program_and_verify(
+                    target,
+                    self.params.program_tolerance,
+                    rng,
+                );
+                pulses += report.pulses as u64;
+                energy += report.energy;
+                // Rows are programmed sequentially; devices within a row in
+                // parallel, so the row latency is its slowest device.
+                latency = latency.max(report.latency);
+            }
+        }
+        self.mapping = Some(mapping);
+        self.stats.programs += 1;
+        self.stats.program_pulses += pulses;
+        self.stats.energy += energy;
+        self.stats.busy_time += latency;
+        OperationCost { energy, latency }
+    }
+
+    /// The matrix the tile currently encodes, decoded from programmed
+    /// (noise-free, pre-drift) conductances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile was never programmed.
+    pub fn stored_matrix(&self) -> Matrix {
+        let mapping = self.mapping.expect("crossbar not programmed");
+        Matrix::from_fn(self.rows, self.cols, |i, j| {
+            mapping.conductance_to_weight(self.devices[i * self.cols + j].programmed_conductance())
+        })
+    }
+
+    /// Forward analog product `y = A·x` (`x.len() == cols`, output length
+    /// `rows`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile was never programmed or `x.len() != cols`.
+    pub fn matvec<R: Rng + ?Sized>(&mut self, x: &[f64], rng: &mut R) -> Vec<f64> {
+        self.matvec_with_cost(x, rng).0
+    }
+
+    /// Forward analog product returning the operation cost alongside.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile was never programmed or `x.len() != cols`.
+    pub fn matvec_with_cost<R: Rng + ?Sized>(
+        &mut self,
+        x: &[f64],
+        rng: &mut R,
+    ) -> (Vec<f64>, OperationCost) {
+        assert_eq!(x.len(), self.cols, "input length must equal cols");
+        let (y, cost) = self.product(x, true, rng);
+        self.stats.mvms += 1;
+        self.stats.energy += cost.energy;
+        self.stats.busy_time += cost.latency;
+        (y, cost)
+    }
+
+    /// Transpose analog product `x = Aᵀ·z` (`z.len() == rows`, output
+    /// length `cols`), driving the other axis of the *same* programmed
+    /// array — the reuse AMP exploits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile was never programmed or `z.len() != rows`.
+    pub fn matvec_t<R: Rng + ?Sized>(&mut self, z: &[f64], rng: &mut R) -> Vec<f64> {
+        self.matvec_t_with_cost(z, rng).0
+    }
+
+    /// Transpose analog product returning the operation cost alongside.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile was never programmed or `z.len() != rows`.
+    pub fn matvec_t_with_cost<R: Rng + ?Sized>(
+        &mut self,
+        z: &[f64],
+        rng: &mut R,
+    ) -> (Vec<f64>, OperationCost) {
+        assert_eq!(z.len(), self.rows, "input length must equal rows");
+        let (y, cost) = self.product(z, false, rng);
+        self.stats.transpose_mvms += 1;
+        self.stats.energy += cost.energy;
+        self.stats.busy_time += cost.latency;
+        (y, cost)
+    }
+
+    /// The product `A·x` computed from programmed conductances without
+    /// noise, drift or quantization — the tile's "intent", used to isolate
+    /// programming error in experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile was never programmed.
+    pub fn ideal_matvec(&self, x: &[f64]) -> Vec<f64> {
+        self.stored_matrix().matvec(x)
+    }
+
+    /// Shared analog read path. `forward == true` computes `A·x` (inputs
+    /// indexed by matrix column), `forward == false` computes `Aᵀ·z`
+    /// (inputs indexed by matrix row).
+    fn product<R: Rng + ?Sized>(
+        &self,
+        input: &[f64],
+        forward: bool,
+        rng: &mut R,
+    ) -> (Vec<f64>, OperationCost) {
+        let mapping = self.mapping.expect("crossbar not programmed");
+        let p = &self.params;
+        let (n_in, n_out) = if forward {
+            (self.cols, self.rows)
+        } else {
+            (self.rows, self.cols)
+        };
+
+        // 1. Digital pre-scaler: normalize the vector to the DAC full
+        //    scale (undone on the outputs), then DAC-quantize and convert
+        //    to row voltages.
+        let in_scale = if p.dynamic_input_scaling {
+            let peak = input.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            if peak == 0.0 {
+                // An all-zero vector drives no rows: the converters still
+                // cycle, the devices dissipate nothing.
+                let cost = self.energy_model.mvm_cost(0.0, n_in, n_out);
+                return (vec![0.0; n_out], cost);
+            }
+            peak
+        } else {
+            p.input_full_scale
+        };
+        let dac = UniformQuantizer::mid_tread(p.dac_bits, 1.0);
+        let volts: Vec<f64> = input
+            .iter()
+            .map(|&x| dac.quantize(x / in_scale) * p.read_voltage.0)
+            .collect();
+
+        // 2. Kirchhoff accumulation with per-device read-noise samples,
+        //    tracking instantaneous device power for the energy budget.
+        let mut currents = vec![0.0f64; n_out];
+        let mut device_power = 0.0f64;
+        for i in 0..n_in {
+            let v = volts[i];
+            if v == 0.0 {
+                continue;
+            }
+            for (j, current) in currents.iter_mut().enumerate() {
+                let idx = if forward {
+                    j * self.cols + i
+                } else {
+                    i * self.cols + j
+                };
+                let g = self.devices[idx].read(p.age, rng).0;
+                *current += v * g;
+                device_power += v * v * g;
+            }
+        }
+
+        // 3. Reference-line subtraction of the g_min offset.
+        let v_sum: f64 = volts.iter().sum();
+        let offset = v_sum * mapping.g_min().0;
+        for c in &mut currents {
+            *c -= offset;
+        }
+
+        // 4. ADC quantization in the current domain. Without an explicit
+        //    override the converter auto-ranges to the access's peak
+        //    column current — modelling the programmable-gain stage real
+        //    crossbar read-outs place before the ADC, which preserves
+        //    *relative* precision across widely varying signal levels.
+        let peak_current = currents.iter().fold(0.0f64, |m, c| m.max(c.abs()));
+        let full_scale = p
+            .adc_full_scale_override
+            .unwrap_or(peak_current)
+            .max(1e-18);
+        let adc = UniformQuantizer::mid_tread(p.adc_bits, full_scale);
+        let digitized: Vec<f64> = currents.iter().map(|&c| adc.quantize(c)).collect();
+
+        // 5. Rescale current-domain values to weight×input units,
+        //    undoing the digital pre-scaler.
+        let lsb_scale = in_scale * mapping.w_max()
+            / (p.read_voltage.0 * (mapping.g_max().0 - mapping.g_min().0));
+        let y: Vec<f64> = digitized.iter().map(|&c| c * lsb_scale).collect();
+
+        let cost = self
+            .energy_model
+            .mvm_cost(device_power, n_in, n_out);
+        (y, cost)
+    }
+}
+
+/// A signed-matrix crossbar: positive and negative parts on two tiles,
+/// combined by a subtraction circuit.
+#[derive(Debug, Clone)]
+pub struct DifferentialCrossbar {
+    positive: AnalogCrossbar,
+    negative: AnalogCrossbar,
+}
+
+impl DifferentialCrossbar {
+    /// Creates an unprogrammed differential pair of `rows × cols` tiles.
+    pub fn new(rows: usize, cols: usize, params: AnalogParams) -> Self {
+        DifferentialCrossbar {
+            positive: AnalogCrossbar::new(rows, cols, params),
+            negative: AnalogCrossbar::new(rows, cols, params),
+        }
+    }
+
+    /// Tile dimensions `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.positive.shape()
+    }
+
+    /// Programs a signed matrix: its positive part on one tile, the
+    /// magnitude of its negative part on the other, under one shared
+    /// mapping so the subtraction is consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape mismatches the tiles or is all zeros.
+    pub fn program_matrix<R: Rng + ?Sized>(&mut self, m: &Matrix, rng: &mut R) -> OperationCost {
+        let mapping = ConductanceMapping::for_matrix(
+            self.positive.params.pcm.g_min,
+            self.positive.params.pcm.g_max,
+            m,
+        );
+        let (pos, neg) = split_signed(m);
+        let c1 = self.positive.program_matrix_with_mapping(&pos, mapping, rng);
+        let c2 = self.negative.program_matrix_with_mapping(&neg, mapping, rng);
+        OperationCost {
+            energy: c1.energy + c2.energy,
+            // The two tiles program in parallel.
+            latency: c1.latency.max(c2.latency),
+        }
+    }
+
+    /// The signed matrix currently encoded (positive tile minus negative
+    /// tile, noise-free view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair was never programmed.
+    pub fn stored_matrix(&self) -> Matrix {
+        let p = self.positive.stored_matrix();
+        let n = self.negative.stored_matrix();
+        Matrix::from_fn(p.rows(), p.cols(), |i, j| p.get(i, j) - n.get(i, j))
+    }
+
+    /// Forward product `y = A·x` through both tiles and the subtraction
+    /// circuit.
+    pub fn matvec<R: Rng + ?Sized>(&mut self, x: &[f64], rng: &mut R) -> Vec<f64> {
+        self.matvec_with_cost(x, rng).0
+    }
+
+    /// Forward product with its operation cost (both tiles read in
+    /// parallel: energies add, latencies overlap).
+    pub fn matvec_with_cost<R: Rng + ?Sized>(
+        &mut self,
+        x: &[f64],
+        rng: &mut R,
+    ) -> (Vec<f64>, OperationCost) {
+        let (yp, cp) = self.positive.matvec_with_cost(x, rng);
+        let (yn, cn) = self.negative.matvec_with_cost(x, rng);
+        let y = yp.iter().zip(&yn).map(|(a, b)| a - b).collect();
+        (
+            y,
+            OperationCost {
+                energy: cp.energy + cn.energy,
+                latency: cp.latency.max(cn.latency),
+            },
+        )
+    }
+
+    /// Transpose product `x = Aᵀ·z` through both tiles.
+    pub fn matvec_t<R: Rng + ?Sized>(&mut self, z: &[f64], rng: &mut R) -> Vec<f64> {
+        self.matvec_t_with_cost(z, rng).0
+    }
+
+    /// Transpose product with its operation cost (tiles in parallel).
+    pub fn matvec_t_with_cost<R: Rng + ?Sized>(
+        &mut self,
+        z: &[f64],
+        rng: &mut R,
+    ) -> (Vec<f64>, OperationCost) {
+        let (yp, cp) = self.positive.matvec_t_with_cost(z, rng);
+        let (yn, cn) = self.negative.matvec_t_with_cost(z, rng);
+        let y = yp.iter().zip(&yn).map(|(a, b)| a - b).collect();
+        (y, cp.alongside(cn))
+    }
+
+    /// Combined statistics of both tiles.
+    pub fn stats(&self) -> CrossbarStats {
+        let a = self.positive.stats();
+        let b = self.negative.stats();
+        CrossbarStats {
+            mvms: a.mvms + b.mvms,
+            transpose_mvms: a.transpose_mvms + b.transpose_mvms,
+            programs: a.programs + b.programs,
+            program_pulses: a.program_pulses + b.program_pulses,
+            energy: a.energy + b.energy,
+            busy_time: a.busy_time.max(b.busy_time),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_simkit::rng::seeded;
+    use cim_simkit::stats::rmse;
+    use cim_simkit::units::Siemens;
+
+    fn test_matrix(rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |i, j| ((i * cols + j) % 7) as f64 / 7.0)
+    }
+
+    #[test]
+    fn ideal_tile_reproduces_exact_product() {
+        let mut rng = seeded(1);
+        let a = test_matrix(16, 12);
+        let mut xbar = AnalogCrossbar::new(16, 12, AnalogParams::ideal());
+        xbar.program_matrix(&a, &mut rng);
+        let x: Vec<f64> = (0..12).map(|i| (i as f64 / 12.0) - 0.5).collect();
+        let y = xbar.matvec(&x, &mut rng);
+        let y_exact = a.matvec(&x);
+        assert!(rmse(&y_exact, &y) < 1e-3, "rmse {}", rmse(&y_exact, &y));
+    }
+
+    #[test]
+    fn ideal_transpose_matches_exact() {
+        let mut rng = seeded(2);
+        let a = test_matrix(10, 14);
+        let mut xbar = AnalogCrossbar::new(10, 14, AnalogParams::ideal());
+        xbar.program_matrix(&a, &mut rng);
+        let z: Vec<f64> = (0..10).map(|j| (j as f64 / 10.0) - 0.3).collect();
+        let y = xbar.matvec_t(&z, &mut rng);
+        let y_exact = a.matvec_t(&z);
+        assert!(rmse(&y_exact, &y) < 1e-3);
+    }
+
+    #[test]
+    fn realistic_tile_is_approximate_but_close() {
+        let mut rng = seeded(3);
+        let a = test_matrix(32, 32);
+        let mut xbar = AnalogCrossbar::new(32, 32, AnalogParams::default());
+        xbar.program_matrix(&a, &mut rng);
+        let x = vec![0.5; 32];
+        let y = xbar.matvec(&x, &mut rng);
+        let y_exact = a.matvec(&x);
+        let e = rmse(&y_exact, &y);
+        assert!(e > 0.0, "realistic tile should not be exact");
+        assert!(e < 0.5, "rmse too large: {e}");
+    }
+
+    #[test]
+    fn stored_matrix_matches_programmed_within_tolerance() {
+        let mut rng = seeded(4);
+        let a = test_matrix(8, 8);
+        let mut xbar = AnalogCrossbar::new(8, 8, AnalogParams::default());
+        xbar.program_matrix(&a, &mut rng);
+        let stored = xbar.stored_matrix();
+        let mapping = xbar.mapping().unwrap();
+        // program tolerance is relative to the conductance window → weight
+        // error ≤ tolerance × w_max.
+        let tol = 0.01 * mapping.w_max() + 1e-12;
+        for i in 0..8 {
+            for j in 0..8 {
+                assert!(
+                    (stored.get(i, j) - a.get(i, j)).abs() <= tol,
+                    "({i},{j}): {} vs {}",
+                    stored.get(i, j),
+                    a.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn differential_pair_handles_signed_matrices() {
+        let mut rng = seeded(5);
+        let a = Matrix::from_fn(12, 12, |i, j| ((i as f64 - j as f64) / 12.0).sin());
+        let mut pair = DifferentialCrossbar::new(12, 12, AnalogParams::ideal());
+        pair.program_matrix(&a, &mut rng);
+        let x: Vec<f64> = (0..12).map(|i| 0.8 * ((i as f64) / 6.0 - 1.0)).collect();
+        let y = pair.matvec(&x, &mut rng);
+        let y_exact = a.matvec(&x);
+        assert!(rmse(&y_exact, &y) < 2e-3, "rmse {}", rmse(&y_exact, &y));
+        let yt = pair.matvec_t(&x, &mut rng);
+        let yt_exact = a.matvec_t(&x);
+        assert!(rmse(&yt_exact, &yt) < 2e-3);
+    }
+
+    #[test]
+    fn differential_stored_matrix_reconstructs_sign() {
+        let mut rng = seeded(6);
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[-0.5, 0.0]]);
+        let mut pair = DifferentialCrossbar::new(2, 2, AnalogParams::ideal());
+        pair.program_matrix(&a, &mut rng);
+        let s = pair.stored_matrix();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((s.get(i, j) - a.get(i, j)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut rng = seeded(7);
+        let a = test_matrix(4, 4);
+        let mut xbar = AnalogCrossbar::new(4, 4, AnalogParams::default());
+        xbar.program_matrix(&a, &mut rng);
+        let x = vec![0.1; 4];
+        xbar.matvec(&x, &mut rng);
+        xbar.matvec(&x, &mut rng);
+        xbar.matvec_t(&[0.1; 4], &mut rng);
+        let s = xbar.stats();
+        assert_eq!(s.mvms, 2);
+        assert_eq!(s.transpose_mvms, 1);
+        assert_eq!(s.programs, 1);
+        assert!(s.program_pulses >= 16, "pulses {}", s.program_pulses);
+        assert!(s.energy.0 > 0.0);
+        assert!(s.busy_time.0 > 0.0);
+    }
+
+    #[test]
+    fn mvm_cost_is_positive_and_scales_with_size() {
+        let mut rng = seeded(8);
+        let small_m = test_matrix(8, 8);
+        let mut small = AnalogCrossbar::new(8, 8, AnalogParams::default());
+        small.program_matrix(&small_m, &mut rng);
+        let (_, c_small) = small.matvec_with_cost(&vec![0.5; 8], &mut rng);
+
+        let big_m = test_matrix(64, 64);
+        let mut big = AnalogCrossbar::new(64, 64, AnalogParams::default());
+        big.program_matrix(&big_m, &mut rng);
+        let (_, c_big) = big.matvec_with_cost(&vec![0.5; 64], &mut rng);
+
+        assert!(c_small.energy.0 > 0.0);
+        assert!(c_big.energy.0 > c_small.energy.0);
+    }
+
+    #[test]
+    fn coarse_adc_degrades_accuracy() {
+        let a = test_matrix(16, 16);
+        let x = vec![0.7; 16];
+        let y_exact = a.matvec(&x);
+
+        let mut fine_err = 0.0;
+        let mut coarse_err = 0.0;
+        for seed in 0..10 {
+            let mut rng = seeded(100 + seed);
+            let mut p = AnalogParams::ideal();
+            p.adc_bits = 12;
+            let mut xbar = AnalogCrossbar::new(16, 16, p);
+            xbar.program_matrix(&a, &mut rng);
+            fine_err += rmse(&y_exact, &xbar.matvec(&x, &mut rng));
+
+            let mut rng = seeded(100 + seed);
+            let mut p = AnalogParams::ideal();
+            p.adc_bits = 3;
+            let mut xbar = AnalogCrossbar::new(16, 16, p);
+            xbar.program_matrix(&a, &mut rng);
+            coarse_err += rmse(&y_exact, &xbar.matvec(&x, &mut rng));
+        }
+        assert!(
+            coarse_err > 4.0 * fine_err,
+            "coarse {coarse_err} vs fine {fine_err}"
+        );
+    }
+
+    #[test]
+    fn zero_input_gives_zero_output() {
+        let mut rng = seeded(9);
+        let a = test_matrix(8, 8);
+        let mut xbar = AnalogCrossbar::new(8, 8, AnalogParams::default());
+        xbar.program_matrix(&a, &mut rng);
+        let y = xbar.matvec(&vec![0.0; 8], &mut rng);
+        assert!(y.iter().all(|&v| v.abs() < 1e-9), "{y:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not programmed")]
+    fn matvec_requires_programming() {
+        let mut rng = seeded(10);
+        let mut xbar = AnalogCrossbar::new(4, 4, AnalogParams::default());
+        let _ = xbar.matvec(&[0.0; 4], &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative weight")]
+    fn single_ended_tile_rejects_negative() {
+        let mut rng = seeded(11);
+        let mut xbar = AnalogCrossbar::new(2, 2, AnalogParams::default());
+        let m = Matrix::from_rows(&[&[1.0, -1.0], &[0.0, 0.0]]);
+        let mapping = ConductanceMapping::new(Siemens(0.1e-6), Siemens(20e-6), 1.0);
+        xbar.program_matrix_with_mapping(&m, mapping, &mut rng);
+    }
+
+    #[test]
+    fn drift_ages_reduce_outputs() {
+        let a = test_matrix(16, 16);
+        let x = vec![0.8; 16];
+        let mut rng = seeded(12);
+        let mut young_p = AnalogParams::default();
+        young_p.pcm.sigma_read = 0.0;
+        young_p.age = Seconds(1.0);
+        let mut young = AnalogCrossbar::new(16, 16, young_p);
+        young.program_matrix(&a, &mut rng);
+        let y_young: f64 = young.matvec(&x, &mut rng).iter().sum();
+
+        let mut rng = seeded(12);
+        let mut old_p = young_p;
+        old_p.age = Seconds(1e6);
+        let mut old = AnalogCrossbar::new(16, 16, old_p);
+        old.program_matrix(&a, &mut rng);
+        let y_old: f64 = old.matvec(&x, &mut rng).iter().sum();
+
+        assert!(
+            y_old < y_young * 0.9,
+            "drift should depress outputs: young {y_young}, old {y_old}"
+        );
+    }
+}

@@ -1,0 +1,338 @@
+//! A digital (binary-state) memristive array with Scouting-Logic reads.
+//!
+//! [`DigitalArray`] hosts bit vectors as rows of binary ReRAM devices.
+//! Besides ordinary row writes and reads it executes the paper's §II
+//! primitive: a [`ScoutOp`] over two or more stored rows, producing the
+//! bitwise result across all columns *in a single array access* — this is
+//! what accelerates bitmap-index queries and one-time-pad XOR.
+//!
+//! Every operation returns / accumulates an [`OperationCost`] so workloads
+//! can report end-to-end energy and latency.
+
+use crate::energy::OperationCost;
+use crate::scouting::{ScoutOp, SenseAmplifier};
+use cim_device::reram::{ReramDevice, ReramParams};
+use cim_simkit::bitvec::BitVec;
+use cim_simkit::units::{Amperes, Joules, Seconds};
+use rand::Rng;
+
+/// Energy of one sense-amplifier decision (per column, per access).
+const SENSE_AMP_ENERGY: Joules = Joules(5e-15);
+
+/// Execution statistics of a digital array.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DigitalStats {
+    /// Row writes performed.
+    pub row_writes: u64,
+    /// Plain row reads performed.
+    pub row_reads: u64,
+    /// Scouting-logic operations performed.
+    pub scout_ops: u64,
+    /// Total energy.
+    pub energy: Joules,
+    /// Total busy time.
+    pub busy_time: Seconds,
+}
+
+/// A `rows × cols` array of binary memristive devices.
+#[derive(Debug, Clone)]
+pub struct DigitalArray {
+    rows: usize,
+    cols: usize,
+    params: ReramParams,
+    devices: Vec<ReramDevice>,
+    sense_amp: SenseAmplifier,
+    stats: DigitalStats,
+}
+
+impl DigitalArray {
+    /// Fabricates an array with per-device variation drawn from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new<R: Rng + ?Sized>(rows: usize, cols: usize, params: ReramParams, rng: &mut R) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be nonzero");
+        let devices = (0..rows * cols)
+            .map(|_| ReramDevice::new(params, rng))
+            .collect();
+        DigitalArray {
+            rows,
+            cols,
+            params,
+            devices,
+            sense_amp: SenseAmplifier::new(&params),
+            stats: DigitalStats::default(),
+        }
+    }
+
+    /// Array dimensions `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The device parameters the array was fabricated with.
+    pub fn params(&self) -> &ReramParams {
+        &self.params
+    }
+
+    /// The array's sense amplifier (for margin analysis).
+    pub fn sense_amp(&self) -> &SenseAmplifier {
+        &self.sense_amp
+    }
+
+    /// Accumulated execution statistics.
+    pub fn stats(&self) -> &DigitalStats {
+        &self.stats
+    }
+
+    /// Writes a bit vector into row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range or `bits.len() != cols`.
+    pub fn write_row(&mut self, r: usize, bits: &BitVec) -> OperationCost {
+        assert!(r < self.rows, "row {r} out of range {}", self.rows);
+        assert_eq!(bits.len(), self.cols, "row width mismatch");
+        let mut energy = Joules::ZERO;
+        for j in 0..self.cols {
+            energy += self.devices[r * self.cols + j].write(bits.get(j));
+        }
+        let cost = OperationCost {
+            energy,
+            latency: self.params.write_latency,
+        };
+        self.stats.row_writes += 1;
+        self.stats.energy += cost.energy;
+        self.stats.busy_time += cost.latency;
+        cost
+    }
+
+    /// The bits stored in row `r` (device states, no sensing noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn stored_row(&self, r: usize) -> BitVec {
+        assert!(r < self.rows, "row {r} out of range {}", self.rows);
+        BitVec::from_fn(self.cols, |j| self.devices[r * self.cols + j].bit())
+    }
+
+    /// Reads row `r` through the sense amplifiers, including device read
+    /// noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn read_row<R: Rng + ?Sized>(&mut self, r: usize, rng: &mut R) -> BitVec {
+        assert!(r < self.rows, "row {r} out of range {}", self.rows);
+        let reference = self.sense_amp.read_reference();
+        let out = BitVec::from_fn(self.cols, |j| {
+            let i = self.devices[r * self.cols + j].read_current(rng);
+            i.0 > reference.0
+        });
+        let cost = self.access_cost(&[r]);
+        self.stats.row_reads += 1;
+        self.stats.energy += cost.energy;
+        self.stats.busy_time += cost.latency;
+        out
+    }
+
+    /// Executes a Scouting-Logic operation over the given stored rows,
+    /// returning the column-wise result. One array access regardless of
+    /// width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row is out of range, rows repeat, or the operation
+    /// does not support the fan-in.
+    pub fn scout<R: Rng + ?Sized>(&mut self, op: ScoutOp, rows: &[usize], rng: &mut R) -> BitVec {
+        self.scout_with_cost(op, rows, rng).0
+    }
+
+    /// [`Self::scout`] returning the operation cost alongside.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::scout`].
+    pub fn scout_with_cost<R: Rng + ?Sized>(
+        &mut self,
+        op: ScoutOp,
+        rows: &[usize],
+        rng: &mut R,
+    ) -> (BitVec, OperationCost) {
+        let k = rows.len();
+        assert!(op.supports_fan_in(k), "{op:?} does not support fan-in {k}");
+        for (n, &r) in rows.iter().enumerate() {
+            assert!(r < self.rows, "row {r} out of range {}", self.rows);
+            assert!(
+                !rows[..n].contains(&r),
+                "row {r} activated twice in one scouting access"
+            );
+        }
+        let out = BitVec::from_fn(self.cols, |j| {
+            let mut i_in = Amperes::ZERO;
+            for &r in rows {
+                i_in += self.devices[r * self.cols + j].read_current(rng);
+            }
+            self.sense_amp.decide(op, k, i_in)
+        });
+        let cost = self.access_cost(rows);
+        self.stats.scout_ops += 1;
+        self.stats.energy += cost.energy;
+        self.stats.busy_time += cost.latency;
+        (out, cost)
+    }
+
+    /// The exact boolean result the scouting access is meant to compute,
+    /// from stored states — used to measure sensing error rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row is out of range.
+    pub fn scout_exact(&self, op: ScoutOp, rows: &[usize]) -> BitVec {
+        BitVec::from_fn(self.cols, |j| {
+            let bits: Vec<bool> = rows
+                .iter()
+                .map(|&r| self.devices[r * self.cols + j].bit())
+                .collect();
+            op.apply(&bits)
+        })
+    }
+
+    /// Cost of one read access activating `rows`: device read energy of
+    /// every activated device plus one sense decision per column, in one
+    /// read-latency cycle.
+    fn access_cost(&self, rows: &[usize]) -> OperationCost {
+        let mut energy = SENSE_AMP_ENERGY * self.cols as f64;
+        for &r in rows {
+            for j in 0..self.cols {
+                energy += self.devices[r * self.cols + j].read_energy();
+            }
+        }
+        OperationCost {
+            energy,
+            latency: self.params.read_latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_simkit::rng::seeded;
+
+    fn array_with_rows(rows: &[&[bool]]) -> (DigitalArray, rand::rngs::StdRng) {
+        let mut rng = seeded(42);
+        let cols = rows[0].len();
+        let mut arr = DigitalArray::new(rows.len().max(2), cols, ReramParams::default(), &mut rng);
+        for (i, bits) in rows.iter().enumerate() {
+            arr.write_row(i, &BitVec::from_bools(bits));
+        }
+        (arr, rng)
+    }
+
+    #[test]
+    fn write_then_stored_round_trip() {
+        let bits = [true, false, true, true, false];
+        let (arr, _) = array_with_rows(&[&bits]);
+        assert_eq!(arr.stored_row(0), BitVec::from_bools(&bits));
+    }
+
+    #[test]
+    fn read_row_matches_stored_under_nominal_noise() {
+        let (mut arr, mut rng) = array_with_rows(&[&[true, false, true, false, true, true]]);
+        for _ in 0..50 {
+            assert_eq!(arr.read_row(0, &mut rng), arr.stored_row(0));
+        }
+    }
+
+    #[test]
+    fn scouting_or_and_xor_match_boolean() {
+        let a = [true, true, false, false, true, false, true, false];
+        let b = [true, false, true, false, false, true, true, false];
+        let (mut arr, mut rng) = array_with_rows(&[&a, &b]);
+        let or = arr.scout(ScoutOp::Or, &[0, 1], &mut rng);
+        let and = arr.scout(ScoutOp::And, &[0, 1], &mut rng);
+        let xor = arr.scout(ScoutOp::Xor, &[0, 1], &mut rng);
+        for j in 0..8 {
+            assert_eq!(or.get(j), a[j] | b[j], "OR col {j}");
+            assert_eq!(and.get(j), a[j] & b[j], "AND col {j}");
+            assert_eq!(xor.get(j), a[j] ^ b[j], "XOR col {j}");
+        }
+    }
+
+    #[test]
+    fn scouting_matches_exact_reference() {
+        let mut rng = seeded(7);
+        let mut arr = DigitalArray::new(4, 64, ReramParams::default(), &mut rng);
+        for r in 0..4 {
+            let row = BitVec::from_fn(64, |j| (j * (r + 3)) % 5 < 2);
+            arr.write_row(r, &row);
+        }
+        for op in [ScoutOp::Or, ScoutOp::And] {
+            let sensed = arr.scout(op, &[0, 1, 2, 3], &mut rng);
+            assert_eq!(sensed, arr.scout_exact(op, &[0, 1, 2, 3]), "{op:?}");
+        }
+        let sensed = arr.scout(ScoutOp::Xor, &[1, 2], &mut rng);
+        assert_eq!(sensed, arr.scout_exact(ScoutOp::Xor, &[1, 2]));
+    }
+
+    #[test]
+    fn multi_row_or_wide_fan_in() {
+        let mut rng = seeded(8);
+        let mut arr = DigitalArray::new(8, 32, ReramParams::default(), &mut rng);
+        for r in 0..8 {
+            arr.write_row(r, &BitVec::from_fn(32, |j| j == r * 4));
+        }
+        let rows: Vec<usize> = (0..8).collect();
+        let or = arr.scout(ScoutOp::Or, &rows, &mut rng);
+        assert_eq!(or, arr.scout_exact(ScoutOp::Or, &rows));
+        assert_eq!(or.count_ones(), 8);
+    }
+
+    #[test]
+    fn stats_and_costs_accumulate() {
+        let (mut arr, mut rng) =
+            array_with_rows(&[&[true, false, true, false], &[false, true, true, false]]);
+        let before = *arr.stats();
+        let (_, cost) = arr.scout_with_cost(ScoutOp::Or, &[0, 1], &mut rng);
+        assert!(cost.energy.0 > 0.0);
+        assert!((cost.latency.nanos() - 10.0).abs() < 1e-9);
+        let after = *arr.stats();
+        assert_eq!(after.scout_ops, before.scout_ops + 1);
+        assert!((after.energy.0 - before.energy.0 - cost.energy.0).abs() < 1e-20);
+    }
+
+    #[test]
+    fn scouting_cheaper_than_read_out_and_compute() {
+        // One scouting access activates 2 rows; the CPU alternative needs
+        // two full row reads (2 accesses) — scouting must cost less array
+        // energy than the two reads it replaces.
+        let (mut arr, mut rng) = array_with_rows(&[
+            &[true, false, true, false, true, false, true, false],
+            &[true, true, false, false, true, true, false, false],
+        ]);
+        let (_, scout_cost) = arr.scout_with_cost(ScoutOp::And, &[0, 1], &mut rng);
+        let s0 = arr.stats().energy;
+        arr.read_row(0, &mut rng);
+        arr.read_row(1, &mut rng);
+        let two_reads = arr.stats().energy - s0;
+        assert!(scout_cost.energy.0 < two_reads.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "activated twice")]
+    fn duplicate_rows_rejected() {
+        let (mut arr, mut rng) = array_with_rows(&[&[true, false], &[false, true]]);
+        let _ = arr.scout(ScoutOp::Or, &[0, 0], &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_rejected() {
+        let mut rng = seeded(9);
+        let mut arr = DigitalArray::new(2, 8, ReramParams::default(), &mut rng);
+        arr.write_row(0, &BitVec::zeros(4));
+    }
+}

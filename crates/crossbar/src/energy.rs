@@ -1,0 +1,213 @@
+//! Per-operation energy/latency budgets for crossbar tiles.
+//!
+//! §III-B-3 of the paper budgets a 1024×1024 PCM crossbar read as:
+//!
+//! * device dissipation ≈ **0.21 W** (1 µA average read current per device
+//!   at 0.2 V average),
+//! * 8 ADCs at 125 MSps ≈ **12.3 mW**,
+//! * total ≈ **222 mW** at a 1 µs read cycle → **222 nJ** per
+//!   matrix-vector multiplication,
+//!
+//! which is 120× below the FPGA design's 26.6 W and 80× below its 17.7 µJ
+//! per product. [`ReadBudget::paper_crossbar`] reproduces those numbers;
+//! [`CrossbarEnergyModel`] applies the same structure to arbitrary tiles
+//! using the actual device power computed by the simulator.
+
+use cim_simkit::units::{Amperes, Hertz, Joules, Seconds, Volts, Watts};
+use cim_tech::adc::{size_adc_bank, AdcModel};
+use cim_tech::dac::DacModel;
+
+/// Energy and latency of one crossbar operation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OperationCost {
+    /// Total energy of the operation.
+    pub energy: Joules,
+    /// Wall-clock latency of the operation.
+    pub latency: Seconds,
+}
+
+impl OperationCost {
+    /// Sums component costs for operations executed sequentially.
+    pub fn then(self, next: OperationCost) -> OperationCost {
+        OperationCost {
+            energy: self.energy + next.energy,
+            latency: self.latency + next.latency,
+        }
+    }
+
+    /// Merges component costs for operations executed in parallel
+    /// (energies add, latencies overlap).
+    pub fn alongside(self, other: OperationCost) -> OperationCost {
+        OperationCost {
+            energy: self.energy + other.energy,
+            latency: self.latency.max(other.latency),
+        }
+    }
+}
+
+/// Converter-and-cycle configuration used to cost analog MVMs on a tile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossbarEnergyModel {
+    /// Read cycle time of the array (the paper operates at 1 µs).
+    pub cycle_time: Seconds,
+    /// Column ADC model.
+    pub adc: AdcModel,
+    /// Number of ADCs shared across the columns.
+    pub adc_count: usize,
+    /// Row DAC model.
+    pub dac: DacModel,
+}
+
+impl CrossbarEnergyModel {
+    /// Sizes converters for a `rows × cols` tile read in a 1 µs cycle,
+    /// following the paper's method: as many ≤125 MSps ADCs as needed to
+    /// drain all columns within the cycle.
+    pub fn for_tile(rows: usize, cols: usize, adc_bits: u32) -> Self {
+        let _ = rows; // row count enters through the DAC updates per MVM
+        let cycle_time = Seconds::from_micros(1.0);
+        let (adc_count, rate) = size_adc_bank(cols, cycle_time, Hertz::from_mega(125.0));
+        CrossbarEnergyModel {
+            cycle_time,
+            adc: AdcModel::paper_fom(adc_bits, rate),
+            adc_count,
+            dac: DacModel::default_90nm(8, Hertz::from_mega(125.0)),
+        }
+    }
+
+    /// Cost of one analog MVM given the instantaneous device power
+    /// (`Σ V²·G` over the array, computed by the simulator), the number of
+    /// driven inputs and digitized outputs.
+    pub fn mvm_cost(&self, device_power_w: f64, inputs: usize, outputs: usize) -> OperationCost {
+        let device_energy = Watts(device_power_w) * self.cycle_time;
+        let adc_energy = self.adc.energy_per_sample() * outputs as f64;
+        let dac_energy = self.dac.energy_per_update() * inputs as f64;
+        // Conversion of all outputs through the shared ADC bank bounds the
+        // cycle when columns outnumber converter throughput.
+        let conversions_per_adc = outputs.div_ceil(self.adc_count);
+        let adc_time = self.adc.conversion_time(conversions_per_adc);
+        OperationCost {
+            energy: device_energy + adc_energy + dac_energy,
+            latency: self.cycle_time.max(adc_time),
+        }
+    }
+}
+
+/// The paper's §III-B-3 crossbar read budget, kept as an explicit record
+/// so the Table-adjacent analysis can be regenerated and asserted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadBudget {
+    /// Dissipation in the memristive devices during the read.
+    pub device_power: Watts,
+    /// Dissipation in the ADC bank.
+    pub adc_power: Watts,
+    /// Read cycle time.
+    pub cycle_time: Seconds,
+}
+
+impl ReadBudget {
+    /// The paper's 1024×1024 budget: 1 µA average device current at 0.2 V
+    /// average, 8× 8-bit ADCs at 125 MSps, 1 µs cycle.
+    pub fn paper_crossbar() -> Self {
+        let devices = 1024.0 * 1024.0;
+        let avg_current = Amperes(1e-6);
+        let avg_voltage = Volts(0.2);
+        let device_power = Watts(avg_current.0 * avg_voltage.0 * devices);
+        let adc = AdcModel::paper_8bit(Hertz::from_mega(125.0));
+        ReadBudget {
+            device_power,
+            adc_power: Watts(adc.power().0 * 8.0),
+            cycle_time: Seconds::from_micros(1.0),
+        }
+    }
+
+    /// Total read power (devices + converters).
+    pub fn total_power(&self) -> Watts {
+        self.device_power + self.adc_power
+    }
+
+    /// Energy of one read cycle (one matrix-vector product).
+    pub fn energy_per_read(&self) -> Joules {
+        self.total_power() * self.cycle_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_tech::fpga::AmpAcceleratorDesign;
+
+    #[test]
+    fn paper_device_power_is_0_21_w() {
+        let b = ReadBudget::paper_crossbar();
+        assert!((b.device_power.0 - 0.2097).abs() < 0.001, "{}", b.device_power.0);
+    }
+
+    #[test]
+    fn paper_adc_power_is_about_12_mw() {
+        let b = ReadBudget::paper_crossbar();
+        assert!((b.adc_power.milli() - 12.0).abs() < 0.5, "{}", b.adc_power.milli());
+    }
+
+    #[test]
+    fn paper_total_power_is_222_mw() {
+        let b = ReadBudget::paper_crossbar();
+        assert!((b.total_power().milli() - 222.0).abs() < 2.0, "{}", b.total_power().milli());
+    }
+
+    #[test]
+    fn paper_energy_per_read_is_222_nj() {
+        let b = ReadBudget::paper_crossbar();
+        assert!((b.energy_per_read().nano() - 222.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn crossbar_vs_fpga_power_ratio_is_120x() {
+        let b = ReadBudget::paper_crossbar();
+        let fpga = AmpAcceleratorDesign::paper();
+        let ratio = fpga.dynamic_power().0 / b.total_power().0;
+        assert!((ratio - 120.0).abs() < 5.0, "power ratio {ratio}");
+    }
+
+    #[test]
+    fn crossbar_vs_fpga_energy_ratio_is_80x() {
+        let b = ReadBudget::paper_crossbar();
+        let fpga = AmpAcceleratorDesign::paper();
+        let ratio = fpga.mvm_energy(1024).0 / b.energy_per_read().0;
+        assert!((ratio - 80.0).abs() < 4.0, "energy ratio {ratio}");
+    }
+
+    #[test]
+    fn cost_composition() {
+        let a = OperationCost {
+            energy: Joules(1.0),
+            latency: Seconds(2.0),
+        };
+        let b = OperationCost {
+            energy: Joules(3.0),
+            latency: Seconds(1.0),
+        };
+        let seq = a.then(b);
+        assert_eq!(seq.energy, Joules(4.0));
+        assert_eq!(seq.latency, Seconds(3.0));
+        let par = a.alongside(b);
+        assert_eq!(par.energy, Joules(4.0));
+        assert_eq!(par.latency, Seconds(2.0));
+    }
+
+    #[test]
+    fn tile_model_sizes_adc_bank() {
+        let m = CrossbarEnergyModel::for_tile(1024, 1024, 8);
+        assert_eq!(m.adc_count, 9);
+        let cost = m.mvm_cost(0.21, 1024, 1024);
+        // Device energy dominates: 0.21 W × 1 µs = 210 nJ plus converters.
+        assert!(cost.energy.nano() > 210.0 && cost.energy.nano() < 240.0);
+        assert!((cost.latency.micros() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn small_tile_cheaper_than_large() {
+        let small = CrossbarEnergyModel::for_tile(64, 64, 8).mvm_cost(0.21 / 256.0, 64, 64);
+        let large = CrossbarEnergyModel::for_tile(1024, 1024, 8).mvm_cost(0.21, 1024, 1024);
+        assert!(small.energy.0 < large.energy.0 / 50.0);
+    }
+}

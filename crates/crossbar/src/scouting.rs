@@ -1,0 +1,257 @@
+//! Scouting Logic: bitwise logic inside the read periphery (Fig. 2(c)).
+//!
+//! Instead of reading one device per bit line, Scouting Logic (Xie et al.,
+//! ISVLSI'17) activates *two or more* word lines at once. Each column's
+//! sense amplifier then sees the sum of the activated devices' currents —
+//! the equivalent input resistance is their parallel combination — and
+//! comparing that current against well-chosen reference currents computes:
+//!
+//! * **OR** — `I_in > I_ref` with `I_ref` between "all devices HRS" and
+//!   "exactly one LRS";
+//! * **AND** — `I_in > I_ref` with `I_ref` between "one device HRS" and
+//!   "all LRS";
+//! * **XOR** (2 inputs) — a window comparator: `I_ref1 < I_in < I_ref2`,
+//!   true exactly when one of the two devices is in the LRS.
+//!
+//! With `R_LOW = 10 kΩ`, `R_HIGH = 1 MΩ` and `V_r = 0.2 V` the two-input
+//! current levels are `2·V_r/R_H ≈ 0.4 µA`, `V_r/R_L + V_r/R_H ≈ 20.2 µA`
+//! and `2·V_r/R_L = 40 µA` — the three columns of the paper's Fig. 2(c).
+//!
+//! [`SenseAmplifier::margin`] quantifies the worst-case current margin of
+//! each reference, which the E8 benchmark sweeps against device variation.
+
+use cim_device::reram::ReramParams;
+use cim_simkit::units::Amperes;
+
+/// A bitwise operation realizable by multi-row sensing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScoutOp {
+    /// Logical OR of the activated rows.
+    Or,
+    /// Logical AND of the activated rows.
+    And,
+    /// Logical XOR of exactly two activated rows.
+    Xor,
+}
+
+impl ScoutOp {
+    /// The reference boolean function, for verifying sensed results.
+    pub fn apply(self, bits: &[bool]) -> bool {
+        match self {
+            ScoutOp::Or => bits.iter().any(|&b| b),
+            ScoutOp::And => !bits.is_empty() && bits.iter().all(|&b| b),
+            ScoutOp::Xor => bits.iter().filter(|&&b| b).count() % 2 == 1,
+        }
+    }
+
+    /// Whether the operation supports `k` simultaneously activated rows.
+    /// OR and AND generalize to any `k ≥ 2`; XOR needs a current *window*
+    /// and is implementable for exactly two rows.
+    pub fn supports_fan_in(self, k: usize) -> bool {
+        match self {
+            ScoutOp::Or | ScoutOp::And => k >= 2,
+            ScoutOp::Xor => k == 2,
+        }
+    }
+}
+
+/// The current-comparing sense amplifier with its programmable references.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SenseAmplifier {
+    i_low: Amperes,
+    i_high: Amperes,
+}
+
+impl SenseAmplifier {
+    /// Builds a sense amplifier for devices with the given nominal
+    /// parameters.
+    pub fn new(params: &ReramParams) -> Self {
+        SenseAmplifier {
+            i_low: params.i_low(),
+            i_high: params.i_high(),
+        }
+    }
+
+    /// Nominal single-device LRS read current.
+    pub fn i_low(&self) -> Amperes {
+        self.i_low
+    }
+
+    /// Nominal single-device HRS read current.
+    pub fn i_high(&self) -> Amperes {
+        self.i_high
+    }
+
+    /// Reference for a plain single-device read: midway between the two
+    /// state currents.
+    pub fn read_reference(&self) -> Amperes {
+        Amperes(0.5 * (self.i_low.0 + self.i_high.0))
+    }
+
+    /// OR reference for `k` activated rows: midway between "all HRS"
+    /// (`k·I_H`) and "exactly one LRS" (`I_L + (k−1)·I_H`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn or_reference(&self, k: usize) -> Amperes {
+        assert!(k >= 2, "scouting needs at least two rows");
+        let all_high = k as f64 * self.i_high.0;
+        let one_low = self.i_low.0 + (k - 1) as f64 * self.i_high.0;
+        Amperes(0.5 * (all_high + one_low))
+    }
+
+    /// AND reference for `k` activated rows: midway between "one HRS"
+    /// (`(k−1)·I_L + I_H`) and "all LRS" (`k·I_L`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn and_reference(&self, k: usize) -> Amperes {
+        assert!(k >= 2, "scouting needs at least two rows");
+        let one_high = (k - 1) as f64 * self.i_low.0 + self.i_high.0;
+        let all_low = k as f64 * self.i_low.0;
+        Amperes(0.5 * (one_high + all_low))
+    }
+
+    /// Decides the output bit for an operation given the sensed column
+    /// current and fan-in `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation does not support fan-in `k`.
+    pub fn decide(&self, op: ScoutOp, k: usize, i_in: Amperes) -> bool {
+        assert!(
+            op.supports_fan_in(k),
+            "{op:?} does not support fan-in {k}"
+        );
+        match op {
+            ScoutOp::Or => i_in.0 > self.or_reference(k).0,
+            ScoutOp::And => i_in.0 > self.and_reference(k).0,
+            ScoutOp::Xor => {
+                i_in.0 > self.or_reference(2).0 && i_in.0 < self.and_reference(2).0
+            }
+        }
+    }
+
+    /// The nominal column current when `ones` of the `k` activated devices
+    /// are in the LRS.
+    pub fn nominal_current(&self, k: usize, ones: usize) -> Amperes {
+        assert!(ones <= k, "cannot have more LRS devices than rows");
+        Amperes(ones as f64 * self.i_low.0 + (k - ones) as f64 * self.i_high.0)
+    }
+
+    /// Worst-case current margin of the operation at fan-in `k`: the
+    /// smallest distance between any nominal input level and the decision
+    /// reference(s). Larger margins tolerate more device variation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation does not support fan-in `k`.
+    pub fn margin(&self, op: ScoutOp, k: usize) -> Amperes {
+        assert!(op.supports_fan_in(k), "{op:?} does not support fan-in {k}");
+        let refs: Vec<f64> = match op {
+            ScoutOp::Or => vec![self.or_reference(k).0],
+            ScoutOp::And => vec![self.and_reference(k).0],
+            ScoutOp::Xor => vec![self.or_reference(2).0, self.and_reference(2).0],
+        };
+        let mut worst = f64::INFINITY;
+        for ones in 0..=k {
+            let level = self.nominal_current(k, ones).0;
+            for r in &refs {
+                worst = worst.min((level - r).abs());
+            }
+        }
+        Amperes(worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sa() -> SenseAmplifier {
+        SenseAmplifier::new(&ReramParams::ideal())
+    }
+
+    #[test]
+    fn fig2c_current_levels() {
+        let s = sa();
+        // 2·Vr/RH = 0.4 µA, Vr/RL + Vr/RH = 20.2 µA, 2·Vr/RL = 40 µA.
+        assert!((s.nominal_current(2, 0).0 - 0.4e-6).abs() < 1e-12);
+        assert!((s.nominal_current(2, 1).0 - 20.2e-6).abs() < 1e-12);
+        assert!((s.nominal_current(2, 2).0 - 40e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_input_truth_tables() {
+        let s = sa();
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let ones = a as usize + b as usize;
+            let i = s.nominal_current(2, ones);
+            assert_eq!(s.decide(ScoutOp::Or, 2, i), a | b, "OR({a},{b})");
+            assert_eq!(s.decide(ScoutOp::And, 2, i), a & b, "AND({a},{b})");
+            assert_eq!(s.decide(ScoutOp::Xor, 2, i), a ^ b, "XOR({a},{b})");
+        }
+    }
+
+    #[test]
+    fn multi_input_or_and() {
+        let s = sa();
+        for k in 2..=8 {
+            for ones in 0..=k {
+                let i = s.nominal_current(k, ones);
+                assert_eq!(s.decide(ScoutOp::Or, k, i), ones > 0, "OR k={k} ones={ones}");
+                assert_eq!(s.decide(ScoutOp::And, k, i), ones == k, "AND k={k} ones={ones}");
+            }
+        }
+    }
+
+    #[test]
+    fn reference_ordering() {
+        let s = sa();
+        // For 2 inputs: OR ref < XOR window < AND ref.
+        assert!(s.or_reference(2).0 < s.and_reference(2).0);
+        assert!(s.read_reference().0 > s.i_high().0);
+        assert!(s.read_reference().0 < s.i_low().0);
+    }
+
+    #[test]
+    fn margins_shrink_with_fan_in() {
+        let s = sa();
+        // The AND margin is set by I_L − I_H regardless of k, while the OR
+        // margin likewise stays near (I_L − I_H)/2; both must be positive
+        // and the XOR margin is the tightest.
+        let m_or2 = s.margin(ScoutOp::Or, 2).0;
+        let m_and2 = s.margin(ScoutOp::And, 2).0;
+        let m_xor = s.margin(ScoutOp::Xor, 2).0;
+        assert!(m_or2 > 0.0 && m_and2 > 0.0 && m_xor > 0.0);
+        assert!(m_xor <= m_or2 && m_xor <= m_and2);
+    }
+
+    #[test]
+    fn scout_op_reference_functions() {
+        assert!(ScoutOp::Or.apply(&[false, true]));
+        assert!(!ScoutOp::Or.apply(&[false, false]));
+        assert!(ScoutOp::And.apply(&[true, true, true]));
+        assert!(!ScoutOp::And.apply(&[true, false, true]));
+        assert!(ScoutOp::Xor.apply(&[true, false]));
+        assert!(!ScoutOp::Xor.apply(&[true, true]));
+    }
+
+    #[test]
+    fn fan_in_support() {
+        assert!(ScoutOp::Or.supports_fan_in(5));
+        assert!(ScoutOp::And.supports_fan_in(3));
+        assert!(ScoutOp::Xor.supports_fan_in(2));
+        assert!(!ScoutOp::Xor.supports_fan_in(3));
+        assert!(!ScoutOp::Or.supports_fan_in(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support fan-in")]
+    fn xor_with_three_rows_panics() {
+        let s = sa();
+        let _ = s.decide(ScoutOp::Xor, 3, Amperes(1e-6));
+    }
+}

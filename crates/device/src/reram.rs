@@ -1,0 +1,286 @@
+//! Binary resistive RAM (ReRAM) device model.
+//!
+//! A binary memristive device holds one of two resistance states: the
+//! low-resistance state (LRS, logic `1`) or the high-resistance state
+//! (HRS, logic `0`). Scouting Logic reads several such devices in parallel
+//! and compares the combined current against reference currents, so the
+//! fidelity of the logic depends on the *spread* of the two states — which
+//! this model captures as per-device log-normal variation drawn once at
+//! construction ("fabrication") plus small cycle-to-cycle read variation.
+//!
+//! Typical parameter values follow the Scouting Logic paper (Xie et al.,
+//! ISVLSI'17): `R_LOW ≈ 10 kΩ`, `R_HIGH ≈ 1 MΩ`, read voltage 0.2 V.
+
+use cim_simkit::rng::log_normal;
+use cim_simkit::units::{Amperes, Joules, Ohms, Seconds, Siemens, Volts};
+use rand::Rng;
+
+/// Logic state of a binary memristive device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReramState {
+    /// High-resistance state — stores logic `0`.
+    HighResistance,
+    /// Low-resistance state — stores logic `1`.
+    LowResistance,
+}
+
+impl ReramState {
+    /// The logic value stored by this state.
+    pub fn as_bit(self) -> bool {
+        matches!(self, ReramState::LowResistance)
+    }
+
+    /// The state that stores the given logic value.
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            ReramState::LowResistance
+        } else {
+            ReramState::HighResistance
+        }
+    }
+}
+
+/// Technology parameters of a binary ReRAM device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReramParams {
+    /// Nominal low-state resistance.
+    pub r_low: Ohms,
+    /// Nominal high-state resistance.
+    pub r_high: Ohms,
+    /// Log-normal sigma of device-to-device resistance variation
+    /// (0 disables variation).
+    pub sigma_d2d: f64,
+    /// Log-normal sigma of cycle-to-cycle read variation.
+    pub sigma_c2c: f64,
+    /// Read voltage applied across the device.
+    pub read_voltage: Volts,
+    /// Duration of one read pulse.
+    pub read_latency: Seconds,
+    /// Duration of one SET/RESET write pulse.
+    pub write_latency: Seconds,
+    /// Energy of one SET/RESET write pulse.
+    pub write_energy: Joules,
+}
+
+impl Default for ReramParams {
+    /// Values representative of HfO₂ ReRAM as used in the Scouting Logic
+    /// evaluation: 10 kΩ / 1 MΩ, 0.2 V reads, ~10 ns accesses, ~1 pJ writes.
+    fn default() -> Self {
+        ReramParams {
+            r_low: Ohms(10e3),
+            r_high: Ohms(1e6),
+            sigma_d2d: 0.03,
+            sigma_c2c: 0.01,
+            read_voltage: Volts(0.2),
+            read_latency: Seconds::from_nanos(10.0),
+            write_latency: Seconds::from_nanos(10.0),
+            write_energy: Joules::from_picos(1.0),
+        }
+    }
+}
+
+impl ReramParams {
+    /// An idealized device with zero variation — useful for truth-table
+    /// tests where stochastic effects should be excluded.
+    pub fn ideal() -> Self {
+        ReramParams {
+            sigma_d2d: 0.0,
+            sigma_c2c: 0.0,
+            ..ReramParams::default()
+        }
+    }
+
+    /// Nominal current drawn in the low state at the read voltage.
+    pub fn i_low(&self) -> Amperes {
+        self.read_voltage / self.r_low
+    }
+
+    /// Nominal current drawn in the high state at the read voltage.
+    pub fn i_high(&self) -> Amperes {
+        self.read_voltage / self.r_high
+    }
+}
+
+/// A fabricated binary ReRAM device instance.
+///
+/// Device-to-device variation is drawn once in [`ReramDevice::new`];
+/// cycle-to-cycle variation is drawn on every [`ReramDevice::read_current`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReramDevice {
+    params: ReramParams,
+    state: ReramState,
+    /// This device's actual low-state resistance after D2D variation.
+    r_low_actual: Ohms,
+    /// This device's actual high-state resistance after D2D variation.
+    r_high_actual: Ohms,
+    writes: u64,
+}
+
+impl ReramDevice {
+    /// Fabricates a device, drawing its actual resistances from the
+    /// log-normal device-to-device distribution. Initial state is HRS
+    /// (logic 0), matching an unformed array.
+    pub fn new<R: Rng + ?Sized>(params: ReramParams, rng: &mut R) -> Self {
+        let r_low_actual = Ohms(params.r_low.0 * log_normal(rng, 0.0, params.sigma_d2d));
+        let r_high_actual = Ohms(params.r_high.0 * log_normal(rng, 0.0, params.sigma_d2d));
+        ReramDevice {
+            params,
+            state: ReramState::HighResistance,
+            r_low_actual,
+            r_high_actual,
+            writes: 0,
+        }
+    }
+
+    /// The device parameters.
+    pub fn params(&self) -> &ReramParams {
+        &self.params
+    }
+
+    /// Current logic state.
+    pub fn state(&self) -> ReramState {
+        self.state
+    }
+
+    /// Stored logic bit.
+    pub fn bit(&self) -> bool {
+        self.state.as_bit()
+    }
+
+    /// Number of write pulses this device has received (endurance proxy).
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Writes a logic value (SET for `1`, RESET for `0`). Returns the
+    /// energy spent; writing the already-stored value still issues a pulse,
+    /// matching a write-through array controller.
+    pub fn write(&mut self, bit: bool) -> Joules {
+        self.state = ReramState::from_bit(bit);
+        self.writes += 1;
+        self.params.write_energy
+    }
+
+    /// The device resistance in its present state (without read noise).
+    pub fn resistance(&self) -> Ohms {
+        match self.state {
+            ReramState::LowResistance => self.r_low_actual,
+            ReramState::HighResistance => self.r_high_actual,
+        }
+    }
+
+    /// The device conductance in its present state (without read noise).
+    pub fn conductance(&self) -> Siemens {
+        self.resistance().conductance()
+    }
+
+    /// Samples the read current at the configured read voltage, including
+    /// cycle-to-cycle variation.
+    pub fn read_current<R: Rng + ?Sized>(&self, rng: &mut R) -> Amperes {
+        let noisy_r = self.resistance().0 * log_normal(rng, 0.0, self.params.sigma_c2c);
+        self.params.read_voltage / Ohms(noisy_r)
+    }
+
+    /// Energy of one read pulse: `V²/R × t_read`.
+    pub fn read_energy(&self) -> Joules {
+        let i = self.params.read_voltage / self.resistance();
+        (i * self.params.read_voltage) * self.params.read_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_simkit::rng::seeded;
+
+    fn ideal_device(bit: bool) -> ReramDevice {
+        let mut rng = seeded(0);
+        let mut d = ReramDevice::new(ReramParams::ideal(), &mut rng);
+        d.write(bit);
+        d
+    }
+
+    #[test]
+    fn state_bit_mapping() {
+        assert!(ReramState::LowResistance.as_bit());
+        assert!(!ReramState::HighResistance.as_bit());
+        assert_eq!(ReramState::from_bit(true), ReramState::LowResistance);
+        assert_eq!(ReramState::from_bit(false), ReramState::HighResistance);
+    }
+
+    #[test]
+    fn fresh_device_is_hrs() {
+        let mut rng = seeded(1);
+        let d = ReramDevice::new(ReramParams::default(), &mut rng);
+        assert_eq!(d.state(), ReramState::HighResistance);
+        assert!(!d.bit());
+        assert_eq!(d.write_count(), 0);
+    }
+
+    #[test]
+    fn write_changes_state_and_counts() {
+        let mut rng = seeded(2);
+        let mut d = ReramDevice::new(ReramParams::default(), &mut rng);
+        let e = d.write(true);
+        assert_eq!(e, ReramParams::default().write_energy);
+        assert!(d.bit());
+        d.write(false);
+        assert!(!d.bit());
+        assert_eq!(d.write_count(), 2);
+    }
+
+    #[test]
+    fn ideal_resistances_match_nominal() {
+        let d1 = ideal_device(true);
+        let d0 = ideal_device(false);
+        assert!((d1.resistance().0 - 10e3).abs() < 1e-6);
+        assert!((d0.resistance().0 - 1e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn read_currents_separate_states() {
+        // Even with default variation the two state currents must be
+        // separated by well over an order of magnitude.
+        let mut rng = seeded(3);
+        for _ in 0..100 {
+            let mut d = ReramDevice::new(ReramParams::default(), &mut rng);
+            d.write(true);
+            let i1 = d.read_current(&mut rng).0;
+            d.write(false);
+            let i0 = d.read_current(&mut rng).0;
+            assert!(i1 > 20.0 * i0, "i1={i1}, i0={i0}");
+        }
+    }
+
+    #[test]
+    fn nominal_currents() {
+        let p = ReramParams::ideal();
+        assert!((p.i_low().0 - 0.2 / 10e3).abs() < 1e-12);
+        assert!((p.i_high().0 - 0.2 / 1e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn d2d_variation_spreads_devices() {
+        let mut rng = seeded(4);
+        let resistances: Vec<f64> = (0..200)
+            .map(|_| {
+                let mut d = ReramDevice::new(ReramParams::default(), &mut rng);
+                d.write(true);
+                d.resistance().0
+            })
+            .collect();
+        let s = cim_simkit::stats::Summary::of(&resistances);
+        // Spread should be roughly sigma_d2d of the nominal value.
+        assert!(s.std > 0.01 * 10e3 && s.std < 0.10 * 10e3, "std={}", s.std);
+    }
+
+    #[test]
+    fn read_energy_is_tiny_and_state_dependent() {
+        let d1 = ideal_device(true);
+        let d0 = ideal_device(false);
+        // LRS read draws more energy than HRS read.
+        assert!(d1.read_energy().0 > d0.read_energy().0);
+        // 0.2 V / 10 kΩ for 10 ns → 40 fJ.
+        assert!((d1.read_energy().0 - 4e-14).abs() < 1e-16);
+    }
+}

@@ -1,0 +1,148 @@
+//! Retention and endurance analysis for multi-level PCM storage.
+//!
+//! Two device-level questions determine how many conductance levels a
+//! CIM application can actually rely on:
+//!
+//! * **Retention** — drift compresses the conductance window over time:
+//!   `G(t) = G₀ (t/t₀)^{−ν}`. For a storage scheme with `L` levels and a
+//!   read margin of `m` sigmas of read noise, there is a time horizon
+//!   beyond which adjacent levels are no longer distinguishable.
+//! * **Endurance** — every program-and-verify sequence spends pulses;
+//!   given a pulse budget per device (typically 10⁶–10⁹ for PCM), the
+//!   number of reprogramming events is bounded.
+//!
+//! These helpers quantify both for a [`PcmParams`] technology point and
+//! are exercised by the crossbar-level drift tests.
+
+use crate::pcm::{PcmDevice, PcmParams};
+use cim_simkit::units::{Seconds, Siemens};
+use rand::Rng;
+
+/// The `L` evenly spaced storage levels of a multi-level cell scheme.
+pub fn storage_levels(params: &PcmParams, levels: usize) -> Vec<Siemens> {
+    assert!(levels >= 2, "need at least two levels");
+    let lo = params.g_min.0;
+    let hi = params.g_max.0;
+    (0..levels)
+        .map(|i| Siemens(lo + (hi - lo) * i as f64 / (levels - 1) as f64))
+        .collect()
+}
+
+/// Worst-case separation between adjacent drifted levels after
+/// `elapsed`, in units of the read-noise sigma at those levels.
+/// A scheme is readable while this stays above the designer's margin
+/// (e.g. 6σ for a 1e-9 bit error rate).
+pub fn level_margin_sigmas(params: &PcmParams, levels: usize, elapsed: Seconds) -> f64 {
+    let nominal = storage_levels(params, levels);
+    // All levels drift with the same exponent, so the window compresses
+    // multiplicatively.
+    let ratio = if params.drift_nu == 0.0 || elapsed.0 <= params.drift_t0.0 {
+        1.0
+    } else {
+        (elapsed.0 / params.drift_t0.0).powf(-params.drift_nu)
+    };
+    let mut worst = f64::INFINITY;
+    for pair in nominal.windows(2) {
+        let lo = pair[0].0 * ratio;
+        let hi = pair[1].0 * ratio;
+        let gap = hi - lo;
+        // Read noise scales with the (drifted) upper level.
+        let sigma = (params.sigma_read * hi).max(1e-30);
+        worst = worst.min(gap / (2.0 * sigma));
+    }
+    worst
+}
+
+/// The largest level count that keeps at least `margin_sigmas` of
+/// separation after `elapsed` (at least 2).
+pub fn max_storage_levels(params: &PcmParams, elapsed: Seconds, margin_sigmas: f64) -> usize {
+    let mut levels = 2;
+    while levels < 256 && level_margin_sigmas(params, levels + 1, elapsed) >= margin_sigmas {
+        levels += 1;
+    }
+    levels
+}
+
+/// Endurance estimate: how many full reprogramming events a device
+/// survives given a lifetime pulse budget, measured empirically from
+/// the program-and-verify pulse distribution at this technology point.
+pub fn reprogramming_budget<R: Rng + ?Sized>(
+    params: &PcmParams,
+    pulse_budget: u64,
+    trials: usize,
+    rng: &mut R,
+) -> u64 {
+    assert!(trials > 0, "need at least one trial");
+    let mut total_pulses = 0u64;
+    let range = params.g_range().0;
+    for t in 0..trials {
+        let mut d = PcmDevice::new(*params);
+        let target = Siemens(params.g_min.0 + range * (t as f64 + 0.5) / trials as f64);
+        let report = d.program_and_verify(target, 0.02, rng);
+        total_pulses += report.pulses.max(1) as u64;
+    }
+    let avg_pulses = (total_pulses as f64 / trials as f64).ceil() as u64;
+    pulse_budget / avg_pulses.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_simkit::rng::seeded;
+
+    #[test]
+    fn levels_span_the_window() {
+        let p = PcmParams::default();
+        let l = storage_levels(&p, 8);
+        assert_eq!(l.len(), 8);
+        assert_eq!(l[0], p.g_min);
+        assert_eq!(l[7], p.g_max);
+        for pair in l.windows(2) {
+            assert!(pair[1].0 > pair[0].0);
+        }
+    }
+
+    #[test]
+    fn margins_shrink_with_level_count_and_time() {
+        let p = PcmParams::default();
+        let m4 = level_margin_sigmas(&p, 4, Seconds(1.0));
+        let m16 = level_margin_sigmas(&p, 16, Seconds(1.0));
+        assert!(m4 > m16, "4 levels {m4} vs 16 levels {m16}");
+        let fresh = level_margin_sigmas(&p, 8, Seconds(1.0));
+        let aged = level_margin_sigmas(&p, 8, Seconds(1e7));
+        // Uniform drift compresses the window but read noise shrinks
+        // with it, so margins degrade mildly — within a factor of ~2.
+        assert!(aged <= fresh * 1.01, "fresh {fresh} vs aged {aged}");
+    }
+
+    #[test]
+    fn four_bit_storage_is_feasible_fresh() {
+        // The paper's applications assume ~4-bit weights: 16 levels must
+        // clear a useful margin when freshly programmed.
+        let p = PcmParams::default();
+        let m = level_margin_sigmas(&p, 16, Seconds(1.0));
+        assert!(m > 3.0, "16-level margin {m} sigmas");
+        let max = max_storage_levels(&p, Seconds(1.0), 6.0);
+        assert!(max >= 8, "max levels at 6 sigma: {max}");
+    }
+
+    #[test]
+    fn noiseless_device_supports_many_levels() {
+        let p = PcmParams::ideal();
+        assert_eq!(max_storage_levels(&p, Seconds(1.0), 6.0), 256);
+    }
+
+    #[test]
+    fn endurance_budget_scales_with_pulse_budget() {
+        let p = PcmParams::default();
+        let mut rng = seeded(1);
+        let small = reprogramming_budget(&p, 1_000_000, 50, &mut rng);
+        let mut rng = seeded(1);
+        let large = reprogramming_budget(&p, 100_000_000, 50, &mut rng);
+        assert_eq!(large, small * 100);
+        // With a ~2 % tolerance the verify loop needs a handful of
+        // pulses; a 1e6 budget yields ≥ 1e5 reprogramming events.
+        assert!(small >= 100_000, "budget {small}");
+        assert!(small <= 1_000_000);
+    }
+}

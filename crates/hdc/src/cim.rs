@@ -1,0 +1,199 @@
+//! The associative memory inside a PCM crossbar.
+//!
+//! §IV-B-2: "The dot-product is performed using binary input values,
+//! binary memristor states, and analog output." Class prototypes are
+//! programmed once as rows of an analog crossbar (bit 1 ⇒ high
+//! conductance, bit 0 ⇒ low conductance); a query drives the columns
+//! with its bits as voltages and every row's current reports the
+//! overlap `⟨query, prototype⟩` in one access. The class with the
+//! largest overlap wins (for dense binary codes, maximum dot product is
+//! equivalent to minimum Hamming distance on the 1-bits; with balanced
+//! random codes the two pick the same winner with overwhelming
+//! probability, which the tests verify against the digital memory).
+
+use crate::hypervector::Hypervector;
+use cim_crossbar::analog::{AnalogCrossbar, AnalogParams};
+use cim_crossbar::energy::OperationCost;
+use cim_simkit::linalg::Matrix;
+use cim_simkit::rng::seeded;
+use rand::rngs::StdRng;
+
+/// An associative memory whose search runs in an analog crossbar.
+#[derive(Debug)]
+pub struct CimAssociativeMemory {
+    xbar: AnalogCrossbar,
+    rng: StdRng,
+    classes: usize,
+    d: usize,
+}
+
+impl CimAssociativeMemory {
+    /// Programs finalized prototypes into a crossbar: one row per class,
+    /// one device per component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prototypes` is empty or dimensions differ.
+    pub fn program(prototypes: &[Hypervector], params: AnalogParams, seed: u64) -> (Self, OperationCost) {
+        assert!(!prototypes.is_empty(), "no prototypes to program");
+        let d = prototypes[0].dim();
+        let classes = prototypes.len();
+        for p in prototypes {
+            assert_eq!(p.dim(), d, "prototype dimension mismatch");
+        }
+        let weights = Matrix::from_fn(classes, d, |c, j| {
+            if prototypes[c].bits().get(j) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let mut rng = seeded(seed);
+        let mut xbar = AnalogCrossbar::new(classes, d, params);
+        let cost = xbar.program_matrix(&weights, &mut rng);
+        (
+            CimAssociativeMemory {
+                xbar,
+                rng,
+                classes,
+                d,
+            },
+            cost,
+        )
+    }
+
+    /// Number of stored classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Hypervector dimension.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Classifies a query in one analog array access, returning the
+    /// winning class, the analog overlap scores, and the access cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs.
+    pub fn classify(&mut self, query: &Hypervector) -> (usize, Vec<f64>, OperationCost) {
+        assert_eq!(query.dim(), self.d, "query dimension mismatch");
+        let x: Vec<f64> = (0..self.d)
+            .map(|j| if query.bits().get(j) { 1.0 } else { 0.0 })
+            .collect();
+        let (scores, cost) = self.xbar.matvec_with_cost(&x, &mut self.rng);
+        let mut best = 0;
+        for (c, &s) in scores.iter().enumerate() {
+            if s > scores[best] {
+                best = c;
+            }
+        }
+        (best, scores, cost)
+    }
+
+    /// Total energy spent by the crossbar so far.
+    pub fn total_energy(&self) -> cim_simkit::units::Joules {
+        self.xbar.stats().energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assoc::AssociativeMemory;
+    use crate::item_memory::flip_random_bits;
+
+    const D: usize = 2048;
+    const CLASSES: usize = 8;
+
+    fn trained() -> (AssociativeMemory, Vec<Hypervector>) {
+        let mut rng = seeded(77);
+        let mut am = AssociativeMemory::new(CLASSES, D);
+        let mut anchors = Vec::new();
+        for c in 0..CLASSES {
+            let anchor = Hypervector::random(D, &mut rng);
+            for i in 0..5 {
+                am.train(c, &flip_random_bits(&anchor, D / 12, (c * 31 + i) as u64));
+            }
+            anchors.push(anchor);
+        }
+        (am, anchors)
+    }
+
+    #[test]
+    fn cim_matches_digital_classification() {
+        let (mut am, anchors) = trained();
+        let prototypes = am.finalize().to_vec();
+        let (mut cam, prog_cost) =
+            CimAssociativeMemory::program(&prototypes, AnalogParams::default(), 1);
+        assert!(prog_cost.energy.0 > 0.0);
+        assert_eq!(cam.classes(), CLASSES);
+
+        let mut agree = 0;
+        let total = 40;
+        for i in 0..total {
+            let c = i % CLASSES;
+            let query = flip_random_bits(&anchors[c], D / 6, 500 + i as u64);
+            let digital = am.classify(&query).0;
+            let (analog, _, _) = cam.classify(&query);
+            if digital == analog {
+                agree += 1;
+            }
+        }
+        assert!(
+            agree >= total - 2,
+            "only {agree}/{total} digital/analog agreements"
+        );
+    }
+
+    #[test]
+    fn overlap_scores_rank_correct_class_first() {
+        let (mut am, anchors) = trained();
+        let prototypes = am.finalize().to_vec();
+        let (mut cam, _) = CimAssociativeMemory::program(&prototypes, AnalogParams::default(), 2);
+        let query = flip_random_bits(&anchors[3], D / 10, 9);
+        let (best, scores, cost) = cam.classify(&query);
+        assert_eq!(best, 3);
+        assert_eq!(scores.len(), CLASSES);
+        assert!(cost.energy.0 > 0.0);
+        // The winner's analog overlap clearly exceeds the runner-up.
+        let mut sorted = scores.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert!(sorted[0] > sorted[1] * 1.1, "scores {scores:?}");
+    }
+
+    #[test]
+    fn accuracy_survives_device_noise() {
+        // The §IV-B-3 claim: CIM accuracy comparable to ideal software.
+        let (mut am, anchors) = trained();
+        let prototypes = am.finalize().to_vec();
+        let mut noisy_params = AnalogParams::default();
+        noisy_params.pcm.sigma_read = 0.05; // 5× the default read noise
+        let (mut cam, _) = CimAssociativeMemory::program(&prototypes, noisy_params, 3);
+        let mut correct = 0;
+        let per_class = 6;
+        for c in 0..CLASSES {
+            for i in 0..per_class {
+                let query = flip_random_bits(&anchors[c], D / 6, 800 + (c * 10 + i) as u64);
+                if cam.classify(&query).0 == c {
+                    correct += 1;
+                }
+            }
+        }
+        let acc = correct as f64 / (CLASSES * per_class) as f64;
+        assert!(acc > 0.9, "noisy-crossbar accuracy {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_query_dimension_rejected() {
+        let (mut am, _) = trained();
+        let prototypes = am.finalize().to_vec();
+        let (mut cam, _) = CimAssociativeMemory::program(&prototypes, AnalogParams::default(), 4);
+        let mut rng = seeded(5);
+        let bad = Hypervector::random(64, &mut rng);
+        let _ = cam.classify(&bad);
+    }
+}

@@ -1,0 +1,224 @@
+//! Item memories: symbol → hypervector mappings.
+//!
+//! The **item memory** of Fig. 8 assigns every discrete symbol (letter,
+//! channel id, …) an independent random hypervector, drawn once and
+//! never modified — "the memristor values are written only once before
+//! the execution of the HD algorithm". The **continuous item memory**
+//! maps scalar levels to hypervectors such that nearby levels are
+//! *similar* (correlated) and distant levels quasi-orthogonal, by
+//! flipping a progressive slice of bits between the two endpoint
+//! vectors; biosignal amplitudes use it.
+
+use crate::hypervector::Hypervector;
+use cim_simkit::bitvec::BitVec;
+use cim_simkit::rng::seeded;
+
+/// A symbol item memory with lazily reproducible entries.
+#[derive(Debug, Clone)]
+pub struct ItemMemory {
+    d: usize,
+    entries: Vec<Hypervector>,
+}
+
+impl ItemMemory {
+    /// Creates an item memory of `symbols` random hypervectors of
+    /// dimension `d`, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0` or `symbols == 0`.
+    pub fn new(symbols: usize, d: usize, seed: u64) -> Self {
+        assert!(d > 0 && symbols > 0, "empty item memory");
+        let mut rng = seeded(seed);
+        let entries = (0..symbols)
+            .map(|_| Hypervector::random(d, &mut rng))
+            .collect();
+        ItemMemory { d, entries }
+    }
+
+    /// Dimension of the stored hypervectors.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the memory holds no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The hypervector of symbol `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn get(&self, s: usize) -> &Hypervector {
+        &self.entries[s]
+    }
+
+    /// Total storage in bits (sizing the CIM item-memory array).
+    pub fn storage_bits(&self) -> usize {
+        self.d * self.entries.len()
+    }
+}
+
+/// A continuous (level) item memory over `levels` quantization steps.
+#[derive(Debug, Clone)]
+pub struct ContinuousItemMemory {
+    levels: Vec<Hypervector>,
+    lo: f64,
+    hi: f64,
+}
+
+impl ContinuousItemMemory {
+    /// Creates `levels` hypervectors spanning the scalar range
+    /// `[lo, hi]`: level 0 is random; level `i` flips the `i`-th slice
+    /// of `d/2` total positions, so level `L−1` is quasi-orthogonal to
+    /// level 0 and adjacent levels are maximally similar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2`, `d == 0`, or `lo >= hi`.
+    pub fn new(levels: usize, d: usize, lo: f64, hi: f64, seed: u64) -> Self {
+        assert!(levels >= 2, "need at least two levels");
+        assert!(d > 0, "dimension must be nonzero");
+        assert!(lo < hi, "invalid level range [{lo}, {hi}]");
+        let mut rng = seeded(seed);
+        let base = Hypervector::random(d, &mut rng);
+        // A fixed random order in which positions flip level-to-level.
+        let mut order: Vec<usize> = (0..d).collect();
+        use rand::seq::SliceRandom;
+        order.shuffle(&mut rng);
+
+        let flips_total = d / 2;
+        let mut vectors = Vec::with_capacity(levels);
+        let mut current = base.bits().clone();
+        vectors.push(Hypervector::from_bits(current.clone()));
+        for level in 1..levels {
+            let from = flips_total * (level - 1) / (levels - 1);
+            let to = flips_total * level / (levels - 1);
+            for &pos in &order[from..to] {
+                current.set(pos, !current.get(pos));
+            }
+            vectors.push(Hypervector::from_bits(current.clone()));
+        }
+        ContinuousItemMemory {
+            levels: vectors,
+            lo,
+            hi,
+        }
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Dimension of the stored hypervectors.
+    pub fn dim(&self) -> usize {
+        self.levels[0].dim()
+    }
+
+    /// The level index a scalar value quantizes to (clipped to range).
+    pub fn level_of(&self, value: f64) -> usize {
+        let t = ((value - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0);
+        ((t * (self.levels.len() - 1) as f64).round()) as usize
+    }
+
+    /// The hypervector of a scalar value.
+    pub fn encode(&self, value: f64) -> &Hypervector {
+        &self.levels[self.level_of(value)]
+    }
+
+    /// The hypervector of an explicit level index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn level(&self, level: usize) -> &Hypervector {
+        &self.levels[level]
+    }
+}
+
+/// Flips `count` pseudo-random positions of a hypervector — the additive
+/// bit-error model used for robustness experiments on HD codes.
+pub fn flip_random_bits(hv: &Hypervector, count: usize, seed: u64) -> Hypervector {
+    let d = hv.dim();
+    let mut rng = seeded(seed);
+    let mut order: Vec<usize> = (0..d).collect();
+    use rand::seq::SliceRandom;
+    order.shuffle(&mut rng);
+    let mut bits: BitVec = hv.bits().clone();
+    for &pos in order.iter().take(count.min(d)) {
+        bits.set(pos, !bits.get(pos));
+    }
+    Hypervector::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_memory_is_deterministic_and_distinct() {
+        let a = ItemMemory::new(27, 2048, 5);
+        let b = ItemMemory::new(27, 2048, 5);
+        assert_eq!(a.len(), 27);
+        assert_eq!(a.dim(), 2048);
+        assert_eq!(a.storage_bits(), 27 * 2048);
+        for s in 0..27 {
+            assert_eq!(a.get(s), b.get(s));
+        }
+        // Distinct symbols quasi-orthogonal.
+        for s in 1..27 {
+            let d = a.get(0).normalized_hamming(a.get(s));
+            assert!((d - 0.5).abs() < 0.06, "symbol {s} distance {d}");
+        }
+    }
+
+    #[test]
+    fn continuous_memory_distance_grows_with_level_gap() {
+        let cim = ContinuousItemMemory::new(16, 4096, 0.0, 1.0, 6);
+        let d01 = cim.level(0).normalized_hamming(cim.level(1));
+        let d07 = cim.level(0).normalized_hamming(cim.level(7));
+        let d0f = cim.level(0).normalized_hamming(cim.level(15));
+        assert!(d01 < d07 && d07 < d0f, "{d01} {d07} {d0f}");
+        // Endpoints quasi-orthogonal.
+        assert!((d0f - 0.5).abs() < 0.05, "endpoint distance {d0f}");
+        // Adjacent levels flip ≈ d/2/(L−1) bits.
+        let expect = 0.5 / 15.0;
+        assert!((d01 - expect).abs() < 0.01, "adjacent distance {d01}");
+    }
+
+    #[test]
+    fn scalar_quantization() {
+        let cim = ContinuousItemMemory::new(11, 256, 0.0, 1.0, 7);
+        assert_eq!(cim.level_of(0.0), 0);
+        assert_eq!(cim.level_of(1.0), 10);
+        assert_eq!(cim.level_of(0.5), 5);
+        // Clipping.
+        assert_eq!(cim.level_of(-3.0), 0);
+        assert_eq!(cim.level_of(9.0), 10);
+        assert_eq!(cim.encode(0.5), cim.level(5));
+    }
+
+    #[test]
+    fn bit_flips_scale_distance() {
+        let im = ItemMemory::new(1, 4096, 8);
+        let hv = im.get(0);
+        let f100 = flip_random_bits(hv, 100, 1);
+        let f1000 = flip_random_bits(hv, 1000, 1);
+        assert_eq!(hv.hamming(&f100), 100);
+        assert_eq!(hv.hamming(&f1000), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two levels")]
+    fn single_level_rejected() {
+        let _ = ContinuousItemMemory::new(1, 64, 0.0, 1.0, 0);
+    }
+}

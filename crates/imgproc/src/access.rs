@@ -1,0 +1,146 @@
+//! Memory-access-pattern analysis for the §III-A CIM argument.
+//!
+//! The paper's case for CIM in image processing is quantitative: a
+//! `(2r+1)²` neighbourhood of multi-byte pixels "do\[es\] not directly fit
+//! in the local register-files, so they need to be accessed from SRAM
+//! caches or scratchpad memories", and the access pattern is partly
+//! irregular (data-dependent). This module computes those footprints and
+//! compares the data movement of a cache hierarchy against a CIM macro
+//! whose modified address decoder serves whole neighbourhoods in place.
+
+use cim_simkit::units::ByteSize;
+
+/// The access footprint of a neighbourhood-based kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessPattern {
+    /// Neighbourhood radius r (window is `(2r+1)²`).
+    pub radius: usize,
+    /// Bytes per pixel (the paper quotes 23-bit colour pixels ≈ 3 B).
+    pub bytes_per_pixel: usize,
+    /// Register-file capacity available for operands.
+    pub register_file_bytes: usize,
+}
+
+impl AccessPattern {
+    /// The paper's working point: 11×11 windows of 3-byte pixels against
+    /// a 256-byte operand register file.
+    pub fn paper_11x11() -> Self {
+        AccessPattern {
+            radius: 5,
+            bytes_per_pixel: 3,
+            register_file_bytes: 256,
+        }
+    }
+
+    /// Pixels touched per output pixel.
+    pub fn window_pixels(&self) -> usize {
+        let side = 2 * self.radius + 1;
+        side * side
+    }
+
+    /// Bytes touched per output pixel.
+    pub fn window_bytes(&self) -> usize {
+        self.window_pixels() * self.bytes_per_pixel
+    }
+
+    /// `true` if the working set exceeds the register file — the paper's
+    /// criterion for needing SRAM/scratchpad traffic.
+    pub fn exceeds_register_file(&self) -> bool {
+        self.window_bytes() > self.register_file_bytes
+    }
+
+    /// New pixels fetched per output pixel under ideal row reuse
+    /// (a sliding window re-reads only one column of the neighbourhood).
+    pub fn fresh_pixels_per_output(&self) -> usize {
+        2 * self.radius + 1
+    }
+}
+
+/// Data movement of one full-frame kernel invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataMovement {
+    /// Bytes moved between memory and the compute units on a
+    /// conventional core (with ideal sliding-window reuse).
+    pub conventional: ByteSize,
+    /// Bytes moved on the CIM architecture — only the output leaves the
+    /// array; neighbourhood reads happen in place behind the modified
+    /// address decoder.
+    pub cim: ByteSize,
+}
+
+impl DataMovement {
+    /// Computes the per-frame traffic for a `width × height` image under
+    /// `pattern`.
+    pub fn for_frame(width: usize, height: usize, pattern: &AccessPattern) -> Self {
+        let outputs = width * height;
+        let conventional = outputs
+            * pattern.fresh_pixels_per_output()
+            * pattern.bytes_per_pixel;
+        let cim = outputs * pattern.bytes_per_pixel;
+        DataMovement {
+            conventional: ByteSize(conventional as u64),
+            cim: ByteSize(cim as u64),
+        }
+    }
+
+    /// Traffic-reduction factor of the CIM mapping.
+    pub fn reduction_factor(&self) -> f64 {
+        self.conventional.as_f64() / self.cim.as_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_sizes_match_paper_quotes() {
+        // 7×7 … 11×11 pixels.
+        let small = AccessPattern {
+            radius: 3,
+            bytes_per_pixel: 3,
+            register_file_bytes: 256,
+        };
+        assert_eq!(small.window_pixels(), 49);
+        let big = AccessPattern::paper_11x11();
+        assert_eq!(big.window_pixels(), 121);
+        assert_eq!(big.window_bytes(), 363);
+    }
+
+    #[test]
+    fn paper_window_exceeds_register_file() {
+        // The paper's core claim: "these do not directly fit in the
+        // local register-files".
+        assert!(AccessPattern::paper_11x11().exceeds_register_file());
+        // A tiny 3×3 window of 1-byte pixels does fit.
+        let tiny = AccessPattern {
+            radius: 1,
+            bytes_per_pixel: 1,
+            register_file_bytes: 256,
+        };
+        assert!(!tiny.exceeds_register_file());
+    }
+
+    #[test]
+    fn traffic_reduction_equals_window_side() {
+        let p = AccessPattern::paper_11x11();
+        let m = DataMovement::for_frame(640, 480, &p);
+        // With ideal reuse the conventional core still fetches one fresh
+        // column (11 pixels) per output; CIM streams out only the result.
+        assert!((m.reduction_factor() - 11.0).abs() < 1e-9);
+        assert_eq!(m.cim.bytes(), 640 * 480 * 3);
+    }
+
+    #[test]
+    fn bigger_windows_move_more_data() {
+        let small = AccessPattern {
+            radius: 3,
+            ..AccessPattern::paper_11x11()
+        };
+        let big = AccessPattern::paper_11x11();
+        let ms = DataMovement::for_frame(128, 128, &small);
+        let mb = DataMovement::for_frame(128, 128, &big);
+        assert!(mb.conventional > ms.conventional);
+        assert_eq!(mb.cim, ms.cim);
+    }
+}

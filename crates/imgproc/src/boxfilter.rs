@@ -1,0 +1,165 @@
+//! O(1) box filtering via integral images.
+//!
+//! The guided filter needs six box-filtered maps per invocation, so an
+//! O(1)-per-pixel box mean (independent of the radius) is the difference
+//! between O(N) and O(N·r²) total cost — the same observation He et al.
+//! make in the original guided-filter paper. [`IntegralImage`] stores
+//! the 2-D prefix sums once; [`box_filter`] evaluates any window mean
+//! with four lookups, using replicate padding at the borders (windows
+//! are clipped to the image and normalized by their actual area).
+
+use crate::image::GrayImage;
+
+/// Two-dimensional prefix sums of an image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntegralImage {
+    width: usize,
+    height: usize,
+    /// `(width+1) × (height+1)` sums; `sums[y][x]` is the sum of all
+    /// pixels above and left of (exclusive) `(x, y)`.
+    sums: Vec<f64>,
+}
+
+impl IntegralImage {
+    /// Builds the prefix sums of `img`.
+    pub fn build(img: &GrayImage) -> Self {
+        let (w, h) = (img.width(), img.height());
+        let stride = w + 1;
+        let mut sums = vec![0.0; (w + 1) * (h + 1)];
+        for y in 0..h {
+            let mut row_sum = 0.0;
+            for x in 0..w {
+                row_sum += img.get(x, y);
+                sums[(y + 1) * stride + (x + 1)] = sums[y * stride + (x + 1)] + row_sum;
+            }
+        }
+        IntegralImage {
+            width: w,
+            height: h,
+            sums,
+        }
+    }
+
+    /// Sum of the pixels in the closed rectangle `[x0, x1] × [y0, y1]`,
+    /// clipped to the image.
+    pub fn rect_sum(&self, x0: isize, y0: isize, x1: isize, y1: isize) -> f64 {
+        let x0 = x0.clamp(0, self.width as isize - 1) as usize;
+        let y0 = y0.clamp(0, self.height as isize - 1) as usize;
+        let x1 = x1.clamp(0, self.width as isize - 1) as usize;
+        let y1 = y1.clamp(0, self.height as isize - 1) as usize;
+        let stride = self.width + 1;
+        let s = &self.sums;
+        s[(y1 + 1) * stride + (x1 + 1)] + s[y0 * stride + x0]
+            - s[y0 * stride + (x1 + 1)]
+            - s[(y1 + 1) * stride + x0]
+    }
+
+    /// Number of pixels in the clipped rectangle.
+    pub fn rect_area(&self, x0: isize, y0: isize, x1: isize, y1: isize) -> usize {
+        let x0 = x0.clamp(0, self.width as isize - 1);
+        let y0 = y0.clamp(0, self.height as isize - 1);
+        let x1 = x1.clamp(0, self.width as isize - 1);
+        let y1 = y1.clamp(0, self.height as isize - 1);
+        ((x1 - x0 + 1) * (y1 - y0 + 1)) as usize
+    }
+}
+
+/// Box-filters `img` with a `(2r+1) × (2r+1)` window (mean of the
+/// clipped window at the borders).
+pub fn box_filter(img: &GrayImage, radius: usize) -> GrayImage {
+    let integral = IntegralImage::build(img);
+    let r = radius as isize;
+    GrayImage::from_fn(img.width(), img.height(), |x, y| {
+        let (x, y) = (x as isize, y as isize);
+        let sum = integral.rect_sum(x - r, y - r, x + r, y + r);
+        let area = integral.rect_area(x - r, y - r, x + r, y + r);
+        sum / area as f64
+    })
+}
+
+/// Reference O(r²) box filter used to validate the integral-image path.
+pub fn box_filter_naive(img: &GrayImage, radius: usize) -> GrayImage {
+    let r = radius as isize;
+    GrayImage::from_fn(img.width(), img.height(), |x, y| {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let xx = x as isize + dx;
+                let yy = y as isize + dy;
+                if xx >= 0 && yy >= 0 && xx < img.width() as isize && yy < img.height() as isize {
+                    sum += img.get(xx as usize, yy as usize);
+                    count += 1;
+                }
+            }
+        }
+        sum / count as f64
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_image_is_fixed_point() {
+        let img = GrayImage::constant(16, 16, 0.42);
+        let out = box_filter(&img, 3);
+        for &v in out.as_slice() {
+            assert!((v - 0.42).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        let img = GrayImage::checkerboard(20, 14, 3, 0.1, 0.9).with_gaussian_noise(0.02, 1);
+        for radius in [0, 1, 2, 4, 7] {
+            let fast = box_filter(&img, radius);
+            let slow = box_filter_naive(&img, radius);
+            assert!(
+                fast.mean_abs_diff(&slow) < 1e-12,
+                "radius {radius} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_radius_is_identity() {
+        let img = GrayImage::gradient(8, 8);
+        let out = box_filter(&img, 0);
+        assert!(out.mean_abs_diff(&img) < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_reduces_variance() {
+        let img = GrayImage::constant(64, 64, 0.5).with_gaussian_noise(0.2, 2);
+        let out = box_filter(&img, 4);
+        let var_in = cim_simkit::stats::variance(img.as_slice());
+        let var_out = cim_simkit::stats::variance(out.as_slice());
+        // A 9×9 mean should cut noise variance by roughly the window size.
+        assert!(var_out < var_in / 20.0, "{var_out} vs {var_in}");
+    }
+
+    #[test]
+    fn preserves_mean() {
+        let img = GrayImage::checkerboard(32, 32, 4, 0.0, 1.0);
+        let out = box_filter(&img, 2);
+        assert!((out.mean() - img.mean()).abs() < 0.02);
+    }
+
+    #[test]
+    fn integral_rect_sums() {
+        let img = GrayImage::from_fn(4, 4, |x, y| (y * 4 + x) as f64);
+        let integral = IntegralImage::build(&img);
+        // Whole image: 0 + 1 + … + 15 = 120.
+        assert_eq!(integral.rect_sum(0, 0, 3, 3), 120.0);
+        // Single pixel.
+        assert_eq!(integral.rect_sum(2, 1, 2, 1), 6.0);
+        // 2×2 block at origin: 0 + 1 + 4 + 5.
+        assert_eq!(integral.rect_sum(0, 0, 1, 1), 10.0);
+        assert_eq!(integral.rect_area(0, 0, 1, 1), 4);
+        // Clipped rectangle.
+        assert_eq!(integral.rect_sum(-5, -5, 0, 0), 0.0);
+        assert_eq!(integral.rect_area(-5, -5, 0, 0), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! The guided image filter (He et al., TPAMI 2013 — the paper's \[19\]).
+//!
+//! The filter assumes the output `q` is a *local linear transform* of a
+//! guidance image `I`: within each window `ω_k`, `q_i = a_k·I_i + b_k`.
+//! Solving the regularized least-squares fit to the input `p` gives
+//!
+//! ```text
+//! a_k = cov_k(I, p) / (var_k(I) + ε)
+//! b_k = mean_k(p) − a_k · mean_k(I)
+//! ```
+//!
+//! and each output pixel averages the coefficients of every window that
+//! covers it: `q_i = mean(a)_i · I_i + mean(b)_i`. All statistics are box
+//! means, so the whole filter is a handful of O(1) box filters —
+//! edge-preserving like the bilateral filter but without its
+//! gradient-reversal artifacts and with radius-independent cost.
+
+use crate::boxfilter::box_filter;
+use crate::image::GrayImage;
+
+/// Guided filter parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuidedParams {
+    /// Window radius (the paper's 7×7–11×11 neighbourhoods are r = 3–5).
+    pub radius: usize,
+    /// Regularization ε: larger values smooth more (an edge is preserved
+    /// when its local variance ≫ ε).
+    pub epsilon: f64,
+}
+
+impl Default for GuidedParams {
+    fn default() -> Self {
+        GuidedParams {
+            radius: 4,
+            epsilon: 1e-2,
+        }
+    }
+}
+
+/// Applies the guided filter with guidance `guide` and input `input`.
+/// Passing the same image for both gives the edge-preserving smoothing
+/// of Fig. 5.
+///
+/// # Panics
+///
+/// Panics if the images differ in size or `epsilon <= 0`.
+pub fn guided_filter(guide: &GrayImage, input: &GrayImage, params: &GuidedParams) -> GrayImage {
+    assert_eq!(
+        (guide.width(), guide.height()),
+        (input.width(), input.height()),
+        "guide and input must have the same size"
+    );
+    assert!(params.epsilon > 0.0, "epsilon must be positive");
+    let r = params.radius;
+
+    let mean_i = box_filter(guide, r);
+    let mean_p = box_filter(input, r);
+    let corr_ii = box_filter(&pixelwise(guide, guide, |a, b| a * b), r);
+    let corr_ip = box_filter(&pixelwise(guide, input, |a, b| a * b), r);
+
+    let var_i = pixelwise(&corr_ii, &pixelwise(&mean_i, &mean_i, |a, b| a * b), |c, m| c - m);
+    let cov_ip = pixelwise(&corr_ip, &pixelwise(&mean_i, &mean_p, |a, b| a * b), |c, m| c - m);
+
+    let a = pixelwise(&cov_ip, &var_i, |cov, var| cov / (var + params.epsilon));
+    let b = pixelwise(&mean_p, &pixelwise(&a, &mean_i, |a, m| a * m), |mp, am| mp - am);
+
+    let mean_a = box_filter(&a, r);
+    let mean_b = box_filter(&b, r);
+
+    pixelwise(&pixelwise(&mean_a, guide, |a, i| a * i), &mean_b, |ai, b| ai + b)
+}
+
+/// Elementwise combination of two equal-sized images.
+fn pixelwise(a: &GrayImage, b: &GrayImage, f: impl Fn(f64, f64) -> f64) -> GrayImage {
+    GrayImage::from_fn(a.width(), a.height(), |x, y| f(a.get(x, y), b.get(x, y)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bilateral::{bilateral_filter, BilateralParams};
+
+    #[test]
+    fn constant_image_is_fixed_point() {
+        let img = GrayImage::constant(24, 24, 0.6);
+        let out = guided_filter(&img, &img, &GuidedParams::default());
+        for &v in out.as_slice() {
+            assert!((v - 0.6).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn small_epsilon_preserves_structure() {
+        // With ε far below the local variance, the self-guided filter is
+        // near-identity (a → 1, b → 0).
+        let img = GrayImage::checkerboard(32, 32, 4, 0.1, 0.9);
+        let out = guided_filter(
+            &img,
+            &img,
+            &GuidedParams {
+                radius: 3,
+                epsilon: 1e-8,
+            },
+        );
+        assert!(out.mean_abs_diff(&img) < 1e-3, "{}", out.mean_abs_diff(&img));
+    }
+
+    #[test]
+    fn large_epsilon_smooths_heavily() {
+        // With ε far above the local variance, the filter degenerates to
+        // a (double) box mean.
+        let img = GrayImage::checkerboard(32, 32, 2, 0.0, 1.0);
+        let out = guided_filter(
+            &img,
+            &img,
+            &GuidedParams {
+                radius: 4,
+                epsilon: 1e3,
+            },
+        );
+        let spread = cim_simkit::stats::Summary::of(out.as_slice());
+        assert!(spread.std < 0.1, "std {}", spread.std);
+        assert!((spread.mean - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn denoises_while_keeping_edge() {
+        let clean = GrayImage::step_edge(40, 40, 20, 0.1, 0.9);
+        let noisy = clean.with_gaussian_noise(0.05, 7);
+        let out = guided_filter(&noisy, &noisy, &GuidedParams::default());
+        assert!(out.psnr(&clean) > noisy.psnr(&clean) + 3.0);
+        // The edge stays sharp: the intensity jump across the boundary
+        // columns remains large.
+        let jump = out.get(22, 20) - out.get(17, 20);
+        assert!(jump > 0.6, "edge jump {jump}");
+    }
+
+    #[test]
+    fn external_guidance_transfers_structure() {
+        // Flat input, structured guide: output follows the input values
+        // (a ≈ 0 wherever cov(I, p) ≈ 0).
+        let guide = GrayImage::step_edge(24, 24, 12, 0.0, 1.0);
+        let input = GrayImage::constant(24, 24, 0.5);
+        let out = guided_filter(&guide, &input, &GuidedParams::default());
+        assert!(out.mean_abs_diff(&input) < 1e-6);
+    }
+
+    #[test]
+    fn comparable_quality_to_bilateral_on_edges() {
+        let clean = GrayImage::step_edge(48, 48, 24, 0.2, 0.8);
+        let noisy = clean.with_gaussian_noise(0.05, 9);
+        let g = guided_filter(&noisy, &noisy, &GuidedParams::default());
+        let b = bilateral_filter(&noisy, &BilateralParams::default());
+        // Both must beat the noisy input; neither should be wildly worse
+        // than the other (Fig. 5's point: similar behaviour, different
+        // mechanism).
+        let pg = g.psnr(&clean);
+        let pb = b.psnr(&clean);
+        let pn = noisy.psnr(&clean);
+        assert!(pg > pn && pb > pn);
+        assert!((pg - pb).abs() < 6.0, "guided {pg} vs bilateral {pb}");
+    }
+
+    #[test]
+    #[should_panic(expected = "same size")]
+    fn size_mismatch_rejected() {
+        let a = GrayImage::constant(8, 8, 0.0);
+        let b = GrayImage::constant(9, 8, 0.0);
+        let _ = guided_filter(&a, &b, &GuidedParams::default());
+    }
+}

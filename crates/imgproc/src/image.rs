@@ -1,0 +1,246 @@
+//! Grayscale image container and synthetic test images.
+//!
+//! Pixels are `f64` intensities, nominally in `[0, 1]`. Synthetic
+//! generators produce the structures filtering experiments need:
+//! flat fields, step edges (edge-preservation tests), gradients and
+//! checkerboards (texture), plus Gaussian noise injection.
+
+use cim_simkit::rng::{normal, seeded};
+
+/// A row-major grayscale image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    data: Vec<f64>,
+}
+
+impl GrayImage {
+    /// Creates a constant-intensity image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn constant(width: usize, height: usize, value: f64) -> Self {
+        assert!(width > 0 && height > 0, "empty image");
+        GrayImage {
+            width,
+            height,
+            data: vec![value; width * height],
+        }
+    }
+
+    /// Builds an image from a closure mapping `(x, y) → intensity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        assert!(width > 0 && height > 0, "empty image");
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(f(x, y));
+            }
+        }
+        GrayImage {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// A vertical step edge: columns left of `edge_x` have intensity
+    /// `low`, the rest `high`.
+    pub fn step_edge(width: usize, height: usize, edge_x: usize, low: f64, high: f64) -> Self {
+        GrayImage::from_fn(width, height, |x, _| if x < edge_x { low } else { high })
+    }
+
+    /// A horizontal linear gradient from 0 to 1.
+    pub fn gradient(width: usize, height: usize) -> Self {
+        GrayImage::from_fn(width, height, |x, _| x as f64 / (width.max(2) - 1) as f64)
+    }
+
+    /// A checkerboard with `cell`-pixel squares.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell == 0`.
+    pub fn checkerboard(width: usize, height: usize, cell: usize, low: f64, high: f64) -> Self {
+        assert!(cell > 0, "cell size must be nonzero");
+        GrayImage::from_fn(width, height, |x, y| {
+            if ((x / cell) + (y / cell)) % 2 == 0 {
+                low
+            } else {
+                high
+            }
+        })
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The raw row-major pixel buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> f64 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y * self.width + x]
+    }
+
+    /// Writes pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, value: f64) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y * self.width + x] = value;
+    }
+
+    /// Pixel with coordinates clamped to the image borders (replicate
+    /// padding, the convention all filters here share).
+    pub fn get_clamped(&self, x: isize, y: isize) -> f64 {
+        let cx = x.clamp(0, self.width as isize - 1) as usize;
+        let cy = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[cy * self.width + cx]
+    }
+
+    /// A copy with i.i.d. Gaussian noise of standard deviation `sigma`.
+    pub fn with_gaussian_noise(&self, sigma: f64, seed: u64) -> Self {
+        let mut rng = seeded(seed);
+        GrayImage {
+            width: self.width,
+            height: self.height,
+            data: self.data.iter().map(|&v| normal(&mut rng, v, sigma)).collect(),
+        }
+    }
+
+    /// Mean intensity.
+    pub fn mean(&self) -> f64 {
+        self.data.iter().sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Mean absolute difference to another image of the same size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn mean_abs_diff(&self, other: &GrayImage) -> f64 {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "image size mismatch"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / self.data.len() as f64
+    }
+
+    /// PSNR against a reference image, assuming peak intensity 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn psnr(&self, reference: &GrayImage) -> f64 {
+        assert_eq!(
+            (self.width, self.height),
+            (reference.width, reference.height),
+            "image size mismatch"
+        );
+        cim_simkit::stats::psnr_db(&reference.data, &self.data, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let img = GrayImage::constant(4, 3, 0.5);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert_eq!(img.get(3, 2), 0.5);
+        assert_eq!(img.as_slice().len(), 12);
+    }
+
+    #[test]
+    fn step_edge_structure() {
+        let img = GrayImage::step_edge(8, 4, 4, 0.0, 1.0);
+        assert_eq!(img.get(3, 0), 0.0);
+        assert_eq!(img.get(4, 0), 1.0);
+    }
+
+    #[test]
+    fn gradient_endpoints() {
+        let img = GrayImage::gradient(11, 2);
+        assert_eq!(img.get(0, 0), 0.0);
+        assert_eq!(img.get(10, 1), 1.0);
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let img = GrayImage::checkerboard(8, 8, 2, 0.0, 1.0);
+        assert_eq!(img.get(0, 0), 0.0);
+        assert_eq!(img.get(2, 0), 1.0);
+        assert_eq!(img.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn clamped_access_replicates_borders() {
+        let img = GrayImage::gradient(4, 4);
+        assert_eq!(img.get_clamped(-3, 0), img.get(0, 0));
+        assert_eq!(img.get_clamped(10, 2), img.get(3, 2));
+        assert_eq!(img.get_clamped(1, -5), img.get(1, 0));
+    }
+
+    #[test]
+    fn noise_statistics() {
+        let img = GrayImage::constant(100, 100, 0.5);
+        let noisy = img.with_gaussian_noise(0.1, 3);
+        let mad = img.mean_abs_diff(&noisy);
+        // E|N(0, 0.1²)| = 0.1·√(2/π) ≈ 0.0798.
+        assert!((mad - 0.0798).abs() < 0.01, "mad {mad}");
+        assert!((noisy.mean() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn psnr_of_identical_is_infinite() {
+        let img = GrayImage::gradient(16, 16);
+        assert!(img.psnr(&img).is_infinite());
+        let noisy = img.with_gaussian_noise(0.1, 4);
+        let p = noisy.psnr(&img);
+        assert!(p > 15.0 && p < 25.0, "psnr {p}");
+    }
+
+    #[test]
+    fn set_pixel() {
+        let mut img = GrayImage::constant(2, 2, 0.0);
+        img.set(1, 1, 0.7);
+        assert_eq!(img.get(1, 1), 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty image")]
+    fn zero_size_rejected() {
+        let _ = GrayImage::constant(0, 5, 0.0);
+    }
+}

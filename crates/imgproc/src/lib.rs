@@ -1,0 +1,47 @@
+//! # cim-imgproc
+//!
+//! Guided and bilateral image filtering with memory-access-pattern
+//! analysis — the §III-A application of the DATE'19 paper.
+//!
+//! The paper motivates CIM for "advanced image and video processing
+//! kernels \[that\] exhibit a mix of regular and irregular memory
+//! accesses" needing "a medium-size neighbourhood around the current
+//! pixel … 7×7 up to 11×11 pixels", too large for register files and
+//! awkward for GPU caches. The guided image filter (He et al., the
+//! paper's \[19\]) is its running example (Fig. 5 contrasts it with the
+//! bilateral filter).
+//!
+//! * [`image`] — a grayscale image container plus synthetic test-image
+//!   and noise generators.
+//! * [`boxfilter`] — O(1) box filtering via integral images (the
+//!   building block of the guided filter).
+//! * [`bilateral`] — the classic edge-preserving bilateral filter.
+//! * [`guided`] — the guided image filter, with guidance `I`, input `p`
+//!   and the special self-guided case `I = p`.
+//! * [`access`] — the §III-A access-pattern analysis: per-pixel
+//!   neighbourhood footprints and the data-movement comparison between a
+//!   cache hierarchy and an irregular-access CIM macro.
+//!
+//! # Example
+//!
+//! ```
+//! use cim_imgproc::image::GrayImage;
+//! use cim_imgproc::guided::{guided_filter, GuidedParams};
+//!
+//! let img = GrayImage::step_edge(32, 32, 16, 0.2, 0.8);
+//! let noisy = img.with_gaussian_noise(0.05, 1);
+//! let out = guided_filter(&noisy, &noisy, &GuidedParams { radius: 4, epsilon: 0.01 });
+//! assert_eq!(out.width(), 32);
+//! ```
+
+pub mod access;
+pub mod bilateral;
+pub mod boxfilter;
+pub mod guided;
+pub mod image;
+
+pub use access::{AccessPattern, DataMovement};
+pub use bilateral::{bilateral_filter, BilateralParams};
+pub use boxfilter::{box_filter, IntegralImage};
+pub use guided::{guided_filter, GuidedParams};
+pub use image::GrayImage;

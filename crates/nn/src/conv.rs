@@ -1,0 +1,249 @@
+//! 1-D convolution layers and their crossbar mapping.
+//!
+//! §IV-A-2: "The multiple layers of a standard fully connected neural
+//! network (FCNN) or convolutional neural network (CNN) can be mapped to
+//! CIM cores comprising memristive crossbar arrays." A convolution maps
+//! to a crossbar through the *im2col* trick: each output position's
+//! receptive field is flattened into a column vector and multiplied by a
+//! filter matrix of shape `out_channels × (in_channels·kernel)` — which
+//! is exactly the dense product the analog tiles implement. Keyword
+//! spotting and ECG detection, the paper's example workloads, use this
+//! layer over 1-D sensor streams.
+
+use crate::layer::Activation;
+use cim_crossbar::analog::{AnalogParams, DifferentialCrossbar};
+use cim_crossbar::energy::OperationCost;
+use cim_simkit::linalg::Matrix;
+use cim_simkit::rng::{normal, seeded};
+use rand::Rng;
+
+/// A 1-D convolution layer (valid padding, stride 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv1dLayer {
+    /// Filter bank, `out_channels × (in_channels · kernel_size)`,
+    /// row-major per filter with channel-major taps.
+    pub weights: Matrix,
+    /// One bias per output channel.
+    pub bias: Vec<f64>,
+    /// Activation applied per output sample.
+    pub activation: Activation,
+    in_channels: usize,
+    kernel_size: usize,
+}
+
+impl Conv1dLayer {
+    /// Creates a layer from an explicit filter bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree or the kernel is empty.
+    pub fn new(
+        weights: Matrix,
+        bias: Vec<f64>,
+        activation: Activation,
+        in_channels: usize,
+        kernel_size: usize,
+    ) -> Self {
+        assert!(kernel_size > 0 && in_channels > 0, "empty kernel");
+        assert_eq!(weights.cols(), in_channels * kernel_size, "filter width mismatch");
+        assert_eq!(weights.rows(), bias.len(), "bias length mismatch");
+        Conv1dLayer {
+            weights,
+            bias,
+            activation,
+            in_channels,
+            kernel_size,
+        }
+    }
+
+    /// He-initialized random filter bank.
+    pub fn random<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel_size: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        let fan_in = in_channels * kernel_size;
+        let std = (2.0 / fan_in as f64).sqrt();
+        Conv1dLayer::new(
+            Matrix::from_fn(out_channels, fan_in, |_, _| normal(rng, 0.0, std)),
+            vec![0.0; out_channels],
+            activation,
+            in_channels,
+            kernel_size,
+        )
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels (filters).
+    pub fn out_channels(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Kernel width in samples.
+    pub fn kernel_size(&self) -> usize {
+        self.kernel_size
+    }
+
+    /// Output length for an input of `len` samples (valid padding).
+    pub fn output_len(&self, len: usize) -> usize {
+        len.saturating_sub(self.kernel_size - 1)
+    }
+
+    /// Flattens the receptive field at `t` into an im2col column.
+    fn receptive_field(&self, input: &[Vec<f64>], t: usize) -> Vec<f64> {
+        let mut col = Vec::with_capacity(self.in_channels * self.kernel_size);
+        for ch in input {
+            col.extend_from_slice(&ch[t..t + self.kernel_size]);
+        }
+        col
+    }
+
+    /// Float forward pass: `channels × time` in, `filters × time'` out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel count mismatches, channels differ in
+    /// length, or the signal is shorter than the kernel.
+    pub fn forward(&self, input: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        assert_eq!(input.len(), self.in_channels, "channel count mismatch");
+        let len = input[0].len();
+        for ch in input {
+            assert_eq!(ch.len(), len, "ragged input channels");
+        }
+        assert!(len >= self.kernel_size, "signal shorter than kernel");
+        let out_len = self.output_len(len);
+        let mut out = vec![vec![0.0; out_len]; self.out_channels()];
+        for t in 0..out_len {
+            let col = self.receptive_field(input, t);
+            let z = self.weights.matvec(&col);
+            for (f, zf) in z.iter().enumerate() {
+                out[f][t] = self.activation.apply(zf + self.bias[f]);
+            }
+        }
+        out
+    }
+}
+
+/// A convolution layer executed in a differential crossbar via im2col.
+#[derive(Debug)]
+pub struct CrossbarConv1d {
+    layer: Conv1dLayer,
+    pair: DifferentialCrossbar,
+    rng: rand::rngs::StdRng,
+}
+
+impl CrossbarConv1d {
+    /// Programs the filter bank into a crossbar tile.
+    pub fn program(layer: Conv1dLayer, params: AnalogParams, seed: u64) -> (Self, OperationCost) {
+        let mut rng = seeded(seed);
+        let mut pair =
+            DifferentialCrossbar::new(layer.weights.rows(), layer.weights.cols(), params);
+        let cost = pair.program_matrix(&layer.weights, &mut rng);
+        (CrossbarConv1d { layer, pair, rng }, cost)
+    }
+
+    /// Analog forward pass; one crossbar access per output position.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Conv1dLayer::forward`].
+    pub fn forward(&mut self, input: &[Vec<f64>]) -> (Vec<Vec<f64>>, OperationCost) {
+        assert_eq!(input.len(), self.layer.in_channels, "channel count mismatch");
+        let len = input[0].len();
+        assert!(len >= self.layer.kernel_size, "signal shorter than kernel");
+        let out_len = self.layer.output_len(len);
+        let mut out = vec![vec![0.0; out_len]; self.layer.out_channels()];
+        let mut cost = OperationCost::default();
+        for t in 0..out_len {
+            let col = self.layer.receptive_field(input, t);
+            let (z, c) = self.pair.matvec_with_cost(&col, &mut self.rng);
+            cost = cost.then(c);
+            for (f, zf) in z.iter().enumerate() {
+                out[f][t] = self.layer.activation.apply(zf + self.layer.bias[f]);
+            }
+        }
+        (out, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_simkit::stats::rmse;
+
+    #[test]
+    fn moving_average_kernel() {
+        let w = Matrix::from_rows(&[&[1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0]]);
+        let layer = Conv1dLayer::new(w, vec![0.0], Activation::Identity, 1, 3);
+        let signal = vec![vec![0.0, 3.0, 6.0, 3.0, 0.0]];
+        let out = layer.forward(&signal);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 3);
+        assert!((out[0][0] - 3.0).abs() < 1e-12);
+        assert!((out[0][1] - 4.0).abs() < 1e-12);
+        assert!((out[0][2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_detector_kernel() {
+        let w = Matrix::from_rows(&[&[-1.0, 1.0]]);
+        let layer = Conv1dLayer::new(w, vec![0.0], Activation::Relu, 1, 2);
+        let step = vec![vec![0.0, 0.0, 1.0, 1.0]];
+        let out = layer.forward(&step);
+        assert_eq!(out[0], vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn multichannel_shapes() {
+        let mut rng = seeded(1);
+        let layer = Conv1dLayer::random(3, 5, 4, Activation::Relu, &mut rng);
+        assert_eq!(layer.in_channels(), 3);
+        assert_eq!(layer.out_channels(), 5);
+        assert_eq!(layer.kernel_size(), 4);
+        let input: Vec<Vec<f64>> = (0..3)
+            .map(|c| (0..20).map(|t| ((c + t) % 5) as f64 / 5.0).collect())
+            .collect();
+        let out = layer.forward(&input);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[0].len(), 17);
+    }
+
+    #[test]
+    fn crossbar_conv_matches_float() {
+        let mut rng = seeded(2);
+        let layer = Conv1dLayer::random(2, 3, 3, Activation::Relu, &mut rng);
+        let input: Vec<Vec<f64>> = (0..2)
+            .map(|c| (0..16).map(|t| (((c * 3 + t) % 7) as f64 - 3.0) / 7.0).collect())
+            .collect();
+        let float = layer.forward(&input);
+        let (mut cconv, prog) = CrossbarConv1d::program(layer, AnalogParams::ideal(), 3);
+        assert!(prog.energy.0 > 0.0);
+        let (analog, cost) = cconv.forward(&input);
+        assert!(cost.energy.0 > 0.0);
+        for (fa, ff) in analog.iter().zip(&float) {
+            assert!(rmse(ff, fa) < 0.01, "rmse {}", rmse(ff, fa));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than kernel")]
+    fn short_signal_rejected() {
+        let mut rng = seeded(3);
+        let layer = Conv1dLayer::random(1, 1, 5, Activation::Identity, &mut rng);
+        let _ = layer.forward(&[vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged input")]
+    fn ragged_channels_rejected() {
+        let mut rng = seeded(4);
+        let layer = Conv1dLayer::random(2, 1, 2, Activation::Identity, &mut rng);
+        let _ = layer.forward(&[vec![1.0, 2.0, 3.0], vec![1.0, 2.0]]);
+    }
+}

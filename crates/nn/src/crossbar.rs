@@ -1,0 +1,157 @@
+//! Networks executed on memristive crossbars.
+//!
+//! Each dense layer's weight matrix is programmed into a differential
+//! PCM crossbar pair; a forward pass drives the layer input through the
+//! DACs, reads the column currents through the ADCs and applies bias and
+//! activation digitally — "DACs are used to input the data to each
+//! crossbar array and ADCs are used to digitize the resulting current"
+//! (§IV-A-2). The result is a hardware-faithful inference path whose
+//! accuracy can be compared against the float network.
+
+use crate::layer::argmax;
+use crate::network::Network;
+use cim_crossbar::analog::{AnalogParams, DifferentialCrossbar};
+use cim_crossbar::energy::OperationCost;
+use cim_simkit::rng::seeded;
+use rand::rngs::StdRng;
+
+/// One crossbar-mapped dense layer.
+#[derive(Debug)]
+struct CrossbarLayer {
+    pair: DifferentialCrossbar,
+    bias: Vec<f64>,
+    activation: crate::layer::Activation,
+}
+
+/// A network whose matrix-vector products run in analog crossbars.
+#[derive(Debug)]
+pub struct CrossbarNetwork {
+    layers: Vec<CrossbarLayer>,
+    rng: StdRng,
+}
+
+impl CrossbarNetwork {
+    /// Programs every layer of `net` into crossbar tiles with the given
+    /// analog configuration. Returns the network and the one-time
+    /// programming cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is empty.
+    pub fn program(net: &Network, params: AnalogParams, seed: u64) -> (Self, OperationCost) {
+        assert!(!net.layers().is_empty(), "empty network");
+        let mut rng = seeded(seed);
+        let mut layers = Vec::with_capacity(net.layers().len());
+        let mut cost = OperationCost::default();
+        for layer in net.layers() {
+            let mut pair =
+                DifferentialCrossbar::new(layer.outputs(), layer.inputs(), params);
+            let c = pair.program_matrix(&layer.weights, &mut rng);
+            cost = cost.then(c);
+            layers.push(CrossbarLayer {
+                pair,
+                bias: layer.bias.clone(),
+                activation: layer.activation,
+            });
+        }
+        (CrossbarNetwork { layers, rng }, cost)
+    }
+
+    /// Analog forward pass, returning the output activations and the
+    /// total cost of all crossbar reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong length.
+    pub fn forward(&mut self, x: &[f64]) -> (Vec<f64>, OperationCost) {
+        let mut v = x.to_vec();
+        let mut cost = OperationCost::default();
+        for layer in &mut self.layers {
+            let (z, c) = layer.pair.matvec_with_cost(&v, &mut self.rng);
+            cost = cost.then(c);
+            v = z
+                .iter()
+                .zip(&layer.bias)
+                .map(|(zi, bi)| layer.activation.apply(zi + bi))
+                .collect();
+        }
+        (v, cost)
+    }
+
+    /// Class prediction through the analog path.
+    pub fn predict(&mut self, x: &[f64]) -> usize {
+        argmax(&self.forward(x).0)
+    }
+
+    /// Total energy spent by all tiles so far.
+    pub fn total_energy(&self) -> cim_simkit::units::Joules {
+        self.layers
+            .iter()
+            .map(|l| l.pair.stats().energy)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::SensoryTask;
+    use crate::train::TrainConfig;
+
+    fn trained() -> (SensoryTask, Network) {
+        let task = SensoryTask::generate(12, 4, 50, 0.2, 31);
+        let net = TrainConfig::default().train(&task, 8);
+        (task, net)
+    }
+
+    #[test]
+    fn ideal_crossbar_matches_float_predictions() {
+        let (task, net) = trained();
+        let (mut cbn, cost) = CrossbarNetwork::program(&net, AnalogParams::ideal(), 1);
+        assert!(cost.energy.0 > 0.0);
+        let (xs, _) = task.test_set();
+        let mut agree = 0;
+        for x in xs.iter().take(60) {
+            if cbn.predict(x) == net.predict(x) {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 58, "only {agree}/60 predictions agree");
+    }
+
+    #[test]
+    fn realistic_crossbar_keeps_most_accuracy() {
+        let (task, net) = trained();
+        let float_acc = task.accuracy(&net, task.test_set());
+        let (mut cbn, _) = CrossbarNetwork::program(&net, AnalogParams::default(), 2);
+        let analog_acc = task.accuracy_with(task.test_set(), |x| cbn.predict(x));
+        assert!(
+            analog_acc >= float_acc - 0.15,
+            "analog {analog_acc} vs float {float_acc}"
+        );
+        assert!(cbn.total_energy().0 > 0.0);
+    }
+
+    #[test]
+    fn coarse_adc_hurts_accuracy_more() {
+        let (task, net) = trained();
+        let mut fine = AnalogParams::default();
+        fine.adc_bits = 10;
+        let mut coarse = AnalogParams::default();
+        coarse.adc_bits = 2;
+        let (mut f, _) = CrossbarNetwork::program(&net, fine, 3);
+        let (mut c, _) = CrossbarNetwork::program(&net, coarse, 3);
+        let fa = task.accuracy_with(task.test_set(), |x| f.predict(x));
+        let ca = task.accuracy_with(task.test_set(), |x| c.predict(x));
+        assert!(fa >= ca, "fine {fa} vs coarse {ca}");
+    }
+
+    #[test]
+    fn forward_cost_scales_with_layers() {
+        let (_, net) = trained();
+        let (mut cbn, _) = CrossbarNetwork::program(&net, AnalogParams::default(), 4);
+        let (_, cost) = cbn.forward(&vec![0.5; 12]);
+        assert!(cost.energy.0 > 0.0);
+        assert!(cost.latency.0 > 0.0);
+    }
+}

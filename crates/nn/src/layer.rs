@@ -1,0 +1,195 @@
+//! Dense layers and activations.
+
+use cim_simkit::linalg::Matrix;
+use cim_simkit::rng::normal;
+use rand::Rng;
+
+/// Elementwise activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activation {
+    /// Identity (linear output layer; softmax applied by the loss).
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Applies the activation to one value.
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Derivative with respect to the pre-activation, given the
+    /// pre-activation value.
+    pub fn derivative(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => {
+                let s = self.apply(x);
+                s * (1.0 - s)
+            }
+        }
+    }
+}
+
+/// A fully-connected layer `y = act(W·x + b)` with `W: outputs × inputs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseLayer {
+    /// Weight matrix, `outputs × inputs`.
+    pub weights: Matrix,
+    /// Bias vector of length `outputs`.
+    pub bias: Vec<f64>,
+    /// Activation applied to the affine output.
+    pub activation: Activation,
+}
+
+impl DenseLayer {
+    /// He-initialized layer.
+    pub fn random<R: Rng + ?Sized>(
+        inputs: usize,
+        outputs: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        let std = (2.0 / inputs as f64).sqrt();
+        DenseLayer {
+            weights: Matrix::from_fn(outputs, inputs, |_, _| normal(rng, 0.0, std)),
+            bias: vec![0.0; outputs],
+            activation,
+        }
+    }
+
+    /// Input dimension.
+    pub fn inputs(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Output dimension.
+    pub fn outputs(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Affine part `W·x + b` (pre-activation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != inputs`.
+    pub fn affine(&self, x: &[f64]) -> Vec<f64> {
+        let mut z = self.weights.matvec(x);
+        for (zi, bi) in z.iter_mut().zip(&self.bias) {
+            *zi += bi;
+        }
+        z
+    }
+
+    /// Full forward pass `act(W·x + b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != inputs`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        self.affine(x)
+            .into_iter()
+            .map(|z| self.activation.apply(z))
+            .collect()
+    }
+
+    /// Number of multiply-accumulates per forward pass.
+    pub fn macs(&self) -> usize {
+        self.inputs() * self.outputs()
+    }
+}
+
+/// Numerically stable softmax.
+pub fn softmax(z: &[f64]) -> Vec<f64> {
+    let peak = z.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+    let exps: Vec<f64> = z.iter().map(|&v| (v - peak).exp()).collect();
+    let total: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / total).collect()
+}
+
+/// Index of the largest element (ties → first).
+///
+/// # Panics
+///
+/// Panics if `z` is empty.
+pub fn argmax(z: &[f64]) -> usize {
+    assert!(!z.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in z.iter().enumerate() {
+        if v > z[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_simkit::rng::seeded;
+
+    #[test]
+    fn activations() {
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert_eq!(Activation::Identity.apply(-2.0), -2.0);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-12);
+        assert_eq!(Activation::Relu.derivative(1.0), 1.0);
+        assert_eq!(Activation::Relu.derivative(-1.0), 0.0);
+        assert!((Activation::Sigmoid.derivative(0.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_known_values() {
+        let layer = DenseLayer {
+            weights: Matrix::from_rows(&[&[1.0, -1.0], &[0.5, 0.5]]),
+            bias: vec![0.0, 1.0],
+            activation: Activation::Relu,
+        };
+        let y = layer.forward(&[2.0, 1.0]);
+        assert_eq!(y, vec![1.0, 2.5]);
+        // Negative pre-activation clipped.
+        let y = layer.forward(&[0.0, 5.0]);
+        assert_eq!(y[0], 0.0);
+    }
+
+    #[test]
+    fn he_init_scale() {
+        let mut rng = seeded(1);
+        let layer = DenseLayer::random(100, 50, Activation::Relu, &mut rng);
+        let s = cim_simkit::stats::Summary::of(layer.weights.as_slice());
+        assert!((s.std - (2.0f64 / 100.0).sqrt()).abs() < 0.02);
+        assert!(layer.bias.iter().all(|&b| b == 0.0));
+        assert_eq!(layer.macs(), 5000);
+    }
+
+    #[test]
+    fn softmax_properties() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Stability at large magnitudes.
+        let p = softmax(&[1000.0, 1001.0]);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn argmax_picks_peak() {
+        assert_eq!(argmax(&[0.1, 0.7, 0.2]), 1);
+        assert_eq!(argmax(&[1.0, 1.0]), 0);
+    }
+}

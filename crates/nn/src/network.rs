@@ -1,0 +1,151 @@
+//! Feed-forward networks: stacks of dense layers.
+
+use crate::layer::{argmax, DenseLayer};
+
+/// A feed-forward network (the paper's "cascade of matrix-vector
+/// multiply units and activation functions").
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Network {
+    layers: Vec<DenseLayer>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network { layers: Vec::new() }
+    }
+
+    /// Builds a network from layers, validating dimension chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive layers disagree on dimensions.
+    pub fn from_layers(layers: Vec<DenseLayer>) -> Self {
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].outputs(),
+                pair[1].inputs(),
+                "layer dimension mismatch"
+            );
+        }
+        Network { layers }
+    }
+
+    /// Appends a layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer's input dimension mismatches the current
+    /// output dimension.
+    pub fn push(&mut self, layer: DenseLayer) -> &mut Self {
+        if let Some(last) = self.layers.last() {
+            assert_eq!(last.outputs(), layer.inputs(), "layer dimension mismatch");
+        }
+        self.layers.push(layer);
+        self
+    }
+
+    /// The layers in order.
+    pub fn layers(&self) -> &[DenseLayer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (for quantization passes).
+    pub fn layers_mut(&mut self) -> &mut [DenseLayer] {
+        &mut self.layers
+    }
+
+    /// Input dimension of the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is empty.
+    pub fn inputs(&self) -> usize {
+        self.layers.first().expect("empty network").inputs()
+    }
+
+    /// Output dimension of the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is empty.
+    pub fn outputs(&self) -> usize {
+        self.layers.last().expect("empty network").outputs()
+    }
+
+    /// Forward pass through every layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is empty or `x` has the wrong length.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert!(!self.layers.is_empty(), "empty network");
+        let mut v = x.to_vec();
+        for layer in &self.layers {
+            v = layer.forward(&v);
+        }
+        v
+    }
+
+    /// Class prediction: argmax of the final layer's output.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        argmax(&self.forward(x))
+    }
+
+    /// Total multiply-accumulates per inference.
+    pub fn macs(&self) -> usize {
+        self.layers.iter().map(DenseLayer::macs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Activation;
+    use cim_simkit::linalg::Matrix;
+
+    fn layer(inputs: usize, outputs: usize) -> DenseLayer {
+        DenseLayer {
+            weights: Matrix::from_fn(outputs, inputs, |i, j| ((i + j) % 3) as f64 * 0.1),
+            bias: vec![0.0; outputs],
+            activation: Activation::Relu,
+        }
+    }
+
+    #[test]
+    fn chaining_validated() {
+        let net = Network::from_layers(vec![layer(4, 8), layer(8, 3)]);
+        assert_eq!(net.inputs(), 4);
+        assert_eq!(net.outputs(), 3);
+        assert_eq!(net.macs(), 4 * 8 + 8 * 3);
+        assert_eq!(net.layers().len(), 2);
+    }
+
+    #[test]
+    fn forward_composes() {
+        let net = Network::from_layers(vec![layer(2, 2), layer(2, 2)]);
+        let x = [1.0, 1.0];
+        let manual = net.layers()[1].forward(&net.layers()[0].forward(&x));
+        assert_eq!(net.forward(&x), manual);
+    }
+
+    #[test]
+    fn predict_returns_argmax() {
+        let mut out = layer(2, 3);
+        out.bias = vec![0.0, 5.0, 0.0];
+        let net = Network::from_layers(vec![layer(2, 2), out]);
+        assert_eq!(net.predict(&[0.0, 0.0]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn bad_chaining_rejected() {
+        let _ = Network::from_layers(vec![layer(4, 8), layer(9, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty network")]
+    fn empty_forward_rejected() {
+        let _ = Network::new().forward(&[1.0]);
+    }
+}

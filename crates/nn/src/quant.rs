@@ -1,0 +1,193 @@
+//! Weight quantization: uniform and INQ-style power-of-two.
+//!
+//! The paper leans on Zhou et al.'s incremental network quantization
+//! (\[23\]) for the claim that low-precision inference "can achieve
+//! comparable classification accuracy as networks operating with
+//! floating point precision". Two quantizers:
+//!
+//! * [`quantize_uniform`] — per-layer symmetric uniform quantization to
+//!   `bits` (what a DAC/ADC-limited crossbar implements directly);
+//! * [`quantize_power_of_two`] — INQ's weight set `{0, ±2^k}` for
+//!   `k ∈ [k_min, k_max]`, chosen per layer from the weight magnitudes
+//!   (multiplications become shifts in digital hardware; in analog
+//!   hardware it concentrates conductance targets on a few levels).
+
+use crate::network::Network;
+use cim_simkit::quant::UniformQuantizer;
+
+/// Quantizes every layer's weights to `bits` symmetric uniform levels
+/// (per-layer scale = the layer's largest |w|). Biases stay full
+/// precision, as is standard.
+///
+/// # Panics
+///
+/// Panics if `bits < 2` or the network is empty.
+pub fn quantize_uniform(net: &mut Network, bits: u32) {
+    assert!(!net.layers().is_empty(), "empty network");
+    for layer in net.layers_mut() {
+        let w_max = layer.weights.max_abs();
+        if w_max == 0.0 {
+            continue;
+        }
+        let q = UniformQuantizer::mid_tread(bits, w_max);
+        layer.weights.map_inplace(|w| q.quantize(w));
+    }
+}
+
+/// Quantizes every layer's weights to the INQ set `{0} ∪ {±2^k}` with
+/// `levels` distinct exponents per sign, the largest chosen to cover the
+/// layer's maximum |w|. Weights below half the smallest power snap to 0.
+///
+/// # Panics
+///
+/// Panics if `levels == 0` or the network is empty.
+pub fn quantize_power_of_two(net: &mut Network, levels: u32) {
+    assert!(levels > 0, "need at least one exponent level");
+    assert!(!net.layers().is_empty(), "empty network");
+    for layer in net.layers_mut() {
+        let w_max = layer.weights.max_abs();
+        if w_max == 0.0 {
+            continue;
+        }
+        let k_max = w_max.log2().floor() as i32;
+        let k_min = k_max - levels as i32 + 1;
+        layer.weights.map_inplace(|w| snap_power_of_two(w, k_min, k_max));
+    }
+}
+
+/// Snaps one weight to the nearest of `{0} ∪ {±2^k : k_min ≤ k ≤ k_max}`.
+fn snap_power_of_two(w: f64, k_min: i32, k_max: i32) -> f64 {
+    if w == 0.0 {
+        return 0.0;
+    }
+    let magnitude = w.abs();
+    let floor_pow = 2f64.powi(k_min);
+    // Below half the smallest representable power → prune to zero (INQ's
+    // pruning threshold).
+    if magnitude < floor_pow / 2.0 {
+        return 0.0;
+    }
+    let k = magnitude.log2().round().clamp(k_min as f64, k_max as f64) as i32;
+    // Rounding in log2 picks the nearer of 2^k / 2^{k±1} in ratio terms.
+    let snapped = 2f64.powi(k);
+    snapped.copysign(w)
+}
+
+/// The distinct non-zero magnitudes present in a network's weights —
+/// useful to verify a quantizer's codebook.
+pub fn weight_magnitudes(net: &Network) -> Vec<f64> {
+    let mut mags: Vec<f64> = net
+        .layers()
+        .iter()
+        .flat_map(|l| l.weights.as_slice().iter().copied())
+        .map(f64::abs)
+        // The quantizer's zero level decodes to within rounding of zero;
+        // treat those as pruned weights, not codebook entries.
+        .filter(|w| *w > 1e-12)
+        .collect();
+    mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    mags.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    mags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::SensoryTask;
+    use crate::train::TrainConfig;
+
+    fn trained() -> (SensoryTask, Network) {
+        let task = SensoryTask::generate(12, 4, 60, 0.2, 21);
+        let net = TrainConfig::default().train(&task, 8);
+        (task, net)
+    }
+
+    #[test]
+    fn uniform_8bit_preserves_accuracy() {
+        let (task, net) = trained();
+        let baseline = task.accuracy(&net, task.test_set());
+        let mut q = net.clone();
+        quantize_uniform(&mut q, 8);
+        let quantized = task.accuracy(&q, task.test_set());
+        assert!(
+            quantized >= baseline - 0.02,
+            "8-bit {quantized} vs float {baseline}"
+        );
+    }
+
+    #[test]
+    fn uniform_4bit_close_to_float() {
+        // The paper's working point: 4-bit weights remain usable.
+        let (task, net) = trained();
+        let baseline = task.accuracy(&net, task.test_set());
+        let mut q = net.clone();
+        quantize_uniform(&mut q, 4);
+        let quantized = task.accuracy(&q, task.test_set());
+        assert!(
+            quantized >= baseline - 0.10,
+            "4-bit {quantized} vs float {baseline}"
+        );
+    }
+
+    #[test]
+    fn uniform_2bit_degrades() {
+        let (task, net) = trained();
+        let mut q4 = net.clone();
+        quantize_uniform(&mut q4, 4);
+        let mut q2 = net.clone();
+        quantize_uniform(&mut q2, 2);
+        let a4 = task.accuracy(&q4, task.test_set());
+        let a2 = task.accuracy(&q2, task.test_set());
+        assert!(a2 <= a4 + 0.02, "2-bit {a2} should not beat 4-bit {a4}");
+    }
+
+    #[test]
+    fn uniform_codebook_size_bounded() {
+        let (_, net) = trained();
+        let mut q = net.clone();
+        quantize_uniform(&mut q, 3);
+        // Mid-tread 3-bit → 7 levels → at most 3 distinct magnitudes per
+        // layer, ≤ 6 across two layers.
+        let mags = weight_magnitudes(&q);
+        assert!(mags.len() <= 6, "{} distinct magnitudes", mags.len());
+    }
+
+    #[test]
+    fn power_of_two_codebook_is_powers() {
+        let (_, net) = trained();
+        let mut q = net.clone();
+        quantize_power_of_two(&mut q, 4);
+        for m in weight_magnitudes(&q) {
+            let k = m.log2();
+            assert!(
+                (k - k.round()).abs() < 1e-9,
+                "magnitude {m} is not a power of two"
+            );
+        }
+    }
+
+    #[test]
+    fn power_of_two_preserves_usable_accuracy() {
+        let (task, net) = trained();
+        let baseline = task.accuracy(&net, task.test_set());
+        let mut q = net.clone();
+        quantize_power_of_two(&mut q, 5);
+        let quantized = task.accuracy(&q, task.test_set());
+        assert!(
+            quantized >= baseline - 0.12,
+            "INQ {quantized} vs float {baseline}"
+        );
+    }
+
+    #[test]
+    fn snap_behaviour() {
+        // 0.75 → 1.0 or 0.5: log2(0.75) = −0.415 → rounds to 0 → 1.0? No:
+        // −0.415 rounds to 0 → 2^0 = 1.0.
+        assert_eq!(snap_power_of_two(0.75, -4, 2), 1.0);
+        assert_eq!(snap_power_of_two(-0.75, -4, 2), -1.0);
+        assert_eq!(snap_power_of_two(0.51, -4, 2), 0.5);
+        // Below half the smallest power → 0.
+        assert_eq!(snap_power_of_two(0.02, -4, 2), 0.0);
+        assert_eq!(snap_power_of_two(0.0, -4, 2), 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Precision/noise sweeps — the quantization study behind §IV-A-3.
+//!
+//! "First, we analyzed the effects that low precision layers have on the
+//! overall NN accuracy, determining the quantization characteristics of
+//! the different layers." These helpers run that analysis for any
+//! trained network and task: accuracy as a function of weight precision,
+//! converter resolution, and device read-noise.
+
+use crate::crossbar::CrossbarNetwork;
+use crate::network::Network;
+use crate::quant::quantize_uniform;
+use crate::task::SensoryTask;
+use cim_crossbar::analog::AnalogParams;
+
+/// One point of a precision sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionPoint {
+    /// The swept parameter value (bits, or noise sigma ×1000).
+    pub parameter: u32,
+    /// Test accuracy at this setting.
+    pub accuracy: f64,
+}
+
+/// Accuracy vs uniform weight precision.
+pub fn accuracy_vs_weight_bits(
+    net: &Network,
+    task: &SensoryTask,
+    bits: &[u32],
+) -> Vec<PrecisionPoint> {
+    bits.iter()
+        .map(|&b| {
+            let mut q = net.clone();
+            quantize_uniform(&mut q, b);
+            PrecisionPoint {
+                parameter: b,
+                accuracy: task.accuracy(&q, task.test_set()),
+            }
+        })
+        .collect()
+}
+
+/// Accuracy vs DAC/ADC resolution on the analog crossbar.
+pub fn accuracy_vs_adc_bits(
+    net: &Network,
+    task: &SensoryTask,
+    bits: &[u32],
+    seed: u64,
+) -> Vec<PrecisionPoint> {
+    bits.iter()
+        .map(|&b| {
+            let mut params = AnalogParams::default();
+            params.adc_bits = b;
+            params.dac_bits = b;
+            let (mut cbn, _) = CrossbarNetwork::program(net, params, seed);
+            PrecisionPoint {
+                parameter: b,
+                accuracy: task.accuracy_with(task.test_set(), |x| cbn.predict(x)),
+            }
+        })
+        .collect()
+}
+
+/// Accuracy vs PCM read-noise sigma (per-mille of conductance) at fixed
+/// 8-bit converters.
+pub fn accuracy_vs_read_noise(
+    net: &Network,
+    task: &SensoryTask,
+    sigma_permille: &[u32],
+    seed: u64,
+) -> Vec<PrecisionPoint> {
+    sigma_permille
+        .iter()
+        .map(|&s| {
+            let mut params = AnalogParams::default();
+            params.pcm.sigma_read = s as f64 / 1000.0;
+            let (mut cbn, _) = CrossbarNetwork::program(net, params, seed);
+            PrecisionPoint {
+                parameter: s,
+                accuracy: task.accuracy_with(task.test_set(), |x| cbn.predict(x)),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::TrainConfig;
+
+    fn trained() -> (SensoryTask, Network) {
+        let task = SensoryTask::generate(12, 4, 60, 0.2, 51);
+        let net = TrainConfig::default().train(&task, 8);
+        (task, net)
+    }
+
+    #[test]
+    fn weight_precision_curve_saturates_at_high_bits() {
+        let (task, net) = trained();
+        let curve = accuracy_vs_weight_bits(&net, &task, &[2, 4, 8, 12]);
+        assert_eq!(curve.len(), 4);
+        let float_acc = task.accuracy(&net, task.test_set());
+        // High precision ≈ float; low precision no better than high.
+        assert!((curve[3].accuracy - float_acc).abs() < 0.02);
+        assert!(curve[0].accuracy <= curve[3].accuracy + 0.02);
+    }
+
+    #[test]
+    fn adc_curve_improves_with_bits() {
+        let (task, net) = trained();
+        let curve = accuracy_vs_adc_bits(&net, &task, &[2, 6, 10], 1);
+        assert!(curve[2].accuracy >= curve[0].accuracy, "{curve:?}");
+        assert!(curve[2].accuracy > 0.8, "{curve:?}");
+    }
+
+    #[test]
+    fn noise_curve_degrades_with_sigma() {
+        let (task, net) = trained();
+        let curve = accuracy_vs_read_noise(&net, &task, &[0, 10, 300], 2);
+        assert!(curve[0].accuracy >= curve[2].accuracy, "{curve:?}");
+        // At 1% read noise (the technology default) accuracy holds.
+        assert!(curve[1].accuracy > 0.8, "{curve:?}");
+    }
+}

@@ -1,0 +1,194 @@
+//! A compact mini-batch SGD trainer.
+//!
+//! Inference is the paper's focus, but the quantization and crossbar
+//! experiments need *trained* weights to degrade; this trainer provides
+//! them. It implements plain stochastic gradient descent on softmax
+//! cross-entropy for networks of dense layers, with backpropagation
+//! through the layer activations.
+
+use crate::layer::{softmax, Activation, DenseLayer};
+use crate::network::Network;
+use crate::task::SensoryTask;
+use cim_simkit::linalg::Matrix;
+use cim_simkit::rng::seeded;
+use rand::seq::SliceRandom;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Hidden layer width (0 = logistic regression, no hidden layer).
+    pub hidden: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// RNG seed for initialization and shuffling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            hidden: 32,
+            learning_rate: 0.1,
+            batch_size: 16,
+            seed: 7,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Trains a fresh network on the task's training split for `epochs`
+    /// passes and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch size is zero.
+    pub fn train(&self, task: &SensoryTask, epochs: usize) -> Network {
+        assert!(self.batch_size > 0, "batch size must be nonzero");
+        let mut rng = seeded(self.seed);
+        let mut net = if self.hidden == 0 {
+            Network::from_layers(vec![DenseLayer::random(
+                task.dims(),
+                task.classes(),
+                Activation::Identity,
+                &mut rng,
+            )])
+        } else {
+            Network::from_layers(vec![
+                DenseLayer::random(task.dims(), self.hidden, Activation::Relu, &mut rng),
+                DenseLayer::random(self.hidden, task.classes(), Activation::Identity, &mut rng),
+            ])
+        };
+
+        let (xs, ys) = task.train_set();
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        for _ in 0..epochs {
+            order.shuffle(&mut rng);
+            for batch in order.chunks(self.batch_size) {
+                self.sgd_step(&mut net, xs, ys, batch);
+            }
+        }
+        net
+    }
+
+    /// One mini-batch gradient step (averaged gradients).
+    fn sgd_step(&self, net: &mut Network, xs: &[Vec<f64>], ys: &[usize], batch: &[usize]) {
+        let n_layers = net.layers().len();
+        // Accumulated gradients per layer.
+        let mut grad_w: Vec<Matrix> = net
+            .layers()
+            .iter()
+            .map(|l| Matrix::zeros(l.outputs(), l.inputs()))
+            .collect();
+        let mut grad_b: Vec<Vec<f64>> =
+            net.layers().iter().map(|l| vec![0.0; l.outputs()]).collect();
+
+        for &idx in batch {
+            let x = &xs[idx];
+            let label = ys[idx];
+
+            // Forward pass, keeping inputs and pre-activations per layer.
+            let mut inputs: Vec<Vec<f64>> = Vec::with_capacity(n_layers);
+            let mut pre_acts: Vec<Vec<f64>> = Vec::with_capacity(n_layers);
+            let mut v = x.clone();
+            for layer in net.layers() {
+                inputs.push(v.clone());
+                let z = layer.affine(&v);
+                v = z.iter().map(|&zi| layer.activation.apply(zi)).collect();
+                pre_acts.push(z);
+            }
+
+            // Softmax cross-entropy gradient at the output.
+            let probs = softmax(&v);
+            let mut delta: Vec<f64> = probs;
+            delta[label] -= 1.0;
+
+            // Backpropagate.
+            for l in (0..n_layers).rev() {
+                let layer = &net.layers()[l];
+                // δ ∘ act'(z).
+                for (d, &z) in delta.iter_mut().zip(&pre_acts[l]) {
+                    *d *= layer.activation.derivative(z);
+                }
+                // Weight/bias gradients.
+                for (o, &d) in delta.iter().enumerate() {
+                    grad_b[l][o] += d;
+                    for (i, &xi) in inputs[l].iter().enumerate() {
+                        let cur = grad_w[l].get(o, i);
+                        grad_w[l].set(o, i, cur + d * xi);
+                    }
+                }
+                // Propagate to the previous layer's activations.
+                if l > 0 {
+                    delta = layer.weights.matvec_t(&delta);
+                }
+            }
+        }
+
+        // Apply averaged updates.
+        let scale = self.learning_rate / batch.len() as f64;
+        for (l, layer) in net.layers_mut().iter_mut().enumerate() {
+            for o in 0..layer.outputs() {
+                layer.bias[o] -= scale * grad_b[l][o];
+                for i in 0..layer.inputs() {
+                    let w = layer.weights.get(o, i);
+                    layer.weights.set(o, i, w - scale * grad_w[l].get(o, i));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_beats_chance() {
+        let task = SensoryTask::generate(12, 4, 60, 0.2, 11);
+        let net = TrainConfig::default().train(&task, 8);
+        let acc = task.accuracy(&net, task.test_set());
+        assert!(acc > 0.85, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn logistic_regression_variant() {
+        let task = SensoryTask::generate(10, 3, 60, 0.15, 12);
+        let cfg = TrainConfig {
+            hidden: 0,
+            ..TrainConfig::default()
+        };
+        let net = cfg.train(&task, 10);
+        assert_eq!(net.layers().len(), 1);
+        let acc = task.accuracy(&net, task.test_set());
+        assert!(acc > 0.85, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn more_epochs_do_not_hurt_much() {
+        let task = SensoryTask::generate(8, 3, 50, 0.2, 13);
+        let cfg = TrainConfig::default();
+        let short = task.accuracy(&cfg.train(&task, 2), task.test_set());
+        let long = task.accuracy(&cfg.train(&task, 12), task.test_set());
+        assert!(long >= short - 0.05, "short {short}, long {long}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let task = SensoryTask::generate(6, 3, 30, 0.2, 14);
+        let a = TrainConfig::default().train(&task, 3);
+        let b = TrainConfig::default().train(&task, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn harder_task_lower_accuracy() {
+        let easy = SensoryTask::generate(12, 4, 60, 0.05, 15);
+        let hard = SensoryTask::generate(12, 4, 60, 0.6, 15);
+        let cfg = TrainConfig::default();
+        let acc_easy = easy.accuracy(&cfg.train(&easy, 6), easy.test_set());
+        let acc_hard = hard.accuracy(&cfg.train(&hard, 6), hard.test_set());
+        assert!(acc_easy > acc_hard, "easy {acc_easy} vs hard {acc_hard}");
+    }
+}

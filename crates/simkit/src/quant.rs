@@ -1,0 +1,237 @@
+//! Uniform quantization, modelling DAC/ADC resolution limits.
+//!
+//! Analog CIM arithmetic is bounded by converter resolution: inputs pass
+//! through a DAC, outputs through an ADC, and weights are programmed with a
+//! finite number of distinguishable conductance levels. [`UniformQuantizer`]
+//! models all three as a mid-rise uniform quantizer over a closed range.
+//!
+//! # Example
+//!
+//! ```
+//! use cim_simkit::quant::UniformQuantizer;
+//!
+//! let q = UniformQuantizer::new(4, -1.0, 1.0);
+//! assert_eq!(q.levels(), 16);
+//! // Quantization error is bounded by half a step.
+//! let x = 0.3;
+//! assert!((q.quantize(x) - x).abs() <= q.step() / 2.0 + 1e-12);
+//! // Out-of-range inputs clip.
+//! assert_eq!(q.quantize(5.0), 1.0);
+//! ```
+
+/// A uniform quantizer over `[min, max]` with an explicit level count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformQuantizer {
+    levels: u64,
+    min: f64,
+    max: f64,
+}
+
+impl UniformQuantizer {
+    /// Creates a quantizer with `bits` of resolution (`2^bits` levels)
+    /// over `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`, `bits > 32`, or `min >= max`.
+    pub fn new(bits: u32, min: f64, max: f64) -> Self {
+        assert!(bits > 0 && bits <= 32, "bits must be in 1..=32, got {bits}");
+        Self::with_levels(1u64 << bits, min, max)
+    }
+
+    /// Creates a quantizer with an explicit number of levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2` or `min >= max`.
+    pub fn with_levels(levels: u64, min: f64, max: f64) -> Self {
+        assert!(levels >= 2, "need at least two levels, got {levels}");
+        assert!(min < max, "invalid quantizer range [{min}, {max}]");
+        UniformQuantizer { levels, min, max }
+    }
+
+    /// A mid-rise quantizer over the symmetric range
+    /// `[-full_scale, full_scale]` with `2^bits` levels. Zero is *not* a
+    /// representable level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full_scale <= 0` or `bits` is invalid.
+    pub fn symmetric(bits: u32, full_scale: f64) -> Self {
+        assert!(full_scale > 0.0, "full scale must be positive");
+        Self::new(bits, -full_scale, full_scale)
+    }
+
+    /// A mid-tread quantizer over `[-full_scale, full_scale]` with
+    /// `2^bits − 1` levels, so zero input reproduces exactly — the usual
+    /// model for signed DAC/ADC transfer functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full_scale <= 0`, `bits < 2`, or `bits > 32`.
+    pub fn mid_tread(bits: u32, full_scale: f64) -> Self {
+        assert!(full_scale > 0.0, "full scale must be positive");
+        assert!(bits >= 2 && bits <= 32, "bits must be in 2..=32, got {bits}");
+        Self::with_levels((1u64 << bits) - 1, -full_scale, full_scale)
+    }
+
+    /// Resolution in bits (rounded up for odd level counts).
+    pub fn bits(&self) -> u32 {
+        64 - (self.levels - 1).leading_zeros()
+    }
+
+    /// Number of representable levels.
+    pub fn levels(&self) -> u64 {
+        self.levels
+    }
+
+    /// Lower bound of the range.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper bound of the range.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Width of one quantization step.
+    pub fn step(&self) -> f64 {
+        (self.max - self.min) / (self.levels() - 1) as f64
+    }
+
+    /// Maps `x` to the integer code of its nearest level, clipping to range.
+    pub fn encode(&self, x: f64) -> u64 {
+        let clipped = x.clamp(self.min, self.max);
+        let code = ((clipped - self.min) / self.step()).round();
+        (code as u64).min(self.levels() - 1)
+    }
+
+    /// Maps an integer code back to its reconstruction value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is not a valid level index.
+    pub fn decode(&self, code: u64) -> f64 {
+        assert!(code < self.levels(), "code {code} out of range");
+        self.min + code as f64 * self.step()
+    }
+
+    /// Rounds `x` to the nearest representable level (encode ∘ decode).
+    pub fn quantize(&self, x: f64) -> f64 {
+        self.decode(self.encode(x))
+    }
+
+    /// Quantizes a whole slice into a new vector.
+    pub fn quantize_vec(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.quantize(x)).collect()
+    }
+
+    /// The worst-case absolute quantization error for in-range inputs
+    /// (half a step).
+    pub fn max_error(&self) -> f64 {
+        self.step() / 2.0
+    }
+}
+
+/// Clips then linearly rescales `x` from `[in_min, in_max]` to
+/// `[out_min, out_max]` — the voltage-scaling step in front of a DAC.
+///
+/// # Panics
+///
+/// Panics if either range is empty.
+pub fn rescale(x: f64, in_min: f64, in_max: f64, out_min: f64, out_max: f64) -> f64 {
+    assert!(in_min < in_max, "empty input range");
+    assert!(out_min < out_max, "empty output range");
+    let t = ((x - in_min) / (in_max - in_min)).clamp(0.0, 1.0);
+    out_min + t * (out_max - out_min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_count_and_step() {
+        let q = UniformQuantizer::new(8, 0.0, 255.0);
+        assert_eq!(q.levels(), 256);
+        assert_eq!(q.step(), 1.0);
+        assert_eq!(q.max_error(), 0.5);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_on_levels() {
+        let q = UniformQuantizer::new(4, -1.0, 1.0);
+        for code in 0..q.levels() {
+            let x = q.decode(code);
+            assert_eq!(q.encode(x), code);
+            assert_eq!(q.quantize(x), x);
+        }
+    }
+
+    #[test]
+    fn quantization_error_bounded() {
+        let q = UniformQuantizer::new(6, -2.0, 2.0);
+        let mut x = -2.0;
+        while x <= 2.0 {
+            assert!((q.quantize(x) - x).abs() <= q.max_error() + 1e-12);
+            x += 0.001;
+        }
+    }
+
+    #[test]
+    fn clipping_beyond_range() {
+        let q = UniformQuantizer::new(4, -1.0, 1.0);
+        assert_eq!(q.quantize(10.0), 1.0);
+        assert_eq!(q.quantize(-10.0), -1.0);
+        assert_eq!(q.encode(10.0), q.levels() - 1);
+        assert_eq!(q.encode(-10.0), 0);
+    }
+
+    #[test]
+    fn symmetric_constructor() {
+        let q = UniformQuantizer::symmetric(4, 1.0);
+        assert_eq!(q.min(), -1.0);
+        assert_eq!(q.max(), 1.0);
+        assert_eq!(q.bits(), 4);
+    }
+
+    #[test]
+    fn one_bit_quantizer_is_binary() {
+        let q = UniformQuantizer::new(1, 0.0, 1.0);
+        assert_eq!(q.levels(), 2);
+        assert_eq!(q.quantize(0.4), 0.0);
+        assert_eq!(q.quantize(0.6), 1.0);
+    }
+
+    #[test]
+    fn quantize_vec_matches_scalar() {
+        let q = UniformQuantizer::new(3, 0.0, 7.0);
+        let xs = [0.2, 3.7, 6.9];
+        let v = q.quantize_vec(&xs);
+        for (x, y) in xs.iter().zip(&v) {
+            assert_eq!(q.quantize(*x), *y);
+        }
+    }
+
+    #[test]
+    fn rescale_maps_endpoints() {
+        assert_eq!(rescale(0.0, 0.0, 1.0, -0.2, 0.2), -0.2);
+        assert_eq!(rescale(1.0, 0.0, 1.0, -0.2, 0.2), 0.2);
+        assert_eq!(rescale(0.5, 0.0, 1.0, -0.2, 0.2), 0.0);
+        // Clips outside the input range.
+        assert_eq!(rescale(7.0, 0.0, 1.0, 0.0, 1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be")]
+    fn zero_bits_rejected() {
+        let _ = UniformQuantizer::new(0, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid quantizer range")]
+    fn inverted_range_rejected() {
+        let _ = UniformQuantizer::new(4, 1.0, -1.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Deterministic random number helpers.
+//!
+//! Every stochastic component in the workspace (device noise, workload
+//! generators, synthetic datasets) draws from a seeded [`rand::rngs::StdRng`]
+//! so that experiments are exactly reproducible. The workspace depends only
+//! on `rand` (not `rand_distr`), so the Gaussian sampler here implements the
+//! Box–Muller transform directly.
+//!
+//! # Example
+//!
+//! ```
+//! use cim_simkit::rng::{seeded, standard_normal};
+//!
+//! let mut rng = seeded(42);
+//! let z = standard_normal(&mut rng);
+//! assert!(z.is_finite());
+//!
+//! // Identical seeds give identical streams.
+//! let mut a = seeded(7);
+//! let mut b = seeded(7);
+//! assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from a 64-bit seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws a standard normal `N(0, 1)` sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u1 from (0, 1] so the logarithm is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a normal `N(mean, std²)` sample.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * standard_normal(rng)
+}
+
+/// Draws a log-normal sample whose *logarithm* is `N(mu, sigma²)`.
+///
+/// Used for resistance-state variation, which is empirically log-normal in
+/// memristive devices.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Fills a vector with `n` i.i.d. standard normal samples.
+pub fn normal_vec<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+    (0..n).map(|_| standard_normal(rng)).collect()
+}
+
+/// Generates a `k`-sparse length-`n` vector: `k` positions chosen uniformly
+/// without replacement, each set to a standard normal value; the rest zero.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn sparse_normal_vec<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<f64> {
+    assert!(k <= n, "sparsity {k} exceeds length {n}");
+    let mut v = vec![0.0; n];
+    // Floyd's algorithm for sampling k distinct indices from 0..n,
+    // assigning values in sorted index order so the output depends only
+    // on the RNG stream (HashSet iteration order is not deterministic).
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        let idx = if chosen.contains(&t) { j } else { t };
+        chosen.insert(idx);
+    }
+    let mut indices: Vec<usize> = chosen.into_iter().collect();
+    indices.sort_unstable();
+    for idx in indices {
+        v[idx] = standard_normal(rng);
+    }
+    v
+}
+
+/// Draws a Bernoulli(p) sample.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    rng.gen::<f64>() < p
+}
+
+/// Samples an index from a discrete distribution given by non-negative
+/// weights (not necessarily normalized).
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to zero.
+pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "categorical over empty weights");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "categorical weights sum to zero");
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = seeded(123);
+        let mut b = seeded(123);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = seeded(1);
+        let xs = normal_vec(&mut rng, 200_000);
+        let s = Summary::of(&xs);
+        assert!(s.mean.abs() < 0.01, "mean {}", s.mean);
+        assert!((s.std - 1.0).abs() < 0.01, "std {}", s.std);
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let mut rng = seeded(2);
+        let xs: Vec<f64> = (0..100_000).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let s = Summary::of(&xs);
+        assert!((s.mean - 5.0).abs() < 0.05);
+        assert!((s.std - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = seeded(3);
+        for _ in 0..1000 {
+            assert!(log_normal(&mut rng, 0.0, 0.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn sparse_vector_has_exact_support() {
+        let mut rng = seeded(4);
+        let v = sparse_normal_vec(&mut rng, 500, 25);
+        assert_eq!(v.len(), 500);
+        let nnz = v.iter().filter(|x| **x != 0.0).count();
+        assert_eq!(nnz, 25);
+    }
+
+    #[test]
+    fn sparse_vector_full_and_empty() {
+        let mut rng = seeded(5);
+        let all = sparse_normal_vec(&mut rng, 10, 10);
+        assert_eq!(all.iter().filter(|x| **x != 0.0).count(), 10);
+        let none = sparse_normal_vec(&mut rng, 10, 0);
+        assert!(none.iter().all(|x| *x == 0.0));
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = seeded(6);
+        let hits = (0..100_000).filter(|_| bernoulli(&mut rng, 0.3)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.3).abs() < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = seeded(7);
+        let mut counts = [0usize; 3];
+        for _ in 0..90_000 {
+            counts[categorical(&mut rng, &[1.0, 2.0, 6.0])] += 1;
+        }
+        assert!((counts[0] as f64 / 10_000.0 - 1.0).abs() < 0.1);
+        assert!((counts[1] as f64 / 10_000.0 - 2.0).abs() < 0.15);
+        assert!((counts[2] as f64 / 10_000.0 - 6.0).abs() < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity")]
+    fn sparse_rejects_k_gt_n() {
+        let mut rng = seeded(8);
+        let _ = sparse_normal_vec(&mut rng, 4, 5);
+    }
+}

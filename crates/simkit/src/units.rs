@@ -1,0 +1,580 @@
+//! Strongly-typed SI quantities for energy/latency/area accounting.
+//!
+//! Every quantity is a transparent `f64` newtype (pattern C-NEWTYPE): the
+//! wrapped value is public because these are passive, C-spirit value types,
+//! but the *type* encodes the dimension so that, e.g., a latency can never
+//! be added to an energy. The arithmetic impls encode the dimensional
+//! algebra actually used by the simulators:
+//!
+//! * `Watts × Seconds = Joules`, `Joules / Seconds = Watts`, …
+//! * `Hertz` ↔ `Seconds` via [`Hertz::period`] / [`Seconds::frequency`]
+//! * `SquareMicrometers` ↔ `SquareMillimeters` conversions for area roll-ups
+//!
+//! # Example
+//!
+//! ```
+//! use cim_simkit::units::{Hertz, Joules, Seconds, Watts};
+//!
+//! let clock = Hertz(200e6);
+//! let cycles = 133.0;
+//! let latency: Seconds = clock.period() * cycles;
+//! assert!((latency.0 - 665e-9).abs() < 1e-12);
+//!
+//! let energy: Joules = Watts(26.6) * latency;
+//! assert!((energy.micro() - 17.689).abs() < 1e-3);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Implements the common arithmetic shared by all scalar unit newtypes:
+/// addition/subtraction with itself, scaling by `f64`, negation, and the
+/// dimensionless ratio `Self / Self -> f64`.
+macro_rules! scalar_unit {
+    ($(#[$doc:meta])* $name:ident, $symbol:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Returns the raw `f64` magnitude in base SI units.
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value of the quantity.
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of two quantities.
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of two quantities.
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// `true` if the magnitude is finite (not NaN/∞).
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            /// Dimensionless ratio of two quantities of the same kind.
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.6e} {}", self.0, $symbol)
+            }
+        }
+    };
+}
+
+scalar_unit!(
+    /// A time duration in seconds.
+    Seconds,
+    "s"
+);
+scalar_unit!(
+    /// An energy in joules.
+    Joules,
+    "J"
+);
+scalar_unit!(
+    /// A power in watts.
+    Watts,
+    "W"
+);
+scalar_unit!(
+    /// A frequency in hertz.
+    Hertz,
+    "Hz"
+);
+scalar_unit!(
+    /// An area in square millimetres (the natural unit for chip floorplans).
+    SquareMillimeters,
+    "mm^2"
+);
+scalar_unit!(
+    /// An electric current in amperes.
+    Amperes,
+    "A"
+);
+scalar_unit!(
+    /// An electric potential in volts.
+    Volts,
+    "V"
+);
+scalar_unit!(
+    /// An electrical resistance in ohms.
+    Ohms,
+    "Ohm"
+);
+scalar_unit!(
+    /// An electrical conductance in siemens (1/ohm).
+    Siemens,
+    "S"
+);
+
+impl Seconds {
+    /// Constructs a duration from nanoseconds.
+    pub fn from_nanos(ns: f64) -> Self {
+        Seconds(ns * 1e-9)
+    }
+
+    /// Constructs a duration from microseconds.
+    pub fn from_micros(us: f64) -> Self {
+        Seconds(us * 1e-6)
+    }
+
+    /// Constructs a duration from milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        Seconds(ms * 1e-3)
+    }
+
+    /// The duration expressed in nanoseconds.
+    pub fn nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// The duration expressed in microseconds.
+    pub fn micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// The equivalent repetition frequency `1/t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is zero.
+    pub fn frequency(self) -> Hertz {
+        assert!(self.0 != 0.0, "cannot take frequency of zero duration");
+        Hertz(1.0 / self.0)
+    }
+}
+
+impl Joules {
+    /// Constructs an energy from picojoules.
+    pub fn from_picos(pj: f64) -> Self {
+        Joules(pj * 1e-12)
+    }
+
+    /// Constructs an energy from nanojoules.
+    pub fn from_nanos(nj: f64) -> Self {
+        Joules(nj * 1e-9)
+    }
+
+    /// Constructs an energy from microjoules.
+    pub fn from_micros(uj: f64) -> Self {
+        Joules(uj * 1e-6)
+    }
+
+    /// The energy expressed in picojoules.
+    pub fn pico(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// The energy expressed in nanojoules.
+    pub fn nano(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// The energy expressed in microjoules.
+    pub fn micro(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Watts {
+    /// Constructs a power from milliwatts.
+    pub fn from_milli(mw: f64) -> Self {
+        Watts(mw * 1e-3)
+    }
+
+    /// The power expressed in milliwatts.
+    pub fn milli(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl Hertz {
+    /// Constructs a frequency from megahertz.
+    pub fn from_mega(mhz: f64) -> Self {
+        Hertz(mhz * 1e6)
+    }
+
+    /// Constructs a frequency from gigahertz.
+    pub fn from_giga(ghz: f64) -> Self {
+        Hertz(ghz * 1e9)
+    }
+
+    /// The period `1/f` of one cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    pub fn period(self) -> Seconds {
+        assert!(self.0 != 0.0, "cannot take period of zero frequency");
+        Seconds(1.0 / self.0)
+    }
+}
+
+impl SquareMillimeters {
+    /// Constructs an area from square micrometres.
+    pub fn from_square_micrometers(um2: f64) -> Self {
+        SquareMillimeters(um2 * 1e-6)
+    }
+
+    /// Constructs an area from square metres.
+    pub fn from_square_meters(m2: f64) -> Self {
+        SquareMillimeters(m2 * 1e6)
+    }
+}
+
+impl Ohms {
+    /// The reciprocal conductance `1/R`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance is zero.
+    pub fn conductance(self) -> Siemens {
+        assert!(self.0 != 0.0, "cannot invert zero resistance");
+        Siemens(1.0 / self.0)
+    }
+}
+
+impl Siemens {
+    /// The reciprocal resistance `1/G`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conductance is zero.
+    pub fn resistance(self) -> Ohms {
+        assert!(self.0 != 0.0, "cannot invert zero conductance");
+        Ohms(1.0 / self.0)
+    }
+}
+
+// --- dimensional algebra -------------------------------------------------
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Volts> for Amperes {
+    type Output = Watts;
+    fn mul(self, rhs: Volts) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Amperes> for Volts {
+    type Output = Watts;
+    fn mul(self, rhs: Amperes) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Siemens> for Volts {
+    /// Ohm's law in conductance form: `I = G·V`.
+    type Output = Amperes;
+    fn mul(self, rhs: Siemens) -> Amperes {
+        Amperes(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Volts> for Siemens {
+    type Output = Amperes;
+    fn mul(self, rhs: Volts) -> Amperes {
+        Amperes(self.0 * rhs.0)
+    }
+}
+
+impl Div<Ohms> for Volts {
+    /// Ohm's law: `I = V/R`.
+    type Output = Amperes;
+    fn div(self, rhs: Ohms) -> Amperes {
+        Amperes(self.0 / rhs.0)
+    }
+}
+
+impl Div<Amperes> for Volts {
+    type Output = Ohms;
+    fn div(self, rhs: Amperes) -> Ohms {
+        Ohms(self.0 / rhs.0)
+    }
+}
+
+/// A byte count with binary-prefix constructors, used for problem and
+/// memory sizing in the architecture model.
+///
+/// # Example
+///
+/// ```
+/// use cim_simkit::units::ByteSize;
+///
+/// let ps = ByteSize::gibibytes(32);
+/// assert_eq!(ps.bytes(), 32 * 1024 * 1024 * 1024);
+/// assert_eq!(format!("{}", ByteSize::kibibytes(256)), "256.00 KiB");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ByteSize(pub u64);
+
+impl ByteSize {
+    /// Constructs a size from raw bytes.
+    pub fn bytes_count(n: u64) -> Self {
+        ByteSize(n)
+    }
+
+    /// Constructs a size from KiB (2^10 bytes).
+    pub fn kibibytes(n: u64) -> Self {
+        ByteSize(n << 10)
+    }
+
+    /// Constructs a size from MiB (2^20 bytes).
+    pub fn mebibytes(n: u64) -> Self {
+        ByteSize(n << 20)
+    }
+
+    /// Constructs a size from GiB (2^30 bytes).
+    pub fn gibibytes(n: u64) -> Self {
+        ByteSize(n << 30)
+    }
+
+    /// The size in bytes.
+    pub fn bytes(self) -> u64 {
+        self.0
+    }
+
+    /// The size as a floating-point byte count (for rate arithmetic).
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl Add for ByteSize {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0 as f64;
+        if self.0 >= 1 << 30 {
+            write!(f, "{:.2} GiB", b / (1u64 << 30) as f64)
+        } else if self.0 >= 1 << 20 {
+            write!(f, "{:.2} MiB", b / (1u64 << 20) as f64)
+        } else if self.0 >= 1 << 10 {
+            write!(f, "{:.2} KiB", b / (1u64 << 10) as f64)
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Watts(2.0) * Seconds(3.0);
+        assert_eq!(e, Joules(6.0));
+        let e2 = Seconds(3.0) * Watts(2.0);
+        assert_eq!(e2, Joules(6.0));
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        assert_eq!(Joules(6.0) / Seconds(3.0), Watts(2.0));
+        assert_eq!(Joules(6.0) / Watts(2.0), Seconds(3.0));
+    }
+
+    #[test]
+    fn ohms_law_round_trip() {
+        let i = Volts(0.2) / Ohms(200e3);
+        assert!((i.0 - 1e-6).abs() < 1e-18);
+        let p = i * Volts(0.2);
+        assert!((p.0 - 0.2e-6).abs() < 1e-15);
+        let r = Volts(0.2) / i;
+        assert!((r.0 - 200e3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conductance_resistance_inverse() {
+        let g = Ohms(1000.0).conductance();
+        assert!((g.0 - 1e-3).abs() < 1e-15);
+        assert!((g.resistance().0 - 1000.0).abs() < 1e-9);
+        let i = Siemens(5e-6) * Volts(0.2);
+        assert!((i.0 - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn frequency_period_inverse() {
+        let f = Hertz::from_mega(200.0);
+        assert!((f.period().nanos() - 5.0).abs() < 1e-9);
+        assert!((f.period().frequency().0 - 200e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ratio_is_dimensionless() {
+        let speedup: f64 = Seconds(10.0) / Seconds(2.0);
+        assert_eq!(speedup, 5.0);
+    }
+
+    #[test]
+    fn sums_and_scaling() {
+        let total: Joules = [Joules(1.0), Joules(2.0), Joules(3.0)].into_iter().sum();
+        assert_eq!(total, Joules(6.0));
+        assert_eq!(Joules(2.0) * 3.0, Joules(6.0));
+        assert_eq!(3.0 * Joules(2.0), Joules(6.0));
+        assert_eq!(Joules(6.0) / 3.0, Joules(2.0));
+        assert_eq!(-Joules(1.0), Joules(-1.0));
+    }
+
+    #[test]
+    fn si_prefix_helpers() {
+        assert!((Seconds::from_nanos(665.0).0 - 6.65e-7).abs() < 1e-18);
+        assert!((Joules::from_picos(100.0).pico() - 100.0).abs() < 1e-9);
+        assert!((Joules::from_micros(17.7).micro() - 17.7).abs() < 1e-9);
+        assert!((Watts::from_milli(222.0).milli() - 222.0).abs() < 1e-9);
+        assert!((Hertz::from_giga(2.5).0 - 2.5e9).abs() < 1e-3);
+        assert!(
+            (SquareMillimeters::from_square_micrometers(15_000.0).0 - 0.015).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn byte_size_prefixes_and_display() {
+        assert_eq!(ByteSize::kibibytes(32).bytes(), 32768);
+        assert_eq!(ByteSize::mebibytes(1).bytes(), 1 << 20);
+        assert_eq!(ByteSize::gibibytes(4).bytes(), 4u64 << 30);
+        assert_eq!(format!("{}", ByteSize::gibibytes(32)), "32.00 GiB");
+        assert_eq!(format!("{}", ByteSize(512)), "512 B");
+        assert_eq!(
+            ByteSize::kibibytes(1) + ByteSize::kibibytes(1),
+            ByteSize::kibibytes(2)
+        );
+    }
+
+    #[test]
+    fn display_includes_symbol() {
+        assert!(format!("{}", Joules(1.5)).ends_with(" J"));
+        assert!(format!("{}", Watts(1.5)).ends_with(" W"));
+        assert!(format!("{}", Seconds(1.5)).ends_with(" s"));
+    }
+
+    #[test]
+    fn min_max_abs() {
+        assert_eq!(Seconds(-2.0).abs(), Seconds(2.0));
+        assert_eq!(Seconds(1.0).max(Seconds(2.0)), Seconds(2.0));
+        assert_eq!(Seconds(1.0).min(Seconds(2.0)), Seconds(1.0));
+        assert!(Seconds(1.0).is_finite());
+        assert!(!Seconds(f64::NAN).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero frequency")]
+    fn zero_frequency_period_panics() {
+        let _ = Hertz(0.0).period();
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the simulation substrate.
+
+use cim_simkit::bitvec::BitVec;
+use cim_simkit::linalg::{self, Matrix};
+use cim_simkit::quant::UniformQuantizer;
+use cim_simkit::stats;
+use cim_simkit::units::{Joules, Seconds, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitvec_bytes_round_trip(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let v = BitVec::from_bytes(&bytes);
+        prop_assert_eq!(v.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn bitvec_count_ones_matches_bools(bits in prop::collection::vec(any::<bool>(), 0..200)) {
+        let v = BitVec::from_bools(&bits);
+        prop_assert_eq!(v.count_ones(), bits.iter().filter(|b| **b).count());
+        prop_assert_eq!(v.iter_ones().count(), v.count_ones());
+        prop_assert_eq!(v.to_bools(), bits);
+    }
+
+    #[test]
+    fn bitvec_rotation_composes(bits in prop::collection::vec(any::<bool>(), 1..130), j in 0usize..200, k in 0usize..200) {
+        let v = BitVec::from_bools(&bits);
+        prop_assert_eq!(v.rotate(j).rotate(k), v.rotate((j + k) % bits.len().max(1)));
+        prop_assert_eq!(v.rotate(j).count_ones(), v.count_ones());
+    }
+
+    #[test]
+    fn hamming_is_a_metric(
+        a in prop::collection::vec(any::<bool>(), 64),
+        b in prop::collection::vec(any::<bool>(), 64),
+        c in prop::collection::vec(any::<bool>(), 64),
+    ) {
+        let (va, vb, vc) = (BitVec::from_bools(&a), BitVec::from_bools(&b), BitVec::from_bools(&c));
+        prop_assert_eq!(va.hamming(&vb), vb.hamming(&va));
+        prop_assert_eq!(va.hamming(&va), 0);
+        prop_assert!(va.hamming(&vc) <= va.hamming(&vb) + vb.hamming(&vc));
+    }
+
+    #[test]
+    fn matvec_is_linear(
+        entries in prop::collection::vec(-10.0f64..10.0, 12),
+        x in prop::collection::vec(-5.0f64..5.0, 4),
+        y in prop::collection::vec(-5.0f64..5.0, 4),
+        s in -3.0f64..3.0,
+    ) {
+        let a = Matrix::from_vec(3, 4, entries);
+        let lhs = a.matvec(&linalg::axpy(&x, s, &y));
+        let rhs = linalg::axpy(&a.matvec(&x), s, &a.matvec(&y));
+        for (l, r) in lhs.iter().zip(&rhs) {
+            prop_assert!((l - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_adjoint_identity(
+        entries in prop::collection::vec(-10.0f64..10.0, 20),
+        x in prop::collection::vec(-5.0f64..5.0, 5),
+        y in prop::collection::vec(-5.0f64..5.0, 4),
+    ) {
+        // ⟨A·x, y⟩ = ⟨x, Aᵀ·y⟩ — the identity the AMP crossbar reuse
+        // depends on.
+        let a = Matrix::from_vec(4, 5, entries);
+        let lhs = linalg::dot(&a.matvec(&x), &y);
+        let rhs = linalg::dot(&x, &a.matvec_t(&y));
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantizer_monotone(bits in 2u32..10, a in -2.0f64..2.0, b in -2.0f64..2.0) {
+        let q = UniformQuantizer::mid_tread(bits, 1.0);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(q.quantize(lo) <= q.quantize(hi));
+    }
+
+    #[test]
+    fn summary_bounds(xs in prop::collection::vec(-100.0f64..100.0, 1..100)) {
+        let s = stats::Summary::of(&xs);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.std >= 0.0);
+        prop_assert_eq!(s.n, xs.len());
+        let med = stats::median(&xs);
+        prop_assert!(med >= s.min && med <= s.max);
+    }
+
+    #[test]
+    fn unit_algebra_consistency(p in 0.0f64..1e3, t in 1e-9f64..1e3) {
+        let e: Joules = Watts(p) * Seconds(t);
+        prop_assert!(((e / Seconds(t)).0 - p).abs() <= 1e-9 * p.max(1.0));
+        prop_assert!(((e / Watts(p.max(1e-12))).0 - t * p / p.max(1e-12)).abs() < 1e-6);
+    }
+}

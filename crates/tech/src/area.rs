@@ -1,0 +1,134 @@
+//! Memristive cell geometry and crossbar macro floorplanning.
+//!
+//! The paper budgets the AMP crossbar as 1T1R PCM cells of **25 F²** at
+//! **F = 90 nm**, giving `1024 × 1024 × 25F² ≈ 0.212 mm²`, plus eight
+//! 50 µm × 300 µm ADCs (0.12 mm²) for a macro total of **≈ 0.332 mm²**
+//! (§III-B-3). [`CellGeometry`] and [`CrossbarFloorplan`] reproduce that
+//! arithmetic and generalize it to other array sizes and technologies.
+
+use cim_simkit::units::SquareMillimeters;
+
+/// Geometry of one memory cell expressed in lithographic feature units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellGeometry {
+    /// Feature size F in nanometres.
+    pub feature_nm: f64,
+    /// Cell footprint in units of F².
+    pub cell_factor: f64,
+}
+
+impl CellGeometry {
+    /// The paper's 1T1R PCM cell: 25 F² at F = 90 nm.
+    pub fn paper_pcm_1t1r() -> Self {
+        CellGeometry {
+            feature_nm: 90.0,
+            cell_factor: 25.0,
+        }
+    }
+
+    /// A dense crosspoint (selector-less) cell: 4 F².
+    pub fn crosspoint_4f2(feature_nm: f64) -> Self {
+        CellGeometry {
+            feature_nm,
+            cell_factor: 4.0,
+        }
+    }
+
+    /// Area of a single cell.
+    pub fn cell_area(&self) -> SquareMillimeters {
+        let f_mm = self.feature_nm * 1e-6; // nm → mm
+        SquareMillimeters(self.cell_factor * f_mm * f_mm)
+    }
+
+    /// Area of an `rows × cols` array of cells.
+    pub fn array_area(&self, rows: usize, cols: usize) -> SquareMillimeters {
+        self.cell_area() * (rows as f64 * cols as f64)
+    }
+}
+
+/// A crossbar macro floorplan: the cell array plus its data converters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossbarFloorplan {
+    /// Cell geometry.
+    pub cell: CellGeometry,
+    /// Array dimensions.
+    pub rows: usize,
+    /// Array dimensions.
+    pub cols: usize,
+    /// Number of ADCs and area of each.
+    pub adc_count: usize,
+    /// Area of each ADC.
+    pub adc_area: SquareMillimeters,
+}
+
+impl CrossbarFloorplan {
+    /// The paper's AMP macro: 1024×1024 PCM array + 8 ADCs of
+    /// 50 µm × 300 µm each.
+    pub fn paper_amp_macro() -> Self {
+        CrossbarFloorplan {
+            cell: CellGeometry::paper_pcm_1t1r(),
+            rows: 1024,
+            cols: 1024,
+            adc_count: 8,
+            adc_area: SquareMillimeters(crate::adc::PAPER_ADC_AREA_MM2),
+        }
+    }
+
+    /// Area of the memory array alone.
+    pub fn array_area(&self) -> SquareMillimeters {
+        self.cell.array_area(self.rows, self.cols)
+    }
+
+    /// Area of the converter bank alone.
+    pub fn adc_bank_area(&self) -> SquareMillimeters {
+        self.adc_area * self.adc_count as f64
+    }
+
+    /// Total macro area (array + converters).
+    pub fn total_area(&self) -> SquareMillimeters {
+        self.array_area() + self.adc_bank_area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cell_area() {
+        // 25 × (90 nm)² = 202,500 nm² = 2.025e-7 mm².
+        let c = CellGeometry::paper_pcm_1t1r();
+        assert!((c.cell_area().0 - 2.025e-7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_array_area_is_0_212_mm2() {
+        let c = CellGeometry::paper_pcm_1t1r();
+        let a = c.array_area(1024, 1024).0;
+        assert!((a - 0.2123).abs() < 0.001, "array area {a}");
+    }
+
+    #[test]
+    fn paper_macro_total_is_0_332_mm2() {
+        let fp = CrossbarFloorplan::paper_amp_macro();
+        assert!((fp.adc_bank_area().0 - 0.12).abs() < 1e-9);
+        let total = fp.total_area().0;
+        assert!((total - 0.332).abs() < 0.002, "total area {total}");
+    }
+
+    #[test]
+    fn denser_cell_smaller_area() {
+        let dense = CellGeometry::crosspoint_4f2(90.0);
+        let paper = CellGeometry::paper_pcm_1t1r();
+        let ratio = paper.array_area(128, 128).0 / dense.array_area(128, 128).0;
+        assert!((ratio - 25.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_scales_with_cells() {
+        let c = CellGeometry::paper_pcm_1t1r();
+        let a1 = c.array_area(256, 256).0;
+        let a2 = c.array_area(512, 512).0;
+        assert!((a2 / a1 - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,135 @@
+//! 65 nm digital CMOS technology constants and RTL block model.
+//!
+//! §IV-B-3 of the paper compares a CIM HD processor against "a
+//! cycle-accurate RTL model … synthesized in UMC 65 nm technology using
+//! Synopsys Design Compiler" with energy from PrimeTime. We stand in for
+//! that flow with a block-level model: each RTL block is characterized by
+//! a gate count (area via logic density) and switched capacitance per
+//! operation (energy via per-gate-toggle energy); memories are
+//! characterized per bit and per access. The constants below are
+//! representative of a 1.2 V UMC 65 nm standard-cell library.
+
+use cim_simkit::units::{Joules, SquareMillimeters};
+
+/// Technology constants of a 65 nm digital CMOS process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cmos65nm {
+    /// Logic density in NAND2-equivalent gates per mm².
+    pub gates_per_mm2: f64,
+    /// Energy per gate toggle (switched capacitance × V²/2).
+    pub energy_per_gate_toggle: Joules,
+    /// SRAM density in bits per mm² (including array overhead).
+    pub sram_bits_per_mm2: f64,
+    /// SRAM energy per bit accessed.
+    pub sram_energy_per_bit: Joules,
+    /// Fraction of gates toggling in a typical active cycle.
+    pub activity_factor: f64,
+}
+
+impl Default for Cmos65nm {
+    fn default() -> Self {
+        Cmos65nm {
+            gates_per_mm2: 400_000.0,
+            energy_per_gate_toggle: Joules(2e-15),
+            sram_bits_per_mm2: 1.0e6,
+            sram_energy_per_bit: Joules(50e-15),
+            activity_factor: 0.15,
+        }
+    }
+}
+
+impl Cmos65nm {
+    /// Area of a logic block with `gates` NAND2-equivalents.
+    pub fn logic_area(&self, gates: f64) -> SquareMillimeters {
+        SquareMillimeters(gates / self.gates_per_mm2)
+    }
+
+    /// Energy of one active cycle of a logic block with `gates`
+    /// NAND2-equivalents at the process activity factor.
+    pub fn logic_cycle_energy(&self, gates: f64) -> Joules {
+        self.energy_per_gate_toggle * (gates * self.activity_factor)
+    }
+
+    /// Area of an SRAM macro holding `bits`.
+    pub fn sram_area(&self, bits: f64) -> SquareMillimeters {
+        SquareMillimeters(bits / self.sram_bits_per_mm2)
+    }
+
+    /// Energy of an SRAM access touching `bits`.
+    pub fn sram_access_energy(&self, bits: f64) -> Joules {
+        self.sram_energy_per_bit * bits
+    }
+}
+
+/// A characterized RTL block: name, gate count and memory bits, with
+/// derived area and per-cycle energy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RtlBlock {
+    /// Block name for reports.
+    pub name: &'static str,
+    /// NAND2-equivalent logic gates.
+    pub gates: f64,
+    /// SRAM bits attached to the block.
+    pub sram_bits: f64,
+    /// Bits the block touches in SRAM per active cycle.
+    pub sram_bits_per_cycle: f64,
+}
+
+impl RtlBlock {
+    /// Total block area in the given process.
+    pub fn area(&self, tech: &Cmos65nm) -> SquareMillimeters {
+        tech.logic_area(self.gates) + tech.sram_area(self.sram_bits)
+    }
+
+    /// Energy of one active cycle in the given process.
+    pub fn cycle_energy(&self, tech: &Cmos65nm) -> Joules {
+        tech.logic_cycle_energy(self.gates) + tech.sram_access_energy(self.sram_bits_per_cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logic_area_scales_linearly() {
+        let t = Cmos65nm::default();
+        let a = t.logic_area(400_000.0);
+        assert!((a.0 - 1.0).abs() < 1e-12);
+        assert!((t.logic_area(40_000.0).0 - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sram_macro_sizes() {
+        let t = Cmos65nm::default();
+        // 1 Mbit at 1 Mbit/mm² = 1 mm².
+        assert!((t.sram_area(1e6).0 - 1.0).abs() < 1e-12);
+        // 32-bit access at 50 fJ/bit = 1.6 pJ.
+        assert!((t.sram_access_energy(32.0).pico() - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_combines_logic_and_memory() {
+        let t = Cmos65nm::default();
+        let b = RtlBlock {
+            name: "encoder",
+            gates: 80_000.0,
+            sram_bits: 65_536.0,
+            sram_bits_per_cycle: 128.0,
+        };
+        let area = b.area(&t).0;
+        assert!((area - (0.2 + 0.065536)).abs() < 1e-9, "area {area}");
+        let e = b.cycle_energy(&t).0;
+        let expect = 2e-15 * 80_000.0 * 0.15 + 50e-15 * 128.0;
+        assert!((e - expect).abs() < 1e-21);
+    }
+
+    #[test]
+    fn cycle_energy_order_of_magnitude() {
+        // A 100k-gate block should burn tens of pJ per cycle in 65 nm —
+        // consistent with published HD processor figures.
+        let t = Cmos65nm::default();
+        let e = t.logic_cycle_energy(100_000.0).pico();
+        assert!(e > 10.0 && e < 100.0, "per-cycle energy {e} pJ");
+    }
+}

@@ -1,0 +1,107 @@
+//! Digital-to-analog converter cost model.
+//!
+//! DACs drive the crossbar rows with the input vector during in-memory
+//! matrix-vector multiplication. They are substantially cheaper than ADCs
+//! of the same resolution (no comparator ladder settling at full
+//! precision), which the model reflects with a smaller per-step energy.
+
+use cim_simkit::units::{Hertz, Joules, SquareMillimeters, Watts};
+
+/// Energy per conversion step for a current-steering DAC in 90 nm —
+/// roughly an order of magnitude below the paper's ADC figure of merit.
+pub const DEFAULT_DAC_FOM: f64 = 4e-15;
+
+/// A row-driver DAC cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DacModel {
+    bits: u32,
+    update_rate: Hertz,
+    fom: f64,
+    area: SquareMillimeters,
+}
+
+impl DacModel {
+    /// Creates a DAC model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or above 16, or rates/FOM are non-positive.
+    pub fn new(bits: u32, update_rate: Hertz, fom: f64, area: SquareMillimeters) -> Self {
+        assert!(bits > 0 && bits <= 16, "DAC resolution out of range: {bits}");
+        assert!(update_rate.0 > 0.0, "update rate must be positive");
+        assert!(fom > 0.0, "figure of merit must be positive");
+        DacModel {
+            bits,
+            update_rate,
+            fom,
+            area,
+        }
+    }
+
+    /// A default 90 nm current-steering DAC at the given resolution/rate.
+    pub fn default_90nm(bits: u32, update_rate: Hertz) -> Self {
+        DacModel::new(
+            bits,
+            update_rate,
+            DEFAULT_DAC_FOM,
+            SquareMillimeters(0.002 * (1u64 << bits) as f64 / 256.0),
+        )
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Update rate.
+    pub fn update_rate(&self) -> Hertz {
+        self.update_rate
+    }
+
+    /// Die area.
+    pub fn area(&self) -> SquareMillimeters {
+        self.area
+    }
+
+    /// Continuous update power: `P = FOM · 2^bits · f_u`.
+    pub fn power(&self) -> Watts {
+        Watts(self.fom * (1u64 << self.bits) as f64 * self.update_rate.0)
+    }
+
+    /// Energy of a single output update.
+    pub fn energy_per_update(&self) -> Joules {
+        Joules(self.power().0 / self.update_rate.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dac_cheaper_than_adc_at_same_point() {
+        let dac = DacModel::default_90nm(8, Hertz::from_mega(125.0));
+        let adc = crate::adc::AdcModel::paper_8bit(Hertz::from_mega(125.0));
+        assert!(dac.power().0 < adc.power().0 / 2.0);
+    }
+
+    #[test]
+    fn energy_per_update() {
+        let dac = DacModel::default_90nm(4, Hertz::from_mega(100.0));
+        let e = dac.energy_per_update().0;
+        assert!((e - DEFAULT_DAC_FOM * 16.0).abs() < 1e-20);
+    }
+
+    #[test]
+    fn power_scales_with_levels() {
+        let d4 = DacModel::default_90nm(4, Hertz::from_mega(100.0));
+        let d8 = DacModel::default_90nm(8, Hertz::from_mega(100.0));
+        assert!((d8.power().0 / d4.power().0 - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution out of range")]
+    fn oversized_resolution_rejected() {
+        let _ = DacModel::default_90nm(17, Hertz(1e6));
+    }
+}

@@ -1,0 +1,44 @@
+//! # cim-tech
+//!
+//! Technology cost models shared by the CIM application studies.
+//!
+//! The DATE'19 paper quantifies CIM potential against concrete reference
+//! technologies. This crate captures those reference points as small,
+//! documented models:
+//!
+//! * [`adc`] / [`dac`] — data-converter power/energy/area (the paper's
+//!   8-bit, 125 MSps ADC at 12 mW/GSps, §III-B-3).
+//! * [`fpga`] — a Kintex UltraScale XCKU115 resource model and the AMP
+//!   dot-product accelerator estimator that regenerates **Table I**.
+//! * [`area`] — memristive cell geometry (25 F², F = 90 nm) and crossbar
+//!   macro area (the paper's 0.332 mm² budget).
+//! * [`mcu`] — ARM Cortex-M0+-class energy model (10 pJ/cycle sub-Vth,
+//!   100 pJ/cycle nominal; Myers et al., VLSI'17), used for **Fig. 7(b)**.
+//! * [`cmos`] — a 65 nm digital CMOS block model standing in for the
+//!   Synopsys-synthesized HD processor RTL of §IV-B-3.
+//!
+//! # Example
+//!
+//! ```
+//! use cim_tech::adc::AdcModel;
+//! use cim_simkit::units::Hertz;
+//!
+//! // The paper's configuration: 8 ADCs at 125 MSps reading 1024 columns
+//! // in ~1 µs, drawing ≈ 12 mW in total.
+//! let adc = AdcModel::paper_8bit(Hertz::from_mega(125.0));
+//! let total = adc.power().0 * 8.0;
+//! assert!((total - 0.012).abs() < 0.001);
+//! ```
+
+pub mod adc;
+pub mod area;
+pub mod cmos;
+pub mod dac;
+pub mod fpga;
+pub mod mcu;
+
+pub use adc::AdcModel;
+pub use area::{CellGeometry, CrossbarFloorplan};
+pub use dac::DacModel;
+pub use fpga::{AmpAcceleratorDesign, FpgaDevice, FpgaUtilization};
+pub use mcu::McuModel;

@@ -1,0 +1,115 @@
+//! Microcontroller energy model for the IoT inference study.
+//!
+//! Fig. 7(b) of the paper compares the CIM inference energy against two
+//! ARM Cortex-M0+ operating points taken from Myers et al. (VLSI'17):
+//! a sub-threshold design at ≈ **10 pJ/cycle** and a nominal-voltage
+//! design at ≈ **100 pJ/cycle**. The MCU executes the fully-connected
+//! layer as a software MAC loop; the model charges a fixed number of
+//! cycles per multiply-accumulate (load ×2, multiply, add, pointer
+//! arithmetic) plus a per-layer overhead.
+
+use cim_simkit::units::{Hertz, Joules, Seconds};
+
+/// Cycles one software MAC iteration costs on a Cortex-M0-class core
+/// (two loads, mul, add, index update, loop branch amortized).
+pub const DEFAULT_CYCLES_PER_MAC: f64 = 6.0;
+
+/// Fixed per-layer software overhead (function entry, pointer setup,
+/// activation pass).
+pub const DEFAULT_LAYER_OVERHEAD_CYCLES: f64 = 64.0;
+
+/// An MCU operating point for energy estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McuModel {
+    /// Human-readable operating-point name.
+    pub name: &'static str,
+    /// Energy per clock cycle.
+    pub energy_per_cycle: Joules,
+    /// Clock frequency at this operating point.
+    pub clock: Hertz,
+    /// Cycles per software multiply-accumulate.
+    pub cycles_per_mac: f64,
+    /// Fixed cycles per layer invocation.
+    pub layer_overhead_cycles: f64,
+}
+
+impl McuModel {
+    /// Sub-threshold Cortex-M0+ point: 10 pJ/cycle (paper Fig. 7(b)),
+    /// sub-Vth designs clock in the hundreds of kHz to low MHz.
+    pub fn cortex_m0_subthreshold() -> Self {
+        McuModel {
+            name: "Sub-Vth CM0 (10 pJ/cycle)",
+            energy_per_cycle: Joules::from_picos(10.0),
+            clock: Hertz::from_mega(1.0),
+            cycles_per_mac: DEFAULT_CYCLES_PER_MAC,
+            layer_overhead_cycles: DEFAULT_LAYER_OVERHEAD_CYCLES,
+        }
+    }
+
+    /// Nominal-voltage Cortex-M0+ point: 100 pJ/cycle (paper Fig. 7(b)).
+    pub fn cortex_m0_nominal() -> Self {
+        McuModel {
+            name: "Vnom CM0 (100 pJ/cycle)",
+            energy_per_cycle: Joules::from_picos(100.0),
+            clock: Hertz::from_mega(48.0),
+            cycles_per_mac: DEFAULT_CYCLES_PER_MAC,
+            layer_overhead_cycles: DEFAULT_LAYER_OVERHEAD_CYCLES,
+        }
+    }
+
+    /// Cycles to execute a dense `inputs × outputs` layer in software.
+    pub fn fc_layer_cycles(&self, inputs: usize, outputs: usize) -> f64 {
+        inputs as f64 * outputs as f64 * self.cycles_per_mac + self.layer_overhead_cycles
+    }
+
+    /// Energy to execute a dense layer in software.
+    pub fn fc_layer_energy(&self, inputs: usize, outputs: usize) -> Joules {
+        self.energy_per_cycle * self.fc_layer_cycles(inputs, outputs)
+    }
+
+    /// Wall-clock latency of a dense layer at this operating point.
+    pub fn fc_layer_latency(&self, inputs: usize, outputs: usize) -> Seconds {
+        self.clock.period() * self.fc_layer_cycles(inputs, outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_ratio_between_operating_points_is_ten() {
+        let sub = McuModel::cortex_m0_subthreshold();
+        let nom = McuModel::cortex_m0_nominal();
+        let r = nom.fc_layer_energy(256, 256).0 / sub.fc_layer_energy(256, 256).0;
+        assert!((r - 10.0).abs() < 1e-9, "ratio {r}");
+    }
+
+    #[test]
+    fn fc_energy_magnitude_matches_fig7b() {
+        // Fig. 7(b): Vnom CM0 at N=512 sits near 1e-4..1e-3 J.
+        let nom = McuModel::cortex_m0_nominal();
+        let e = nom.fc_layer_energy(512, 512).0;
+        assert!(e > 1e-4 && e < 1e-3, "energy {e}");
+        // And N=32 sits around 1e-7..1e-6 J.
+        let e_small = nom.fc_layer_energy(32, 32).0;
+        assert!(e_small > 1e-7 && e_small < 1e-6, "energy {e_small}");
+    }
+
+    #[test]
+    fn cycles_scale_quadratically_in_n() {
+        let m = McuModel::cortex_m0_subthreshold();
+        let c1 = m.fc_layer_cycles(64, 64);
+        let c2 = m.fc_layer_cycles(128, 128);
+        let ratio = (c2 - m.layer_overhead_cycles) / (c1 - m.layer_overhead_cycles);
+        assert!((ratio - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subthreshold_is_slower_but_cheaper() {
+        let sub = McuModel::cortex_m0_subthreshold();
+        let nom = McuModel::cortex_m0_nominal();
+        assert!(sub.fc_layer_latency(128, 128).0 > nom.fc_layer_latency(128, 128).0);
+        assert!(sub.fc_layer_energy(128, 128).0 < nom.fc_layer_energy(128, 128).0);
+    }
+}

@@ -1,0 +1,193 @@
+//! One-time-pad encryption inside a CIM tile.
+//!
+//! The key is written once into dedicated key rows of a digital
+//! memristive tile (the paper's "predefined (secret) key"); messages
+//! stream through data rows. Each ciphertext row is one two-row Scouting
+//! XOR access — the data never crosses the memory boundary to be
+//! combined with the key, which is the entire point of the §II mapping.
+//!
+//! The engine processes messages of arbitrary length by tiling them
+//! across `row_bits`-wide rows.
+
+use crate::otp::{CipherError, OneTimePad};
+use cim_crossbar::digital::DigitalArray;
+use cim_crossbar::energy::OperationCost;
+use cim_crossbar::scouting::ScoutOp;
+use cim_device::reram::ReramParams;
+use cim_simkit::bitvec::BitVec;
+use cim_simkit::rng::seeded;
+use rand::rngs::StdRng;
+
+/// Row indices inside the two-row cipher tile.
+const KEY_ROW: usize = 0;
+const DATA_ROW: usize = 1;
+
+/// A CIM-resident one-time-pad engine.
+#[derive(Debug)]
+pub struct CimXorEngine {
+    tile: DigitalArray,
+    pad: OneTimePad,
+    row_bytes: usize,
+    rng: StdRng,
+    key_loads: u64,
+}
+
+impl CimXorEngine {
+    /// Creates an engine for a pad, with rows of `row_bytes` bytes.
+    /// The key occupies `ceil(pad/row_bytes)` logical segments streamed
+    /// through one physical key row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_bytes == 0` or the pad is empty.
+    pub fn new(pad: OneTimePad, row_bytes: usize) -> Self {
+        assert!(row_bytes > 0, "row width must be nonzero");
+        assert!(!pad.is_empty(), "cannot build an engine for an empty pad");
+        let mut rng = seeded(0x0170);
+        let tile = DigitalArray::new(2, row_bytes * 8, ReramParams::default(), &mut rng);
+        CimXorEngine {
+            tile,
+            pad,
+            row_bytes,
+            rng,
+            key_loads: 0,
+        }
+    }
+
+    /// The pad this engine encrypts with.
+    pub fn pad(&self) -> &OneTimePad {
+        &self.pad
+    }
+
+    /// Row width in bytes.
+    pub fn row_bytes(&self) -> usize {
+        self.row_bytes
+    }
+
+    /// Number of key-segment writes performed so far.
+    pub fn key_loads(&self) -> u64 {
+        self.key_loads
+    }
+
+    /// Encrypts a message inside the array, returning the ciphertext and
+    /// the total cost of all array accesses involved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CipherError::LengthMismatch`] if the message length
+    /// differs from the pad length.
+    pub fn encrypt(&mut self, message: &[u8]) -> Result<(Vec<u8>, OperationCost), CipherError> {
+        if message.len() != self.pad.len() {
+            return Err(CipherError::LengthMismatch {
+                expected: self.pad.len(),
+                actual: message.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(message.len());
+        let mut cost = OperationCost::default();
+        let key = self.pad.key().to_vec();
+        for (msg_chunk, key_chunk) in message
+            .chunks(self.row_bytes)
+            .zip(key.chunks(self.row_bytes))
+        {
+            let width = msg_chunk.len() * 8;
+            let key_bits = pad_to_width(key_chunk, self.tile.shape().1);
+            let msg_bits = pad_to_width(msg_chunk, self.tile.shape().1);
+            cost = cost.then(self.tile.write_row(KEY_ROW, &key_bits));
+            self.key_loads += 1;
+            cost = cost.then(self.tile.write_row(DATA_ROW, &msg_bits));
+            let (xor, c) =
+                self.tile
+                    .scout_with_cost(ScoutOp::Xor, &[KEY_ROW, DATA_ROW], &mut self.rng);
+            cost = cost.then(c);
+            let bytes = BitVec::from_fn(width, |i| xor.get(i)).to_bytes();
+            out.extend_from_slice(&bytes);
+        }
+        Ok((out, cost))
+    }
+
+    /// Decrypts a ciphertext (XOR involution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CipherError::LengthMismatch`] if the ciphertext length
+    /// differs from the pad length.
+    pub fn decrypt(&mut self, ciphertext: &[u8]) -> Result<(Vec<u8>, OperationCost), CipherError> {
+        self.encrypt(ciphertext)
+    }
+}
+
+/// Zero-pads a byte chunk to the tile width in bits.
+fn pad_to_width(bytes: &[u8], width_bits: usize) -> BitVec {
+    let bits = BitVec::from_bytes(bytes);
+    BitVec::from_fn(width_bits, |i| i < bits.len() && bits.get(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cim_matches_software_cipher() {
+        let pad = OneTimePad::generate(256, 21);
+        let msg: Vec<u8> = (0..256).map(|i| (i * 7 + 3) as u8).collect();
+        let sw = pad.encrypt(&msg).unwrap();
+        let mut engine = CimXorEngine::new(pad, 64);
+        let (hw, cost) = engine.encrypt(&msg).unwrap();
+        assert_eq!(hw, sw);
+        assert!(cost.energy.0 > 0.0);
+        assert!(cost.latency.0 > 0.0);
+    }
+
+    #[test]
+    fn cim_round_trip() {
+        let pad = OneTimePad::generate(100, 22);
+        let msg = vec![0xA5u8; 100];
+        let mut engine = CimXorEngine::new(pad, 32);
+        let (ct, _) = engine.encrypt(&msg).unwrap();
+        let (pt, _) = engine.decrypt(&ct).unwrap();
+        assert_eq!(pt, msg);
+    }
+
+    #[test]
+    fn message_shorter_than_row_handled() {
+        let pad = OneTimePad::generate(5, 23);
+        let msg = *b"hello";
+        let sw = pad.encrypt(&msg).unwrap();
+        let mut engine = CimXorEngine::new(pad, 64);
+        let (hw, _) = engine.encrypt(&msg).unwrap();
+        assert_eq!(hw, sw);
+        assert_eq!(hw.len(), 5);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let pad = OneTimePad::generate(16, 24);
+        let mut engine = CimXorEngine::new(pad, 16);
+        assert!(matches!(
+            engine.encrypt(&[0u8; 4]),
+            Err(CipherError::LengthMismatch { expected: 16, actual: 4 })
+        ));
+    }
+
+    #[test]
+    fn cost_scales_with_message_length() {
+        let small_pad = OneTimePad::generate(64, 25);
+        let large_pad = OneTimePad::generate(1024, 25);
+        let mut small = CimXorEngine::new(small_pad, 64);
+        let mut large = CimXorEngine::new(large_pad, 64);
+        let (_, c_small) = small.encrypt(&vec![1u8; 64]).unwrap();
+        let (_, c_large) = large.encrypt(&vec![1u8; 1024]).unwrap();
+        assert!(c_large.energy.0 > 10.0 * c_small.energy.0);
+        assert_eq!(large.key_loads(), 16);
+    }
+
+    #[test]
+    fn one_scouting_access_per_row() {
+        let pad = OneTimePad::generate(128, 26);
+        let mut engine = CimXorEngine::new(pad, 32);
+        engine.encrypt(&vec![0u8; 128]).unwrap();
+        // 128 B in 32 B rows = 4 XOR accesses.
+        assert_eq!(engine.tile.stats().scout_ops, 4);
+    }
+}

@@ -1,0 +1,34 @@
+//! # cim-xor-cipher
+//!
+//! One-time-pad XOR encryption with software and CIM execution paths —
+//! the §II "XOR encryption kernel" of the DATE'19 paper.
+//!
+//! The kernel "performs an XOR operation of a string sequence and a
+//! predefined (secret) key … used for one-time-pad cryptography". On the
+//! CIM architecture, message and key rows live in a digital memristive
+//! tile; every ciphertext row is produced by a single two-row Scouting
+//! XOR access instead of a load-load-xor-store round trip through the
+//! cache hierarchy.
+//!
+//! * [`otp`] — the one-time pad: key generation, software XOR, the
+//!   perfect-recovery and key-reuse properties.
+//! * [`cim`] — [`cim::CimXorEngine`]: the same cipher executed in the
+//!   array, with operation costs for the benchmark harness.
+//!
+//! # Example
+//!
+//! ```
+//! use cim_xor_cipher::otp::OneTimePad;
+//!
+//! let pad = OneTimePad::generate(16, 7);
+//! let msg = b"attack at dawn!!";
+//! let ct = pad.encrypt(msg).unwrap();
+//! assert_ne!(&ct[..], &msg[..]);
+//! assert_eq!(pad.decrypt(&ct).unwrap(), msg.to_vec());
+//! ```
+
+pub mod cim;
+pub mod otp;
+
+pub use cim::CimXorEngine;
+pub use otp::{CipherError, OneTimePad};

@@ -1,0 +1,193 @@
+//! The one-time pad on the host CPU.
+//!
+//! A one-time pad encrypts by XOR-ing the message with a truly random
+//! key of the same length; decryption is the same operation. The cipher
+//! is information-theoretically secure exactly when the key is random,
+//! as long as the message, and never reused — the properties the tests
+//! and the proptest suite pin down.
+
+use cim_simkit::bitvec::BitVec;
+use rand::Rng;
+use std::error::Error;
+use std::fmt;
+
+/// Errors of the one-time-pad operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CipherError {
+    /// Message length does not match the pad length.
+    LengthMismatch {
+        /// Pad length in bytes.
+        expected: usize,
+        /// Message length in bytes.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CipherError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CipherError::LengthMismatch { expected, actual } => write!(
+                f,
+                "message length {actual} does not match pad length {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for CipherError {}
+
+/// A one-time pad: a single-use random key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OneTimePad {
+    key: Vec<u8>,
+}
+
+impl OneTimePad {
+    /// Generates a pad of `len` random bytes from a deterministic seed.
+    pub fn generate(len: usize, seed: u64) -> Self {
+        let mut rng = cim_simkit::rng::seeded(seed);
+        let key = (0..len).map(|_| rng.gen::<u8>()).collect();
+        OneTimePad { key }
+    }
+
+    /// Wraps an existing key.
+    pub fn from_key(key: Vec<u8>) -> Self {
+        OneTimePad { key }
+    }
+
+    /// Pad length in bytes.
+    pub fn len(&self) -> usize {
+        self.key.len()
+    }
+
+    /// `true` if the pad is empty.
+    pub fn is_empty(&self) -> bool {
+        self.key.is_empty()
+    }
+
+    /// The key bytes.
+    pub fn key(&self) -> &[u8] {
+        &self.key
+    }
+
+    /// The key as a bit vector (for loading into a CIM tile).
+    pub fn key_bits(&self) -> BitVec {
+        BitVec::from_bytes(&self.key)
+    }
+
+    /// Encrypts a message of exactly the pad length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CipherError::LengthMismatch`] if the message length
+    /// differs from the pad length.
+    pub fn encrypt(&self, message: &[u8]) -> Result<Vec<u8>, CipherError> {
+        if message.len() != self.key.len() {
+            return Err(CipherError::LengthMismatch {
+                expected: self.key.len(),
+                actual: message.len(),
+            });
+        }
+        Ok(message
+            .iter()
+            .zip(&self.key)
+            .map(|(m, k)| m ^ k)
+            .collect())
+    }
+
+    /// Decrypts a ciphertext of exactly the pad length (XOR is an
+    /// involution, so this is [`Self::encrypt`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CipherError::LengthMismatch`] if the ciphertext length
+    /// differs from the pad length.
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, CipherError> {
+        self.encrypt(ciphertext)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_simkit::stats::Summary;
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let pad = OneTimePad::generate(64, 1);
+        let msg: Vec<u8> = (0..64).map(|i| i as u8).collect();
+        let ct = pad.encrypt(&msg).unwrap();
+        assert_eq!(pad.decrypt(&ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn ciphertext_differs_from_message() {
+        let pad = OneTimePad::generate(256, 2);
+        let msg = vec![0u8; 256];
+        let ct = pad.encrypt(&msg).unwrap();
+        // XOR with zero message returns the key itself.
+        assert_eq!(ct, pad.key().to_vec());
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error() {
+        let pad = OneTimePad::generate(16, 3);
+        let err = pad.encrypt(&[0u8; 8]).unwrap_err();
+        assert_eq!(
+            err,
+            CipherError::LengthMismatch {
+                expected: 16,
+                actual: 8
+            }
+        );
+        assert!(err.to_string().contains("does not match"));
+    }
+
+    #[test]
+    fn ciphertext_bytes_look_uniform() {
+        // With a random key, ciphertext byte values should be close to
+        // uniform regardless of message structure (here: all 'A').
+        let n = 200_000;
+        let pad = OneTimePad::generate(n, 4);
+        let msg = vec![b'A'; n];
+        let ct = pad.encrypt(&msg).unwrap();
+        let mut counts = [0f64; 256];
+        for &b in &ct {
+            counts[b as usize] += 1.0;
+        }
+        let s = Summary::of(&counts);
+        let expected = n as f64 / 256.0;
+        assert!((s.mean - expected).abs() < 1e-9);
+        // Poisson-ish spread: std ≈ sqrt(mean) ≪ mean.
+        assert!(s.std < 2.0 * expected.sqrt(), "std {} vs mean {}", s.std, s.mean);
+    }
+
+    #[test]
+    fn key_reuse_leaks_message_xor() {
+        // The classic OTP failure mode: reusing a pad reveals m1 ⊕ m2.
+        let pad = OneTimePad::generate(8, 5);
+        let m1 = *b"aaaabbbb";
+        let m2 = *b"aaaacccc";
+        let c1 = pad.encrypt(&m1).unwrap();
+        let c2 = pad.encrypt(&m2).unwrap();
+        let leaked: Vec<u8> = c1.iter().zip(&c2).map(|(a, b)| a ^ b).collect();
+        let expect: Vec<u8> = m1.iter().zip(&m2).map(|(a, b)| a ^ b).collect();
+        assert_eq!(leaked, expect);
+        // The first four positions (identical plaintext) leak zeros.
+        assert_eq!(&leaked[..4], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn key_bits_round_trip() {
+        let pad = OneTimePad::generate(32, 6);
+        assert_eq!(pad.key_bits().to_bytes(), pad.key().to_vec());
+        assert_eq!(pad.key_bits().len(), 256);
+    }
+
+    #[test]
+    fn empty_pad() {
+        let pad = OneTimePad::from_key(Vec::new());
+        assert!(pad.is_empty());
+        assert_eq!(pad.encrypt(&[]).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,59 @@
+//! The §IV-B hyperdimensional-computing application: language
+//! recognition with the associative search executed in a PCM crossbar.
+//!
+//! Trains an HD classifier on synthetic Markov-chain "languages",
+//! then compares ideal software classification against the CIM
+//! associative memory under device noise.
+//!
+//! Run with: `cargo run --release --example hd_language`
+
+use cim_crossbar::analog::AnalogParams;
+use cim_hdc::cim::CimAssociativeMemory;
+use cim_hdc::lang::LanguageTask;
+
+fn main() {
+    let classes = 10;
+    let d = 8192;
+    println!("training HD language classifier: {classes} languages, d = {d}, tri-grams…");
+    let mut task = LanguageTask::train(classes, d, 3, 2500, 11);
+
+    let software = task.accuracy(8, 200);
+    println!("software associative memory: {:.1}% accuracy", software * 100.0);
+
+    // The same prototypes in a crossbar with realistic PCM noise.
+    let prototypes = task.memory.finalize().to_vec();
+    let (mut cam, programming) =
+        CimAssociativeMemory::program(&prototypes, AnalogParams::default(), 3);
+    println!(
+        "programmed {} prototypes × {} devices once: {}",
+        prototypes.len(),
+        d,
+        programming.energy
+    );
+
+    let mut correct = 0;
+    let mut total = 0;
+    let mut query_energy = cim_simkit::units::Joules::ZERO;
+    for c in 0..classes {
+        for s in 0..8 {
+            let text = task.languages[c]
+                .sample_text(200, &mut cim_simkit::rng::seeded(5_000 + (c * 8 + s) as u64));
+            let query = task.encoder.encode_sequence(&text);
+            let (label, _, cost) = cam.classify(&query);
+            query_energy += cost.energy;
+            if label == c {
+                correct += 1;
+            }
+            total += 1;
+        }
+    }
+    println!(
+        "CIM associative memory:     {:.1}% accuracy ({total} queries, {} per query)",
+        100.0 * correct as f64 / total as f64,
+        query_energy / total as f64
+    );
+    println!(
+        "\npaper: the CIM architecture delivers accuracies comparable to \
+         ideal software for language recognition."
+    );
+}

@@ -1,0 +1,58 @@
+//! The Fig. 1(b) offload model: when does moving loops into the CIM
+//! core pay off?
+//!
+//! Sweeps the accelerated fraction and cache behaviour of a streaming
+//! program and prints the speedup / energy-gain landscape the §II-C
+//! analytical models predict.
+//!
+//! Run with: `cargo run --example offload_explorer`
+
+use cim_arch::cim::CimSystem;
+use cim_arch::conventional::ConventionalMachine;
+use cim_core::offload::Program;
+use cim_simkit::units::ByteSize;
+
+fn main() {
+    let conv = ConventionalMachine::xeon_e5_2680();
+    let cim = CimSystem::paper_default();
+
+    println!("offload landscape for a 32 GiB streaming workload\n");
+    println!("{:>4} {:>8} {:>8} | {:>9} {:>11}", "X%", "L1 miss", "L2 miss", "speedup", "energy gain");
+    println!("{}", "-".repeat(50));
+    for &x in &[0.1, 0.3, 0.6, 0.9] {
+        for &miss in &[0.1, 0.5, 1.0] {
+            let program = Program::streaming(ByteSize::gibibytes(32), x, miss, miss);
+            let est = program.estimate(&conv, &cim);
+            println!(
+                "{:>4.0} {:>8.1} {:>8.1} | {:>8.2}x {:>10.1}x",
+                x * 100.0,
+                miss,
+                miss,
+                est.speedup(),
+                est.energy_gain()
+            );
+        }
+    }
+    println!(
+        "\nreading: CIM delay wins once the workload is miss-heavy and \
+         mostly offloadable (up to ~35x), while its energy wins everywhere \
+         — the paper's Fig. 3/4 conclusion."
+    );
+
+    // A concrete Fig. 1(b)-style program: three hot loops + glue code.
+    let mut program = Program::new(0.8, 0.6);
+    program
+        .host(2e9)        // setup + aggregation
+        .cim_loop(6e9)    // loop 1: bitmap intersections
+        .cim_loop(3e9)    // loop 2: bitwise encryption pass
+        .host(0.5e9)      // result collection
+        .cim_loop(2e9);   // loop 3: scan
+    let est = program.estimate(&conv, &cim);
+    println!(
+        "\nexample program ({} sections, X = {:.0}%): speedup {:.1}x, energy gain {:.1}x",
+        program.sections().len(),
+        est.accel_fraction * 100.0,
+        est.speedup(),
+        est.energy_gain()
+    );
+}

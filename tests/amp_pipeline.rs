@@ -1,0 +1,76 @@
+//! Integration: the §III-B compressed-sensing pipeline end to end —
+//! problem generation → crossbar programming → AMP iteration → recovery
+//! quality — plus the energy-accounting consistency of the backend.
+
+use cim_repro::cim_amp::problem::CsProblem;
+use cim_repro::cim_amp::solver::{AmpSolver, CrossbarBackend, ExactBackend, MatVecBackend};
+use cim_repro::cim_crossbar::analog::AnalogParams;
+use cim_repro::cim_simkit::stats::nmse_db;
+
+#[test]
+fn crossbar_recovery_close_to_float_across_instances() {
+    let solver = AmpSolver::default();
+    for seed in 0..3 {
+        let p = CsProblem::generate(96, 192, 8, 0.0, 100 + seed);
+        let r_float = solver.solve(
+            &mut ExactBackend::new(p.matrix.clone()),
+            &p.measurements,
+            p.n(),
+        );
+        let mut backend = CrossbarBackend::new(&p.matrix, AnalogParams::default(), seed);
+        let r_xbar = solver.solve(&mut backend, &p.measurements, p.n());
+        let e_float = nmse_db(&p.signal, &r_float.estimate);
+        let e_xbar = nmse_db(&p.signal, &r_xbar.estimate);
+        assert!(e_float < -35.0, "float NMSE {e_float} (seed {seed})");
+        assert!(e_xbar < -12.0, "crossbar NMSE {e_xbar} (seed {seed})");
+    }
+}
+
+#[test]
+fn backend_energy_accounting_is_consistent() {
+    let p = CsProblem::generate(64, 128, 6, 0.0, 7);
+    let mut backend = CrossbarBackend::new(&p.matrix, AnalogParams::default(), 7);
+    let solver = AmpSolver {
+        max_iterations: 10,
+        tolerance: 0.0, // force exactly 10 iterations
+        ..AmpSolver::default()
+    };
+    let r = solver.solve(&mut backend, &p.measurements, p.n());
+    assert_eq!(r.iterations, 10);
+    assert_eq!(r.products, 20);
+    let stats = backend.stats();
+    // A differential pair runs two tiles per product.
+    assert_eq!(stats.mvms + stats.transpose_mvms, 2 * r.products);
+    assert!(stats.energy.0 > backend.programming_cost().energy.0 * 0.0);
+    assert!(stats.busy_time.0 > 0.0);
+}
+
+#[test]
+fn noise_resilience_degrades_gracefully_with_measurement_noise() {
+    let solver = AmpSolver::default();
+    let mut last_nmse = -200.0;
+    for (i, &noise) in [0.0, 0.02, 0.1].iter().enumerate() {
+        let p = CsProblem::generate(128, 256, 10, noise, 50 + i as u64);
+        let mut backend = CrossbarBackend::new(&p.matrix, AnalogParams::default(), i as u64);
+        let r = solver.solve(&mut backend, &p.measurements, p.n());
+        let e = nmse_db(&p.signal, &r.estimate);
+        assert!(
+            e > last_nmse - 3.0,
+            "recovery should not improve dramatically with more noise: {e} after {last_nmse}"
+        );
+        last_nmse = e;
+    }
+    // Even the noisiest case stays useful.
+    assert!(last_nmse < -5.0, "final NMSE {last_nmse}");
+}
+
+#[test]
+fn matvec_backend_trait_object_usable() {
+    // The solver accepts backends through the trait, including as &mut
+    // dyn — the API the examples rely on.
+    let p = CsProblem::generate(32, 64, 4, 0.0, 9);
+    let mut exact = ExactBackend::new(p.matrix.clone());
+    let backend: &mut dyn MatVecBackend = &mut exact;
+    let r = AmpSolver::default().solve(backend, &p.measurements, p.n());
+    assert!(nmse_db(&p.signal, &r.estimate) < -30.0);
+}

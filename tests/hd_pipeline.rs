@@ -1,0 +1,87 @@
+//! Integration: the §IV-B HD-computing pipeline — language and gesture
+//! classification through the full encode→bundle→search stack, on both
+//! the digital and the CIM associative memory.
+
+use cim_repro::cim_crossbar::analog::AnalogParams;
+use cim_repro::cim_hdc::cim::CimAssociativeMemory;
+use cim_repro::cim_hdc::emg::EmgTask;
+use cim_repro::cim_hdc::lang::LanguageTask;
+use cim_repro::cim_simkit::rng::seeded;
+
+#[test]
+fn language_recognition_accuracy_floor() {
+    let mut task = LanguageTask::train(10, 4096, 3, 2000, 1);
+    let acc = task.accuracy(5, 250);
+    assert!(acc > 0.9, "10-language accuracy {acc}");
+}
+
+#[test]
+fn emg_gesture_accuracy_floor() {
+    let mut task = EmgTask::train(4096, 16, 40, 4, 0.06, 2);
+    let acc = task.accuracy(8);
+    assert!(acc > 0.85, "EMG accuracy {acc}");
+}
+
+#[test]
+fn cim_associative_memory_comparable_to_software() {
+    // The §IV-B-3 experiment at reduced scale: same prototypes, same
+    // queries, digital Hamming vs analog crossbar search.
+    let classes = 8;
+    let mut task = LanguageTask::train(classes, 4096, 3, 1500, 3);
+    let per_class = 5;
+    let len = 250;
+
+    let software_acc = {
+        let mut correct = 0;
+        for c in 0..classes {
+            for s in 0..per_class {
+                let mut rng = seeded(40_000 + (c * per_class + s) as u64);
+                let text = task.languages[c].sample_text(len, &mut rng);
+                let q = task.encoder.encode_sequence(&text);
+                if task.memory.classify(&q).0 == c {
+                    correct += 1;
+                }
+            }
+        }
+        correct as f64 / (classes * per_class) as f64
+    };
+
+    let prototypes = task.memory.finalize().to_vec();
+    let (mut cam, _) = CimAssociativeMemory::program(&prototypes, AnalogParams::default(), 4);
+    let cim_acc = {
+        let mut correct = 0;
+        for c in 0..classes {
+            for s in 0..per_class {
+                let mut rng = seeded(40_000 + (c * per_class + s) as u64);
+                let text = task.languages[c].sample_text(len, &mut rng);
+                let q = task.encoder.encode_sequence(&text);
+                if cam.classify(&q).0 == c {
+                    correct += 1;
+                }
+            }
+        }
+        correct as f64 / (classes * per_class) as f64
+    };
+
+    assert!(software_acc > 0.9, "software accuracy {software_acc}");
+    assert!(
+        cim_acc >= software_acc - 0.1,
+        "CIM accuracy {cim_acc} must be comparable to software {software_acc}"
+    );
+}
+
+#[test]
+fn query_energy_is_accounted() {
+    let mut task = LanguageTask::train(4, 2048, 3, 800, 5);
+    let prototypes = task.memory.finalize().to_vec();
+    let (mut cam, programming) =
+        CimAssociativeMemory::program(&prototypes, AnalogParams::default(), 6);
+    assert!(programming.energy.0 > 0.0);
+    let before = cam.total_energy();
+    let mut rng = seeded(1);
+    let text = task.languages[0].sample_text(100, &mut rng);
+    let q = task.encoder.encode_sequence(&text);
+    let (_, _, cost) = cam.classify(&q);
+    assert!(cost.energy.0 > 0.0);
+    assert!((cam.total_energy().0 - before.0 - cost.energy.0).abs() < 1e-15);
+}

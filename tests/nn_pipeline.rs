@@ -1,0 +1,72 @@
+//! Integration: the §IV-A inference pipeline — train → quantize →
+//! crossbar execution — checking the paper's "comparable accuracy at low
+//! precision" claim holds through the whole chain.
+
+use cim_repro::cim_crossbar::analog::AnalogParams;
+use cim_repro::cim_nn::crossbar::CrossbarNetwork;
+use cim_repro::cim_nn::quant::{quantize_power_of_two, quantize_uniform};
+use cim_repro::cim_nn::task::SensoryTask;
+use cim_repro::cim_nn::train::TrainConfig;
+
+#[test]
+fn full_chain_keeps_accuracy() {
+    let task = SensoryTask::generate(16, 4, 120, 0.2, 41);
+    let float_net = TrainConfig::default().train(&task, 8);
+    let float_acc = task.accuracy(&float_net, task.test_set());
+    assert!(float_acc > 0.9, "float accuracy {float_acc}");
+
+    // Quantize to 4 bits, then run the quantized network on the analog
+    // crossbar — the paper's full low-precision inference story.
+    let mut q_net = float_net.clone();
+    quantize_uniform(&mut q_net, 4);
+    let q_acc = task.accuracy(&q_net, task.test_set());
+    assert!(q_acc >= float_acc - 0.1, "4-bit accuracy {q_acc} vs float {float_acc}");
+
+    let (mut cbn, programming) = CrossbarNetwork::program(&q_net, AnalogParams::default(), 1);
+    assert!(programming.energy.0 > 0.0);
+    let analog_acc = task.accuracy_with(task.test_set(), |x| cbn.predict(x));
+    assert!(
+        analog_acc >= float_acc - 0.15,
+        "analog accuracy {analog_acc} vs float {float_acc}"
+    );
+}
+
+#[test]
+fn inq_chain_keeps_accuracy() {
+    let task = SensoryTask::generate(12, 3, 120, 0.2, 43);
+    let net = TrainConfig::default().train(&task, 8);
+    let float_acc = task.accuracy(&net, task.test_set());
+
+    let mut inq = net.clone();
+    quantize_power_of_two(&mut inq, 5);
+    let (mut cbn, _) = CrossbarNetwork::program(&inq, AnalogParams::default(), 2);
+    let analog_acc = task.accuracy_with(task.test_set(), |x| cbn.predict(x));
+    assert!(
+        analog_acc >= float_acc - 0.15,
+        "INQ+analog accuracy {analog_acc} vs float {float_acc}"
+    );
+}
+
+#[test]
+fn deeper_networks_still_execute() {
+    use cim_repro::cim_nn::layer::{Activation, DenseLayer};
+    use cim_repro::cim_nn::network::Network;
+    use cim_repro::cim_simkit::rng::seeded;
+
+    let mut rng = seeded(5);
+    let net = Network::from_layers(vec![
+        DenseLayer::random(8, 16, Activation::Relu, &mut rng),
+        DenseLayer::random(16, 16, Activation::Relu, &mut rng),
+        DenseLayer::random(16, 16, Activation::Sigmoid, &mut rng),
+        DenseLayer::random(16, 3, Activation::Identity, &mut rng),
+    ]);
+    let (mut cbn, _) = CrossbarNetwork::program(&net, AnalogParams::ideal(), 3);
+    let x = vec![0.25; 8];
+    let (analog, cost) = cbn.forward(&x);
+    let float = net.forward(&x);
+    assert_eq!(analog.len(), 3);
+    assert!(cost.energy.0 > 0.0);
+    for (a, f) in analog.iter().zip(&float) {
+        assert!((a - f).abs() < 0.05, "analog {a} vs float {f}");
+    }
+}

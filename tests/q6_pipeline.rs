@@ -1,0 +1,83 @@
+//! Integration: the full §II QUERY SELECT pipeline.
+//!
+//! Verifies that the three Query-6 execution paths (scalar scan, bitmap
+//! plan on the CPU, bitmap plan on CIM scouting logic) agree bit-for-bit
+//! across table sizes, parameter points and engine geometries, and that
+//! the CIM plan's operation counts behave as the architecture predicts.
+
+use cim_repro::cim_bitmap_db::query::{
+    q6_bitmap_cpu, q6_result_from_selection, q6_scan, Q6CimEngine,
+};
+use cim_repro::cim_bitmap_db::tpch::{LineItemTable, Q6Params};
+
+#[test]
+fn three_paths_agree_across_sizes_and_parameters() {
+    for &rows in &[777usize, 4096, 20_000] {
+        let table = LineItemTable::generate(rows, rows as u64);
+        for params in [
+            Q6Params::tpch_default(),
+            Q6Params { year: 0, discount: 0, max_quantity: 10 },
+            Q6Params { year: 6, discount: 10, max_quantity: 50 },
+        ] {
+            let scan = q6_scan(&table, &params);
+            let cpu = q6_bitmap_cpu(&table, &params);
+            assert_eq!(scan.matching_rows, cpu.result.matching_rows, "CPU plan, rows={rows}");
+            assert!((scan.revenue - cpu.result.revenue).abs() < 1e-6);
+
+            let mut engine = Q6CimEngine::load(&table, 4096, 8);
+            let cim = engine.execute(&params, &table);
+            assert_eq!(
+                scan.matching_rows, cim.result.matching_rows,
+                "CIM plan, rows={rows}, params={params:?}"
+            );
+            assert!((scan.revenue - cim.result.revenue).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn cim_selection_is_bit_exact() {
+    let table = LineItemTable::generate(6000, 9);
+    let params = Q6Params::tpch_default();
+    let mut engine = Q6CimEngine::load(&table, 2048, 8);
+    let selection = engine.selection(&params);
+    let result = q6_result_from_selection(&table, &params, &selection);
+    let scan = q6_scan(&table, &params);
+    assert_eq!(result.matching_rows, scan.matching_rows);
+    assert!((result.revenue - scan.revenue).abs() < 1e-6);
+    for i in 0..table.rows() {
+        assert_eq!(
+            selection.get(i),
+            params.matches(table.ship_month[i], table.discount[i], table.quantity[i]),
+            "row {i}"
+        );
+    }
+}
+
+#[test]
+fn array_accesses_independent_of_row_count_per_tile() {
+    // One tile: the access count depends only on the plan, not the data.
+    let params = Q6Params::tpch_default();
+    let small = LineItemTable::generate(500, 1);
+    let large = LineItemTable::generate(4000, 2);
+    let mut e_small = Q6CimEngine::load(&small, 4096, 8);
+    let mut e_large = Q6CimEngine::load(&large, 4096, 8);
+    let a = e_small.execute(&params, &small);
+    let b = e_large.execute(&params, &large);
+    assert_eq!(a.bitwise_ops, b.bitwise_ops);
+    assert_eq!(a.writebacks, b.writebacks);
+}
+
+#[test]
+fn tiling_scales_ops_linearly() {
+    let params = Q6Params::tpch_default();
+    let table = LineItemTable::generate(8000, 3);
+    let mut one_tile = Q6CimEngine::load(&table, 8000, 8);
+    let mut four_tiles = Q6CimEngine::load(&table, 2000, 8);
+    let a = one_tile.execute(&params, &table);
+    let b = four_tiles.execute(&params, &table);
+    assert_eq!(a.result.matching_rows, b.result.matching_rows);
+    assert_eq!(b.bitwise_ops, 4 * a.bitwise_ops);
+    // Latency scales with tile count when tiles execute sequentially.
+    assert!(b.cost.latency.0 > 3.0 * a.cost.latency.0);
+}
