@@ -408,9 +408,11 @@ mod tests {
     #[test]
     fn crossbar_backend_recovers_with_analog_noise() {
         let p = CsProblem::generate(64, 128, 6, 0.0, 17);
-        let mut params = AnalogParams::default();
-        params.adc_bits = 10;
-        params.dac_bits = 10;
+        let params = AnalogParams {
+            adc_bits: 10,
+            dac_bits: 10,
+            ..AnalogParams::default()
+        };
         let mut backend = CrossbarBackend::new(&p.matrix, params, 99);
         let solver = AmpSolver {
             max_iterations: 40,
@@ -420,8 +422,11 @@ mod tests {
         let nmse = nmse_db(&p.signal, &r.estimate);
         assert!(nmse < -10.0, "crossbar NMSE {nmse} dB");
         // And it must be worse than exact float, showing the analog cost.
-        let r_exact =
-            AmpSolver::default().solve(&mut ExactBackend::new(p.matrix.clone()), &p.measurements, p.n());
+        let r_exact = AmpSolver::default().solve(
+            &mut ExactBackend::new(p.matrix.clone()),
+            &p.measurements,
+            p.n(),
+        );
         assert!(nmse_db(&p.signal, &r_exact.estimate) < nmse);
         assert!(backend.stats().mvms > 0);
         assert!(backend.programming_cost().energy.0 > 0.0);

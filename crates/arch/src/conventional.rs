@@ -114,9 +114,7 @@ impl ConventionalMachine {
     pub fn cpi(&self, mem_ref_rate: f64, l1_miss: f64, l2_miss: f64) -> f64 {
         let p = &self.params;
         p.cpi_base
-            + mem_ref_rate
-                * l1_miss
-                * (p.l2_penalty_cycles + l2_miss * p.dram_penalty_cycles)
+            + mem_ref_rate * l1_miss * (p.l2_penalty_cycles + l2_miss * p.dram_penalty_cycles)
     }
 
     /// Total runtime of the workload with ideal multicore scaling.
@@ -128,16 +126,9 @@ impl ConventionalMachine {
 
     /// Dynamic energy of `n` instructions at the given reference rate and
     /// miss rates (no static term).
-    pub fn dynamic_energy(
-        &self,
-        n: f64,
-        mem_ref_rate: f64,
-        l1_miss: f64,
-        l2_miss: f64,
-    ) -> Joules {
+    pub fn dynamic_energy(&self, n: f64, mem_ref_rate: f64, l1_miss: f64, l2_miss: f64) -> Joules {
         let p = &self.params;
-        let per_access = p.energy_l1.0
-            + l1_miss * (p.energy_l2.0 + l2_miss * p.energy_dram.0);
+        let per_access = p.energy_l1.0 + l1_miss * (p.energy_l2.0 + l2_miss * p.energy_dram.0);
         Joules(n * (p.energy_exec.0 + mem_ref_rate * per_access))
     }
 

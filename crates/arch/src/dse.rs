@@ -124,7 +124,10 @@ mod tests {
         assert!(front.len() < pts.len());
         for (i, a) in front.iter().enumerate() {
             for b in &front[i + 1..] {
-                assert!(!a.dominates(b) && !b.dominates(a), "front must be non-dominated");
+                assert!(
+                    !a.dominates(b) && !b.dominates(a),
+                    "front must be non-dominated"
+                );
             }
         }
         for w in front.windows(2) {
@@ -138,14 +141,8 @@ mod tests {
     fn front_contains_fastest_and_most_efficient() {
         let pts = evaluated();
         let front = pareto_front(&pts);
-        let fastest = pts
-            .iter()
-            .map(|p| p.delay.0)
-            .fold(f64::INFINITY, f64::min);
-        let thriftiest = pts
-            .iter()
-            .map(|p| p.energy.0)
-            .fold(f64::INFINITY, f64::min);
+        let fastest = pts.iter().map(|p| p.delay.0).fold(f64::INFINITY, f64::min);
+        let thriftiest = pts.iter().map(|p| p.energy.0).fold(f64::INFINITY, f64::min);
         assert!(front.iter().any(|p| p.delay.0 == fastest));
         assert!(front.iter().any(|p| p.energy.0 == thriftiest));
     }

@@ -17,8 +17,10 @@ fn ablation_adc_bits(c: &mut Criterion) {
     let m = Matrix::from_fn(64, 64, |i, j| ((i * 64 + j) % 9) as f64 / 9.0);
     let x = vec![0.5; 64];
     for &bits in &[4u32, 8, 12] {
-        let mut params = AnalogParams::default();
-        params.adc_bits = bits;
+        let params = AnalogParams {
+            adc_bits: bits,
+            ..AnalogParams::default()
+        };
         let mut rng = seeded(1);
         let mut xbar = AnalogCrossbar::new(64, 64, params);
         xbar.program_matrix(&m, &mut rng);

@@ -1,8 +1,8 @@
 //! Criterion bench E1/E2: evaluating the Fig. 3/4 analytical models —
 //! single-point evaluation and the full 11×11 miss-rate sweep.
 
-use cim_arch::conventional::ConventionalMachine;
 use cim_arch::cim::CimSystem;
+use cim_arch::conventional::ConventionalMachine;
 use cim_arch::params::Workload;
 use cim_arch::sweep::MissRateGrid;
 use criterion::{criterion_group, criterion_main, Criterion};

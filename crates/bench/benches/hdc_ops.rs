@@ -34,7 +34,10 @@ fn bench_hdc(c: &mut Criterion) {
     let mut am = AssociativeMemory::new(8, D);
     for cl in 0..8 {
         for i in 0..3 {
-            am.train(cl, &Hypervector::random(D, &mut seeded((cl * 10 + i) as u64)));
+            am.train(
+                cl,
+                &Hypervector::random(D, &mut seeded((cl * 10 + i) as u64)),
+            );
         }
     }
     let prototypes = am.finalize().to_vec();

@@ -23,7 +23,10 @@ fn bench_imgproc(c: &mut Criterion) {
             black_box(guided_filter(
                 &img,
                 &img,
-                &GuidedParams { radius: 4, epsilon: 0.01 },
+                &GuidedParams {
+                    radius: 4,
+                    epsilon: 0.01,
+                },
             ))
         })
     });

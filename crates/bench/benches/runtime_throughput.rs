@@ -1,0 +1,73 @@
+//! Criterion bench: wall-clock of serving a mixed job set through the
+//! `cim-runtime` pool at 1, 2 and 4 shards — the perf trajectory of the
+//! serving path across PRs.
+
+use cim_bitmap_db::tpch::Q6Params;
+use cim_crossbar::scouting::ScoutOp;
+use cim_runtime::{PoolConfig, RuntimePool, TenantId, WorkloadSpec};
+use cim_simkit::bitvec::BitVec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn job_set() -> Vec<(TenantId, WorkloadSpec)> {
+    let mut jobs = Vec::new();
+    for i in 0..4u64 {
+        jobs.push((
+            TenantId(1),
+            WorkloadSpec::Q6Select {
+                rows: 1000,
+                table_seed: 100 + i,
+                params: Q6Params::tpch_default(),
+            },
+        ));
+        jobs.push((
+            TenantId(2),
+            WorkloadSpec::XorEncrypt {
+                message: vec![0x5A; 256],
+                key_seed: 7 + i,
+            },
+        ));
+        jobs.push((
+            TenantId(3),
+            WorkloadSpec::ScoutBulk {
+                op: ScoutOp::Or,
+                rows: (0..8)
+                    .map(|r| BitVec::from_fn(512, |j| (j + r) % 5 == 0))
+                    .collect(),
+            },
+        ));
+    }
+    jobs
+}
+
+fn bench_runtime_throughput(c: &mut Criterion) {
+    let jobs = job_set();
+    let mut group = c.benchmark_group("runtime_throughput");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("drain_mixed_12_jobs", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut pool = RuntimePool::new(PoolConfig::with_shards(shards));
+                    for (tenant, spec) in &jobs {
+                        pool.submit(*tenant, spec).unwrap();
+                    }
+                    black_box(pool.drain())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_runtime_throughput
+}
+criterion_main!(benches);

@@ -19,12 +19,16 @@ fn bench_scouting(c: &mut Criterion) {
         arr.write_row(0, &a);
         arr.write_row(1, &b);
 
-        group.bench_with_input(BenchmarkId::new("cim_simulated_and", width), &width, |bench, _| {
-            bench.iter(|| black_box(arr.scout(ScoutOp::And, &[0, 1], &mut rng)))
-        });
-        group.bench_with_input(BenchmarkId::new("cpu_bitvec_and", width), &width, |bench, _| {
-            bench.iter(|| black_box(a.and(&b)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cim_simulated_and", width),
+            &width,
+            |bench, _| bench.iter(|| black_box(arr.scout(ScoutOp::And, &[0, 1], &mut rng))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cpu_bitvec_and", width),
+            &width,
+            |bench, _| bench.iter(|| black_box(a.and(&b))),
+        );
     }
     group.finish();
 }

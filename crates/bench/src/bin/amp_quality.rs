@@ -41,9 +41,11 @@ fn main() {
     let p = CsProblem::generate(m, n, 12, 0.0, 99);
     let mut rows = Vec::new();
     for &bits in &[4u32, 6, 8, 10, 12] {
-        let mut params = AnalogParams::default();
-        params.adc_bits = bits;
-        params.dac_bits = bits;
+        let params = AnalogParams {
+            adc_bits: bits,
+            dac_bits: bits,
+            ..AnalogParams::default()
+        };
         let mut backend = CrossbarBackend::new(&p.matrix, params, 2);
         let r = solver.solve(&mut backend, &p.measurements, p.n());
         rows.push(vec![

@@ -27,7 +27,10 @@ fn main() {
                 "energy / MVM".to_string(),
                 eng(fpga.mvm_energy(1024).0, "J"),
                 eng(budget.energy_per_read().0, "J"),
-                format!("{:.0}x", fpga.mvm_energy(1024).0 / budget.energy_per_read().0),
+                format!(
+                    "{:.0}x",
+                    fpga.mvm_energy(1024).0 / budget.energy_per_read().0
+                ),
             ],
             vec![
                 "latency / MVM".to_string(),
@@ -46,6 +49,12 @@ fn main() {
 
     println!("macro floorplan (25F² 1T1R PCM cells, F = 90 nm):");
     println!("  array: {:.4} mm²", floorplan.array_area().0);
-    println!("  ADCs:  {:.4} mm² (8 × 50 µm × 300 µm)", floorplan.adc_bank_area().0);
-    println!("  total: {:.4} mm²  (paper: ~0.332 mm²)", floorplan.total_area().0);
+    println!(
+        "  ADCs:  {:.4} mm² (8 × 50 µm × 300 µm)",
+        floorplan.adc_bank_area().0
+    );
+    println!(
+        "  total: {:.4} mm²  (paper: ~0.332 mm²)",
+        floorplan.total_area().0
+    );
 }

@@ -32,11 +32,20 @@ fn main() {
             })
             .collect();
         print_table(
-            &["L1 miss", "L2 miss", "norm delay (conv)", "norm delay (CIM)", "speedup"],
+            &[
+                "L1 miss",
+                "L2 miss",
+                "norm delay (conv)",
+                "norm delay (CIM)",
+                "speedup",
+            ],
             &rows,
         );
         let best = points.iter().map(|p| p.speedup()).fold(0.0, f64::max);
-        let worst = points.iter().map(|p| p.speedup()).fold(f64::INFINITY, f64::min);
+        let worst = points
+            .iter()
+            .map(|p| p.speedup())
+            .fold(f64::INFINITY, f64::min);
         println!(
             "max speedup {best:.1}x, min speedup {worst:.2}x \
              (paper: up to ~35x at X=90%; CIM can lose at low miss rates)\n"

@@ -27,7 +27,13 @@ fn main() {
             })
             .collect();
         print_table(
-            &["L1 miss", "L2 miss", "norm energy (conv)", "norm energy (CIM)", "gain"],
+            &[
+                "L1 miss",
+                "L2 miss",
+                "norm energy (conv)",
+                "norm energy (CIM)",
+                "gain",
+            ],
             &rows,
         );
         let best = points.iter().map(|p| p.energy_gain()).fold(0.0, f64::max);

@@ -20,7 +20,14 @@ fn main() {
         "-".to_string(),
     ]);
     for r in [2usize, 4, 8] {
-        let g = guided_filter(&noisy, &noisy, &GuidedParams { radius: r, epsilon: 0.01 });
+        let g = guided_filter(
+            &noisy,
+            &noisy,
+            &GuidedParams {
+                radius: r,
+                epsilon: 0.01,
+            },
+        );
         rows.push(vec![
             format!("guided r={r}, eps=0.01"),
             format!("{:.2} dB", g.psnr(&clean)),
@@ -56,7 +63,12 @@ fn main() {
         rows.push(vec![
             format!("{0}x{0}", 2 * radius + 1),
             p.window_bytes().to_string(),
-            if p.exceeds_register_file() { "yes" } else { "no" }.to_string(),
+            if p.exceeds_register_file() {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
             format!("{}", m.conventional),
             format!("{}", m.cim),
             format!("{:.0}x", m.reduction_factor()),

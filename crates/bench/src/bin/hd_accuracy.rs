@@ -15,9 +15,7 @@ fn main() {
     let query_len = 200;
     let per_class = 5;
 
-    println!(
-        "# §IV-B-3 — HD language recognition, {PAPER_LANGUAGES} classes, d = {d}\n"
-    );
+    println!("# §IV-B-3 — HD language recognition, {PAPER_LANGUAGES} classes, d = {d}\n");
     let mut task = LanguageTask::train(PAPER_LANGUAGES, d, 3, train_len, 1);
     let software_acc = task.accuracy(per_class, query_len);
 
@@ -28,9 +26,10 @@ fn main() {
     let mut total = 0;
     for c in 0..PAPER_LANGUAGES {
         for _ in 0..per_class {
-            let text = task.languages[c].sample_text(query_len, &mut cim_simkit::rng::seeded(
-                (total + 7_000) as u64,
-            ));
+            let text = task.languages[c].sample_text(
+                query_len,
+                &mut cim_simkit::rng::seeded((total + 7_000) as u64),
+            );
             let query = task.encoder.encode_sequence(&text);
             let (label, _, _) = cam.classify(&query);
             if label == c {
@@ -44,7 +43,10 @@ fn main() {
     print_table(
         &["implementation", "accuracy"],
         &[
-            vec!["ideal software".to_string(), format!("{:.1}%", software_acc * 100.0)],
+            vec![
+                "ideal software".to_string(),
+                format!("{:.1}%", software_acc * 100.0),
+            ],
             vec![
                 "CIM associative memory (PCM noise)".to_string(),
                 format!("{:.1}%", cim_acc * 100.0),

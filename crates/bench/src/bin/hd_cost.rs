@@ -14,7 +14,12 @@ fn main() {
         cost.workload.d, cost.workload.sequence_len, cost.workload.classes
     );
     print_table(
-        &["quantity", "65nm CMOS RTL", "CIM HD processor", "improvement"],
+        &[
+            "quantity",
+            "65nm CMOS RTL",
+            "CIM HD processor",
+            "improvement",
+        ],
         &[
             vec![
                 "total area".to_string(),

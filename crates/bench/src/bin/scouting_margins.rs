@@ -47,7 +47,12 @@ fn main() {
     // Monte-Carlo sensing-error estimate under default variation.
     println!("\nMonte-Carlo sensing errors (10k column-ops per config, default variation):");
     let mut rng = seeded(99);
-    for (op, k) in [(ScoutOp::Or, 2), (ScoutOp::And, 2), (ScoutOp::Xor, 2), (ScoutOp::Or, 8)] {
+    for (op, k) in [
+        (ScoutOp::Or, 2),
+        (ScoutOp::And, 2),
+        (ScoutOp::Xor, 2),
+        (ScoutOp::Or, 8),
+    ] {
         let mut errors = 0usize;
         let trials = 100;
         let cols = 100;

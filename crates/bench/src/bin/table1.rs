@@ -24,9 +24,7 @@ fn main() {
             format!("{:.1}", design.dynamic_power().0),
         ]],
     );
-    println!(
-        "\npaper: 307908 [46.4%] | 180368 [13.6%] | 1024 [47.4%] | 200 | 4.04 | 26.4"
-    );
+    println!("\npaper: 307908 [46.4%] | 180368 [13.6%] | 1024 [47.4%] | 200 | 4.04 | 26.4");
     println!(
         "\nderived: dot product = {} cycles, MVM latency = {:.0} ns, MVM energy = {:.1} µJ",
         design.dot_product_cycles(),

@@ -62,6 +62,7 @@ impl Predicate {
     }
 
     /// Negates this predicate.
+    #[allow(clippy::should_implement_trait)] // builder-style combinator
     pub fn not(self) -> Self {
         Predicate::Not(Box::new(self))
     }
@@ -77,9 +78,7 @@ impl Predicate {
 
     fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
         match self {
-            Predicate::Equals { column, .. } | Predicate::Range { column, .. } => {
-                out.push(column)
-            }
+            Predicate::Equals { column, .. } | Predicate::Range { column, .. } => out.push(column),
             Predicate::Not(inner) => inner.collect_columns(out),
             Predicate::And(children) | Predicate::Or(children) => {
                 for c in children {
@@ -239,9 +238,19 @@ mod tests {
     fn catalog(rows: usize, seed: u64) -> Catalog {
         let mut rng = cim_simkit::rng::seeded(seed);
         let mut c = Catalog::new();
-        c.add_column("a", (0..rows).map(|_| rng.gen_range(0..20)).collect(), 0, 19);
+        c.add_column(
+            "a",
+            (0..rows).map(|_| rng.gen_range(0..20)).collect(),
+            0,
+            19,
+        );
         c.add_column("b", (0..rows).map(|_| rng.gen_range(0..8)).collect(), 0, 7);
-        c.add_column("c", (0..rows).map(|_| rng.gen_range(-5..5)).collect(), -5, 4);
+        c.add_column(
+            "c",
+            (0..rows).map(|_| rng.gen_range(-5..5)).collect(),
+            -5,
+            4,
+        );
         c
     }
 

@@ -84,15 +84,24 @@ impl Q6Indexes {
         let quantities: Vec<i64> = table.quantity.iter().map(|&v| v as i64).collect();
         Q6Indexes {
             month: BitmapIndex::build(
-                BinSpec::Equality { lo: 0, hi: SHIP_MONTHS as i64 - 1 },
+                BinSpec::Equality {
+                    lo: 0,
+                    hi: SHIP_MONTHS as i64 - 1,
+                },
                 &months,
             ),
             discount: BitmapIndex::build(
-                BinSpec::Equality { lo: 0, hi: DISCOUNT_LEVELS as i64 - 1 },
+                BinSpec::Equality {
+                    lo: 0,
+                    hi: DISCOUNT_LEVELS as i64 - 1,
+                },
                 &discounts,
             ),
             quantity: BitmapIndex::build(
-                BinSpec::Equality { lo: 1, hi: MAX_QUANTITY as i64 },
+                BinSpec::Equality {
+                    lo: 1,
+                    hi: MAX_QUANTITY as i64,
+                },
                 &quantities,
             ),
         }
@@ -277,12 +286,13 @@ impl Q6CimEngine {
 
     fn run_plan(&mut self, params: &Q6Params) -> (BitVec, Tally) {
         let [(mlo, mhi), (dlo, dhi), (qlo, qhi)] = Q6Indexes::predicate_ranges(params);
-        let month_rows: Vec<usize> =
-            (mlo..=mhi).map(|m| self.month_base + m as usize).collect();
-        let discount_rows: Vec<usize> =
-            (dlo..=dhi).map(|d| self.discount_base + d as usize).collect();
-        let quantity_rows: Vec<usize> =
-            (qlo..=qhi).map(|q| self.quantity_base + (q as usize - 1)).collect();
+        let month_rows: Vec<usize> = (mlo..=mhi).map(|m| self.month_base + m as usize).collect();
+        let discount_rows: Vec<usize> = (dlo..=dhi)
+            .map(|d| self.discount_base + d as usize)
+            .collect();
+        let quantity_rows: Vec<usize> = (qlo..=qhi)
+            .map(|q| self.quantity_base + (q as usize - 1))
+            .collect();
 
         let mut selection = BitVec::zeros(self.entries);
         let mut tally = Tally::default();

@@ -44,14 +44,54 @@ pub const NEW_THRESHOLD: u32 = 2010;
 pub fn star_catalog() -> Vec<Star> {
     use StarSize::*;
     vec![
-        Star { name: 'A', distance: 55, size: Large, year: 2016 },
-        Star { name: 'B', distance: 23, size: Medium, year: 2014 },
-        Star { name: 'C', distance: 43, size: Small, year: 2015 },
-        Star { name: 'D', distance: 60, size: Medium, year: 2016 },
-        Star { name: 'E', distance: 25, size: Medium, year: 2000 },
-        Star { name: 'F', distance: 34, size: Medium, year: 2001 },
-        Star { name: 'G', distance: 18, size: Small, year: 2012 },
-        Star { name: 'H', distance: 30, size: Small, year: 2011 },
+        Star {
+            name: 'A',
+            distance: 55,
+            size: Large,
+            year: 2016,
+        },
+        Star {
+            name: 'B',
+            distance: 23,
+            size: Medium,
+            year: 2014,
+        },
+        Star {
+            name: 'C',
+            distance: 43,
+            size: Small,
+            year: 2015,
+        },
+        Star {
+            name: 'D',
+            distance: 60,
+            size: Medium,
+            year: 2016,
+        },
+        Star {
+            name: 'E',
+            distance: 25,
+            size: Medium,
+            year: 2000,
+        },
+        Star {
+            name: 'F',
+            distance: 34,
+            size: Medium,
+            year: 2001,
+        },
+        Star {
+            name: 'G',
+            distance: 18,
+            size: Small,
+            year: 2012,
+        },
+        Star {
+            name: 'H',
+            distance: 30,
+            size: Small,
+            year: 2011,
+        },
     ]
 }
 
@@ -72,8 +112,13 @@ impl StarBitmap {
         let row = |f: &dyn Fn(&Star) -> bool| BitVec::from_fn(n, |i| f(&stars[i]));
         StarBitmap {
             labels: vec![
-                "dist:far", "dist:near", "size:large", "size:medium", "size:small",
-                "year:new", "year:old",
+                "dist:far",
+                "dist:near",
+                "size:large",
+                "size:medium",
+                "size:small",
+                "year:new",
+                "year:old",
             ],
             rows: vec![
                 row(&|s| s.distance > FAR_THRESHOLD),

@@ -14,6 +14,8 @@ use cim_crossbar::analog::{AnalogParams, DifferentialCrossbar};
 use cim_crossbar::digital::DigitalArray;
 use cim_crossbar::energy::OperationCost;
 use cim_device::reram::ReramParams;
+use cim_simkit::bitvec::BitVec;
+use cim_simkit::linalg::Matrix;
 use cim_simkit::rng::seeded;
 use cim_simkit::units::{Joules, Seconds};
 use rand::rngs::StdRng;
@@ -68,13 +70,14 @@ impl CimAcceleratorBuilder {
 
     /// Adds `count` digital tiles of `rows × cols` devices.
     pub fn digital_tiles(&mut self, count: usize, rows: usize, cols: usize) -> &mut Self {
-        self.digital.extend(std::iter::repeat((rows, cols)).take(count));
+        self.digital
+            .extend(std::iter::repeat_n((rows, cols), count));
         self
     }
 
     /// Adds `count` analog (differential) tiles of `rows × cols` weights.
     pub fn analog_tiles(&mut self, count: usize, rows: usize, cols: usize) -> &mut Self {
-        self.analog.extend(std::iter::repeat((rows, cols)).take(count));
+        self.analog.extend(std::iter::repeat_n((rows, cols), count));
         self
     }
 
@@ -114,6 +117,7 @@ impl CimAcceleratorBuilder {
             analog_tiles,
             rng,
             stats: ExecutionStats::default(),
+            last_bits: None,
         }
     }
 }
@@ -131,6 +135,9 @@ pub struct CimAccelerator {
     analog_tiles: Vec<DifferentialCrossbar>,
     rng: StdRng,
     stats: ExecutionStats,
+    /// Result of the most recent bits-producing instruction, consumed by
+    /// [`CimInstruction::StoreLast`].
+    last_bits: Option<BitVec>,
 }
 
 impl CimAccelerator {
@@ -187,6 +194,30 @@ impl CimAccelerator {
         &mut self,
         instruction: CimInstruction,
     ) -> (CimResponse, OperationCost) {
+        let mut rng = self.rng.clone();
+        let out = self.execute_with_rng(instruction, &mut rng);
+        self.rng = rng;
+        out
+    }
+
+    /// Executes one instruction drawing all stochastic behaviour (read
+    /// noise, programming noise) from the caller's RNG instead of the
+    /// accelerator's own stream.
+    ///
+    /// This is the entry point the multi-tenant runtime uses: giving
+    /// every job its own seeded stream makes a job's results independent
+    /// of which other jobs share the accelerator and in which order they
+    /// execute.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::execute`], plus `StoreLast` with no
+    /// preceding bits-producing instruction.
+    pub fn execute_with_rng(
+        &mut self,
+        instruction: CimInstruction,
+        rng: &mut StdRng,
+    ) -> (CimResponse, OperationCost) {
         match instruction {
             CimInstruction::WriteRow { tile, row, bits } => {
                 let cost = self.digital_tiles[tile].write_row(row, &bits);
@@ -197,30 +228,42 @@ impl CimAccelerator {
             CimInstruction::ReadRow { tile, row } => {
                 let t = &mut self.digital_tiles[tile];
                 let before = t.stats().energy;
-                let bits = t.read_row(row, &mut self.rng);
+                let bits = t.read_row(row, rng);
                 let cost = OperationCost {
                     energy: t.stats().energy - before,
                     latency: t.params().read_latency,
                 };
                 self.stats.row_reads += 1;
                 self.account(cost);
+                self.last_bits = Some(bits.clone());
                 (CimResponse::Bits(bits), cost)
             }
             CimInstruction::Logic { tile, op, rows } => {
-                let (bits, cost) =
-                    self.digital_tiles[tile].scout_with_cost(op, &rows, &mut self.rng);
+                let (bits, cost) = self.digital_tiles[tile].scout_with_cost(op, &rows, rng);
                 self.stats.logic_ops += 1;
                 self.account(cost);
+                self.last_bits = Some(bits.clone());
                 (CimResponse::Bits(bits), cost)
             }
+            CimInstruction::StoreLast { tile, row } => {
+                let bits = self
+                    .last_bits
+                    .take()
+                    .expect("StoreLast with no preceding bits-producing instruction");
+                let cost = self.digital_tiles[tile].write_row(row, &bits);
+                self.stats.row_writes += 1;
+                self.account(cost);
+                self.last_bits = Some(bits);
+                (CimResponse::Done, cost)
+            }
             CimInstruction::ProgramMatrix { tile, matrix } => {
-                let cost = self.analog_tiles[tile].program_matrix(&matrix, &mut self.rng);
+                let cost = self.analog_tiles[tile].program_matrix(&matrix, rng);
                 self.stats.matrix_programs += 1;
                 self.account(cost);
                 (CimResponse::Done, cost)
             }
             CimInstruction::Mvm { tile, x } => {
-                let (y, cost) = self.analog_tiles[tile].matvec_with_cost(&x, &mut self.rng);
+                let (y, cost) = self.analog_tiles[tile].matvec_with_cost(&x, rng);
                 self.stats.mvms += 1;
                 self.account(cost);
                 (CimResponse::Vector(y), cost)
@@ -228,7 +271,7 @@ impl CimAccelerator {
             CimInstruction::MvmT { tile, z } => {
                 let t = &mut self.analog_tiles[tile];
                 let before = t.stats();
-                let y = t.matvec_t(&z, &mut self.rng);
+                let y = t.matvec_t(&z, rng);
                 let after = t.stats();
                 let cost = OperationCost {
                     energy: after.energy - before.energy,
@@ -239,6 +282,46 @@ impl CimAccelerator {
                 (CimResponse::Vector(y), cost)
             }
         }
+    }
+
+    /// Forgets the pending [`CimInstruction::StoreLast`] operand.
+    ///
+    /// The runtime calls this at every job boundary so one tenant's
+    /// sense-amplifier result can never be stored by the next tenant's
+    /// instruction stream.
+    pub fn reset_pipeline(&mut self) {
+        self.last_bits = None;
+    }
+
+    /// Zeroes one digital tile row (tenant-isolation scrubbing).
+    ///
+    /// This is a maintenance write: it costs real write energy on the
+    /// tile (returned to the caller for overhead accounting) but is not
+    /// added to the accelerator's [`ExecutionStats`], which account only
+    /// work performed on behalf of executed instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile index is out of range.
+    pub fn scrub_digital_row(&mut self, tile: usize, row: usize) -> OperationCost {
+        let cols = self.digital_tiles[tile].shape().1;
+        self.digital_tiles[tile].write_row(row, &BitVec::zeros(cols))
+    }
+
+    /// Overwrites an analog tile with a constant pattern
+    /// (tenant-isolation scrubbing). A uniform matrix carries no
+    /// information about the previous tenant; an all-zero matrix is not
+    /// used because the conductance mapping is undefined for it. Like
+    /// [`Self::scrub_digital_row`], the cost is returned but not charged
+    /// to [`ExecutionStats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile index is out of range.
+    pub fn scrub_analog_tile(&mut self, tile: usize, rng: &mut StdRng) -> OperationCost {
+        let (rows, cols) = self.analog_tiles[tile].shape();
+        let uniform = Matrix::from_fn(rows, cols, |_, _| 1.0);
+        self.analog_tiles[tile].program_matrix(&uniform, rng)
     }
 
     /// Runs a straight-line sequence of instructions, returning the last
@@ -301,11 +384,23 @@ mod tests {
         let a = BitVec::from_fn(32, |i| i % 2 == 0);
         let b = BitVec::from_fn(32, |i| i % 4 == 0);
         acc.run([
-            CimInstruction::WriteRow { tile: 0, row: 0, bits: a.clone() },
-            CimInstruction::WriteRow { tile: 0, row: 1, bits: b.clone() },
+            CimInstruction::WriteRow {
+                tile: 0,
+                row: 0,
+                bits: a.clone(),
+            },
+            CimInstruction::WriteRow {
+                tile: 0,
+                row: 1,
+                bits: b.clone(),
+            },
         ]);
         let and = acc
-            .execute(CimInstruction::Logic { tile: 0, op: ScoutOp::And, rows: vec![0, 1] })
+            .execute(CimInstruction::Logic {
+                tile: 0,
+                op: ScoutOp::And,
+                rows: vec![0, 1],
+            })
             .into_bits()
             .unwrap();
         assert_eq!(and, a.and(&b));
@@ -315,10 +410,16 @@ mod tests {
     fn mvm_round_trip() {
         let mut acc = small_accelerator();
         let m = Matrix::from_fn(8, 8, |i, j| (i as f64 - j as f64) / 8.0);
-        acc.execute(CimInstruction::ProgramMatrix { tile: 0, matrix: m.clone() });
+        acc.execute(CimInstruction::ProgramMatrix {
+            tile: 0,
+            matrix: m.clone(),
+        });
         let x = vec![0.5; 8];
         let y = acc
-            .execute(CimInstruction::Mvm { tile: 0, x: x.clone() })
+            .execute(CimInstruction::Mvm {
+                tile: 0,
+                x: x.clone(),
+            })
             .into_vector()
             .unwrap();
         let y_exact = m.matvec(&x);
@@ -327,7 +428,10 @@ mod tests {
         }
         let z = vec![0.25; 8];
         let yt = acc
-            .execute(CimInstruction::MvmT { tile: 0, z: z.clone() })
+            .execute(CimInstruction::MvmT {
+                tile: 0,
+                z: z.clone(),
+            })
             .into_vector()
             .unwrap();
         let yt_exact = m.matvec_t(&z);
@@ -339,15 +443,30 @@ mod tests {
     #[test]
     fn stats_count_every_instruction_class() {
         let mut acc = small_accelerator();
-        acc.execute(CimInstruction::WriteRow { tile: 0, row: 0, bits: BitVec::zeros(32) });
-        acc.execute(CimInstruction::WriteRow { tile: 0, row: 1, bits: BitVec::ones(32) });
+        acc.execute(CimInstruction::WriteRow {
+            tile: 0,
+            row: 0,
+            bits: BitVec::zeros(32),
+        });
+        acc.execute(CimInstruction::WriteRow {
+            tile: 0,
+            row: 1,
+            bits: BitVec::ones(32),
+        });
         acc.execute(CimInstruction::ReadRow { tile: 0, row: 0 });
-        acc.execute(CimInstruction::Logic { tile: 0, op: ScoutOp::Or, rows: vec![0, 1] });
+        acc.execute(CimInstruction::Logic {
+            tile: 0,
+            op: ScoutOp::Or,
+            rows: vec![0, 1],
+        });
         acc.execute(CimInstruction::ProgramMatrix {
             tile: 0,
             matrix: Matrix::from_fn(8, 8, |i, j| ((i + j) % 2) as f64),
         });
-        acc.execute(CimInstruction::Mvm { tile: 0, x: vec![0.0; 8] });
+        acc.execute(CimInstruction::Mvm {
+            tile: 0,
+            x: vec![0.0; 8],
+        });
         let s = acc.stats();
         assert_eq!(s.row_writes, 2);
         assert_eq!(s.row_reads, 1);

@@ -39,7 +39,10 @@ impl AddressMap {
     ///
     /// Panics if any dimension is zero.
     pub fn new(base: u64, tiles: usize, rows_per_tile: usize, row_bytes: usize) -> Self {
-        assert!(tiles > 0 && rows_per_tile > 0 && row_bytes > 0, "empty address map");
+        assert!(
+            tiles > 0 && rows_per_tile > 0 && row_bytes > 0,
+            "empty address map"
+        );
         AddressMap {
             base,
             tiles,
@@ -138,9 +141,14 @@ mod tests {
     #[test]
     fn translation_round_trip() {
         let m = map();
-        for addr in [m.base(), m.base() + 127, m.base() + 128, m.base() + 129, m.end() - 1] {
+        for addr in [
+            m.base(),
+            m.base() + 127,
+            m.base() + 128,
+            m.base() + 129,
+            m.end() - 1,
+        ] {
             let loc = m.translate(addr).expect("in range");
-            assert_eq!(m.address_of(loc), addr - (addr - m.base()) % 1 + 0);
             assert_eq!(m.address_of(loc), addr);
         }
     }
@@ -177,6 +185,10 @@ mod tests {
     #[should_panic(expected = "row out of range")]
     fn address_of_validates() {
         let m = map();
-        let _ = m.address_of(TileRow { tile: 0, row: 5000, offset: 0 });
+        let _ = m.address_of(TileRow {
+            tile: 0,
+            row: 5000,
+            offset: 0,
+        });
     }
 }

@@ -54,6 +54,20 @@ pub enum CimInstruction {
         /// Activated rows (2+ for OR/AND, exactly 2 for XOR).
         rows: Vec<usize>,
     },
+    /// Store the bit-vector result of the previous instruction into a
+    /// digital tile row (Pinatubo-style intermediate write-back).
+    ///
+    /// A sense-amplifier result is not a stored operand, so multi-step
+    /// reductions must write intermediates back before reusing them.
+    /// Without this instruction every write-back would round-trip
+    /// through the host; with it, a compiled instruction stream can
+    /// express whole reduction trees that stay inside the CIM core.
+    StoreLast {
+        /// Digital tile index.
+        tile: usize,
+        /// Destination row within the tile.
+        row: usize,
+    },
     /// Program a signed matrix into an analog tile (differential pair).
     ProgramMatrix {
         /// Analog tile index.
@@ -83,9 +97,9 @@ impl CimInstruction {
     /// changes cell states.
     pub fn class(&self) -> CimClass {
         match self {
-            CimInstruction::WriteRow { .. } | CimInstruction::ProgramMatrix { .. } => {
-                CimClass::Array
-            }
+            CimInstruction::WriteRow { .. }
+            | CimInstruction::StoreLast { .. }
+            | CimInstruction::ProgramMatrix { .. } => CimClass::Array,
             _ => CimClass::Periphery,
         }
     }
@@ -100,6 +114,7 @@ impl CimInstruction {
                 ScoutOp::And => "CIM.AND",
                 ScoutOp::Xor => "CIM.XOR",
             },
+            CimInstruction::StoreLast { .. } => "CIM.ST",
             CimInstruction::ProgramMatrix { .. } => "CIM.PROG",
             CimInstruction::Mvm { .. } => "CIM.MVM",
             CimInstruction::MvmT { .. } => "CIM.MVMT",

@@ -141,7 +141,12 @@ impl Program {
 
     /// A convenience constructor: one pass over `problem_size` bytes with
     /// the given CIM-able fraction.
-    pub fn streaming(problem_size: ByteSize, accel_fraction: f64, l1_miss: f64, l2_miss: f64) -> Self {
+    pub fn streaming(
+        problem_size: ByteSize,
+        accel_fraction: f64,
+        l1_miss: f64,
+        l2_miss: f64,
+    ) -> Self {
         let w = Workload::new(problem_size, accel_fraction, l1_miss, l2_miss);
         let mut p = Program::new(l1_miss, l2_miss);
         p.cim_loop(w.accel_instructions());

@@ -162,11 +162,8 @@ impl AnalogCrossbar {
     /// Panics if the matrix shape mismatches the tile, contains negative
     /// entries, or is all zeros.
     pub fn program_matrix<R: Rng + ?Sized>(&mut self, m: &Matrix, rng: &mut R) -> OperationCost {
-        let mapping = ConductanceMapping::for_matrix(
-            self.params.pcm.g_min,
-            self.params.pcm.g_max,
-            m,
-        );
+        let mapping =
+            ConductanceMapping::for_matrix(self.params.pcm.g_min, self.params.pcm.g_max, m);
         self.program_matrix_with_mapping(m, mapping, rng)
     }
 
@@ -339,8 +336,7 @@ impl AnalogCrossbar {
         //    tracking instantaneous device power for the energy budget.
         let mut currents = vec![0.0f64; n_out];
         let mut device_power = 0.0f64;
-        for i in 0..n_in {
-            let v = volts[i];
+        for (i, &v) in volts.iter().enumerate() {
             if v == 0.0 {
                 continue;
             }
@@ -369,10 +365,7 @@ impl AnalogCrossbar {
         //    crossbar read-outs place before the ADC, which preserves
         //    *relative* precision across widely varying signal levels.
         let peak_current = currents.iter().fold(0.0f64, |m, c| m.max(c.abs()));
-        let full_scale = p
-            .adc_full_scale_override
-            .unwrap_or(peak_current)
-            .max(1e-18);
+        let full_scale = p.adc_full_scale_override.unwrap_or(peak_current).max(1e-18);
         let adc = UniformQuantizer::mid_tread(p.adc_bits, full_scale);
         let digitized: Vec<f64> = currents.iter().map(|&c| adc.quantize(c)).collect();
 
@@ -382,9 +375,7 @@ impl AnalogCrossbar {
             / (p.read_voltage.0 * (mapping.g_max().0 - mapping.g_min().0));
         let y: Vec<f64> = digitized.iter().map(|&c| c * lsb_scale).collect();
 
-        let cost = self
-            .energy_model
-            .mvm_cost(device_power, n_in, n_out);
+        let cost = self.energy_model.mvm_cost(device_power, n_in, n_out);
         (y, cost)
     }
 }
@@ -425,8 +416,12 @@ impl DifferentialCrossbar {
             m,
         );
         let (pos, neg) = split_signed(m);
-        let c1 = self.positive.program_matrix_with_mapping(&pos, mapping, rng);
-        let c2 = self.negative.program_matrix_with_mapping(&neg, mapping, rng);
+        let c1 = self
+            .positive
+            .program_matrix_with_mapping(&pos, mapping, rng);
+        let c2 = self
+            .negative
+            .program_matrix_with_mapping(&neg, mapping, rng);
         OperationCost {
             energy: c1.energy + c2.energy,
             // The two tiles program in parallel.
@@ -629,7 +624,7 @@ mod tests {
         let small_m = test_matrix(8, 8);
         let mut small = AnalogCrossbar::new(8, 8, AnalogParams::default());
         small.program_matrix(&small_m, &mut rng);
-        let (_, c_small) = small.matvec_with_cost(&vec![0.5; 8], &mut rng);
+        let (_, c_small) = small.matvec_with_cost(&[0.5; 8], &mut rng);
 
         let big_m = test_matrix(64, 64);
         let mut big = AnalogCrossbar::new(64, 64, AnalogParams::default());
@@ -675,7 +670,7 @@ mod tests {
         let a = test_matrix(8, 8);
         let mut xbar = AnalogCrossbar::new(8, 8, AnalogParams::default());
         xbar.program_matrix(&a, &mut rng);
-        let y = xbar.matvec(&vec![0.0; 8], &mut rng);
+        let y = xbar.matvec(&[0.0; 8], &mut rng);
         assert!(y.iter().all(|&v| v.abs() < 1e-9), "{y:?}");
     }
 

@@ -51,7 +51,12 @@ impl DigitalArray {
     /// # Panics
     ///
     /// Panics if either dimension is zero.
-    pub fn new<R: Rng + ?Sized>(rows: usize, cols: usize, params: ReramParams, rng: &mut R) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        params: ReramParams,
+        rng: &mut R,
+    ) -> Self {
         assert!(rows > 0 && cols > 0, "array dimensions must be nonzero");
         let devices = (0..rows * cols)
             .map(|_| ReramDevice::new(params, rng))

@@ -139,19 +139,31 @@ mod tests {
     #[test]
     fn paper_device_power_is_0_21_w() {
         let b = ReadBudget::paper_crossbar();
-        assert!((b.device_power.0 - 0.2097).abs() < 0.001, "{}", b.device_power.0);
+        assert!(
+            (b.device_power.0 - 0.2097).abs() < 0.001,
+            "{}",
+            b.device_power.0
+        );
     }
 
     #[test]
     fn paper_adc_power_is_about_12_mw() {
         let b = ReadBudget::paper_crossbar();
-        assert!((b.adc_power.milli() - 12.0).abs() < 0.5, "{}", b.adc_power.milli());
+        assert!(
+            (b.adc_power.milli() - 12.0).abs() < 0.5,
+            "{}",
+            b.adc_power.milli()
+        );
     }
 
     #[test]
     fn paper_total_power_is_222_mw() {
         let b = ReadBudget::paper_crossbar();
-        assert!((b.total_power().milli() - 222.0).abs() < 2.0, "{}", b.total_power().milli());
+        assert!(
+            (b.total_power().milli() - 222.0).abs() < 2.0,
+            "{}",
+            b.total_power().milli()
+        );
     }
 
     #[test]

@@ -37,7 +37,11 @@ impl ConductanceMapping {
             g_min.0,
             g_max.0
         );
-        ConductanceMapping { g_min, g_max, w_max }
+        ConductanceMapping {
+            g_min,
+            g_max,
+            w_max,
+        }
     }
 
     /// The weight magnitude mapped to full conductance.
@@ -78,7 +82,10 @@ impl ConductanceMapping {
     /// Panics if the matrix is all zeros.
     pub fn for_matrix(g_min: Siemens, g_max: Siemens, m: &Matrix) -> Self {
         let w_max = m.max_abs() * 1.1;
-        assert!(w_max > 0.0, "cannot derive a mapping from an all-zero matrix");
+        assert!(
+            w_max > 0.0,
+            "cannot derive a mapping from an all-zero matrix"
+        );
         ConductanceMapping::new(g_min, g_max, w_max)
     }
 }
@@ -156,10 +163,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "all-zero matrix")]
     fn zero_matrix_has_no_mapping() {
-        let _ = ConductanceMapping::for_matrix(
-            Siemens(0.1e-6),
-            Siemens(20e-6),
-            &Matrix::zeros(2, 2),
-        );
+        let _ =
+            ConductanceMapping::for_matrix(Siemens(0.1e-6), Siemens(20e-6), &Matrix::zeros(2, 2));
     }
 }

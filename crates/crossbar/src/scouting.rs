@@ -121,16 +121,11 @@ impl SenseAmplifier {
     ///
     /// Panics if the operation does not support fan-in `k`.
     pub fn decide(&self, op: ScoutOp, k: usize, i_in: Amperes) -> bool {
-        assert!(
-            op.supports_fan_in(k),
-            "{op:?} does not support fan-in {k}"
-        );
+        assert!(op.supports_fan_in(k), "{op:?} does not support fan-in {k}");
         match op {
             ScoutOp::Or => i_in.0 > self.or_reference(k).0,
             ScoutOp::And => i_in.0 > self.and_reference(k).0,
-            ScoutOp::Xor => {
-                i_in.0 > self.or_reference(2).0 && i_in.0 < self.and_reference(2).0
-            }
+            ScoutOp::Xor => i_in.0 > self.or_reference(2).0 && i_in.0 < self.and_reference(2).0,
         }
     }
 
@@ -201,8 +196,16 @@ mod tests {
         for k in 2..=8 {
             for ones in 0..=k {
                 let i = s.nominal_current(k, ones);
-                assert_eq!(s.decide(ScoutOp::Or, k, i), ones > 0, "OR k={k} ones={ones}");
-                assert_eq!(s.decide(ScoutOp::And, k, i), ones == k, "AND k={k} ones={ones}");
+                assert_eq!(
+                    s.decide(ScoutOp::Or, k, i),
+                    ones > 0,
+                    "OR k={k} ones={ones}"
+                );
+                assert_eq!(
+                    s.decide(ScoutOp::And, k, i),
+                    ones == k,
+                    "AND k={k} ones={ones}"
+                );
             }
         }
     }

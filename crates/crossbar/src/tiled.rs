@@ -192,7 +192,11 @@ mod tests {
         assert_eq!(engine.tile_count(), 3 * 4);
         let x: Vec<f64> = (0..56).map(|i| ((i % 9) as f64 - 4.0) / 9.0).collect();
         let (y, cost) = engine.matvec(&x, &mut rng);
-        assert!(rmse(&m.matvec(&x), &y) < 5e-3, "rmse {}", rmse(&m.matvec(&x), &y));
+        assert!(
+            rmse(&m.matvec(&x), &y) < 5e-3,
+            "rmse {}",
+            rmse(&m.matvec(&x), &y)
+        );
         assert!(cost.energy.0 > 0.0);
 
         let z: Vec<f64> = (0..40).map(|i| ((i % 7) as f64 - 3.0) / 7.0).collect();
@@ -231,7 +235,11 @@ mod tests {
     fn zero_block_matrices_supported() {
         let mut rng = seeded(5);
         // Left half zero, right half structured.
-        let m = Matrix::from_fn(8, 16, |i, j| if j < 8 { 0.0 } else { (i + j) as f64 / 24.0 });
+        let m = Matrix::from_fn(
+            8,
+            16,
+            |i, j| if j < 8 { 0.0 } else { (i + j) as f64 / 24.0 },
+        );
         let (mut engine, _) = TiledMatrixEngine::program(&m, 8, AnalogParams::ideal(), &mut rng);
         let x = vec![0.5; 16];
         let (y, _) = engine.matvec(&x, &mut rng);

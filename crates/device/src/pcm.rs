@@ -293,12 +293,8 @@ mod tests {
         let params = PcmParams::default();
         let mut d = PcmDevice::new(params);
         let rep = d.program_and_verify(Siemens(10e-6), 0.005, &mut rng);
-        assert!(
-            (rep.energy.0 - params.program_pulse_energy.0 * rep.pulses as f64).abs() < 1e-18
-        );
-        assert!(
-            (rep.latency.0 - params.program_pulse_latency.0 * rep.pulses as f64).abs() < 1e-15
-        );
+        assert!((rep.energy.0 - params.program_pulse_energy.0 * rep.pulses as f64).abs() < 1e-18);
+        assert!((rep.latency.0 - params.program_pulse_latency.0 * rep.pulses as f64).abs() < 1e-15);
     }
 
     #[test]

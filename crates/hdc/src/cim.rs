@@ -34,7 +34,11 @@ impl CimAssociativeMemory {
     /// # Panics
     ///
     /// Panics if `prototypes` is empty or dimensions differ.
-    pub fn program(prototypes: &[Hypervector], params: AnalogParams, seed: u64) -> (Self, OperationCost) {
+    pub fn program(
+        prototypes: &[Hypervector],
+        params: AnalogParams,
+        seed: u64,
+    ) -> (Self, OperationCost) {
         assert!(!prototypes.is_empty(), "no prototypes to program");
         let d = prototypes[0].dim();
         let classes = prototypes.len();
@@ -174,6 +178,7 @@ mod tests {
         let (mut cam, _) = CimAssociativeMemory::program(&prototypes, noisy_params, 3);
         let mut correct = 0;
         let per_class = 6;
+        #[allow(clippy::needless_range_loop)] // `c` is also the expected label
         for c in 0..CLASSES {
             for i in 0..per_class {
                 let query = flip_random_bits(&anchors[c], D / 6, 800 + (c * 10 + i) as u64);

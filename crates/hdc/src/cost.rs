@@ -146,14 +146,13 @@ impl HdProcessorCost {
         let im_bits = (workload.symbols * workload.d) as f64;
         let am_bits = (workload.classes * workload.d) as f64;
         let datapath_gates = 880_000.0;
-        let cmos_area = tech.sram_area(im_bits)
-            + tech.sram_area(am_bits)
-            + tech.logic_area(datapath_gates);
+        let cmos_area =
+            tech.sram_area(im_bits) + tech.sram_area(am_bits) + tech.logic_area(datapath_gates);
 
         let cycles_per_wide_op = (workload.d as f64 / WORD_BITS as f64).ceil();
         // Per cycle: one W-bit SRAM access + the active datapath slice.
-        let cmos_cycle_energy = tech.sram_access_energy(WORD_BITS as f64)
-            + tech.logic_cycle_energy(20_000.0);
+        let cmos_cycle_energy =
+            tech.sram_access_energy(WORD_BITS as f64) + tech.logic_cycle_energy(20_000.0);
         let encode_ops = (workload.sequence_len * workload.map_ops_per_symbol) as f64;
         let search_ops = workload.classes as f64;
         let cmos_energy =
@@ -178,14 +177,10 @@ impl HdProcessorCost {
         let array_bits = im_bits + am_bits + working_rows * d;
         let periphery_gates = 30_000.0;
         let adc_area = SquareMillimeters(0.02);
-        let cim_area = cell.cell_area() * array_bits
-            + tech.logic_area(periphery_gates)
-            + adc_area;
+        let cim_area = cell.cell_area() * array_bits + tech.logic_area(periphery_gates) + adc_area;
 
         let wide_ops = workload.total_wide_ops() as f64;
-        let cim_energy = Joules(
-            wide_ops * d * (CIM_ENERGY_PER_BIT.0 + CIM_PERIPHERY_PER_BIT.0),
-        );
+        let cim_energy = Joules(wide_ops * d * (CIM_ENERGY_PER_BIT.0 + CIM_PERIPHERY_PER_BIT.0));
 
         let cim = ImplementationCost {
             replaceable_area: cim_area,

@@ -36,7 +36,11 @@ impl EmgSource {
     pub fn new(gestures: usize, channels: usize, noise: f64, seed: u64) -> Self {
         let mut rng = seeded(seed);
         let levels = (0..gestures)
-            .map(|_| (0..channels).map(|_| 0.1 + 0.8 * rng.gen::<f64>()).collect())
+            .map(|_| {
+                (0..channels)
+                    .map(|_| 0.1 + 0.8 * rng.gen::<f64>())
+                    .collect()
+            })
             .collect();
         EmgSource { levels, noise }
     }

@@ -139,7 +139,10 @@ impl BiosignalEncoder {
         );
         let mut bundler = Bundler::new(self.dim(), 0xb105);
         for (ch, &v) in samples.iter().enumerate() {
-            let bound = self.channel_memory.get(ch).bind(self.level_memory.encode(v));
+            let bound = self
+                .channel_memory
+                .get(ch)
+                .bind(self.level_memory.encode(v));
             bundler.add(&bound);
         }
         bundler.finalize()

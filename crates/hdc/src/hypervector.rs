@@ -318,7 +318,7 @@ mod tests {
         for v in &vs {
             assert!(m.normalized_hamming(v) < 0.45);
         }
-        assert_eq!(Bundler::new(D, 1).is_empty(), true);
+        assert!(Bundler::new(D, 1).is_empty());
     }
 
     #[test]

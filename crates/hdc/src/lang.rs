@@ -99,8 +99,9 @@ impl LanguageTask {
     /// Panics if any size parameter is zero.
     pub fn train(classes: usize, d: usize, ngram: usize, train_len: usize, seed: u64) -> Self {
         assert!(classes > 0 && train_len > ngram, "degenerate task");
-        let languages: Vec<SyntheticLanguage> =
-            (0..classes).map(|c| SyntheticLanguage::new(c as u64)).collect();
+        let languages: Vec<SyntheticLanguage> = (0..classes)
+            .map(|c| SyntheticLanguage::new(c as u64))
+            .collect();
         let encoder = NgramEncoder::new(ItemMemory::new(ALPHABET, d, 0x1e77e4), ngram);
         let mut memory = AssociativeMemory::new(classes, d);
         let mut rng = seeded(seed);
@@ -199,6 +200,9 @@ mod tests {
         let mut big = LanguageTask::train(6, 8192, 3, 1500, 7);
         let acc_small = small.accuracy(6, 100);
         let acc_big = big.accuracy(6, 100);
-        assert!(acc_big >= acc_small - 0.05, "big {acc_big} vs small {acc_small}");
+        assert!(
+            acc_big >= acc_small - 0.05,
+            "big {acc_big} vs small {acc_small}"
+        );
     }
 }

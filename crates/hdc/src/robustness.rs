@@ -74,7 +74,10 @@ pub fn bit_error_sweep(
     error_rates
         .iter()
         .map(|&rate| {
-            assert!((0.0..=1.0).contains(&rate), "error rate out of range: {rate}");
+            assert!(
+                (0.0..=1.0).contains(&rate),
+                "error rate out of range: {rate}"
+            );
             let mut correct = 0usize;
             for (i, (label, query)) in queries.iter().enumerate() {
                 let flips = (rate * query.dim() as f64).round() as usize;
@@ -109,7 +112,10 @@ mod tests {
             }
             // Clean queries: light corruptions of the anchor.
             for i in 0..4 {
-                queries.push((c, flip_random_bits(&anchor, D / 10, 900 + (c * 4 + i) as u64)));
+                queries.push((
+                    c,
+                    flip_random_bits(&anchor, D / 10, 900 + (c * 4 + i) as u64),
+                ));
             }
         }
         (am, queries)
@@ -118,8 +124,7 @@ mod tests {
     #[test]
     fn random_prototypes_are_separated() {
         let mut rng = seeded(1);
-        let protos: Vec<Hypervector> =
-            (0..10).map(|_| Hypervector::random(D, &mut rng)).collect();
+        let protos: Vec<Hypervector> = (0..10).map(|_| Hypervector::random(D, &mut rng)).collect();
         let sep = prototype_separation(&protos);
         assert!((sep.mean - 0.5).abs() < 0.02, "mean {}", sep.mean);
         assert!(sep.min > 0.45, "min {}", sep.min);
@@ -135,7 +140,11 @@ mod tests {
         // Still strong at 20 % flipped bits — the HD robustness claim;
         // at d = 4096 even 30-45 % survives, which is exactly the
         // nanoscale-variability argument of the paper's [25].
-        assert!(curve[2].accuracy > 0.9, "accuracy at 20%: {}", curve[2].accuracy);
+        assert!(
+            curve[2].accuracy > 0.9,
+            "accuracy at 20%: {}",
+            curve[2].accuracy
+        );
         // Chance level at 50 % (all structure destroyed).
         assert!(curve[4].accuracy < 0.55);
         // No large non-monotonic jumps upward.

@@ -73,9 +73,7 @@ impl DataMovement {
     /// `pattern`.
     pub fn for_frame(width: usize, height: usize, pattern: &AccessPattern) -> Self {
         let outputs = width * height;
-        let conventional = outputs
-            * pattern.fresh_pixels_per_output()
-            * pattern.bytes_per_pixel;
+        let conventional = outputs * pattern.fresh_pixels_per_output() * pattern.bytes_per_pixel;
         let cim = outputs * pattern.bytes_per_pixel;
         DataMovement {
             conventional: ByteSize(conventional as u64),

@@ -58,16 +58,30 @@ pub fn guided_filter(guide: &GrayImage, input: &GrayImage, params: &GuidedParams
     let corr_ii = box_filter(&pixelwise(guide, guide, |a, b| a * b), r);
     let corr_ip = box_filter(&pixelwise(guide, input, |a, b| a * b), r);
 
-    let var_i = pixelwise(&corr_ii, &pixelwise(&mean_i, &mean_i, |a, b| a * b), |c, m| c - m);
-    let cov_ip = pixelwise(&corr_ip, &pixelwise(&mean_i, &mean_p, |a, b| a * b), |c, m| c - m);
+    let var_i = pixelwise(
+        &corr_ii,
+        &pixelwise(&mean_i, &mean_i, |a, b| a * b),
+        |c, m| c - m,
+    );
+    let cov_ip = pixelwise(
+        &corr_ip,
+        &pixelwise(&mean_i, &mean_p, |a, b| a * b),
+        |c, m| c - m,
+    );
 
     let a = pixelwise(&cov_ip, &var_i, |cov, var| cov / (var + params.epsilon));
-    let b = pixelwise(&mean_p, &pixelwise(&a, &mean_i, |a, m| a * m), |mp, am| mp - am);
+    let b = pixelwise(&mean_p, &pixelwise(&a, &mean_i, |a, m| a * m), |mp, am| {
+        mp - am
+    });
 
     let mean_a = box_filter(&a, r);
     let mean_b = box_filter(&b, r);
 
-    pixelwise(&pixelwise(&mean_a, guide, |a, i| a * i), &mean_b, |ai, b| ai + b)
+    pixelwise(
+        &pixelwise(&mean_a, guide, |a, i| a * i),
+        &mean_b,
+        |ai, b| ai + b,
+    )
 }
 
 /// Elementwise combination of two equal-sized images.
@@ -102,7 +116,11 @@ mod tests {
                 epsilon: 1e-8,
             },
         );
-        assert!(out.mean_abs_diff(&img) < 1e-3, "{}", out.mean_abs_diff(&img));
+        assert!(
+            out.mean_abs_diff(&img) < 1e-3,
+            "{}",
+            out.mean_abs_diff(&img)
+        );
     }
 
     #[test]

@@ -69,7 +69,7 @@ impl GrayImage {
     pub fn checkerboard(width: usize, height: usize, cell: usize, low: f64, high: f64) -> Self {
         assert!(cell > 0, "cell size must be nonzero");
         GrayImage::from_fn(width, height, |x, y| {
-            if ((x / cell) + (y / cell)) % 2 == 0 {
+            if ((x / cell) + (y / cell)).is_multiple_of(2) {
                 low
             } else {
                 high
@@ -126,7 +126,11 @@ impl GrayImage {
         GrayImage {
             width: self.width,
             height: self.height,
-            data: self.data.iter().map(|&v| normal(&mut rng, v, sigma)).collect(),
+            data: self
+                .data
+                .iter()
+                .map(|&v| normal(&mut rng, v, sigma))
+                .collect(),
         }
     }
 

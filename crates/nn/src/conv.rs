@@ -45,7 +45,11 @@ impl Conv1dLayer {
         kernel_size: usize,
     ) -> Self {
         assert!(kernel_size > 0 && in_channels > 0, "empty kernel");
-        assert_eq!(weights.cols(), in_channels * kernel_size, "filter width mismatch");
+        assert_eq!(
+            weights.cols(),
+            in_channels * kernel_size,
+            "filter width mismatch"
+        );
         assert_eq!(weights.rows(), bias.len(), "bias length mismatch");
         Conv1dLayer {
             weights,
@@ -119,6 +123,7 @@ impl Conv1dLayer {
         assert!(len >= self.kernel_size, "signal shorter than kernel");
         let out_len = self.output_len(len);
         let mut out = vec![vec![0.0; out_len]; self.out_channels()];
+        #[allow(clippy::needless_range_loop)] // `t` also indexes the inner dim
         for t in 0..out_len {
             let col = self.receptive_field(input, t);
             let z = self.weights.matvec(&col);
@@ -154,12 +159,17 @@ impl CrossbarConv1d {
     ///
     /// Same conditions as [`Conv1dLayer::forward`].
     pub fn forward(&mut self, input: &[Vec<f64>]) -> (Vec<Vec<f64>>, OperationCost) {
-        assert_eq!(input.len(), self.layer.in_channels, "channel count mismatch");
+        assert_eq!(
+            input.len(),
+            self.layer.in_channels,
+            "channel count mismatch"
+        );
         let len = input[0].len();
         assert!(len >= self.layer.kernel_size, "signal shorter than kernel");
         let out_len = self.layer.output_len(len);
         let mut out = vec![vec![0.0; out_len]; self.layer.out_channels()];
         let mut cost = OperationCost::default();
+        #[allow(clippy::needless_range_loop)] // `t` also indexes the inner dim
         for t in 0..out_len {
             let col = self.layer.receptive_field(input, t);
             let (z, c) = self.pair.matvec_with_cost(&col, &mut self.rng);
@@ -219,7 +229,11 @@ mod tests {
         let mut rng = seeded(2);
         let layer = Conv1dLayer::random(2, 3, 3, Activation::Relu, &mut rng);
         let input: Vec<Vec<f64>> = (0..2)
-            .map(|c| (0..16).map(|t| (((c * 3 + t) % 7) as f64 - 3.0) / 7.0).collect())
+            .map(|c| {
+                (0..16)
+                    .map(|t| (((c * 3 + t) % 7) as f64 - 3.0) / 7.0)
+                    .collect()
+            })
             .collect();
         let float = layer.forward(&input);
         let (mut cconv, prog) = CrossbarConv1d::program(layer, AnalogParams::ideal(), 3);

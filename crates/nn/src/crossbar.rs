@@ -44,8 +44,7 @@ impl CrossbarNetwork {
         let mut layers = Vec::with_capacity(net.layers().len());
         let mut cost = OperationCost::default();
         for layer in net.layers() {
-            let mut pair =
-                DifferentialCrossbar::new(layer.outputs(), layer.inputs(), params);
+            let mut pair = DifferentialCrossbar::new(layer.outputs(), layer.inputs(), params);
             let c = pair.program_matrix(&layer.weights, &mut rng);
             cost = cost.then(c);
             layers.push(CrossbarLayer {
@@ -85,10 +84,7 @@ impl CrossbarNetwork {
 
     /// Total energy spent by all tiles so far.
     pub fn total_energy(&self) -> cim_simkit::units::Joules {
-        self.layers
-            .iter()
-            .map(|l| l.pair.stats().energy)
-            .sum()
+        self.layers.iter().map(|l| l.pair.stats().energy).sum()
     }
 }
 
@@ -135,10 +131,14 @@ mod tests {
     #[test]
     fn coarse_adc_hurts_accuracy_more() {
         let (task, net) = trained();
-        let mut fine = AnalogParams::default();
-        fine.adc_bits = 10;
-        let mut coarse = AnalogParams::default();
-        coarse.adc_bits = 2;
+        let fine = AnalogParams {
+            adc_bits: 10,
+            ..AnalogParams::default()
+        };
+        let coarse = AnalogParams {
+            adc_bits: 2,
+            ..AnalogParams::default()
+        };
         let (mut f, _) = CrossbarNetwork::program(&net, fine, 3);
         let (mut c, _) = CrossbarNetwork::program(&net, coarse, 3);
         let fa = task.accuracy_with(task.test_set(), |x| f.predict(x));
@@ -150,7 +150,7 @@ mod tests {
     fn forward_cost_scales_with_layers() {
         let (_, net) = trained();
         let (mut cbn, _) = CrossbarNetwork::program(&net, AnalogParams::default(), 4);
-        let (_, cost) = cbn.forward(&vec![0.5; 12]);
+        let (_, cost) = cbn.forward(&[0.5; 12]);
         assert!(cost.energy.0 > 0.0);
         assert!(cost.latency.0 > 0.0);
     }

@@ -51,7 +51,9 @@ pub fn quantize_power_of_two(net: &mut Network, levels: u32) {
         }
         let k_max = w_max.log2().floor() as i32;
         let k_min = k_max - levels as i32 + 1;
-        layer.weights.map_inplace(|w| snap_power_of_two(w, k_min, k_max));
+        layer
+            .weights
+            .map_inplace(|w| snap_power_of_two(w, k_min, k_max));
     }
 }
 

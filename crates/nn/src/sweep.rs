@@ -48,9 +48,11 @@ pub fn accuracy_vs_adc_bits(
 ) -> Vec<PrecisionPoint> {
     bits.iter()
         .map(|&b| {
-            let mut params = AnalogParams::default();
-            params.adc_bits = b;
-            params.dac_bits = b;
+            let params = AnalogParams {
+                adc_bits: b,
+                dac_bits: b,
+                ..AnalogParams::default()
+            };
             let (mut cbn, _) = CrossbarNetwork::program(net, params, seed);
             PrecisionPoint {
                 parameter: b,

@@ -41,7 +41,10 @@ impl SensoryTask {
         spread: f64,
         seed: u64,
     ) -> Self {
-        assert!(dims > 0 && classes > 0 && samples_per_class > 0, "empty task");
+        assert!(
+            dims > 0 && classes > 0 && samples_per_class > 0,
+            "empty task"
+        );
         let mut rng = seeded(seed);
         let prototypes: Vec<Vec<f64>> = (0..classes)
             .map(|_| (0..dims).map(|_| rng.gen::<f64>()).collect())

@@ -81,8 +81,11 @@ impl TrainConfig {
             .iter()
             .map(|l| Matrix::zeros(l.outputs(), l.inputs()))
             .collect();
-        let mut grad_b: Vec<Vec<f64>> =
-            net.layers().iter().map(|l| vec![0.0; l.outputs()]).collect();
+        let mut grad_b: Vec<Vec<f64>> = net
+            .layers()
+            .iter()
+            .map(|l| vec![0.0; l.outputs()])
+            .collect();
 
         for &idx in batch {
             let x = &xs[idx];
@@ -129,6 +132,7 @@ impl TrainConfig {
         // Apply averaged updates.
         let scale = self.learning_rate / batch.len() as f64;
         for (l, layer) in net.layers_mut().iter_mut().enumerate() {
+            #[allow(clippy::needless_range_loop)] // `o` indexes two parallel arrays
             for o in 0..layer.outputs() {
                 layer.bias[o] -= scale * grad_b[l][o];
                 for i in 0..layer.inputs() {

@@ -1,0 +1,1002 @@
+//! The compile layer: lowering application workloads to instruction
+//! streams.
+//!
+//! [`compile`] turns a [`WorkloadSpec`] into a [`CompiledJob`]: a
+//! straight-line [`CimInstruction`] stream over *virtual* tile indices
+//! (`0..demand`), the indices of the instructions whose responses are
+//! the job's outputs, a [`Finalizer`] that decodes those responses on
+//! the host, and the job's resident-data placement as a
+//! [`cim_core::AddressMap`] window in the extended address space.
+//!
+//! Virtual tile indices keep compilation independent of placement: the
+//! scheduler relocates the stream onto whichever physical tiles the
+//! admission layer leases, and the same compiled job can run on any
+//! shard. Multi-step reductions use [`CimInstruction::StoreLast`]
+//! (Pinatubo-style write-back) so whole reduction trees execute without
+//! host round-trips, alternating between two scratch rows per predicate
+//! so an access never reads the row it is about to overwrite — the same
+//! discipline as `cim_bitmap_db::query::Q6CimEngine`.
+
+use crate::job::{HdcOutcome, JobId, JobKind, JobOutput, TenantId, WorkloadSpec};
+use crate::schedule::PoolConfig;
+use cim_bitmap_db::query::{q6_result_from_selection, Q6Indexes};
+use cim_bitmap_db::tpch::{LineItemTable, Q6Params, DISCOUNT_LEVELS, MAX_QUANTITY, SHIP_MONTHS};
+use cim_core::isa::{CimInstruction, CimResponse};
+use cim_core::AddressMap;
+use cim_crossbar::scouting::ScoutOp;
+use cim_hdc::lang::LanguageTask;
+use cim_simkit::bitvec::BitVec;
+use cim_simkit::linalg::Matrix;
+use cim_simkit::rng::seeded;
+use cim_xor_cipher::otp::OneTimePad;
+use std::fmt;
+
+/// Digital tiles and analog tiles a job needs simultaneously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TileDemand {
+    /// Digital (Scouting-Logic) tiles.
+    pub digital: usize,
+    /// Analog (matrix-vector) tiles.
+    pub analog: usize,
+}
+
+/// Cache/offload profile used for the `cim-arch` host-vs-CIM estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostProfile {
+    /// Fraction of dynamic instructions the CIM core absorbs.
+    pub accel_fraction: f64,
+    /// L1 miss rate of the host running the same kernel.
+    pub l1_miss: f64,
+    /// L2 miss rate of the host running the same kernel.
+    pub l2_miss: f64,
+}
+
+/// Host-side decoding of a job's output responses.
+#[derive(Debug, Clone)]
+pub enum Finalizer {
+    /// Reassemble per-tile selections and aggregate revenue on the host.
+    Q6 {
+        /// The table the query ran over (aggregation is host-side float
+        /// work, exactly as in the paper's execution model).
+        table: LineItemTable,
+        /// Query parameters.
+        params: Q6Params,
+        /// Entry count per tile, in virtual tile order.
+        widths: Vec<usize>,
+    },
+    /// Argmax each score vector over the first `classes` entries.
+    Hdc {
+        /// Stored classes (rows beyond this are padding).
+        classes: usize,
+        /// Ground-truth labels.
+        expected: Vec<usize>,
+    },
+    /// Concatenate ciphertext bits and trim to `len` bytes.
+    Xor {
+        /// Plaintext length in bytes.
+        len: usize,
+    },
+    /// Return the (trimmed) result row of a bulk reduction.
+    Bits {
+        /// Original operand width before padding to the tile width.
+        width: usize,
+    },
+    /// Return every response verbatim.
+    Raw,
+}
+
+impl Finalizer {
+    /// Decodes the collected output responses into the job's output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the responses do not match what the compiled stream
+    /// promised (a runtime invariant, not a tenant-reachable state).
+    pub fn finalize(&self, outputs: Vec<CimResponse>) -> JobOutput {
+        match self {
+            Finalizer::Q6 {
+                table,
+                params,
+                widths,
+            } => {
+                let mut selection = BitVec::zeros(table.rows());
+                let mut start = 0;
+                for (resp, &width) in outputs.into_iter().zip(widths) {
+                    let bits = resp.into_bits().expect("Q6 output is a bit vector");
+                    for j in bits.iter_ones() {
+                        if j < width {
+                            selection.set(start + j, true);
+                        }
+                    }
+                    start += width;
+                }
+                JobOutput::Q6(q6_result_from_selection(table, params, &selection))
+            }
+            Finalizer::Hdc { classes, expected } => {
+                let predictions = outputs
+                    .into_iter()
+                    .map(|resp| {
+                        let scores = resp.into_vector().expect("HDC output is a vector");
+                        let mut best = 0;
+                        for (c, &s) in scores.iter().enumerate().take(*classes) {
+                            if s > scores[best] {
+                                best = c;
+                            }
+                        }
+                        best
+                    })
+                    .collect();
+                JobOutput::Hdc(HdcOutcome {
+                    predictions,
+                    expected: expected.clone(),
+                })
+            }
+            Finalizer::Xor { len } => {
+                let mut bits = BitVec::zeros(len * 8);
+                let mut cursor = 0;
+                for resp in outputs {
+                    let chunk = resp.into_bits().expect("cipher output is a bit vector");
+                    for j in 0..chunk.len() {
+                        if cursor + j < len * 8 && chunk.get(j) {
+                            bits.set(cursor + j, true);
+                        }
+                    }
+                    cursor += chunk.len();
+                }
+                let mut bytes = bits.to_bytes();
+                bytes.truncate(*len);
+                JobOutput::Cipher(bytes)
+            }
+            Finalizer::Bits { width } => {
+                let resp = outputs.into_iter().next().expect("one reduction output");
+                let full = resp.into_bits().expect("reduction output is a bit vector");
+                JobOutput::Bits(BitVec::from_fn(*width, |j| full.get(j)))
+            }
+            Finalizer::Raw => JobOutput::Responses(outputs),
+        }
+    }
+}
+
+/// A workload lowered to an executable form.
+#[derive(Debug, Clone)]
+pub struct CompiledJob {
+    /// The job id.
+    pub job: JobId,
+    /// The owning tenant.
+    pub tenant: TenantId,
+    /// Workload family (drives batch compatibility).
+    pub kind: JobKind,
+    /// Tiles the job must hold while executing.
+    pub demand: TileDemand,
+    /// The instruction stream, over virtual tile indices `0..demand`.
+    pub instructions: Vec<CimInstruction>,
+    /// Indices of instructions whose responses the finalizer consumes.
+    pub outputs: Vec<usize>,
+    /// Host-side output decoder.
+    pub finalizer: Finalizer,
+    /// The job's resident-data window in the extended address space
+    /// (`None` for jobs with no digital-resident data).
+    pub placement: Option<AddressMap>,
+    /// Bytes resident in CIM tiles while the job runs.
+    pub resident_bytes: u64,
+    /// Offload profile for the analytical speedup estimate.
+    pub host_profile: HostProfile,
+    /// Seed of the job's private noise stream.
+    pub seed: u64,
+}
+
+impl CompiledJob {
+    /// Deterministic load estimate for shard balancing, in units of one
+    /// digital row access. Analog operations are weighted by their
+    /// simulated-latency ratio (a 1 µs MVM cycle vs a 10 ns row write),
+    /// and matrix programming by its device count, so one heavy analog
+    /// job does not masquerade as cheap next to hundreds of row writes.
+    pub fn estimated_cost(&self) -> u64 {
+        self.instructions
+            .iter()
+            .map(|instr| match instr {
+                CimInstruction::WriteRow { .. }
+                | CimInstruction::ReadRow { .. }
+                | CimInstruction::Logic { .. }
+                | CimInstruction::StoreLast { .. } => 1,
+                CimInstruction::Mvm { .. } | CimInstruction::MvmT { .. } => 100,
+                CimInstruction::ProgramMatrix { matrix, .. } => {
+                    (matrix.rows() * matrix.cols()) as u64 / 64
+                }
+            })
+            .sum::<u64>()
+            + 1
+    }
+}
+
+/// Why a workload cannot be compiled for a given pool configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The workload needs more digital tiles than one shard owns.
+    NeedsMoreDigitalTiles {
+        /// Tiles required.
+        required: usize,
+        /// Tiles one shard owns.
+        available: usize,
+    },
+    /// The workload needs more rows per tile than the configured geometry.
+    NeedsMoreTileRows {
+        /// Rows required.
+        required: usize,
+        /// Rows per configured tile.
+        available: usize,
+    },
+    /// The workload needs more analog tiles than one shard owns.
+    NeedsMoreAnalogTiles {
+        /// Tiles required.
+        required: usize,
+        /// Tiles one shard owns.
+        available: usize,
+    },
+    /// Prototype matrix exceeds the analog tile geometry.
+    AnalogShapeTooSmall {
+        /// (classes, dimension) required.
+        required: (usize, usize),
+        /// (rows, cols) of a configured analog tile.
+        available: (usize, usize),
+    },
+    /// The workload carries no work (empty message, zero rows…).
+    EmptyWorkload,
+    /// Bulk operand rows have inconsistent or oversized widths.
+    BadOperandWidth {
+        /// Offending width.
+        width: usize,
+        /// Maximum (tile) width.
+        max: usize,
+    },
+    /// The operation does not support the requested fan-in (XOR is
+    /// exactly two rows).
+    UnsupportedFanIn {
+        /// The operation.
+        op: ScoutOp,
+        /// The requested fan-in.
+        fan_in: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NeedsMoreDigitalTiles {
+                required,
+                available,
+            } => write!(f, "needs {required} digital tiles, shard has {available}"),
+            CompileError::NeedsMoreAnalogTiles {
+                required,
+                available,
+            } => write!(f, "needs {required} analog tiles, shard has {available}"),
+            CompileError::NeedsMoreTileRows {
+                required,
+                available,
+            } => write!(f, "needs {required} rows per tile, tiles have {available}"),
+            CompileError::AnalogShapeTooSmall {
+                required,
+                available,
+            } => write!(
+                f,
+                "needs a {}x{} analog tile, shard tiles are {}x{}",
+                required.0, required.1, available.0, available.1
+            ),
+            CompileError::EmptyWorkload => write!(f, "workload carries no work"),
+            CompileError::BadOperandWidth { width, max } => {
+                write!(f, "operand width {width} exceeds tile width {max}")
+            }
+            CompileError::UnsupportedFanIn { op, fan_in } => {
+                write!(f, "{op:?} does not support fan-in {fan_in}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Scratch rows reserved at the top of a Q6 tile: two per predicate.
+const Q6_SCRATCH_ROWS: usize = 6;
+
+/// Lowers a workload into a [`CompiledJob`].
+///
+/// `seed` is the job's private noise stream; `window_base` is where the
+/// scheduler placed the job's resident window in the extended address
+/// space.
+pub fn compile(
+    spec: &WorkloadSpec,
+    job: JobId,
+    tenant: TenantId,
+    cfg: &PoolConfig,
+    seed: u64,
+    window_base: u64,
+) -> Result<CompiledJob, CompileError> {
+    match spec {
+        WorkloadSpec::Q6Select {
+            rows,
+            table_seed,
+            params,
+        } => compile_q6(
+            *rows,
+            *table_seed,
+            *params,
+            job,
+            tenant,
+            cfg,
+            seed,
+            window_base,
+        ),
+        WorkloadSpec::HdcClassify {
+            classes,
+            d,
+            ngram,
+            train_len,
+            samples,
+            sample_len,
+        } => compile_hdc(
+            *classes,
+            *d,
+            *ngram,
+            *train_len,
+            *samples,
+            *sample_len,
+            job,
+            tenant,
+            cfg,
+            seed,
+        ),
+        WorkloadSpec::XorEncrypt { message, key_seed } => {
+            compile_xor(message, *key_seed, job, tenant, cfg, seed, window_base)
+        }
+        WorkloadSpec::ScoutBulk { op, rows } => {
+            compile_scout(*op, rows, job, tenant, cfg, seed, window_base)
+        }
+        WorkloadSpec::Raw {
+            digital_tiles,
+            analog_tiles,
+            instructions,
+        } => Ok(CompiledJob {
+            job,
+            tenant,
+            kind: JobKind::Raw,
+            demand: TileDemand {
+                digital: *digital_tiles,
+                analog: *analog_tiles,
+            },
+            instructions: instructions.clone(),
+            outputs: (0..instructions.len()).collect(),
+            finalizer: Finalizer::Raw,
+            placement: digital_placement(window_base, *digital_tiles, cfg),
+            resident_bytes: (instructions.len() as u64) * 8,
+            host_profile: HostProfile {
+                accel_fraction: 0.5,
+                l1_miss: 0.5,
+                l2_miss: 0.5,
+            },
+            seed,
+        }),
+    }
+}
+
+fn digital_placement(base: u64, tiles: usize, cfg: &PoolConfig) -> Option<AddressMap> {
+    if tiles == 0 {
+        return None;
+    }
+    Some(AddressMap::new(
+        base,
+        tiles,
+        cfg.tile_rows,
+        cfg.tile_cols.div_ceil(8),
+    ))
+}
+
+/// Emits a fan-in-limited OR/AND reduction over `rows`, ping-ponging
+/// intermediates through two scratch rows. Returns the row holding the
+/// result. Mirrors `Q6CimEngine::or_reduce` instruction for
+/// instruction, so op/write-back counts match the seed engine.
+#[allow(clippy::too_many_arguments)]
+fn emit_reduce(
+    instructions: &mut Vec<CimInstruction>,
+    tile: usize,
+    rows: &[usize],
+    ping: usize,
+    pong: usize,
+    fan_in: usize,
+    op: ScoutOp,
+) -> usize {
+    assert!(!rows.is_empty(), "empty reduction operand list");
+    assert!(fan_in >= 2, "reduction fan-in must be at least 2");
+    if rows.len() == 1 {
+        return rows[0];
+    }
+    let mut remaining = rows;
+    let mut acc: Option<usize> = None;
+    let mut target = ping;
+    while !remaining.is_empty() || acc.is_none() {
+        let take = match acc {
+            None => fan_in.min(remaining.len()),
+            Some(_) => (fan_in - 1).min(remaining.len()),
+        };
+        let mut operands: Vec<usize> = Vec::with_capacity(take + 1);
+        if let Some(a) = acc {
+            operands.push(a);
+        }
+        operands.extend_from_slice(&remaining[..take]);
+        remaining = &remaining[take..];
+        if operands.len() == 1 {
+            return operands[0];
+        }
+        instructions.push(CimInstruction::Logic {
+            tile,
+            op,
+            rows: operands,
+        });
+        instructions.push(CimInstruction::StoreLast { tile, row: target });
+        acc = Some(target);
+        target = if target == ping { pong } else { ping };
+        if remaining.is_empty() {
+            break;
+        }
+    }
+    acc.expect("reduction produced a result")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compile_q6(
+    rows: usize,
+    table_seed: u64,
+    params: Q6Params,
+    job: JobId,
+    tenant: TenantId,
+    cfg: &PoolConfig,
+    seed: u64,
+    window_base: u64,
+) -> Result<CompiledJob, CompileError> {
+    if rows == 0 {
+        return Err(CompileError::EmptyWorkload);
+    }
+    let month_base = 0usize;
+    let discount_base = SHIP_MONTHS as usize;
+    let quantity_base = discount_base + DISCOUNT_LEVELS as usize;
+    let scratch_base = quantity_base + MAX_QUANTITY as usize;
+    let rows_needed = scratch_base + Q6_SCRATCH_ROWS;
+    if rows_needed > cfg.tile_rows {
+        return Err(CompileError::NeedsMoreTileRows {
+            required: rows_needed,
+            available: cfg.tile_rows,
+        });
+    }
+    let tiles = rows.div_ceil(cfg.tile_cols);
+    if tiles > cfg.digital_tiles {
+        return Err(CompileError::NeedsMoreDigitalTiles {
+            required: tiles,
+            available: cfg.digital_tiles,
+        });
+    }
+
+    let table = LineItemTable::generate(rows, table_seed);
+    let idx = Q6Indexes::build(&table);
+    let [(mlo, mhi), (dlo, dhi), (qlo, qhi)] = Q6Indexes::predicate_ranges(&params);
+    let month_rows: Vec<usize> = (mlo..=mhi).map(|m| month_base + m as usize).collect();
+    let discount_rows: Vec<usize> = (dlo..=dhi).map(|d| discount_base + d as usize).collect();
+    let quantity_rows: Vec<usize> = (qlo..=qhi)
+        .map(|q| quantity_base + (q as usize - 1))
+        .collect();
+
+    let mut instructions = Vec::new();
+    let mut outputs = Vec::new();
+    let mut widths = Vec::with_capacity(tiles);
+    let mut start = 0;
+    for t in 0..tiles {
+        let width = cfg.tile_cols.min(rows - start);
+        widths.push(width);
+        for (index, base) in [
+            (&idx.month, month_base),
+            (&idx.discount, discount_base),
+            (&idx.quantity, quantity_base),
+        ] {
+            for b in 0..index.bin_count() {
+                let bits =
+                    BitVec::from_fn(cfg.tile_cols, |j| j < width && index.bin(b).get(start + j));
+                instructions.push(CimInstruction::WriteRow {
+                    tile: t,
+                    row: base + b,
+                    bits,
+                });
+            }
+        }
+        let m_row = emit_reduce(
+            &mut instructions,
+            t,
+            &month_rows,
+            scratch_base,
+            scratch_base + 1,
+            cfg.scout_fan_in,
+            ScoutOp::Or,
+        );
+        let d_row = emit_reduce(
+            &mut instructions,
+            t,
+            &discount_rows,
+            scratch_base + 2,
+            scratch_base + 3,
+            cfg.scout_fan_in,
+            ScoutOp::Or,
+        );
+        let q_row = emit_reduce(
+            &mut instructions,
+            t,
+            &quantity_rows,
+            scratch_base + 4,
+            scratch_base + 5,
+            cfg.scout_fan_in,
+            ScoutOp::Or,
+        );
+        instructions.push(CimInstruction::Logic {
+            tile: t,
+            op: ScoutOp::And,
+            rows: vec![m_row, d_row, q_row],
+        });
+        outputs.push(instructions.len() - 1);
+        start += width;
+    }
+
+    let bin_rows = (SHIP_MONTHS as usize + DISCOUNT_LEVELS as usize + MAX_QUANTITY as usize) as u64;
+    let row_bytes = cfg.tile_cols.div_ceil(8) as u64;
+    Ok(CompiledJob {
+        job,
+        tenant,
+        kind: JobKind::Q6Select,
+        demand: TileDemand {
+            digital: tiles,
+            analog: 0,
+        },
+        instructions,
+        outputs,
+        finalizer: Finalizer::Q6 {
+            table,
+            params,
+            widths,
+        },
+        placement: digital_placement(window_base, tiles, cfg),
+        resident_bytes: bin_rows * tiles as u64 * row_bytes,
+        host_profile: HostProfile {
+            accel_fraction: 0.9,
+            l1_miss: 1.0,
+            l2_miss: 1.0,
+        },
+        seed,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compile_hdc(
+    classes: usize,
+    d: usize,
+    ngram: usize,
+    train_len: usize,
+    samples: usize,
+    sample_len: usize,
+    job: JobId,
+    tenant: TenantId,
+    cfg: &PoolConfig,
+    seed: u64,
+) -> Result<CompiledJob, CompileError> {
+    if classes == 0 || samples == 0 || sample_len == 0 {
+        return Err(CompileError::EmptyWorkload);
+    }
+    if classes > cfg.analog_rows || d > cfg.analog_cols {
+        return Err(CompileError::AnalogShapeTooSmall {
+            required: (classes, d),
+            available: (cfg.analog_rows, cfg.analog_cols),
+        });
+    }
+
+    // Train on the host (one-shot prototype construction is setup work,
+    // exactly as `LanguageTask` does); classification itself — one MVM
+    // per query — is what runs in the array.
+    let mut task = LanguageTask::train(classes, d, ngram, train_len, seed);
+    let prototypes = task.memory.finalize().to_vec();
+    let weights = Matrix::from_fn(cfg.analog_rows, cfg.analog_cols, |r, c| {
+        if r < classes && c < d && prototypes[r].bits().get(c) {
+            1.0
+        } else {
+            0.0
+        }
+    });
+
+    let mut instructions = vec![CimInstruction::ProgramMatrix {
+        tile: 0,
+        matrix: weights,
+    }];
+    let mut outputs = Vec::with_capacity(samples);
+    let mut expected = Vec::with_capacity(samples);
+    let mut sample_rng = seeded(crate::mix_seed(seed, 0x5A17));
+    for i in 0..samples {
+        let class = i % classes;
+        let text = task.languages[class].sample_text(sample_len, &mut sample_rng);
+        let query = task.encoder.encode_sequence(&text);
+        let x: Vec<f64> = (0..cfg.analog_cols)
+            .map(|j| {
+                if j < d && query.bits().get(j) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        instructions.push(CimInstruction::Mvm { tile: 0, x });
+        outputs.push(instructions.len() - 1);
+        expected.push(class);
+    }
+
+    Ok(CompiledJob {
+        job,
+        tenant,
+        kind: JobKind::HdcClassify,
+        demand: TileDemand {
+            digital: 0,
+            analog: 1,
+        },
+        instructions,
+        outputs,
+        finalizer: Finalizer::Hdc { classes, expected },
+        placement: None,
+        resident_bytes: (classes * d) as u64 / 8,
+        host_profile: HostProfile {
+            accel_fraction: 0.85,
+            l1_miss: 0.9,
+            l2_miss: 0.9,
+        },
+        seed,
+    })
+}
+
+fn compile_xor(
+    message: &[u8],
+    key_seed: u64,
+    job: JobId,
+    tenant: TenantId,
+    cfg: &PoolConfig,
+    seed: u64,
+    window_base: u64,
+) -> Result<CompiledJob, CompileError> {
+    if message.is_empty() {
+        return Err(CompileError::EmptyWorkload);
+    }
+    if cfg.tile_rows < 2 {
+        return Err(CompileError::NeedsMoreTileRows {
+            required: 2,
+            available: cfg.tile_rows,
+        });
+    }
+    let pad = OneTimePad::generate(message.len(), key_seed);
+    let msg_bits = BitVec::from_bytes(message);
+    let key_bits = pad.key_bits();
+    let total_bits = message.len() * 8;
+    let width = cfg.tile_cols;
+    let chunks = total_bits.div_ceil(width);
+
+    let mut instructions = Vec::with_capacity(3 * chunks);
+    let mut outputs = Vec::with_capacity(chunks);
+    for chunk in 0..chunks {
+        let base = chunk * width;
+        let slice =
+            |bits: &BitVec| BitVec::from_fn(width, |j| base + j < total_bits && bits.get(base + j));
+        instructions.push(CimInstruction::WriteRow {
+            tile: 0,
+            row: 0,
+            bits: slice(&msg_bits),
+        });
+        instructions.push(CimInstruction::WriteRow {
+            tile: 0,
+            row: 1,
+            bits: slice(&key_bits),
+        });
+        instructions.push(CimInstruction::Logic {
+            tile: 0,
+            op: ScoutOp::Xor,
+            rows: vec![0, 1],
+        });
+        outputs.push(instructions.len() - 1);
+    }
+
+    Ok(CompiledJob {
+        job,
+        tenant,
+        kind: JobKind::XorEncrypt,
+        demand: TileDemand {
+            digital: 1,
+            analog: 0,
+        },
+        instructions,
+        outputs,
+        finalizer: Finalizer::Xor { len: message.len() },
+        placement: digital_placement(window_base, 1, cfg),
+        resident_bytes: 2 * cfg.tile_cols.div_ceil(8) as u64,
+        host_profile: HostProfile {
+            accel_fraction: 0.95,
+            l1_miss: 1.0,
+            l2_miss: 1.0,
+        },
+        seed,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compile_scout(
+    op: ScoutOp,
+    rows: &[BitVec],
+    job: JobId,
+    tenant: TenantId,
+    cfg: &PoolConfig,
+    seed: u64,
+    window_base: u64,
+) -> Result<CompiledJob, CompileError> {
+    if rows.is_empty() {
+        return Err(CompileError::EmptyWorkload);
+    }
+    if rows.len() < 2 || (op == ScoutOp::Xor && rows.len() != 2) {
+        return Err(CompileError::UnsupportedFanIn {
+            op,
+            fan_in: rows.len(),
+        });
+    }
+    let width = rows[0].len();
+    for r in rows {
+        if r.len() != width || width > cfg.tile_cols {
+            return Err(CompileError::BadOperandWidth {
+                width: r.len().max(width),
+                max: cfg.tile_cols,
+            });
+        }
+    }
+    if rows.len() + 2 > cfg.tile_rows {
+        return Err(CompileError::NeedsMoreTileRows {
+            required: rows.len() + 2,
+            available: cfg.tile_rows,
+        });
+    }
+    let mut instructions = Vec::with_capacity(rows.len() + 2);
+    for (r, bits) in rows.iter().enumerate() {
+        instructions.push(CimInstruction::WriteRow {
+            tile: 0,
+            row: r,
+            bits: BitVec::from_fn(cfg.tile_cols, |j| j < width && bits.get(j)),
+        });
+    }
+    let operand_rows: Vec<usize> = (0..rows.len()).collect();
+    if op == ScoutOp::Xor {
+        instructions.push(CimInstruction::Logic {
+            tile: 0,
+            op,
+            rows: operand_rows,
+        });
+    } else {
+        emit_reduce(
+            &mut instructions,
+            0,
+            &operand_rows,
+            rows.len(),
+            rows.len() + 1,
+            cfg.scout_fan_in,
+            op,
+        );
+    }
+    // For multi-step reductions the result sits in a scratch row, but
+    // the final Logic response already carries the same bits, so the
+    // job's output is always the last Logic instruction.
+    let last_logic = instructions
+        .iter()
+        .rposition(|i| matches!(i, CimInstruction::Logic { .. }))
+        .expect("reduction emitted at least one logic op");
+    let outputs = vec![last_logic];
+
+    Ok(CompiledJob {
+        job,
+        tenant,
+        kind: JobKind::ScoutBulk,
+        demand: TileDemand {
+            digital: 1,
+            analog: 0,
+        },
+        instructions,
+        outputs,
+        finalizer: Finalizer::Bits { width },
+        placement: digital_placement(window_base, 1, cfg),
+        resident_bytes: (rows.len() * cfg.tile_cols.div_ceil(8)) as u64,
+        host_profile: HostProfile {
+            accel_fraction: 0.9,
+            l1_miss: 1.0,
+            l2_miss: 1.0,
+        },
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::PoolConfig;
+
+    fn cfg() -> PoolConfig {
+        PoolConfig::default()
+    }
+
+    #[test]
+    fn q6_compiles_to_resident_bins_plus_reductions() {
+        let spec = WorkloadSpec::Q6Select {
+            rows: 1500,
+            table_seed: 9,
+            params: Q6Params::tpch_default(),
+        };
+        let c = compile(&spec, JobId(0), TenantId(1), &cfg(), 42, 0x1000).unwrap();
+        assert_eq!(c.demand.digital, 2);
+        assert_eq!(c.outputs.len(), 2);
+        // 145 bin writes per tile, plus reductions, plus one AND per tile.
+        let writes = c
+            .instructions
+            .iter()
+            .filter(|i| matches!(i, CimInstruction::WriteRow { .. }))
+            .count();
+        assert_eq!(writes, 2 * 145);
+        let placement = c.placement.unwrap();
+        assert_eq!(placement.base(), 0x1000);
+        assert!(c.resident_bytes > 0);
+    }
+
+    #[test]
+    fn q6_reduction_op_count_matches_seed_engine() {
+        // Fan-in 8: months (12 bins) = 2 accesses, discount (3) = 1,
+        // quantity (23) = 4, final AND = 1 → 8 logic ops, 7 store-backs
+        // per tile — the counts asserted for `Q6CimEngine` in the seed.
+        let spec = WorkloadSpec::Q6Select {
+            rows: 500,
+            table_seed: 5,
+            params: Q6Params::tpch_default(),
+        };
+        let c = compile(&spec, JobId(0), TenantId(1), &cfg(), 1, 0).unwrap();
+        let logic = c
+            .instructions
+            .iter()
+            .filter(|i| matches!(i, CimInstruction::Logic { .. }))
+            .count();
+        let stores = c
+            .instructions
+            .iter()
+            .filter(|i| matches!(i, CimInstruction::StoreLast { .. }))
+            .count();
+        assert_eq!(logic, 8);
+        assert_eq!(stores, 7);
+    }
+
+    #[test]
+    fn q6_too_large_is_rejected() {
+        let mut small = cfg();
+        small.digital_tiles = 1;
+        let spec = WorkloadSpec::Q6Select {
+            rows: small.tile_cols * 2,
+            table_seed: 1,
+            params: Q6Params::tpch_default(),
+        };
+        assert!(matches!(
+            compile(&spec, JobId(0), TenantId(0), &small, 0, 0),
+            Err(CompileError::NeedsMoreDigitalTiles { required: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn hdc_pads_matrix_and_queries_to_tile_shape() {
+        let spec = WorkloadSpec::HdcClassify {
+            classes: 4,
+            d: 512,
+            ngram: 3,
+            train_len: 400,
+            samples: 6,
+            sample_len: 50,
+        };
+        let c = compile(&spec, JobId(1), TenantId(2), &cfg(), 7, 0).unwrap();
+        assert_eq!(c.demand.analog, 1);
+        assert_eq!(c.outputs.len(), 6);
+        match &c.instructions[0] {
+            CimInstruction::ProgramMatrix { matrix, .. } => {
+                assert_eq!(
+                    (matrix.rows(), matrix.cols()),
+                    (cfg().analog_rows, cfg().analog_cols)
+                );
+            }
+            other => panic!("expected ProgramMatrix first, got {other:?}"),
+        }
+        match &c.finalizer {
+            Finalizer::Hdc { expected, .. } => assert_eq!(expected, &vec![0, 1, 2, 3, 0, 1]),
+            other => panic!("wrong finalizer {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hdc_oversized_dimension_rejected() {
+        let spec = WorkloadSpec::HdcClassify {
+            classes: 4,
+            d: cfg().analog_cols + 1,
+            ngram: 3,
+            train_len: 400,
+            samples: 1,
+            sample_len: 10,
+        };
+        assert!(matches!(
+            compile(&spec, JobId(0), TenantId(0), &cfg(), 0, 0),
+            Err(CompileError::AnalogShapeTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn xor_stream_roundtrips_through_finalizer_shape() {
+        let spec = WorkloadSpec::XorEncrypt {
+            message: vec![0xAB; 300],
+            key_seed: 77,
+        };
+        let c = compile(&spec, JobId(2), TenantId(3), &cfg(), 3, 0x2000).unwrap();
+        // 300 bytes = 2400 bits; tile width decides chunk count.
+        let chunks = (300usize * 8).div_ceil(cfg().tile_cols);
+        assert_eq!(c.outputs.len(), chunks);
+        assert_eq!(c.instructions.len(), 3 * chunks);
+    }
+
+    #[test]
+    fn scout_bulk_reduces_many_rows() {
+        let rows: Vec<BitVec> = (0..10)
+            .map(|i| BitVec::from_fn(64, |j| (i + j) % 3 == 0))
+            .collect();
+        let spec = WorkloadSpec::ScoutBulk {
+            op: ScoutOp::Or,
+            rows,
+        };
+        let c = compile(&spec, JobId(3), TenantId(4), &cfg(), 5, 0).unwrap();
+        assert_eq!(c.demand.digital, 1);
+        assert_eq!(c.outputs.len(), 1);
+        match &c.finalizer {
+            Finalizer::Bits { width } => assert_eq!(*width, 64),
+            other => panic!("wrong finalizer {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scout_xor_requires_two_rows() {
+        let rows: Vec<BitVec> = (0..3).map(|_| BitVec::zeros(8)).collect();
+        let spec = WorkloadSpec::ScoutBulk {
+            op: ScoutOp::Xor,
+            rows,
+        };
+        assert!(matches!(
+            compile(&spec, JobId(0), TenantId(0), &cfg(), 0, 0),
+            Err(CompileError::UnsupportedFanIn { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_workloads_rejected() {
+        for spec in [
+            WorkloadSpec::Q6Select {
+                rows: 0,
+                table_seed: 0,
+                params: Q6Params::tpch_default(),
+            },
+            WorkloadSpec::XorEncrypt {
+                message: vec![],
+                key_seed: 0,
+            },
+            WorkloadSpec::ScoutBulk {
+                op: ScoutOp::Or,
+                rows: vec![],
+            },
+        ] {
+            assert!(
+                matches!(
+                    compile(&spec, JobId(0), TenantId(0), &cfg(), 0, 0),
+                    Err(CompileError::EmptyWorkload)
+                ),
+                "{spec:?}"
+            );
+        }
+    }
+}

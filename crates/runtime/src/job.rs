@@ -1,0 +1,296 @@
+//! Jobs: what tenants submit and what the pool returns.
+//!
+//! A [`WorkloadSpec`] names one application kernel with its parameters.
+//! The compile layer lowers it to a [`crate::compile::CompiledJob`]; the
+//! scheduler executes it on a shard and returns a [`JobReport`] with the
+//! decoded [`JobOutput`], per-job [`ExecutionStats`] and the
+//! speedup-vs-host estimate from the `cim-arch` analytical models.
+
+use cim_bitmap_db::query::Q6Result;
+use cim_bitmap_db::tpch::Q6Params;
+use cim_core::isa::{CimInstruction, CimResponse};
+use cim_core::offload::OffloadEstimate;
+use cim_core::ExecutionStats;
+use cim_crossbar::energy::OperationCost;
+use cim_crossbar::scouting::ScoutOp;
+use cim_simkit::bitvec::BitVec;
+use std::fmt;
+
+/// Identifies a tenant (an isolation domain for tiles and telemetry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+/// Identifies a submitted job. Ids are assigned in submission order and
+/// reports are returned sorted by id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// One application workload a tenant can submit to the pool.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// TPC-H Query-6 selection over a synthetic `lineitem` table, the
+    /// `cim-bitmap-db` workload: bitmap bins resident as tile rows,
+    /// predicate ORs and the final AND as Scouting-Logic accesses.
+    Q6Select {
+        /// Table rows to generate.
+        rows: usize,
+        /// Seed of the synthetic table.
+        table_seed: u64,
+        /// Query parameters.
+        params: Q6Params,
+    },
+    /// Hyperdimensional language classification, the `cim-hdc` workload:
+    /// class prototypes programmed into an analog tile, one matrix-vector
+    /// product per query.
+    HdcClassify {
+        /// Number of synthetic languages.
+        classes: usize,
+        /// Hypervector dimension.
+        d: usize,
+        /// n-gram order of the encoder.
+        ngram: usize,
+        /// Training symbols per language.
+        train_len: usize,
+        /// Queries to classify (round-robin over classes).
+        samples: usize,
+        /// Symbols per query.
+        sample_len: usize,
+    },
+    /// One-time-pad encryption, the `cim-xor-cipher` workload: message
+    /// and key rows XOR-ed by two-row sensing.
+    XorEncrypt {
+        /// Plaintext bytes.
+        message: Vec<u8>,
+        /// Seed of the generated pad.
+        key_seed: u64,
+    },
+    /// A bulk Scouting-Logic reduction over caller-provided rows.
+    ScoutBulk {
+        /// The bit-wise operation (XOR requires exactly two rows).
+        op: ScoutOp,
+        /// Operand rows; all must share one width.
+        rows: Vec<BitVec>,
+    },
+    /// A raw pre-compiled instruction stream (virtual tile indices).
+    ///
+    /// The escape hatch for tooling and tests; instruction tile indices
+    /// are still validated against the declared demand, so a raw stream
+    /// cannot escape its lease.
+    Raw {
+        /// Digital tiles requested.
+        digital_tiles: usize,
+        /// Analog tiles requested.
+        analog_tiles: usize,
+        /// The stream to execute.
+        instructions: Vec<CimInstruction>,
+    },
+}
+
+/// Coarse workload family, used for batch-compatibility decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobKind {
+    /// [`WorkloadSpec::Q6Select`].
+    Q6Select,
+    /// [`WorkloadSpec::HdcClassify`].
+    HdcClassify,
+    /// [`WorkloadSpec::XorEncrypt`].
+    XorEncrypt,
+    /// [`WorkloadSpec::ScoutBulk`].
+    ScoutBulk,
+    /// [`WorkloadSpec::Raw`].
+    Raw,
+}
+
+impl WorkloadSpec {
+    /// The workload's family.
+    pub fn kind(&self) -> JobKind {
+        match self {
+            WorkloadSpec::Q6Select { .. } => JobKind::Q6Select,
+            WorkloadSpec::HdcClassify { .. } => JobKind::HdcClassify,
+            WorkloadSpec::XorEncrypt { .. } => JobKind::XorEncrypt,
+            WorkloadSpec::ScoutBulk { .. } => JobKind::ScoutBulk,
+            WorkloadSpec::Raw { .. } => JobKind::Raw,
+        }
+    }
+}
+
+/// Outcome of a hyperdimensional classification job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HdcOutcome {
+    /// Predicted class per query.
+    pub predictions: Vec<usize>,
+    /// Ground-truth class per query.
+    pub expected: Vec<usize>,
+}
+
+impl HdcOutcome {
+    /// Fraction of queries classified correctly.
+    pub fn accuracy(&self) -> f64 {
+        if self.predictions.is_empty() {
+            return 0.0;
+        }
+        let correct = self
+            .predictions
+            .iter()
+            .zip(&self.expected)
+            .filter(|(p, e)| p == e)
+            .count();
+        correct as f64 / self.predictions.len() as f64
+    }
+}
+
+/// The decoded result of a completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutput {
+    /// Query-6 revenue and match count.
+    Q6(Q6Result),
+    /// Classification predictions.
+    Hdc(HdcOutcome),
+    /// Ciphertext bytes.
+    Cipher(Vec<u8>),
+    /// Result row of a bulk reduction.
+    Bits(BitVec),
+    /// Raw responses of every instruction in a [`WorkloadSpec::Raw`] job.
+    Responses(Vec<CimResponse>),
+}
+
+/// Why a job failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// An instruction addressed a tile outside the job's lease.
+    TileFault {
+        /// The offending virtual tile index.
+        virtual_tile: usize,
+        /// Tiles actually granted.
+        granted: usize,
+        /// `true` if the analog index space, `false` if digital.
+        analog: bool,
+    },
+    /// A `StoreLast` appeared before any bits-producing instruction.
+    StoreWithoutResult {
+        /// Index of the offending instruction.
+        index: usize,
+    },
+    /// The instruction stream panicked inside the accelerator (shape
+    /// mismatch, unsupported fan-in…). The shard survives; the job is
+    /// failed and its lease scrubbed.
+    ExecutionPanic {
+        /// The captured panic message.
+        message: String,
+    },
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::TileFault {
+                virtual_tile,
+                granted,
+                analog,
+            } => write!(
+                f,
+                "tile fault: {} tile {} outside lease of {} tiles",
+                if *analog { "analog" } else { "digital" },
+                virtual_tile,
+                granted
+            ),
+            JobError::StoreWithoutResult { index } => {
+                write!(f, "instruction {index}: StoreLast with no pending result")
+            }
+            JobError::ExecutionPanic { message } => {
+                write!(f, "instruction stream panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Everything the pool reports back about one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    /// The job.
+    pub job: JobId,
+    /// Its tenant.
+    pub tenant: TenantId,
+    /// Its workload family.
+    pub kind: JobKind,
+    /// Shard that executed it.
+    pub shard: usize,
+    /// Batch it was coalesced into.
+    pub batch: u64,
+    /// Decoded output, or the isolation/validation error.
+    pub output: Result<JobOutput, JobError>,
+    /// Instruction counts, energy and busy time attributed to this job.
+    pub stats: ExecutionStats,
+    /// Post-job scrubbing overhead (tile hygiene between tenants).
+    pub maintenance: OperationCost,
+    /// Speedup/energy-gain estimate vs the conventional host, from the
+    /// `cim-arch` §II-C analytical models.
+    pub offload: OffloadEstimate,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_match_specs() {
+        let spec = WorkloadSpec::XorEncrypt {
+            message: vec![1, 2],
+            key_seed: 3,
+        };
+        assert_eq!(spec.kind(), JobKind::XorEncrypt);
+        let raw = WorkloadSpec::Raw {
+            digital_tiles: 1,
+            analog_tiles: 0,
+            instructions: vec![],
+        };
+        assert_eq!(raw.kind(), JobKind::Raw);
+    }
+
+    #[test]
+    fn hdc_accuracy_counts_matches() {
+        let o = HdcOutcome {
+            predictions: vec![0, 1, 2, 2],
+            expected: vec![0, 1, 2, 3],
+        };
+        assert!((o.accuracy() - 0.75).abs() < 1e-12);
+        let empty = HdcOutcome {
+            predictions: vec![],
+            expected: vec![],
+        };
+        assert_eq!(empty.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = JobError::TileFault {
+            virtual_tile: 7,
+            granted: 2,
+            analog: false,
+        };
+        assert!(e.to_string().contains("digital tile 7"));
+        assert!(e.to_string().contains("2 tiles"));
+        let s = JobError::StoreWithoutResult { index: 3 };
+        assert!(s.to_string().contains("instruction 3"));
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(TenantId(4).to_string(), "tenant-4");
+        assert_eq!(JobId(9).to_string(), "job-9");
+    }
+}

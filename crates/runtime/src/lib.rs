@@ -1,0 +1,64 @@
+//! # cim-runtime
+//!
+//! A multi-tenant accelerator-pool runtime that serves batched CIM
+//! workloads.
+//!
+//! The DATE'19 paper frames the CIM core as an on-chip accelerator a
+//! host offloads memory-intensive kernels to (Fig. 1); TDO-CIM argues
+//! the missing piece is a *runtime* that routes kernels to the CIM unit
+//! at execution time. This crate is that runtime for the workspace's
+//! simulated accelerator: it owns a pool of [`cim_core::CimAccelerator`]
+//! shards and serves many concurrent workload requests from many
+//! tenants, in three layers:
+//!
+//! * **[`compile`]** — lowers each application workload (TPC-H Q6
+//!   bitmap select, HDC language classification, one-time-pad XOR,
+//!   bulk Scouting-Logic reductions, raw streams) into a
+//!   [`cim_core::CimInstruction`] stream over virtual tiles plus a
+//!   resident-data placement in the extended address space
+//!   ([`cim_core::AddressMap`]).
+//! * **[`schedule`]** — a job queue with deterministic shard selection,
+//!   per-tile admission, batch coalescing of compatible jobs, and one
+//!   worker thread per shard (std threads + channels; no async
+//!   dependency). Per-job seeded noise streams and exclusive tile
+//!   leases make batched execution bit-identical to sequential
+//!   execution, and tile scrubbing keeps tenants from ever observing
+//!   each other's data.
+//! * **[`telemetry`]** — aggregates [`cim_core::ExecutionStats`] per
+//!   job, per tenant and pool-wide, and reports speedup-vs-host from
+//!   the `cim-arch` analytical models.
+//!
+//! # Example
+//!
+//! ```
+//! use cim_runtime::{PoolConfig, RuntimePool, TenantId, WorkloadSpec};
+//! use cim_bitmap_db::tpch::Q6Params;
+//!
+//! let mut pool = RuntimePool::new(PoolConfig::with_shards(2));
+//! pool.submit(TenantId(1), &WorkloadSpec::Q6Select {
+//!     rows: 1000,
+//!     table_seed: 7,
+//!     params: Q6Params::tpch_default(),
+//! }).unwrap();
+//! pool.submit(TenantId(2), &WorkloadSpec::XorEncrypt {
+//!     message: b"attack at dawn".to_vec(),
+//!     key_seed: 3,
+//! }).unwrap();
+//!
+//! let reports = pool.drain();
+//! assert_eq!(reports.len(), 2);
+//! assert!(reports.iter().all(|r| r.output.is_ok()));
+//! assert_eq!(pool.telemetry().jobs, 2);
+//! ```
+
+pub mod compile;
+pub mod job;
+pub mod schedule;
+pub mod telemetry;
+
+pub(crate) use schedule::mix_seed;
+
+pub use compile::{CompileError, CompiledJob, Finalizer, HostProfile, TileDemand};
+pub use job::{HdcOutcome, JobError, JobId, JobKind, JobOutput, JobReport, TenantId, WorkloadSpec};
+pub use schedule::{PoolConfig, RuntimePool};
+pub use telemetry::{PoolTelemetry, TenantUsage};

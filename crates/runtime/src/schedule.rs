@@ -1,0 +1,815 @@
+//! The scheduler layer: shard pool, admission, batching and workers.
+//!
+//! A [`RuntimePool`] owns a set of [`CimAccelerator`] *shards*, each
+//! driven by its own worker thread (std threads and channels — no async
+//! runtime). Submitted workloads are compiled immediately
+//! ([`crate::compile`]) and queued; [`RuntimePool::drain`] plans the
+//! queue deterministically and dispatches it:
+//!
+//! 1. **Shard selection** — each job goes to the least-loaded shard
+//!    (estimated by queued instruction count, ties to the lowest index).
+//!    The plan is a pure function of the submission order, never of
+//!    thread timing.
+//! 2. **Per-tile admission** — jobs hold leases on whole tiles. A batch
+//!    admits jobs until the shard's digital and analog tile budgets are
+//!    exhausted; instruction streams are relocated from virtual to
+//!    leased physical tiles at dispatch, and any instruction addressing
+//!    a tile outside its lease fails the job with
+//!    [`JobError::TileFault`] *before* touching the accelerator.
+//! 3. **Batch coalescing** — consecutive compatible jobs (same
+//!    workload family) on a shard share one dispatch batch and thus
+//!    co-reside on disjoint tiles.
+//!
+//! Every job draws its stochastic behaviour from a private seeded
+//! stream ([`CimAccelerator::execute_with_rng`]) and leases exclusive
+//! tiles, so its results are independent of co-tenants, batch shape and
+//! execution order: batched and sequential drains are bit-identical —
+//! the invariant `tests/runtime_pipeline.rs` pins.
+//!
+//! After each job the runtime scrubs every tile row the job wrote (and
+//! every analog tile it programmed) so no data survives into the next
+//! lease; the scrub cost is reported as maintenance overhead.
+
+use crate::compile::{compile, CompileError, CompiledJob, TileDemand};
+use crate::job::{JobError, JobId, JobReport, TenantId, WorkloadSpec};
+use crate::telemetry::{stats_delta, PoolTelemetry};
+use cim_arch::cim::CimSystem;
+use cim_arch::conventional::ConventionalMachine;
+use cim_core::isa::{CimInstruction, CimResponse};
+use cim_core::offload::Program;
+use cim_core::{CimAccelerator, CimAcceleratorBuilder};
+use cim_crossbar::energy::OperationCost;
+use cim_simkit::rng::seeded;
+use cim_simkit::units::ByteSize;
+use std::collections::BTreeSet;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// Geometry and policy of a pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolConfig {
+    /// Number of accelerator shards (one worker thread each).
+    pub shards: usize,
+    /// Digital tiles per shard.
+    pub digital_tiles: usize,
+    /// Rows per digital tile.
+    pub tile_rows: usize,
+    /// Columns (entry width) per digital tile.
+    pub tile_cols: usize,
+    /// Analog tiles per shard.
+    pub analog_tiles: usize,
+    /// Rows per analog tile.
+    pub analog_rows: usize,
+    /// Columns per analog tile.
+    pub analog_cols: usize,
+    /// Scouting fan-in limit used by compiled reductions.
+    pub scout_fan_in: usize,
+    /// Pool seed: fabrication variation and per-job noise streams derive
+    /// from it.
+    pub seed: u64,
+    /// Maximum jobs coalesced into one batch.
+    pub max_batch_jobs: usize,
+    /// Whether to coalesce compatible jobs at all.
+    pub coalesce: bool,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            shards: 2,
+            digital_tiles: 4,
+            tile_rows: 160,
+            tile_cols: 1024,
+            analog_tiles: 2,
+            analog_rows: 32,
+            analog_cols: 2048,
+            scout_fan_in: 8,
+            seed: 0xC1A0,
+            max_batch_jobs: 8,
+            coalesce: true,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// The default geometry with a given shard count.
+    pub fn with_shards(shards: usize) -> Self {
+        PoolConfig {
+            shards,
+            ..PoolConfig::default()
+        }
+    }
+
+    /// Bytes of one job's extended-address-space window, rounded to a
+    /// power of two so windows are disjoint and alignment-friendly.
+    fn window_stride(&self) -> u64 {
+        let bytes = (self.digital_tiles * self.tile_rows * self.tile_cols.div_ceil(8)) as u64;
+        bytes.next_power_of_two()
+    }
+
+    /// Base address of job `id`'s resident window. The extended address
+    /// space starts past the host DRAM window, as in §II-B.
+    pub fn window_base(&self, id: u64) -> u64 {
+        0x4000_0000 + id * self.window_stride()
+    }
+}
+
+/// Silences the default panic hook for shard worker threads: their
+/// panics are contained by the runtime and surfaced as
+/// [`JobError::ExecutionPanic`], so dumping a backtrace to stderr would
+/// let one misbehaving tenant flood the serving process's logs. Panics
+/// on every other thread still reach the previous hook.
+fn install_shard_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let on_shard = std::thread::current()
+                .name()
+                .is_some_and(|name| name.starts_with("cim-shard-"));
+            if !on_shard {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Deterministic seed mixing (SplitMix64 finalizer over the pair).
+pub(crate) fn mix_seed(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A job with its leased tile bases on a shard.
+struct PlacedJob {
+    compiled: CompiledJob,
+    digital_base: usize,
+    analog_base: usize,
+}
+
+/// One dispatch unit: co-resident jobs on one shard.
+struct Batch {
+    id: u64,
+    jobs: Vec<PlacedJob>,
+}
+
+struct Worker {
+    tx: Option<Sender<Batch>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// The multi-tenant accelerator pool.
+pub struct RuntimePool {
+    cfg: PoolConfig,
+    workers: Vec<Worker>,
+    reports: Receiver<JobReport>,
+    pending: Vec<CompiledJob>,
+    next_job: u64,
+    next_batch: u64,
+    telemetry: PoolTelemetry,
+}
+
+impl RuntimePool {
+    /// Builds the shards and spawns one worker thread per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero shards or zero digital
+    /// tiles.
+    pub fn new(cfg: PoolConfig) -> Self {
+        assert!(cfg.shards > 0, "pool needs at least one shard");
+        assert!(
+            cfg.digital_tiles > 0,
+            "shards need at least one digital tile"
+        );
+        install_shard_panic_hook();
+        let (report_tx, reports) = channel();
+        let workers = (0..cfg.shards)
+            .map(|shard| {
+                let shard_seed = mix_seed(cfg.seed, 0xD1A5 + shard as u64);
+                let accelerator = CimAcceleratorBuilder::new()
+                    .digital_tiles(cfg.digital_tiles, cfg.tile_rows, cfg.tile_cols)
+                    .analog_tiles(cfg.analog_tiles, cfg.analog_rows, cfg.analog_cols)
+                    .seed(shard_seed)
+                    .build();
+                let (tx, rx) = channel();
+                let report_tx = report_tx.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("cim-shard-{shard}"))
+                    .spawn(move || worker_loop(shard, accelerator, shard_seed, rx, report_tx))
+                    .expect("spawn shard worker");
+                Worker {
+                    tx: Some(tx),
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        RuntimePool {
+            telemetry: PoolTelemetry::new(cfg.shards),
+            cfg,
+            workers,
+            reports,
+            pending: Vec::new(),
+            next_job: 0,
+            next_batch: 0,
+        }
+    }
+
+    /// The pool's configuration.
+    pub fn config(&self) -> &PoolConfig {
+        &self.cfg
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.cfg.shards
+    }
+
+    /// Jobs queued but not yet drained.
+    pub fn pending_jobs(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Aggregated telemetry over everything drained so far.
+    pub fn telemetry(&self) -> &PoolTelemetry {
+        &self.telemetry
+    }
+
+    /// Compiles and enqueues a workload for `tenant`.
+    ///
+    /// Compilation errors (workload does not fit the pool geometry,
+    /// empty work) surface immediately; execution errors surface in the
+    /// job's report.
+    pub fn submit(&mut self, tenant: TenantId, spec: &WorkloadSpec) -> Result<JobId, CompileError> {
+        let job = JobId(self.next_job);
+        let seed = mix_seed(self.cfg.seed, 0x0B0B ^ job.0);
+        let compiled = compile(
+            spec,
+            job,
+            tenant,
+            &self.cfg,
+            seed,
+            self.cfg.window_base(job.0),
+        )?;
+        if compiled.demand.digital > self.cfg.digital_tiles {
+            return Err(CompileError::NeedsMoreDigitalTiles {
+                required: compiled.demand.digital,
+                available: self.cfg.digital_tiles,
+            });
+        }
+        if compiled.demand.analog > self.cfg.analog_tiles {
+            return Err(CompileError::NeedsMoreAnalogTiles {
+                required: compiled.demand.analog,
+                available: self.cfg.analog_tiles,
+            });
+        }
+        self.pending.push(compiled);
+        self.next_job += 1;
+        Ok(job)
+    }
+
+    /// Executes every queued job with batching per the pool policy,
+    /// shards running concurrently. Returns reports sorted by job id.
+    pub fn drain(&mut self) -> Vec<JobReport> {
+        let batches = self.plan(self.cfg.coalesce, self.cfg.max_batch_jobs);
+        let expected: usize = batches.iter().map(|(_, b)| b.jobs.len()).sum();
+        let n_batches = batches.len() as u64;
+        for (shard, batch) in batches {
+            if let Some(tx) = &self.workers[shard].tx {
+                tx.send(batch).expect("shard worker alive");
+            }
+        }
+        let mut reports: Vec<JobReport> = (0..expected)
+            .map(|_| self.reports.recv().expect("worker report"))
+            .collect();
+        reports.sort_by_key(|r| r.job);
+        self.account(&reports, n_batches);
+        reports
+    }
+
+    /// Executes every queued job strictly one at a time, in submission
+    /// order, with no coalescing — the reference schedule batching must
+    /// reproduce bit-identically.
+    pub fn drain_sequential(&mut self) -> Vec<JobReport> {
+        let mut batches = self.plan(false, 1);
+        // One job per batch: order globally by job id for a strict
+        // serial schedule.
+        batches.sort_by_key(|(_, b)| b.jobs[0].compiled.job);
+        let n_batches = batches.len() as u64;
+        let mut reports = Vec::with_capacity(batches.len());
+        for (shard, batch) in batches {
+            if let Some(tx) = &self.workers[shard].tx {
+                tx.send(batch).expect("shard worker alive");
+            }
+            reports.push(self.reports.recv().expect("worker report"));
+        }
+        reports.sort_by_key(|r| r.job);
+        self.account(&reports, n_batches);
+        reports
+    }
+
+    fn account(&mut self, reports: &[JobReport], batches: u64) {
+        self.telemetry.batches += batches;
+        for r in reports {
+            self.telemetry.record(r);
+        }
+    }
+
+    /// Plans the pending queue: deterministic shard selection, then
+    /// per-shard batch packing. Returns `(shard, batch)` pairs.
+    fn plan(&mut self, coalesce: bool, max_batch_jobs: usize) -> Vec<(usize, Batch)> {
+        let max_batch_jobs = max_batch_jobs.max(1);
+        let mut shard_queues: Vec<Vec<CompiledJob>> =
+            (0..self.cfg.shards).map(|_| Vec::new()).collect();
+        let mut loads = vec![0u64; self.cfg.shards];
+        for job in self.pending.drain(..) {
+            let shard = (0..self.cfg.shards)
+                .min_by_key(|&s| (loads[s], s))
+                .expect("at least one shard");
+            loads[shard] += job.estimated_cost();
+            shard_queues[shard].push(job);
+        }
+
+        let mut out = Vec::new();
+        for (shard, mut queue) in shard_queues.into_iter().enumerate() {
+            while !queue.is_empty() {
+                let first = queue.remove(0);
+                let kind = first.kind;
+                let mut digital_used = first.demand.digital;
+                let mut analog_used = first.demand.analog;
+                let mut jobs = vec![PlacedJob {
+                    compiled: first,
+                    digital_base: 0,
+                    analog_base: 0,
+                }];
+                // Coalesce compatible jobs from anywhere in the shard
+                // queue, preserving their relative order. Jobs are
+                // order-independent by construction (private noise
+                // streams, exclusive leases), so pulling a same-kind job
+                // forward cannot change any result.
+                if coalesce {
+                    let mut i = 0;
+                    while jobs.len() < max_batch_jobs && i < queue.len() {
+                        let candidate = &queue[i];
+                        let fits = candidate.kind == kind
+                            && digital_used + candidate.demand.digital <= self.cfg.digital_tiles
+                            && analog_used + candidate.demand.analog <= self.cfg.analog_tiles;
+                        if fits {
+                            let placed = PlacedJob {
+                                digital_base: digital_used,
+                                analog_base: analog_used,
+                                compiled: queue.remove(i),
+                            };
+                            digital_used += placed.compiled.demand.digital;
+                            analog_used += placed.compiled.demand.analog;
+                            jobs.push(placed);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+                out.push((
+                    shard,
+                    Batch {
+                        id: self.next_batch,
+                        jobs,
+                    },
+                ));
+                self.next_batch += 1;
+            }
+        }
+        out
+    }
+}
+
+impl Drop for RuntimePool {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            w.tx.take();
+        }
+        for w in &mut self.workers {
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Relocates a compiled stream onto the leased physical tiles,
+/// rejecting any instruction that escapes the lease. Tile indices are
+/// patched in place — the stream is owned by the batch and executed
+/// exactly once, so no payload (bin rows, weight matrices, query
+/// vectors) is copied on the worker hot path.
+fn relocate(
+    mut instructions: Vec<CimInstruction>,
+    demand: TileDemand,
+    digital_base: usize,
+    analog_base: usize,
+) -> Result<Vec<CimInstruction>, JobError> {
+    let digital = |tile: usize| -> Result<usize, JobError> {
+        if tile < demand.digital {
+            Ok(digital_base + tile)
+        } else {
+            Err(JobError::TileFault {
+                virtual_tile: tile,
+                granted: demand.digital,
+                analog: false,
+            })
+        }
+    };
+    let analog = |tile: usize| -> Result<usize, JobError> {
+        if tile < demand.analog {
+            Ok(analog_base + tile)
+        } else {
+            Err(JobError::TileFault {
+                virtual_tile: tile,
+                granted: demand.analog,
+                analog: true,
+            })
+        }
+    };
+    let mut have_bits = false;
+    for (index, instr) in instructions.iter_mut().enumerate() {
+        match instr {
+            CimInstruction::WriteRow { tile, .. } => *tile = digital(*tile)?,
+            CimInstruction::ReadRow { tile, .. } => {
+                have_bits = true;
+                *tile = digital(*tile)?;
+            }
+            CimInstruction::Logic { tile, .. } => {
+                have_bits = true;
+                *tile = digital(*tile)?;
+            }
+            CimInstruction::StoreLast { tile, .. } => {
+                if !have_bits {
+                    return Err(JobError::StoreWithoutResult { index });
+                }
+                *tile = digital(*tile)?;
+            }
+            CimInstruction::ProgramMatrix { tile, .. }
+            | CimInstruction::Mvm { tile, .. }
+            | CimInstruction::MvmT { tile, .. } => *tile = analog(*tile)?,
+        }
+    }
+    Ok(instructions)
+}
+
+fn worker_loop(
+    shard: usize,
+    mut accelerator: CimAccelerator,
+    shard_seed: u64,
+    batches: Receiver<Batch>,
+    reports: Sender<JobReport>,
+) {
+    let host = ConventionalMachine::xeon_e5_2680();
+    let cim_system = CimSystem::paper_default();
+    while let Ok(batch) = batches.recv() {
+        for placed in batch.jobs {
+            let report = run_job(
+                shard,
+                batch.id,
+                &mut accelerator,
+                shard_seed,
+                placed,
+                &host,
+                &cim_system,
+            );
+            if reports.send(report).is_err() {
+                return; // pool dropped
+            }
+        }
+    }
+}
+
+fn run_job(
+    shard: usize,
+    batch: u64,
+    accelerator: &mut CimAccelerator,
+    shard_seed: u64,
+    placed: PlacedJob,
+    host: &ConventionalMachine,
+    cim_system: &CimSystem,
+) -> JobReport {
+    let PlacedJob {
+        compiled,
+        digital_base,
+        analog_base,
+    } = placed;
+    let offload = Program::streaming(
+        ByteSize(compiled.resident_bytes.max(64)),
+        compiled.host_profile.accel_fraction,
+        compiled.host_profile.l1_miss,
+        compiled.host_profile.l2_miss,
+    )
+    .estimate(host, cim_system);
+
+    let (job, tenant, kind) = (compiled.job, compiled.tenant, compiled.kind);
+    let base_report = move |output, stats, maintenance| JobReport {
+        job,
+        tenant,
+        kind,
+        shard,
+        batch,
+        output,
+        stats,
+        maintenance,
+        offload,
+    };
+
+    let instructions = match relocate(
+        compiled.instructions,
+        compiled.demand,
+        digital_base,
+        analog_base,
+    ) {
+        Ok(instructions) => instructions,
+        Err(e) => {
+            return base_report(
+                Err(e),
+                cim_core::ExecutionStats::default(),
+                OperationCost::default(),
+            )
+        }
+    };
+
+    // Track what the job touches so it can be scrubbed afterwards.
+    let mut written_rows: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut programmed_tiles: BTreeSet<usize> = BTreeSet::new();
+    for instr in &instructions {
+        match instr {
+            CimInstruction::WriteRow { tile, row, .. }
+            | CimInstruction::StoreLast { tile, row } => {
+                written_rows.insert((*tile, *row));
+            }
+            CimInstruction::ProgramMatrix { tile, .. } => {
+                programmed_tiles.insert(*tile);
+            }
+            _ => {}
+        }
+    }
+
+    let before = *accelerator.stats();
+    accelerator.reset_pipeline();
+    // A malformed stream that slips past validation (e.g. a raw job
+    // with a shape mismatch) panics inside the accelerator; contain it
+    // so one tenant cannot take the shard down.
+    let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut job_rng = seeded(compiled.seed);
+        let output_set: BTreeSet<usize> = compiled.outputs.iter().copied().collect();
+        let mut outputs: Vec<CimResponse> = Vec::with_capacity(output_set.len());
+        for (index, instr) in instructions.into_iter().enumerate() {
+            let (response, _cost) = accelerator.execute_with_rng(instr, &mut job_rng);
+            if output_set.contains(&index) {
+                outputs.push(response);
+            }
+        }
+        outputs
+    }));
+    accelerator.reset_pipeline();
+    let stats = stats_delta(accelerator.stats(), &before);
+
+    // Scrub the lease before the next tenant takes it.
+    let mut maintenance = OperationCost::default();
+    let mut scrub_rng = seeded(mix_seed(shard_seed, 0x5C12 ^ job.0));
+    for (tile, row) in written_rows {
+        maintenance = maintenance.then(accelerator.scrub_digital_row(tile, row));
+    }
+    for tile in programmed_tiles {
+        maintenance = maintenance.then(accelerator.scrub_analog_tile(tile, &mut scrub_rng));
+    }
+
+    let output = match executed {
+        Ok(outputs) => Ok(compiled.finalizer.finalize(outputs)),
+        Err(panic) => {
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            Err(JobError::ExecutionPanic { message })
+        }
+    };
+    base_report(output, stats, maintenance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobKind, JobOutput};
+    use cim_bitmap_db::query::q6_scan;
+    use cim_bitmap_db::tpch::{LineItemTable, Q6Params};
+    use cim_crossbar::scouting::ScoutOp;
+    use cim_simkit::bitvec::BitVec;
+    use cim_xor_cipher::otp::OneTimePad;
+
+    #[test]
+    fn q6_through_pool_matches_scan() {
+        let mut pool = RuntimePool::new(PoolConfig::with_shards(1));
+        let spec = WorkloadSpec::Q6Select {
+            rows: 1800,
+            table_seed: 21,
+            params: Q6Params::tpch_default(),
+        };
+        pool.submit(TenantId(0), &spec).unwrap();
+        let reports = pool.drain();
+        assert_eq!(reports.len(), 1);
+        let expected = q6_scan(
+            &LineItemTable::generate(1800, 21),
+            &Q6Params::tpch_default(),
+        );
+        match reports[0].output.as_ref().unwrap() {
+            JobOutput::Q6(result) => {
+                assert_eq!(result.matching_rows, expected.matching_rows);
+                assert!((result.revenue - expected.revenue).abs() < 1e-6);
+            }
+            other => panic!("wrong output {other:?}"),
+        }
+        assert!(reports[0].stats.logic_ops > 0);
+        assert!(reports[0].stats.energy.0 > 0.0);
+        assert!(reports[0].offload.speedup() > 1.0);
+    }
+
+    #[test]
+    fn xor_through_pool_matches_software_pad() {
+        let mut pool = RuntimePool::new(PoolConfig::with_shards(1));
+        let message: Vec<u8> = (0..400u32).map(|i| (i * 7 + 3) as u8).collect();
+        let spec = WorkloadSpec::XorEncrypt {
+            message: message.clone(),
+            key_seed: 99,
+        };
+        pool.submit(TenantId(1), &spec).unwrap();
+        let reports = pool.drain();
+        let expected = OneTimePad::generate(message.len(), 99)
+            .encrypt(&message)
+            .unwrap();
+        assert_eq!(
+            reports[0].output,
+            Ok(JobOutput::Cipher(expected)),
+            "CIM ciphertext must match the software pad"
+        );
+    }
+
+    #[test]
+    fn scout_bulk_reduction_is_exact() {
+        let mut pool = RuntimePool::new(PoolConfig::with_shards(1));
+        let rows: Vec<BitVec> = (0..9)
+            .map(|i| BitVec::from_fn(100, |j| (j + i) % 4 == 0))
+            .collect();
+        let mut expected = BitVec::zeros(100);
+        for r in &rows {
+            expected = expected.or(r);
+        }
+        pool.submit(
+            TenantId(2),
+            &WorkloadSpec::ScoutBulk {
+                op: ScoutOp::Or,
+                rows,
+            },
+        )
+        .unwrap();
+        let reports = pool.drain();
+        assert_eq!(reports[0].output, Ok(JobOutput::Bits(expected)));
+    }
+
+    #[test]
+    fn batching_coalesces_compatible_jobs() {
+        let mut pool = RuntimePool::new(PoolConfig::with_shards(1));
+        for i in 0..4 {
+            pool.submit(
+                TenantId(i),
+                &WorkloadSpec::XorEncrypt {
+                    message: vec![i as u8 + 1; 64],
+                    key_seed: i as u64,
+                },
+            )
+            .unwrap();
+        }
+        let reports = pool.drain();
+        assert_eq!(reports.len(), 4);
+        // One digital tile each, 4 tiles per shard → one batch.
+        assert!(reports.iter().all(|r| r.batch == reports[0].batch));
+        assert_eq!(pool.telemetry().batches, 1);
+    }
+
+    #[test]
+    fn oversized_raw_demand_rejected_at_submit() {
+        let mut pool = RuntimePool::new(PoolConfig::with_shards(1));
+        let err = pool
+            .submit(
+                TenantId(0),
+                &WorkloadSpec::Raw {
+                    digital_tiles: 99,
+                    analog_tiles: 0,
+                    instructions: vec![],
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, CompileError::NeedsMoreDigitalTiles { .. }));
+    }
+
+    #[test]
+    fn tile_fault_is_contained_to_the_job() {
+        let mut pool = RuntimePool::new(PoolConfig::with_shards(1));
+        pool.submit(
+            TenantId(0),
+            &WorkloadSpec::Raw {
+                digital_tiles: 1,
+                analog_tiles: 0,
+                instructions: vec![CimInstruction::ReadRow { tile: 3, row: 0 }],
+            },
+        )
+        .unwrap();
+        pool.submit(
+            TenantId(1),
+            &WorkloadSpec::XorEncrypt {
+                message: vec![42; 16],
+                key_seed: 5,
+            },
+        )
+        .unwrap();
+        let reports = pool.drain();
+        assert_eq!(
+            reports[0].output,
+            Err(JobError::TileFault {
+                virtual_tile: 3,
+                granted: 1,
+                analog: false,
+            })
+        );
+        assert_eq!(reports[0].stats.instructions(), 0, "faulted job never ran");
+        assert!(reports[1].output.is_ok(), "co-tenant unaffected");
+        assert_eq!(pool.telemetry().failures, 1);
+    }
+
+    #[test]
+    fn store_without_result_rejected() {
+        let mut pool = RuntimePool::new(PoolConfig::with_shards(1));
+        pool.submit(
+            TenantId(0),
+            &WorkloadSpec::Raw {
+                digital_tiles: 1,
+                analog_tiles: 0,
+                instructions: vec![CimInstruction::StoreLast { tile: 0, row: 0 }],
+            },
+        )
+        .unwrap();
+        let reports = pool.drain();
+        assert_eq!(
+            reports[0].output,
+            Err(JobError::StoreWithoutResult { index: 0 })
+        );
+    }
+
+    #[test]
+    fn panicking_stream_fails_job_but_not_shard() {
+        let mut pool = RuntimePool::new(PoolConfig::with_shards(1));
+        // A width-mismatched write panics inside the tile; the shard
+        // must survive and serve the co-tenant normally.
+        pool.submit(
+            TenantId(0),
+            &WorkloadSpec::Raw {
+                digital_tiles: 1,
+                analog_tiles: 0,
+                instructions: vec![CimInstruction::WriteRow {
+                    tile: 0,
+                    row: 0,
+                    bits: BitVec::ones(3),
+                }],
+            },
+        )
+        .unwrap();
+        pool.submit(
+            TenantId(1),
+            &WorkloadSpec::XorEncrypt {
+                message: vec![9; 8],
+                key_seed: 2,
+            },
+        )
+        .unwrap();
+        let reports = pool.drain();
+        assert!(matches!(
+            reports[0].output,
+            Err(JobError::ExecutionPanic { .. })
+        ));
+        assert!(reports[1].output.is_ok());
+        assert_eq!(pool.telemetry().failures, 1);
+    }
+
+    #[test]
+    fn kinds_recorded_in_reports() {
+        let mut pool = RuntimePool::new(PoolConfig::with_shards(2));
+        pool.submit(
+            TenantId(0),
+            &WorkloadSpec::ScoutBulk {
+                op: ScoutOp::And,
+                rows: vec![BitVec::ones(32), BitVec::ones(32)],
+            },
+        )
+        .unwrap();
+        let reports = pool.drain();
+        assert_eq!(reports[0].kind, JobKind::ScoutBulk);
+        assert!(reports[0].shard < 2);
+    }
+}

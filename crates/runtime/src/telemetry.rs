@@ -1,0 +1,195 @@
+//! The telemetry layer: per-job, per-tenant and pool-wide accounting.
+//!
+//! Every executed job yields an [`ExecutionStats`] delta measured on its
+//! shard; the pool aggregates those deltas here. The invariant the
+//! integration tests pin: the pool-wide stats are exactly the sum of the
+//! per-job stats (scrubbing overhead is accounted separately as
+//! maintenance, never attributed to tenants).
+
+use crate::job::JobReport;
+use cim_core::ExecutionStats;
+use cim_crossbar::energy::OperationCost;
+use cim_simkit::units::Seconds;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Field-wise difference of two stats snapshots (`after - before`).
+pub fn stats_delta(after: &ExecutionStats, before: &ExecutionStats) -> ExecutionStats {
+    ExecutionStats {
+        row_writes: after.row_writes - before.row_writes,
+        row_reads: after.row_reads - before.row_reads,
+        logic_ops: after.logic_ops - before.logic_ops,
+        matrix_programs: after.matrix_programs - before.matrix_programs,
+        mvms: after.mvms - before.mvms,
+        energy: after.energy - before.energy,
+        busy_time: after.busy_time - before.busy_time,
+    }
+}
+
+/// Field-wise accumulation of one stats record into another.
+pub fn stats_accumulate(dst: &mut ExecutionStats, s: &ExecutionStats) {
+    dst.row_writes += s.row_writes;
+    dst.row_reads += s.row_reads;
+    dst.logic_ops += s.logic_ops;
+    dst.matrix_programs += s.matrix_programs;
+    dst.mvms += s.mvms;
+    dst.energy += s.energy;
+    dst.busy_time += s.busy_time;
+}
+
+/// Aggregated usage of one tenant.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TenantUsage {
+    /// Jobs completed successfully.
+    pub jobs: u64,
+    /// Jobs rejected by validation (tile faults etc.).
+    pub failed: u64,
+    /// Accumulated execution statistics of the tenant's jobs.
+    pub stats: ExecutionStats,
+}
+
+/// Pool-wide aggregation across jobs, tenants and shards.
+#[derive(Debug, Clone, Default)]
+pub struct PoolTelemetry {
+    /// Jobs reported (completed or failed).
+    pub jobs: u64,
+    /// Jobs that failed validation.
+    pub failures: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Sum of all per-job execution statistics.
+    pub pool: ExecutionStats,
+    /// Per-tenant aggregation, keyed by tenant id.
+    pub per_tenant: BTreeMap<u32, TenantUsage>,
+    /// Per-shard aggregation, indexed by shard.
+    pub per_shard: Vec<ExecutionStats>,
+    /// Scrubbing overhead (tile hygiene between tenants), kept separate
+    /// from tenant-attributed work.
+    pub maintenance: OperationCost,
+    /// Sum of the analytical speedup-vs-host estimates, for averaging.
+    speedup_sum: f64,
+}
+
+impl PoolTelemetry {
+    /// Creates telemetry for a pool of `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        PoolTelemetry {
+            per_shard: vec![ExecutionStats::default(); shards],
+            ..PoolTelemetry::default()
+        }
+    }
+
+    /// Folds one job report into the aggregates.
+    pub fn record(&mut self, report: &JobReport) {
+        self.jobs += 1;
+        let tenant = self.per_tenant.entry(report.tenant.0).or_default();
+        match &report.output {
+            Ok(_) => {
+                tenant.jobs += 1;
+                // Offload estimates describe executed work; failed jobs
+                // never touched the accelerator and must not inflate the
+                // pool-wide speedup.
+                self.speedup_sum += report.offload.speedup();
+            }
+            Err(_) => {
+                tenant.failed += 1;
+                self.failures += 1;
+            }
+        }
+        stats_accumulate(&mut tenant.stats, &report.stats);
+        stats_accumulate(&mut self.pool, &report.stats);
+        if let Some(shard) = self.per_shard.get_mut(report.shard) {
+            stats_accumulate(shard, &report.stats);
+        }
+        self.maintenance = self.maintenance.then(report.maintenance);
+    }
+
+    /// Mean analytical speedup-vs-host over successfully executed jobs.
+    pub fn mean_speedup(&self) -> f64 {
+        let executed = self.jobs - self.failures;
+        if executed == 0 {
+            0.0
+        } else {
+            self.speedup_sum / executed as f64
+        }
+    }
+
+    /// Total simulated accelerator busy time attributed to jobs.
+    pub fn simulated_busy(&self) -> Seconds {
+        self.pool.busy_time
+    }
+
+    /// Simulated makespan of the served work: shards execute in
+    /// parallel, so the pool finishes when its busiest shard does. This
+    /// is the number that scales with shard count (the simulator's own
+    /// wall-clock does not parallelize on a single host core).
+    pub fn simulated_makespan(&self) -> Seconds {
+        self.per_shard
+            .iter()
+            .map(|s| s.busy_time)
+            .fold(Seconds::ZERO, Seconds::max)
+    }
+}
+
+impl fmt::Display for PoolTelemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pool: {} jobs ({} failed) in {} batches, {} instructions",
+            self.jobs,
+            self.failures,
+            self.batches,
+            self.pool.instructions()
+        )?;
+        writeln!(
+            f,
+            "  energy {:.3e} J, busy {:.3e} s, maintenance {:.3e} J, mean est. speedup {:.1}x",
+            self.pool.energy.0,
+            self.pool.busy_time.0,
+            self.maintenance.energy.0,
+            self.mean_speedup()
+        )?;
+        for (tenant, usage) in &self.per_tenant {
+            writeln!(
+                f,
+                "  tenant {tenant}: {} ok / {} failed, {} instr, {:.3e} J",
+                usage.jobs,
+                usage.failed,
+                usage.stats.instructions(),
+                usage.stats.energy.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_simkit::units::Joules;
+
+    #[test]
+    fn delta_and_accumulate_are_inverse() {
+        let mut a = ExecutionStats::default();
+        let b = ExecutionStats {
+            row_writes: 3,
+            row_reads: 1,
+            logic_ops: 2,
+            matrix_programs: 0,
+            mvms: 4,
+            energy: Joules(1.5),
+            busy_time: Seconds(0.25),
+        };
+        stats_accumulate(&mut a, &b);
+        assert_eq!(a, b);
+        let d = stats_delta(&a, &b);
+        assert_eq!(d, ExecutionStats::default());
+    }
+
+    #[test]
+    fn telemetry_tracks_shards_independently() {
+        let t = PoolTelemetry::new(3);
+        assert_eq!(t.per_shard.len(), 3);
+        assert_eq!(t.mean_speedup(), 0.0);
+    }
+}

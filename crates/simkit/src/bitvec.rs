@@ -117,7 +117,11 @@ impl BitVec {
     ///
     /// Panics if `index >= len`.
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
     }
 
@@ -127,7 +131,11 @@ impl BitVec {
     ///
     /// Panics if `index >= len`.
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let mask = 1u64 << (index % WORD_BITS);
         if value {
             self.words[index / WORD_BITS] |= mask;
@@ -227,7 +235,11 @@ impl BitVec {
     /// Panics if `vs` is empty, lengths differ, or `vs.len()` is even.
     pub fn majority(vs: &[&Self]) -> Self {
         assert!(!vs.is_empty(), "majority of zero vectors");
-        assert!(vs.len() % 2 == 1, "majority requires an odd count, got {}", vs.len());
+        assert!(
+            vs.len() % 2 == 1,
+            "majority requires an odd count, got {}",
+            vs.len()
+        );
         let len = vs[0].len;
         for v in vs {
             assert_eq!(v.len, len, "bit vector length mismatch");

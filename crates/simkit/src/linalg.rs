@@ -60,7 +60,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "inconsistent row length");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix from a closure mapping `(row, col) → value`.

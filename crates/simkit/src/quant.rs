@@ -71,7 +71,10 @@ impl UniformQuantizer {
     /// Panics if `full_scale <= 0`, `bits < 2`, or `bits > 32`.
     pub fn mid_tread(bits: u32, full_scale: f64) -> Self {
         assert!(full_scale > 0.0, "full scale must be positive");
-        assert!(bits >= 2 && bits <= 32, "bits must be in 2..=32, got {bits}");
+        assert!(
+            (2..=32).contains(&bits),
+            "bits must be in 2..=32, got {bits}"
+        );
         Self::with_levels((1u64 << bits) - 1, -full_scale, full_scale)
     }
 

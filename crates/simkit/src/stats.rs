@@ -166,11 +166,7 @@ pub fn psnr_db(reference: &[f64], estimate: &[f64], peak: f64) -> f64 {
 pub fn accuracy<T: PartialEq>(truth: &[T], predicted: &[T]) -> f64 {
     assert_eq!(truth.len(), predicted.len(), "accuracy length mismatch");
     assert!(!truth.is_empty(), "accuracy of empty slices");
-    let correct = truth
-        .iter()
-        .zip(predicted)
-        .filter(|(t, p)| t == p)
-        .count();
+    let correct = truth.iter().zip(predicted).filter(|(t, p)| t == p).count();
     correct as f64 / truth.len() as f64
 }
 

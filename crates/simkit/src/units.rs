@@ -538,9 +538,7 @@ mod tests {
         assert!((Joules::from_micros(17.7).micro() - 17.7).abs() < 1e-9);
         assert!((Watts::from_milli(222.0).milli() - 222.0).abs() < 1e-9);
         assert!((Hertz::from_giga(2.5).0 - 2.5e9).abs() < 1e-3);
-        assert!(
-            (SquareMillimeters::from_square_micrometers(15_000.0).0 - 0.015).abs() < 1e-12
-        );
+        assert!((SquareMillimeters::from_square_micrometers(15_000.0).0 - 0.015).abs() < 1e-12);
     }
 
     #[test]

@@ -35,7 +35,10 @@ impl AdcModel {
     /// Panics if `bits == 0`, the sample rate is non-positive, or the FOM
     /// is non-positive.
     pub fn new(bits: u32, sample_rate: Hertz, fom: f64, area: SquareMillimeters) -> Self {
-        assert!(bits > 0 && bits <= 16, "ADC resolution out of range: {bits}");
+        assert!(
+            bits > 0 && bits <= 16,
+            "ADC resolution out of range: {bits}"
+        );
         assert!(sample_rate.0 > 0.0, "sample rate must be positive");
         assert!(fom > 0.0, "figure of merit must be positive");
         AdcModel {

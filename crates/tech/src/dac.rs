@@ -27,7 +27,10 @@ impl DacModel {
     ///
     /// Panics if `bits` is zero or above 16, or rates/FOM are non-positive.
     pub fn new(bits: u32, update_rate: Hertz, fom: f64, area: SquareMillimeters) -> Self {
-        assert!(bits > 0 && bits <= 16, "DAC resolution out of range: {bits}");
+        assert!(
+            bits > 0 && bits <= 16,
+            "DAC resolution out of range: {bits}"
+        );
         assert!(update_rate.0 > 0.0, "update rate must be positive");
         assert!(fom > 0.0, "figure of merit must be positive");
         DacModel {

@@ -185,9 +185,21 @@ mod tests {
     #[test]
     fn table1_utilization_percentages() {
         let u = AmpAcceleratorDesign::paper().utilization(&FpgaDevice::xcku115());
-        assert!((u.lut_frac * 100.0 - 46.4).abs() < 0.1, "LUT% {}", u.lut_frac * 100.0);
-        assert!((u.ff_frac * 100.0 - 13.6).abs() < 0.1, "FF% {}", u.ff_frac * 100.0);
-        assert!((u.bram_frac * 100.0 - 47.4).abs() < 0.1, "BRAM% {}", u.bram_frac * 100.0);
+        assert!(
+            (u.lut_frac * 100.0 - 46.4).abs() < 0.1,
+            "LUT% {}",
+            u.lut_frac * 100.0
+        );
+        assert!(
+            (u.ff_frac * 100.0 - 13.6).abs() < 0.1,
+            "FF% {}",
+            u.ff_frac * 100.0
+        );
+        assert!(
+            (u.bram_frac * 100.0 - 47.4).abs() < 0.1,
+            "BRAM% {}",
+            u.bram_frac * 100.0
+        );
         assert!(u.fits());
     }
 
@@ -207,7 +219,11 @@ mod tests {
         // The paper's text uses 26.6 W × 665 ns = 17.7 µJ; Table I lists
         // 26.4 W, giving 17.56 µJ. Accept within 1 %.
         let e = AmpAcceleratorDesign::paper().mvm_energy(1024);
-        assert!((e.micro() - 17.7).abs() / 17.7 < 0.01, "energy {} µJ", e.micro());
+        assert!(
+            (e.micro() - 17.7).abs() / 17.7 < 0.01,
+            "energy {} µJ",
+            e.micro()
+        );
     }
 
     #[test]

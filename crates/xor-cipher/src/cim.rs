@@ -166,7 +166,10 @@ mod tests {
         let mut engine = CimXorEngine::new(pad, 16);
         assert!(matches!(
             engine.encrypt(&[0u8; 4]),
-            Err(CipherError::LengthMismatch { expected: 16, actual: 4 })
+            Err(CipherError::LengthMismatch {
+                expected: 16,
+                actual: 4
+            })
         ));
     }
 
@@ -176,7 +179,7 @@ mod tests {
         let large_pad = OneTimePad::generate(1024, 25);
         let mut small = CimXorEngine::new(small_pad, 64);
         let mut large = CimXorEngine::new(large_pad, 64);
-        let (_, c_small) = small.encrypt(&vec![1u8; 64]).unwrap();
+        let (_, c_small) = small.encrypt(&[1u8; 64]).unwrap();
         let (_, c_large) = large.encrypt(&vec![1u8; 1024]).unwrap();
         assert!(c_large.energy.0 > 10.0 * c_small.energy.0);
         assert_eq!(large.key_loads(), 16);
@@ -186,7 +189,7 @@ mod tests {
     fn one_scouting_access_per_row() {
         let pad = OneTimePad::generate(128, 26);
         let mut engine = CimXorEngine::new(pad, 32);
-        engine.encrypt(&vec![0u8; 128]).unwrap();
+        engine.encrypt(&[0u8; 128]).unwrap();
         // 128 B in 32 B rows = 4 XOR accesses.
         assert_eq!(engine.tile.stats().scout_ops, 4);
     }

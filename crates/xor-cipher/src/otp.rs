@@ -88,11 +88,7 @@ impl OneTimePad {
                 actual: message.len(),
             });
         }
-        Ok(message
-            .iter()
-            .zip(&self.key)
-            .map(|(m, k)| m ^ k)
-            .collect())
+        Ok(message.iter().zip(&self.key).map(|(m, k)| m ^ k).collect())
     }
 
     /// Decrypts a ciphertext of exactly the pad length (XOR is an
@@ -159,7 +155,12 @@ mod tests {
         let expected = n as f64 / 256.0;
         assert!((s.mean - expected).abs() < 1e-9);
         // Poisson-ish spread: std ≈ sqrt(mean) ≪ mean.
-        assert!(s.std < 2.0 * expected.sqrt(), "std {} vs mean {}", s.std, s.mean);
+        assert!(
+            s.std < 2.0 * expected.sqrt(),
+            "std {} vs mean {}",
+            s.std,
+            s.mean
+        );
     }
 
     #[test]

@@ -31,11 +31,11 @@ fn main() {
     // Robustness: corrupt encoded queries with increasing bit-error
     // rates — the HD argument for tolerating device variability.
     let queries: Vec<(usize, cim_hdc::hypervector::Hypervector)> = (0..PAPER_GESTURES)
-        .flat_map(|g| {
-            (0..6).map(move |_| g)
-        })
+        .flat_map(|g| (0..6).map(move |_| g))
         .map(|g| {
-            let rec = task.source.record(g, 50, &mut cim_simkit::rng::seeded(900 + g as u64));
+            let rec = task
+                .source
+                .record(g, 50, &mut cim_simkit::rng::seeded(900 + g as u64));
             (g, task.encoder.encode_recording(&rec))
         })
         .collect();

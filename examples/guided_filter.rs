@@ -12,7 +12,14 @@ fn main() {
     let clean = GrayImage::step_edge(48, 12, 24, 0.15, 0.85);
     let noisy = clean.with_gaussian_noise(0.12, 3);
 
-    let guided = guided_filter(&noisy, &noisy, &GuidedParams { radius: 4, epsilon: 0.02 });
+    let guided = guided_filter(
+        &noisy,
+        &noisy,
+        &GuidedParams {
+            radius: 4,
+            epsilon: 0.02,
+        },
+    );
     let bilateral = bilateral_filter(
         &noisy,
         &BilateralParams {
@@ -26,7 +33,10 @@ fn main() {
     render(&noisy);
     println!("\nguided filter    (PSNR {:>5.2} dB):", guided.psnr(&clean));
     render(&guided);
-    println!("\nbilateral filter (PSNR {:>5.2} dB):", bilateral.psnr(&clean));
+    println!(
+        "\nbilateral filter (PSNR {:>5.2} dB):",
+        bilateral.psnr(&clean)
+    );
     render(&bilateral);
 
     // The memory-access argument of §III-A.

@@ -18,7 +18,10 @@ fn main() {
     let mut task = LanguageTask::train(classes, d, 3, 2500, 11);
 
     let software = task.accuracy(8, 200);
-    println!("software associative memory: {:.1}% accuracy", software * 100.0);
+    println!(
+        "software associative memory: {:.1}% accuracy",
+        software * 100.0
+    );
 
     // The same prototypes in a crossbar with realistic PCM noise.
     let prototypes = task.memory.finalize().to_vec();
@@ -36,8 +39,10 @@ fn main() {
     let mut query_energy = cim_simkit::units::Joules::ZERO;
     for c in 0..classes {
         for s in 0..8 {
-            let text = task.languages[c]
-                .sample_text(200, &mut cim_simkit::rng::seeded(5_000 + (c * 8 + s) as u64));
+            let text = task.languages[c].sample_text(
+                200,
+                &mut cim_simkit::rng::seeded(5_000 + (c * 8 + s) as u64),
+            );
             let query = task.encoder.encode_sequence(&text);
             let (label, _, cost) = cam.classify(&query);
             query_energy += cost.energy;

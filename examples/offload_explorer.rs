@@ -17,7 +17,10 @@ fn main() {
     let cim = CimSystem::paper_default();
 
     println!("offload landscape for a 32 GiB streaming workload\n");
-    println!("{:>4} {:>8} {:>8} | {:>9} {:>11}", "X%", "L1 miss", "L2 miss", "speedup", "energy gain");
+    println!(
+        "{:>4} {:>8} {:>8} | {:>9} {:>11}",
+        "X%", "L1 miss", "L2 miss", "speedup", "energy gain"
+    );
     println!("{}", "-".repeat(50));
     for &x in &[0.1, 0.3, 0.6, 0.9] {
         for &miss in &[0.1, 0.5, 1.0] {
@@ -42,11 +45,11 @@ fn main() {
     // A concrete Fig. 1(b)-style program: three hot loops + glue code.
     let mut program = Program::new(0.8, 0.6);
     program
-        .host(2e9)        // setup + aggregation
-        .cim_loop(6e9)    // loop 1: bitmap intersections
-        .cim_loop(3e9)    // loop 2: bitwise encryption pass
-        .host(0.5e9)      // result collection
-        .cim_loop(2e9);   // loop 3: scan
+        .host(2e9) // setup + aggregation
+        .cim_loop(6e9) // loop 1: bitmap intersections
+        .cim_loop(3e9) // loop 2: bitwise encryption pass
+        .host(0.5e9) // result collection
+        .cim_loop(2e9); // loop 3: scan
     let est = program.estimate(&conv, &cim);
     println!(
         "\nexample program ({} sections, X = {:.0}%): speedup {:.1}x, energy gain {:.1}x",

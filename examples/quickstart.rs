@@ -26,12 +26,24 @@ fn main() {
     // --- Scouting Logic: bit-wise ops inside the read periphery -------
     let a = BitVec::from_fn(64, |i| i % 2 == 0);
     let b = BitVec::from_fn(64, |i| i % 3 == 0);
-    acc.execute(CimInstruction::WriteRow { tile: 0, row: 0, bits: a.clone() });
-    acc.execute(CimInstruction::WriteRow { tile: 0, row: 1, bits: b.clone() });
+    acc.execute(CimInstruction::WriteRow {
+        tile: 0,
+        row: 0,
+        bits: a.clone(),
+    });
+    acc.execute(CimInstruction::WriteRow {
+        tile: 0,
+        row: 1,
+        bits: b.clone(),
+    });
 
     for op in [ScoutOp::Or, ScoutOp::And, ScoutOp::Xor] {
         let result = acc
-            .execute(CimInstruction::Logic { tile: 0, op, rows: vec![0, 1] })
+            .execute(CimInstruction::Logic {
+                tile: 0,
+                op,
+                rows: vec![0, 1],
+            })
             .into_bits()
             .expect("logic returns bits");
         let expect = match op {
@@ -48,10 +60,16 @@ fn main() {
 
     // --- Analog matrix-vector multiplication ---------------------------
     let m = Matrix::from_fn(8, 8, |i, j| ((i as f64) - (j as f64)) / 8.0);
-    acc.execute(CimInstruction::ProgramMatrix { tile: 0, matrix: m.clone() });
+    acc.execute(CimInstruction::ProgramMatrix {
+        tile: 0,
+        matrix: m.clone(),
+    });
     let x = vec![0.5, -0.25, 0.75, 0.0, 0.1, -0.6, 0.3, 0.9];
     let y = acc
-        .execute(CimInstruction::Mvm { tile: 0, x: x.clone() })
+        .execute(CimInstruction::Mvm {
+            tile: 0,
+            x: x.clone(),
+        })
         .into_vector()
         .expect("mvm returns a vector");
     let y_exact = m.matvec(&x);

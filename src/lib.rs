@@ -19,6 +19,9 @@
 //! 6. [`cim_core`] — the CIM accelerator: ISA, tiles, offload model.
 //! 7. Applications: [`cim_bitmap_db`], [`cim_xor_cipher`], [`cim_amp`],
 //!    [`cim_imgproc`], [`cim_nn`], [`cim_hdc`].
+//! 8. [`cim_runtime`] — the multi-tenant accelerator-pool runtime that
+//!    serves batched application workloads across shards (see the
+//!    "Serving workloads" section of README.md).
 
 pub use cim_amp;
 pub use cim_arch;
@@ -29,6 +32,7 @@ pub use cim_device;
 pub use cim_hdc;
 pub use cim_imgproc;
 pub use cim_nn;
+pub use cim_runtime;
 pub use cim_simkit;
 pub use cim_tech;
 pub use cim_xor_cipher;

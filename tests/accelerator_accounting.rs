@@ -55,8 +55,20 @@ fn per_instruction_costs_sum_to_stats() {
             matrix: Matrix::from_fn(12, 12, |i, j| ((i + j) % 4) as f64 - 1.5),
         },
     );
-    run(&mut acc, CimInstruction::Mvm { tile: 0, x: vec![0.3; 12] });
-    run(&mut acc, CimInstruction::MvmT { tile: 0, z: vec![0.2; 12] });
+    run(
+        &mut acc,
+        CimInstruction::Mvm {
+            tile: 0,
+            x: vec![0.3; 12],
+        },
+    );
+    run(
+        &mut acc,
+        CimInstruction::MvmT {
+            tile: 0,
+            z: vec![0.2; 12],
+        },
+    );
 
     let stats = acc.stats();
     assert_eq!(stats.instructions(), 21);

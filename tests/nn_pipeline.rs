@@ -20,7 +20,10 @@ fn full_chain_keeps_accuracy() {
     let mut q_net = float_net.clone();
     quantize_uniform(&mut q_net, 4);
     let q_acc = task.accuracy(&q_net, task.test_set());
-    assert!(q_acc >= float_acc - 0.1, "4-bit accuracy {q_acc} vs float {float_acc}");
+    assert!(
+        q_acc >= float_acc - 0.1,
+        "4-bit accuracy {q_acc} vs float {float_acc}"
+    );
 
     let (mut cbn, programming) = CrossbarNetwork::program(&q_net, AnalogParams::default(), 1);
     assert!(programming.energy.0 > 0.0);

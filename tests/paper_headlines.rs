@@ -37,8 +37,14 @@ fn section3b_crossbar_numbers() {
     let fpga = AmpAcceleratorDesign::paper();
     let power_ratio = fpga.dynamic_power().0 / b.total_power().0;
     let energy_ratio = fpga.mvm_energy(1024).0 / b.energy_per_read().0;
-    assert!((power_ratio - 120.0).abs() < 5.0, "power ratio {power_ratio}");
-    assert!((energy_ratio - 80.0).abs() < 4.0, "energy ratio {energy_ratio}");
+    assert!(
+        (power_ratio - 120.0).abs() < 5.0,
+        "power ratio {power_ratio}"
+    );
+    assert!(
+        (energy_ratio - 80.0).abs() < 4.0,
+        "energy ratio {energy_ratio}"
+    );
 }
 
 #[test]
@@ -75,8 +81,16 @@ fn figure4_shape() {
         .iter()
         .find(|p| (p.l1_miss - 0.5).abs() < 1e-9 && (p.l2_miss - 0.5).abs() < 1e-9)
         .unwrap();
-    assert!((4.0..=9.0).contains(&mid.energy_gain()), "{}", mid.energy_gain());
-    let best = sweeps[2].1.iter().map(|p| p.energy_gain()).fold(0.0, f64::max);
+    assert!(
+        (4.0..=9.0).contains(&mid.energy_gain()),
+        "{}",
+        mid.energy_gain()
+    );
+    let best = sweeps[2]
+        .1
+        .iter()
+        .map(|p| p.energy_gain())
+        .fold(0.0, f64::max);
     assert!((100.0..=250.0).contains(&best), "best energy gain {best}");
 }
 
@@ -101,8 +115,14 @@ fn section4b_hd_processor_factors() {
     let area = c.area_improvement();
     let energy = c.energy_improvement();
     let repl = c.replaceable_energy_improvement();
-    assert!((7.5..=10.5).contains(&area), "area improvement {area} (paper: 9x)");
-    assert!((4.0..=6.0).contains(&energy), "energy improvement {energy} (paper: 5x)");
+    assert!(
+        (7.5..=10.5).contains(&area),
+        "area improvement {area} (paper: 9x)"
+    );
+    assert!(
+        (4.0..=6.0).contains(&energy),
+        "energy improvement {energy} (paper: 5x)"
+    );
     assert!(
         (100.0..=1000.0).contains(&repl),
         "replaceable-only improvement {repl} (paper: 2-3 orders)"

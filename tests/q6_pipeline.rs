@@ -16,12 +16,23 @@ fn three_paths_agree_across_sizes_and_parameters() {
         let table = LineItemTable::generate(rows, rows as u64);
         for params in [
             Q6Params::tpch_default(),
-            Q6Params { year: 0, discount: 0, max_quantity: 10 },
-            Q6Params { year: 6, discount: 10, max_quantity: 50 },
+            Q6Params {
+                year: 0,
+                discount: 0,
+                max_quantity: 10,
+            },
+            Q6Params {
+                year: 6,
+                discount: 10,
+                max_quantity: 50,
+            },
         ] {
             let scan = q6_scan(&table, &params);
             let cpu = q6_bitmap_cpu(&table, &params);
-            assert_eq!(scan.matching_rows, cpu.result.matching_rows, "CPU plan, rows={rows}");
+            assert_eq!(
+                scan.matching_rows, cpu.result.matching_rows,
+                "CPU plan, rows={rows}"
+            );
             assert!((scan.revenue - cpu.result.revenue).abs() < 1e-6);
 
             let mut engine = Q6CimEngine::load(&table, 4096, 8);

@@ -1,0 +1,270 @@
+//! End-to-end tests of the `cim-runtime` serving path.
+//!
+//! Pins the three runtime invariants:
+//! 1. batched execution is bit-identical to sequential execution for a
+//!    fixed pool seed,
+//! 2. pool-wide telemetry equals the sum of per-job statistics,
+//! 3. tenants cannot read each other's tiles.
+
+use cim_repro::cim_bitmap_db::query::q6_scan;
+use cim_repro::cim_bitmap_db::tpch::{LineItemTable, Q6Params};
+use cim_repro::cim_core::isa::CimInstruction;
+use cim_repro::cim_core::ExecutionStats;
+use cim_repro::cim_crossbar::scouting::ScoutOp;
+use cim_repro::cim_runtime::{JobOutput, PoolConfig, RuntimePool, TenantId, WorkloadSpec};
+use cim_repro::cim_simkit::bitvec::BitVec;
+
+/// A mixed multi-tenant workload touching every compiled job family.
+fn mixed_workload() -> Vec<(TenantId, WorkloadSpec)> {
+    let mut jobs = Vec::new();
+    for i in 0..3u64 {
+        jobs.push((
+            TenantId(1),
+            WorkloadSpec::Q6Select {
+                rows: 900 + 300 * i as usize,
+                table_seed: 11 + i,
+                params: Q6Params::tpch_default(),
+            },
+        ));
+        jobs.push((
+            TenantId(2),
+            WorkloadSpec::XorEncrypt {
+                message: (0..200u32)
+                    .map(|b| (b as u8).wrapping_mul(7).wrapping_add(i as u8))
+                    .collect(),
+                key_seed: 40 + i,
+            },
+        ));
+        jobs.push((
+            TenantId(3),
+            WorkloadSpec::ScoutBulk {
+                op: ScoutOp::Or,
+                rows: (0..6)
+                    .map(|r| BitVec::from_fn(256, |j| (j + r + i as usize).is_multiple_of(5)))
+                    .collect(),
+            },
+        ));
+    }
+    jobs.push((
+        TenantId(4),
+        WorkloadSpec::HdcClassify {
+            classes: 6,
+            d: 2048,
+            ngram: 3,
+            train_len: 1200,
+            samples: 12,
+            sample_len: 200,
+        },
+    ));
+    jobs
+}
+
+fn submit_all(pool: &mut RuntimePool, jobs: &[(TenantId, WorkloadSpec)]) {
+    for (tenant, spec) in jobs {
+        pool.submit(*tenant, spec).expect("workload fits the pool");
+    }
+}
+
+#[test]
+fn batched_equals_sequential_for_fixed_seed() {
+    let jobs = mixed_workload();
+
+    let mut batched = RuntimePool::new(PoolConfig::with_shards(2));
+    submit_all(&mut batched, &jobs);
+    let batched_reports = batched.drain();
+
+    let mut sequential = RuntimePool::new(PoolConfig::with_shards(2));
+    submit_all(&mut sequential, &jobs);
+    let sequential_reports = sequential.drain_sequential();
+
+    assert_eq!(batched_reports.len(), sequential_reports.len());
+    for (b, s) in batched_reports.iter().zip(&sequential_reports) {
+        assert_eq!(b.job, s.job);
+        assert_eq!(b.output, s.output, "outputs differ for {}", b.job);
+        // Operation counts are schedule-invariant. Energy is not
+        // asserted bit-exact: coalesced jobs may lease different
+        // physical tiles, and per-device fabrication variation makes
+        // energy (not results) placement-dependent.
+        assert_eq!(b.stats.row_writes, s.stats.row_writes, "{}", b.job);
+        assert_eq!(b.stats.row_reads, s.stats.row_reads, "{}", b.job);
+        assert_eq!(b.stats.logic_ops, s.stats.logic_ops, "{}", b.job);
+        assert_eq!(
+            b.stats.matrix_programs, s.stats.matrix_programs,
+            "{}",
+            b.job
+        );
+        assert_eq!(b.stats.mvms, s.stats.mvms, "{}", b.job);
+        assert_eq!(b.shard, s.shard, "shard selection differs for {}", b.job);
+    }
+    // Batching actually batched: fewer batches than jobs.
+    assert!(batched.telemetry().batches < batched_reports.len() as u64);
+    assert_eq!(
+        sequential.telemetry().batches,
+        sequential_reports.len() as u64
+    );
+}
+
+#[test]
+fn pool_stats_equal_sum_of_job_stats() {
+    let mut pool = RuntimePool::new(PoolConfig::with_shards(2));
+    submit_all(&mut pool, &mixed_workload());
+    let reports = pool.drain();
+
+    let mut summed = ExecutionStats::default();
+    for r in &reports {
+        summed.row_writes += r.stats.row_writes;
+        summed.row_reads += r.stats.row_reads;
+        summed.logic_ops += r.stats.logic_ops;
+        summed.matrix_programs += r.stats.matrix_programs;
+        summed.mvms += r.stats.mvms;
+        summed.energy += r.stats.energy;
+        summed.busy_time += r.stats.busy_time;
+    }
+    let pool_stats = pool.telemetry().pool;
+    assert_eq!(pool_stats.row_writes, summed.row_writes);
+    assert_eq!(pool_stats.row_reads, summed.row_reads);
+    assert_eq!(pool_stats.logic_ops, summed.logic_ops);
+    assert_eq!(pool_stats.matrix_programs, summed.matrix_programs);
+    assert_eq!(pool_stats.mvms, summed.mvms);
+    assert!((pool_stats.energy.0 - summed.energy.0).abs() <= 1e-12 * summed.energy.0.abs());
+    assert!(
+        (pool_stats.busy_time.0 - summed.busy_time.0).abs() <= 1e-12 * summed.busy_time.0.abs()
+    );
+
+    // Per-tenant jobs add up to the total, and per-shard stats cover
+    // every executed instruction.
+    let tenant_jobs: u64 = pool
+        .telemetry()
+        .per_tenant
+        .values()
+        .map(|t| t.jobs + t.failed)
+        .sum();
+    assert_eq!(tenant_jobs, reports.len() as u64);
+    let shard_instr: u64 = pool
+        .telemetry()
+        .per_shard
+        .iter()
+        .map(|s| s.instructions())
+        .sum();
+    assert_eq!(shard_instr, pool_stats.instructions());
+}
+
+#[test]
+fn tenants_cannot_read_each_others_tiles() {
+    // Tenant A leases one tile and fills a row with a recognizable
+    // pattern. Tenant B then leases a tile on the same (single-shard)
+    // pool and reads the same row index: it must see scrubbed zeros,
+    // and any access outside its lease must fault.
+    let mut pool = RuntimePool::new(PoolConfig::with_shards(1));
+    let marker = BitVec::from_fn(1024, |j| j % 2 == 0);
+
+    pool.submit(
+        TenantId(10),
+        &WorkloadSpec::Raw {
+            digital_tiles: 1,
+            analog_tiles: 0,
+            instructions: vec![CimInstruction::WriteRow {
+                tile: 0,
+                row: 5,
+                bits: marker.clone(),
+            }],
+        },
+    )
+    .unwrap();
+    let first = pool.drain();
+    assert!(first[0].output.is_ok());
+    assert!(
+        first[0].maintenance.energy.0 > 0.0,
+        "lease scrubbing must actually write"
+    );
+
+    // Tenant B reads the row tenant A wrote (same physical tile 0, the
+    // pool has been drained so the lease was recycled).
+    pool.submit(
+        TenantId(11),
+        &WorkloadSpec::Raw {
+            digital_tiles: 1,
+            analog_tiles: 0,
+            instructions: vec![CimInstruction::ReadRow { tile: 0, row: 5 }],
+        },
+    )
+    .unwrap();
+    // And tenant B also tries to escape its one-tile lease outright.
+    pool.submit(
+        TenantId(11),
+        &WorkloadSpec::Raw {
+            digital_tiles: 1,
+            analog_tiles: 0,
+            instructions: vec![CimInstruction::ReadRow { tile: 1, row: 5 }],
+        },
+    )
+    .unwrap();
+    let second = pool.drain();
+
+    match second[0].output.as_ref().unwrap() {
+        JobOutput::Responses(responses) => {
+            let bits = responses[0].clone().into_bits().unwrap();
+            assert_eq!(bits.count_ones(), 0, "tenant B saw tenant A's data");
+            assert_ne!(bits, marker);
+        }
+        other => panic!("unexpected output {other:?}"),
+    }
+    assert!(
+        second[1].output.is_err(),
+        "out-of-lease access must tile-fault"
+    );
+}
+
+#[test]
+fn q6_and_hdc_serve_end_to_end() {
+    let mut pool = RuntimePool::new(PoolConfig::with_shards(2));
+    pool.submit(
+        TenantId(1),
+        &WorkloadSpec::Q6Select {
+            rows: 2500,
+            table_seed: 77,
+            params: Q6Params::tpch_default(),
+        },
+    )
+    .unwrap();
+    pool.submit(
+        TenantId(2),
+        &WorkloadSpec::HdcClassify {
+            classes: 8,
+            d: 2048,
+            ngram: 3,
+            train_len: 2000,
+            samples: 16,
+            sample_len: 300,
+        },
+    )
+    .unwrap();
+    let reports = pool.drain();
+
+    let expected = q6_scan(
+        &LineItemTable::generate(2500, 77),
+        &Q6Params::tpch_default(),
+    );
+    match reports[0].output.as_ref().unwrap() {
+        JobOutput::Q6(result) => {
+            assert_eq!(result.matching_rows, expected.matching_rows);
+            assert!((result.revenue - expected.revenue).abs() < 1e-6);
+        }
+        other => panic!("unexpected output {other:?}"),
+    }
+    match reports[1].output.as_ref().unwrap() {
+        JobOutput::Hdc(outcome) => {
+            assert_eq!(outcome.predictions.len(), 16);
+            assert!(
+                outcome.accuracy() > 0.8,
+                "in-array classification accuracy {}",
+                outcome.accuracy()
+            );
+        }
+        other => panic!("unexpected output {other:?}"),
+    }
+    // Telemetry saw both tenants and a positive offload estimate.
+    assert_eq!(pool.telemetry().per_tenant.len(), 2);
+    assert!(pool.telemetry().mean_speedup() > 1.0);
+    assert!(pool.telemetry().pool.mvms >= 16);
+}

@@ -1,0 +1,355 @@
+//! Offline stand-in for the subset of the `proptest` crate this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the `proptest!` macro, `prop_assert!`/`prop_assert_eq!`,
+//! `any::<T>()`, numeric range strategies and
+//! `prop::collection::vec(..)` with compatible surface syntax.
+//!
+//! It is a *random* property tester, not a *shrinking* one: each test
+//! runs its configured number of cases with inputs drawn from a
+//! deterministic per-test RNG (seeded from the test name), and a failing
+//! case reports its inputs without minimization. That keeps the
+//! workspace's property suites executable and reproducible offline.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SampleRange, SeedableRng};
+
+/// Per-suite configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property assertion.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// A source of random test inputs.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                self.clone().sample_single(rng)
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                self.clone().sample_single(rng)
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                self.clone().sample_single(rng)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+/// Marker strategy for "any value of `T`" (the stand-in for
+/// `proptest::arbitrary::any`).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Returns the uniform strategy over all values of `T`.
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        // Finite values spanning a wide dynamic range.
+        let mantissa = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let scale = (rng.next_u64() % 61) as i32 - 30;
+        (mantissa * 2.0 - 1.0) * 2f64.powi(scale)
+    }
+}
+
+/// Strategy over vectors with random length and elements.
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = if self.min >= self.max {
+            self.min
+        } else {
+            (self.min..self.max).sample_single(rng)
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Length specifications accepted by [`prop::collection::vec`].
+pub trait IntoSizeRange {
+    /// Returns the inclusive-lower, exclusive-upper length bounds.
+    fn bounds(self) -> (usize, usize);
+}
+
+impl IntoSizeRange for std::ops::Range<usize> {
+    fn bounds(self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+    fn bounds(self) -> (usize, usize) {
+        (*self.start(), *self.end() + 1)
+    }
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(self) -> (usize, usize) {
+        (self, self)
+    }
+}
+
+pub mod prop {
+    //! Namespace mirror of `proptest::prop`.
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use super::super::{IntoSizeRange, Strategy, VecStrategy};
+
+        /// Strategy over vectors of `element` with length in `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            let (min, max) = size.bounds();
+            VecStrategy { element, min, max }
+        }
+    }
+}
+
+/// Deterministic per-test RNG, seeded from the test path so every run
+/// explores the same cases.
+pub fn rng_for(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+pub mod prelude {
+    //! The glob-imported surface: `use proptest::prelude::*;`.
+
+    pub use super::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Fails the enclosing property if `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the enclosing property if the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}: {}",
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Fails the enclosing property if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} == {:?}",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// expands to a `#[test]` running the body over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property {} failed on case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -3.0f64..3.0, n in 1usize..10) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n), "n = {}", n);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn eq_assertions_pass(seed in any::<u64>()) {
+            prop_assert_eq!(seed, seed);
+            prop_assert_ne!(seed, seed.wrapping_add(1));
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_per_test_name() {
+        use rand::RngCore;
+        let mut a = super::rng_for("x::y");
+        let mut b = super::rng_for("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
