@@ -1,10 +1,11 @@
 //! Criterion bench: wall-clock of serving a mixed job set through the
-//! `cim-runtime` pool at 1, 2 and 4 shards — the perf trajectory of the
-//! serving path across PRs.
+//! `cim-runtime` pool at 1, 2 and 4 shards, plus amortized vs
+//! cold-load Q6 queries — the perf trajectory of the serving path
+//! across PRs.
 
 use cim_bitmap_db::tpch::Q6Params;
 use cim_crossbar::scouting::ScoutOp;
-use cim_runtime::{PoolConfig, RuntimePool, TenantId, WorkloadSpec};
+use cim_runtime::{DatasetSpec, JobHandle, PoolConfig, RuntimePool, TenantId, WorkloadSpec};
 use cim_simkit::bitvec::BitVec;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -46,19 +47,75 @@ fn bench_runtime_throughput(c: &mut Criterion) {
     group.sample_size(10);
     for shards in [1usize, 2, 4] {
         group.bench_with_input(
-            BenchmarkId::new("drain_mixed_12_jobs", shards),
+            BenchmarkId::new("serve_mixed_12_jobs", shards),
             &shards,
             |b, &shards| {
                 b.iter(|| {
-                    let mut pool = RuntimePool::new(PoolConfig::with_shards(shards));
-                    for (tenant, spec) in &jobs {
-                        pool.submit(*tenant, spec).unwrap();
-                    }
-                    black_box(pool.drain())
+                    let pool = RuntimePool::new(PoolConfig::with_shards(shards));
+                    let handles: Vec<JobHandle> = jobs
+                        .iter()
+                        .map(|(tenant, spec)| pool.client(*tenant).submit(spec).unwrap())
+                        .collect();
+                    black_box(pool.client(TenantId(0)).wait_all(handles))
                 })
             },
         );
     }
+    group.finish();
+}
+
+/// Repeated Q6 queries against one resident dataset vs the same
+/// queries cold-loading their bins every time: the wall-clock view of
+/// the resident-dataset amortization.
+fn bench_resident_vs_cold(c: &mut Criterion) {
+    const QUERIES: usize = 8;
+    let mut group = c.benchmark_group("runtime_resident_q6");
+    group.sample_size(10);
+
+    group.bench_function("cold_load_8_queries", |b| {
+        b.iter(|| {
+            let pool = RuntimePool::new(PoolConfig::with_shards(1));
+            let session = pool.client(TenantId(1));
+            let handles: Vec<JobHandle> = (0..QUERIES)
+                .map(|_| {
+                    session
+                        .submit(&WorkloadSpec::Q6Select {
+                            rows: 1000,
+                            table_seed: 42,
+                            params: Q6Params::tpch_default(),
+                        })
+                        .unwrap()
+                })
+                .collect();
+            black_box(session.wait_all(handles))
+        })
+    });
+
+    // The dataset is registered once, outside the measured loop — the
+    // steady-state serving cost is the query side alone.
+    let pool = RuntimePool::new(PoolConfig::with_shards(1));
+    let session = pool.client(TenantId(1));
+    let table = session
+        .register_dataset(&DatasetSpec::Q6Table {
+            rows: 1000,
+            table_seed: 42,
+        })
+        .unwrap();
+    group.bench_function("resident_8_queries", |b| {
+        b.iter(|| {
+            let handles: Vec<JobHandle> = (0..QUERIES)
+                .map(|_| {
+                    session
+                        .submit(&WorkloadSpec::Q6Query {
+                            dataset: table.id(),
+                            params: Q6Params::tpch_default(),
+                        })
+                        .unwrap()
+                })
+                .collect();
+            black_box(session.wait_all(handles))
+        })
+    });
     group.finish();
 }
 
@@ -68,6 +125,6 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(200))
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(10);
-    targets = bench_runtime_throughput
+    targets = bench_runtime_throughput, bench_resident_vs_cold
 }
 criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! The session layer: per-tenant clients and non-blocking job handles.
+//!
+//! A [`PoolClient`] is one tenant's session on a [`crate::RuntimePool`]
+//! (open one with [`crate::RuntimePool::client`]). Submission is
+//! non-blocking: [`PoolClient::submit`] compiles and enqueues the
+//! workload and returns a [`JobHandle`] immediately. Queued jobs
+//! dispatch to the shard workers when the pool flushes — explicitly via
+//! [`PoolClient::flush`], or implicitly the moment anything `wait`s —
+//! so a session can stream submissions while earlier flushed work
+//! executes, then collect results with [`JobHandle::wait`] or
+//! [`PoolClient::wait_all`].
+//!
+//! Sessions also own resident data: [`PoolClient::register_dataset`]
+//! loads a [`crate::DatasetSpec`] into pinned tiles once and returns a
+//! reference-counted [`crate::DatasetHandle`] whose queries
+//! ([`crate::WorkloadSpec::Q6Query`] / [`crate::WorkloadSpec::HdcQuery`])
+//! skip the resident-data writes entirely.
+
+use crate::compile::CompileError;
+use crate::dataset::{DatasetHandle, DatasetSpec};
+use crate::job::{JobId, JobReport, JobStatus, TenantId, WorkloadSpec};
+use crate::schedule::PoolShared;
+use std::sync::Arc;
+
+/// One tenant's session on the pool.
+///
+/// Cheap to clone and usable from any thread; every clone shares the
+/// same tenant identity and pool.
+#[derive(Debug, Clone)]
+pub struct PoolClient {
+    shared: Arc<PoolShared>,
+    tenant: TenantId,
+}
+
+impl PoolClient {
+    pub(crate) fn new(shared: Arc<PoolShared>, tenant: TenantId) -> Self {
+        PoolClient { shared, tenant }
+    }
+
+    /// The tenant this session submits as.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// Compiles and enqueues a workload, returning a non-blocking
+    /// handle to its eventual report.
+    ///
+    /// Compilation errors (workload does not fit the pool geometry,
+    /// unknown or foreign dataset, empty work) surface immediately;
+    /// execution errors surface in the report's `output`.
+    pub fn submit(&self, spec: &WorkloadSpec) -> Result<JobHandle, CompileError> {
+        let job = self.shared.submit_spec(self.tenant, spec, true)?;
+        Ok(JobHandle {
+            shared: Arc::clone(&self.shared),
+            job,
+        })
+    }
+
+    /// Loads a dataset into pool-managed tiles and returns the lease.
+    ///
+    /// Blocks until the resident data is written (the one-time cost the
+    /// lease amortizes); queries against the returned handle then carry
+    /// only query-side work. The lease lives until the last clone of
+    /// the handle drops, at which point the tiles are scrubbed and
+    /// freed.
+    pub fn register_dataset(&self, spec: &DatasetSpec) -> Result<DatasetHandle, CompileError> {
+        let (id, shard) = self.shared.register_dataset(self.tenant, spec)?;
+        Ok(DatasetHandle::new(
+            Arc::clone(&self.shared),
+            id,
+            self.tenant,
+            shard,
+        ))
+    }
+
+    /// Dispatches every queued job (pool-wide, all sessions) to the
+    /// shard workers without blocking. Queued jobs coalesce into
+    /// batches at flush time, so flushing after a burst of submissions
+    /// preserves batching; results arrive while the session continues.
+    pub fn flush(&self) {
+        self.shared.flush();
+    }
+
+    /// Completion drain: flushes, waits for every handle and returns
+    /// their reports sorted by job id.
+    pub fn wait_all(&self, handles: Vec<JobHandle>) -> Vec<JobReport> {
+        self.shared.flush();
+        let mut handles = handles;
+        handles.sort_by_key(|h| h.id());
+        handles.into_iter().map(JobHandle::wait).collect()
+    }
+}
+
+/// A non-blocking handle to one submitted job.
+///
+/// Obtained from [`PoolClient::submit`]. [`JobHandle::poll`] observes
+/// progress without blocking; [`JobHandle::wait`] consumes the handle
+/// and returns the [`JobReport`]. Dropping the handle without waiting
+/// abandons the report (the job still executes and is still counted in
+/// telemetry).
+#[derive(Debug)]
+pub struct JobHandle {
+    shared: Arc<PoolShared>,
+    job: JobId,
+}
+
+impl JobHandle {
+    /// The job's pool-wide id.
+    pub fn id(&self) -> JobId {
+        self.job
+    }
+
+    /// Where the job currently is, without blocking. `Queued` means the
+    /// pool has not flushed since submission — flush (or wait) to make
+    /// progress.
+    pub fn poll(&self) -> JobStatus {
+        self.shared.poll_job(self.job)
+    }
+
+    /// Flushes the pool if needed and blocks until the job's report is
+    /// ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the [`crate::RuntimePool`] is dropped before the
+    /// report arrives.
+    pub fn wait(self) -> JobReport {
+        self.shared.wait_job(self.job)
+        // `Drop` runs next but finds the slot already taken: no-op.
+    }
+}
+
+impl Drop for JobHandle {
+    fn drop(&mut self) {
+        self.shared.abandon_job(self.job);
+    }
+}

@@ -17,7 +17,8 @@
 //! so an access never reads the row it is about to overwrite — the same
 //! discipline as `cim_bitmap_db::query::Q6CimEngine`.
 
-use crate::job::{HdcOutcome, JobId, JobKind, JobOutput, TenantId, WorkloadSpec};
+use crate::dataset::{DatasetSpec, ResidentPayload, ResidentView};
+use crate::job::{DatasetId, HdcOutcome, JobId, JobKind, JobOutput, TenantId, WorkloadSpec};
 use crate::schedule::PoolConfig;
 use cim_bitmap_db::query::{q6_result_from_selection, Q6Indexes};
 use cim_bitmap_db::tpch::{LineItemTable, Q6Params, DISCOUNT_LEVELS, MAX_QUANTITY, SHIP_MONTHS};
@@ -30,6 +31,7 @@ use cim_simkit::linalg::Matrix;
 use cim_simkit::rng::seeded;
 use cim_xor_cipher::otp::OneTimePad;
 use std::fmt;
+use std::sync::Arc;
 
 /// Digital tiles and analog tiles a job needs simultaneously.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,8 +59,9 @@ pub enum Finalizer {
     /// Reassemble per-tile selections and aggregate revenue on the host.
     Q6 {
         /// The table the query ran over (aggregation is host-side float
-        /// work, exactly as in the paper's execution model).
-        table: LineItemTable,
+        /// work, exactly as in the paper's execution model). Shared so
+        /// resident-dataset queries don't copy the table per job.
+        table: Arc<LineItemTable>,
         /// Query parameters.
         params: Q6Params,
         /// Entry count per tile, in virtual tile order.
@@ -166,6 +169,11 @@ pub struct CompiledJob {
     pub tenant: TenantId,
     /// Workload family (drives batch compatibility).
     pub kind: JobKind,
+    /// The resident dataset the job runs against, if any: the
+    /// scheduler routes the job to the dataset's shard and maps its
+    /// virtual tiles onto the dataset's pinned tiles instead of
+    /// granting a fresh lease.
+    pub dataset: Option<DatasetId>,
     /// Tiles the job must hold while executing.
     pub demand: TileDemand,
     /// The instruction stream, over virtual tile indices `0..demand`.
@@ -257,6 +265,32 @@ pub enum CompileError {
         /// The requested fan-in.
         fan_in: usize,
     },
+    /// A query referenced a dataset id the pool has never seen (or one
+    /// already fully released).
+    UnknownDataset {
+        /// The offending id.
+        dataset: DatasetId,
+    },
+    /// A query referenced a dataset owned by another tenant. Datasets
+    /// are isolation domains: only the registering tenant may read one.
+    DatasetAccessDenied {
+        /// The dataset.
+        dataset: DatasetId,
+        /// Its owner.
+        owner: TenantId,
+    },
+    /// A query's workload family does not match the dataset's kind
+    /// (e.g. a [`WorkloadSpec::Q6Query`] against HDC prototypes).
+    DatasetKindMismatch {
+        /// The dataset.
+        dataset: DatasetId,
+    },
+    /// The dataset's load program failed on the shard; the registration
+    /// is rolled back.
+    DatasetLoadFailed {
+        /// The captured failure message.
+        message: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -289,6 +323,18 @@ impl fmt::Display for CompileError {
             CompileError::UnsupportedFanIn { op, fan_in } => {
                 write!(f, "{op:?} does not support fan-in {fan_in}")
             }
+            CompileError::UnknownDataset { dataset } => {
+                write!(f, "{dataset} is not registered with this pool")
+            }
+            CompileError::DatasetAccessDenied { dataset, owner } => {
+                write!(f, "{dataset} is owned by {owner}")
+            }
+            CompileError::DatasetKindMismatch { dataset } => {
+                write!(f, "query kind does not match what {dataset} holds")
+            }
+            CompileError::DatasetLoadFailed { message } => {
+                write!(f, "dataset load program failed: {message}")
+            }
         }
     }
 }
@@ -298,20 +344,56 @@ impl std::error::Error for CompileError {}
 /// Scratch rows reserved at the top of a Q6 tile: two per predicate.
 const Q6_SCRATCH_ROWS: usize = 6;
 
+/// Row bases of the Q6 tile layout: `(month, discount, quantity,
+/// scratch)`. Resident bins occupy `month..scratch`; queries reduce
+/// into `scratch..scratch + Q6_SCRATCH_ROWS`.
+fn q6_row_bases() -> (usize, usize, usize, usize) {
+    let month_base = 0usize;
+    let discount_base = SHIP_MONTHS as usize;
+    let quantity_base = discount_base + DISCOUNT_LEVELS as usize;
+    let scratch_base = quantity_base + MAX_QUANTITY as usize;
+    (month_base, discount_base, quantity_base, scratch_base)
+}
+
 /// Lowers a workload into a [`CompiledJob`].
 ///
 /// `seed` is the job's private noise stream; `window_base` is where the
 /// scheduler placed the job's resident window in the extended address
-/// space.
-pub fn compile(
+/// space. `resident` is the record of the dataset a
+/// [`WorkloadSpec::Q6Query`] / [`WorkloadSpec::HdcQuery`] runs against
+/// (the scheduler resolves and validates it before compiling; plain
+/// workloads pass `None`).
+pub(crate) fn compile(
     spec: &WorkloadSpec,
     job: JobId,
     tenant: TenantId,
     cfg: &PoolConfig,
     seed: u64,
     window_base: u64,
+    resident: Option<&ResidentView>,
 ) -> Result<CompiledJob, CompileError> {
     match spec {
+        WorkloadSpec::Q6Query { dataset, params } => {
+            let record = resident.expect("scheduler resolves the dataset before compiling");
+            compile_q6_query(*dataset, record, *params, job, tenant, cfg, seed)
+        }
+        WorkloadSpec::HdcQuery {
+            dataset,
+            samples,
+            sample_len,
+        } => {
+            let record = resident.expect("scheduler resolves the dataset before compiling");
+            compile_hdc_query(
+                *dataset,
+                record,
+                *samples,
+                *sample_len,
+                job,
+                tenant,
+                cfg,
+                seed,
+            )
+        }
         WorkloadSpec::Q6Select {
             rows,
             table_seed,
@@ -359,6 +441,7 @@ pub fn compile(
             job,
             tenant,
             kind: JobKind::Raw,
+            dataset: None,
             demand: TileDemand {
                 digital: *digital_tiles,
                 analog: *analog_tiles,
@@ -441,24 +524,13 @@ fn emit_reduce(
     acc.expect("reduction produced a result")
 }
 
-#[allow(clippy::too_many_arguments)]
-fn compile_q6(
-    rows: usize,
-    table_seed: u64,
-    params: Q6Params,
-    job: JobId,
-    tenant: TenantId,
-    cfg: &PoolConfig,
-    seed: u64,
-    window_base: u64,
-) -> Result<CompiledJob, CompileError> {
+/// Validates a Q6 footprint against the pool geometry and returns the
+/// digital tile count it needs.
+fn q6_footprint(rows: usize, cfg: &PoolConfig) -> Result<usize, CompileError> {
     if rows == 0 {
         return Err(CompileError::EmptyWorkload);
     }
-    let month_base = 0usize;
-    let discount_base = SHIP_MONTHS as usize;
-    let quantity_base = discount_base + DISCOUNT_LEVELS as usize;
-    let scratch_base = quantity_base + MAX_QUANTITY as usize;
+    let (_, _, _, scratch_base) = q6_row_bases();
     let rows_needed = scratch_base + Q6_SCRATCH_ROWS;
     if rows_needed > cfg.tile_rows {
         return Err(CompileError::NeedsMoreTileRows {
@@ -473,15 +545,107 @@ fn compile_q6(
             available: cfg.digital_tiles,
         });
     }
+    Ok(tiles)
+}
 
-    let table = LineItemTable::generate(rows, table_seed);
-    let idx = Q6Indexes::build(&table);
-    let [(mlo, mhi), (dlo, dhi), (qlo, qhi)] = Q6Indexes::predicate_ranges(&params);
+/// Emits the resident-side writes of one Q6 tile: every bitmap bin of
+/// the three predicate indexes, padded to the tile width.
+fn emit_q6_bin_writes(
+    instructions: &mut Vec<CimInstruction>,
+    idx: &Q6Indexes,
+    tile: usize,
+    start: usize,
+    width: usize,
+    cfg: &PoolConfig,
+) {
+    let (month_base, discount_base, quantity_base, _) = q6_row_bases();
+    for (index, base) in [
+        (&idx.month, month_base),
+        (&idx.discount, discount_base),
+        (&idx.quantity, quantity_base),
+    ] {
+        for b in 0..index.bin_count() {
+            let bits = BitVec::from_fn(cfg.tile_cols, |j| j < width && index.bin(b).get(start + j));
+            instructions.push(CimInstruction::WriteRow {
+                tile,
+                row: base + b,
+                bits,
+            });
+        }
+    }
+}
+
+/// Emits the query-side reductions of one Q6 tile (predicate ORs, final
+/// AND) and records the AND as the tile's output.
+fn emit_q6_query(
+    instructions: &mut Vec<CimInstruction>,
+    outputs: &mut Vec<usize>,
+    params: &Q6Params,
+    tile: usize,
+    cfg: &PoolConfig,
+) {
+    let (month_base, discount_base, quantity_base, scratch_base) = q6_row_bases();
+    let [(mlo, mhi), (dlo, dhi), (qlo, qhi)] = Q6Indexes::predicate_ranges(params);
     let month_rows: Vec<usize> = (mlo..=mhi).map(|m| month_base + m as usize).collect();
     let discount_rows: Vec<usize> = (dlo..=dhi).map(|d| discount_base + d as usize).collect();
     let quantity_rows: Vec<usize> = (qlo..=qhi)
         .map(|q| quantity_base + (q as usize - 1))
         .collect();
+    let m_row = emit_reduce(
+        instructions,
+        tile,
+        &month_rows,
+        scratch_base,
+        scratch_base + 1,
+        cfg.scout_fan_in,
+        ScoutOp::Or,
+    );
+    let d_row = emit_reduce(
+        instructions,
+        tile,
+        &discount_rows,
+        scratch_base + 2,
+        scratch_base + 3,
+        cfg.scout_fan_in,
+        ScoutOp::Or,
+    );
+    let q_row = emit_reduce(
+        instructions,
+        tile,
+        &quantity_rows,
+        scratch_base + 4,
+        scratch_base + 5,
+        cfg.scout_fan_in,
+        ScoutOp::Or,
+    );
+    instructions.push(CimInstruction::Logic {
+        tile,
+        op: ScoutOp::And,
+        rows: vec![m_row, d_row, q_row],
+    });
+    outputs.push(instructions.len() - 1);
+}
+
+/// Bytes of Q6 bins resident in `tiles` tiles.
+fn q6_resident_bytes(tiles: usize, cfg: &PoolConfig) -> u64 {
+    let bin_rows = (SHIP_MONTHS as usize + DISCOUNT_LEVELS as usize + MAX_QUANTITY as usize) as u64;
+    bin_rows * tiles as u64 * cfg.tile_cols.div_ceil(8) as u64
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compile_q6(
+    rows: usize,
+    table_seed: u64,
+    params: Q6Params,
+    job: JobId,
+    tenant: TenantId,
+    cfg: &PoolConfig,
+    seed: u64,
+    window_base: u64,
+) -> Result<CompiledJob, CompileError> {
+    let tiles = q6_footprint(rows, cfg)?;
+    let table = LineItemTable::generate(rows, table_seed);
+    let idx = Q6Indexes::build(&table);
 
     let mut instructions = Vec::new();
     let mut outputs = Vec::new();
@@ -490,63 +654,16 @@ fn compile_q6(
     for t in 0..tiles {
         let width = cfg.tile_cols.min(rows - start);
         widths.push(width);
-        for (index, base) in [
-            (&idx.month, month_base),
-            (&idx.discount, discount_base),
-            (&idx.quantity, quantity_base),
-        ] {
-            for b in 0..index.bin_count() {
-                let bits =
-                    BitVec::from_fn(cfg.tile_cols, |j| j < width && index.bin(b).get(start + j));
-                instructions.push(CimInstruction::WriteRow {
-                    tile: t,
-                    row: base + b,
-                    bits,
-                });
-            }
-        }
-        let m_row = emit_reduce(
-            &mut instructions,
-            t,
-            &month_rows,
-            scratch_base,
-            scratch_base + 1,
-            cfg.scout_fan_in,
-            ScoutOp::Or,
-        );
-        let d_row = emit_reduce(
-            &mut instructions,
-            t,
-            &discount_rows,
-            scratch_base + 2,
-            scratch_base + 3,
-            cfg.scout_fan_in,
-            ScoutOp::Or,
-        );
-        let q_row = emit_reduce(
-            &mut instructions,
-            t,
-            &quantity_rows,
-            scratch_base + 4,
-            scratch_base + 5,
-            cfg.scout_fan_in,
-            ScoutOp::Or,
-        );
-        instructions.push(CimInstruction::Logic {
-            tile: t,
-            op: ScoutOp::And,
-            rows: vec![m_row, d_row, q_row],
-        });
-        outputs.push(instructions.len() - 1);
+        emit_q6_bin_writes(&mut instructions, &idx, t, start, width, cfg);
+        emit_q6_query(&mut instructions, &mut outputs, &params, t, cfg);
         start += width;
     }
 
-    let bin_rows = (SHIP_MONTHS as usize + DISCOUNT_LEVELS as usize + MAX_QUANTITY as usize) as u64;
-    let row_bytes = cfg.tile_cols.div_ceil(8) as u64;
     Ok(CompiledJob {
         job,
         tenant,
         kind: JobKind::Q6Select,
+        dataset: None,
         demand: TileDemand {
             digital: tiles,
             analog: 0,
@@ -554,12 +671,12 @@ fn compile_q6(
         instructions,
         outputs,
         finalizer: Finalizer::Q6 {
-            table,
+            table: Arc::new(table),
             params,
             widths,
         },
         placement: digital_placement(window_base, tiles, cfg),
-        resident_bytes: bin_rows * tiles as u64 * row_bytes,
+        resident_bytes: q6_resident_bytes(tiles, cfg),
         host_profile: HostProfile {
             accel_fraction: 0.9,
             l1_miss: 1.0,
@@ -567,6 +684,213 @@ fn compile_q6(
         },
         seed,
     })
+}
+
+/// A query job against a resident Q6 dataset: reductions only, lowered
+/// onto the dataset's virtual tile order. The resident-data writes were
+/// paid once at [`compile_dataset_load`] time.
+#[allow(clippy::too_many_arguments)]
+fn compile_q6_query(
+    dataset: DatasetId,
+    record: &ResidentView,
+    params: Q6Params,
+    job: JobId,
+    tenant: TenantId,
+    cfg: &PoolConfig,
+    seed: u64,
+) -> Result<CompiledJob, CompileError> {
+    let ResidentPayload::Q6 { table, widths } = &record.payload else {
+        return Err(CompileError::DatasetKindMismatch { dataset });
+    };
+    let tiles = record.digital_tiles;
+    let mut instructions = Vec::new();
+    let mut outputs = Vec::new();
+    for t in 0..tiles {
+        emit_q6_query(&mut instructions, &mut outputs, &params, t, cfg);
+    }
+    Ok(CompiledJob {
+        job,
+        tenant,
+        kind: JobKind::Q6Query,
+        dataset: Some(dataset),
+        demand: TileDemand {
+            digital: tiles,
+            analog: 0,
+        },
+        instructions,
+        outputs,
+        finalizer: Finalizer::Q6 {
+            table: Arc::clone(table),
+            params,
+            widths: widths.clone(),
+        },
+        placement: record.placement,
+        resident_bytes: record.resident_bytes,
+        host_profile: HostProfile {
+            accel_fraction: 0.9,
+            l1_miss: 1.0,
+            l2_miss: 1.0,
+        },
+        seed,
+    })
+}
+
+/// A query job against resident HDC prototypes: one MVM per sample, no
+/// matrix programming.
+#[allow(clippy::too_many_arguments)]
+fn compile_hdc_query(
+    dataset: DatasetId,
+    record: &ResidentView,
+    samples: usize,
+    sample_len: usize,
+    job: JobId,
+    tenant: TenantId,
+    cfg: &PoolConfig,
+    seed: u64,
+) -> Result<CompiledJob, CompileError> {
+    let ResidentPayload::Hdc { task, classes, d } = &record.payload else {
+        return Err(CompileError::DatasetKindMismatch { dataset });
+    };
+    if samples == 0 || sample_len == 0 {
+        return Err(CompileError::EmptyWorkload);
+    }
+    let mut instructions = Vec::with_capacity(samples);
+    let mut outputs = Vec::with_capacity(samples);
+    let mut expected = Vec::with_capacity(samples);
+    let mut sample_rng = seeded(crate::mix_seed(seed, 0x5A17));
+    for i in 0..samples {
+        let class = i % classes;
+        let text = task.languages[class].sample_text(sample_len, &mut sample_rng);
+        let query = task.encoder.encode_sequence(&text);
+        let x: Vec<f64> = (0..cfg.analog_cols)
+            .map(|j| {
+                if j < *d && query.bits().get(j) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        instructions.push(CimInstruction::Mvm { tile: 0, x });
+        outputs.push(instructions.len() - 1);
+        expected.push(class);
+    }
+    Ok(CompiledJob {
+        job,
+        tenant,
+        kind: JobKind::HdcQuery,
+        dataset: Some(dataset),
+        demand: TileDemand {
+            digital: 0,
+            analog: 1,
+        },
+        instructions,
+        outputs,
+        finalizer: Finalizer::Hdc {
+            classes: *classes,
+            expected,
+        },
+        placement: None,
+        resident_bytes: record.resident_bytes,
+        host_profile: HostProfile {
+            accel_fraction: 0.85,
+            l1_miss: 0.9,
+            l2_miss: 0.9,
+        },
+        seed,
+    })
+}
+
+/// A dataset's load program lowered over virtual tiles, plus the
+/// host-side payload queries against it will need.
+#[derive(Debug)]
+pub(crate) struct DatasetProgram {
+    /// Resident-data writes (Q6 bin rows or one `ProgramMatrix`), over
+    /// virtual tile indices `0..demand`.
+    pub instructions: Vec<CimInstruction>,
+    /// Tiles the dataset pins for its whole lifetime.
+    pub demand: TileDemand,
+    /// Host-side query/finalization payload.
+    pub payload: ResidentPayload,
+    /// Bytes resident in the pinned tiles.
+    pub resident_bytes: u64,
+}
+
+/// Lowers a [`DatasetSpec`] into its one-time load program.
+pub(crate) fn compile_dataset_load(
+    spec: &DatasetSpec,
+    cfg: &PoolConfig,
+    seed: u64,
+) -> Result<DatasetProgram, CompileError> {
+    match spec {
+        DatasetSpec::Q6Table { rows, table_seed } => {
+            let tiles = q6_footprint(*rows, cfg)?;
+            let table = LineItemTable::generate(*rows, *table_seed);
+            let idx = Q6Indexes::build(&table);
+            let mut instructions = Vec::new();
+            let mut widths = Vec::with_capacity(tiles);
+            let mut start = 0;
+            for t in 0..tiles {
+                let width = cfg.tile_cols.min(*rows - start);
+                widths.push(width);
+                emit_q6_bin_writes(&mut instructions, &idx, t, start, width, cfg);
+                start += width;
+            }
+            Ok(DatasetProgram {
+                instructions,
+                demand: TileDemand {
+                    digital: tiles,
+                    analog: 0,
+                },
+                payload: ResidentPayload::Q6 {
+                    table: Arc::new(table),
+                    widths,
+                },
+                resident_bytes: q6_resident_bytes(tiles, cfg),
+            })
+        }
+        DatasetSpec::HdcPrototypes {
+            classes,
+            d,
+            ngram,
+            train_len,
+        } => {
+            if *classes == 0 {
+                return Err(CompileError::EmptyWorkload);
+            }
+            if *classes > cfg.analog_rows || *d > cfg.analog_cols {
+                return Err(CompileError::AnalogShapeTooSmall {
+                    required: (*classes, *d),
+                    available: (cfg.analog_rows, cfg.analog_cols),
+                });
+            }
+            let mut task = LanguageTask::train(*classes, *d, *ngram, *train_len, seed);
+            let prototypes = task.memory.finalize().to_vec();
+            let weights = Matrix::from_fn(cfg.analog_rows, cfg.analog_cols, |r, c| {
+                if r < *classes && c < *d && prototypes[r].bits().get(c) {
+                    1.0
+                } else {
+                    0.0
+                }
+            });
+            Ok(DatasetProgram {
+                instructions: vec![CimInstruction::ProgramMatrix {
+                    tile: 0,
+                    matrix: weights,
+                }],
+                demand: TileDemand {
+                    digital: 0,
+                    analog: 1,
+                },
+                payload: ResidentPayload::Hdc {
+                    task: Arc::new(task),
+                    classes: *classes,
+                    d: *d,
+                },
+                resident_bytes: (*classes * *d) as u64 / 8,
+            })
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -634,6 +958,7 @@ fn compile_hdc(
         job,
         tenant,
         kind: JobKind::HdcClassify,
+        dataset: None,
         demand: TileDemand {
             digital: 0,
             analog: 1,
@@ -705,6 +1030,7 @@ fn compile_xor(
         job,
         tenant,
         kind: JobKind::XorEncrypt,
+        dataset: None,
         demand: TileDemand {
             digital: 1,
             analog: 0,
@@ -796,6 +1122,7 @@ fn compile_scout(
         job,
         tenant,
         kind: JobKind::ScoutBulk,
+        dataset: None,
         demand: TileDemand {
             digital: 1,
             analog: 0,
@@ -830,7 +1157,7 @@ mod tests {
             table_seed: 9,
             params: Q6Params::tpch_default(),
         };
-        let c = compile(&spec, JobId(0), TenantId(1), &cfg(), 42, 0x1000).unwrap();
+        let c = compile(&spec, JobId(0), TenantId(1), &cfg(), 42, 0x1000, None).unwrap();
         assert_eq!(c.demand.digital, 2);
         assert_eq!(c.outputs.len(), 2);
         // 145 bin writes per tile, plus reductions, plus one AND per tile.
@@ -855,7 +1182,7 @@ mod tests {
             table_seed: 5,
             params: Q6Params::tpch_default(),
         };
-        let c = compile(&spec, JobId(0), TenantId(1), &cfg(), 1, 0).unwrap();
+        let c = compile(&spec, JobId(0), TenantId(1), &cfg(), 1, 0, None).unwrap();
         let logic = c
             .instructions
             .iter()
@@ -880,7 +1207,7 @@ mod tests {
             params: Q6Params::tpch_default(),
         };
         assert!(matches!(
-            compile(&spec, JobId(0), TenantId(0), &small, 0, 0),
+            compile(&spec, JobId(0), TenantId(0), &small, 0, 0, None),
             Err(CompileError::NeedsMoreDigitalTiles { required: 2, .. })
         ));
     }
@@ -895,7 +1222,7 @@ mod tests {
             samples: 6,
             sample_len: 50,
         };
-        let c = compile(&spec, JobId(1), TenantId(2), &cfg(), 7, 0).unwrap();
+        let c = compile(&spec, JobId(1), TenantId(2), &cfg(), 7, 0, None).unwrap();
         assert_eq!(c.demand.analog, 1);
         assert_eq!(c.outputs.len(), 6);
         match &c.instructions[0] {
@@ -924,7 +1251,7 @@ mod tests {
             sample_len: 10,
         };
         assert!(matches!(
-            compile(&spec, JobId(0), TenantId(0), &cfg(), 0, 0),
+            compile(&spec, JobId(0), TenantId(0), &cfg(), 0, 0, None),
             Err(CompileError::AnalogShapeTooSmall { .. })
         ));
     }
@@ -935,7 +1262,7 @@ mod tests {
             message: vec![0xAB; 300],
             key_seed: 77,
         };
-        let c = compile(&spec, JobId(2), TenantId(3), &cfg(), 3, 0x2000).unwrap();
+        let c = compile(&spec, JobId(2), TenantId(3), &cfg(), 3, 0x2000, None).unwrap();
         // 300 bytes = 2400 bits; tile width decides chunk count.
         let chunks = (300usize * 8).div_ceil(cfg().tile_cols);
         assert_eq!(c.outputs.len(), chunks);
@@ -951,7 +1278,7 @@ mod tests {
             op: ScoutOp::Or,
             rows,
         };
-        let c = compile(&spec, JobId(3), TenantId(4), &cfg(), 5, 0).unwrap();
+        let c = compile(&spec, JobId(3), TenantId(4), &cfg(), 5, 0, None).unwrap();
         assert_eq!(c.demand.digital, 1);
         assert_eq!(c.outputs.len(), 1);
         match &c.finalizer {
@@ -968,7 +1295,7 @@ mod tests {
             rows,
         };
         assert!(matches!(
-            compile(&spec, JobId(0), TenantId(0), &cfg(), 0, 0),
+            compile(&spec, JobId(0), TenantId(0), &cfg(), 0, 0, None),
             Err(CompileError::UnsupportedFanIn { .. })
         ));
     }
@@ -992,7 +1319,7 @@ mod tests {
         ] {
             assert!(
                 matches!(
-                    compile(&spec, JobId(0), TenantId(0), &cfg(), 0, 0),
+                    compile(&spec, JobId(0), TenantId(0), &cfg(), 0, 0, None),
                     Err(CompileError::EmptyWorkload)
                 ),
                 "{spec:?}"

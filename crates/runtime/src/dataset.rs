@@ -1,0 +1,202 @@
+//! Resident datasets: pool-managed, reference-counted data leases.
+//!
+//! The DATE'19 CIM case wins precisely when resident data is written
+//! into the crossbar once and then read by many queries. A
+//! [`DatasetSpec`] names such a data set (TPC-H Q6 bitmap bins, HDC
+//! class prototypes); [`crate::PoolClient::register_dataset`] compiles
+//! its load program, pins tiles on one shard, executes the load once
+//! and returns a [`DatasetHandle`].
+//!
+//! The handle is the lease: it is cheaply cloneable
+//! (reference-counted), and the pinned tiles stay resident — and their
+//! loading writes stay amortized across every query — until the *last*
+//! clone drops. Only then is the lease scrubbed and the tiles returned
+//! to the free pool, so no later tenant can ever observe the data.
+//! Telemetry keeps the load-side cost and the query-side cost separate
+//! (see [`crate::telemetry::DatasetUsage`]) so the amortization is
+//! measurable.
+
+use crate::job::{DatasetId, TenantId};
+use crate::schedule::PoolShared;
+use cim_bitmap_db::tpch::LineItemTable;
+use cim_core::AddressMap;
+use cim_hdc::lang::LanguageTask;
+use std::sync::Arc;
+
+/// A data set that can be made resident in pool tiles and queried
+/// repeatedly without re-paying its loading writes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetSpec {
+    /// A synthetic TPC-H `lineitem` table, resident as transposed
+    /// bitmap bins in digital tiles. Queried with
+    /// [`crate::WorkloadSpec::Q6Query`].
+    Q6Table {
+        /// Table rows to generate.
+        rows: usize,
+        /// Seed of the synthetic table.
+        table_seed: u64,
+    },
+    /// Trained HDC language prototypes, resident as a programmed
+    /// matrix in one analog tile. Queried with
+    /// [`crate::WorkloadSpec::HdcQuery`].
+    HdcPrototypes {
+        /// Number of synthetic languages.
+        classes: usize,
+        /// Hypervector dimension.
+        d: usize,
+        /// n-gram order of the encoder.
+        ngram: usize,
+        /// Training symbols per language.
+        train_len: usize,
+    },
+}
+
+/// A reference-counted lease on a resident dataset.
+///
+/// Clones share the lease; the pool scrubs the pinned tiles and frees
+/// them only when the last clone drops. Obtain one from
+/// [`crate::PoolClient::register_dataset`] and query it by passing
+/// [`DatasetHandle::id`] in a [`crate::WorkloadSpec::Q6Query`] /
+/// [`crate::WorkloadSpec::HdcQuery`] submission from the owning
+/// tenant's session.
+#[derive(Debug, Clone)]
+pub struct DatasetHandle {
+    core: Arc<DatasetCore>,
+}
+
+impl DatasetHandle {
+    pub(crate) fn new(
+        shared: Arc<PoolShared>,
+        id: DatasetId,
+        tenant: TenantId,
+        shard: usize,
+    ) -> Self {
+        DatasetHandle {
+            core: Arc::new(DatasetCore {
+                shared,
+                id,
+                tenant,
+                shard,
+            }),
+        }
+    }
+
+    /// The dataset's pool-wide id (what query specs reference).
+    pub fn id(&self) -> DatasetId {
+        self.core.id
+    }
+
+    /// The tenant that owns the lease; only this tenant's sessions may
+    /// query the dataset.
+    pub fn tenant(&self) -> TenantId {
+        self.core.tenant
+    }
+
+    /// The shard the dataset is resident on; every query routes there.
+    pub fn shard(&self) -> usize {
+        self.core.shard
+    }
+
+    /// Number of live lease clones (this one included). The pinned
+    /// tiles are scrubbed when this reaches zero.
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.core)
+    }
+}
+
+/// The shared inner of a [`DatasetHandle`]; dropping the last `Arc`
+/// releases the lease.
+#[derive(Debug)]
+struct DatasetCore {
+    shared: Arc<PoolShared>,
+    id: DatasetId,
+    tenant: TenantId,
+    shard: usize,
+}
+
+impl Drop for DatasetCore {
+    fn drop(&mut self) {
+        self.shared.release_dataset(self.id);
+    }
+}
+
+/// What a loaded dataset holds host-side: everything query compilation
+/// and finalization need. Cheap to clone (the bulky parts are shared),
+/// so query compilation can snapshot it and run outside the pool lock.
+#[derive(Debug, Clone)]
+pub(crate) enum ResidentPayload {
+    /// Q6 bins: the generating table (host-side aggregation input) and
+    /// the entry count of each resident tile.
+    Q6 {
+        table: Arc<LineItemTable>,
+        widths: Vec<usize>,
+    },
+    /// HDC prototypes: the trained task (query sampling + encoding) and
+    /// the stored matrix shape.
+    Hdc {
+        task: Arc<LanguageTask>,
+        classes: usize,
+        d: usize,
+    },
+}
+
+/// The slice of a [`DatasetRecord`] query compilation needs, snapshot
+/// under the pool lock so the (potentially expensive) lowering itself
+/// runs unlocked.
+#[derive(Debug, Clone)]
+pub(crate) struct ResidentView {
+    pub payload: ResidentPayload,
+    /// Number of digital tiles the dataset pins.
+    pub digital_tiles: usize,
+    /// The dataset's resident window.
+    pub placement: Option<AddressMap>,
+    /// Bytes resident in the pinned tiles.
+    pub resident_bytes: u64,
+}
+
+/// Load progress of a registered dataset, observed while pumping
+/// completions during registration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum LoadState {
+    Pending,
+    Loaded,
+    Failed(String),
+}
+
+/// Pool-side record of one resident dataset.
+#[derive(Debug)]
+pub(crate) struct DatasetRecord {
+    pub tenant: TenantId,
+    pub shard: usize,
+    /// Physical digital tiles pinned on the shard, in virtual order.
+    pub digital_tiles: Vec<usize>,
+    /// Physical analog tiles pinned on the shard, in virtual order.
+    pub analog_tiles: Vec<usize>,
+    pub payload: ResidentPayload,
+    /// Physical `(tile, row)` pairs the load program wrote — what the
+    /// release scrub must clean.
+    pub scrub_rows: Vec<(usize, usize)>,
+    /// Bytes resident in the pinned tiles.
+    pub resident_bytes: u64,
+    /// The dataset's resident window in the extended address space.
+    pub placement: Option<AddressMap>,
+    pub load: LoadState,
+    /// Seed of the load program's noise stream (scrubbing derives from
+    /// it too).
+    pub seed: u64,
+    /// Set once the last handle dropped; pending queries fail with
+    /// [`crate::JobError::DatasetReleased`] instead of dispatching.
+    pub released: bool,
+}
+
+impl DatasetRecord {
+    /// Snapshots what query compilation needs.
+    pub fn view(&self) -> ResidentView {
+        ResidentView {
+            payload: self.payload.clone(),
+            digital_tiles: self.digital_tiles.len(),
+            placement: self.placement,
+            resident_bytes: self.resident_bytes,
+        }
+    }
+}

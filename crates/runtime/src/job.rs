@@ -25,6 +25,12 @@ pub struct TenantId(pub u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u64);
 
+/// Identifies a resident dataset registered through
+/// [`crate::PoolClient::register_dataset`]. Ids are assigned in
+/// registration order, pool-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DatasetId(pub u64);
+
 impl fmt::Display for TenantId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "tenant-{}", self.0)
@@ -35,6 +41,27 @@ impl fmt::Display for JobId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "job-{}", self.0)
     }
+}
+
+impl fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dataset-{}", self.0)
+    }
+}
+
+/// Where a submitted job currently is in its lifecycle, as observed by
+/// [`crate::JobHandle::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Compiled and queued in the pool, not yet dispatched to a shard.
+    /// Jobs dispatch when the pool flushes (explicitly via
+    /// [`crate::PoolClient::flush`], or implicitly on any `wait`).
+    Queued,
+    /// Dispatched to a shard worker; its report has not arrived yet.
+    Dispatched,
+    /// The job's [`JobReport`] is ready;
+    /// [`crate::JobHandle::wait`] returns without blocking.
+    Completed,
 }
 
 /// One application workload a tenant can submit to the pool.
@@ -96,6 +123,28 @@ pub enum WorkloadSpec {
         /// The stream to execute.
         instructions: Vec<CimInstruction>,
     },
+    /// A Query-6 selection against a resident
+    /// [`crate::DatasetSpec::Q6Table`] dataset: the bitmap bins are
+    /// already pinned in the dataset's tiles, so the job carries only
+    /// the query-side reductions (no resident-data writes).
+    Q6Query {
+        /// The registered dataset to query.
+        dataset: DatasetId,
+        /// Query parameters.
+        params: Q6Params,
+    },
+    /// Classification queries against a resident
+    /// [`crate::DatasetSpec::HdcPrototypes`] dataset: the prototype
+    /// matrix is already programmed into the dataset's analog tile, so
+    /// the job carries only the per-query matrix-vector products.
+    HdcQuery {
+        /// The registered dataset to query.
+        dataset: DatasetId,
+        /// Queries to classify (round-robin over the dataset's classes).
+        samples: usize,
+        /// Symbols per query.
+        sample_len: usize,
+    },
 }
 
 /// Coarse workload family, used for batch-compatibility decisions.
@@ -111,6 +160,10 @@ pub enum JobKind {
     ScoutBulk,
     /// [`WorkloadSpec::Raw`].
     Raw,
+    /// [`WorkloadSpec::Q6Query`].
+    Q6Query,
+    /// [`WorkloadSpec::HdcQuery`].
+    HdcQuery,
 }
 
 impl WorkloadSpec {
@@ -122,6 +175,18 @@ impl WorkloadSpec {
             WorkloadSpec::XorEncrypt { .. } => JobKind::XorEncrypt,
             WorkloadSpec::ScoutBulk { .. } => JobKind::ScoutBulk,
             WorkloadSpec::Raw { .. } => JobKind::Raw,
+            WorkloadSpec::Q6Query { .. } => JobKind::Q6Query,
+            WorkloadSpec::HdcQuery { .. } => JobKind::HdcQuery,
+        }
+    }
+
+    /// The resident dataset the workload queries, if any.
+    pub fn dataset(&self) -> Option<DatasetId> {
+        match self {
+            WorkloadSpec::Q6Query { dataset, .. } | WorkloadSpec::HdcQuery { dataset, .. } => {
+                Some(*dataset)
+            }
+            _ => None,
         }
     }
 }
@@ -190,6 +255,26 @@ pub enum JobError {
         /// The captured panic message.
         message: String,
     },
+    /// At dispatch time no shard had enough free (un-pinned) tiles for
+    /// the job's lease. This can only happen when datasets registered
+    /// after submission pinned tiles on every shard that could have
+    /// fit the job when it was validated.
+    AdmissionFailed {
+        /// Digital tiles the job needs.
+        digital_required: usize,
+        /// Digital tiles free on the selected shard.
+        digital_free: usize,
+        /// Analog tiles the job needs.
+        analog_required: usize,
+        /// Analog tiles free on the selected shard.
+        analog_free: usize,
+    },
+    /// The queried dataset was released (every [`crate::DatasetHandle`]
+    /// dropped) between submission and dispatch.
+    DatasetReleased {
+        /// The dataset the job referenced.
+        dataset: DatasetId,
+    },
 }
 
 impl fmt::Display for JobError {
@@ -212,6 +297,19 @@ impl fmt::Display for JobError {
             JobError::ExecutionPanic { message } => {
                 write!(f, "instruction stream panicked: {message}")
             }
+            JobError::AdmissionFailed {
+                digital_required,
+                digital_free,
+                analog_required,
+                analog_free,
+            } => write!(
+                f,
+                "lease unavailable: needs {digital_required} digital + {analog_required} analog \
+                 tiles, shard has {digital_free} + {analog_free} free"
+            ),
+            JobError::DatasetReleased { dataset } => {
+                write!(f, "{dataset} was released before the job dispatched")
+            }
         }
     }
 }
@@ -227,9 +325,13 @@ pub struct JobReport {
     pub tenant: TenantId,
     /// Its workload family.
     pub kind: JobKind,
+    /// The resident dataset the job queried, if any. Telemetry uses
+    /// this to attribute the job's stats to the dataset's query side.
+    pub dataset: Option<DatasetId>,
     /// Shard that executed it.
     pub shard: usize,
-    /// Batch it was coalesced into.
+    /// Batch it was coalesced into (`u64::MAX` if the job failed at
+    /// dispatch and never reached a shard).
     pub batch: u64,
     /// Decoded output, or the isolation/validation error.
     pub output: Result<JobOutput, JobError>,
@@ -292,5 +394,22 @@ mod tests {
     fn ids_display() {
         assert_eq!(TenantId(4).to_string(), "tenant-4");
         assert_eq!(JobId(9).to_string(), "job-9");
+        assert_eq!(DatasetId(2).to_string(), "dataset-2");
+    }
+
+    #[test]
+    fn query_specs_name_their_dataset() {
+        let q = WorkloadSpec::HdcQuery {
+            dataset: DatasetId(3),
+            samples: 4,
+            sample_len: 50,
+        };
+        assert_eq!(q.kind(), JobKind::HdcQuery);
+        assert_eq!(q.dataset(), Some(DatasetId(3)));
+        let plain = WorkloadSpec::XorEncrypt {
+            message: vec![1],
+            key_seed: 0,
+        };
+        assert_eq!(plain.dataset(), None);
     }
 }

@@ -1,7 +1,7 @@
 //! # cim-runtime
 //!
 //! A multi-tenant accelerator-pool runtime that serves batched CIM
-//! workloads.
+//! workloads through session-oriented clients.
 //!
 //! The DATE'19 paper frames the CIM core as an on-chip accelerator a
 //! host offloads memory-intensive kernels to (Fig. 1); TDO-CIM argues
@@ -9,56 +9,81 @@
 //! at execution time. This crate is that runtime for the workspace's
 //! simulated accelerator: it owns a pool of [`cim_core::CimAccelerator`]
 //! shards and serves many concurrent workload requests from many
-//! tenants, in three layers:
+//! tenants, in four layers:
 //!
+//! * **[`client`]** — per-tenant sessions. [`PoolClient::submit`] is
+//!   non-blocking and returns a [`JobHandle`] (`poll`/`wait`);
+//!   [`PoolClient::register_dataset`] pins resident data (Q6 bitmap
+//!   bins, HDC prototypes) into pool tiles behind a reference-counted
+//!   [`DatasetHandle`] so repeated queries skip the resident-data
+//!   writes — the amortization the paper's accelerator model wins by.
 //! * **[`compile`]** — lowers each application workload (TPC-H Q6
 //!   bitmap select, HDC language classification, one-time-pad XOR,
-//!   bulk Scouting-Logic reductions, raw streams) into a
-//!   [`cim_core::CimInstruction`] stream over virtual tiles plus a
-//!   resident-data placement in the extended address space
+//!   bulk Scouting-Logic reductions, raw streams, and dataset queries)
+//!   into a [`cim_core::CimInstruction`] stream over virtual tiles plus
+//!   a resident-data placement in the extended address space
 //!   ([`cim_core::AddressMap`]).
 //! * **[`schedule`]** — a job queue with deterministic shard selection,
-//!   per-tile admission, batch coalescing of compatible jobs, and one
-//!   worker thread per shard (std threads + channels; no async
-//!   dependency). Per-job seeded noise streams and exclusive tile
-//!   leases make batched execution bit-identical to sequential
-//!   execution, and tile scrubbing keeps tenants from ever observing
-//!   each other's data.
+//!   per-tile admission over free (un-pinned) tiles, cost-aware batch
+//!   coalescing, and one worker thread per shard (std threads +
+//!   channels; no async dependency). Per-job seeded noise streams and
+//!   exclusive tile leases make batched execution bit-identical to
+//!   sequential execution, and tile scrubbing keeps tenants from ever
+//!   observing each other's data.
 //! * **[`telemetry`]** — aggregates [`cim_core::ExecutionStats`] per
-//!   job, per tenant and pool-wide, and reports speedup-vs-host from
-//!   the `cim-arch` analytical models.
+//!   job, per tenant, per dataset (load-vs-query split) and pool-wide,
+//!   and reports speedup-vs-host from the `cim-arch` analytical models.
 //!
 //! # Example
 //!
 //! ```
-//! use cim_runtime::{PoolConfig, RuntimePool, TenantId, WorkloadSpec};
+//! use cim_runtime::{DatasetSpec, PoolConfig, RuntimePool, TenantId, WorkloadSpec};
 //! use cim_bitmap_db::tpch::Q6Params;
 //!
-//! let mut pool = RuntimePool::new(PoolConfig::with_shards(2));
-//! pool.submit(TenantId(1), &WorkloadSpec::Q6Select {
-//!     rows: 1000,
-//!     table_seed: 7,
-//!     params: Q6Params::tpch_default(),
-//! }).unwrap();
-//! pool.submit(TenantId(2), &WorkloadSpec::XorEncrypt {
-//!     message: b"attack at dawn".to_vec(),
-//!     key_seed: 3,
-//! }).unwrap();
+//! let pool = RuntimePool::new(PoolConfig::with_shards(2));
+//! let session = pool.client(TenantId(1));
 //!
-//! let reports = pool.drain();
-//! assert_eq!(reports.len(), 2);
+//! // Pin a table's bitmap bins into pool tiles once…
+//! let table = session
+//!     .register_dataset(&DatasetSpec::Q6Table { rows: 1000, table_seed: 7 })
+//!     .unwrap();
+//!
+//! // …then stream non-blocking queries against it.
+//! let handles: Vec<_> = (0..4)
+//!     .map(|_| {
+//!         session
+//!             .submit(&WorkloadSpec::Q6Query {
+//!                 dataset: table.id(),
+//!                 params: Q6Params::tpch_default(),
+//!             })
+//!             .unwrap()
+//!     })
+//!     .collect();
+//!
+//! let reports = session.wait_all(handles);
+//! assert_eq!(reports.len(), 4);
 //! assert!(reports.iter().all(|r| r.output.is_ok()));
-//! assert_eq!(pool.telemetry().jobs, 2);
+//! // The bin writes were paid once, at registration:
+//! let t = pool.telemetry();
+//! assert_eq!(t.datasets[&table.id().0].queries, 4);
+//! assert!(t.datasets[&table.id().0].load_stats.row_writes > 0);
 //! ```
 
+pub mod client;
 pub mod compile;
+pub mod dataset;
 pub mod job;
 pub mod schedule;
 pub mod telemetry;
 
 pub(crate) use schedule::mix_seed;
 
+pub use client::{JobHandle, PoolClient};
 pub use compile::{CompileError, CompiledJob, Finalizer, HostProfile, TileDemand};
-pub use job::{HdcOutcome, JobError, JobId, JobKind, JobOutput, JobReport, TenantId, WorkloadSpec};
+pub use dataset::{DatasetHandle, DatasetSpec};
+pub use job::{
+    DatasetId, HdcOutcome, JobError, JobId, JobKind, JobOutput, JobReport, JobStatus, TenantId,
+    WorkloadSpec,
+};
 pub use schedule::{PoolConfig, RuntimePool};
-pub use telemetry::{PoolTelemetry, TenantUsage};
+pub use telemetry::{DatasetUsage, PoolTelemetry, TenantUsage};

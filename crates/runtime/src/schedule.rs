@@ -2,23 +2,30 @@
 //!
 //! A [`RuntimePool`] owns a set of [`CimAccelerator`] *shards*, each
 //! driven by its own worker thread (std threads and channels — no async
-//! runtime). Submitted workloads are compiled immediately
-//! ([`crate::compile`]) and queued; [`RuntimePool::drain`] plans the
-//! queue deterministically and dispatches it:
+//! runtime). Sessions ([`crate::PoolClient`]) submit workloads, which
+//! are compiled immediately ([`crate::compile`]) and queued; a *flush*
+//! (explicit, or implied by any `wait`) plans the queue
+//! deterministically and dispatches it:
 //!
 //! 1. **Shard selection** — each job goes to the least-loaded shard
-//!    (estimated by queued instruction count, ties to the lowest index).
-//!    The plan is a pure function of the submission order, never of
-//!    thread timing.
-//! 2. **Per-tile admission** — jobs hold leases on whole tiles. A batch
-//!    admits jobs until the shard's digital and analog tile budgets are
-//!    exhausted; instruction streams are relocated from virtual to
-//!    leased physical tiles at dispatch, and any instruction addressing
-//!    a tile outside its lease fails the job with
+//!    (estimated by queued [`CompiledJob::estimated_cost`], ties to the
+//!    lowest index); jobs against a resident dataset are routed to the
+//!    dataset's shard. The plan is a pure function of the submission
+//!    order, never of thread timing.
+//! 2. **Per-tile admission** — jobs hold leases on whole tiles. Fresh
+//!    leases are carved from the shard's *free* tiles (tiles pinned by
+//!    resident datasets are never handed out); dataset jobs reuse the
+//!    dataset's pinned tiles. Instruction streams are relocated from
+//!    virtual to physical tiles at dispatch, and any instruction
+//!    addressing a tile outside its lease fails the job with
 //!    [`JobError::TileFault`] *before* touching the accelerator.
-//! 3. **Batch coalescing** — consecutive compatible jobs (same
-//!    workload family) on a shard share one dispatch batch and thus
-//!    co-reside on disjoint tiles.
+//! 3. **Cost-aware batch coalescing** — compatible jobs (same workload
+//!    family, same dataset) on a shard share one dispatch batch while
+//!    they fit the tile budget *and* the batch cost budget
+//!    ([`PoolConfig::max_batch_cost`]). Within a batch jobs run
+//!    cheapest-first, and a shard's batches dispatch cheapest-first, so
+//!    a cheap job is never head-of-line blocked behind an expensive
+//!    one it happens to share a queue with.
 //!
 //! Every job draws its stochastic behaviour from a private seeded
 //! stream ([`CimAccelerator::execute_with_rng`]) and leases exclusive
@@ -28,21 +35,26 @@
 //!
 //! After each job the runtime scrubs every tile row the job wrote (and
 //! every analog tile it programmed) so no data survives into the next
-//! lease; the scrub cost is reported as maintenance overhead.
+//! lease; the scrub cost is reported as maintenance overhead. Resident
+//! datasets are the deliberate exception: their tiles are scrubbed only
+//! when the last [`crate::DatasetHandle`] drops.
 
-use crate::compile::{compile, CompileError, CompiledJob, TileDemand};
-use crate::job::{JobError, JobId, JobReport, TenantId, WorkloadSpec};
+use crate::client::PoolClient;
+use crate::compile::{compile, compile_dataset_load, CompileError, CompiledJob, DatasetProgram};
+use crate::dataset::{DatasetRecord, DatasetSpec, LoadState};
+use crate::job::{DatasetId, JobError, JobId, JobReport, JobStatus, TenantId, WorkloadSpec};
 use crate::telemetry::{stats_delta, PoolTelemetry};
 use cim_arch::cim::CimSystem;
 use cim_arch::conventional::ConventionalMachine;
 use cim_core::isa::{CimInstruction, CimResponse};
-use cim_core::offload::Program;
-use cim_core::{CimAccelerator, CimAcceleratorBuilder};
+use cim_core::offload::{OffloadEstimate, Program};
+use cim_core::{AddressMap, CimAccelerator, CimAcceleratorBuilder, ExecutionStats};
 use cim_crossbar::energy::OperationCost;
 use cim_simkit::rng::seeded;
 use cim_simkit::units::ByteSize;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Geometry and policy of a pool.
@@ -69,6 +81,10 @@ pub struct PoolConfig {
     pub seed: u64,
     /// Maximum jobs coalesced into one batch.
     pub max_batch_jobs: usize,
+    /// Maximum summed [`CompiledJob::estimated_cost`] of one batch (the
+    /// first job is always admitted). Bounds how long a batch can keep
+    /// a shard busy, so admission packs by cost, not tile count alone.
+    pub max_batch_cost: u64,
     /// Whether to coalesce compatible jobs at all.
     pub coalesce: bool,
 }
@@ -86,6 +102,7 @@ impl Default for PoolConfig {
             scout_fan_in: 8,
             seed: 0xC1A0,
             max_batch_jobs: 8,
+            max_batch_cost: 1 << 14,
             coalesce: true,
         }
     }
@@ -111,6 +128,13 @@ impl PoolConfig {
     /// space starts past the host DRAM window, as in §II-B.
     pub fn window_base(&self, id: u64) -> u64 {
         0x4000_0000 + id * self.window_stride()
+    }
+
+    /// Base address of dataset `id`'s resident window: a region of the
+    /// extended address space disjoint from per-job windows, because
+    /// datasets outlive jobs.
+    pub fn dataset_window_base(&self, id: u64) -> u64 {
+        0x4000_0000_0000 + id * self.window_stride()
     }
 }
 
@@ -142,33 +166,119 @@ pub(crate) fn mix_seed(a: u64, b: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// A job with its leased tile bases on a shard.
+/// A job with its virtual→physical tile maps on a shard.
 struct PlacedJob {
     compiled: CompiledJob,
-    digital_base: usize,
-    analog_base: usize,
+    /// Physical digital tile of each virtual digital tile.
+    digital_map: Vec<usize>,
+    /// Physical analog tile of each virtual analog tile.
+    analog_map: Vec<usize>,
 }
 
-/// One dispatch unit: co-resident jobs on one shard.
+/// One dispatch unit: co-resident jobs on one shard, executed in order.
 struct Batch {
     id: u64,
     jobs: Vec<PlacedJob>,
 }
 
-struct Worker {
-    tx: Option<Sender<Batch>>,
-    handle: Option<JoinHandle<()>>,
+/// What the pool sends a shard worker.
+enum WorkerMsg {
+    /// Execute a batch of placed jobs.
+    Batch(Batch),
+    /// Execute a dataset's load program (already on physical tiles).
+    LoadDataset {
+        id: DatasetId,
+        instructions: Vec<CimInstruction>,
+        seed: u64,
+    },
+    /// Scrub a released dataset's pinned tiles.
+    ReleaseDataset {
+        id: DatasetId,
+        rows: Vec<(usize, usize)>,
+        analog_tiles: Vec<usize>,
+        seed: u64,
+    },
+    /// Exit the worker loop (sent by `RuntimePool::drop`).
+    Shutdown,
+}
+
+/// What a shard worker sends back.
+enum Completion {
+    Job(Box<JobReport>),
+    DatasetLoaded {
+        id: DatasetId,
+        result: Result<ExecutionStats, String>,
+    },
+    DatasetReleased {
+        id: DatasetId,
+        maintenance: OperationCost,
+    },
+}
+
+/// Lifecycle of one submitted job, pool-side. `claimed` records whether
+/// a live [`crate::JobHandle`] owns the slot (legacy `drain` only
+/// returns unclaimed reports).
+enum Slot {
+    Queued {
+        claimed: bool,
+    },
+    Dispatched {
+        claimed: bool,
+    },
+    Done {
+        claimed: bool,
+        report: Box<JobReport>,
+    },
+    /// The handle was dropped before completion; the report is
+    /// discarded (after telemetry) when it arrives.
+    Abandoned,
+}
+
+/// Mutable pool state, behind [`PoolShared::state`].
+struct PoolState {
+    pending: Vec<CompiledJob>,
+    slots: BTreeMap<u64, Slot>,
+    datasets: BTreeMap<u64, DatasetRecord>,
+    /// Physical digital tiles pinned by datasets, per shard.
+    pinned_digital: Vec<BTreeSet<usize>>,
+    /// Physical analog tiles pinned by datasets, per shard.
+    pinned_analog: Vec<BTreeSet<usize>>,
+    next_job: u64,
+    next_batch: u64,
+    next_dataset: u64,
+    telemetry: PoolTelemetry,
+}
+
+/// State shared between the pool, its sessions and its handles.
+///
+/// Lock order: `completions` before `state`; never acquire
+/// `completions` while holding `state`.
+#[derive(Debug)]
+pub(crate) struct PoolShared {
+    cfg: PoolConfig,
+    to_shards: Vec<Sender<WorkerMsg>>,
+    completions: Mutex<Receiver<Completion>>,
+    state: Mutex<PoolState>,
+}
+
+impl std::fmt::Debug for PoolState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolState")
+            .field("pending", &self.pending.len())
+            .field("slots", &self.slots.len())
+            .field("datasets", &self.datasets.len())
+            .finish_non_exhaustive()
+    }
 }
 
 /// The multi-tenant accelerator pool.
+///
+/// Sessions are opened with [`RuntimePool::client`]; the legacy
+/// [`RuntimePool::submit`] / [`RuntimePool::drain`] pair survives as a
+/// deprecated shim over the same machinery.
 pub struct RuntimePool {
-    cfg: PoolConfig,
-    workers: Vec<Worker>,
-    reports: Receiver<JobReport>,
-    pending: Vec<CompiledJob>,
-    next_job: u64,
-    next_batch: u64,
-    telemetry: PoolTelemetry,
+    shared: Arc<PoolShared>,
+    joins: Vec<JoinHandle<()>>,
 }
 
 impl RuntimePool {
@@ -185,56 +295,83 @@ impl RuntimePool {
             "shards need at least one digital tile"
         );
         install_shard_panic_hook();
-        let (report_tx, reports) = channel();
-        let workers = (0..cfg.shards)
-            .map(|shard| {
-                let shard_seed = mix_seed(cfg.seed, 0xD1A5 + shard as u64);
-                let accelerator = CimAcceleratorBuilder::new()
-                    .digital_tiles(cfg.digital_tiles, cfg.tile_rows, cfg.tile_cols)
-                    .analog_tiles(cfg.analog_tiles, cfg.analog_rows, cfg.analog_cols)
-                    .seed(shard_seed)
-                    .build();
-                let (tx, rx) = channel();
-                let report_tx = report_tx.clone();
-                let handle = std::thread::Builder::new()
-                    .name(format!("cim-shard-{shard}"))
-                    .spawn(move || worker_loop(shard, accelerator, shard_seed, rx, report_tx))
-                    .expect("spawn shard worker");
-                Worker {
-                    tx: Some(tx),
-                    handle: Some(handle),
-                }
-            })
-            .collect();
-        RuntimePool {
-            telemetry: PoolTelemetry::new(cfg.shards),
-            cfg,
-            workers,
-            reports,
-            pending: Vec::new(),
-            next_job: 0,
-            next_batch: 0,
+        let (report_tx, completions) = channel();
+        let mut to_shards = Vec::with_capacity(cfg.shards);
+        let mut joins = Vec::with_capacity(cfg.shards);
+        for shard in 0..cfg.shards {
+            let shard_seed = mix_seed(cfg.seed, 0xD1A5 + shard as u64);
+            let accelerator = CimAcceleratorBuilder::new()
+                .digital_tiles(cfg.digital_tiles, cfg.tile_rows, cfg.tile_cols)
+                .analog_tiles(cfg.analog_tiles, cfg.analog_rows, cfg.analog_cols)
+                .seed(shard_seed)
+                .build();
+            let (tx, rx) = channel();
+            let report_tx = report_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("cim-shard-{shard}"))
+                .spawn(move || worker_loop(shard, accelerator, shard_seed, rx, report_tx))
+                .expect("spawn shard worker");
+            to_shards.push(tx);
+            joins.push(handle);
         }
+        RuntimePool {
+            shared: Arc::new(PoolShared {
+                state: Mutex::new(PoolState {
+                    pending: Vec::new(),
+                    slots: BTreeMap::new(),
+                    datasets: BTreeMap::new(),
+                    pinned_digital: vec![BTreeSet::new(); cfg.shards],
+                    pinned_analog: vec![BTreeSet::new(); cfg.shards],
+                    next_job: 0,
+                    next_batch: 0,
+                    next_dataset: 0,
+                    telemetry: PoolTelemetry::new(cfg.shards),
+                }),
+                cfg,
+                to_shards,
+                completions: Mutex::new(completions),
+            }),
+            joins,
+        }
+    }
+
+    /// Opens a per-tenant session on the pool. Sessions are cheap,
+    /// cloneable and usable from any thread.
+    pub fn client(&self, tenant: TenantId) -> PoolClient {
+        PoolClient::new(Arc::clone(&self.shared), tenant)
     }
 
     /// The pool's configuration.
     pub fn config(&self) -> &PoolConfig {
-        &self.cfg
+        &self.shared.cfg
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.cfg.shards
+        self.shared.cfg.shards
     }
 
-    /// Jobs queued but not yet drained.
+    /// Jobs queued but not yet dispatched.
     pub fn pending_jobs(&self) -> usize {
-        self.pending.len()
+        self.shared.state.lock().expect("pool state").pending.len()
     }
 
-    /// Aggregated telemetry over everything drained so far.
-    pub fn telemetry(&self) -> &PoolTelemetry {
-        &self.telemetry
+    /// A snapshot of the telemetry aggregated over everything completed
+    /// so far (also drains any completions that already arrived).
+    pub fn telemetry(&self) -> PoolTelemetry {
+        self.shared.try_pump();
+        self.shared
+            .state
+            .lock()
+            .expect("pool state")
+            .telemetry
+            .clone()
+    }
+
+    /// Dispatches every queued job to the shards without waiting for
+    /// results (the non-blocking half of the legacy `drain`).
+    pub fn flush(&self) {
+        self.shared.flush();
     }
 
     /// Compiles and enqueues a workload for `tenant`.
@@ -242,9 +379,109 @@ impl RuntimePool {
     /// Compilation errors (workload does not fit the pool geometry,
     /// empty work) surface immediately; execution errors surface in the
     /// job's report.
+    #[deprecated(
+        note = "open a session with `RuntimePool::client` and use `PoolClient::submit`, \
+                which returns a non-blocking `JobHandle`"
+    )]
     pub fn submit(&mut self, tenant: TenantId, spec: &WorkloadSpec) -> Result<JobId, CompileError> {
-        let job = JobId(self.next_job);
-        let seed = mix_seed(self.cfg.seed, 0x0B0B ^ job.0);
+        self.shared.submit_spec(tenant, spec, false)
+    }
+
+    /// Executes every queued job with batching per the pool policy,
+    /// shards running concurrently, and blocks for all of their
+    /// reports. Returns reports sorted by job id. Jobs owned by a live
+    /// [`crate::JobHandle`] are executed too but their reports stay
+    /// claimable through the handle.
+    #[deprecated(
+        note = "use `PoolClient::submit` + `JobHandle::wait` (or `PoolClient::wait_all`) \
+                for per-job completion instead of a pool-wide blocking drain"
+    )]
+    pub fn drain(&mut self) -> Vec<JobReport> {
+        self.shared.drain_unclaimed()
+    }
+
+    /// Executes every queued job strictly one at a time, in submission
+    /// order, with no coalescing — the reference schedule batching must
+    /// reproduce bit-identically. Returns the reports of jobs not
+    /// claimed by a [`crate::JobHandle`], sorted by job id (reports of
+    /// handle-claimed jobs remain claimable through their handles).
+    pub fn drain_sequential(&mut self) -> Vec<JobReport> {
+        let mut batches = {
+            let mut st = self.shared.state.lock().expect("pool state");
+            let batches = plan(&mut st, &self.shared.cfg, false, 1);
+            st.telemetry.batches += batches.len() as u64;
+            mark_dispatched(&mut st, &batches);
+            batches
+        };
+        // One job per batch: order globally by job id for a strict
+        // serial schedule.
+        batches.sort_by_key(|(_, b)| b.jobs[0].compiled.job);
+        for (shard, batch) in batches {
+            let job = batch.jobs[0].compiled.job;
+            self.shared.to_shards[shard]
+                .send(WorkerMsg::Batch(batch))
+                .expect("shard worker alive");
+            self.shared.pump_until(|st| {
+                !matches!(
+                    st.slots.get(&job.0),
+                    Some(Slot::Queued { .. }) | Some(Slot::Dispatched { .. })
+                )
+            });
+        }
+        self.shared.take_unclaimed_done()
+    }
+}
+
+impl Drop for RuntimePool {
+    fn drop(&mut self) {
+        for tx in &self.shared.to_shards {
+            let _ = tx.send(WorkerMsg::Shutdown);
+        }
+        for handle in self.joins.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl PoolShared {
+    /// Compiles and enqueues a workload; `claimed` records whether a
+    /// [`crate::JobHandle`] owns the resulting slot.
+    pub(crate) fn submit_spec(
+        &self,
+        tenant: TenantId,
+        spec: &WorkloadSpec,
+        claimed: bool,
+    ) -> Result<JobId, CompileError> {
+        // Phase 1 (locked): assign the id and snapshot the queried
+        // dataset. Compilation itself (table generation, HDC training)
+        // runs unlocked below, so one session's heavy submit cannot
+        // stall every other session's submit/poll/telemetry. A failed
+        // compile leaves a gap in the id sequence, which is harmless:
+        // ids only need to be unique and ordered.
+        let (job, seed, resident) = {
+            let mut st = self.state.lock().expect("pool state");
+            let job = JobId(st.next_job);
+            st.next_job += 1;
+            let seed = mix_seed(self.cfg.seed, 0x0B0B ^ job.0);
+            let resident = match spec.dataset() {
+                Some(id) => {
+                    let record = st
+                        .datasets
+                        .get(&id.0)
+                        .filter(|r| !r.released)
+                        .ok_or(CompileError::UnknownDataset { dataset: id })?;
+                    if record.tenant != tenant {
+                        return Err(CompileError::DatasetAccessDenied {
+                            dataset: id,
+                            owner: record.tenant,
+                        });
+                    }
+                    Some(record.view())
+                }
+                None => None,
+            };
+            (job, seed, resident)
+        };
         let compiled = compile(
             spec,
             job,
@@ -252,183 +489,697 @@ impl RuntimePool {
             &self.cfg,
             seed,
             self.cfg.window_base(job.0),
+            resident.as_ref(),
         )?;
-        if compiled.demand.digital > self.cfg.digital_tiles {
-            return Err(CompileError::NeedsMoreDigitalTiles {
-                required: compiled.demand.digital,
-                available: self.cfg.digital_tiles,
+
+        // Phase 2 (locked): validate capacity against the pins as they
+        // are now, and enqueue.
+        let mut st = self.state.lock().expect("pool state");
+        let st = &mut *st;
+        if compiled.dataset.is_none() {
+            // Fresh leases are carved from un-pinned tiles: the job
+            // must fit the free budget of at least one shard.
+            let free_digital = |s: usize| self.cfg.digital_tiles - st.pinned_digital[s].len();
+            let free_analog = |s: usize| self.cfg.analog_tiles - st.pinned_analog[s].len();
+            let fits = (0..self.cfg.shards).any(|s| {
+                compiled.demand.digital <= free_digital(s)
+                    && compiled.demand.analog <= free_analog(s)
             });
+            if !fits {
+                let best_digital = (0..self.cfg.shards).map(free_digital).max().unwrap_or(0);
+                if compiled.demand.digital > best_digital {
+                    return Err(CompileError::NeedsMoreDigitalTiles {
+                        required: compiled.demand.digital,
+                        available: best_digital,
+                    });
+                }
+                return Err(CompileError::NeedsMoreAnalogTiles {
+                    required: compiled.demand.analog,
+                    available: (0..self.cfg.shards).map(free_analog).max().unwrap_or(0),
+                });
+            }
         }
-        if compiled.demand.analog > self.cfg.analog_tiles {
-            return Err(CompileError::NeedsMoreAnalogTiles {
-                required: compiled.demand.analog,
-                available: self.cfg.analog_tiles,
-            });
-        }
-        self.pending.push(compiled);
-        self.next_job += 1;
+        st.slots.insert(job.0, Slot::Queued { claimed });
+        st.pending.push(compiled);
         Ok(job)
     }
 
-    /// Executes every queued job with batching per the pool policy,
-    /// shards running concurrently. Returns reports sorted by job id.
-    pub fn drain(&mut self) -> Vec<JobReport> {
-        let batches = self.plan(self.cfg.coalesce, self.cfg.max_batch_jobs);
-        let expected: usize = batches.iter().map(|(_, b)| b.jobs.len()).sum();
-        let n_batches = batches.len() as u64;
+    /// Plans the pending queue and dispatches it to the shard workers.
+    /// Non-blocking: reports arrive through the completion channel.
+    pub(crate) fn flush(&self) {
+        let mut st = self.state.lock().expect("pool state");
+        let batches = plan(
+            &mut st,
+            &self.cfg,
+            self.cfg.coalesce,
+            self.cfg.max_batch_jobs,
+        );
+        st.telemetry.batches += batches.len() as u64;
+        mark_dispatched(&mut st, &batches);
         for (shard, batch) in batches {
-            if let Some(tx) = &self.workers[shard].tx {
-                tx.send(batch).expect("shard worker alive");
-            }
-        }
-        let mut reports: Vec<JobReport> = (0..expected)
-            .map(|_| self.reports.recv().expect("worker report"))
-            .collect();
-        reports.sort_by_key(|r| r.job);
-        self.account(&reports, n_batches);
-        reports
-    }
-
-    /// Executes every queued job strictly one at a time, in submission
-    /// order, with no coalescing — the reference schedule batching must
-    /// reproduce bit-identically.
-    pub fn drain_sequential(&mut self) -> Vec<JobReport> {
-        let mut batches = self.plan(false, 1);
-        // One job per batch: order globally by job id for a strict
-        // serial schedule.
-        batches.sort_by_key(|(_, b)| b.jobs[0].compiled.job);
-        let n_batches = batches.len() as u64;
-        let mut reports = Vec::with_capacity(batches.len());
-        for (shard, batch) in batches {
-            if let Some(tx) = &self.workers[shard].tx {
-                tx.send(batch).expect("shard worker alive");
-            }
-            reports.push(self.reports.recv().expect("worker report"));
-        }
-        reports.sort_by_key(|r| r.job);
-        self.account(&reports, n_batches);
-        reports
-    }
-
-    fn account(&mut self, reports: &[JobReport], batches: u64) {
-        self.telemetry.batches += batches;
-        for r in reports {
-            self.telemetry.record(r);
+            self.to_shards[shard]
+                .send(WorkerMsg::Batch(batch))
+                .expect("shard worker alive");
         }
     }
 
-    /// Plans the pending queue: deterministic shard selection, then
-    /// per-shard batch packing. Returns `(shard, batch)` pairs.
-    fn plan(&mut self, coalesce: bool, max_batch_jobs: usize) -> Vec<(usize, Batch)> {
-        let max_batch_jobs = max_batch_jobs.max(1);
-        let mut shard_queues: Vec<Vec<CompiledJob>> =
-            (0..self.cfg.shards).map(|_| Vec::new()).collect();
-        let mut loads = vec![0u64; self.cfg.shards];
-        for job in self.pending.drain(..) {
+    /// Registers a dataset: compiles its load program, pins tiles on a
+    /// shard, executes the load and blocks until it is resident.
+    pub(crate) fn register_dataset(
+        &self,
+        tenant: TenantId,
+        spec: &DatasetSpec,
+    ) -> Result<(DatasetId, usize), CompileError> {
+        // Reserve the id (its seed derives from it), then compile the
+        // load program — table generation and HDC training — without
+        // holding the pool lock.
+        let (id, seed) = {
+            let mut st = self.state.lock().expect("pool state");
+            let id = DatasetId(st.next_dataset);
+            st.next_dataset += 1;
+            (id, mix_seed(self.cfg.seed, 0xDA7A ^ id.0))
+        };
+        let DatasetProgram {
+            instructions,
+            demand,
+            payload,
+            resident_bytes,
+        } = compile_dataset_load(spec, &self.cfg, seed)?;
+
+        let shard = {
+            let mut st = self.state.lock().expect("pool state");
+            let st = &mut *st;
+
+            // Most-free shard that fits the pin, ties to the lowest
+            // index: datasets spread out, leaving fresh-lease headroom.
+            let free = |s: usize| {
+                (
+                    self.cfg.digital_tiles - st.pinned_digital[s].len(),
+                    self.cfg.analog_tiles - st.pinned_analog[s].len(),
+                )
+            };
             let shard = (0..self.cfg.shards)
-                .min_by_key(|&s| (loads[s], s))
-                .expect("at least one shard");
-            loads[shard] += job.estimated_cost();
-            shard_queues[shard].push(job);
-        }
+                .filter(|&s| {
+                    let (fd, fa) = free(s);
+                    demand.digital <= fd && demand.analog <= fa
+                })
+                .max_by_key(|&s| {
+                    let (fd, fa) = free(s);
+                    (fd + fa, std::cmp::Reverse(s))
+                });
+            let Some(shard) = shard else {
+                let best_digital = (0..self.cfg.shards).map(|s| free(s).0).max().unwrap_or(0);
+                if demand.digital > best_digital {
+                    return Err(CompileError::NeedsMoreDigitalTiles {
+                        required: demand.digital,
+                        available: best_digital,
+                    });
+                }
+                return Err(CompileError::NeedsMoreAnalogTiles {
+                    required: demand.analog,
+                    available: (0..self.cfg.shards).map(|s| free(s).1).max().unwrap_or(0),
+                });
+            };
 
-        let mut out = Vec::new();
-        for (shard, mut queue) in shard_queues.into_iter().enumerate() {
-            while !queue.is_empty() {
-                let first = queue.remove(0);
-                let kind = first.kind;
-                let mut digital_used = first.demand.digital;
-                let mut analog_used = first.demand.analog;
-                let mut jobs = vec![PlacedJob {
-                    compiled: first,
-                    digital_base: 0,
-                    analog_base: 0,
-                }];
-                // Coalesce compatible jobs from anywhere in the shard
-                // queue, preserving their relative order. Jobs are
-                // order-independent by construction (private noise
-                // streams, exclusive leases), so pulling a same-kind job
-                // forward cannot change any result.
-                if coalesce {
-                    let mut i = 0;
-                    while jobs.len() < max_batch_jobs && i < queue.len() {
-                        let candidate = &queue[i];
-                        let fits = candidate.kind == kind
-                            && digital_used + candidate.demand.digital <= self.cfg.digital_tiles
-                            && analog_used + candidate.demand.analog <= self.cfg.analog_tiles;
-                        if fits {
-                            let placed = PlacedJob {
-                                digital_base: digital_used,
-                                analog_base: analog_used,
-                                compiled: queue.remove(i),
-                            };
-                            digital_used += placed.compiled.demand.digital;
-                            analog_used += placed.compiled.demand.analog;
-                            jobs.push(placed);
-                        } else {
-                            i += 1;
+            let digital_tiles: Vec<usize> = (0..self.cfg.digital_tiles)
+                .filter(|t| !st.pinned_digital[shard].contains(t))
+                .take(demand.digital)
+                .collect();
+            let analog_tiles: Vec<usize> = (0..self.cfg.analog_tiles)
+                .filter(|t| !st.pinned_analog[shard].contains(t))
+                .take(demand.analog)
+                .collect();
+            st.pinned_digital[shard].extend(digital_tiles.iter().copied());
+            st.pinned_analog[shard].extend(analog_tiles.iter().copied());
+
+            let instructions = relocate(instructions, &digital_tiles, &analog_tiles)
+                .expect("load program stays inside its demand");
+            let scrub_rows: Vec<(usize, usize)> = instructions
+                .iter()
+                .filter_map(|i| match i {
+                    CimInstruction::WriteRow { tile, row, .. } => Some((*tile, *row)),
+                    _ => None,
+                })
+                .collect();
+            let placement = (demand.digital > 0).then(|| {
+                AddressMap::new(
+                    self.cfg.dataset_window_base(id.0),
+                    demand.digital,
+                    self.cfg.tile_rows,
+                    self.cfg.tile_cols.div_ceil(8),
+                )
+            });
+            st.datasets.insert(
+                id.0,
+                DatasetRecord {
+                    tenant,
+                    shard,
+                    digital_tiles,
+                    analog_tiles,
+                    payload,
+                    scrub_rows,
+                    resident_bytes,
+                    placement,
+                    load: LoadState::Pending,
+                    seed,
+                    released: false,
+                },
+            );
+            self.to_shards[shard]
+                .send(WorkerMsg::LoadDataset {
+                    id,
+                    instructions,
+                    seed,
+                })
+                .expect("shard worker alive");
+            shard
+        };
+
+        self.pump_until(|st| {
+            !matches!(
+                st.datasets.get(&id.0).map(|r| &r.load),
+                Some(LoadState::Pending)
+            )
+        });
+        let failure = {
+            let st = self.state.lock().expect("pool state");
+            match &st.datasets.get(&id.0).expect("dataset record").load {
+                LoadState::Loaded => None,
+                LoadState::Failed(message) => Some(message.clone()),
+                LoadState::Pending => unreachable!("pump_until waited for the load"),
+            }
+        };
+        match failure {
+            None => Ok((id, shard)),
+            Some(message) => {
+                // Roll back: unpin and scrub whatever the partial load
+                // wrote.
+                self.release_dataset(id);
+                Err(CompileError::DatasetLoadFailed { message })
+            }
+        }
+    }
+
+    /// Releases a dataset's lease: unpins its tiles for future
+    /// admission and tells its shard to scrub them. Called by the last
+    /// [`crate::DatasetHandle`] drop (and by load-failure rollback);
+    /// idempotent.
+    pub(crate) fn release_dataset(&self, id: DatasetId) {
+        let mut st = self.state.lock().expect("pool state");
+        let st = &mut *st;
+        let Some(record) = st.datasets.get_mut(&id.0) else {
+            return;
+        };
+        if record.released {
+            return;
+        }
+        record.released = true;
+        for t in &record.digital_tiles {
+            st.pinned_digital[record.shard].remove(t);
+        }
+        for t in &record.analog_tiles {
+            st.pinned_analog[record.shard].remove(t);
+        }
+        // The scrub is ordered before any batch planned after this
+        // point (same FIFO channel), so a fresh lease can never observe
+        // the dataset's rows. Ignore send failures: the pool may
+        // already be shut down, taking the data with it.
+        let _ = self.to_shards[record.shard].send(WorkerMsg::ReleaseDataset {
+            id,
+            rows: record.scrub_rows.clone(),
+            analog_tiles: record.analog_tiles.clone(),
+            seed: record.seed,
+        });
+    }
+
+    /// Folds one completion into the pool state.
+    fn process(&self, completion: Completion) {
+        let mut st = self.state.lock().expect("pool state");
+        let st = &mut *st;
+        match completion {
+            Completion::Job(report) => {
+                st.telemetry.record(&report);
+                match st.slots.get(&report.job.0) {
+                    Some(Slot::Abandoned) => {
+                        st.slots.remove(&report.job.0);
+                    }
+                    Some(Slot::Queued { claimed }) | Some(Slot::Dispatched { claimed }) => {
+                        let claimed = *claimed;
+                        st.slots
+                            .insert(report.job.0, Slot::Done { claimed, report });
+                    }
+                    Some(Slot::Done { .. }) | None => {}
+                }
+            }
+            Completion::DatasetLoaded { id, result } => {
+                if let Some(record) = st.datasets.get_mut(&id.0) {
+                    match result {
+                        Ok(stats) => {
+                            record.load = LoadState::Loaded;
+                            st.telemetry.record_dataset_load(
+                                id,
+                                record.tenant,
+                                record.resident_bytes,
+                                &stats,
+                            );
                         }
+                        Err(message) => record.load = LoadState::Failed(message),
                     }
                 }
-                out.push((
-                    shard,
-                    Batch {
-                        id: self.next_batch,
-                        jobs,
-                    },
-                ));
-                self.next_batch += 1;
             }
-        }
-        out
-    }
-}
-
-impl Drop for RuntimePool {
-    fn drop(&mut self) {
-        for w in &mut self.workers {
-            w.tx.take();
-        }
-        for w in &mut self.workers {
-            if let Some(handle) = w.handle.take() {
-                let _ = handle.join();
+            Completion::DatasetReleased { id, maintenance } => {
+                st.telemetry.maintenance = st.telemetry.maintenance.then(maintenance);
+                st.datasets.remove(&id.0);
             }
         }
     }
+
+    /// Pumps completions until `done(&state)` holds. Safe against
+    /// concurrent pumpers: the predicate is re-checked while holding
+    /// the completions lock, so a completion that another thread
+    /// consumed between the unlocked check and the blocking `recv`
+    /// cannot strand this waiter — once it holds the receiver lock, it
+    /// is the only thread that can consume completions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool shuts down before the predicate holds.
+    fn pump_until(&self, done: impl Fn(&PoolState) -> bool) {
+        loop {
+            {
+                let st = self.state.lock().expect("pool state");
+                if done(&st) {
+                    return;
+                }
+            }
+            let completion = {
+                let rx = self.completions.lock().expect("completion receiver");
+                {
+                    let st = self.state.lock().expect("pool state");
+                    if done(&st) {
+                        return;
+                    }
+                }
+                rx.recv()
+                    .expect("pool shut down while completions were outstanding")
+            };
+            self.process(completion);
+        }
+    }
+
+    /// Folds in every completion that already arrived, without
+    /// blocking. A no-op if another thread is already pumping.
+    fn try_pump(&self) {
+        let Ok(rx) = self.completions.try_lock() else {
+            return;
+        };
+        while let Ok(completion) = rx.try_recv() {
+            self.process(completion);
+        }
+    }
+
+    /// Removes and returns the job's report if it is ready.
+    fn try_take_done(&self, job: JobId) -> Option<JobReport> {
+        let mut st = self.state.lock().expect("pool state");
+        if matches!(st.slots.get(&job.0), Some(Slot::Done { .. })) {
+            let Some(Slot::Done { report, .. }) = st.slots.remove(&job.0) else {
+                unreachable!("checked above");
+            };
+            return Some(*report);
+        }
+        None
+    }
+
+    /// Non-blocking status of a job.
+    pub(crate) fn poll_job(&self, job: JobId) -> JobStatus {
+        self.try_pump();
+        let st = self.state.lock().expect("pool state");
+        match st.slots.get(&job.0) {
+            Some(Slot::Queued { .. }) => JobStatus::Queued,
+            Some(Slot::Dispatched { .. }) => JobStatus::Dispatched,
+            // A missing slot means the report was already taken.
+            Some(Slot::Done { .. }) | Some(Slot::Abandoned) | None => JobStatus::Completed,
+        }
+    }
+
+    /// Flushes and blocks until the job's report is ready, then returns
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool was dropped before the report arrived.
+    pub(crate) fn wait_job(&self, job: JobId) -> JobReport {
+        self.flush();
+        self.pump_until(|st| {
+            !matches!(
+                st.slots.get(&job.0),
+                Some(Slot::Queued { .. }) | Some(Slot::Dispatched { .. })
+            )
+        });
+        self.try_take_done(job)
+            .expect("the waited job's slot holds its report (handles are the sole takers)")
+    }
+
+    /// Drops a handle's claim: if the report is ready it is discarded,
+    /// otherwise it will be discarded (after telemetry) on arrival.
+    pub(crate) fn abandon_job(&self, job: JobId) {
+        let mut st = self.state.lock().expect("pool state");
+        match st.slots.get(&job.0) {
+            Some(Slot::Done { .. }) => {
+                st.slots.remove(&job.0);
+            }
+            Some(Slot::Queued { .. }) | Some(Slot::Dispatched { .. }) => {
+                st.slots.insert(job.0, Slot::Abandoned);
+            }
+            Some(Slot::Abandoned) | None => {}
+        }
+    }
+
+    /// Legacy drain: flush, block until every unclaimed job completes,
+    /// return their reports sorted by id.
+    pub(crate) fn drain_unclaimed(&self) -> Vec<JobReport> {
+        self.flush();
+        self.pump_until(|st| {
+            !st.slots.values().any(|slot| {
+                matches!(
+                    slot,
+                    Slot::Queued { claimed: false } | Slot::Dispatched { claimed: false }
+                )
+            })
+        });
+        self.take_unclaimed_done()
+    }
+
+    /// Removes and returns every unclaimed completed report, sorted by
+    /// job id.
+    fn take_unclaimed_done(&self) -> Vec<JobReport> {
+        let mut st = self.state.lock().expect("pool state");
+        let ids: Vec<u64> = st
+            .slots
+            .iter()
+            .filter(|(_, slot)| matches!(slot, Slot::Done { claimed: false, .. }))
+            .map(|(id, _)| *id)
+            .collect();
+        let mut reports = Vec::with_capacity(ids.len());
+        for id in ids {
+            if let Some(Slot::Done { report, .. }) = st.slots.remove(&id) {
+                reports.push(*report);
+            }
+        }
+        reports.sort_by_key(|r| r.job);
+        reports
+    }
 }
 
-/// Relocates a compiled stream onto the leased physical tiles,
-/// rejecting any instruction that escapes the lease. Tile indices are
-/// patched in place — the stream is owned by the batch and executed
-/// exactly once, so no payload (bin rows, weight matrices, query
-/// vectors) is copied on the worker hot path.
+/// Marks every planned job as dispatched, preserving its claim.
+fn mark_dispatched(st: &mut PoolState, batches: &[(usize, Batch)]) {
+    for (_, batch) in batches {
+        for placed in &batch.jobs {
+            let id = placed.compiled.job.0;
+            if let Some(Slot::Queued { claimed }) = st.slots.get(&id) {
+                let claimed = *claimed;
+                st.slots.insert(id, Slot::Dispatched { claimed });
+            }
+        }
+    }
+}
+
+/// The analytical host-vs-CIM estimate of a compiled job.
+fn offload_estimate(
+    compiled: &CompiledJob,
+    host: &ConventionalMachine,
+    cim_system: &CimSystem,
+) -> OffloadEstimate {
+    Program::streaming(
+        ByteSize(compiled.resident_bytes.max(64)),
+        compiled.host_profile.accel_fraction,
+        compiled.host_profile.l1_miss,
+        compiled.host_profile.l2_miss,
+    )
+    .estimate(host, cim_system)
+}
+
+/// Fails a job at dispatch time (no shard ever saw it): synthesizes its
+/// report, completes its slot and records telemetry.
+fn fail_at_dispatch(st: &mut PoolState, compiled: CompiledJob, shard: usize, error: JobError) {
+    let host = ConventionalMachine::xeon_e5_2680();
+    let cim_system = CimSystem::paper_default();
+    let offload = offload_estimate(&compiled, &host, &cim_system);
+    let report = JobReport {
+        job: compiled.job,
+        tenant: compiled.tenant,
+        kind: compiled.kind,
+        dataset: compiled.dataset,
+        shard,
+        batch: u64::MAX,
+        output: Err(error),
+        stats: ExecutionStats::default(),
+        maintenance: OperationCost::default(),
+        offload,
+    };
+    st.telemetry.record(&report);
+    let claimed = matches!(
+        st.slots.get(&compiled.job.0),
+        Some(Slot::Queued { claimed: true }) | Some(Slot::Dispatched { claimed: true })
+    );
+    if matches!(st.slots.get(&compiled.job.0), Some(Slot::Abandoned)) {
+        st.slots.remove(&compiled.job.0);
+    } else {
+        st.slots.insert(
+            compiled.job.0,
+            Slot::Done {
+                claimed,
+                report: Box::new(report),
+            },
+        );
+    }
+}
+
+/// A pending job routed to its shard, with pinned tile maps resolved
+/// for dataset jobs.
+struct RoutedJob {
+    compiled: CompiledJob,
+    /// `Some` for dataset jobs: the dataset's pinned physical tiles.
+    pinned: Option<(Vec<usize>, Vec<usize>)>,
+}
+
+/// Plans the pending queue: deterministic shard selection, cost-aware
+/// batch packing over free (un-pinned) tiles, shortest-job-first
+/// ordering. Returns `(shard, batch)` pairs in dispatch order.
+fn plan(
+    st: &mut PoolState,
+    cfg: &PoolConfig,
+    coalesce: bool,
+    max_batch_jobs: usize,
+) -> Vec<(usize, Batch)> {
+    let max_batch_jobs = max_batch_jobs.max(1);
+    let mut shard_queues: Vec<Vec<RoutedJob>> = (0..cfg.shards).map(|_| Vec::new()).collect();
+    let mut loads = vec![0u64; cfg.shards];
+    let mut failures: Vec<(CompiledJob, usize, JobError)> = Vec::new();
+
+    // 1. Route jobs to shards, in job-id order so the plan is a pure
+    // function of submission order even when sessions submitted
+    // concurrently.
+    let mut pending = std::mem::take(&mut st.pending);
+    pending.sort_by_key(|job| job.job);
+    for job in pending {
+        match job.dataset {
+            Some(id) => match st.datasets.get(&id.0).filter(|r| !r.released) {
+                Some(record) => {
+                    let shard = record.shard;
+                    loads[shard] += job.estimated_cost();
+                    shard_queues[shard].push(RoutedJob {
+                        pinned: Some((record.digital_tiles.clone(), record.analog_tiles.clone())),
+                        compiled: job,
+                    });
+                }
+                None => {
+                    let shard = st.datasets.get(&id.0).map_or(0, |r| r.shard);
+                    failures.push((job, shard, JobError::DatasetReleased { dataset: id }));
+                }
+            },
+            None => {
+                // Least-loaded shard whose free (un-pinned) tiles fit
+                // the lease; if none fits (datasets pinned tiles after
+                // submit-time validation), fall back to the
+                // least-loaded shard and let packing fail the job
+                // cleanly with `AdmissionFailed`.
+                let fits = |s: usize| {
+                    job.demand.digital <= cfg.digital_tiles - st.pinned_digital[s].len()
+                        && job.demand.analog <= cfg.analog_tiles - st.pinned_analog[s].len()
+                };
+                let shard = (0..cfg.shards)
+                    .filter(|&s| fits(s))
+                    .min_by_key(|&s| (loads[s], s))
+                    .or_else(|| (0..cfg.shards).min_by_key(|&s| (loads[s], s)))
+                    .expect("at least one shard");
+                loads[shard] += job.estimated_cost();
+                shard_queues[shard].push(RoutedJob {
+                    compiled: job,
+                    pinned: None,
+                });
+            }
+        }
+    }
+
+    // 2. Pack per-shard batches.
+    let mut out = Vec::new();
+    for (shard, mut queue) in shard_queues.into_iter().enumerate() {
+        let free_digital: Vec<usize> = (0..cfg.digital_tiles)
+            .filter(|t| !st.pinned_digital[shard].contains(t))
+            .collect();
+        let free_analog: Vec<usize> = (0..cfg.analog_tiles)
+            .filter(|t| !st.pinned_analog[shard].contains(t))
+            .collect();
+        let mut shard_batches: Vec<(u64, Vec<PlacedJob>)> = Vec::new();
+        while !queue.is_empty() {
+            let first = queue.remove(0);
+            let kind = first.compiled.kind;
+            let dataset = first.compiled.dataset;
+            let mut batch_cost = first.compiled.estimated_cost();
+            let mut jobs = Vec::new();
+
+            let (mut digital_used, mut analog_used) = match first.pinned {
+                Some((digital_map, analog_map)) => {
+                    jobs.push(PlacedJob {
+                        compiled: first.compiled,
+                        digital_map,
+                        analog_map,
+                    });
+                    // Dataset jobs share the pinned tiles; no free-tile
+                    // budget is consumed.
+                    (0, 0)
+                }
+                None => {
+                    let need = first.compiled.demand;
+                    if need.digital > free_digital.len() || need.analog > free_analog.len() {
+                        failures.push((
+                            first.compiled,
+                            shard,
+                            JobError::AdmissionFailed {
+                                digital_required: need.digital,
+                                digital_free: free_digital.len(),
+                                analog_required: need.analog,
+                                analog_free: free_analog.len(),
+                            },
+                        ));
+                        continue;
+                    }
+                    jobs.push(PlacedJob {
+                        compiled: first.compiled,
+                        digital_map: free_digital[..need.digital].to_vec(),
+                        analog_map: free_analog[..need.analog].to_vec(),
+                    });
+                    (need.digital, need.analog)
+                }
+            };
+
+            // Coalesce compatible jobs from anywhere in the shard
+            // queue, preserving their relative order. Jobs are
+            // order-independent by construction (private noise
+            // streams, exclusive or serially-shared leases), so
+            // pulling a same-kind job forward cannot change any
+            // result.
+            if coalesce {
+                let mut i = 0;
+                while jobs.len() < max_batch_jobs && i < queue.len() {
+                    let candidate = &queue[i];
+                    let compatible = candidate.compiled.kind == kind
+                        && candidate.compiled.dataset == dataset
+                        && batch_cost + candidate.compiled.estimated_cost() <= cfg.max_batch_cost;
+                    let fits = if dataset.is_some() {
+                        compatible
+                    } else {
+                        compatible
+                            && digital_used + candidate.compiled.demand.digital
+                                <= free_digital.len()
+                            && analog_used + candidate.compiled.demand.analog <= free_analog.len()
+                    };
+                    if fits {
+                        let routed = queue.remove(i);
+                        batch_cost += routed.compiled.estimated_cost();
+                        let placed = match routed.pinned {
+                            Some((digital_map, analog_map)) => PlacedJob {
+                                compiled: routed.compiled,
+                                digital_map,
+                                analog_map,
+                            },
+                            None => {
+                                let need = routed.compiled.demand;
+                                let placed = PlacedJob {
+                                    digital_map: free_digital
+                                        [digital_used..digital_used + need.digital]
+                                        .to_vec(),
+                                    analog_map: free_analog[analog_used..analog_used + need.analog]
+                                        .to_vec(),
+                                    compiled: routed.compiled,
+                                };
+                                digital_used += need.digital;
+                                analog_used += need.analog;
+                                placed
+                            }
+                        };
+                        jobs.push(placed);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+
+            // Shortest job first inside the batch: a cheap co-batched
+            // job reports before an expensive one.
+            jobs.sort_by_key(|p| (p.compiled.estimated_cost(), p.compiled.job));
+            shard_batches.push((batch_cost, jobs));
+        }
+        // Cheapest batch first on the shard, for the same reason.
+        shard_batches.sort_by_key(|(cost, jobs)| {
+            (
+                *cost,
+                jobs.iter().map(|p| p.compiled.job).min().expect("nonempty"),
+            )
+        });
+        for (_, jobs) in shard_batches {
+            out.push((
+                shard,
+                Batch {
+                    id: st.next_batch,
+                    jobs,
+                },
+            ));
+            st.next_batch += 1;
+        }
+    }
+
+    for (compiled, shard, error) in failures {
+        fail_at_dispatch(st, compiled, shard, error);
+    }
+    out
+}
+
+/// Relocates a compiled stream onto physical tiles via per-class maps
+/// (virtual index → physical tile), rejecting any instruction that
+/// escapes the lease. Tile indices are patched in place — the stream is
+/// owned by the batch and executed exactly once, so no payload (bin
+/// rows, weight matrices, query vectors) is copied on the worker hot
+/// path.
 fn relocate(
     mut instructions: Vec<CimInstruction>,
-    demand: TileDemand,
-    digital_base: usize,
-    analog_base: usize,
+    digital_map: &[usize],
+    analog_map: &[usize],
 ) -> Result<Vec<CimInstruction>, JobError> {
     let digital = |tile: usize| -> Result<usize, JobError> {
-        if tile < demand.digital {
-            Ok(digital_base + tile)
-        } else {
-            Err(JobError::TileFault {
-                virtual_tile: tile,
-                granted: demand.digital,
-                analog: false,
-            })
-        }
+        digital_map.get(tile).copied().ok_or(JobError::TileFault {
+            virtual_tile: tile,
+            granted: digital_map.len(),
+            analog: false,
+        })
     };
     let analog = |tile: usize| -> Result<usize, JobError> {
-        if tile < demand.analog {
-            Ok(analog_base + tile)
-        } else {
-            Err(JobError::TileFault {
-                virtual_tile: tile,
-                granted: demand.analog,
-                analog: true,
-            })
-        }
+        analog_map.get(tile).copied().ok_or(JobError::TileFault {
+            virtual_tile: tile,
+            granted: analog_map.len(),
+            analog: true,
+        })
     };
     let mut have_bits = false;
     for (index, instr) in instructions.iter_mut().enumerate() {
@@ -456,29 +1207,88 @@ fn relocate(
     Ok(instructions)
 }
 
+/// Renders a contained panic payload.
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    panic
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
+
 fn worker_loop(
     shard: usize,
     mut accelerator: CimAccelerator,
     shard_seed: u64,
-    batches: Receiver<Batch>,
-    reports: Sender<JobReport>,
+    messages: Receiver<WorkerMsg>,
+    completions: Sender<Completion>,
 ) {
     let host = ConventionalMachine::xeon_e5_2680();
     let cim_system = CimSystem::paper_default();
-    while let Ok(batch) = batches.recv() {
-        for placed in batch.jobs {
-            let report = run_job(
-                shard,
-                batch.id,
-                &mut accelerator,
-                shard_seed,
-                placed,
-                &host,
-                &cim_system,
-            );
-            if reports.send(report).is_err() {
-                return; // pool dropped
+    while let Ok(message) = messages.recv() {
+        match message {
+            WorkerMsg::Batch(batch) => {
+                for placed in batch.jobs {
+                    let report = run_job(
+                        shard,
+                        batch.id,
+                        &mut accelerator,
+                        shard_seed,
+                        placed,
+                        &host,
+                        &cim_system,
+                    );
+                    if completions.send(Completion::Job(Box::new(report))).is_err() {
+                        return; // pool dropped
+                    }
+                }
             }
+            WorkerMsg::LoadDataset {
+                id,
+                instructions,
+                seed,
+            } => {
+                let before = *accelerator.stats();
+                accelerator.reset_pipeline();
+                let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut rng = seeded(seed);
+                    for instr in instructions {
+                        accelerator.execute_with_rng(instr, &mut rng);
+                    }
+                }));
+                accelerator.reset_pipeline();
+                let stats = stats_delta(accelerator.stats(), &before);
+                let result = executed.map(|()| stats).map_err(panic_message);
+                if completions
+                    .send(Completion::DatasetLoaded { id, result })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            WorkerMsg::ReleaseDataset {
+                id,
+                rows,
+                analog_tiles,
+                seed,
+            } => {
+                let mut maintenance = OperationCost::default();
+                let mut scrub_rng = seeded(mix_seed(shard_seed, 0x5C12 ^ seed));
+                for (tile, row) in rows {
+                    maintenance = maintenance.then(accelerator.scrub_digital_row(tile, row));
+                }
+                for tile in analog_tiles {
+                    maintenance =
+                        maintenance.then(accelerator.scrub_analog_tile(tile, &mut scrub_rng));
+                }
+                if completions
+                    .send(Completion::DatasetReleased { id, maintenance })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            WorkerMsg::Shutdown => return,
         }
     }
 }
@@ -494,22 +1304,22 @@ fn run_job(
 ) -> JobReport {
     let PlacedJob {
         compiled,
-        digital_base,
-        analog_base,
+        digital_map,
+        analog_map,
     } = placed;
-    let offload = Program::streaming(
-        ByteSize(compiled.resident_bytes.max(64)),
-        compiled.host_profile.accel_fraction,
-        compiled.host_profile.l1_miss,
-        compiled.host_profile.l2_miss,
-    )
-    .estimate(host, cim_system);
+    let offload = offload_estimate(&compiled, host, cim_system);
 
-    let (job, tenant, kind) = (compiled.job, compiled.tenant, compiled.kind);
+    let (job, tenant, kind, dataset) = (
+        compiled.job,
+        compiled.tenant,
+        compiled.kind,
+        compiled.dataset,
+    );
     let base_report = move |output, stats, maintenance| JobReport {
         job,
         tenant,
         kind,
+        dataset,
         shard,
         batch,
         output,
@@ -518,12 +1328,7 @@ fn run_job(
         offload,
     };
 
-    let instructions = match relocate(
-        compiled.instructions,
-        compiled.demand,
-        digital_base,
-        analog_base,
-    ) {
+    let instructions = match relocate(compiled.instructions, &digital_map, &analog_map) {
         Ok(instructions) => instructions,
         Err(e) => {
             return base_report(
@@ -535,6 +1340,8 @@ fn run_job(
     };
 
     // Track what the job touches so it can be scrubbed afterwards.
+    // Dataset queries write only scratch rows (their StoreLast
+    // write-backs), so the resident rows survive for the next query.
     let mut written_rows: BTreeSet<(usize, usize)> = BTreeSet::new();
     let mut programmed_tiles: BTreeSet<usize> = BTreeSet::new();
     for instr in &instructions {
@@ -582,14 +1389,9 @@ fn run_job(
 
     let output = match executed {
         Ok(outputs) => Ok(compiled.finalizer.finalize(outputs)),
-        Err(panic) => {
-            let message = panic
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "opaque panic payload".to_string());
-            Err(JobError::ExecutionPanic { message })
-        }
+        Err(panic) => Err(JobError::ExecutionPanic {
+            message: panic_message(panic),
+        }),
     };
     base_report(output, stats, maintenance)
 }
@@ -597,6 +1399,7 @@ fn run_job(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::JobHandle;
     use crate::job::{JobKind, JobOutput};
     use cim_bitmap_db::query::q6_scan;
     use cim_bitmap_db::tpch::{LineItemTable, Q6Params};
@@ -606,46 +1409,49 @@ mod tests {
 
     #[test]
     fn q6_through_pool_matches_scan() {
-        let mut pool = RuntimePool::new(PoolConfig::with_shards(1));
-        let spec = WorkloadSpec::Q6Select {
-            rows: 1800,
-            table_seed: 21,
-            params: Q6Params::tpch_default(),
-        };
-        pool.submit(TenantId(0), &spec).unwrap();
-        let reports = pool.drain();
-        assert_eq!(reports.len(), 1);
+        let pool = RuntimePool::new(PoolConfig::with_shards(1));
+        let session = pool.client(TenantId(0));
+        let handle = session
+            .submit(&WorkloadSpec::Q6Select {
+                rows: 1800,
+                table_seed: 21,
+                params: Q6Params::tpch_default(),
+            })
+            .unwrap();
+        let report = handle.wait();
         let expected = q6_scan(
             &LineItemTable::generate(1800, 21),
             &Q6Params::tpch_default(),
         );
-        match reports[0].output.as_ref().unwrap() {
+        match report.output.as_ref().unwrap() {
             JobOutput::Q6(result) => {
                 assert_eq!(result.matching_rows, expected.matching_rows);
                 assert!((result.revenue - expected.revenue).abs() < 1e-6);
             }
             other => panic!("wrong output {other:?}"),
         }
-        assert!(reports[0].stats.logic_ops > 0);
-        assert!(reports[0].stats.energy.0 > 0.0);
-        assert!(reports[0].offload.speedup() > 1.0);
+        assert!(report.stats.logic_ops > 0);
+        assert!(report.stats.energy.0 > 0.0);
+        assert!(report.offload.speedup() > 1.0);
     }
 
     #[test]
     fn xor_through_pool_matches_software_pad() {
-        let mut pool = RuntimePool::new(PoolConfig::with_shards(1));
+        let pool = RuntimePool::new(PoolConfig::with_shards(1));
+        let session = pool.client(TenantId(1));
         let message: Vec<u8> = (0..400u32).map(|i| (i * 7 + 3) as u8).collect();
-        let spec = WorkloadSpec::XorEncrypt {
-            message: message.clone(),
-            key_seed: 99,
-        };
-        pool.submit(TenantId(1), &spec).unwrap();
-        let reports = pool.drain();
+        let handle = session
+            .submit(&WorkloadSpec::XorEncrypt {
+                message: message.clone(),
+                key_seed: 99,
+            })
+            .unwrap();
+        let report = handle.wait();
         let expected = OneTimePad::generate(message.len(), 99)
             .encrypt(&message)
             .unwrap();
         assert_eq!(
-            reports[0].output,
+            report.output,
             Ok(JobOutput::Cipher(expected)),
             "CIM ciphertext must match the software pad"
         );
@@ -653,7 +1459,8 @@ mod tests {
 
     #[test]
     fn scout_bulk_reduction_is_exact() {
-        let mut pool = RuntimePool::new(PoolConfig::with_shards(1));
+        let pool = RuntimePool::new(PoolConfig::with_shards(1));
+        let session = pool.client(TenantId(2));
         let rows: Vec<BitVec> = (0..9)
             .map(|i| BitVec::from_fn(100, |j| (j + i) % 4 == 0))
             .collect();
@@ -661,32 +1468,29 @@ mod tests {
         for r in &rows {
             expected = expected.or(r);
         }
-        pool.submit(
-            TenantId(2),
-            &WorkloadSpec::ScoutBulk {
+        let handle = session
+            .submit(&WorkloadSpec::ScoutBulk {
                 op: ScoutOp::Or,
                 rows,
-            },
-        )
-        .unwrap();
-        let reports = pool.drain();
-        assert_eq!(reports[0].output, Ok(JobOutput::Bits(expected)));
+            })
+            .unwrap();
+        assert_eq!(handle.wait().output, Ok(JobOutput::Bits(expected)));
     }
 
     #[test]
     fn batching_coalesces_compatible_jobs() {
-        let mut pool = RuntimePool::new(PoolConfig::with_shards(1));
-        for i in 0..4 {
-            pool.submit(
-                TenantId(i),
-                &WorkloadSpec::XorEncrypt {
-                    message: vec![i as u8 + 1; 64],
-                    key_seed: i as u64,
-                },
-            )
-            .unwrap();
-        }
-        let reports = pool.drain();
+        let pool = RuntimePool::new(PoolConfig::with_shards(1));
+        let handles: Vec<JobHandle> = (0..4)
+            .map(|i| {
+                pool.client(TenantId(i))
+                    .submit(&WorkloadSpec::XorEncrypt {
+                        message: vec![i as u8 + 1; 64],
+                        key_seed: i as u64,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        let reports = pool.client(TenantId(0)).wait_all(handles);
         assert_eq!(reports.len(), 4);
         // One digital tile each, 4 tiles per shard → one batch.
         assert!(reports.iter().all(|r| r.batch == reports[0].batch));
@@ -694,82 +1498,96 @@ mod tests {
     }
 
     #[test]
+    fn handle_polls_through_the_job_lifecycle() {
+        let pool = RuntimePool::new(PoolConfig::with_shards(1));
+        let session = pool.client(TenantId(0));
+        let handle = session
+            .submit(&WorkloadSpec::XorEncrypt {
+                message: vec![7; 32],
+                key_seed: 1,
+            })
+            .unwrap();
+        // Not flushed yet: the job sits in the pool queue.
+        assert_eq!(handle.poll(), JobStatus::Queued);
+        session.flush();
+        // Dispatched (or already done, on a fast machine): never Queued.
+        assert_ne!(handle.poll(), JobStatus::Queued);
+        let report = handle.wait();
+        assert!(report.output.is_ok());
+    }
+
+    #[test]
     fn oversized_raw_demand_rejected_at_submit() {
-        let mut pool = RuntimePool::new(PoolConfig::with_shards(1));
+        let pool = RuntimePool::new(PoolConfig::with_shards(1));
         let err = pool
-            .submit(
-                TenantId(0),
-                &WorkloadSpec::Raw {
-                    digital_tiles: 99,
-                    analog_tiles: 0,
-                    instructions: vec![],
-                },
-            )
+            .client(TenantId(0))
+            .submit(&WorkloadSpec::Raw {
+                digital_tiles: 99,
+                analog_tiles: 0,
+                instructions: vec![],
+            })
             .unwrap_err();
         assert!(matches!(err, CompileError::NeedsMoreDigitalTiles { .. }));
     }
 
     #[test]
     fn tile_fault_is_contained_to_the_job() {
-        let mut pool = RuntimePool::new(PoolConfig::with_shards(1));
-        pool.submit(
-            TenantId(0),
-            &WorkloadSpec::Raw {
+        let pool = RuntimePool::new(PoolConfig::with_shards(1));
+        let bad = pool
+            .client(TenantId(0))
+            .submit(&WorkloadSpec::Raw {
                 digital_tiles: 1,
                 analog_tiles: 0,
                 instructions: vec![CimInstruction::ReadRow { tile: 3, row: 0 }],
-            },
-        )
-        .unwrap();
-        pool.submit(
-            TenantId(1),
-            &WorkloadSpec::XorEncrypt {
+            })
+            .unwrap();
+        let good = pool
+            .client(TenantId(1))
+            .submit(&WorkloadSpec::XorEncrypt {
                 message: vec![42; 16],
                 key_seed: 5,
-            },
-        )
-        .unwrap();
-        let reports = pool.drain();
+            })
+            .unwrap();
+        let bad_report = bad.wait();
+        let good_report = good.wait();
         assert_eq!(
-            reports[0].output,
+            bad_report.output,
             Err(JobError::TileFault {
                 virtual_tile: 3,
                 granted: 1,
                 analog: false,
             })
         );
-        assert_eq!(reports[0].stats.instructions(), 0, "faulted job never ran");
-        assert!(reports[1].output.is_ok(), "co-tenant unaffected");
+        assert_eq!(bad_report.stats.instructions(), 0, "faulted job never ran");
+        assert!(good_report.output.is_ok(), "co-tenant unaffected");
         assert_eq!(pool.telemetry().failures, 1);
     }
 
     #[test]
     fn store_without_result_rejected() {
-        let mut pool = RuntimePool::new(PoolConfig::with_shards(1));
-        pool.submit(
-            TenantId(0),
-            &WorkloadSpec::Raw {
+        let pool = RuntimePool::new(PoolConfig::with_shards(1));
+        let handle = pool
+            .client(TenantId(0))
+            .submit(&WorkloadSpec::Raw {
                 digital_tiles: 1,
                 analog_tiles: 0,
                 instructions: vec![CimInstruction::StoreLast { tile: 0, row: 0 }],
-            },
-        )
-        .unwrap();
-        let reports = pool.drain();
+            })
+            .unwrap();
         assert_eq!(
-            reports[0].output,
+            handle.wait().output,
             Err(JobError::StoreWithoutResult { index: 0 })
         );
     }
 
     #[test]
     fn panicking_stream_fails_job_but_not_shard() {
-        let mut pool = RuntimePool::new(PoolConfig::with_shards(1));
+        let pool = RuntimePool::new(PoolConfig::with_shards(1));
         // A width-mismatched write panics inside the tile; the shard
         // must survive and serve the co-tenant normally.
-        pool.submit(
-            TenantId(0),
-            &WorkloadSpec::Raw {
+        let bad = pool
+            .client(TenantId(0))
+            .submit(&WorkloadSpec::Raw {
                 digital_tiles: 1,
                 analog_tiles: 0,
                 instructions: vec![CimInstruction::WriteRow {
@@ -777,39 +1595,257 @@ mod tests {
                     row: 0,
                     bits: BitVec::ones(3),
                 }],
-            },
-        )
-        .unwrap();
-        pool.submit(
-            TenantId(1),
-            &WorkloadSpec::XorEncrypt {
+            })
+            .unwrap();
+        let good = pool
+            .client(TenantId(1))
+            .submit(&WorkloadSpec::XorEncrypt {
                 message: vec![9; 8],
                 key_seed: 2,
-            },
-        )
-        .unwrap();
-        let reports = pool.drain();
+            })
+            .unwrap();
         assert!(matches!(
-            reports[0].output,
+            bad.wait().output,
             Err(JobError::ExecutionPanic { .. })
         ));
-        assert!(reports[1].output.is_ok());
+        assert!(good.wait().output.is_ok());
         assert_eq!(pool.telemetry().failures, 1);
     }
 
     #[test]
     fn kinds_recorded_in_reports() {
-        let mut pool = RuntimePool::new(PoolConfig::with_shards(2));
-        pool.submit(
-            TenantId(0),
-            &WorkloadSpec::ScoutBulk {
+        let pool = RuntimePool::new(PoolConfig::with_shards(2));
+        let handle = pool
+            .client(TenantId(0))
+            .submit(&WorkloadSpec::ScoutBulk {
                 op: ScoutOp::And,
                 rows: vec![BitVec::ones(32), BitVec::ones(32)],
+            })
+            .unwrap();
+        let report = handle.wait();
+        assert_eq!(report.kind, JobKind::ScoutBulk);
+        assert!(report.shard < 2);
+    }
+
+    #[test]
+    fn legacy_shim_still_serves() {
+        #![allow(deprecated)]
+        let mut pool = RuntimePool::new(PoolConfig::with_shards(1));
+        pool.submit(
+            TenantId(0),
+            &WorkloadSpec::XorEncrypt {
+                message: vec![1; 16],
+                key_seed: 4,
             },
         )
         .unwrap();
         let reports = pool.drain();
-        assert_eq!(reports[0].kind, JobKind::ScoutBulk);
-        assert!(reports[0].shard < 2);
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].output.is_ok());
+        assert_eq!(pool.telemetry().jobs, 1);
+    }
+
+    /// Satellite "smarter batching": with cost-aware packing, a cheap
+    /// job submitted after an expensive one is no longer head-of-line
+    /// blocked — it dispatches first, both across batches and inside a
+    /// shared batch.
+    #[test]
+    fn cheap_jobs_are_not_head_of_line_blocked() {
+        let pool = RuntimePool::new(PoolConfig::with_shards(1));
+        let session = pool.client(TenantId(0));
+        // ~300 bin writes across two tiles: expensive.
+        let expensive = session
+            .submit(&WorkloadSpec::Q6Select {
+                rows: 2000,
+                table_seed: 1,
+                params: Q6Params::tpch_default(),
+            })
+            .unwrap();
+        // A different-kind cheap job: lands in its own batch.
+        let cheap_xor = session
+            .submit(&WorkloadSpec::XorEncrypt {
+                message: vec![1; 8],
+                key_seed: 2,
+            })
+            .unwrap();
+        // A same-kind cheap job: coalesces into the Q6 batch.
+        let cheap_q6 = session
+            .submit(&WorkloadSpec::Q6Select {
+                rows: 400,
+                table_seed: 3,
+                params: Q6Params::tpch_default(),
+            })
+            .unwrap();
+        let batches = {
+            let mut st = pool.shared.state.lock().unwrap();
+            plan(&mut st, pool.config(), true, 8)
+        };
+        assert_eq!(batches.len(), 2, "XOR and Q6 form separate batches");
+        // The cheap XOR batch dispatches before the expensive Q6 batch.
+        assert_eq!(batches[0].1.jobs[0].compiled.job, cheap_xor.id());
+        // Inside the Q6 batch, the cheap select runs before the
+        // expensive one despite being submitted after it.
+        let q6_jobs: Vec<JobId> = batches[1].1.jobs.iter().map(|p| p.compiled.job).collect();
+        assert_eq!(q6_jobs, vec![cheap_q6.id(), expensive.id()]);
+    }
+
+    /// Satellite "smarter batching": the batch cost budget splits a
+    /// queue of same-kind jobs that tile count alone would coalesce.
+    #[test]
+    fn batch_cost_budget_bounds_coalescing() {
+        let mut cfg = PoolConfig::with_shards(1);
+        // Each 64-byte XOR job costs ~4; cap a batch at two of them.
+        cfg.max_batch_cost = 9;
+        let pool = RuntimePool::new(cfg);
+        let handles: Vec<JobHandle> = (0..4)
+            .map(|i| {
+                pool.client(TenantId(i))
+                    .submit(&WorkloadSpec::XorEncrypt {
+                        message: vec![i as u8; 64],
+                        key_seed: i as u64,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        let reports = pool.client(TenantId(0)).wait_all(handles);
+        assert_eq!(reports.len(), 4);
+        assert_eq!(
+            pool.telemetry().batches,
+            2,
+            "tile count alone would pack one batch; the cost budget packs two"
+        );
+    }
+
+    #[test]
+    fn dataset_queries_share_one_load() {
+        let pool = RuntimePool::new(PoolConfig::with_shards(2));
+        let session = pool.client(TenantId(7));
+        let table = session
+            .register_dataset(&DatasetSpec::Q6Table {
+                rows: 1500,
+                table_seed: 11,
+            })
+            .unwrap();
+        let handles: Vec<JobHandle> = (0..3)
+            .map(|_| {
+                session
+                    .submit(&WorkloadSpec::Q6Query {
+                        dataset: table.id(),
+                        params: Q6Params::tpch_default(),
+                    })
+                    .unwrap()
+            })
+            .collect();
+        let reports = session.wait_all(handles);
+        let expected = q6_scan(
+            &LineItemTable::generate(1500, 11),
+            &Q6Params::tpch_default(),
+        );
+        for report in &reports {
+            assert_eq!(report.shard, table.shard(), "queries route to the dataset");
+            match report.output.as_ref().unwrap() {
+                JobOutput::Q6(result) => {
+                    assert_eq!(result.matching_rows, expected.matching_rows)
+                }
+                other => panic!("wrong output {other:?}"),
+            }
+            assert_eq!(
+                report.stats.row_writes, 14,
+                "queries pay only scratch write-backs (7 per tile), never bin writes"
+            );
+        }
+        let telemetry = pool.telemetry();
+        let usage = &telemetry.datasets[&table.id().0];
+        assert_eq!(usage.queries, 3);
+        assert_eq!(usage.load_stats.row_writes, 2 * 145, "bins written once");
+        assert!(usage.amortized_load_writes_per_query() < usage.load_stats.row_writes as f64);
+    }
+
+    /// Regression: a fresh-lease job must route around shards whose
+    /// free tiles a dataset pinned, not fail `AdmissionFailed` on them
+    /// while another shard sits idle with room.
+    #[test]
+    fn fresh_leases_route_around_pinned_shards() {
+        let pool = RuntimePool::new(PoolConfig::with_shards(2));
+        let session = pool.client(TenantId(1));
+        // Pins 3 of 4 digital tiles on one shard.
+        let dataset = session
+            .register_dataset(&DatasetSpec::Q6Table {
+                rows: 3 * 1024,
+                table_seed: 9,
+            })
+            .unwrap();
+        // Needs 2 free tiles: only the other shard fits.
+        let report = session
+            .submit(&WorkloadSpec::Q6Select {
+                rows: 2000,
+                table_seed: 1,
+                params: Q6Params::tpch_default(),
+            })
+            .unwrap()
+            .wait();
+        assert!(report.output.is_ok(), "{:?}", report.output);
+        assert_ne!(report.shard, dataset.shard(), "routed around the pins");
+    }
+
+    /// Regression: a concurrent telemetry/poll pumper consuming the
+    /// `DatasetLoaded` completion must not strand `register_dataset`
+    /// in a blocking `recv` forever.
+    #[test]
+    fn registration_survives_concurrent_pumpers() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let pool = Arc::new(RuntimePool::new(PoolConfig::with_shards(1)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let hammers: Vec<_> = (0..3)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let _ = pool.telemetry();
+                    }
+                })
+            })
+            .collect();
+        let session = pool.client(TenantId(1));
+        for _ in 0..50 {
+            let handle = session
+                .register_dataset(&DatasetSpec::Q6Table {
+                    rows: 64,
+                    table_seed: 1,
+                })
+                .unwrap();
+            drop(handle);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in hammers {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn foreign_tenant_cannot_query_a_dataset() {
+        let pool = RuntimePool::new(PoolConfig::with_shards(1));
+        let owner = pool.client(TenantId(1));
+        let table = owner
+            .register_dataset(&DatasetSpec::Q6Table {
+                rows: 500,
+                table_seed: 3,
+            })
+            .unwrap();
+        let err = pool
+            .client(TenantId(2))
+            .submit(&WorkloadSpec::Q6Query {
+                dataset: table.id(),
+                params: Q6Params::tpch_default(),
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::DatasetAccessDenied {
+                dataset: table.id(),
+                owner: TenantId(1),
+            }
+        );
     }
 }

@@ -1,12 +1,21 @@
-//! The telemetry layer: per-job, per-tenant and pool-wide accounting.
+//! The telemetry layer: per-job, per-tenant, per-dataset and pool-wide
+//! accounting.
 //!
 //! Every executed job yields an [`ExecutionStats`] delta measured on its
 //! shard; the pool aggregates those deltas here. The invariant the
 //! integration tests pin: the pool-wide stats are exactly the sum of the
 //! per-job stats (scrubbing overhead is accounted separately as
 //! maintenance, never attributed to tenants).
+//!
+//! Resident datasets get a second ledger: their one-time load cost is
+//! recorded in [`DatasetUsage::load_stats`] (and the pool-wide
+//! [`PoolTelemetry::dataset_load`] aggregate), *never* in the per-job
+//! stats, while every query against the dataset accumulates into
+//! [`DatasetUsage::query_stats`]. The split makes the amortization the
+//! paper argues for directly measurable: load writes are paid once,
+//! queries carry only query-side operations.
 
-use crate::job::JobReport;
+use crate::job::{DatasetId, JobReport, TenantId};
 use cim_core::ExecutionStats;
 use cim_crossbar::energy::OperationCost;
 use cim_simkit::units::Seconds;
@@ -48,6 +57,38 @@ pub struct TenantUsage {
     pub stats: ExecutionStats,
 }
 
+/// Load-vs-query accounting of one resident dataset.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DatasetUsage {
+    /// The owning tenant.
+    pub tenant: u32,
+    /// Bytes resident in the pinned tiles.
+    pub resident_bytes: u64,
+    /// The one-time load program's statistics (bin writes / matrix
+    /// programming). Paid exactly once per registration, kept out of
+    /// every per-job stat.
+    pub load_stats: ExecutionStats,
+    /// Queries served against the dataset so far.
+    pub queries: u64,
+    /// Accumulated query-side statistics (reductions, MVMs, scratch
+    /// write-backs — no resident-data writes).
+    pub query_stats: ExecutionStats,
+}
+
+impl DatasetUsage {
+    /// Load-side row writes amortized over the queries served: the
+    /// number the resident-dataset design exists to drive down. With no
+    /// queries yet, this is the full (unamortized) load cost.
+    pub fn amortized_load_writes_per_query(&self) -> f64 {
+        self.load_stats.row_writes as f64 / (self.queries.max(1)) as f64
+    }
+
+    /// Load-side energy amortized over the queries served.
+    pub fn amortized_load_energy_per_query(&self) -> f64 {
+        self.load_stats.energy.0 / (self.queries.max(1)) as f64
+    }
+}
+
 /// Pool-wide aggregation across jobs, tenants and shards.
 #[derive(Debug, Clone, Default)]
 pub struct PoolTelemetry {
@@ -61,6 +102,14 @@ pub struct PoolTelemetry {
     pub pool: ExecutionStats,
     /// Per-tenant aggregation, keyed by tenant id.
     pub per_tenant: BTreeMap<u32, TenantUsage>,
+    /// Per-dataset load-vs-query aggregation, keyed by dataset id.
+    /// Entries survive dataset release so the amortization record is
+    /// not lost with the lease.
+    pub datasets: BTreeMap<u64, DatasetUsage>,
+    /// Sum of every dataset's one-time load statistics. Kept separate
+    /// from [`PoolTelemetry::pool`], which remains exactly the sum of
+    /// per-job stats.
+    pub dataset_load: ExecutionStats,
     /// Per-shard aggregation, indexed by shard.
     pub per_shard: Vec<ExecutionStats>,
     /// Scrubbing overhead (tile hygiene between tenants), kept separate
@@ -101,7 +150,32 @@ impl PoolTelemetry {
         if let Some(shard) = self.per_shard.get_mut(report.shard) {
             stats_accumulate(shard, &report.stats);
         }
+        if let Some(dataset) = report.dataset {
+            let usage = self.datasets.entry(dataset.0).or_default();
+            if report.output.is_ok() {
+                usage.queries += 1;
+            }
+            stats_accumulate(&mut usage.query_stats, &report.stats);
+        }
         self.maintenance = self.maintenance.then(report.maintenance);
+    }
+
+    /// Records a dataset's one-time load program. Load stats live in
+    /// the dataset ledger (and [`PoolTelemetry::dataset_load`]), never
+    /// in per-job stats — that separation *is* the amortization
+    /// measurement.
+    pub fn record_dataset_load(
+        &mut self,
+        dataset: DatasetId,
+        tenant: TenantId,
+        resident_bytes: u64,
+        stats: &ExecutionStats,
+    ) {
+        let usage = self.datasets.entry(dataset.0).or_default();
+        usage.tenant = tenant.0;
+        usage.resident_bytes = resident_bytes;
+        stats_accumulate(&mut usage.load_stats, stats);
+        stats_accumulate(&mut self.dataset_load, stats);
     }
 
     /// Mean analytical speedup-vs-host over successfully executed jobs.
@@ -157,6 +231,19 @@ impl fmt::Display for PoolTelemetry {
                 usage.failed,
                 usage.stats.instructions(),
                 usage.stats.energy.0
+            )?;
+        }
+        for (dataset, usage) in &self.datasets {
+            writeln!(
+                f,
+                "  dataset {dataset} (tenant {}): load {} instr / {:.3e} J once, \
+                 {} queries ({} instr), {:.1} load-writes/query amortized",
+                usage.tenant,
+                usage.load_stats.instructions(),
+                usage.load_stats.energy.0,
+                usage.queries,
+                usage.query_stats.instructions(),
+                usage.amortized_load_writes_per_query()
             )?;
         }
         Ok(())

@@ -20,8 +20,11 @@
 //! 7. Applications: [`cim_bitmap_db`], [`cim_xor_cipher`], [`cim_amp`],
 //!    [`cim_imgproc`], [`cim_nn`], [`cim_hdc`].
 //! 8. [`cim_runtime`] — the multi-tenant accelerator-pool runtime that
-//!    serves batched application workloads across shards (see the
-//!    "Serving workloads" section of README.md).
+//!    serves batched application workloads across shards through
+//!    per-tenant sessions: non-blocking `JobHandle`s per submission and
+//!    reference-counted resident datasets that amortize array writes
+//!    across queries (see the "Serving workloads" section of
+//!    README.md).
 
 pub use cim_amp;
 pub use cim_arch;

@@ -1,17 +1,25 @@
 //! End-to-end tests of the `cim-runtime` serving path.
 //!
-//! Pins the three runtime invariants:
+//! Pins the runtime invariants:
 //! 1. batched execution is bit-identical to sequential execution for a
 //!    fixed pool seed,
-//! 2. pool-wide telemetry equals the sum of per-job statistics,
-//! 3. tenants cannot read each other's tiles.
+//! 2. the session API (`PoolClient` + `JobHandle`) returns exactly the
+//!    reports the legacy `submit`/`drain` shim returns,
+//! 3. pool-wide telemetry equals the sum of per-job statistics,
+//! 4. tenants cannot read each other's tiles,
+//! 5. resident datasets pay their load writes once, stay resident
+//!    until the last `DatasetHandle` drops, and are never readable by
+//!    another tenant.
 
 use cim_repro::cim_bitmap_db::query::q6_scan;
 use cim_repro::cim_bitmap_db::tpch::{LineItemTable, Q6Params};
 use cim_repro::cim_core::isa::CimInstruction;
 use cim_repro::cim_core::ExecutionStats;
 use cim_repro::cim_crossbar::scouting::ScoutOp;
-use cim_repro::cim_runtime::{JobOutput, PoolConfig, RuntimePool, TenantId, WorkloadSpec};
+use cim_repro::cim_runtime::{
+    CompileError, DatasetSpec, JobHandle, JobOutput, PoolConfig, RuntimePool, TenantId,
+    WorkloadSpec,
+};
 use cim_repro::cim_simkit::bitvec::BitVec;
 
 /// A mixed multi-tenant workload touching every compiled job family.
@@ -59,23 +67,33 @@ fn mixed_workload() -> Vec<(TenantId, WorkloadSpec)> {
     jobs
 }
 
-fn submit_all(pool: &mut RuntimePool, jobs: &[(TenantId, WorkloadSpec)]) {
-    for (tenant, spec) in jobs {
-        pool.submit(*tenant, spec).expect("workload fits the pool");
-    }
+/// Submits every job through a per-tenant session, returning handles.
+fn submit_all(pool: &RuntimePool, jobs: &[(TenantId, WorkloadSpec)]) -> Vec<JobHandle> {
+    jobs.iter()
+        .map(|(tenant, spec)| {
+            pool.client(*tenant)
+                .submit(spec)
+                .expect("workload fits the pool")
+        })
+        .collect()
 }
 
 #[test]
 fn batched_equals_sequential_for_fixed_seed() {
     let jobs = mixed_workload();
 
-    let mut batched = RuntimePool::new(PoolConfig::with_shards(2));
-    submit_all(&mut batched, &jobs);
-    let batched_reports = batched.drain();
+    let batched = RuntimePool::new(PoolConfig::with_shards(2));
+    let handles = submit_all(&batched, &jobs);
+    let batched_reports = batched.client(TenantId(0)).wait_all(handles);
 
-    let mut sequential = RuntimePool::new(PoolConfig::with_shards(2));
-    submit_all(&mut sequential, &jobs);
-    let sequential_reports = sequential.drain_sequential();
+    #[allow(deprecated)]
+    let sequential_reports = {
+        let mut sequential = RuntimePool::new(PoolConfig::with_shards(2));
+        for (tenant, spec) in &jobs {
+            sequential.submit(*tenant, spec).expect("workload fits");
+        }
+        sequential.drain_sequential()
+    };
 
     assert_eq!(batched_reports.len(), sequential_reports.len());
     for (b, s) in batched_reports.iter().zip(&sequential_reports) {
@@ -98,17 +116,44 @@ fn batched_equals_sequential_for_fixed_seed() {
     }
     // Batching actually batched: fewer batches than jobs.
     assert!(batched.telemetry().batches < batched_reports.len() as u64);
-    assert_eq!(
-        sequential.telemetry().batches,
-        sequential_reports.len() as u64
-    );
+}
+
+/// Satellite: the non-blocking handle path returns bit-identical
+/// reports to the legacy blocking `drain` for a fixed seed — the shim
+/// and the session API are the same machine.
+#[test]
+fn handle_wait_matches_legacy_drain() {
+    let jobs = mixed_workload();
+
+    let session_pool = RuntimePool::new(PoolConfig::with_shards(2));
+    let handles = submit_all(&session_pool, &jobs);
+    // Exercise poll on the way: nothing blocks before the flush.
+    for handle in &handles {
+        assert_eq!(
+            handle.poll(),
+            cim_repro::cim_runtime::JobStatus::Queued,
+            "submission must not implicitly dispatch"
+        );
+    }
+    let session_reports = session_pool.client(TenantId(0)).wait_all(handles);
+
+    #[allow(deprecated)]
+    let legacy_reports = {
+        let mut legacy = RuntimePool::new(PoolConfig::with_shards(2));
+        for (tenant, spec) in &jobs {
+            legacy.submit(*tenant, spec).expect("workload fits");
+        }
+        legacy.drain()
+    };
+
+    assert_eq!(session_reports, legacy_reports);
 }
 
 #[test]
 fn pool_stats_equal_sum_of_job_stats() {
-    let mut pool = RuntimePool::new(PoolConfig::with_shards(2));
-    submit_all(&mut pool, &mixed_workload());
-    let reports = pool.drain();
+    let pool = RuntimePool::new(PoolConfig::with_shards(2));
+    let handles = submit_all(&pool, &mixed_workload());
+    let reports = pool.client(TenantId(0)).wait_all(handles);
 
     let mut summed = ExecutionStats::default();
     for r in &reports {
@@ -120,7 +165,8 @@ fn pool_stats_equal_sum_of_job_stats() {
         summed.energy += r.stats.energy;
         summed.busy_time += r.stats.busy_time;
     }
-    let pool_stats = pool.telemetry().pool;
+    let telemetry = pool.telemetry();
+    let pool_stats = telemetry.pool;
     assert_eq!(pool_stats.row_writes, summed.row_writes);
     assert_eq!(pool_stats.row_reads, summed.row_reads);
     assert_eq!(pool_stats.logic_ops, summed.logic_ops);
@@ -133,19 +179,13 @@ fn pool_stats_equal_sum_of_job_stats() {
 
     // Per-tenant jobs add up to the total, and per-shard stats cover
     // every executed instruction.
-    let tenant_jobs: u64 = pool
-        .telemetry()
+    let tenant_jobs: u64 = telemetry
         .per_tenant
         .values()
         .map(|t| t.jobs + t.failed)
         .sum();
     assert_eq!(tenant_jobs, reports.len() as u64);
-    let shard_instr: u64 = pool
-        .telemetry()
-        .per_shard
-        .iter()
-        .map(|s| s.instructions())
-        .sum();
+    let shard_instr: u64 = telemetry.per_shard.iter().map(|s| s.instructions()).sum();
     assert_eq!(shard_instr, pool_stats.instructions());
 }
 
@@ -155,12 +195,12 @@ fn tenants_cannot_read_each_others_tiles() {
     // pattern. Tenant B then leases a tile on the same (single-shard)
     // pool and reads the same row index: it must see scrubbed zeros,
     // and any access outside its lease must fault.
-    let mut pool = RuntimePool::new(PoolConfig::with_shards(1));
+    let pool = RuntimePool::new(PoolConfig::with_shards(1));
     let marker = BitVec::from_fn(1024, |j| j % 2 == 0);
 
-    pool.submit(
-        TenantId(10),
-        &WorkloadSpec::Raw {
+    let first = pool
+        .client(TenantId(10))
+        .submit(&WorkloadSpec::Raw {
             digital_tiles: 1,
             analog_tiles: 0,
             instructions: vec![CimInstruction::WriteRow {
@@ -168,40 +208,35 @@ fn tenants_cannot_read_each_others_tiles() {
                 row: 5,
                 bits: marker.clone(),
             }],
-        },
-    )
-    .unwrap();
-    let first = pool.drain();
-    assert!(first[0].output.is_ok());
+        })
+        .unwrap()
+        .wait();
+    assert!(first.output.is_ok());
     assert!(
-        first[0].maintenance.energy.0 > 0.0,
+        first.maintenance.energy.0 > 0.0,
         "lease scrubbing must actually write"
     );
 
     // Tenant B reads the row tenant A wrote (same physical tile 0, the
-    // pool has been drained so the lease was recycled).
-    pool.submit(
-        TenantId(11),
-        &WorkloadSpec::Raw {
+    // first job completed so the lease was recycled).
+    let probe = pool.client(TenantId(11));
+    let read_back = probe
+        .submit(&WorkloadSpec::Raw {
             digital_tiles: 1,
             analog_tiles: 0,
             instructions: vec![CimInstruction::ReadRow { tile: 0, row: 5 }],
-        },
-    )
-    .unwrap();
+        })
+        .unwrap();
     // And tenant B also tries to escape its one-tile lease outright.
-    pool.submit(
-        TenantId(11),
-        &WorkloadSpec::Raw {
+    let escape = probe
+        .submit(&WorkloadSpec::Raw {
             digital_tiles: 1,
             analog_tiles: 0,
             instructions: vec![CimInstruction::ReadRow { tile: 1, row: 5 }],
-        },
-    )
-    .unwrap();
-    let second = pool.drain();
+        })
+        .unwrap();
 
-    match second[0].output.as_ref().unwrap() {
+    match read_back.wait().output.as_ref().unwrap() {
         JobOutput::Responses(responses) => {
             let bits = responses[0].clone().into_bits().unwrap();
             assert_eq!(bits.count_ones(), 0, "tenant B saw tenant A's data");
@@ -210,49 +245,46 @@ fn tenants_cannot_read_each_others_tiles() {
         other => panic!("unexpected output {other:?}"),
     }
     assert!(
-        second[1].output.is_err(),
+        escape.wait().output.is_err(),
         "out-of-lease access must tile-fault"
     );
 }
 
 #[test]
 fn q6_and_hdc_serve_end_to_end() {
-    let mut pool = RuntimePool::new(PoolConfig::with_shards(2));
-    pool.submit(
-        TenantId(1),
-        &WorkloadSpec::Q6Select {
+    let pool = RuntimePool::new(PoolConfig::with_shards(2));
+    let q6 = pool
+        .client(TenantId(1))
+        .submit(&WorkloadSpec::Q6Select {
             rows: 2500,
             table_seed: 77,
             params: Q6Params::tpch_default(),
-        },
-    )
-    .unwrap();
-    pool.submit(
-        TenantId(2),
-        &WorkloadSpec::HdcClassify {
+        })
+        .unwrap();
+    let hdc = pool
+        .client(TenantId(2))
+        .submit(&WorkloadSpec::HdcClassify {
             classes: 8,
             d: 2048,
             ngram: 3,
             train_len: 2000,
             samples: 16,
             sample_len: 300,
-        },
-    )
-    .unwrap();
-    let reports = pool.drain();
+        })
+        .unwrap();
 
     let expected = q6_scan(
         &LineItemTable::generate(2500, 77),
         &Q6Params::tpch_default(),
     );
-    match reports[0].output.as_ref().unwrap() {
+    match q6.wait().output.as_ref().unwrap() {
         JobOutput::Q6(result) => {
             assert_eq!(result.matching_rows, expected.matching_rows);
             assert!((result.revenue - expected.revenue).abs() < 1e-6);
         }
         other => panic!("unexpected output {other:?}"),
     }
-    match reports[1].output.as_ref().unwrap() {
+    match hdc.wait().output.as_ref().unwrap() {
         JobOutput::Hdc(outcome) => {
             assert_eq!(outcome.predictions.len(), 16);
             assert!(
@@ -264,7 +296,249 @@ fn q6_and_hdc_serve_end_to_end() {
         other => panic!("unexpected output {other:?}"),
     }
     // Telemetry saw both tenants and a positive offload estimate.
-    assert_eq!(pool.telemetry().per_tenant.len(), 2);
-    assert!(pool.telemetry().mean_speedup() > 1.0);
-    assert!(pool.telemetry().pool.mvms >= 16);
+    let telemetry = pool.telemetry();
+    assert_eq!(telemetry.per_tenant.len(), 2);
+    assert!(telemetry.mean_speedup() > 1.0);
+    assert!(telemetry.pool.mvms >= 16);
+}
+
+/// Acceptance: a repeated-query workload (≥8 Q6 queries against one
+/// registered dataset) pays the resident-data writes once — visible in
+/// the dataset's load stats — while per-query stats carry only
+/// query-side operations, and every result stays bit-exact vs the
+/// scalar reference.
+#[test]
+fn resident_dataset_amortizes_load_across_queries() {
+    let pool = RuntimePool::new(PoolConfig::with_shards(2));
+    let session = pool.client(TenantId(1));
+    let table = session
+        .register_dataset(&DatasetSpec::Q6Table {
+            rows: 1800,
+            table_seed: 21,
+        })
+        .unwrap();
+
+    // Eight different parameterizations of Q6 against the same bins.
+    let params: Vec<Q6Params> = (0..8)
+        .map(|i| Q6Params {
+            year: 1 + (i % 3) as u16,
+            discount: 4 + (i % 4) as u8,
+            max_quantity: 20 + 2 * (i % 5) as u8,
+        })
+        .collect();
+    let handles: Vec<JobHandle> = params
+        .iter()
+        .map(|p| {
+            session
+                .submit(&WorkloadSpec::Q6Query {
+                    dataset: table.id(),
+                    params: *p,
+                })
+                .unwrap()
+        })
+        .collect();
+    let reports = session.wait_all(handles);
+
+    let reference_table = LineItemTable::generate(1800, 21);
+    for (report, p) in reports.iter().zip(&params) {
+        let expected = q6_scan(&reference_table, p);
+        match report.output.as_ref().unwrap() {
+            JobOutput::Q6(result) => {
+                assert_eq!(result.matching_rows, expected.matching_rows, "{p:?}");
+                assert!((result.revenue - expected.revenue).abs() < 1e-6, "{p:?}");
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+        // Query-side only: scratch write-backs (≤7 per tile on two
+        // tiles), never the 145-per-tile bin writes.
+        assert!(report.stats.row_writes <= 14, "{p:?}");
+        assert!(report.stats.logic_ops > 0, "{p:?}");
+    }
+
+    let telemetry = pool.telemetry();
+    let usage = &telemetry.datasets[&table.id().0];
+    assert_eq!(usage.queries, 8);
+    assert_eq!(
+        usage.load_stats.row_writes,
+        2 * 145,
+        "bin writes paid exactly once, at registration"
+    );
+    let query_writes: u64 = reports.iter().map(|r| r.stats.row_writes).sum();
+    assert_eq!(usage.query_stats.row_writes, query_writes);
+    // The amortization the design exists for: per-query share of the
+    // load is 8x smaller than the load itself.
+    assert!(
+        usage.amortized_load_writes_per_query() * 8.0 <= usage.load_stats.row_writes as f64 + 1e-9
+    );
+    // Loads are ledgered separately from per-job stats.
+    assert_eq!(telemetry.pool.row_writes, query_writes);
+}
+
+/// Satellite: the dataset lease is reference-counted — the lease is
+/// scrubbed only after the *last* handle drops, and a second tenant can
+/// never read the resident data (neither while resident nor after).
+#[test]
+fn dataset_lease_scrubbed_only_after_last_handle_drops() {
+    let pool = RuntimePool::new(PoolConfig::with_shards(1));
+    let owner = pool.client(TenantId(1));
+    let spy = pool.client(TenantId(2));
+
+    // One-tile dataset (500 rows < 1024 cols) pins physical tile 0.
+    let first_handle = owner
+        .register_dataset(&DatasetSpec::Q6Table {
+            rows: 500,
+            table_seed: 3,
+        })
+        .unwrap();
+    let second_handle = first_handle.clone();
+    assert_eq!(first_handle.ref_count(), 2);
+    let expected = q6_scan(&LineItemTable::generate(500, 3), &Q6Params::tpch_default());
+
+    // While resident: the other tenant cannot query it…
+    let denied = spy
+        .submit(&WorkloadSpec::Q6Query {
+            dataset: first_handle.id(),
+            params: Q6Params::tpch_default(),
+        })
+        .unwrap_err();
+    assert!(matches!(denied, CompileError::DatasetAccessDenied { .. }));
+    // …cannot lease enough tiles to cover the pinned one…
+    let too_big = spy
+        .submit(&WorkloadSpec::Raw {
+            digital_tiles: 4,
+            analog_tiles: 0,
+            instructions: vec![],
+        })
+        .unwrap_err();
+    assert!(matches!(
+        too_big,
+        CompileError::NeedsMoreDigitalTiles {
+            required: 4,
+            available: 3,
+        }
+    ));
+    // …and a maximal fresh lease maps around the pinned tile: reading
+    // the bin rows through every granted tile sees no resident data.
+    let probe = spy
+        .submit(&WorkloadSpec::Raw {
+            digital_tiles: 3,
+            analog_tiles: 0,
+            instructions: (0..3)
+                .map(|tile| CimInstruction::ReadRow { tile, row: 0 })
+                .collect(),
+        })
+        .unwrap()
+        .wait();
+    match probe.output.as_ref().unwrap() {
+        JobOutput::Responses(responses) => {
+            for resp in responses {
+                let bits = resp.clone().into_bits().unwrap();
+                assert_eq!(bits.count_ones(), 0, "fresh lease saw resident data");
+            }
+        }
+        other => panic!("unexpected output {other:?}"),
+    }
+
+    // Dropping one of two handles must NOT release the lease: queries
+    // still serve from the resident bins, bit-exact.
+    drop(first_handle);
+    let still_resident = owner
+        .submit(&WorkloadSpec::Q6Query {
+            dataset: second_handle.id(),
+            params: Q6Params::tpch_default(),
+        })
+        .unwrap()
+        .wait();
+    match still_resident.output.as_ref().unwrap() {
+        JobOutput::Q6(result) => assert_eq!(result.matching_rows, expected.matching_rows),
+        other => panic!("unexpected output {other:?}"),
+    }
+
+    // Dropping the last handle releases and scrubs. The freed tile
+    // (physical 0, lowest index) goes back into fresh leases: reading
+    // the rows the bins occupied must see zeros, and a query against
+    // the dead id must be rejected.
+    let dataset_id = second_handle.id();
+    drop(second_handle);
+    let dead = owner
+        .submit(&WorkloadSpec::Q6Query {
+            dataset: dataset_id,
+            params: Q6Params::tpch_default(),
+        })
+        .unwrap_err();
+    assert!(matches!(dead, CompileError::UnknownDataset { .. }));
+
+    let after = spy
+        .submit(&WorkloadSpec::Raw {
+            digital_tiles: 1,
+            analog_tiles: 0,
+            instructions: (0..145)
+                .map(|row| CimInstruction::ReadRow { tile: 0, row })
+                .collect(),
+        })
+        .unwrap()
+        .wait();
+    match after.output.as_ref().unwrap() {
+        JobOutput::Responses(responses) => {
+            assert_eq!(responses.len(), 145);
+            for resp in responses {
+                let bits = resp.clone().into_bits().unwrap();
+                assert_eq!(
+                    bits.count_ones(),
+                    0,
+                    "released dataset rows must be scrubbed before reuse"
+                );
+            }
+        }
+        other => panic!("unexpected output {other:?}"),
+    }
+}
+
+/// HDC prototypes stay programmed across query jobs and serve with the
+/// same accuracy as the one-shot classification workload.
+#[test]
+fn resident_hdc_prototypes_serve_queries() {
+    let pool = RuntimePool::new(PoolConfig::with_shards(1));
+    let session = pool.client(TenantId(5));
+    let prototypes = session
+        .register_dataset(&DatasetSpec::HdcPrototypes {
+            classes: 6,
+            d: 2048,
+            ngram: 3,
+            train_len: 1500,
+        })
+        .unwrap();
+    let handles: Vec<JobHandle> = (0..2)
+        .map(|_| {
+            session
+                .submit(&WorkloadSpec::HdcQuery {
+                    dataset: prototypes.id(),
+                    samples: 12,
+                    sample_len: 250,
+                })
+                .unwrap()
+        })
+        .collect();
+    let reports = session.wait_all(handles);
+    for report in &reports {
+        assert_eq!(
+            report.stats.matrix_programs, 0,
+            "queries must not reprogram the matrix"
+        );
+        assert_eq!(report.stats.mvms, 12);
+        match report.output.as_ref().unwrap() {
+            JobOutput::Hdc(outcome) => {
+                assert!(
+                    outcome.accuracy() > 0.8,
+                    "resident-prototype accuracy {}",
+                    outcome.accuracy()
+                );
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+    let telemetry = pool.telemetry();
+    let usage = &telemetry.datasets[&prototypes.id().0];
+    assert_eq!(usage.load_stats.matrix_programs, 1, "programmed once");
+    assert_eq!(usage.queries, 2);
 }
