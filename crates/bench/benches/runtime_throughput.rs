@@ -5,9 +5,12 @@
 
 use cim_bitmap_db::tpch::Q6Params;
 use cim_crossbar::scouting::ScoutOp;
+use cim_nn::binarized::BinarizedMlp;
 use cim_runtime::{DatasetSpec, JobHandle, PoolConfig, RuntimePool, TenantId, WorkloadSpec};
 use cim_simkit::bitvec::BitVec;
+use cim_simkit::rng::seeded;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
 use std::hint::black_box;
 
 fn job_set() -> Vec<(TenantId, WorkloadSpec)> {
@@ -119,12 +122,71 @@ fn bench_resident_vs_cold(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched binarized inference against one resident `NnWeights`
+/// dataset vs cold jobs that reprogram the weight matrices every time:
+/// the wall-clock view of the NN weight amortization (weight
+/// program-and-verify dominates the cold path).
+fn bench_nn_resident(c: &mut Criterion) {
+    const INFERENCES: usize = 8;
+    let network = BinarizedMlp::random(&[256, 32, 8], 11);
+    let mut rng = seeded(3);
+    // One inference per job: the per-job MVM work stays small next to
+    // the weight programming the resident path amortizes away.
+    let inputs: Vec<BitVec> = vec![BitVec::from_fn(256, |_| rng.gen::<f64>() < 0.5)];
+    let mut group = c.benchmark_group("nn_resident");
+    group.sample_size(10);
+
+    group.bench_function("cold_load_8_inferences", |b| {
+        b.iter(|| {
+            let pool = RuntimePool::new(PoolConfig::with_shards(1));
+            let session = pool.client(TenantId(1));
+            let handles: Vec<JobHandle> = (0..INFERENCES)
+                .map(|_| {
+                    session
+                        .submit(&WorkloadSpec::NnInfer {
+                            network: network.clone(),
+                            inputs: inputs.clone(),
+                        })
+                        .unwrap()
+                })
+                .collect();
+            black_box(session.wait_all(handles))
+        })
+    });
+
+    // Weights registered once, outside the measured loop: steady-state
+    // serving is the MVM-only query side.
+    let pool = RuntimePool::new(PoolConfig::with_shards(1));
+    let session = pool.client(TenantId(1));
+    let weights = session
+        .register_dataset(&DatasetSpec::NnWeights {
+            network: network.clone(),
+        })
+        .unwrap();
+    group.bench_function("resident_8_inferences", |b| {
+        b.iter(|| {
+            let handles: Vec<JobHandle> = (0..INFERENCES)
+                .map(|_| {
+                    session
+                        .submit(&WorkloadSpec::NnQuery {
+                            dataset: weights.id(),
+                            inputs: inputs.clone(),
+                        })
+                        .unwrap()
+                })
+                .collect();
+            black_box(session.wait_all(handles))
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(200))
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(10);
-    targets = bench_runtime_throughput, bench_resident_vs_cold
+    targets = bench_runtime_throughput, bench_resident_vs_cold, bench_nn_resident
 }
 criterion_main!(benches);

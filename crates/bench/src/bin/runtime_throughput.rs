@@ -24,8 +24,11 @@
 //! slower.
 
 use cim_bitmap_db::tpch::Q6Params;
+use cim_nn::binarized::BinarizedMlp;
 use cim_runtime::{DatasetSpec, JobHandle, PoolConfig, RuntimePool, TenantId, WorkloadSpec};
 use cim_simkit::bitvec::BitVec;
+use cim_simkit::rng::seeded;
+use rand::Rng;
 use std::time::Instant;
 
 fn job_set() -> Vec<(TenantId, WorkloadSpec)> {
@@ -215,7 +218,108 @@ fn resident_amortization() {
     );
 }
 
+/// The resident-vs-cold comparison for NN weights: ≥ 8 batched
+/// binarized inferences against one registered `NnWeights` dataset vs
+/// the same inferences each reprogramming the weight matrices into a
+/// fresh lease. Weight programming dominates the cold path (every
+/// device is program-and-verified), so pinning the matrices is the
+/// single biggest amortization in the pool.
+fn nn_resident_amortization() {
+    println!("\n# RESIDENT NN WEIGHTS — amortized vs cold-load binarized inference (1 shard)\n");
+    const INFERENCES: u64 = 8;
+    let network = BinarizedMlp::random(&[256, 32, 8], 11);
+    let mut rng = seeded(3);
+    // One inference per job: the per-job MVM work stays small next to
+    // the weight programming the resident path amortizes away.
+    let inputs: Vec<BitVec> = vec![BitVec::from_fn(256, |_| rng.gen::<f64>() < 0.5)];
+
+    // Cold path: every inference job programs both layers itself.
+    let cold = RuntimePool::new(PoolConfig::with_shards(1));
+    let cold_session = cold.client(TenantId(1));
+    let cold_handles: Vec<JobHandle> = (0..INFERENCES)
+        .map(|_| {
+            cold_session
+                .submit(&WorkloadSpec::NnInfer {
+                    network: network.clone(),
+                    inputs: inputs.clone(),
+                })
+                .expect("job fits pool")
+        })
+        .collect();
+    let cold_start = Instant::now();
+    let cold_reports = cold_session.wait_all(cold_handles);
+    let cold_wall = cold_start.elapsed().as_secs_f64();
+    assert!(cold_reports.iter().all(|r| r.output.is_ok()));
+    let cold_sim = cold.telemetry().pool.busy_time.0 / INFERENCES as f64;
+
+    // Amortized path: weights pinned once, queries carry only MVMs.
+    let warm = RuntimePool::new(PoolConfig::with_shards(1));
+    let warm_session = warm.client(TenantId(1));
+    let warm_start = Instant::now();
+    let weights = warm_session
+        .register_dataset(&DatasetSpec::NnWeights {
+            network: network.clone(),
+        })
+        .expect("dataset fits pool");
+    let warm_handles: Vec<JobHandle> = (0..INFERENCES)
+        .map(|_| {
+            warm_session
+                .submit(&WorkloadSpec::NnQuery {
+                    dataset: weights.id(),
+                    inputs: inputs.clone(),
+                })
+                .expect("query fits pool")
+        })
+        .collect();
+    let warm_reports = warm_session.wait_all(warm_handles);
+    let warm_wall = warm_start.elapsed().as_secs_f64();
+    for (w, c) in warm_reports.iter().zip(&cold_reports) {
+        assert_eq!(
+            w.output.as_ref().unwrap(),
+            c.output.as_ref().unwrap(),
+            "resident inference must be bit-identical to cold"
+        );
+    }
+    let warm_t = warm.telemetry();
+    let usage = &warm_t.datasets[&weights.id().0];
+    let warm_sim =
+        (usage.load_stats.busy_time.0 + usage.query_stats.busy_time.0) / INFERENCES as f64;
+    let speedup = cold_sim / warm_sim;
+
+    println!(
+        "{:>10} {:>8} {:>14} {:>14} {:>14} {:>13}",
+        "path", "infers", "programs/job", "sim s/infer", "wall s/infer", "speedup"
+    );
+    println!(
+        "{:>10} {:>8} {:>14.1} {:>14.3e} {:>14.3e} {:>13}",
+        "cold",
+        INFERENCES,
+        cold_reports[0].stats.matrix_programs,
+        cold_sim,
+        cold_wall / INFERENCES as f64,
+        "1.00x"
+    );
+    println!(
+        "{:>10} {:>8} {:>14.1} {:>14.3e} {:>14.3e} {:>12.2}x",
+        "resident",
+        usage.queries,
+        0.0,
+        warm_sim,
+        warm_wall / INFERENCES as f64,
+        speedup
+    );
+    println!(
+        "\nweights programmed once: {} matrix programs ({:.3e} J); queries carry {} MVMs total",
+        usage.load_stats.matrix_programs, usage.load_stats.energy.0, usage.query_stats.mvms
+    );
+    assert!(
+        speedup >= 3.0,
+        "resident NN speedup {speedup:.2}x below the 3x acceptance bar"
+    );
+}
+
 fn main() {
     shard_scaling();
     resident_amortization();
+    nn_resident_amortization();
 }

@@ -120,6 +120,31 @@ impl GrayImage {
         self.data[cy * self.width + cx]
     }
 
+    /// A copy with every pixel clamped to `[0, 1]` and snapped to the
+    /// nearest of `2^bits` uniform levels — the fixed-point contract a
+    /// digital memory imposes on a resident image. A `bits`-bit pixel
+    /// round-trips a `bits`-bit store exactly, so filtering a quantized
+    /// image is bit-identical whether the pixels come from host memory
+    /// or are read back out of CIM tile rows (what `cim-runtime`'s
+    /// `ImgFilter` lowering relies on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or above 16.
+    pub fn quantized(&self, bits: u32) -> Self {
+        assert!((1..=16).contains(&bits), "pixel depth out of range");
+        let levels = ((1u32 << bits) - 1) as f64;
+        GrayImage {
+            width: self.width,
+            height: self.height,
+            data: self
+                .data
+                .iter()
+                .map(|&v| (v.clamp(0.0, 1.0) * levels).round() / levels)
+                .collect(),
+        }
+    }
+
     /// A copy with i.i.d. Gaussian noise of standard deviation `sigma`.
     pub fn with_gaussian_noise(&self, sigma: f64, seed: u64) -> Self {
         let mut rng = seeded(seed);
@@ -224,6 +249,22 @@ mod tests {
         // E|N(0, 0.1²)| = 0.1·√(2/π) ≈ 0.0798.
         assert!((mad - 0.0798).abs() < 0.01, "mad {mad}");
         assert!((noisy.mean() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn quantized_is_idempotent_and_byte_exact() {
+        let img = GrayImage::gradient(16, 4).with_gaussian_noise(0.3, 7);
+        let q = img.quantized(8);
+        assert_eq!(q.quantized(8), q, "quantization must be idempotent");
+        for &v in q.as_slice() {
+            let byte = (v * 255.0).round();
+            assert!((0.0..=255.0).contains(&byte));
+            assert!((byte / 255.0 - v).abs() < 1e-12, "pixel {v} is not 8-bit");
+        }
+        // Error bounded by half a level (plus the clamp on noisy pixels).
+        for (a, b) in img.as_slice().iter().zip(q.as_slice()) {
+            assert!((a.clamp(0.0, 1.0) - b).abs() <= 0.5 / 255.0 + 1e-12);
+        }
     }
 
     #[test]

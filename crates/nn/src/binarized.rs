@@ -1,0 +1,322 @@
+//! Binarized inference: ±1 weights, ±1 activations, exact integer
+//! scores.
+//!
+//! The paper's IoT inference argument leans on aggressive quantization
+//! (Zhou et al., \[23\]) to make analog matrix-vector hardware viable;
+//! the extreme point of that axis is the *binarized* network, where
+//! every weight and every hidden activation is ±1. That choice is what
+//! lets a binarized layer execute on a **noisy** analog crossbar with
+//! *bit-exact* results: a pre-activation `y = Σ wᵢxᵢ` with `w, x ∈
+//! {±1}` over fan-in `n` is an integer with `y ≡ n (mod 2)`, so valid
+//! outputs sit on a lattice with spacing 2 and any analog read whose
+//! total error stays below 1.0 snaps back to the exact integer
+//! ([`snap_to_parity`]). `cim-runtime` uses exactly this decode to
+//! serve [`BinarizedMlp`] inference through its analog tiles with
+//! outputs bit-identical to the host reference ([`BinarizedMlp::scores`]).
+//!
+//! Bits encode values as `true → +1`, `false → −1`; hidden layers
+//! activate with `sign` (`y ≥ 0 → +1`), and the final layer's integer
+//! scores are argmax-ed into a class prediction.
+
+use crate::network::Network;
+use cim_simkit::bitvec::BitVec;
+use cim_simkit::linalg::Matrix;
+use cim_simkit::rng::seeded;
+use rand::Rng;
+
+/// A feed-forward network with ±1 weights and sign activations.
+///
+/// The exact integer forward pass here is the reference semantic the
+/// runtime-served path must reproduce bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinarizedMlp {
+    /// Per-layer ±1 weight matrices, `outputs × inputs`.
+    layers: Vec<Matrix>,
+}
+
+impl BinarizedMlp {
+    /// Builds a network from explicit ±1 weight matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty, any entry is not exactly ±1, or
+    /// consecutive layers disagree on dimensions.
+    pub fn from_layers(layers: Vec<Matrix>) -> Self {
+        assert!(!layers.is_empty(), "empty binarized network");
+        for (i, m) in layers.iter().enumerate() {
+            assert!(
+                m.as_slice().iter().all(|&w| w == 1.0 || w == -1.0),
+                "layer {i} holds a non-±1 weight"
+            );
+        }
+        for pair in layers.windows(2) {
+            assert_eq!(pair[0].rows(), pair[1].cols(), "layer dimension mismatch");
+        }
+        BinarizedMlp { layers }
+    }
+
+    /// A random ±1 network with the given layer widths
+    /// (`dims = [inputs, hidden…, classes]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` has fewer than two entries or any zero width.
+    pub fn random(dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need at least [inputs, outputs]");
+        assert!(dims.iter().all(|&d| d > 0), "zero-width layer");
+        let mut rng = seeded(seed);
+        let layers = dims
+            .windows(2)
+            .map(|w| {
+                Matrix::from_fn(
+                    w[1],
+                    w[0],
+                    |_, _| if rng.gen::<f64>() < 0.5 { -1.0 } else { 1.0 },
+                )
+            })
+            .collect();
+        BinarizedMlp { layers }
+    }
+
+    /// Sign-binarizes a trained float [`Network`] (the usual BNN
+    /// distillation: `w ≥ 0 → +1`, `w < 0 → −1`; biases are dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is empty.
+    pub fn from_network(net: &Network) -> Self {
+        assert!(!net.layers().is_empty(), "empty network");
+        let layers = net
+            .layers()
+            .iter()
+            .map(|l| {
+                Matrix::from_fn(l.outputs(), l.inputs(), |i, j| {
+                    if l.weights.get(i, j) >= 0.0 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                })
+            })
+            .collect();
+        BinarizedMlp { layers }
+    }
+
+    /// The ±1 weight matrices in layer order.
+    pub fn layers(&self) -> &[Matrix] {
+        &self.layers
+    }
+
+    /// Input dimension.
+    pub fn inputs(&self) -> usize {
+        self.layers[0].cols()
+    }
+
+    /// Output dimension (class count).
+    pub fn classes(&self) -> usize {
+        self.layers.last().expect("nonempty").rows()
+    }
+
+    /// Total weights across all layers (one bit each when stored).
+    pub fn weight_count(&self) -> usize {
+        self.layers.iter().map(|m| m.rows() * m.cols()).sum()
+    }
+
+    /// The ±1 input vector of every layer for input `x`: entry 0 is `x`
+    /// itself, entry `ℓ > 0` the sign-activated output of layer `ℓ−1`.
+    ///
+    /// This is what a compiler needs to emit one MVM per layer with the
+    /// inter-layer activation performed host-side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != inputs()`.
+    pub fn activations(&self, x: &BitVec) -> Vec<BitVec> {
+        assert_eq!(x.len(), self.inputs(), "input length mismatch");
+        let mut acts = Vec::with_capacity(self.layers.len());
+        let mut v = x.clone();
+        for layer in &self.layers {
+            acts.push(v.clone());
+            let y = layer_scores(layer, &v);
+            v = BitVec::from_fn(y.len(), |i| y[i] >= 0);
+        }
+        acts
+    }
+
+    /// Exact integer scores of the final layer for input `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != inputs()`.
+    pub fn scores(&self, x: &BitVec) -> Vec<i64> {
+        let acts = self.activations(x);
+        layer_scores(
+            self.layers.last().expect("nonempty"),
+            acts.last().expect("nonempty"),
+        )
+    }
+
+    /// Class prediction: argmax of [`BinarizedMlp::scores`] (ties to
+    /// the first).
+    pub fn predict(&self, x: &BitVec) -> usize {
+        argmax_scores(&self.scores(x))
+    }
+}
+
+/// Index of the largest integer score, ties to the first — the one
+/// tie-breaking rule shared by the host reference and every decoder of
+/// served scores.
+///
+/// # Panics
+///
+/// Panics if `scores` is empty.
+pub fn argmax_scores(scores: &[i64]) -> usize {
+    assert!(!scores.is_empty(), "argmax of empty scores");
+    let mut best = 0;
+    for (i, &s) in scores.iter().enumerate() {
+        if s > scores[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Integer pre-activations `W·v` of one ±1 layer on a ±1 input.
+fn layer_scores(layer: &Matrix, v: &BitVec) -> Vec<i64> {
+    (0..layer.rows())
+        .map(|i| {
+            (0..layer.cols())
+                .map(|j| {
+                    let w = layer.get(i, j) as i64;
+                    if v.get(j) {
+                        w
+                    } else {
+                        -w
+                    }
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// Snaps a noisy analog readout of a ±1×±1 dot product onto its parity
+/// lattice `{−n, −n+2, …, n}` for fan-in `n`.
+///
+/// Valid outputs are spaced 2 apart, so the snap recovers the exact
+/// integer whenever the total analog error (programming residue, read
+/// noise, ADC quantization) is below 1.0 — the noise margin binarized
+/// inference buys, and the decode `cim-runtime` applies to MVM
+/// responses.
+pub fn snap_to_parity(y: f64, fan_in: usize) -> i64 {
+    let n = fan_in as i64;
+    let k = ((n as f64 - y) / 2.0).round() as i64;
+    n - 2 * k.clamp(0, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::SensoryTask;
+    use crate::train::TrainConfig;
+
+    #[test]
+    fn random_network_is_deterministic_and_binary() {
+        let a = BinarizedMlp::random(&[8, 6, 3], 42);
+        let b = BinarizedMlp::random(&[8, 6, 3], 42);
+        assert_eq!(a, b);
+        assert_eq!(a.inputs(), 8);
+        assert_eq!(a.classes(), 3);
+        assert_eq!(a.weight_count(), 8 * 6 + 6 * 3);
+        for m in a.layers() {
+            assert!(m.as_slice().iter().all(|&w| w == 1.0 || w == -1.0));
+        }
+    }
+
+    #[test]
+    fn scores_have_fan_in_parity() {
+        let mlp = BinarizedMlp::random(&[9, 7, 4], 3);
+        let x = BitVec::from_fn(9, |i| i % 2 == 0);
+        // Hidden fan-in 9: pre-activations odd. Final fan-in 7: odd.
+        for s in mlp.scores(&x) {
+            assert_eq!((s + 7).rem_euclid(2), 0, "score {s} off the parity lattice");
+        }
+    }
+
+    #[test]
+    fn single_layer_scores_match_hand_computation() {
+        let w = Matrix::from_rows(&[&[1.0, -1.0, 1.0], &[-1.0, -1.0, -1.0]]);
+        let mlp = BinarizedMlp::from_layers(vec![w]);
+        // x = (+1, +1, −1): row 0 → 1 − 1 − 1 = −1; row 1 → −1 − 1 + 1 = −1.
+        let x = BitVec::from_bools(&[true, true, false]);
+        assert_eq!(mlp.scores(&x), vec![-1, -1]);
+        assert_eq!(mlp.predict(&x), 0, "tie goes to the first class");
+    }
+
+    #[test]
+    fn activations_chain_through_sign() {
+        let mlp = BinarizedMlp::random(&[6, 5, 2], 9);
+        let x = BitVec::from_fn(6, |i| i < 3);
+        let acts = mlp.activations(&x);
+        assert_eq!(acts.len(), 2);
+        assert_eq!(acts[0], x);
+        // Layer-1 input is the sign of layer-0 pre-activations.
+        let y0 = layer_scores(&mlp.layers()[0], &x);
+        for (i, &s) in y0.iter().enumerate() {
+            assert_eq!(acts[1].get(i), s >= 0);
+        }
+    }
+
+    #[test]
+    fn from_network_binarizes_by_sign() {
+        let task = SensoryTask::generate(10, 3, 40, 0.2, 5);
+        let net = TrainConfig::default().train(&task, 4);
+        let mlp = BinarizedMlp::from_network(&net);
+        assert_eq!(mlp.inputs(), 10);
+        assert_eq!(mlp.classes(), 3);
+        for (bl, fl) in mlp.layers().iter().zip(net.layers()) {
+            for i in 0..bl.rows() {
+                for j in 0..bl.cols() {
+                    let expected = if fl.weights.get(i, j) >= 0.0 {
+                        1.0
+                    } else {
+                        -1.0
+                    };
+                    assert_eq!(bl.get(i, j), expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snap_recovers_lattice_points_under_noise() {
+        for n in [1usize, 2, 7, 32] {
+            let lattice: Vec<i64> = (0..=n).map(|k| n as i64 - 2 * k as i64).collect();
+            for &y in &lattice {
+                for noise in [-0.99, -0.4, 0.0, 0.4, 0.99] {
+                    assert_eq!(
+                        snap_to_parity(y as f64 + noise, n),
+                        y,
+                        "n={n} y={y} noise={noise}"
+                    );
+                }
+            }
+        }
+        // Out-of-range readings clamp to the lattice ends.
+        assert_eq!(snap_to_parity(9.7, 5), 5);
+        assert_eq!(snap_to_parity(-9.7, 5), -5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-±1 weight")]
+    fn non_binary_weights_rejected() {
+        let _ = BinarizedMlp::from_layers(vec![Matrix::from_rows(&[&[0.5, 1.0]])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn bad_chaining_rejected() {
+        let a = Matrix::from_fn(3, 4, |_, _| 1.0);
+        let b = Matrix::from_fn(2, 5, |_, _| 1.0);
+        let _ = BinarizedMlp::from_layers(vec![a, b]);
+    }
+}

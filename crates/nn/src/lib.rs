@@ -13,6 +13,8 @@
 //! low-precision inference can match floating point.
 //!
 //! * [`layer`] / [`network`] — dense layers, activations, forward pass.
+//! * [`binarized`] — ±1-weight networks with exact integer semantics,
+//!   the form `cim-runtime` serves through analog tiles bit-exactly.
 //! * [`train`] — a compact mini-batch SGD trainer (softmax cross
 //!   entropy) used to produce non-trivial weights for the experiments.
 //! * [`quant`] — per-layer uniform quantization and INQ-style
@@ -35,6 +37,7 @@
 //! assert!(acc > 0.8, "accuracy {acc}");
 //! ```
 
+pub mod binarized;
 pub mod conv;
 pub mod crossbar;
 pub mod energy;
@@ -45,6 +48,7 @@ pub mod sweep;
 pub mod task;
 pub mod train;
 
+pub use binarized::BinarizedMlp;
 pub use conv::{Conv1dLayer, CrossbarConv1d};
 pub use crossbar::CrossbarNetwork;
 pub use energy::{fig7b_series, InferencePlatform};

@@ -1,7 +1,8 @@
 //! The compile layer: lowering application workloads to instruction
 //! streams.
 //!
-//! [`compile`] turns a [`WorkloadSpec`] into a [`CompiledJob`]: a
+//! The (crate-internal) `compile` entry point turns a [`WorkloadSpec`]
+//! into a [`CompiledJob`]: a
 //! straight-line [`CimInstruction`] stream over *virtual* tile indices
 //! (`0..demand`), the indices of the instructions whose responses are
 //! the job's outputs, a [`Finalizer`] that decodes those responses on
@@ -18,7 +19,10 @@
 //! discipline as `cim_bitmap_db::query::Q6CimEngine`.
 
 use crate::dataset::{DatasetSpec, ResidentPayload, ResidentView};
-use crate::job::{DatasetId, HdcOutcome, JobId, JobKind, JobOutput, TenantId, WorkloadSpec};
+use crate::job::{
+    DatasetId, HdcOutcome, ImgFilterOp, JobId, JobKind, JobOutput, NnOutcome, TenantId,
+    WorkloadSpec,
+};
 use crate::schedule::PoolConfig;
 use cim_bitmap_db::query::{q6_result_from_selection, Q6Indexes};
 use cim_bitmap_db::tpch::{LineItemTable, Q6Params, DISCOUNT_LEVELS, MAX_QUANTITY, SHIP_MONTHS};
@@ -26,6 +30,8 @@ use cim_core::isa::{CimInstruction, CimResponse};
 use cim_core::AddressMap;
 use cim_crossbar::scouting::ScoutOp;
 use cim_hdc::lang::LanguageTask;
+use cim_imgproc::image::GrayImage;
+use cim_nn::binarized::{argmax_scores, snap_to_parity, BinarizedMlp};
 use cim_simkit::bitvec::BitVec;
 use cim_simkit::linalg::Matrix;
 use cim_simkit::rng::seeded;
@@ -83,6 +89,28 @@ pub enum Finalizer {
     Bits {
         /// Original operand width before padding to the tile width.
         width: usize,
+    },
+    /// Decode final-layer MVM responses of a binarized network: snap
+    /// each entry onto the ±1×±1 parity lattice of the layer's fan-in
+    /// (recovering the exact integer score under bounded analog noise),
+    /// then argmax into a class prediction.
+    Nn {
+        /// Stored classes (response entries beyond this are padding).
+        classes: usize,
+        /// Fan-in of the final layer (defines the parity lattice).
+        fan_in: usize,
+    },
+    /// Reassemble the resident image rows from row-read responses and
+    /// run the filter arithmetic on the host.
+    Img {
+        /// Image width in pixels.
+        width: usize,
+        /// Image height in pixels.
+        height: usize,
+        /// The filter to apply.
+        filter: ImgFilterOp,
+        /// Image row index carried by each output response, in order.
+        reads: Vec<usize>,
     },
     /// Return every response verbatim.
     Raw,
@@ -155,6 +183,45 @@ impl Finalizer {
                 let full = resp.into_bits().expect("reduction output is a bit vector");
                 JobOutput::Bits(BitVec::from_fn(*width, |j| full.get(j)))
             }
+            Finalizer::Nn { classes, fan_in } => {
+                let mut predictions = Vec::with_capacity(outputs.len());
+                let mut scores = Vec::with_capacity(outputs.len());
+                for resp in outputs {
+                    let y = resp.into_vector().expect("NN output is a vector");
+                    let s: Vec<i64> = y
+                        .iter()
+                        .take(*classes)
+                        .map(|&v| snap_to_parity(v, *fan_in))
+                        .collect();
+                    predictions.push(argmax_scores(&s));
+                    scores.push(s);
+                }
+                JobOutput::Nn(NnOutcome {
+                    predictions,
+                    scores,
+                })
+            }
+            Finalizer::Img {
+                width,
+                height,
+                filter,
+                reads,
+            } => {
+                // Rebuild the 8-bit image from the row reads (windows
+                // re-read rows; identical copies overwrite harmlessly).
+                let mut rows: Vec<Vec<f64>> = vec![Vec::new(); *height];
+                for (resp, &y) in outputs.into_iter().zip(reads) {
+                    let bits = resp.into_bits().expect("image row is a bit vector");
+                    let bytes = bits.to_bytes();
+                    rows[y] = bytes[..*width].iter().map(|&b| b as f64 / 255.0).collect();
+                }
+                assert!(
+                    rows.iter().all(|r| r.len() == *width),
+                    "every image row read back"
+                );
+                let img = GrayImage::from_fn(*width, *height, |x, y| rows[y][x]);
+                JobOutput::Image(filter.apply(&img))
+            }
             Finalizer::Raw => JobOutput::Responses(outputs),
         }
     }
@@ -197,16 +264,20 @@ impl CompiledJob {
     /// Deterministic load estimate for shard balancing, in units of one
     /// digital row access. Analog operations are weighted by their
     /// simulated-latency ratio (a 1 µs MVM cycle vs a 10 ns row write),
-    /// and matrix programming by its device count, so one heavy analog
-    /// job does not masquerade as cheap next to hundreds of row writes.
+    /// matrix programming by its device count, and logic accesses by
+    /// the rows they activate: a Scouting access fans current through
+    /// every selected row simultaneously, so a wide raw reduction costs
+    /// what it touches, not one — otherwise a single wide-fan-in job
+    /// could slip a whole shard's worth of work past
+    /// [`PoolConfig::max_batch_cost`] as "one instruction".
     pub fn estimated_cost(&self) -> u64 {
         self.instructions
             .iter()
             .map(|instr| match instr {
                 CimInstruction::WriteRow { .. }
                 | CimInstruction::ReadRow { .. }
-                | CimInstruction::Logic { .. }
                 | CimInstruction::StoreLast { .. } => 1,
+                CimInstruction::Logic { rows, .. } => rows.len() as u64,
                 CimInstruction::Mvm { .. } | CimInstruction::MvmT { .. } => 100,
                 CimInstruction::ProgramMatrix { matrix, .. } => {
                     (matrix.rows() * matrix.cols()) as u64 / 64
@@ -291,6 +362,25 @@ pub enum CompileError {
         /// The captured failure message.
         message: String,
     },
+    /// The dataset can never fit: its pin needs more tiles than one
+    /// whole shard owns, regardless of current admission pressure.
+    /// Callers should size the dataset down (or split it); retrying or
+    /// waiting for leases to free cannot help, which is what
+    /// distinguishes this from the transient `NeedsMore…Tiles` errors.
+    DatasetTooLarge {
+        /// Tiles the dataset's load program needs.
+        needed: TileDemand,
+        /// Tiles one shard owns.
+        shard_capacity: TileDemand,
+    },
+    /// An inference input's length does not match the network's input
+    /// width.
+    InputLengthMismatch {
+        /// Offending input length.
+        got: usize,
+        /// The network's input width.
+        expected: usize,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -334,6 +424,18 @@ impl fmt::Display for CompileError {
             }
             CompileError::DatasetLoadFailed { message } => {
                 write!(f, "dataset load program failed: {message}")
+            }
+            CompileError::DatasetTooLarge {
+                needed,
+                shard_capacity,
+            } => write!(
+                f,
+                "dataset needs {} digital + {} analog tiles, a whole shard owns {} + {}: \
+                 size the dataset down",
+                needed.digital, needed.analog, shard_capacity.digital, shard_capacity.analog
+            ),
+            CompileError::InputLengthMismatch { got, expected } => {
+                write!(f, "input has length {got}, the network expects {expected}")
             }
         }
     }
@@ -427,6 +529,16 @@ pub(crate) fn compile(
             cfg,
             seed,
         ),
+        WorkloadSpec::NnInfer { network, inputs } => {
+            compile_nn_infer(network, inputs, job, tenant, cfg, seed)
+        }
+        WorkloadSpec::NnQuery { dataset, inputs } => {
+            let record = resident.expect("scheduler resolves the dataset before compiling");
+            compile_nn_query(*dataset, record, inputs, job, tenant, cfg, seed)
+        }
+        WorkloadSpec::ImgFilter { image, filter } => {
+            compile_img(image, *filter, job, tenant, cfg, seed, window_base)
+        }
         WorkloadSpec::XorEncrypt { message, key_seed } => {
             compile_xor(message, *key_seed, job, tenant, cfg, seed, window_base)
         }
@@ -801,6 +913,281 @@ fn compile_hdc_query(
     })
 }
 
+/// Validates a binarized network against the analog tile geometry.
+fn nn_geometry(mlp: &BinarizedMlp, cfg: &PoolConfig) -> Result<(), CompileError> {
+    for m in mlp.layers() {
+        if m.rows() > cfg.analog_rows || m.cols() > cfg.analog_cols {
+            return Err(CompileError::AnalogShapeTooSmall {
+                required: (m.rows(), m.cols()),
+                available: (cfg.analog_rows, cfg.analog_cols),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Validates inference inputs against the network's input width.
+fn nn_inputs_check(mlp: &BinarizedMlp, inputs: &[BitVec]) -> Result<(), CompileError> {
+    if inputs.is_empty() {
+        return Err(CompileError::EmptyWorkload);
+    }
+    for x in inputs {
+        if x.len() != mlp.inputs() {
+            return Err(CompileError::InputLengthMismatch {
+                got: x.len(),
+                expected: mlp.inputs(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// One layer's ±1 weight matrix padded to the analog tile shape.
+fn nn_padded_weights(layer: &Matrix, cfg: &PoolConfig) -> Matrix {
+    Matrix::from_fn(cfg.analog_rows, cfg.analog_cols, |r, c| {
+        if r < layer.rows() && c < layer.cols() {
+            layer.get(r, c)
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Emits the per-sample MVM cascade of a binarized network: one MVM per
+/// layer per input, the layer input chained host-side at compile time
+/// via the exact sign activations (the same integers the parity decode
+/// recovers from the array, so the chain and the array agree
+/// bit-for-bit). Records the final layer's MVM as the sample's output.
+fn emit_nn_inference(
+    instructions: &mut Vec<CimInstruction>,
+    outputs: &mut Vec<usize>,
+    mlp: &BinarizedMlp,
+    inputs: &[BitVec],
+    cfg: &PoolConfig,
+) {
+    for x in inputs {
+        let acts = mlp.activations(x);
+        for (tile, (layer, v)) in mlp.layers().iter().zip(&acts).enumerate() {
+            let x: Vec<f64> = (0..cfg.analog_cols)
+                .map(|j| {
+                    if j >= layer.cols() {
+                        0.0
+                    } else if v.get(j) {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                })
+                .collect();
+            instructions.push(CimInstruction::Mvm { tile, x });
+        }
+        outputs.push(instructions.len() - 1);
+    }
+}
+
+/// The NN finalizer for a network: decode against the final layer's
+/// class count and fan-in.
+fn nn_finalizer(mlp: &BinarizedMlp) -> Finalizer {
+    let last = mlp.layers().last().expect("nonempty network");
+    Finalizer::Nn {
+        classes: last.rows(),
+        fan_in: last.cols(),
+    }
+}
+
+/// Cold binarized inference: program every layer's weights into a
+/// fresh analog lease, then run the MVM cascade per input. The weight
+/// writes are re-paid on every submission — exactly what
+/// [`DatasetSpec::NnWeights`] + [`WorkloadSpec::NnQuery`] amortize
+/// away.
+fn compile_nn_infer(
+    mlp: &BinarizedMlp,
+    inputs: &[BitVec],
+    job: JobId,
+    tenant: TenantId,
+    cfg: &PoolConfig,
+    seed: u64,
+) -> Result<CompiledJob, CompileError> {
+    nn_geometry(mlp, cfg)?;
+    nn_inputs_check(mlp, inputs)?;
+    let layers = mlp.layers().len();
+    if layers > cfg.analog_tiles {
+        return Err(CompileError::NeedsMoreAnalogTiles {
+            required: layers,
+            available: cfg.analog_tiles,
+        });
+    }
+    let mut instructions: Vec<CimInstruction> = mlp
+        .layers()
+        .iter()
+        .enumerate()
+        .map(|(tile, layer)| CimInstruction::ProgramMatrix {
+            tile,
+            matrix: nn_padded_weights(layer, cfg),
+        })
+        .collect();
+    let mut outputs = Vec::with_capacity(inputs.len());
+    emit_nn_inference(&mut instructions, &mut outputs, mlp, inputs, cfg);
+    Ok(CompiledJob {
+        job,
+        tenant,
+        kind: JobKind::NnInfer,
+        dataset: None,
+        demand: TileDemand {
+            digital: 0,
+            analog: layers,
+        },
+        instructions,
+        outputs,
+        finalizer: nn_finalizer(mlp),
+        placement: None,
+        resident_bytes: (mlp.weight_count() as u64).div_ceil(8),
+        host_profile: HostProfile {
+            accel_fraction: 0.9,
+            l1_miss: 0.9,
+            l2_miss: 0.9,
+        },
+        seed,
+    })
+}
+
+/// Inference against resident [`DatasetSpec::NnWeights`]: the MVM
+/// cascade only, lowered onto the dataset's pinned analog tiles — not
+/// a single weight write in the stream.
+#[allow(clippy::too_many_arguments)]
+fn compile_nn_query(
+    dataset: DatasetId,
+    record: &ResidentView,
+    inputs: &[BitVec],
+    job: JobId,
+    tenant: TenantId,
+    cfg: &PoolConfig,
+    seed: u64,
+) -> Result<CompiledJob, CompileError> {
+    let ResidentPayload::Nn { network } = &record.payload else {
+        return Err(CompileError::DatasetKindMismatch { dataset });
+    };
+    nn_inputs_check(network, inputs)?;
+    let mut instructions = Vec::with_capacity(inputs.len() * network.layers().len());
+    let mut outputs = Vec::with_capacity(inputs.len());
+    emit_nn_inference(&mut instructions, &mut outputs, network, inputs, cfg);
+    Ok(CompiledJob {
+        job,
+        tenant,
+        kind: JobKind::NnQuery,
+        dataset: Some(dataset),
+        demand: TileDemand {
+            digital: 0,
+            analog: network.layers().len(),
+        },
+        instructions,
+        outputs,
+        finalizer: nn_finalizer(network),
+        placement: None,
+        resident_bytes: record.resident_bytes,
+        host_profile: HostProfile {
+            accel_fraction: 0.9,
+            l1_miss: 0.9,
+            l2_miss: 0.9,
+        },
+        seed,
+    })
+}
+
+/// Image filtering over resident tile rows: the 8-bit-quantized image
+/// is written row-per-row into digital tiles, then every output row
+/// streams its `(2r+1)`-row neighbourhood through `ReadRow` accesses —
+/// the §III-A pattern where a medium-size neighbourhood is served from
+/// wide memory rows instead of thrashing a register file. The filter
+/// arithmetic itself (integral images, the guided filter's linear
+/// model) is host-side float work in the finalizer, bit-identical to
+/// running `cim-imgproc` on [`GrayImage::quantized`]`(8)` directly.
+#[allow(clippy::too_many_arguments)]
+fn compile_img(
+    image: &GrayImage,
+    filter: ImgFilterOp,
+    job: JobId,
+    tenant: TenantId,
+    cfg: &PoolConfig,
+    seed: u64,
+    window_base: u64,
+) -> Result<CompiledJob, CompileError> {
+    let (w, h) = (image.width(), image.height());
+    let row_bits = 8 * w;
+    if row_bits > cfg.tile_cols {
+        return Err(CompileError::BadOperandWidth {
+            width: row_bits,
+            max: cfg.tile_cols,
+        });
+    }
+    let tiles = h.div_ceil(cfg.tile_rows);
+    if tiles > cfg.digital_tiles {
+        return Err(CompileError::NeedsMoreDigitalTiles {
+            required: tiles,
+            available: cfg.digital_tiles,
+        });
+    }
+    let q = image.quantized(8);
+    let loc = |y: usize| (y / cfg.tile_rows, y % cfg.tile_rows);
+
+    let mut instructions = Vec::with_capacity(h * (2 * filter.radius() + 2));
+    for y in 0..h {
+        let bytes: Vec<u8> = (0..w)
+            .map(|x| (q.get(x, y) * 255.0).round() as u8)
+            .collect();
+        let row = BitVec::from_bytes(&bytes);
+        let (tile, tile_row) = loc(y);
+        instructions.push(CimInstruction::WriteRow {
+            tile,
+            row: tile_row,
+            bits: BitVec::from_fn(cfg.tile_cols, |j| j < row_bits && row.get(j)),
+        });
+    }
+
+    let r = filter.radius() as isize;
+    let mut outputs = Vec::with_capacity(h * (2 * filter.radius() + 1));
+    let mut reads = Vec::with_capacity(outputs.capacity());
+    for y in 0..h as isize {
+        for wy in (y - r)..=(y + r) {
+            let wy = wy.clamp(0, h as isize - 1) as usize;
+            let (tile, tile_row) = loc(wy);
+            instructions.push(CimInstruction::ReadRow {
+                tile,
+                row: tile_row,
+            });
+            outputs.push(instructions.len() - 1);
+            reads.push(wy);
+        }
+    }
+
+    Ok(CompiledJob {
+        job,
+        tenant,
+        kind: JobKind::ImgFilter,
+        dataset: None,
+        demand: TileDemand {
+            digital: tiles,
+            analog: 0,
+        },
+        instructions,
+        outputs,
+        finalizer: Finalizer::Img {
+            width: w,
+            height: h,
+            filter,
+            reads,
+        },
+        placement: digital_placement(window_base, tiles, cfg),
+        resident_bytes: (h * cfg.tile_cols.div_ceil(8)) as u64,
+        host_profile: HostProfile {
+            accel_fraction: 0.8,
+            l1_miss: 1.0,
+            l2_miss: 1.0,
+        },
+        seed,
+    })
+}
+
 /// A dataset's load program lowered over virtual tiles, plus the
 /// host-side payload queries against it will need.
 #[derive(Debug)]
@@ -822,9 +1209,22 @@ pub(crate) fn compile_dataset_load(
     cfg: &PoolConfig,
     seed: u64,
 ) -> Result<DatasetProgram, CompileError> {
+    let too_large = |digital: usize, analog: usize| CompileError::DatasetTooLarge {
+        needed: TileDemand { digital, analog },
+        shard_capacity: TileDemand {
+            digital: cfg.digital_tiles,
+            analog: cfg.analog_tiles,
+        },
+    };
     match spec {
         DatasetSpec::Q6Table { rows, table_seed } => {
-            let tiles = q6_footprint(*rows, cfg)?;
+            // A load that outgrows a whole shard is a sizing error, not
+            // admission pressure: report it as such at plan time instead
+            // of a generic capacity failure.
+            let tiles = q6_footprint(*rows, cfg).map_err(|e| match e {
+                CompileError::NeedsMoreDigitalTiles { required, .. } => too_large(required, 0),
+                other => other,
+            })?;
             let table = LineItemTable::generate(*rows, *table_seed);
             let idx = Q6Indexes::build(&table);
             let mut instructions = Vec::new();
@@ -888,6 +1288,33 @@ pub(crate) fn compile_dataset_load(
                     d: *d,
                 },
                 resident_bytes: (*classes * *d) as u64 / 8,
+            })
+        }
+        DatasetSpec::NnWeights { network } => {
+            nn_geometry(network, cfg)?;
+            let layers = network.layers().len();
+            if layers > cfg.analog_tiles {
+                return Err(too_large(0, layers));
+            }
+            let instructions = network
+                .layers()
+                .iter()
+                .enumerate()
+                .map(|(tile, layer)| CimInstruction::ProgramMatrix {
+                    tile,
+                    matrix: nn_padded_weights(layer, cfg),
+                })
+                .collect();
+            Ok(DatasetProgram {
+                instructions,
+                demand: TileDemand {
+                    digital: 0,
+                    analog: layers,
+                },
+                payload: ResidentPayload::Nn {
+                    network: Arc::new(network.clone()),
+                },
+                resident_bytes: (network.weight_count() as u64).div_ceil(8),
             })
         }
     }
@@ -1298,6 +1725,213 @@ mod tests {
             compile(&spec, JobId(0), TenantId(0), &cfg(), 0, 0, None),
             Err(CompileError::UnsupportedFanIn { .. })
         ));
+    }
+
+    #[test]
+    fn nn_infer_compiles_to_programs_plus_mvm_cascade() {
+        let mlp = BinarizedMlp::random(&[8, 6, 3], 5);
+        let inputs: Vec<BitVec> = (0..4)
+            .map(|i| BitVec::from_fn(8, |j| (i + j) % 2 == 0))
+            .collect();
+        let spec = WorkloadSpec::NnInfer {
+            network: mlp.clone(),
+            inputs,
+        };
+        let c = compile(&spec, JobId(0), TenantId(1), &cfg(), 3, 0, None).unwrap();
+        assert_eq!(c.demand.analog, 2, "one analog tile per layer");
+        assert_eq!(c.kind, JobKind::NnInfer);
+        let programs = c
+            .instructions
+            .iter()
+            .filter(|i| matches!(i, CimInstruction::ProgramMatrix { .. }))
+            .count();
+        let mvms = c
+            .instructions
+            .iter()
+            .filter(|i| matches!(i, CimInstruction::Mvm { .. }))
+            .count();
+        assert_eq!(programs, 2, "each layer programmed once");
+        assert_eq!(mvms, 4 * 2, "one MVM per layer per input");
+        assert_eq!(c.outputs.len(), 4, "one output per inference");
+        // Every output is a final-layer MVM (tile 1).
+        for &idx in &c.outputs {
+            assert!(matches!(
+                c.instructions[idx],
+                CimInstruction::Mvm { tile: 1, .. }
+            ));
+        }
+        match &c.finalizer {
+            Finalizer::Nn { classes, fan_in } => {
+                assert_eq!(*classes, 3);
+                assert_eq!(*fan_in, 6, "decode lattice uses the final layer's fan-in");
+            }
+            other => panic!("wrong finalizer {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nn_query_carries_no_weight_writes() {
+        let mlp = BinarizedMlp::random(&[8, 6, 3], 5);
+        let view = ResidentView {
+            payload: ResidentPayload::Nn {
+                network: Arc::new(mlp.clone()),
+            },
+            digital_tiles: 0,
+            placement: None,
+            resident_bytes: mlp.weight_count() as u64 / 8,
+        };
+        let spec = WorkloadSpec::NnQuery {
+            dataset: DatasetId(0),
+            inputs: vec![BitVec::from_fn(8, |j| j < 4); 3],
+        };
+        let c = compile(&spec, JobId(1), TenantId(1), &cfg(), 3, 0, Some(&view)).unwrap();
+        assert!(
+            c.instructions
+                .iter()
+                .all(|i| matches!(i, CimInstruction::Mvm { .. })),
+            "a resident query is MVMs only — not a single weight write"
+        );
+        assert_eq!(c.instructions.len(), 3 * 2);
+        assert_eq!(c.dataset, Some(DatasetId(0)));
+    }
+
+    #[test]
+    fn nn_input_validation() {
+        let mlp = BinarizedMlp::random(&[8, 3], 1);
+        let empty = WorkloadSpec::NnInfer {
+            network: mlp.clone(),
+            inputs: vec![],
+        };
+        assert!(matches!(
+            compile(&empty, JobId(0), TenantId(0), &cfg(), 0, 0, None),
+            Err(CompileError::EmptyWorkload)
+        ));
+        let short = WorkloadSpec::NnInfer {
+            network: mlp,
+            inputs: vec![BitVec::zeros(5)],
+        };
+        assert!(matches!(
+            compile(&short, JobId(0), TenantId(0), &cfg(), 0, 0, None),
+            Err(CompileError::InputLengthMismatch {
+                got: 5,
+                expected: 8,
+            })
+        ));
+    }
+
+    #[test]
+    fn nn_oversized_layer_rejected() {
+        let mlp = BinarizedMlp::random(&[cfg().analog_cols + 1, 2], 1);
+        let spec = WorkloadSpec::NnInfer {
+            network: mlp,
+            inputs: vec![BitVec::zeros(cfg().analog_cols + 1)],
+        };
+        assert!(matches!(
+            compile(&spec, JobId(0), TenantId(0), &cfg(), 0, 0, None),
+            Err(CompileError::AnalogShapeTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn img_filter_compiles_to_row_writes_and_window_reads() {
+        let spec = WorkloadSpec::ImgFilter {
+            image: GrayImage::gradient(16, 10),
+            filter: ImgFilterOp::Box { radius: 2 },
+        };
+        let c = compile(&spec, JobId(0), TenantId(1), &cfg(), 7, 0x100, None).unwrap();
+        assert_eq!(c.demand.digital, 1);
+        let writes = c
+            .instructions
+            .iter()
+            .filter(|i| matches!(i, CimInstruction::WriteRow { .. }))
+            .count();
+        let reads = c
+            .instructions
+            .iter()
+            .filter(|i| matches!(i, CimInstruction::ReadRow { .. }))
+            .count();
+        assert_eq!(writes, 10, "each image row resident once");
+        assert_eq!(
+            reads,
+            10 * 5,
+            "every output row streams its 2r+1 neighbourhood"
+        );
+        assert_eq!(c.outputs.len(), reads);
+        match &c.finalizer {
+            Finalizer::Img { reads, .. } => assert_eq!(reads.len(), 50),
+            other => panic!("wrong finalizer {other:?}"),
+        }
+    }
+
+    #[test]
+    fn img_row_wider_than_tile_rejected() {
+        let spec = WorkloadSpec::ImgFilter {
+            image: GrayImage::constant(cfg().tile_cols / 8 + 1, 4, 0.5),
+            filter: ImgFilterOp::Box { radius: 1 },
+        };
+        assert!(matches!(
+            compile(&spec, JobId(0), TenantId(0), &cfg(), 0, 0, None),
+            Err(CompileError::BadOperandWidth { .. })
+        ));
+    }
+
+    /// Satellite: an impossible dataset pin is a dedicated sizing error
+    /// at plan time, not a generic capacity failure.
+    #[test]
+    fn oversized_dataset_load_is_a_dedicated_error() {
+        let c = cfg();
+        let q6 = DatasetSpec::Q6Table {
+            rows: (c.digital_tiles + 1) * c.tile_cols,
+            table_seed: 1,
+        };
+        match compile_dataset_load(&q6, &c, 0) {
+            Err(CompileError::DatasetTooLarge {
+                needed,
+                shard_capacity,
+            }) => {
+                assert_eq!(needed.digital, c.digital_tiles + 1);
+                assert_eq!(shard_capacity.digital, c.digital_tiles);
+            }
+            other => panic!("expected DatasetTooLarge, got {other:?}"),
+        }
+        let nn = DatasetSpec::NnWeights {
+            network: BinarizedMlp::random(&[8, 8, 8, 4], 1),
+        };
+        match compile_dataset_load(&nn, &c, 0) {
+            Err(CompileError::DatasetTooLarge { needed, .. }) => {
+                assert_eq!(needed.analog, 3, "three layers need three analog tiles");
+            }
+            other => panic!("expected DatasetTooLarge, got {other:?}"),
+        }
+    }
+
+    /// Satellite: logic accesses cost the rows they touch, so a wide
+    /// raw reduction cannot masquerade as one cheap instruction.
+    #[test]
+    fn raw_logic_cost_counts_row_fanout() {
+        let wide = WorkloadSpec::Raw {
+            digital_tiles: 1,
+            analog_tiles: 0,
+            instructions: vec![CimInstruction::Logic {
+                tile: 0,
+                op: ScoutOp::Or,
+                rows: (0..100).collect(),
+            }],
+        };
+        let narrow = WorkloadSpec::Raw {
+            digital_tiles: 1,
+            analog_tiles: 0,
+            instructions: vec![CimInstruction::Logic {
+                tile: 0,
+                op: ScoutOp::Or,
+                rows: vec![0, 1],
+            }],
+        };
+        let wide = compile(&wide, JobId(0), TenantId(0), &cfg(), 0, 0, None).unwrap();
+        let narrow = compile(&narrow, JobId(1), TenantId(0), &cfg(), 0, 0, None).unwrap();
+        assert_eq!(wide.estimated_cost(), 101);
+        assert_eq!(narrow.estimated_cost(), 3);
+        assert!(wide.estimated_cost() > 30 * narrow.estimated_cost());
     }
 
     #[test]

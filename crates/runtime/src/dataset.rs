@@ -21,6 +21,7 @@ use crate::schedule::PoolShared;
 use cim_bitmap_db::tpch::LineItemTable;
 use cim_core::AddressMap;
 use cim_hdc::lang::LanguageTask;
+use cim_nn::binarized::BinarizedMlp;
 use std::sync::Arc;
 
 /// A data set that can be made resident in pool tiles and queried
@@ -48,6 +49,16 @@ pub enum DatasetSpec {
         ngram: usize,
         /// Training symbols per language.
         train_len: usize,
+    },
+    /// A binarized network's weight matrices, resident as one
+    /// programmed analog tile per layer — the canonical stationary
+    /// operand of crossbar inference. Queried with
+    /// [`crate::WorkloadSpec::NnQuery`], whose jobs carry only
+    /// matrix-vector products: the weight writes are paid exactly once,
+    /// here.
+    NnWeights {
+        /// The network whose weights go resident.
+        network: BinarizedMlp,
     },
 }
 
@@ -138,6 +149,21 @@ pub(crate) enum ResidentPayload {
         classes: usize,
         d: usize,
     },
+    /// NN weights: the binarized network (query compilation chains the
+    /// inter-layer activations host-side; finalization decodes scores
+    /// against its final layer's fan-in).
+    Nn { network: Arc<BinarizedMlp> },
+}
+
+impl ResidentPayload {
+    /// Short label of what is resident, for telemetry.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            ResidentPayload::Q6 { .. } => "q6-table",
+            ResidentPayload::Hdc { .. } => "hdc-prototypes",
+            ResidentPayload::Nn { .. } => "nn-weights",
+        }
+    }
 }
 
 /// The slice of a [`DatasetRecord`] query compilation needs, snapshot

@@ -13,6 +13,8 @@ use cim_core::offload::OffloadEstimate;
 use cim_core::ExecutionStats;
 use cim_crossbar::energy::OperationCost;
 use cim_crossbar::scouting::ScoutOp;
+use cim_imgproc::image::GrayImage;
+use cim_nn::binarized::BinarizedMlp;
 use cim_simkit::bitvec::BitVec;
 use std::fmt;
 
@@ -145,6 +147,86 @@ pub enum WorkloadSpec {
         /// Symbols per query.
         sample_len: usize,
     },
+    /// Binarized neural-network inference, the `cim-nn` workload: every
+    /// layer's ±1 weight matrix is programmed into its own analog tile
+    /// and each inference runs one matrix-vector product per layer,
+    /// with sign activations and the final argmax applied host-side.
+    /// Outputs are bit-identical to [`BinarizedMlp::scores`] — the
+    /// parity-lattice decode absorbs the analog read noise.
+    NnInfer {
+        /// The network to serve (weights programmed by this job, paid
+        /// on every submission — register a
+        /// [`crate::DatasetSpec::NnWeights`] dataset to amortize them).
+        network: BinarizedMlp,
+        /// Input vectors, one inference each (`true → +1`,
+        /// `false → −1`; length must equal the network's input width).
+        inputs: Vec<BitVec>,
+    },
+    /// Inference against a resident [`crate::DatasetSpec::NnWeights`]
+    /// dataset: the weight matrices are already programmed into the
+    /// dataset's pinned analog tiles, so the job carries only the
+    /// per-layer matrix-vector products — no weight writes at all.
+    NnQuery {
+        /// The registered dataset to query.
+        dataset: DatasetId,
+        /// Input vectors, one inference each.
+        inputs: Vec<BitVec>,
+    },
+    /// Image filtering, the `cim-imgproc` workload: the 8-bit-quantized
+    /// image resides as packed rows in digital tiles and every output
+    /// row streams its `(2r+1)`-row neighbourhood through row reads —
+    /// the §III-A access pattern — while the filter arithmetic runs in
+    /// the host finalizer. Output is bit-identical to running the
+    /// filter on [`GrayImage::quantized`]`(8)` directly.
+    ImgFilter {
+        /// The image to filter (quantized to 8 bits on residency).
+        image: GrayImage,
+        /// Which filter to apply.
+        filter: ImgFilterOp,
+    },
+}
+
+/// The filter an [`WorkloadSpec::ImgFilter`] job applies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ImgFilterOp {
+    /// Mean over a `(2r+1) × (2r+1)` window (`cim_imgproc::boxfilter`).
+    Box {
+        /// Window radius.
+        radius: usize,
+    },
+    /// Self-guided edge-preserving filter (`cim_imgproc::guided`).
+    Guided {
+        /// Window radius.
+        radius: usize,
+        /// Regularization ε.
+        epsilon: f64,
+    },
+}
+
+impl ImgFilterOp {
+    /// The neighbourhood radius the filter reads around each pixel.
+    pub fn radius(&self) -> usize {
+        match self {
+            ImgFilterOp::Box { radius } | ImgFilterOp::Guided { radius, .. } => *radius,
+        }
+    }
+
+    /// Applies the filter on the host — the single dispatch both the
+    /// runtime's finalizer and any direct-path reference use, so the
+    /// bit-identity contract cannot drift between the two.
+    pub fn apply(&self, img: &GrayImage) -> GrayImage {
+        match self {
+            ImgFilterOp::Box { radius } => cim_imgproc::boxfilter::box_filter(img, *radius),
+            ImgFilterOp::Guided { radius, epsilon } => cim_imgproc::guided::guided_filter(
+                img,
+                img,
+                &cim_imgproc::guided::GuidedParams {
+                    radius: *radius,
+                    epsilon: *epsilon,
+                },
+            ),
+        }
+    }
 }
 
 /// Coarse workload family, used for batch-compatibility decisions.
@@ -164,6 +246,12 @@ pub enum JobKind {
     Q6Query,
     /// [`WorkloadSpec::HdcQuery`].
     HdcQuery,
+    /// [`WorkloadSpec::NnInfer`].
+    NnInfer,
+    /// [`WorkloadSpec::NnQuery`].
+    NnQuery,
+    /// [`WorkloadSpec::ImgFilter`].
+    ImgFilter,
 }
 
 impl WorkloadSpec {
@@ -177,15 +265,18 @@ impl WorkloadSpec {
             WorkloadSpec::Raw { .. } => JobKind::Raw,
             WorkloadSpec::Q6Query { .. } => JobKind::Q6Query,
             WorkloadSpec::HdcQuery { .. } => JobKind::HdcQuery,
+            WorkloadSpec::NnInfer { .. } => JobKind::NnInfer,
+            WorkloadSpec::NnQuery { .. } => JobKind::NnQuery,
+            WorkloadSpec::ImgFilter { .. } => JobKind::ImgFilter,
         }
     }
 
     /// The resident dataset the workload queries, if any.
     pub fn dataset(&self) -> Option<DatasetId> {
         match self {
-            WorkloadSpec::Q6Query { dataset, .. } | WorkloadSpec::HdcQuery { dataset, .. } => {
-                Some(*dataset)
-            }
+            WorkloadSpec::Q6Query { dataset, .. }
+            | WorkloadSpec::HdcQuery { dataset, .. }
+            | WorkloadSpec::NnQuery { dataset, .. } => Some(*dataset),
             _ => None,
         }
     }
@@ -216,6 +307,16 @@ impl HdcOutcome {
     }
 }
 
+/// Outcome of a binarized-inference job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NnOutcome {
+    /// Predicted class per input (argmax of the scores, ties → first).
+    pub predictions: Vec<usize>,
+    /// Exact integer output scores per input, recovered from the
+    /// analog readout by the parity-lattice snap.
+    pub scores: Vec<Vec<i64>>,
+}
+
 /// The decoded result of a completed job.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobOutput {
@@ -227,6 +328,10 @@ pub enum JobOutput {
     Cipher(Vec<u8>),
     /// Result row of a bulk reduction.
     Bits(BitVec),
+    /// Binarized-inference predictions and integer scores.
+    Nn(NnOutcome),
+    /// A filtered image.
+    Image(GrayImage),
     /// Raw responses of every instruction in a [`WorkloadSpec::Raw`] job.
     Responses(Vec<CimResponse>),
 }
@@ -395,6 +500,33 @@ mod tests {
         assert_eq!(TenantId(4).to_string(), "tenant-4");
         assert_eq!(JobId(9).to_string(), "job-9");
         assert_eq!(DatasetId(2).to_string(), "dataset-2");
+    }
+
+    #[test]
+    fn nn_and_img_specs_classify() {
+        let mlp = BinarizedMlp::random(&[4, 3], 1);
+        let infer = WorkloadSpec::NnInfer {
+            network: mlp,
+            inputs: vec![BitVec::ones(4)],
+        };
+        assert_eq!(infer.kind(), JobKind::NnInfer);
+        assert_eq!(infer.dataset(), None);
+        let query = WorkloadSpec::NnQuery {
+            dataset: DatasetId(7),
+            inputs: vec![BitVec::zeros(4)],
+        };
+        assert_eq!(query.kind(), JobKind::NnQuery);
+        assert_eq!(query.dataset(), Some(DatasetId(7)));
+        let img = WorkloadSpec::ImgFilter {
+            image: GrayImage::constant(4, 4, 0.5),
+            filter: ImgFilterOp::Guided {
+                radius: 2,
+                epsilon: 0.01,
+            },
+        };
+        assert_eq!(img.kind(), JobKind::ImgFilter);
+        assert_eq!(img.dataset(), None);
+        assert_eq!(ImgFilterOp::Box { radius: 3 }.radius(), 3);
     }
 
     #[test]

@@ -14,15 +14,21 @@
 //! * **[`client`]** — per-tenant sessions. [`PoolClient::submit`] is
 //!   non-blocking and returns a [`JobHandle`] (`poll`/`wait`);
 //!   [`PoolClient::register_dataset`] pins resident data (Q6 bitmap
-//!   bins, HDC prototypes) into pool tiles behind a reference-counted
-//!   [`DatasetHandle`] so repeated queries skip the resident-data
-//!   writes — the amortization the paper's accelerator model wins by.
+//!   bins, HDC prototypes, binarized NN weight matrices) into pool
+//!   tiles behind a reference-counted [`DatasetHandle`] so repeated
+//!   queries skip the resident-data writes — the amortization the
+//!   paper's accelerator model wins by, with NN weights as the
+//!   canonical stationary operand of analog crossbar inference.
 //! * **[`compile`]** — lowers each application workload (TPC-H Q6
-//!   bitmap select, HDC language classification, one-time-pad XOR,
-//!   bulk Scouting-Logic reductions, raw streams, and dataset queries)
-//!   into a [`cim_core::CimInstruction`] stream over virtual tiles plus
-//!   a resident-data placement in the extended address space
-//!   ([`cim_core::AddressMap`]).
+//!   bitmap select, HDC language classification, binarized NN
+//!   inference, box/guided image filtering, one-time-pad XOR, bulk
+//!   Scouting-Logic reductions, raw streams, and dataset queries) into
+//!   a [`cim_core::CimInstruction`] stream over virtual tiles plus a
+//!   resident-data placement in the extended address space
+//!   ([`cim_core::AddressMap`]). With this layer every application
+//!   crate in the workspace serves through the runtime: MVM-heavy
+//!   kernels (NN, HDC) over analog tiles, row-access-heavy kernels
+//!   (Q6, image neighbourhoods) over digital tiles.
 //! * **[`schedule`]** — a job queue with deterministic shard selection,
 //!   per-tile admission over free (un-pinned) tiles, cost-aware batch
 //!   coalescing, and one worker thread per shard (std threads +
@@ -82,8 +88,8 @@ pub use client::{JobHandle, PoolClient};
 pub use compile::{CompileError, CompiledJob, Finalizer, HostProfile, TileDemand};
 pub use dataset::{DatasetHandle, DatasetSpec};
 pub use job::{
-    DatasetId, HdcOutcome, JobError, JobId, JobKind, JobOutput, JobReport, JobStatus, TenantId,
-    WorkloadSpec,
+    DatasetId, HdcOutcome, ImgFilterOp, JobError, JobId, JobKind, JobOutput, JobReport, JobStatus,
+    NnOutcome, TenantId, WorkloadSpec,
 };
 pub use schedule::{PoolConfig, RuntimePool};
 pub use telemetry::{DatasetUsage, PoolTelemetry, TenantUsage};

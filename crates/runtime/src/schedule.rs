@@ -739,6 +739,7 @@ impl PoolShared {
                             st.telemetry.record_dataset_load(
                                 id,
                                 record.tenant,
+                                record.payload.kind_label(),
                                 record.resident_bytes,
                                 &stats,
                             );
@@ -1694,8 +1695,9 @@ mod tests {
     #[test]
     fn batch_cost_budget_bounds_coalescing() {
         let mut cfg = PoolConfig::with_shards(1);
-        // Each 64-byte XOR job costs ~4; cap a batch at two of them.
-        cfg.max_batch_cost = 9;
+        // Each 64-byte XOR job costs 5 (two writes + a two-row logic
+        // access + 1); cap a batch at two of them.
+        cfg.max_batch_cost = 11;
         let pool = RuntimePool::new(cfg);
         let handles: Vec<JobHandle> = (0..4)
             .map(|i| {
@@ -1713,6 +1715,133 @@ mod tests {
             pool.telemetry().batches,
             2,
             "tile count alone would pack one batch; the cost budget packs two"
+        );
+    }
+
+    /// Satellite regression: a `JobHandle::wait` issued *after* the
+    /// worker already panicked (and after other actors pumped the
+    /// completion) must return the failure report, never block and
+    /// never lose the report to the pump.
+    #[test]
+    fn wait_after_worker_panic_returns_failure_report() {
+        let pool = RuntimePool::new(PoolConfig::with_shards(1));
+        let session = pool.client(TenantId(0));
+        // Width-mismatched write: panics inside the accelerator.
+        let handle = session
+            .submit(&WorkloadSpec::Raw {
+                digital_tiles: 1,
+                analog_tiles: 0,
+                instructions: vec![CimInstruction::WriteRow {
+                    tile: 0,
+                    row: 0,
+                    bits: BitVec::ones(3),
+                }],
+            })
+            .unwrap();
+        session.flush();
+        // Let the worker hit the panic and emit the completion, then
+        // pump it through a foreign actor (telemetry drains the
+        // channel) so the report sits in the slot before `wait`.
+        while pool.telemetry().jobs == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(handle.poll(), JobStatus::Completed);
+        let report = handle.wait();
+        assert!(
+            matches!(report.output, Err(JobError::ExecutionPanic { .. })),
+            "{:?}",
+            report.output
+        );
+        // The shard survived: a follow-up job still serves.
+        let ok = session
+            .submit(&WorkloadSpec::XorEncrypt {
+                message: vec![1; 8],
+                key_seed: 1,
+            })
+            .unwrap()
+            .wait();
+        assert!(ok.output.is_ok());
+    }
+
+    /// Satellite: fan-out-weighted costs keep cheapest-first honest —
+    /// a wide raw logic job submitted first no longer head-of-line
+    /// blocks a narrow one inside the shared batch.
+    #[test]
+    fn wide_fanout_raw_job_sorts_after_narrow_one() {
+        let pool = RuntimePool::new(PoolConfig::with_shards(1));
+        let session = pool.client(TenantId(0));
+        let wide = session
+            .submit(&WorkloadSpec::Raw {
+                digital_tiles: 1,
+                analog_tiles: 0,
+                instructions: vec![CimInstruction::Logic {
+                    tile: 0,
+                    op: ScoutOp::Or,
+                    rows: (0..100).collect(),
+                }],
+            })
+            .unwrap();
+        let narrow = session
+            .submit(&WorkloadSpec::Raw {
+                digital_tiles: 1,
+                analog_tiles: 0,
+                instructions: vec![CimInstruction::Logic {
+                    tile: 0,
+                    op: ScoutOp::Or,
+                    rows: vec![0, 1],
+                }],
+            })
+            .unwrap();
+        let batches = {
+            let mut st = pool.shared.state.lock().unwrap();
+            plan(&mut st, pool.config(), true, 8)
+        };
+        assert_eq!(batches.len(), 1, "same-kind raw jobs coalesce");
+        let order: Vec<JobId> = batches[0].1.jobs.iter().map(|p| p.compiled.job).collect();
+        assert_eq!(order, vec![narrow.id(), wide.id()]);
+    }
+
+    /// Satellite: registering a dataset that can never fit one shard
+    /// fails with the dedicated sizing error, not a transient
+    /// admission failure.
+    #[test]
+    fn oversized_dataset_registration_reports_sizing_error() {
+        let pool = RuntimePool::new(PoolConfig::with_shards(2));
+        let session = pool.client(TenantId(1));
+        let err = session
+            .register_dataset(&DatasetSpec::Q6Table {
+                rows: 5 * 1024,
+                table_seed: 1,
+            })
+            .unwrap_err();
+        assert!(
+            matches!(err, CompileError::DatasetTooLarge { needed, .. } if needed.digital == 5),
+            "{err:?}"
+        );
+        // Transient pressure still reports the retryable error: a
+        // dataset that *would* fit an empty shard but not the current
+        // pins is not a sizing bug.
+        let _pin = session
+            .register_dataset(&DatasetSpec::Q6Table {
+                rows: 3 * 1024,
+                table_seed: 2,
+            })
+            .unwrap();
+        let _pin2 = session
+            .register_dataset(&DatasetSpec::Q6Table {
+                rows: 3 * 1024,
+                table_seed: 3,
+            })
+            .unwrap();
+        let crowded = session
+            .register_dataset(&DatasetSpec::Q6Table {
+                rows: 2 * 1024,
+                table_seed: 4,
+            })
+            .unwrap_err();
+        assert!(
+            matches!(crowded, CompileError::NeedsMoreDigitalTiles { .. }),
+            "{crowded:?}"
         );
     }
 

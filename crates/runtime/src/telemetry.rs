@@ -62,6 +62,9 @@ pub struct TenantUsage {
 pub struct DatasetUsage {
     /// The owning tenant.
     pub tenant: u32,
+    /// What is resident (`"q6-table"`, `"hdc-prototypes"`,
+    /// `"nn-weights"`), recorded when the load completes.
+    pub kind: &'static str,
     /// Bytes resident in the pinned tiles.
     pub resident_bytes: u64,
     /// The one-time load program's statistics (bin writes / matrix
@@ -168,11 +171,13 @@ impl PoolTelemetry {
         &mut self,
         dataset: DatasetId,
         tenant: TenantId,
+        kind: &'static str,
         resident_bytes: u64,
         stats: &ExecutionStats,
     ) {
         let usage = self.datasets.entry(dataset.0).or_default();
         usage.tenant = tenant.0;
+        usage.kind = kind;
         usage.resident_bytes = resident_bytes;
         stats_accumulate(&mut usage.load_stats, stats);
         stats_accumulate(&mut self.dataset_load, stats);
@@ -236,8 +241,9 @@ impl fmt::Display for PoolTelemetry {
         for (dataset, usage) in &self.datasets {
             writeln!(
                 f,
-                "  dataset {dataset} (tenant {}): load {} instr / {:.3e} J once, \
+                "  dataset {dataset} [{}] (tenant {}): load {} instr / {:.3e} J once, \
                  {} queries ({} instr), {:.1} load-writes/query amortized",
+                usage.kind,
                 usage.tenant,
                 usage.load_stats.instructions(),
                 usage.load_stats.energy.0,

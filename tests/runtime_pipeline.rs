@@ -16,9 +16,10 @@ use cim_repro::cim_bitmap_db::tpch::{LineItemTable, Q6Params};
 use cim_repro::cim_core::isa::CimInstruction;
 use cim_repro::cim_core::ExecutionStats;
 use cim_repro::cim_crossbar::scouting::ScoutOp;
+use cim_repro::cim_imgproc::image::GrayImage;
 use cim_repro::cim_runtime::{
-    CompileError, DatasetSpec, JobHandle, JobOutput, PoolConfig, RuntimePool, TenantId,
-    WorkloadSpec,
+    CompileError, DatasetSpec, ImgFilterOp, JobHandle, JobOutput, PoolConfig, RuntimePool,
+    TenantId, WorkloadSpec,
 };
 use cim_repro::cim_simkit::bitvec::BitVec;
 
@@ -50,6 +51,13 @@ fn mixed_workload() -> Vec<(TenantId, WorkloadSpec)> {
                 rows: (0..6)
                     .map(|r| BitVec::from_fn(256, |j| (j + r + i as usize).is_multiple_of(5)))
                     .collect(),
+            },
+        ));
+        jobs.push((
+            TenantId(5),
+            WorkloadSpec::ImgFilter {
+                image: GrayImage::checkerboard(32, 16, 4, 0.2, 0.8).with_gaussian_noise(0.05, i),
+                filter: ImgFilterOp::Box { radius: 2 },
             },
         ));
     }
