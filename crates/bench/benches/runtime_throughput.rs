@@ -181,12 +181,60 @@ fn bench_nn_resident(c: &mut Criterion) {
     group.finish();
 }
 
+/// One Q6 select sized to 2x a shard's digital tiles: split across a
+/// 4-shard pool by the runtime's scatter-gather vs the client-side
+/// workaround of chunking into shard-sized selects serialized through
+/// one shard — the wall-clock view of the oversized-job split path.
+fn bench_oversized_q6(c: &mut Criterion) {
+    const ROWS: usize = 2 * 4 * 1024; // 8 tiles on 4-tile shards
+    let mut group = c.benchmark_group("oversized_q6");
+    group.sample_size(10);
+
+    group.bench_function("split_across_4_shards", |b| {
+        b.iter(|| {
+            let pool = RuntimePool::new(PoolConfig::with_shards(4));
+            let report = pool
+                .client(TenantId(1))
+                .submit(&WorkloadSpec::Q6Select {
+                    rows: ROWS,
+                    table_seed: 77,
+                    params: Q6Params::tpch_default(),
+                })
+                .unwrap()
+                .wait();
+            assert!(report.output.is_ok());
+            black_box(report)
+        })
+    });
+
+    group.bench_function("serialized_1_shard_chunks", |b| {
+        b.iter(|| {
+            let pool = RuntimePool::new(PoolConfig::with_shards(1));
+            let session = pool.client(TenantId(1));
+            for chunk in 0..2u64 {
+                let report = session
+                    .submit(&WorkloadSpec::Q6Select {
+                        rows: ROWS / 2,
+                        table_seed: 77 ^ chunk,
+                        params: Q6Params::tpch_default(),
+                    })
+                    .unwrap()
+                    .wait();
+                assert!(report.output.is_ok());
+                black_box(report);
+            }
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(200))
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(10);
-    targets = bench_runtime_throughput, bench_resident_vs_cold, bench_nn_resident
+    targets = bench_runtime_throughput, bench_resident_vs_cold, bench_nn_resident,
+        bench_oversized_q6
 }
 criterion_main!(benches);

@@ -318,8 +318,80 @@ fn nn_resident_amortization() {
     );
 }
 
+/// The scatter-gather scaling story: one Q6 select sized to 2x a
+/// shard's digital tiles, served (a) split across a 4-shard pool — the
+/// runtime scatters per-tile chunks to shards and gathers host-side —
+/// versus (b) the client-side workaround the split obsoletes: chunking
+/// the table into shard-sized selects and serializing them through one
+/// shard. Sub-programs run on shards in parallel, so the split path's
+/// simulated makespan must beat the serialized chunking.
+fn oversized_q6() {
+    println!("\n# OVERSIZED Q6 — cross-shard split vs serialized single-shard chunking\n");
+    const ROWS: usize = 2 * 4 * 1024; // 8 tiles on 4-tile shards
+    let params = Q6Params::tpch_default();
+
+    // Split path: one oversized select, scattered by the pool.
+    let split_pool = RuntimePool::new(PoolConfig::with_shards(4));
+    let session = split_pool.client(TenantId(1));
+    let start = Instant::now();
+    let report = session
+        .submit(&WorkloadSpec::Q6Select {
+            rows: ROWS,
+            table_seed: 77,
+            params,
+        })
+        .expect("splits across the pool")
+        .wait();
+    let split_wall = start.elapsed().as_secs_f64();
+    assert!(report.output.is_ok(), "{:?}", report.output);
+    assert!(report.shards.len() >= 2, "the select actually scattered");
+    let split_makespan = split_pool.telemetry().simulated_makespan().0;
+
+    // Serialized chunking: the same total work as shard-sized selects
+    // drained one after another through a single shard.
+    let serial_pool = RuntimePool::new(PoolConfig::with_shards(1));
+    let serial_session = serial_pool.client(TenantId(1));
+    let start = Instant::now();
+    for chunk in 0..2u64 {
+        let chunk_report = serial_session
+            .submit(&WorkloadSpec::Q6Select {
+                rows: ROWS / 2,
+                table_seed: 77 ^ chunk,
+                params,
+            })
+            .expect("each chunk fits one shard")
+            .wait();
+        assert!(chunk_report.output.is_ok());
+    }
+    let serial_wall = start.elapsed().as_secs_f64();
+    let serial_makespan = serial_pool.telemetry().simulated_makespan().0;
+
+    println!(
+        "{:>22} {:>8} {:>13} {:>13} {:>9}",
+        "path", "shards", "sim mksp (s)", "wall (s)", "speedup"
+    );
+    println!(
+        "{:>22} {:>8} {:>13.3e} {:>13.3e} {:>9}",
+        "serialized chunks", 1, serial_makespan, serial_wall, "1.00x"
+    );
+    println!(
+        "{:>22} {:>8} {:>13.3e} {:>13.3e} {:>8.2}x",
+        "split scatter-gather",
+        report.shards.len(),
+        split_makespan,
+        split_wall,
+        serial_makespan / split_makespan
+    );
+    assert!(
+        split_makespan < serial_makespan,
+        "split makespan {split_makespan:.3e}s must beat serialized chunking \
+         {serial_makespan:.3e}s"
+    );
+}
+
 fn main() {
     shard_scaling();
     resident_amortization();
     nn_resident_amortization();
+    oversized_q6();
 }

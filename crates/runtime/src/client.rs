@@ -60,16 +60,19 @@ impl PoolClient {
     ///
     /// Blocks until the resident data is written (the one-time cost the
     /// lease amortizes); queries against the returned handle then carry
-    /// only query-side work. The lease lives until the last clone of
-    /// the handle drops, at which point the tiles are scrubbed and
-    /// freed.
+    /// only query-side work. A dataset too big for any single shard is
+    /// scattered across several ([`DatasetHandle::shards`]) and queries
+    /// against it are scatter-gathered chunk-by-chunk to the shards
+    /// pinning their tiles — bit-identical to serving from one giant
+    /// shard. The lease lives until the last clone of the handle drops,
+    /// at which point the tiles are scrubbed and freed on every shard.
     pub fn register_dataset(&self, spec: &DatasetSpec) -> Result<DatasetHandle, CompileError> {
-        let (id, shard) = self.shared.register_dataset(self.tenant, spec)?;
+        let (id, shards) = self.shared.register_dataset(self.tenant, spec)?;
         Ok(DatasetHandle::new(
             Arc::clone(&self.shared),
             id,
             self.tenant,
-            shard,
+            shards,
         ))
     }
 

@@ -36,6 +36,7 @@ use cim_simkit::bitvec::BitVec;
 use cim_simkit::linalg::Matrix;
 use cim_simkit::rng::seeded;
 use cim_xor_cipher::otp::OneTimePad;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
@@ -85,10 +86,17 @@ pub enum Finalizer {
         /// Plaintext length in bytes.
         len: usize,
     },
-    /// Return the (trimmed) result row of a bulk reduction.
+    /// Merge the per-tile partial rows of a bulk reduction with `op`
+    /// host-side and trim to `width`. A single-tile reduction carries
+    /// one response and the merge is the identity; a reduction chunked
+    /// over several tiles (possibly on several shards) combines the
+    /// partials exactly — every [`ScoutOp`] is associative, so the
+    /// host-side fold equals the in-array result over all operands.
     Bits {
         /// Original operand width before padding to the tile width.
         width: usize,
+        /// The reduction operation, reapplied across partials.
+        op: ScoutOp,
     },
     /// Decode final-layer MVM responses of a binarized network: snap
     /// each entry onto the ±1×±1 parity lattice of the layer's fan-in
@@ -178,9 +186,20 @@ impl Finalizer {
                 bytes.truncate(*len);
                 JobOutput::Cipher(bytes)
             }
-            Finalizer::Bits { width } => {
-                let resp = outputs.into_iter().next().expect("one reduction output");
-                let full = resp.into_bits().expect("reduction output is a bit vector");
+            Finalizer::Bits { width, op } => {
+                let mut merged: Option<BitVec> = None;
+                for resp in outputs {
+                    let partial = resp.into_bits().expect("reduction output is a bit vector");
+                    merged = Some(match merged {
+                        None => partial,
+                        Some(acc) => match op {
+                            ScoutOp::Or => acc.or(&partial),
+                            ScoutOp::And => acc.and(&partial),
+                            ScoutOp::Xor => acc.xor(&partial),
+                        },
+                    });
+                }
+                let full = merged.expect("at least one reduction output");
                 JobOutput::Bits(BitVec::from_fn(*width, |j| full.get(j)))
             }
             Finalizer::Nn { classes, fan_in } => {
@@ -258,6 +277,14 @@ pub struct CompiledJob {
     pub host_profile: HostProfile,
     /// Seed of the job's private noise stream.
     pub seed: u64,
+    /// Whether the job is digital-tile-parallel: every instruction
+    /// touches exactly one digital tile and the tiles never exchange
+    /// data, so the scheduler may partition the virtual tiles into
+    /// contiguous chunks and scatter them across shards, gathering the
+    /// chunk responses host-side before the (single) finalizer runs.
+    /// This is what lets a job bigger than any one shard still serve
+    /// from the pool's aggregate capacity.
+    pub splittable: bool,
 }
 
 impl CompiledJob {
@@ -291,11 +318,15 @@ impl CompiledJob {
 /// Why a workload cannot be compiled for a given pool configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompileError {
-    /// The workload needs more digital tiles than one shard owns.
+    /// The workload needs more digital tiles than are available. For
+    /// tile-parallel (splittable) workloads `available` is pool-wide —
+    /// the pool's capacity when raised at compile time, its currently
+    /// free tiles when raised by admission; for single-shard workloads
+    /// it is the best shard's.
     NeedsMoreDigitalTiles {
         /// Tiles required.
         required: usize,
-        /// Tiles one shard owns.
+        /// Tiles available (see above for the scope).
         available: usize,
     },
     /// The workload needs more rows per tile than the configured geometry.
@@ -362,16 +393,19 @@ pub enum CompileError {
         /// The captured failure message.
         message: String,
     },
-    /// The dataset can never fit: its pin needs more tiles than one
-    /// whole shard owns, regardless of current admission pressure.
-    /// Callers should size the dataset down (or split it); retrying or
-    /// waiting for leases to free cannot help, which is what
-    /// distinguishes this from the transient `NeedsMore…Tiles` errors.
+    /// The dataset can never fit, regardless of current admission
+    /// pressure: its digital pin outgrows the *whole pool* (digital
+    /// datasets split across shards), or its analog pin outgrows one
+    /// shard (weight matrices are not yet split). Callers should size
+    /// the dataset down; retrying or waiting for leases to free cannot
+    /// help, which is what distinguishes this from the transient
+    /// `NeedsMore…Tiles` errors.
     DatasetTooLarge {
         /// Tiles the dataset's load program needs.
         needed: TileDemand,
-        /// Tiles one shard owns.
-        shard_capacity: TileDemand,
+        /// The most the pool can ever pin for one dataset: pool-wide
+        /// digital tiles, one shard's analog tiles.
+        pool_capacity: TileDemand,
     },
     /// An inference input's length does not match the network's input
     /// width.
@@ -427,12 +461,12 @@ impl fmt::Display for CompileError {
             }
             CompileError::DatasetTooLarge {
                 needed,
-                shard_capacity,
+                pool_capacity,
             } => write!(
                 f,
-                "dataset needs {} digital + {} analog tiles, a whole shard owns {} + {}: \
-                 size the dataset down",
-                needed.digital, needed.analog, shard_capacity.digital, shard_capacity.analog
+                "dataset needs {} digital + {} analog tiles, the pool can ever pin {} digital \
+                 (pool-wide) + {} analog (one shard): size the dataset down",
+                needed.digital, needed.analog, pool_capacity.digital, pool_capacity.analog
             ),
             CompileError::InputLengthMismatch { got, expected } => {
                 write!(f, "input has length {got}, the network expects {expected}")
@@ -569,6 +603,7 @@ pub(crate) fn compile(
                 l2_miss: 0.5,
             },
             seed,
+            splittable: false,
         }),
     }
 }
@@ -636,8 +671,12 @@ fn emit_reduce(
     acc.expect("reduction produced a result")
 }
 
-/// Validates a Q6 footprint against the pool geometry and returns the
-/// digital tile count it needs.
+/// Validates a Q6 footprint against the tile geometry and returns the
+/// digital tile count it needs. Q6 work is tile-parallel, so the cap
+/// is the *pool-wide* tile count (the admission layer decides whether
+/// the tiles fit one shard or split across the pool) — checked here,
+/// before any table generation, so a never-fits select cannot burn
+/// O(rows) work compiling a stream the pool can never run.
 fn q6_footprint(rows: usize, cfg: &PoolConfig) -> Result<usize, CompileError> {
     if rows == 0 {
         return Err(CompileError::EmptyWorkload);
@@ -651,10 +690,11 @@ fn q6_footprint(rows: usize, cfg: &PoolConfig) -> Result<usize, CompileError> {
         });
     }
     let tiles = rows.div_ceil(cfg.tile_cols);
-    if tiles > cfg.digital_tiles {
+    let pool_tiles = cfg.digital_tiles * cfg.shards;
+    if tiles > pool_tiles {
         return Err(CompileError::NeedsMoreDigitalTiles {
             required: tiles,
-            available: cfg.digital_tiles,
+            available: pool_tiles,
         });
     }
     Ok(tiles)
@@ -795,6 +835,7 @@ fn compile_q6(
             l2_miss: 1.0,
         },
         seed,
+        splittable: true,
     })
 }
 
@@ -844,6 +885,7 @@ fn compile_q6_query(
             l2_miss: 1.0,
         },
         seed,
+        splittable: true,
     })
 }
 
@@ -910,6 +952,7 @@ fn compile_hdc_query(
             l2_miss: 0.9,
         },
         seed,
+        splittable: false,
     })
 }
 
@@ -1048,6 +1091,7 @@ fn compile_nn_infer(
             l2_miss: 0.9,
         },
         seed,
+        splittable: false,
     })
 }
 
@@ -1091,6 +1135,7 @@ fn compile_nn_query(
             l2_miss: 0.9,
         },
         seed,
+        splittable: false,
     })
 }
 
@@ -1185,6 +1230,7 @@ fn compile_img(
             l2_miss: 1.0,
         },
         seed,
+        splittable: false,
     })
 }
 
@@ -1211,16 +1257,20 @@ pub(crate) fn compile_dataset_load(
 ) -> Result<DatasetProgram, CompileError> {
     let too_large = |digital: usize, analog: usize| CompileError::DatasetTooLarge {
         needed: TileDemand { digital, analog },
-        shard_capacity: TileDemand {
-            digital: cfg.digital_tiles,
+        pool_capacity: TileDemand {
+            // Digital loads split across shards; analog pins (weight
+            // matrices, prototype tiles) must still fit one shard.
+            digital: cfg.digital_tiles * cfg.shards,
             analog: cfg.analog_tiles,
         },
     };
     match spec {
         DatasetSpec::Q6Table { rows, table_seed } => {
-            // A load that outgrows a whole shard is a sizing error, not
-            // admission pressure: report it as such at plan time instead
-            // of a generic capacity failure.
+            // A load that outgrows the whole pool is a sizing error,
+            // not admission pressure: report it as such at plan time
+            // instead of a generic capacity failure. Anything up to the
+            // pool-wide tile count is loadable — split across shards if
+            // no single shard can pin it.
             let tiles = q6_footprint(*rows, cfg).map_err(|e| match e {
                 CompileError::NeedsMoreDigitalTiles { required, .. } => too_large(required, 0),
                 other => other,
@@ -1401,6 +1451,7 @@ fn compile_hdc(
             l2_miss: 0.9,
         },
         seed,
+        splittable: false,
     })
 }
 
@@ -1473,6 +1524,7 @@ fn compile_xor(
             l2_miss: 1.0,
         },
         seed,
+        splittable: false,
     })
 }
 
@@ -1504,46 +1556,69 @@ fn compile_scout(
             });
         }
     }
-    if rows.len() + 2 > cfg.tile_rows {
+    // Operands beyond one tile's row budget chunk across tiles: each
+    // tile reduces its chunk independently and the finalizer merges the
+    // partials host-side (every ScoutOp is associative). XOR is exactly
+    // two rows, so it always fits one tile.
+    let rows_per_tile = cfg.tile_rows.saturating_sub(2);
+    if rows_per_tile == 0 || (op == ScoutOp::Xor && rows.len() + 2 > cfg.tile_rows) {
         return Err(CompileError::NeedsMoreTileRows {
             required: rows.len() + 2,
             available: cfg.tile_rows,
         });
     }
-    let mut instructions = Vec::with_capacity(rows.len() + 2);
-    for (r, bits) in rows.iter().enumerate() {
-        instructions.push(CimInstruction::WriteRow {
-            tile: 0,
-            row: r,
-            bits: BitVec::from_fn(cfg.tile_cols, |j| j < width && bits.get(j)),
-        });
+    let tiles = rows.len().div_ceil(rows_per_tile);
+    // Balanced chunks keep every chunk as wide as possible (a chunk of
+    // one row would carry no reduction at all).
+    let (chunk_base, chunk_rem) = (rows.len() / tiles, rows.len() % tiles);
+
+    let mut instructions = Vec::with_capacity(rows.len() + 2 * tiles);
+    let mut outputs = Vec::with_capacity(tiles);
+    let mut next = 0usize;
+    for tile in 0..tiles {
+        let chunk = chunk_base + usize::from(tile < chunk_rem);
+        for r in 0..chunk {
+            let bits = &rows[next + r];
+            instructions.push(CimInstruction::WriteRow {
+                tile,
+                row: r,
+                bits: BitVec::from_fn(cfg.tile_cols, |j| j < width && bits.get(j)),
+            });
+        }
+        next += chunk;
+        if chunk == 1 {
+            // A lone operand is its own partial result: read it back.
+            instructions.push(CimInstruction::ReadRow { tile, row: 0 });
+            outputs.push(instructions.len() - 1);
+            continue;
+        }
+        let operand_rows: Vec<usize> = (0..chunk).collect();
+        if op == ScoutOp::Xor {
+            instructions.push(CimInstruction::Logic {
+                tile,
+                op,
+                rows: operand_rows,
+            });
+        } else {
+            emit_reduce(
+                &mut instructions,
+                tile,
+                &operand_rows,
+                chunk,
+                chunk + 1,
+                cfg.scout_fan_in,
+                op,
+            );
+        }
+        // For multi-step reductions the result sits in a scratch row,
+        // but the final Logic response already carries the same bits,
+        // so the chunk's output is always its last Logic instruction.
+        let last_logic = instructions
+            .iter()
+            .rposition(|i| matches!(i, CimInstruction::Logic { .. }))
+            .expect("reduction emitted at least one logic op");
+        outputs.push(last_logic);
     }
-    let operand_rows: Vec<usize> = (0..rows.len()).collect();
-    if op == ScoutOp::Xor {
-        instructions.push(CimInstruction::Logic {
-            tile: 0,
-            op,
-            rows: operand_rows,
-        });
-    } else {
-        emit_reduce(
-            &mut instructions,
-            0,
-            &operand_rows,
-            rows.len(),
-            rows.len() + 1,
-            cfg.scout_fan_in,
-            op,
-        );
-    }
-    // For multi-step reductions the result sits in a scratch row, but
-    // the final Logic response already carries the same bits, so the
-    // job's output is always the last Logic instruction.
-    let last_logic = instructions
-        .iter()
-        .rposition(|i| matches!(i, CimInstruction::Logic { .. }))
-        .expect("reduction emitted at least one logic op");
-    let outputs = vec![last_logic];
 
     Ok(CompiledJob {
         job,
@@ -1551,13 +1626,13 @@ fn compile_scout(
         kind: JobKind::ScoutBulk,
         dataset: None,
         demand: TileDemand {
-            digital: 1,
+            digital: tiles,
             analog: 0,
         },
         instructions,
         outputs,
-        finalizer: Finalizer::Bits { width },
-        placement: digital_placement(window_base, 1, cfg),
+        finalizer: Finalizer::Bits { width, op },
+        placement: digital_placement(window_base, tiles, cfg),
         resident_bytes: (rows.len() * cfg.tile_cols.div_ceil(8)) as u64,
         host_profile: HostProfile {
             accel_fraction: 0.9,
@@ -1565,7 +1640,135 @@ fn compile_scout(
             l2_miss: 1.0,
         },
         seed,
+        splittable: true,
     })
+}
+
+/// The digital tile an instruction addresses (`None` for analog
+/// instructions).
+fn digital_tile_of(instr: &CimInstruction) -> Option<usize> {
+    match instr {
+        CimInstruction::WriteRow { tile, .. }
+        | CimInstruction::ReadRow { tile, .. }
+        | CimInstruction::Logic { tile, .. }
+        | CimInstruction::StoreLast { tile, .. } => Some(*tile),
+        CimInstruction::ProgramMatrix { .. }
+        | CimInstruction::Mvm { .. }
+        | CimInstruction::MvmT { .. } => None,
+    }
+}
+
+/// Rewrites an instruction's digital tile index in place.
+fn retile_digital(instr: &mut CimInstruction, to: usize) {
+    match instr {
+        CimInstruction::WriteRow { tile, .. }
+        | CimInstruction::ReadRow { tile, .. }
+        | CimInstruction::Logic { tile, .. }
+        | CimInstruction::StoreLast { tile, .. } => *tile = to,
+        _ => unreachable!("splittable streams are digital-only"),
+    }
+}
+
+/// Splits a digital-tile-parallel compiled job into contiguous
+/// virtual-tile chunks — one sub-program per chunk, retiled to local
+/// virtual indices `0..chunk`.
+///
+/// Each sub-program returns its raw chunk responses
+/// ([`Finalizer::Raw`]); the scheduler's gather step concatenates them
+/// in chunk order and runs the *parent's* finalizer exactly once over
+/// the whole sequence, so a split job decodes through the identical
+/// host-side path as an unsplit one — bit-identical results by
+/// construction, never a partial-merge approximation.
+///
+/// `chunks` must partition `parent.demand.digital` in ascending
+/// virtual-tile order (instruction emission orders outputs by tile, so
+/// contiguous ascending chunks preserve the parent's output order).
+pub(crate) fn split_by_digital_tile(
+    parent: &CompiledJob,
+    chunks: &[usize],
+    cfg: &PoolConfig,
+) -> Vec<CompiledJob> {
+    debug_assert_eq!(
+        chunks.iter().sum::<usize>(),
+        parent.demand.digital,
+        "chunks partition the parent's digital tiles"
+    );
+    debug_assert_eq!(parent.demand.analog, 0, "only digital jobs split");
+    let output_set: BTreeSet<usize> = parent.outputs.iter().copied().collect();
+    let row_bytes = cfg.tile_cols.div_ceil(8);
+    let mut parts = Vec::with_capacity(chunks.len());
+    let mut base = 0usize;
+    for (part, &chunk) in chunks.iter().enumerate() {
+        let mut instructions = Vec::new();
+        let mut outputs = Vec::new();
+        for (index, instr) in parent.instructions.iter().enumerate() {
+            let tile = digital_tile_of(instr).expect("splittable streams are digital-only");
+            if (base..base + chunk).contains(&tile) {
+                let mut instr = instr.clone();
+                retile_digital(&mut instr, tile - base);
+                if output_set.contains(&index) {
+                    outputs.push(instructions.len());
+                }
+                instructions.push(instr);
+            }
+        }
+        let placement = parent.placement.as_ref().map(|map| {
+            AddressMap::new(
+                map.base() + (base * cfg.tile_rows * row_bytes) as u64,
+                chunk,
+                cfg.tile_rows,
+                row_bytes,
+            )
+        });
+        parts.push(CompiledJob {
+            job: parent.job,
+            tenant: parent.tenant,
+            kind: parent.kind,
+            dataset: parent.dataset,
+            demand: TileDemand {
+                digital: chunk,
+                analog: 0,
+            },
+            instructions,
+            outputs,
+            finalizer: Finalizer::Raw,
+            placement,
+            resident_bytes: parent.resident_bytes * chunk as u64
+                / parent.demand.digital.max(1) as u64,
+            host_profile: parent.host_profile,
+            // Sub-streams are digital (exact): distinct noise seeds per
+            // part cannot change results, only keep streams private.
+            seed: crate::mix_seed(parent.seed, 0x5EED ^ part as u64),
+            splittable: false,
+        });
+        base += chunk;
+    }
+    parts
+}
+
+/// Splits a dataset load program (digital writes over virtual tiles,
+/// no outputs) into per-chunk instruction lists retiled to chunk-local
+/// virtual indices — the load-side twin of [`split_by_digital_tile`].
+pub(crate) fn split_load_by_tile(
+    instructions: &[CimInstruction],
+    chunks: &[usize],
+) -> Vec<Vec<CimInstruction>> {
+    let mut parts: Vec<Vec<CimInstruction>> = Vec::with_capacity(chunks.len());
+    let mut base = 0usize;
+    for &chunk in chunks {
+        let mut part = Vec::new();
+        for instr in instructions {
+            let tile = digital_tile_of(instr).expect("digital load programs split");
+            if (base..base + chunk).contains(&tile) {
+                let mut instr = instr.clone();
+                retile_digital(&mut instr, tile - base);
+                part.push(instr);
+            }
+        }
+        parts.push(part);
+        base += chunk;
+    }
+    parts
 }
 
 #[cfg(test)]
@@ -1625,7 +1828,10 @@ mod tests {
     }
 
     #[test]
-    fn q6_too_large_is_rejected() {
+    fn q6_bigger_than_one_shard_compiles_splittable() {
+        // Tile count is an admission decision now, not a compile error:
+        // a select outgrowing one shard compiles as a tile-parallel
+        // (splittable) job the scheduler can scatter across shards.
         let mut small = cfg();
         small.digital_tiles = 1;
         let spec = WorkloadSpec::Q6Select {
@@ -1633,10 +1839,96 @@ mod tests {
             table_seed: 1,
             params: Q6Params::tpch_default(),
         };
+        let c = compile(&spec, JobId(0), TenantId(0), &small, 0, 0, None).unwrap();
+        assert_eq!(c.demand.digital, 2);
+        assert!(c.splittable);
+    }
+
+    /// Review regression: a select beyond the whole pool's capacity is
+    /// rejected by the footprint check *before* the synthetic table is
+    /// generated — never-fits submissions must stay cheap.
+    #[test]
+    fn q6_beyond_pool_capacity_rejected_before_table_generation() {
+        let spec = WorkloadSpec::Q6Select {
+            rows: 100 * cfg().tile_cols,
+            table_seed: 0,
+            params: Q6Params::tpch_default(),
+        };
         assert!(matches!(
-            compile(&spec, JobId(0), TenantId(0), &small, 0, 0, None),
-            Err(CompileError::NeedsMoreDigitalTiles { required: 2, .. })
+            compile(&spec, JobId(0), TenantId(0), &cfg(), 0, 0, None),
+            Err(CompileError::NeedsMoreDigitalTiles {
+                required: 100,
+                available: 8,
+            })
         ));
+    }
+
+    #[test]
+    fn split_by_digital_tile_partitions_stream_and_outputs() {
+        let spec = WorkloadSpec::Q6Select {
+            rows: 3 * cfg().tile_cols,
+            table_seed: 4,
+            params: Q6Params::tpch_default(),
+        };
+        let parent = compile(&spec, JobId(7), TenantId(1), &cfg(), 9, 0x4000, None).unwrap();
+        assert_eq!(parent.demand.digital, 3);
+        let parts = split_by_digital_tile(&parent, &[2, 1], &cfg());
+        assert_eq!(parts.len(), 2);
+        // Instructions and outputs partition exactly.
+        assert_eq!(
+            parts.iter().map(|p| p.instructions.len()).sum::<usize>(),
+            parent.instructions.len()
+        );
+        assert_eq!(
+            parts.iter().map(|p| p.outputs.len()).sum::<usize>(),
+            parent.outputs.len()
+        );
+        assert_eq!(parts[0].demand.digital, 2);
+        assert_eq!(parts[1].demand.digital, 1);
+        // Every sub-stream is retiled to local virtual indices.
+        for part in &parts {
+            assert!(matches!(part.finalizer, Finalizer::Raw));
+            assert!(!part.splittable, "sub-programs never re-split");
+            for instr in &part.instructions {
+                let tile = match instr {
+                    CimInstruction::WriteRow { tile, .. }
+                    | CimInstruction::ReadRow { tile, .. }
+                    | CimInstruction::Logic { tile, .. }
+                    | CimInstruction::StoreLast { tile, .. } => *tile,
+                    other => panic!("analog instruction in a digital split: {other:?}"),
+                };
+                assert!(tile < part.demand.digital);
+            }
+        }
+        // Sub-placements tile the parent window in order.
+        let p0 = parts[0].placement.unwrap();
+        let p1 = parts[1].placement.unwrap();
+        assert_eq!(p0.base(), 0x4000);
+        assert!(p1.base() > p0.base());
+    }
+
+    #[test]
+    fn scout_bulk_chunks_across_tiles_when_rows_exceed_one_tile() {
+        let c = cfg();
+        let n = c.tile_rows; // > tile_rows - 2 operands: needs 2 tiles
+        let rows: Vec<BitVec> = (0..n)
+            .map(|i| BitVec::from_fn(64, |j| (i + j) % 9 == 0))
+            .collect();
+        let spec = WorkloadSpec::ScoutBulk {
+            op: ScoutOp::Or,
+            rows,
+        };
+        let job = compile(&spec, JobId(0), TenantId(0), &c, 0, 0, None).unwrap();
+        assert_eq!(job.demand.digital, 2, "operands chunk across two tiles");
+        assert_eq!(job.outputs.len(), 2, "one partial per tile");
+        assert!(job.splittable);
+        match &job.finalizer {
+            Finalizer::Bits { width, op } => {
+                assert_eq!(*width, 64);
+                assert_eq!(*op, ScoutOp::Or);
+            }
+            other => panic!("wrong finalizer {other:?}"),
+        }
     }
 
     #[test]
@@ -1709,7 +2001,7 @@ mod tests {
         assert_eq!(c.demand.digital, 1);
         assert_eq!(c.outputs.len(), 1);
         match &c.finalizer {
-            Finalizer::Bits { width } => assert_eq!(*width, 64),
+            Finalizer::Bits { width, .. } => assert_eq!(*width, 64),
             other => panic!("wrong finalizer {other:?}"),
         }
     }
@@ -1876,30 +2168,47 @@ mod tests {
     }
 
     /// Satellite: an impossible dataset pin is a dedicated sizing error
-    /// at plan time, not a generic capacity failure.
+    /// at plan time, not a generic capacity failure — and since digital
+    /// loads split across shards, it now fires only past the *pool*
+    /// capacity, reported as such (`pool_capacity`, not one shard).
     #[test]
     fn oversized_dataset_load_is_a_dedicated_error() {
         let c = cfg();
-        let q6 = DatasetSpec::Q6Table {
+        let pool_tiles = c.digital_tiles * c.shards;
+        // One shard's worth plus one: splittable across the pool, so it
+        // compiles fine now.
+        let fits_pool = DatasetSpec::Q6Table {
             rows: (c.digital_tiles + 1) * c.tile_cols,
+            table_seed: 1,
+        };
+        assert!(compile_dataset_load(&fits_pool, &c, 0).is_ok());
+        // The whole pool's worth plus one: can never fit anywhere.
+        let q6 = DatasetSpec::Q6Table {
+            rows: (pool_tiles + 1) * c.tile_cols,
             table_seed: 1,
         };
         match compile_dataset_load(&q6, &c, 0) {
             Err(CompileError::DatasetTooLarge {
                 needed,
-                shard_capacity,
+                pool_capacity,
             }) => {
-                assert_eq!(needed.digital, c.digital_tiles + 1);
-                assert_eq!(shard_capacity.digital, c.digital_tiles);
+                assert_eq!(needed.digital, pool_tiles + 1);
+                assert_eq!(pool_capacity.digital, pool_tiles);
             }
             other => panic!("expected DatasetTooLarge, got {other:?}"),
         }
+        // Analog pins are not split: one shard's analog tiles remain
+        // the limit for weight matrices.
         let nn = DatasetSpec::NnWeights {
             network: BinarizedMlp::random(&[8, 8, 8, 4], 1),
         };
         match compile_dataset_load(&nn, &c, 0) {
-            Err(CompileError::DatasetTooLarge { needed, .. }) => {
+            Err(CompileError::DatasetTooLarge {
+                needed,
+                pool_capacity,
+            }) => {
                 assert_eq!(needed.analog, 3, "three layers need three analog tiles");
+                assert_eq!(pool_capacity.analog, c.analog_tiles);
             }
             other => panic!("expected DatasetTooLarge, got {other:?}"),
         }

@@ -80,14 +80,14 @@ impl DatasetHandle {
         shared: Arc<PoolShared>,
         id: DatasetId,
         tenant: TenantId,
-        shard: usize,
+        shards: Vec<usize>,
     ) -> Self {
         DatasetHandle {
             core: Arc::new(DatasetCore {
                 shared,
                 id,
                 tenant,
-                shard,
+                shards,
             }),
         }
     }
@@ -103,9 +103,18 @@ impl DatasetHandle {
         self.core.tenant
     }
 
-    /// The shard the dataset is resident on; every query routes there.
+    /// The first (primary) shard the dataset is resident on. A dataset
+    /// bigger than one shard spans several — see
+    /// [`DatasetHandle::shards`]; queries are scatter-gathered so each
+    /// chunk routes to the shard pinning its tiles.
     pub fn shard(&self) -> usize {
-        self.core.shard
+        self.core.shards[0]
+    }
+
+    /// Every shard holding a chunk of the dataset, in virtual tile
+    /// order. A singleton when the whole pin fits one shard.
+    pub fn shards(&self) -> &[usize] {
+        &self.core.shards
     }
 
     /// Number of live lease clones (this one included). The pinned
@@ -122,7 +131,7 @@ struct DatasetCore {
     shared: Arc<PoolShared>,
     id: DatasetId,
     tenant: TenantId,
-    shard: usize,
+    shards: Vec<usize>,
 }
 
 impl Drop for DatasetCore {
@@ -180,39 +189,57 @@ pub(crate) struct ResidentView {
     pub resident_bytes: u64,
 }
 
-/// Load progress of a registered dataset, observed while pumping
-/// completions during registration.
+/// Load progress of a registered dataset: one shard load may still be
+/// outstanding per placement, observed while pumping completions
+/// during registration.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) enum LoadState {
-    Pending,
-    Loaded,
-    Failed(String),
+pub(crate) struct LoadProgress {
+    /// Per-shard load programs whose completions are still outstanding.
+    pub pending: usize,
+    /// The first captured failure, if any shard load failed.
+    pub failure: Option<String>,
 }
 
-/// Pool-side record of one resident dataset.
-#[derive(Debug)]
-pub(crate) struct DatasetRecord {
-    pub tenant: TenantId,
+/// One shard's slice of a resident dataset: the physical tiles pinned
+/// there (covering a contiguous chunk of the dataset's virtual tiles)
+/// and the rows its chunk of the load program wrote.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardPlacement {
     pub shard: usize,
     /// Physical digital tiles pinned on the shard, in virtual order.
     pub digital_tiles: Vec<usize>,
     /// Physical analog tiles pinned on the shard, in virtual order.
     pub analog_tiles: Vec<usize>,
-    pub payload: ResidentPayload,
-    /// Physical `(tile, row)` pairs the load program wrote — what the
-    /// release scrub must clean.
+    /// Physical `(tile, row)` pairs the chunk's load wrote — what the
+    /// release scrub must clean on this shard.
     pub scrub_rows: Vec<(usize, usize)>,
+}
+
+/// Pool-side record of one resident dataset. Ordinarily a dataset pins
+/// tiles on a single shard; a dataset bigger than any one shard spans
+/// several placements, each holding a contiguous chunk of its virtual
+/// tiles, and queries are scatter-gathered across them.
+#[derive(Debug)]
+pub(crate) struct DatasetRecord {
+    pub tenant: TenantId,
+    /// Per-shard placements in virtual tile order (chunk `c` covers
+    /// virtual tiles `sum(len of 0..c) ..+ len(c)`).
+    pub placements: Vec<ShardPlacement>,
+    pub payload: ResidentPayload,
     /// Bytes resident in the pinned tiles.
     pub resident_bytes: u64,
     /// The dataset's resident window in the extended address space.
     pub placement: Option<AddressMap>,
-    pub load: LoadState,
+    pub load: LoadProgress,
     /// Seed of the load program's noise stream (scrubbing derives from
     /// it too).
     pub seed: u64,
     /// Set once the last handle dropped; pending queries fail with
     /// [`crate::JobError::DatasetReleased`] instead of dispatching.
     pub released: bool,
+    /// Release scrubs still outstanding; the record is dropped when the
+    /// last shard reports its scrub done.
+    pub scrubs_pending: usize,
 }
 
 impl DatasetRecord {
@@ -220,9 +247,14 @@ impl DatasetRecord {
     pub fn view(&self) -> ResidentView {
         ResidentView {
             payload: self.payload.clone(),
-            digital_tiles: self.digital_tiles.len(),
+            digital_tiles: self.placements.iter().map(|p| p.digital_tiles.len()).sum(),
             placement: self.placement,
             resident_bytes: self.resident_bytes,
         }
+    }
+
+    /// The primary shard (first placement).
+    pub fn primary_shard(&self) -> usize {
+        self.placements[0].shard
     }
 }

@@ -380,6 +380,25 @@ pub enum JobError {
         /// The dataset the job referenced.
         dataset: DatasetId,
     },
+    /// The workload can never be admitted on this pool: even with every
+    /// tile free — and cross-shard splitting for tile-parallel
+    /// workloads — its demand exceeds what the pool owns. Terminal:
+    /// unlike the transient `NeedsMore…Tiles` submission errors,
+    /// resubmitting cannot succeed; reshape the workload or grow the
+    /// pool. Surfaced as a synthesized failure report so callers can
+    /// tell it apart from retryable admission pressure.
+    WorkloadTooLarge {
+        /// Digital tiles the job needs at once.
+        digital_required: usize,
+        /// Analog tiles the job needs at once.
+        analog_required: usize,
+        /// Digital tiles the job could ever use: the whole pool for a
+        /// splittable workload, one shard otherwise.
+        digital_capacity: usize,
+        /// Analog tiles the job could ever use (one shard — analog
+        /// workloads are not split).
+        analog_capacity: usize,
+    },
 }
 
 impl fmt::Display for JobError {
@@ -415,6 +434,17 @@ impl fmt::Display for JobError {
             JobError::DatasetReleased { dataset } => {
                 write!(f, "{dataset} was released before the job dispatched")
             }
+            JobError::WorkloadTooLarge {
+                digital_required,
+                analog_required,
+                digital_capacity,
+                analog_capacity,
+            } => write!(
+                f,
+                "workload can never fit: needs {digital_required} digital + {analog_required} \
+                 analog tiles, the pool can ever grant {digital_capacity} + {analog_capacity}: \
+                 split the workload or grow the pool"
+            ),
         }
     }
 }
@@ -433,8 +463,14 @@ pub struct JobReport {
     /// The resident dataset the job queried, if any. Telemetry uses
     /// this to attribute the job's stats to the dataset's query side.
     pub dataset: Option<DatasetId>,
-    /// Shard that executed it.
+    /// Shard that executed it (for a cross-shard split job: the shard
+    /// of the first sub-program; see [`JobReport::shards`]).
     pub shard: usize,
+    /// Every shard that executed part of the job, in sub-program order.
+    /// A singleton for ordinary jobs; several entries when an oversized
+    /// job was scatter-gathered across shards. Empty only for jobs that
+    /// failed before reaching any shard.
+    pub shards: Vec<usize>,
     /// Batch it was coalesced into (`u64::MAX` if the job failed at
     /// dispatch and never reached a shard).
     pub batch: u64,

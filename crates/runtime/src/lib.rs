@@ -35,7 +35,12 @@
 //!   channels; no async dependency). Per-job seeded noise streams and
 //!   exclusive tile leases make batched execution bit-identical to
 //!   sequential execution, and tile scrubbing keeps tenants from ever
-//!   observing each other's data.
+//!   observing each other's data. Tile-parallel jobs (and `Q6Table`
+//!   datasets) bigger than any one shard are scatter-gathered: split
+//!   into per-tile chunks across shards, executed in parallel, and
+//!   decoded by the job's single finalizer over the gathered chunk
+//!   responses — bit-identical to one giant shard, so the pool's
+//!   aggregate capacity (not a shard's) bounds job size.
 //! * **[`telemetry`]** — aggregates [`cim_core::ExecutionStats`] per
 //!   job, per tenant, per dataset (load-vs-query split) and pool-wide,
 //!   and reports speedup-vs-host from the `cim-arch` analytical models.

@@ -40,10 +40,15 @@
 //! when the last [`crate::DatasetHandle`] drops.
 
 use crate::client::PoolClient;
-use crate::compile::{compile, compile_dataset_load, CompileError, CompiledJob, DatasetProgram};
-use crate::dataset::{DatasetRecord, DatasetSpec, LoadState};
-use crate::job::{DatasetId, JobError, JobId, JobReport, JobStatus, TenantId, WorkloadSpec};
-use crate::telemetry::{stats_delta, PoolTelemetry};
+use crate::compile::{
+    compile, compile_dataset_load, split_by_digital_tile, split_load_by_tile, CompileError,
+    CompiledJob, DatasetProgram, Finalizer,
+};
+use crate::dataset::{DatasetRecord, DatasetSpec, LoadProgress, ShardPlacement};
+use crate::job::{
+    DatasetId, JobError, JobId, JobOutput, JobReport, JobStatus, TenantId, WorkloadSpec,
+};
+use crate::telemetry::{stats_accumulate, stats_delta, PoolTelemetry};
 use cim_arch::cim::CimSystem;
 use cim_arch::conventional::ConventionalMachine;
 use cim_core::isa::{CimInstruction, CimResponse};
@@ -173,6 +178,10 @@ struct PlacedJob {
     digital_map: Vec<usize>,
     /// Physical analog tile of each virtual analog tile.
     analog_map: Vec<usize>,
+    /// `Some(index)` when this is one sub-program of a cross-shard
+    /// split job: its report routes to the gather step instead of
+    /// completing the job directly.
+    part: Option<u32>,
 }
 
 /// One dispatch unit: co-resident jobs on one shard, executed in order.
@@ -204,7 +213,11 @@ enum WorkerMsg {
 
 /// What a shard worker sends back.
 enum Completion {
-    Job(Box<JobReport>),
+    Job {
+        report: Box<JobReport>,
+        /// `Some` for one sub-program of a split job.
+        part: Option<u32>,
+    },
     DatasetLoaded {
         id: DatasetId,
         result: Result<ExecutionStats, String>,
@@ -234,11 +247,28 @@ enum Slot {
     Abandoned,
 }
 
+/// Gather state of one cross-shard split job: sub-reports accumulate
+/// until every part arrived, then the *parent's* finalizer runs once
+/// over the concatenated chunk responses — the host-side merge of the
+/// scatter-gather — and a single [`JobReport`] is assembled.
+struct GatherState {
+    /// Sub-programs dispatched.
+    expected: usize,
+    /// Arrived sub-reports, keyed by part index (= chunk order).
+    parts: BTreeMap<u32, Box<JobReport>>,
+    /// The parent job's host-side decoder.
+    finalizer: Finalizer,
+    /// The offload estimate over the whole (unsplit) job.
+    offload: OffloadEstimate,
+}
+
 /// Mutable pool state, behind [`PoolShared::state`].
 struct PoolState {
     pending: Vec<CompiledJob>,
     slots: BTreeMap<u64, Slot>,
     datasets: BTreeMap<u64, DatasetRecord>,
+    /// In-flight cross-shard split jobs, keyed by job id.
+    gathers: BTreeMap<u64, GatherState>,
     /// Physical digital tiles pinned by datasets, per shard.
     pinned_digital: Vec<BTreeSet<usize>>,
     /// Physical analog tiles pinned by datasets, per shard.
@@ -320,6 +350,7 @@ impl RuntimePool {
                     pending: Vec::new(),
                     slots: BTreeMap::new(),
                     datasets: BTreeMap::new(),
+                    gathers: BTreeMap::new(),
                     pinned_digital: vec![BTreeSet::new(); cfg.shards],
                     pinned_analog: vec![BTreeSet::new(); cfg.shards],
                     next_job: 0,
@@ -414,13 +445,26 @@ impl RuntimePool {
             batches
         };
         // One job per batch: order globally by job id for a strict
-        // serial schedule.
+        // serial schedule. A cross-shard split job appears as several
+        // adjacent batches sharing one job id — all of its sub-batches
+        // dispatch before the wait, because its report only assembles
+        // once every part completes.
         batches.sort_by_key(|(_, b)| b.jobs[0].compiled.job);
-        for (shard, batch) in batches {
+        let mut batches = batches.into_iter().peekable();
+        while let Some((shard, batch)) = batches.next() {
             let job = batch.jobs[0].compiled.job;
             self.shared.to_shards[shard]
                 .send(WorkerMsg::Batch(batch))
                 .expect("shard worker alive");
+            while let Some((_, next)) = batches.peek() {
+                if next.jobs[0].compiled.job != job {
+                    break;
+                }
+                let (shard, batch) = batches.next().expect("peeked above");
+                self.shared.to_shards[shard]
+                    .send(WorkerMsg::Batch(batch))
+                    .expect("shard worker alive");
+            }
             self.shared.pump_until(|st| {
                 !matches!(
                     st.slots.get(&job.0),
@@ -482,7 +526,7 @@ impl PoolShared {
             };
             (job, seed, resident)
         };
-        let compiled = compile(
+        let compiled = match compile(
             spec,
             job,
             tenant,
@@ -490,7 +534,50 @@ impl PoolShared {
             seed,
             self.cfg.window_base(job.0),
             resident.as_ref(),
-        )?;
+        ) {
+            Ok(compiled) => compiled,
+            // Compile-time tile caps compare against hardware capacity
+            // (the whole pool for tile-parallel workloads, one shard
+            // otherwise), never against transient pins: such a
+            // workload can *never* fit, so classify it terminally —
+            // a synthesized failure report — instead of echoing a
+            // retryable-looking error.
+            Err(CompileError::NeedsMoreDigitalTiles {
+                required,
+                available,
+            }) => {
+                return self.fail_terminal(
+                    job,
+                    tenant,
+                    spec,
+                    claimed,
+                    JobError::WorkloadTooLarge {
+                        digital_required: required,
+                        analog_required: 0,
+                        digital_capacity: available,
+                        analog_capacity: self.cfg.analog_tiles,
+                    },
+                );
+            }
+            Err(CompileError::NeedsMoreAnalogTiles {
+                required,
+                available,
+            }) => {
+                return self.fail_terminal(
+                    job,
+                    tenant,
+                    spec,
+                    claimed,
+                    JobError::WorkloadTooLarge {
+                        digital_required: 0,
+                        analog_required: required,
+                        digital_capacity: self.cfg.digital_tiles,
+                        analog_capacity: available,
+                    },
+                );
+            }
+            Err(other) => return Err(other),
+        };
 
         // Phase 2 (locked): validate capacity against the pins as they
         // are now, and enqueue.
@@ -498,29 +585,114 @@ impl PoolShared {
         let st = &mut *st;
         if compiled.dataset.is_none() {
             // Fresh leases are carved from un-pinned tiles: the job
-            // must fit the free budget of at least one shard.
+            // must fit the free budget of one shard — or, for a
+            // tile-parallel (splittable) job, the pool's *aggregate*
+            // free budget, in which case the planner scatters it across
+            // shards and gathers the chunk results host-side.
             let free_digital = |s: usize| self.cfg.digital_tiles - st.pinned_digital[s].len();
             let free_analog = |s: usize| self.cfg.analog_tiles - st.pinned_analog[s].len();
-            let fits = (0..self.cfg.shards).any(|s| {
+            let fits_one_shard = (0..self.cfg.shards).any(|s| {
                 compiled.demand.digital <= free_digital(s)
                     && compiled.demand.analog <= free_analog(s)
             });
-            if !fits {
-                let best_digital = (0..self.cfg.shards).map(free_digital).max().unwrap_or(0);
-                if compiled.demand.digital > best_digital {
-                    return Err(CompileError::NeedsMoreDigitalTiles {
-                        required: compiled.demand.digital,
-                        available: best_digital,
+            if !fits_one_shard {
+                if compiled.splittable && compiled.demand.analog == 0 {
+                    let pool_capacity = self.cfg.digital_tiles * self.cfg.shards;
+                    if compiled.demand.digital > pool_capacity {
+                        // Never fits — not even split across every
+                        // shard of an idle pool. Terminal: synthesize
+                        // the failure report so the caller can tell it
+                        // apart from retryable admission pressure.
+                        let error = JobError::WorkloadTooLarge {
+                            digital_required: compiled.demand.digital,
+                            analog_required: compiled.demand.analog,
+                            digital_capacity: pool_capacity,
+                            analog_capacity: self.cfg.analog_tiles,
+                        };
+                        st.slots.insert(job.0, Slot::Queued { claimed });
+                        fail_at_dispatch(st, compiled, 0, error);
+                        return Ok(job);
+                    }
+                    let pool_free: usize = (0..self.cfg.shards).map(free_digital).sum();
+                    if compiled.demand.digital > pool_free {
+                        // Would fit once pinned datasets release their
+                        // tiles: transient, retryable.
+                        return Err(CompileError::NeedsMoreDigitalTiles {
+                            required: compiled.demand.digital,
+                            available: pool_free,
+                        });
+                    }
+                    // Fits the pool's aggregate free tiles: enqueue;
+                    // the planner splits it across shards at dispatch.
+                } else {
+                    if compiled.demand.digital > self.cfg.digital_tiles
+                        || compiled.demand.analog > self.cfg.analog_tiles
+                    {
+                        // Bigger than a whole shard and not splittable:
+                        // can never fit on this pool. Terminal.
+                        let error = JobError::WorkloadTooLarge {
+                            digital_required: compiled.demand.digital,
+                            analog_required: compiled.demand.analog,
+                            digital_capacity: self.cfg.digital_tiles,
+                            analog_capacity: self.cfg.analog_tiles,
+                        };
+                        st.slots.insert(job.0, Slot::Queued { claimed });
+                        fail_at_dispatch(st, compiled, 0, error);
+                        return Ok(job);
+                    }
+                    let best_digital = (0..self.cfg.shards).map(free_digital).max().unwrap_or(0);
+                    if compiled.demand.digital > best_digital {
+                        return Err(CompileError::NeedsMoreDigitalTiles {
+                            required: compiled.demand.digital,
+                            available: best_digital,
+                        });
+                    }
+                    return Err(CompileError::NeedsMoreAnalogTiles {
+                        required: compiled.demand.analog,
+                        available: (0..self.cfg.shards).map(free_analog).max().unwrap_or(0),
                     });
                 }
-                return Err(CompileError::NeedsMoreAnalogTiles {
-                    required: compiled.demand.analog,
-                    available: (0..self.cfg.shards).map(free_analog).max().unwrap_or(0),
-                });
             }
         }
         st.slots.insert(job.0, Slot::Queued { claimed });
         st.pending.push(compiled);
+        Ok(job)
+    }
+
+    /// Completes a submission with a terminal synthesized failure
+    /// report before it was ever compiled into a stream: the slot is
+    /// created and immediately finished, so `wait` returns the report
+    /// without blocking and the caller can tell the permanent failure
+    /// apart from retryable admission errors.
+    fn fail_terminal(
+        &self,
+        job: JobId,
+        tenant: TenantId,
+        spec: &WorkloadSpec,
+        claimed: bool,
+        error: JobError,
+    ) -> Result<JobId, CompileError> {
+        let host = ConventionalMachine::xeon_e5_2680();
+        let cim_system = CimSystem::paper_default();
+        let offload = Program::streaming(ByteSize(64), 0.5, 0.5, 0.5).estimate(&host, &cim_system);
+        let report = JobReport {
+            job,
+            tenant,
+            kind: spec.kind(),
+            dataset: spec.dataset(),
+            shard: 0,
+            shards: Vec::new(),
+            batch: u64::MAX,
+            output: Err(error),
+            stats: ExecutionStats::default(),
+            maintenance: OperationCost::default(),
+            offload,
+        };
+        let mut st = self.state.lock().expect("pool state");
+        let st = &mut *st;
+        st.slots.insert(job.0, Slot::Queued { claimed });
+        st.telemetry.record(&report);
+        complete_job_slot(st, Box::new(report));
         Ok(job)
     }
 
@@ -543,13 +715,15 @@ impl PoolShared {
         }
     }
 
-    /// Registers a dataset: compiles its load program, pins tiles on a
-    /// shard, executes the load and blocks until it is resident.
+    /// Registers a dataset: compiles its load program, pins tiles on
+    /// one shard — or, when no single shard can hold the pin, scatters
+    /// contiguous chunks of its digital tiles across several shards —
+    /// executes every chunk's load and blocks until all are resident.
     pub(crate) fn register_dataset(
         &self,
         tenant: TenantId,
         spec: &DatasetSpec,
-    ) -> Result<(DatasetId, usize), CompileError> {
+    ) -> Result<(DatasetId, Vec<usize>), CompileError> {
         // Reserve the id (its seed derives from it), then compile the
         // load program — table generation and HDC training — without
         // holding the pool lock.
@@ -566,61 +740,110 @@ impl PoolShared {
             resident_bytes,
         } = compile_dataset_load(spec, &self.cfg, seed)?;
 
-        let shard = {
+        let shards: Vec<usize> = {
             let mut st = self.state.lock().expect("pool state");
             let st = &mut *st;
 
-            // Most-free shard that fits the pin, ties to the lowest
-            // index: datasets spread out, leaving fresh-lease headroom.
-            let free = |s: usize| {
+            let free = |st: &PoolState, s: usize| {
                 (
                     self.cfg.digital_tiles - st.pinned_digital[s].len(),
                     self.cfg.analog_tiles - st.pinned_analog[s].len(),
                 )
             };
-            let shard = (0..self.cfg.shards)
+            // Most-free shard that fits the whole pin, ties to the
+            // lowest index: datasets spread out, leaving fresh-lease
+            // headroom.
+            let single = (0..self.cfg.shards)
                 .filter(|&s| {
-                    let (fd, fa) = free(s);
+                    let (fd, fa) = free(st, s);
                     demand.digital <= fd && demand.analog <= fa
                 })
                 .max_by_key(|&s| {
-                    let (fd, fa) = free(s);
+                    let (fd, fa) = free(st, s);
                     (fd + fa, std::cmp::Reverse(s))
                 });
-            let Some(shard) = shard else {
-                let best_digital = (0..self.cfg.shards).map(|s| free(s).0).max().unwrap_or(0);
-                if demand.digital > best_digital {
-                    return Err(CompileError::NeedsMoreDigitalTiles {
-                        required: demand.digital,
-                        available: best_digital,
+
+            // `(shard, digital tiles)` chunks in virtual tile order.
+            let assignment: Vec<(usize, usize)> = match single {
+                Some(shard) => vec![(shard, demand.digital)],
+                None if demand.analog == 0 && demand.digital > 0 => {
+                    match scatter_assignment(self.cfg.shards, |s| free(st, s).0, demand.digital) {
+                        Some(chunks) => chunks,
+                        None => {
+                            // Transient: the pool-wide *capacity* was
+                            // already validated at compile time
+                            // (`DatasetTooLarge` otherwise); only
+                            // current pins stand in the way.
+                            return Err(CompileError::NeedsMoreDigitalTiles {
+                                required: demand.digital,
+                                available: (0..self.cfg.shards).map(|s| free(st, s).0).sum(),
+                            });
+                        }
+                    }
+                }
+                None => {
+                    let best_digital = (0..self.cfg.shards)
+                        .map(|s| free(st, s).0)
+                        .max()
+                        .unwrap_or(0);
+                    if demand.digital > best_digital {
+                        return Err(CompileError::NeedsMoreDigitalTiles {
+                            required: demand.digital,
+                            available: best_digital,
+                        });
+                    }
+                    return Err(CompileError::NeedsMoreAnalogTiles {
+                        required: demand.analog,
+                        available: (0..self.cfg.shards)
+                            .map(|s| free(st, s).1)
+                            .max()
+                            .unwrap_or(0),
                     });
                 }
-                return Err(CompileError::NeedsMoreAnalogTiles {
-                    required: demand.analog,
-                    available: (0..self.cfg.shards).map(|s| free(s).1).max().unwrap_or(0),
-                });
             };
 
-            let digital_tiles: Vec<usize> = (0..self.cfg.digital_tiles)
-                .filter(|t| !st.pinned_digital[shard].contains(t))
-                .take(demand.digital)
-                .collect();
-            let analog_tiles: Vec<usize> = (0..self.cfg.analog_tiles)
-                .filter(|t| !st.pinned_analog[shard].contains(t))
-                .take(demand.analog)
-                .collect();
-            st.pinned_digital[shard].extend(digital_tiles.iter().copied());
-            st.pinned_analog[shard].extend(analog_tiles.iter().copied());
+            // Split the load program into per-shard chunks, pin and
+            // relocate each onto its shard's free tiles.
+            let sizes: Vec<usize> = assignment.iter().map(|&(_, n)| n).collect();
+            let chunk_programs = if assignment.len() == 1 {
+                vec![instructions]
+            } else {
+                split_load_by_tile(&instructions, &sizes)
+            };
+            let mut placements = Vec::with_capacity(assignment.len());
+            let mut sends = Vec::with_capacity(assignment.len());
+            for ((shard, digital_chunk), chunk_instructions) in
+                assignment.iter().copied().zip(chunk_programs)
+            {
+                let digital_tiles: Vec<usize> = (0..self.cfg.digital_tiles)
+                    .filter(|t| !st.pinned_digital[shard].contains(t))
+                    .take(digital_chunk)
+                    .collect();
+                let analog_tiles: Vec<usize> = (0..self.cfg.analog_tiles)
+                    .filter(|t| !st.pinned_analog[shard].contains(t))
+                    .take(demand.analog)
+                    .collect();
+                st.pinned_digital[shard].extend(digital_tiles.iter().copied());
+                st.pinned_analog[shard].extend(analog_tiles.iter().copied());
 
-            let instructions = relocate(instructions, &digital_tiles, &analog_tiles)
-                .expect("load program stays inside its demand");
-            let scrub_rows: Vec<(usize, usize)> = instructions
-                .iter()
-                .filter_map(|i| match i {
-                    CimInstruction::WriteRow { tile, row, .. } => Some((*tile, *row)),
-                    _ => None,
-                })
-                .collect();
+                let relocated = relocate(chunk_instructions, &digital_tiles, &analog_tiles)
+                    .expect("load program stays inside its demand");
+                let scrub_rows: Vec<(usize, usize)> = relocated
+                    .iter()
+                    .filter_map(|i| match i {
+                        CimInstruction::WriteRow { tile, row, .. } => Some((*tile, *row)),
+                        _ => None,
+                    })
+                    .collect();
+                placements.push(ShardPlacement {
+                    shard,
+                    digital_tiles,
+                    analog_tiles,
+                    scrub_rows,
+                });
+                sends.push((shard, relocated));
+            }
+
             let placement = (demand.digital > 0).then(|| {
                 AddressMap::new(
                     self.cfg.dataset_window_base(id.0),
@@ -629,51 +852,51 @@ impl PoolShared {
                     self.cfg.tile_cols.div_ceil(8),
                 )
             });
+            let shards: Vec<usize> = placements.iter().map(|p| p.shard).collect();
             st.datasets.insert(
                 id.0,
                 DatasetRecord {
                     tenant,
-                    shard,
-                    digital_tiles,
-                    analog_tiles,
+                    placements,
                     payload,
-                    scrub_rows,
                     resident_bytes,
                     placement,
-                    load: LoadState::Pending,
+                    load: LoadProgress {
+                        pending: sends.len(),
+                        failure: None,
+                    },
                     seed,
                     released: false,
+                    scrubs_pending: 0,
                 },
             );
-            self.to_shards[shard]
-                .send(WorkerMsg::LoadDataset {
-                    id,
-                    instructions,
-                    seed,
-                })
-                .expect("shard worker alive");
-            shard
+            for (shard, instructions) in sends {
+                self.to_shards[shard]
+                    .send(WorkerMsg::LoadDataset {
+                        id,
+                        instructions,
+                        seed,
+                    })
+                    .expect("shard worker alive");
+            }
+            shards
         };
 
-        self.pump_until(|st| {
-            !matches!(
-                st.datasets.get(&id.0).map(|r| &r.load),
-                Some(LoadState::Pending)
-            )
-        });
+        self.pump_until(|st| st.datasets.get(&id.0).is_none_or(|r| r.load.pending == 0));
         let failure = {
             let st = self.state.lock().expect("pool state");
-            match &st.datasets.get(&id.0).expect("dataset record").load {
-                LoadState::Loaded => None,
-                LoadState::Failed(message) => Some(message.clone()),
-                LoadState::Pending => unreachable!("pump_until waited for the load"),
-            }
+            st.datasets
+                .get(&id.0)
+                .expect("dataset record")
+                .load
+                .failure
+                .clone()
         };
         match failure {
-            None => Ok((id, shard)),
+            None => Ok((id, shards)),
             Some(message) => {
                 // Roll back: unpin and scrub whatever the partial load
-                // wrote.
+                // wrote, on every shard that holds a chunk.
                 self.release_dataset(id);
                 Err(CompileError::DatasetLoadFailed { message })
             }
@@ -694,22 +917,25 @@ impl PoolShared {
             return;
         }
         record.released = true;
-        for t in &record.digital_tiles {
-            st.pinned_digital[record.shard].remove(t);
+        record.scrubs_pending = record.placements.len();
+        for placement in &record.placements {
+            for t in &placement.digital_tiles {
+                st.pinned_digital[placement.shard].remove(t);
+            }
+            for t in &placement.analog_tiles {
+                st.pinned_analog[placement.shard].remove(t);
+            }
+            // The scrub is ordered before any batch planned after this
+            // point (same FIFO channel), so a fresh lease can never
+            // observe the dataset's rows. Ignore send failures: the
+            // pool may already be shut down, taking the data with it.
+            let _ = self.to_shards[placement.shard].send(WorkerMsg::ReleaseDataset {
+                id,
+                rows: placement.scrub_rows.clone(),
+                analog_tiles: placement.analog_tiles.clone(),
+                seed: record.seed,
+            });
         }
-        for t in &record.analog_tiles {
-            st.pinned_analog[record.shard].remove(t);
-        }
-        // The scrub is ordered before any batch planned after this
-        // point (same FIFO channel), so a fresh lease can never observe
-        // the dataset's rows. Ignore send failures: the pool may
-        // already be shut down, taking the data with it.
-        let _ = self.to_shards[record.shard].send(WorkerMsg::ReleaseDataset {
-            id,
-            rows: record.scrub_rows.clone(),
-            analog_tiles: record.analog_tiles.clone(),
-            seed: record.seed,
-        });
     }
 
     /// Folds one completion into the pool state.
@@ -717,25 +943,34 @@ impl PoolShared {
         let mut st = self.state.lock().expect("pool state");
         let st = &mut *st;
         match completion {
-            Completion::Job(report) => {
+            Completion::Job { report, part: None } => {
                 st.telemetry.record(&report);
-                match st.slots.get(&report.job.0) {
-                    Some(Slot::Abandoned) => {
-                        st.slots.remove(&report.job.0);
-                    }
-                    Some(Slot::Queued { claimed }) | Some(Slot::Dispatched { claimed }) => {
-                        let claimed = *claimed;
-                        st.slots
-                            .insert(report.job.0, Slot::Done { claimed, report });
-                    }
-                    Some(Slot::Done { .. }) | None => {}
+                complete_job_slot(st, report);
+            }
+            Completion::Job {
+                report,
+                part: Some(part),
+            } => {
+                // One sub-program of a cross-shard split job: park it in
+                // the gather, and assemble the job's single report once
+                // every part arrived.
+                let job = report.job.0;
+                let Some(gather) = st.gathers.get_mut(&job) else {
+                    unreachable!("sub-report for a job with no gather state");
+                };
+                gather.parts.insert(part, report);
+                if gather.parts.len() == gather.expected {
+                    let gather = st.gathers.remove(&job).expect("present above");
+                    let (report, shard_stats) = assemble_gathered(gather);
+                    st.telemetry.record_gathered(&report, shard_stats);
+                    complete_job_slot(st, Box::new(report));
                 }
             }
             Completion::DatasetLoaded { id, result } => {
                 if let Some(record) = st.datasets.get_mut(&id.0) {
+                    record.load.pending = record.load.pending.saturating_sub(1);
                     match result {
                         Ok(stats) => {
-                            record.load = LoadState::Loaded;
                             st.telemetry.record_dataset_load(
                                 id,
                                 record.tenant,
@@ -744,13 +979,23 @@ impl PoolShared {
                                 &stats,
                             );
                         }
-                        Err(message) => record.load = LoadState::Failed(message),
+                        Err(message) => {
+                            record.load.failure.get_or_insert(message);
+                        }
                     }
                 }
             }
             Completion::DatasetReleased { id, maintenance } => {
                 st.telemetry.maintenance = st.telemetry.maintenance.then(maintenance);
-                st.datasets.remove(&id.0);
+                // A multi-shard dataset scrubs once per placement; drop
+                // the record when the last shard reports in.
+                let done = st.datasets.get_mut(&id.0).is_none_or(|r| {
+                    r.scrubs_pending = r.scrubs_pending.saturating_sub(1);
+                    r.scrubs_pending == 0
+                });
+                if done {
+                    st.datasets.remove(&id.0);
+                }
             }
         }
     }
@@ -932,6 +1177,7 @@ fn fail_at_dispatch(st: &mut PoolState, compiled: CompiledJob, shard: usize, err
         kind: compiled.kind,
         dataset: compiled.dataset,
         shard,
+        shards: Vec::new(),
         batch: u64::MAX,
         output: Err(error),
         stats: ExecutionStats::default(),
@@ -956,17 +1202,141 @@ fn fail_at_dispatch(st: &mut PoolState, compiled: CompiledJob, shard: usize, err
     }
 }
 
+/// Moves a finished report into its slot (or discards it if the handle
+/// was dropped) — the common tail of direct and gathered completions.
+fn complete_job_slot(st: &mut PoolState, report: Box<JobReport>) {
+    match st.slots.get(&report.job.0) {
+        Some(Slot::Abandoned) => {
+            st.slots.remove(&report.job.0);
+        }
+        Some(Slot::Queued { claimed }) | Some(Slot::Dispatched { claimed }) => {
+            let claimed = *claimed;
+            st.slots
+                .insert(report.job.0, Slot::Done { claimed, report });
+        }
+        Some(Slot::Done { .. }) | None => {}
+    }
+}
+
+/// Assembles the single [`JobReport`] of a completed cross-shard split
+/// job: chunk responses concatenate in part order and the parent's
+/// finalizer decodes them exactly as an unsplit run would; stats sum
+/// (`ExecutionStats` is additive), maintenance folds, and the per-part
+/// `(shard, stats)` pairs feed the per-shard telemetry ledgers.
+fn assemble_gathered(gather: GatherState) -> (JobReport, Vec<(usize, ExecutionStats)>) {
+    let GatherState {
+        parts,
+        finalizer,
+        offload,
+        ..
+    } = gather;
+    let mut meta: Option<(JobId, TenantId, crate::job::JobKind, Option<DatasetId>, u64)> = None;
+    let mut stats = ExecutionStats::default();
+    let mut maintenance = OperationCost::default();
+    let mut shards = Vec::with_capacity(parts.len());
+    let mut shard_stats = Vec::with_capacity(parts.len());
+    let mut responses = Vec::new();
+    let mut error: Option<JobError> = None;
+    for part in parts.into_values() {
+        if meta.is_none() {
+            meta = Some((part.job, part.tenant, part.kind, part.dataset, part.batch));
+        }
+        stats_accumulate(&mut stats, &part.stats);
+        maintenance = maintenance.then(part.maintenance);
+        shards.push(part.shard);
+        shard_stats.push((part.shard, part.stats));
+        match part.output {
+            Ok(JobOutput::Responses(mut chunk)) => responses.append(&mut chunk),
+            Ok(_) => unreachable!("sub-programs decode through Finalizer::Raw"),
+            Err(e) => {
+                error.get_or_insert(e);
+            }
+        }
+    }
+    let (job, tenant, kind, dataset, batch) = meta.expect("a gather holds at least one part");
+    let output = match error {
+        Some(e) => Err(e),
+        None => Ok(finalizer.finalize(responses)),
+    };
+    let report = JobReport {
+        job,
+        tenant,
+        kind,
+        dataset,
+        shard: shards[0],
+        shards: shards.clone(),
+        batch,
+        output,
+        stats,
+        maintenance,
+        offload,
+    };
+    (report, shard_stats)
+}
+
 /// A pending job routed to its shard, with pinned tile maps resolved
 /// for dataset jobs.
 struct RoutedJob {
     compiled: CompiledJob,
     /// `Some` for dataset jobs: the dataset's pinned physical tiles.
     pinned: Option<(Vec<usize>, Vec<usize>)>,
+    /// `Some(index)` for one sub-program of a cross-shard split job.
+    part: Option<u32>,
+}
+
+/// Greedy digital-tile scatter used by both dataset pins and fresh-job
+/// splits: assigns `demand` tiles across shards as `(shard, tiles)`
+/// chunks, most free tiles first (fewest chunks), ties to the lowest
+/// index — a pure function of the free counts, so placement stays
+/// deterministic and identical for the two callers. Returns `None`
+/// when the free tiles cannot cover the demand.
+fn scatter_assignment(
+    shards: usize,
+    free_digital: impl Fn(usize) -> usize,
+    demand: usize,
+) -> Option<Vec<(usize, usize)>> {
+    let mut order: Vec<usize> = (0..shards).collect();
+    order.sort_by_key(|&s| (std::cmp::Reverse(free_digital(s)), s));
+    let mut assignment = Vec::new();
+    let mut remaining = demand;
+    for s in order {
+        if remaining == 0 {
+            break;
+        }
+        let take = free_digital(s).min(remaining);
+        if take > 0 {
+            assignment.push((s, take));
+            remaining -= take;
+        }
+    }
+    (remaining == 0).then_some(assignment)
+}
+
+/// Registers gather state for a job about to scatter into `expected`
+/// sub-programs across shards.
+fn register_gather(
+    gathers: &mut BTreeMap<u64, GatherState>,
+    parent: &CompiledJob,
+    expected: usize,
+) {
+    let host = ConventionalMachine::xeon_e5_2680();
+    let cim_system = CimSystem::paper_default();
+    gathers.insert(
+        parent.job.0,
+        GatherState {
+            expected,
+            parts: BTreeMap::new(),
+            finalizer: parent.finalizer.clone(),
+            offload: offload_estimate(parent, &host, &cim_system),
+        },
+    );
 }
 
 /// Plans the pending queue: deterministic shard selection, cost-aware
 /// batch packing over free (un-pinned) tiles, shortest-job-first
-/// ordering. Returns `(shard, batch)` pairs in dispatch order.
+/// ordering — and cross-shard scatter for jobs (or dataset queries)
+/// whose tiles span more than one shard. Returns `(shard, batch)` pairs
+/// in dispatch order.
 fn plan(
     st: &mut PoolState,
     cfg: &PoolConfig,
@@ -986,38 +1356,132 @@ fn plan(
     for job in pending {
         match job.dataset {
             Some(id) => match st.datasets.get(&id.0).filter(|r| !r.released) {
-                Some(record) => {
-                    let shard = record.shard;
-                    loads[shard] += job.estimated_cost();
-                    shard_queues[shard].push(RoutedJob {
-                        pinned: Some((record.digital_tiles.clone(), record.analog_tiles.clone())),
+                Some(record) if record.placements.len() == 1 => {
+                    let placement = &record.placements[0];
+                    loads[placement.shard] += job.estimated_cost();
+                    shard_queues[placement.shard].push(RoutedJob {
+                        pinned: Some((
+                            placement.digital_tiles.clone(),
+                            placement.analog_tiles.clone(),
+                        )),
+                        part: None,
                         compiled: job,
                     });
                 }
+                Some(record) if !job.splittable || job.demand.analog != 0 => {
+                    // A query that cannot be tile-split against a
+                    // dataset that spans shards: no shard can run it
+                    // whole. Nothing in the pool compiles to this
+                    // combination today (only digital Q6 pins scatter),
+                    // but a future multi-shard dataset kind must fail
+                    // its queries cleanly here rather than panic the
+                    // planner on the split precondition.
+                    let required = job.demand;
+                    failures.push((
+                        job,
+                        record.primary_shard(),
+                        JobError::WorkloadTooLarge {
+                            digital_required: required.digital,
+                            analog_required: required.analog,
+                            digital_capacity: cfg.digital_tiles,
+                            analog_capacity: cfg.analog_tiles,
+                        },
+                    ));
+                }
+                Some(record) => {
+                    // The dataset spans shards: scatter the query so
+                    // each chunk of reductions runs on the shard
+                    // pinning its tiles, gathered host-side.
+                    let chunks: Vec<usize> = record
+                        .placements
+                        .iter()
+                        .map(|p| p.digital_tiles.len())
+                        .collect();
+                    let parts = split_by_digital_tile(&job, &chunks, cfg);
+                    register_gather(&mut st.gathers, &job, parts.len());
+                    for (index, (part, placement)) in
+                        parts.into_iter().zip(&record.placements).enumerate()
+                    {
+                        loads[placement.shard] += part.estimated_cost();
+                        shard_queues[placement.shard].push(RoutedJob {
+                            pinned: Some((
+                                placement.digital_tiles.clone(),
+                                placement.analog_tiles.clone(),
+                            )),
+                            part: Some(index as u32),
+                            compiled: part,
+                        });
+                    }
+                }
                 None => {
-                    let shard = st.datasets.get(&id.0).map_or(0, |r| r.shard);
+                    let shard = st.datasets.get(&id.0).map_or(0, |r| r.primary_shard());
                     failures.push((job, shard, JobError::DatasetReleased { dataset: id }));
                 }
             },
             None => {
                 // Least-loaded shard whose free (un-pinned) tiles fit
-                // the lease; if none fits (datasets pinned tiles after
+                // the lease. A splittable job no single shard can hold
+                // scatters across shards by free capacity instead. If
+                // neither works (datasets pinned tiles after
                 // submit-time validation), fall back to the
                 // least-loaded shard and let packing fail the job
                 // cleanly with `AdmissionFailed`.
+                let free_digital = |s: usize| cfg.digital_tiles - st.pinned_digital[s].len();
                 let fits = |s: usize| {
-                    job.demand.digital <= cfg.digital_tiles - st.pinned_digital[s].len()
+                    job.demand.digital <= free_digital(s)
                         && job.demand.analog <= cfg.analog_tiles - st.pinned_analog[s].len()
                 };
-                let shard = (0..cfg.shards)
+                if let Some(shard) = (0..cfg.shards)
                     .filter(|&s| fits(s))
                     .min_by_key(|&s| (loads[s], s))
-                    .or_else(|| (0..cfg.shards).min_by_key(|&s| (loads[s], s)))
+                {
+                    loads[shard] += job.estimated_cost();
+                    shard_queues[shard].push(RoutedJob {
+                        compiled: job,
+                        pinned: None,
+                        part: None,
+                    });
+                    continue;
+                }
+                if job.splittable && job.demand.analog == 0 {
+                    if let Some(assignment) =
+                        scatter_assignment(cfg.shards, free_digital, job.demand.digital)
+                    {
+                        let sizes: Vec<usize> = assignment.iter().map(|&(_, n)| n).collect();
+                        let parts = split_by_digital_tile(&job, &sizes, cfg);
+                        register_gather(&mut st.gathers, &job, parts.len());
+                        for (index, (part, &(shard, _))) in
+                            parts.into_iter().zip(&assignment).enumerate()
+                        {
+                            loads[shard] += part.estimated_cost();
+                            shard_queues[shard].push(RoutedJob {
+                                compiled: part,
+                                pinned: None,
+                                part: Some(index as u32),
+                            });
+                        }
+                        continue;
+                    }
+                    // Pool-wide free shrank since submit validation:
+                    // fail cleanly, like the single-shard path below.
+                    let pool_free = (0..cfg.shards).map(free_digital).sum::<usize>();
+                    let error = JobError::AdmissionFailed {
+                        digital_required: job.demand.digital,
+                        digital_free: pool_free,
+                        analog_required: 0,
+                        analog_free: 0,
+                    };
+                    failures.push((job, 0, error));
+                    continue;
+                }
+                let shard = (0..cfg.shards)
+                    .min_by_key(|&s| (loads[s], s))
                     .expect("at least one shard");
                 loads[shard] += job.estimated_cost();
                 shard_queues[shard].push(RoutedJob {
                     compiled: job,
                     pinned: None,
+                    part: None,
                 });
             }
         }
@@ -1046,6 +1510,7 @@ fn plan(
                         compiled: first.compiled,
                         digital_map,
                         analog_map,
+                        part: first.part,
                     });
                     // Dataset jobs share the pinned tiles; no free-tile
                     // budget is consumed.
@@ -1070,6 +1535,7 @@ fn plan(
                         compiled: first.compiled,
                         digital_map: free_digital[..need.digital].to_vec(),
                         analog_map: free_analog[..need.analog].to_vec(),
+                        part: first.part,
                     });
                     (need.digital, need.analog)
                 }
@@ -1104,6 +1570,7 @@ fn plan(
                                 compiled: routed.compiled,
                                 digital_map,
                                 analog_map,
+                                part: routed.part,
                             },
                             None => {
                                 let need = routed.compiled.demand;
@@ -1113,6 +1580,7 @@ fn plan(
                                         .to_vec(),
                                     analog_map: free_analog[analog_used..analog_used + need.analog]
                                         .to_vec(),
+                                    part: routed.part,
                                     compiled: routed.compiled,
                                 };
                                 digital_used += need.digital;
@@ -1230,6 +1698,7 @@ fn worker_loop(
         match message {
             WorkerMsg::Batch(batch) => {
                 for placed in batch.jobs {
+                    let part = placed.part;
                     let report = run_job(
                         shard,
                         batch.id,
@@ -1239,7 +1708,11 @@ fn worker_loop(
                         &host,
                         &cim_system,
                     );
-                    if completions.send(Completion::Job(Box::new(report))).is_err() {
+                    let completion = Completion::Job {
+                        report: Box::new(report),
+                        part,
+                    };
+                    if completions.send(completion).is_err() {
                         return; // pool dropped
                     }
                 }
@@ -1307,6 +1780,7 @@ fn run_job(
         compiled,
         digital_map,
         analog_map,
+        part: _,
     } = placed;
     let offload = offload_estimate(&compiled, host, cim_system);
 
@@ -1322,6 +1796,7 @@ fn run_job(
         kind,
         dataset,
         shard,
+        shards: vec![shard],
         batch,
         output,
         stats,
@@ -1517,18 +1992,33 @@ mod tests {
         assert!(report.output.is_ok());
     }
 
+    /// Satellite: a never-fits submission (a raw stream demanding more
+    /// tiles than the pool owns, with no way to split it) is a
+    /// *terminal* synthesized failure report, not a retryable
+    /// `NeedsMore…Tiles` error — resubmitting can never succeed.
     #[test]
-    fn oversized_raw_demand_rejected_at_submit() {
+    fn oversized_raw_demand_fails_terminally_at_submit() {
         let pool = RuntimePool::new(PoolConfig::with_shards(1));
-        let err = pool
+        let handle = pool
             .client(TenantId(0))
             .submit(&WorkloadSpec::Raw {
                 digital_tiles: 99,
                 analog_tiles: 0,
                 instructions: vec![],
             })
-            .unwrap_err();
-        assert!(matches!(err, CompileError::NeedsMoreDigitalTiles { .. }));
+            .unwrap();
+        let report = handle.wait();
+        assert_eq!(
+            report.output,
+            Err(JobError::WorkloadTooLarge {
+                digital_required: 99,
+                analog_required: 0,
+                digital_capacity: 4,
+                analog_capacity: 2,
+            })
+        );
+        assert!(report.shards.is_empty(), "never reached a shard");
+        assert_eq!(pool.telemetry().failures, 1);
     }
 
     #[test]
@@ -1801,26 +2291,31 @@ mod tests {
         assert_eq!(order, vec![narrow.id(), wide.id()]);
     }
 
-    /// Satellite: registering a dataset that can never fit one shard
-    /// fails with the dedicated sizing error, not a transient
-    /// admission failure.
+    /// Satellite: registering a dataset that can never fit the *pool*
+    /// fails with the dedicated sizing error; anything smaller splits
+    /// across shards or reports retryable pressure.
     #[test]
     fn oversized_dataset_registration_reports_sizing_error() {
         let pool = RuntimePool::new(PoolConfig::with_shards(2));
         let session = pool.client(TenantId(1));
+        // 9 tiles > 2 shards x 4 tiles: can never fit, terminal.
         let err = session
             .register_dataset(&DatasetSpec::Q6Table {
-                rows: 5 * 1024,
+                rows: 9 * 1024,
                 table_seed: 1,
             })
             .unwrap_err();
         assert!(
-            matches!(err, CompileError::DatasetTooLarge { needed, .. } if needed.digital == 5),
+            matches!(
+                err,
+                CompileError::DatasetTooLarge { needed, pool_capacity }
+                    if needed.digital == 9 && pool_capacity.digital == 8
+            ),
             "{err:?}"
         );
         // Transient pressure still reports the retryable error: a
-        // dataset that *would* fit an empty shard but not the current
-        // pins is not a sizing bug.
+        // dataset that *would* fit the pool once pins release is not a
+        // sizing bug. Pin 3 + 3 tiles, leaving 1 + 1 free…
         let _pin = session
             .register_dataset(&DatasetSpec::Q6Table {
                 rows: 3 * 1024,
@@ -1835,14 +2330,29 @@ mod tests {
             .unwrap();
         let crowded = session
             .register_dataset(&DatasetSpec::Q6Table {
-                rows: 2 * 1024,
+                rows: 3 * 1024,
                 table_seed: 4,
             })
             .unwrap_err();
         assert!(
-            matches!(crowded, CompileError::NeedsMoreDigitalTiles { .. }),
+            matches!(
+                crowded,
+                CompileError::NeedsMoreDigitalTiles {
+                    required: 3,
+                    available: 2,
+                }
+            ),
             "{crowded:?}"
         );
+        // …while a 2-tile dataset still fits — scattered 1 + 1 across
+        // the two shards' remaining free tiles.
+        let split = session
+            .register_dataset(&DatasetSpec::Q6Table {
+                rows: 2 * 1024,
+                table_seed: 5,
+            })
+            .unwrap();
+        assert_eq!(split.shards().len(), 2, "pin scattered across shards");
     }
 
     #[test]

@@ -133,6 +133,29 @@ impl PoolTelemetry {
 
     /// Folds one job report into the aggregates.
     pub fn record(&mut self, report: &JobReport) {
+        self.record_with_shard_stats(report, std::iter::once((report.shard, report.stats)));
+    }
+
+    /// Folds one scatter-gathered job: the job/tenant/pool/dataset
+    /// aggregates count the assembled report once (its stats are the
+    /// sub-program sum — `ExecutionStats` stays additive), while the
+    /// per-shard ledgers are credited with each sub-program's own
+    /// stats, so [`PoolTelemetry::simulated_makespan`] reflects the
+    /// actual cross-shard parallelism of a split job instead of piling
+    /// the whole job onto one shard.
+    pub fn record_gathered(
+        &mut self,
+        report: &JobReport,
+        parts: impl IntoIterator<Item = (usize, ExecutionStats)>,
+    ) {
+        self.record_with_shard_stats(report, parts);
+    }
+
+    fn record_with_shard_stats(
+        &mut self,
+        report: &JobReport,
+        shard_stats: impl IntoIterator<Item = (usize, ExecutionStats)>,
+    ) {
         self.jobs += 1;
         let tenant = self.per_tenant.entry(report.tenant.0).or_default();
         match &report.output {
@@ -150,8 +173,10 @@ impl PoolTelemetry {
         }
         stats_accumulate(&mut tenant.stats, &report.stats);
         stats_accumulate(&mut self.pool, &report.stats);
-        if let Some(shard) = self.per_shard.get_mut(report.shard) {
-            stats_accumulate(shard, &report.stats);
+        for (shard, stats) in shard_stats {
+            if let Some(entry) = self.per_shard.get_mut(shard) {
+                stats_accumulate(entry, &stats);
+            }
         }
         if let Some(dataset) = report.dataset {
             let usage = self.datasets.entry(dataset.0).or_default();
