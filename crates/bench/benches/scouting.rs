@@ -1,7 +1,10 @@
 //! Criterion bench E8: scouting-logic array accesses vs the equivalent
-//! CPU word-at-a-time bitwise operations, across row widths.
+//! CPU word-at-a-time bitwise operations, across row widths — plus the
+//! pre-refactor bit-serial reference array, to keep the word-parallel
+//! fast path's win visible in the criterion history.
 
 use cim_crossbar::digital::DigitalArray;
+use cim_crossbar::reference::ReferenceDigitalArray;
 use cim_crossbar::scouting::ScoutOp;
 use cim_device::reram::ReramParams;
 use cim_simkit::bitvec::BitVec;
@@ -14,15 +17,23 @@ fn bench_scouting(c: &mut Criterion) {
     for &width in &[256usize, 1024, 4096] {
         let mut rng = seeded(1);
         let mut arr = DigitalArray::new(2, width, ReramParams::default(), &mut rng);
+        let mut reference = ReferenceDigitalArray::new(2, width, ReramParams::default(), &mut rng);
         let a = BitVec::from_fn(width, |i| i % 3 == 0);
         let b = BitVec::from_fn(width, |i| i % 5 == 0);
         arr.write_row(0, &a);
         arr.write_row(1, &b);
+        reference.write_row(0, &a);
+        reference.write_row(1, &b);
 
         group.bench_with_input(
             BenchmarkId::new("cim_simulated_and", width),
             &width,
             |bench, _| bench.iter(|| black_box(arr.scout(ScoutOp::And, &[0, 1], &mut rng))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cim_bit_serial_reference_and", width),
+            &width,
+            |bench, _| bench.iter(|| black_box(reference.scout(ScoutOp::And, &[0, 1], &mut rng))),
         );
         group.bench_with_input(
             BenchmarkId::new("cpu_bitvec_and", width),

@@ -24,12 +24,56 @@
 //! slower.
 
 use cim_bitmap_db::tpch::Q6Params;
+use cim_crossbar::digital::DigitalArray;
+use cim_crossbar::reference::ReferenceDigitalArray;
+use cim_crossbar::scouting::ScoutOp;
+use cim_device::reram::ReramParams;
 use cim_nn::binarized::BinarizedMlp;
 use cim_runtime::{DatasetSpec, JobHandle, PoolConfig, RuntimePool, TenantId, WorkloadSpec};
 use cim_simkit::bitvec::BitVec;
 use cim_simkit::rng::seeded;
 use rand::Rng;
 use std::time::Instant;
+
+/// One machine-readable benchmark row, collected into `BENCH.json` so the
+/// perf trajectory is tracked across PRs.
+struct BenchEntry {
+    group: String,
+    /// Simulated (architectural) makespan of the measured work, seconds.
+    sim_makespan: f64,
+    /// Host wall-clock of the measured work, milliseconds.
+    wall_ms: f64,
+    /// The group's headline ratio (scaling or speedup vs its baseline).
+    speedup: f64,
+}
+
+impl BenchEntry {
+    fn new(group: impl Into<String>, sim_makespan: f64, wall_ms: f64, speedup: f64) -> Self {
+        BenchEntry {
+            group: group.into(),
+            sim_makespan,
+            wall_ms,
+            speedup,
+        }
+    }
+}
+
+/// Serializes the collected entries as `BENCH.json` in the working
+/// directory: `{"groups": {name: {sim_makespan, wall_ms, speedup}}}`.
+fn write_bench_json(entries: &[BenchEntry]) {
+    let rows: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                "    \"{}\": {{\"sim_makespan\": {:e}, \"wall_ms\": {:.3}, \"speedup\": {:.3}}}",
+                e.group, e.sim_makespan, e.wall_ms, e.speedup
+            )
+        })
+        .collect();
+    let json = format!("{{\n  \"groups\": {{\n{}\n  }}\n}}\n", rows.join(",\n"));
+    std::fs::write("BENCH.json", &json).expect("write BENCH.json");
+    println!("\nwrote BENCH.json ({} groups)", entries.len());
+}
 
 fn job_set() -> Vec<(TenantId, WorkloadSpec)> {
     let mut jobs = Vec::new();
@@ -80,7 +124,7 @@ fn job_set() -> Vec<(TenantId, WorkloadSpec)> {
     jobs
 }
 
-fn shard_scaling() {
+fn shard_scaling() -> Vec<BenchEntry> {
     println!("# SERVING — jobs/sec through the cim-runtime pool vs shard count\n");
     println!(
         "{:>6} {:>6} {:>8} {:>13} {:>10} {:>13} {:>13} {:>10} {:>10}",
@@ -96,6 +140,7 @@ fn shard_scaling() {
     );
 
     let jobs = job_set();
+    let mut entries = Vec::new();
     let mut sim_baseline = None;
     for shards in [1usize, 2, 4, 8] {
         let pool = RuntimePool::new(PoolConfig::with_shards(shards));
@@ -128,10 +173,17 @@ fn shard_scaling() {
             wall_throughput,
             t.mean_speedup()
         );
+        entries.push(BenchEntry::new(
+            format!("shards_{shards}"),
+            sim_makespan,
+            wall_makespan * 1e3,
+            sim_throughput / base,
+        ));
     }
+    entries
 }
 
-fn resident_amortization() {
+fn resident_amortization() -> BenchEntry {
     println!("\n# RESIDENT DATASET — amortized vs cold-load Q6 throughput (1 shard)\n");
     const QUERIES: u64 = 16;
     const ROWS: usize = 2000;
@@ -216,6 +268,12 @@ fn resident_amortization() {
         usage.load_stats.energy.0,
         usage.query_stats.row_writes as f64 / usage.queries.max(1) as f64
     );
+    BenchEntry::new(
+        "resident_q6",
+        warm_sim * QUERIES as f64,
+        warm_wall * 1e3,
+        cold_sim / warm_sim,
+    )
 }
 
 /// The resident-vs-cold comparison for NN weights: ≥ 8 batched
@@ -224,7 +282,7 @@ fn resident_amortization() {
 /// fresh lease. Weight programming dominates the cold path (every
 /// device is program-and-verified), so pinning the matrices is the
 /// single biggest amortization in the pool.
-fn nn_resident_amortization() {
+fn nn_resident_amortization() -> BenchEntry {
     println!("\n# RESIDENT NN WEIGHTS — amortized vs cold-load binarized inference (1 shard)\n");
     const INFERENCES: u64 = 8;
     let network = BinarizedMlp::random(&[256, 32, 8], 11);
@@ -316,6 +374,12 @@ fn nn_resident_amortization() {
         speedup >= 3.0,
         "resident NN speedup {speedup:.2}x below the 3x acceptance bar"
     );
+    BenchEntry::new(
+        "resident_nn",
+        warm_sim * INFERENCES as f64,
+        warm_wall * 1e3,
+        speedup,
+    )
 }
 
 /// The scatter-gather scaling story: one Q6 select sized to 2x a
@@ -325,7 +389,7 @@ fn nn_resident_amortization() {
 /// the table into shard-sized selects and serializing them through one
 /// shard. Sub-programs run on shards in parallel, so the split path's
 /// simulated makespan must beat the serialized chunking.
-fn oversized_q6() {
+fn oversized_q6() -> BenchEntry {
     println!("\n# OVERSIZED Q6 — cross-shard split vs serialized single-shard chunking\n");
     const ROWS: usize = 2 * 4 * 1024; // 8 tiles on 4-tile shards
     let params = Q6Params::tpch_default();
@@ -387,11 +451,110 @@ fn oversized_q6() {
         "split makespan {split_makespan:.3e}s must beat serialized chunking \
          {serial_makespan:.3e}s"
     );
+    BenchEntry::new(
+        "oversized_q6",
+        split_makespan,
+        split_wall * 1e3,
+        serial_makespan / split_makespan,
+    )
+}
+
+/// The word-parallel digital-tile fast path vs the pre-refactor
+/// bit-serial inner loop, on the Scouting/Q6 access mix.
+///
+/// Both implementations are fabricated from the same seed and driven
+/// through the identical access script shaped like the Q6 plan's inner
+/// loop: wide-fan-in OR reductions over bin rows with scratch
+/// write-backs, the final 3-row AND, one XOR (the cipher access) and a
+/// plain row read. The fast path must be at least [`FASTPATH_FLOOR`]×
+/// faster in wall clock — the assertion the CI perf-smoke job rides on.
+const FASTPATH_FLOOR: f64 = 5.0;
+
+fn scout_q6_fastpath() -> BenchEntry {
+    println!("\n# FAST PATH — word-parallel digital tile vs bit-serial reference\n");
+    const ROWS: usize = 160;
+    const COLS: usize = 2048;
+    const ITERS: usize = 300;
+    let params = ReramParams::default();
+
+    let mut fast = DigitalArray::new(ROWS, COLS, params, &mut seeded(0x50A));
+    let mut reference = ReferenceDigitalArray::new(ROWS, COLS, params, &mut seeded(0x50A));
+    let bins: Vec<BitVec> = (0..16)
+        .map(|r| BitVec::from_fn(COLS, |j| (j * 31 + r * 17) % (r + 2) == 0))
+        .collect();
+    for (r, bits) in bins.iter().enumerate() {
+        fast.write_row(r, bits);
+        reference.write_row(r, bits);
+    }
+
+    // One wall-clocked run of the Q6-shaped access mix against either
+    // array (both expose the same access surface).
+    macro_rules! q6_mix {
+        ($arr:expr, $rng:expr) => {{
+            let start = Instant::now();
+            for _ in 0..ITERS {
+                for (slot, window) in [(0usize, 0usize), (1, 4), (2, 8)] {
+                    let rows: Vec<usize> = (window..window + 8).collect();
+                    let or = $arr.scout(ScoutOp::Or, &rows, $rng);
+                    $arr.write_row(16 + slot, &or);
+                }
+                let _ = $arr.scout(ScoutOp::And, &[16, 17, 18], $rng);
+                let _ = $arr.scout(ScoutOp::Xor, &[0, 1], $rng);
+                let _ = $arr.read_row(3, $rng);
+            }
+            start.elapsed().as_secs_f64()
+        }};
+    }
+
+    let mut rng = seeded(0xF00D);
+    let fast_wall = q6_mix!(fast, &mut rng);
+    let sim_makespan = fast.stats().busy_time.0;
+    let mut rng = seeded(0xF00D);
+    let ref_wall = q6_mix!(reference, &mut rng);
+
+    // Same accesses, same simulated cost, same sensed bits — only the
+    // host time differs.
+    for slot in 16..19 {
+        assert_eq!(
+            fast.stored_row(slot),
+            reference.stored_row(slot),
+            "scratch row {slot} diverged"
+        );
+    }
+    let speedup = ref_wall / fast_wall;
+    println!(
+        "{:>22} {:>10} {:>13} {:>13} {:>9}",
+        "path", "accesses", "sim mksp (s)", "wall (s)", "speedup"
+    );
+    println!(
+        "{:>22} {:>10} {:>13.3e} {:>13.3e} {:>9}",
+        "bit-serial reference",
+        ITERS * 9,
+        reference.stats().busy_time.0,
+        ref_wall,
+        "1.00x"
+    );
+    println!(
+        "{:>22} {:>10} {:>13.3e} {:>13.3e} {:>8.1}x",
+        "word-parallel SoA",
+        ITERS * 9,
+        sim_makespan,
+        fast_wall,
+        speedup
+    );
+    assert!(
+        speedup >= FASTPATH_FLOOR,
+        "fast-path speedup {speedup:.2}x regressed below the {FASTPATH_FLOOR}x floor"
+    );
+    BenchEntry::new("scout_q6_fastpath", sim_makespan, fast_wall * 1e3, speedup)
 }
 
 fn main() {
-    shard_scaling();
-    resident_amortization();
-    nn_resident_amortization();
-    oversized_q6();
+    let mut entries = Vec::new();
+    entries.push(scout_q6_fastpath());
+    entries.extend(shard_scaling());
+    entries.push(resident_amortization());
+    entries.push(nn_resident_amortization());
+    entries.push(oversized_q6());
+    write_bench_json(&entries);
 }

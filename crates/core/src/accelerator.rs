@@ -118,6 +118,7 @@ impl CimAcceleratorBuilder {
             rng,
             stats: ExecutionStats::default(),
             last_bits: None,
+            track_last_bits: true,
         }
     }
 }
@@ -138,6 +139,10 @@ pub struct CimAccelerator {
     /// Result of the most recent bits-producing instruction, consumed by
     /// [`CimInstruction::StoreLast`].
     last_bits: Option<BitVec>,
+    /// Whether `ReadRow`/`Logic` keep a copy of their result for a
+    /// following `StoreLast`. Executors that know a stream contains no
+    /// `StoreLast` disable this to skip the per-instruction clone.
+    track_last_bits: bool,
 }
 
 impl CimAccelerator {
@@ -187,6 +192,9 @@ impl CimAccelerator {
 
     /// Executes one instruction, returning the response and its cost.
     ///
+    /// Stochastic behaviour draws from the accelerator's own stream,
+    /// borrowed directly — no per-instruction RNG cloning.
+    ///
     /// # Panics
     ///
     /// Same conditions as [`Self::execute`].
@@ -194,10 +202,23 @@ impl CimAccelerator {
         &mut self,
         instruction: CimInstruction,
     ) -> (CimResponse, OperationCost) {
-        let mut rng = self.rng.clone();
-        let out = self.execute_with_rng(instruction, &mut rng);
-        self.rng = rng;
-        out
+        let CimAccelerator {
+            digital_tiles,
+            analog_tiles,
+            rng,
+            stats,
+            last_bits,
+            track_last_bits,
+        } = self;
+        execute_on(
+            digital_tiles,
+            analog_tiles,
+            stats,
+            last_bits,
+            *track_last_bits,
+            instruction,
+            rng,
+        )
     }
 
     /// Executes one instruction drawing all stochastic behaviour (read
@@ -218,69 +239,29 @@ impl CimAccelerator {
         instruction: CimInstruction,
         rng: &mut StdRng,
     ) -> (CimResponse, OperationCost) {
-        match instruction {
-            CimInstruction::WriteRow { tile, row, bits } => {
-                let cost = self.digital_tiles[tile].write_row(row, &bits);
-                self.stats.row_writes += 1;
-                self.account(cost);
-                (CimResponse::Done, cost)
-            }
-            CimInstruction::ReadRow { tile, row } => {
-                let t = &mut self.digital_tiles[tile];
-                let before = t.stats().energy;
-                let bits = t.read_row(row, rng);
-                let cost = OperationCost {
-                    energy: t.stats().energy - before,
-                    latency: t.params().read_latency,
-                };
-                self.stats.row_reads += 1;
-                self.account(cost);
-                self.last_bits = Some(bits.clone());
-                (CimResponse::Bits(bits), cost)
-            }
-            CimInstruction::Logic { tile, op, rows } => {
-                let (bits, cost) = self.digital_tiles[tile].scout_with_cost(op, &rows, rng);
-                self.stats.logic_ops += 1;
-                self.account(cost);
-                self.last_bits = Some(bits.clone());
-                (CimResponse::Bits(bits), cost)
-            }
-            CimInstruction::StoreLast { tile, row } => {
-                let bits = self
-                    .last_bits
-                    .take()
-                    .expect("StoreLast with no preceding bits-producing instruction");
-                let cost = self.digital_tiles[tile].write_row(row, &bits);
-                self.stats.row_writes += 1;
-                self.account(cost);
-                self.last_bits = Some(bits);
-                (CimResponse::Done, cost)
-            }
-            CimInstruction::ProgramMatrix { tile, matrix } => {
-                let cost = self.analog_tiles[tile].program_matrix(&matrix, rng);
-                self.stats.matrix_programs += 1;
-                self.account(cost);
-                (CimResponse::Done, cost)
-            }
-            CimInstruction::Mvm { tile, x } => {
-                let (y, cost) = self.analog_tiles[tile].matvec_with_cost(&x, rng);
-                self.stats.mvms += 1;
-                self.account(cost);
-                (CimResponse::Vector(y), cost)
-            }
-            CimInstruction::MvmT { tile, z } => {
-                let t = &mut self.analog_tiles[tile];
-                let before = t.stats();
-                let y = t.matvec_t(&z, rng);
-                let after = t.stats();
-                let cost = OperationCost {
-                    energy: after.energy - before.energy,
-                    latency: after.busy_time - before.busy_time,
-                };
-                self.stats.mvms += 1;
-                self.account(cost);
-                (CimResponse::Vector(y), cost)
-            }
+        execute_on(
+            &mut self.digital_tiles,
+            &mut self.analog_tiles,
+            &mut self.stats,
+            &mut self.last_bits,
+            self.track_last_bits,
+            instruction,
+            rng,
+        )
+    }
+
+    /// Controls whether `ReadRow`/`Logic` keep a copy of their result as
+    /// the pending [`CimInstruction::StoreLast`] operand (the default).
+    ///
+    /// Executors that can see a whole instruction stream disable tracking
+    /// for streams containing no `StoreLast`, skipping one bit-vector
+    /// clone per read/logic instruction on the hot path. With tracking
+    /// disabled, `StoreLast` panics; the pending operand is dropped
+    /// immediately.
+    pub fn set_last_bits_tracking(&mut self, enabled: bool) {
+        self.track_last_bits = enabled;
+        if !enabled {
+            self.last_bits = None;
         }
     }
 
@@ -333,10 +314,84 @@ impl CimAccelerator {
         }
         last
     }
+}
 
-    fn account(&mut self, cost: OperationCost) {
-        self.stats.energy += cost.energy;
-        self.stats.busy_time += cost.latency;
+/// The instruction executor, over disjoint borrows of the accelerator's
+/// fields so both the owned-RNG and caller-RNG entry points share it
+/// without cloning RNG state.
+fn execute_on(
+    digital_tiles: &mut [DigitalArray],
+    analog_tiles: &mut [DifferentialCrossbar],
+    stats: &mut ExecutionStats,
+    last_bits: &mut Option<BitVec>,
+    track_last_bits: bool,
+    instruction: CimInstruction,
+    rng: &mut StdRng,
+) -> (CimResponse, OperationCost) {
+    let account = |stats: &mut ExecutionStats, cost: OperationCost| {
+        stats.energy += cost.energy;
+        stats.busy_time += cost.latency;
+    };
+    match instruction {
+        CimInstruction::WriteRow { tile, row, bits } => {
+            let cost = digital_tiles[tile].write_row(row, &bits);
+            stats.row_writes += 1;
+            account(stats, cost);
+            (CimResponse::Done, cost)
+        }
+        CimInstruction::ReadRow { tile, row } => {
+            let (bits, cost) = digital_tiles[tile].read_row_with_cost(row, rng);
+            stats.row_reads += 1;
+            account(stats, cost);
+            if track_last_bits {
+                *last_bits = Some(bits.clone());
+            }
+            (CimResponse::Bits(bits), cost)
+        }
+        CimInstruction::Logic { tile, op, rows } => {
+            let (bits, cost) = digital_tiles[tile].scout_with_cost(op, &rows, rng);
+            stats.logic_ops += 1;
+            account(stats, cost);
+            if track_last_bits {
+                *last_bits = Some(bits.clone());
+            }
+            (CimResponse::Bits(bits), cost)
+        }
+        CimInstruction::StoreLast { tile, row } => {
+            let bits = last_bits
+                .take()
+                .expect("StoreLast with no preceding bits-producing instruction");
+            let cost = digital_tiles[tile].write_row(row, &bits);
+            stats.row_writes += 1;
+            account(stats, cost);
+            *last_bits = Some(bits);
+            (CimResponse::Done, cost)
+        }
+        CimInstruction::ProgramMatrix { tile, matrix } => {
+            let cost = analog_tiles[tile].program_matrix(&matrix, rng);
+            stats.matrix_programs += 1;
+            account(stats, cost);
+            (CimResponse::Done, cost)
+        }
+        CimInstruction::Mvm { tile, x } => {
+            let (y, cost) = analog_tiles[tile].matvec_with_cost(&x, rng);
+            stats.mvms += 1;
+            account(stats, cost);
+            (CimResponse::Vector(y), cost)
+        }
+        CimInstruction::MvmT { tile, z } => {
+            let t = &mut analog_tiles[tile];
+            let before = t.stats();
+            let y = t.matvec_t(&z, rng);
+            let after = t.stats();
+            let cost = OperationCost {
+                energy: after.energy - before.energy,
+                latency: after.busy_time - before.busy_time,
+            };
+            stats.mvms += 1;
+            account(stats, cost);
+            (CimResponse::Vector(y), cost)
+        }
     }
 }
 
@@ -513,6 +568,59 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn store_last_writes_previous_result() {
+        let mut acc = small_accelerator();
+        let a = BitVec::from_fn(32, |i| i % 2 == 0);
+        let b = BitVec::from_fn(32, |i| i % 3 == 0);
+        acc.run([
+            CimInstruction::WriteRow {
+                tile: 0,
+                row: 0,
+                bits: a.clone(),
+            },
+            CimInstruction::WriteRow {
+                tile: 0,
+                row: 1,
+                bits: b.clone(),
+            },
+            CimInstruction::Logic {
+                tile: 0,
+                op: ScoutOp::Or,
+                rows: vec![0, 1],
+            },
+            CimInstruction::StoreLast { tile: 0, row: 2 },
+        ]);
+        assert_eq!(acc.digital_tile(0).stored_row(2), a.or(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "StoreLast with no preceding")]
+    fn store_last_panics_with_tracking_disabled() {
+        let mut acc = small_accelerator();
+        acc.set_last_bits_tracking(false);
+        acc.execute(CimInstruction::ReadRow { tile: 0, row: 0 });
+        acc.execute(CimInstruction::StoreLast { tile: 0, row: 1 });
+    }
+
+    #[test]
+    fn disabling_tracking_drops_pending_operand_and_reenables() {
+        let mut acc = small_accelerator();
+        let bits = BitVec::from_fn(32, |i| i % 4 == 0);
+        acc.execute(CimInstruction::WriteRow {
+            tile: 0,
+            row: 0,
+            bits: bits.clone(),
+        });
+        acc.execute(CimInstruction::ReadRow { tile: 0, row: 0 });
+        acc.set_last_bits_tracking(false);
+        acc.set_last_bits_tracking(true);
+        // The operand captured before disabling must not survive.
+        acc.execute(CimInstruction::ReadRow { tile: 0, row: 0 });
+        acc.execute(CimInstruction::StoreLast { tile: 0, row: 3 });
+        assert_eq!(acc.digital_tile(0).stored_row(3), bits);
     }
 
     #[test]

@@ -6,18 +6,63 @@
 //! bitwise result across all columns *in a single array access* — this is
 //! what accelerates bitmap-index queries and one-time-pad XOR.
 //!
+//! # Word-parallel fast path
+//!
+//! The hardware computes all columns of an access in one read cycle, so
+//! the simulator should too. Device storage is struct-of-arrays
+//! ([`ReramBank`]): packed state words plus per-device fabricated read
+//! currents and energies divided out once at fabrication. Each access is
+//! then served by the cheapest of three tiers:
+//!
+//! 1. **Word tier** — if the array-wide fabricated current extremes
+//!    (plus a ±8σ clip of the cycle-to-cycle log-normal noise) prove that
+//!    no column's aggregate current can cross the sense reference(s), the
+//!    sensed result *is* the boolean result: a few `u64` ops per 64
+//!    columns, no per-column work at all. This is the steady state for
+//!    nominal technology parameters.
+//! 2. **Column tier** — otherwise the exact nominal aggregate current of
+//!    every column is accumulated from the precomputed per-device
+//!    currents (no noise draws), and each column whose clipped noise
+//!    interval stays on one side of the reference(s) is decided directly.
+//!    With `sigma_c2c == 0` this tier is exact and never samples.
+//! 3. **Sampled tier** — only margin-ambiguous columns fall through to
+//!    per-device log-normal noise draws, batched through the caller's RNG
+//!    in column-major order.
+//!
+//! The ±8σ clip declares a column decision-safe when the probability that
+//! noise crosses the reference is below ~1e-15 per device draw; the
+//! bit-serial [`crate::reference::ReferenceDigitalArray`] (which always
+//! samples) remains the behavioural ground truth, and the
+//! `soa_equivalence` proptest suite pins the two implementations against
+//! each other.
+//!
+//! Access costing is `O(fan-in)`: every row maintains an incrementally
+//! updated sum of its devices' present-state read energies, refreshed on
+//! row writes instead of rescanned per access.
+//!
 //! Every operation returns / accumulates an [`OperationCost`] so workloads
 //! can report end-to-end energy and latency.
 
 use crate::energy::OperationCost;
 use crate::scouting::{ScoutOp, SenseAmplifier};
-use cim_device::reram::{ReramDevice, ReramParams};
+use cim_device::bank::ReramBank;
+use cim_device::reram::ReramParams;
 use cim_simkit::bitvec::BitVec;
-use cim_simkit::units::{Amperes, Joules, Seconds};
+use cim_simkit::rng::log_normal;
+use cim_simkit::units::{Joules, Seconds};
 use rand::Rng;
 
 /// Energy of one sense-amplifier decision (per column, per access).
-const SENSE_AMP_ENERGY: Joules = Joules(5e-15);
+/// Shared with the bit-serial reference model so the two cost accesses
+/// identically by construction.
+pub(crate) const SENSE_AMP_ENERGY: Joules = Joules(5e-15);
+
+/// Cycle-to-cycle noise beyond this many sigmas is treated as unable to
+/// flip a sense decision (per-draw probability ≈ 1.2e-15); columns whose
+/// clipped noise interval straddles a reference are sampled exactly.
+const C2C_CLIP_SIGMAS: f64 = 8.0;
+
+const WORD_BITS: usize = 64;
 
 /// Execution statistics of a digital array.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -28,21 +73,36 @@ pub struct DigitalStats {
     pub row_reads: u64,
     /// Scouting-logic operations performed.
     pub scout_ops: u64,
+    /// Read accesses served entirely by the word-parallel tier.
+    pub word_accesses: u64,
+    /// Columns whose sense decision needed explicit noise sampling.
+    pub sampled_columns: u64,
     /// Total energy.
     pub energy: Joules,
     /// Total busy time.
     pub busy_time: Seconds,
 }
 
+/// What an access asks the sense amplifiers to decide.
+#[derive(Debug, Clone, Copy)]
+enum SenseKind {
+    /// Plain single-row read against the mid reference.
+    Read,
+    /// Multi-row scouting operation.
+    Scout(ScoutOp),
+}
+
 /// A `rows × cols` array of binary memristive devices.
 #[derive(Debug, Clone)]
 pub struct DigitalArray {
-    rows: usize,
-    cols: usize,
-    params: ReramParams,
-    devices: Vec<ReramDevice>,
+    bank: ReramBank,
     sense_amp: SenseAmplifier,
     stats: DigitalStats,
+    /// Constant cost of a row write (every device receives a pulse, so
+    /// the energy is data-independent); folded once at construction.
+    write_cost: OperationCost,
+    /// Reusable per-column aggregate-current buffer for the column tier.
+    col_currents: Vec<f64>,
 }
 
 impl DigitalArray {
@@ -58,27 +118,31 @@ impl DigitalArray {
         rng: &mut R,
     ) -> Self {
         assert!(rows > 0 && cols > 0, "array dimensions must be nonzero");
-        let devices = (0..rows * cols)
-            .map(|_| ReramDevice::new(params, rng))
-            .collect();
+        let bank = ReramBank::new(rows, cols, params, rng);
+        let mut write_energy = Joules::ZERO;
+        for _ in 0..cols {
+            write_energy += params.write_energy;
+        }
         DigitalArray {
-            rows,
-            cols,
-            params,
-            devices,
+            bank,
             sense_amp: SenseAmplifier::new(&params),
             stats: DigitalStats::default(),
+            write_cost: OperationCost {
+                energy: write_energy,
+                latency: params.write_latency,
+            },
+            col_currents: Vec::new(),
         }
     }
 
     /// Array dimensions `(rows, cols)`.
     pub fn shape(&self) -> (usize, usize) {
-        (self.rows, self.cols)
+        self.bank.shape()
     }
 
     /// The device parameters the array was fabricated with.
     pub fn params(&self) -> &ReramParams {
-        &self.params
+        self.bank.params()
     }
 
     /// The array's sense amplifier (for margin analysis).
@@ -91,22 +155,19 @@ impl DigitalArray {
         &self.stats
     }
 
-    /// Writes a bit vector into row `r`.
+    /// Writes a bit vector into row `r` — a word copy into the packed
+    /// state plus an incremental refresh of the row's cached read-energy
+    /// sum (so access costing stays `O(fan-in)` with no rescans).
     ///
     /// # Panics
     ///
     /// Panics if `r` is out of range or `bits.len() != cols`.
     pub fn write_row(&mut self, r: usize, bits: &BitVec) -> OperationCost {
-        assert!(r < self.rows, "row {r} out of range {}", self.rows);
-        assert_eq!(bits.len(), self.cols, "row width mismatch");
-        let mut energy = Joules::ZERO;
-        for j in 0..self.cols {
-            energy += self.devices[r * self.cols + j].write(bits.get(j));
-        }
-        let cost = OperationCost {
-            energy,
-            latency: self.params.write_latency,
-        };
+        let (rows, cols) = self.bank.shape();
+        assert!(r < rows, "row {r} out of range {rows}");
+        assert_eq!(bits.len(), cols, "row width mismatch");
+        self.bank.write_row_words(r, bits.words());
+        let cost = self.write_cost;
         self.stats.row_writes += 1;
         self.stats.energy += cost.energy;
         self.stats.busy_time += cost.latency;
@@ -119,8 +180,7 @@ impl DigitalArray {
     ///
     /// Panics if `r` is out of range.
     pub fn stored_row(&self, r: usize) -> BitVec {
-        assert!(r < self.rows, "row {r} out of range {}", self.rows);
-        BitVec::from_fn(self.cols, |j| self.devices[r * self.cols + j].bit())
+        BitVec::from_words(self.bank.row_words(r).to_vec(), self.bank.shape().1)
     }
 
     /// Reads row `r` through the sense amplifiers, including device read
@@ -130,17 +190,28 @@ impl DigitalArray {
     ///
     /// Panics if `r` is out of range.
     pub fn read_row<R: Rng + ?Sized>(&mut self, r: usize, rng: &mut R) -> BitVec {
-        assert!(r < self.rows, "row {r} out of range {}", self.rows);
-        let reference = self.sense_amp.read_reference();
-        let out = BitVec::from_fn(self.cols, |j| {
-            let i = self.devices[r * self.cols + j].read_current(rng);
-            i.0 > reference.0
-        });
+        self.read_row_with_cost(r, rng).0
+    }
+
+    /// [`Self::read_row`] returning the access cost alongside.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::read_row`].
+    pub fn read_row_with_cost<R: Rng + ?Sized>(
+        &mut self,
+        r: usize,
+        rng: &mut R,
+    ) -> (BitVec, OperationCost) {
+        let rows = self.bank.shape().0;
+        assert!(r < rows, "row {r} out of range {rows}");
+        let words = self.sense_access(SenseKind::Read, &[r], rng);
+        let out = BitVec::from_words(words, self.bank.shape().1);
         let cost = self.access_cost(&[r]);
         self.stats.row_reads += 1;
         self.stats.energy += cost.energy;
         self.stats.busy_time += cost.latency;
-        out
+        (out, cost)
     }
 
     /// Executes a Scouting-Logic operation over the given stored rows,
@@ -168,20 +239,16 @@ impl DigitalArray {
     ) -> (BitVec, OperationCost) {
         let k = rows.len();
         assert!(op.supports_fan_in(k), "{op:?} does not support fan-in {k}");
+        let row_count = self.bank.shape().0;
         for (n, &r) in rows.iter().enumerate() {
-            assert!(r < self.rows, "row {r} out of range {}", self.rows);
+            assert!(r < row_count, "row {r} out of range {row_count}");
             assert!(
                 !rows[..n].contains(&r),
                 "row {r} activated twice in one scouting access"
             );
         }
-        let out = BitVec::from_fn(self.cols, |j| {
-            let mut i_in = Amperes::ZERO;
-            for &r in rows {
-                i_in += self.devices[r * self.cols + j].read_current(rng);
-            }
-            self.sense_amp.decide(op, k, i_in)
-        });
+        let words = self.sense_access(SenseKind::Scout(op), rows, rng);
+        let out = BitVec::from_words(words, self.bank.shape().1);
         let cost = self.access_cost(rows);
         self.stats.scout_ops += 1;
         self.stats.energy += cost.energy;
@@ -190,35 +257,163 @@ impl DigitalArray {
     }
 
     /// The exact boolean result the scouting access is meant to compute,
-    /// from stored states — used to measure sensing error rates.
+    /// from stored states — used to measure sensing error rates. Computed
+    /// word-parallel from the packed states.
     ///
     /// # Panics
     ///
     /// Panics if any row is out of range.
     pub fn scout_exact(&self, op: ScoutOp, rows: &[usize]) -> BitVec {
-        BitVec::from_fn(self.cols, |j| {
-            let bits: Vec<bool> = rows
-                .iter()
-                .map(|&r| self.devices[r * self.cols + j].bit())
-                .collect();
-            op.apply(&bits)
-        })
+        let cols = self.bank.shape().1;
+        let words = if rows.is_empty() {
+            // `ScoutOp::apply` of an empty operand list is `false`.
+            vec![0u64; self.bank.words_per_row()]
+        } else {
+            self.fold_state_words(op, rows)
+        };
+        BitVec::from_words(words, cols)
+    }
+
+    /// Runs the tiered sense pipeline for one access, returning the
+    /// decision bits as packed words.
+    fn sense_access<R: Rng + ?Sized>(
+        &mut self,
+        kind: SenseKind,
+        rows: &[usize],
+        rng: &mut R,
+    ) -> Vec<u64> {
+        let k = rows.len();
+        let (lo_ref, hi_ref) = self.references(kind, k);
+        if self.word_path_safe(kind, k, lo_ref, hi_ref) {
+            self.stats.word_accesses += 1;
+            return match kind {
+                SenseKind::Read => self.bank.row_words(rows[0]).to_vec(),
+                SenseKind::Scout(op) => self.fold_state_words(op, rows),
+            };
+        }
+
+        // Column tier: exact nominal aggregate currents, no allocation
+        // beyond the result words (the accumulator is reused).
+        let cols = self.bank.shape().1;
+        let mut nominal = std::mem::take(&mut self.col_currents);
+        nominal.clear();
+        nominal.resize(cols, 0.0);
+        for &r in rows {
+            self.bank.add_row_currents(r, &mut nominal);
+        }
+        let sigma = self.bank.params().sigma_c2c;
+        let (c_lo, c_hi) = clip_factors(sigma);
+        let mut words = vec![0u64; self.bank.words_per_row()];
+        for (j, &nom) in nominal.iter().enumerate() {
+            let certain_true = nom * c_lo > lo_ref && hi_ref.is_none_or(|h| nom * c_hi < h);
+            let bit = if certain_true {
+                true
+            } else {
+                let certain_false = nom * c_hi <= lo_ref || hi_ref.is_some_and(|h| nom * c_lo >= h);
+                if certain_false {
+                    false
+                } else {
+                    // Sampled tier: this column's margin is genuinely
+                    // ambiguous — draw the per-device noise, in the same
+                    // device order as the reference model.
+                    self.stats.sampled_columns += 1;
+                    let mut i = 0.0;
+                    for &r in rows {
+                        i += self.bank.current(r, j) / log_normal(rng, 0.0, sigma);
+                    }
+                    i > lo_ref && hi_ref.is_none_or(|h| i < h)
+                }
+            };
+            if bit {
+                words[j / WORD_BITS] |= 1u64 << (j % WORD_BITS);
+            }
+        }
+        self.col_currents = nominal;
+        words
+    }
+
+    /// The sense reference(s) of an access: decision is `I > lo` and,
+    /// for window comparators (XOR), additionally `I < hi`.
+    fn references(&self, kind: SenseKind, k: usize) -> (f64, Option<f64>) {
+        match kind {
+            SenseKind::Read => (self.sense_amp.read_reference().0, None),
+            SenseKind::Scout(ScoutOp::Or) => (self.sense_amp.or_reference(k).0, None),
+            SenseKind::Scout(ScoutOp::And) => (self.sense_amp.and_reference(k).0, None),
+            SenseKind::Scout(ScoutOp::Xor) => (
+                self.sense_amp.or_reference(2).0,
+                Some(self.sense_amp.and_reference(2).0),
+            ),
+        }
+    }
+
+    /// Whether *every* possible column of this access decides like the
+    /// boolean operation, using the array-wide fabricated current
+    /// extremes and the clipped cycle-to-cycle noise range. `O(k)`.
+    fn word_path_safe(&self, kind: SenseKind, k: usize, lo_ref: f64, hi_ref: Option<f64>) -> bool {
+        let (c_lo, c_hi) = clip_factors(self.bank.params().sigma_c2c);
+        let e = self.bank.extremes();
+        for ones in 0..=k {
+            let lrs = ones as f64;
+            let hrs = (k - ones) as f64;
+            let min_i = (lrs * e.i_low_min + hrs * e.i_high_min) * c_lo;
+            let max_i = (lrs * e.i_low_max + hrs * e.i_high_max) * c_hi;
+            let expect = match kind {
+                SenseKind::Read => ones == 1,
+                SenseKind::Scout(ScoutOp::Or) => ones > 0,
+                SenseKind::Scout(ScoutOp::And) => ones == k,
+                SenseKind::Scout(ScoutOp::Xor) => ones == 1,
+            };
+            let certain = if expect {
+                min_i > lo_ref && hi_ref.is_none_or(|h| max_i < h)
+            } else {
+                max_i <= lo_ref || hi_ref.is_some_and(|h| min_i >= h)
+            };
+            if !certain {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Boolean fold of the activated rows' packed state words.
+    fn fold_state_words(&self, op: ScoutOp, rows: &[usize]) -> Vec<u64> {
+        let mut acc = self.bank.row_words(rows[0]).to_vec();
+        for &r in &rows[1..] {
+            for (a, &w) in acc.iter_mut().zip(self.bank.row_words(r)) {
+                match op {
+                    ScoutOp::Or => *a |= w,
+                    ScoutOp::And => *a &= w,
+                    ScoutOp::Xor => *a ^= w,
+                }
+            }
+        }
+        acc
     }
 
     /// Cost of one read access activating `rows`: device read energy of
     /// every activated device plus one sense decision per column, in one
-    /// read-latency cycle.
+    /// read-latency cycle. `O(fan-in)` via the cached per-row sums.
     fn access_cost(&self, rows: &[usize]) -> OperationCost {
-        let mut energy = SENSE_AMP_ENERGY * self.cols as f64;
+        let mut energy = SENSE_AMP_ENERGY.0 * self.bank.shape().1 as f64;
         for &r in rows {
-            for j in 0..self.cols {
-                energy += self.devices[r * self.cols + j].read_energy();
-            }
+            energy += self.bank.row_energy(r);
         }
         OperationCost {
-            energy,
-            latency: self.params.read_latency,
+            energy: Joules(energy),
+            latency: self.bank.params().read_latency,
         }
+    }
+}
+
+/// Multiplicative bounds of the clipped cycle-to-cycle log-normal noise.
+fn clip_factors(sigma: f64) -> (f64, f64) {
+    if sigma == 0.0 {
+        (1.0, 1.0)
+    } else {
+        (
+            (-C2C_CLIP_SIGMAS * sigma).exp(),
+            (C2C_CLIP_SIGMAS * sigma).exp(),
+        )
     }
 }
 
@@ -324,6 +519,63 @@ mod tests {
         arr.read_row(1, &mut rng);
         let two_reads = arr.stats().energy - s0;
         assert!(scout_cost.energy.0 < two_reads.0);
+    }
+
+    #[test]
+    fn nominal_params_take_the_word_path_without_sampling() {
+        let (mut arr, mut rng) = array_with_rows(&[
+            &[true, false, true, false, true, false, true, false],
+            &[true, true, false, false, true, true, false, false],
+        ]);
+        for op in [ScoutOp::Or, ScoutOp::And, ScoutOp::Xor] {
+            let _ = arr.scout(op, &[0, 1], &mut rng);
+        }
+        arr.read_row(0, &mut rng);
+        assert_eq!(arr.stats().word_accesses, 4);
+        assert_eq!(arr.stats().sampled_columns, 0);
+    }
+
+    #[test]
+    fn wide_and_fan_in_samples_but_matches_exact() {
+        // AND at fan-in 8 has a current margin comparable to the clipped
+        // noise range, so the word tier refuses it and ambiguous columns
+        // are sampled — the sensed result must still match the boolean
+        // reference (the true margin is dozens of noise sigmas).
+        let mut rng = seeded(13);
+        let mut arr = DigitalArray::new(8, 96, ReramParams::default(), &mut rng);
+        for r in 0..8 {
+            // Columns below 64 have exactly one HRS device (7 of 8 LRS,
+            // aggregate just under the AND reference); columns from 64 up
+            // are all-LRS (just above it) — both inside the clipped noise
+            // window, so both need sampling.
+            arr.write_row(r, &BitVec::from_fn(96, |j| j >= 64 || j % 8 != r));
+        }
+        let rows: Vec<usize> = (0..8).collect();
+        let sensed = arr.scout(ScoutOp::And, &rows, &mut rng);
+        assert_eq!(sensed, arr.scout_exact(ScoutOp::And, &rows));
+        assert_eq!(arr.stats().word_accesses, 0);
+        assert!(arr.stats().sampled_columns > 0, "ambiguous columns sampled");
+    }
+
+    #[test]
+    fn zero_c2c_noise_never_samples_even_under_heavy_d2d() {
+        // σ_d2d = 0.3 spreads fabricated currents far beyond the word
+        // tier's tolerance, but with σ_c2c = 0 the column tier decides
+        // every column exactly from the nominal currents.
+        let params = ReramParams {
+            sigma_d2d: 0.3,
+            sigma_c2c: 0.0,
+            ..ReramParams::default()
+        };
+        let mut rng = seeded(14);
+        let mut arr = DigitalArray::new(4, 64, params, &mut rng);
+        for r in 0..4 {
+            arr.write_row(r, &BitVec::from_fn(64, |j| (j * (r + 2)) % 7 < 3));
+        }
+        for op in [ScoutOp::Or, ScoutOp::And] {
+            let _ = arr.scout(op, &[0, 1, 2, 3], &mut rng);
+        }
+        assert_eq!(arr.stats().sampled_columns, 0);
     }
 
     #[test]

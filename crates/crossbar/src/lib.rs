@@ -21,7 +21,10 @@
 //!   without moving data out of the array.
 //!
 //! [`digital::DigitalArray`] hosts binary ReRAM rows for scouting-logic
-//! workloads (bitmap queries, XOR encryption, HD bitwise steps), and
+//! workloads (bitmap queries, XOR encryption, HD bitwise steps) on a
+//! word-parallel struct-of-arrays fast path; the original bit-serial
+//! simulator survives as [`reference::ReferenceDigitalArray`], the
+//! behavioural ground truth the fast path is property-tested against.
 //! [`energy`] rolls per-event device/converter costs into per-operation
 //! budgets — reproducing the paper's 222 mW / 222 nJ crossbar read point.
 //!
@@ -48,6 +51,7 @@ pub mod analog;
 pub mod digital;
 pub mod energy;
 pub mod mapping;
+pub mod reference;
 pub mod scouting;
 pub mod tiled;
 
@@ -55,5 +59,6 @@ pub use analog::{AnalogCrossbar, AnalogParams, DifferentialCrossbar};
 pub use digital::DigitalArray;
 pub use energy::{CrossbarEnergyModel, OperationCost, ReadBudget};
 pub use mapping::ConductanceMapping;
+pub use reference::ReferenceDigitalArray;
 pub use scouting::{ScoutOp, SenseAmplifier};
 pub use tiled::TiledMatrixEngine;

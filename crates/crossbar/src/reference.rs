@@ -1,0 +1,236 @@
+//! Bit-serial reference implementation of the digital array.
+//!
+//! [`ReferenceDigitalArray`] is the original `Vec<ReramDevice>` simulator:
+//! one [`ReramDevice`] struct per bit, a fresh `V/R` division per activated
+//! device on *every* access, a cycle-to-cycle noise draw per device per
+//! read, and per-bit [`BitVec`] construction. It is deliberately kept
+//! un-optimized as the behavioural ground truth for the word-parallel
+//! [`crate::digital::DigitalArray`]:
+//!
+//! * the `soa_equivalence` proptest suite pins stored states, sensed
+//!   outputs (whenever `sigma_c2c == 0`) and energy/latency accounting of
+//!   the fast path against this model across random geometries;
+//! * the `runtime_throughput` perf-smoke microbench measures the fast
+//!   path's wall-clock speedup over this pre-refactor inner loop and
+//!   asserts it stays above its floor.
+//!
+//! The API mirrors [`crate::digital::DigitalArray`]'s access surface.
+
+use crate::digital::{DigitalStats, SENSE_AMP_ENERGY};
+use crate::energy::OperationCost;
+use crate::scouting::{ScoutOp, SenseAmplifier};
+use cim_device::reram::{ReramDevice, ReramParams};
+use cim_simkit::bitvec::BitVec;
+use cim_simkit::units::{Amperes, Joules};
+use rand::Rng;
+
+/// A `rows × cols` array of individually modelled binary devices.
+#[derive(Debug, Clone)]
+pub struct ReferenceDigitalArray {
+    rows: usize,
+    cols: usize,
+    params: ReramParams,
+    devices: Vec<ReramDevice>,
+    sense_amp: SenseAmplifier,
+    stats: DigitalStats,
+}
+
+impl ReferenceDigitalArray {
+    /// Fabricates an array with per-device variation drawn from `rng`, in
+    /// the same device order as [`crate::digital::DigitalArray::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        params: ReramParams,
+        rng: &mut R,
+    ) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be nonzero");
+        let devices = (0..rows * cols)
+            .map(|_| ReramDevice::new(params, rng))
+            .collect();
+        ReferenceDigitalArray {
+            rows,
+            cols,
+            params,
+            devices,
+            sense_amp: SenseAmplifier::new(&params),
+            stats: DigitalStats::default(),
+        }
+    }
+
+    /// Array dimensions `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Accumulated execution statistics.
+    pub fn stats(&self) -> &DigitalStats {
+        &self.stats
+    }
+
+    /// Writes a bit vector into row `r`, one device at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range or `bits.len() != cols`.
+    pub fn write_row(&mut self, r: usize, bits: &BitVec) -> OperationCost {
+        assert!(r < self.rows, "row {r} out of range {}", self.rows);
+        assert_eq!(bits.len(), self.cols, "row width mismatch");
+        let mut energy = Joules::ZERO;
+        for j in 0..self.cols {
+            energy += self.devices[r * self.cols + j].write(bits.get(j));
+        }
+        let cost = OperationCost {
+            energy,
+            latency: self.params.write_latency,
+        };
+        self.stats.row_writes += 1;
+        self.stats.energy += cost.energy;
+        self.stats.busy_time += cost.latency;
+        cost
+    }
+
+    /// The bits stored in row `r` (device states, no sensing noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn stored_row(&self, r: usize) -> BitVec {
+        assert!(r < self.rows, "row {r} out of range {}", self.rows);
+        BitVec::from_fn(self.cols, |j| self.devices[r * self.cols + j].bit())
+    }
+
+    /// Reads row `r` through the sense amplifiers, drawing one noise
+    /// sample per device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn read_row<R: Rng + ?Sized>(&mut self, r: usize, rng: &mut R) -> BitVec {
+        self.read_row_with_cost(r, rng).0
+    }
+
+    /// [`Self::read_row`] returning the access cost alongside.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::read_row`].
+    pub fn read_row_with_cost<R: Rng + ?Sized>(
+        &mut self,
+        r: usize,
+        rng: &mut R,
+    ) -> (BitVec, OperationCost) {
+        assert!(r < self.rows, "row {r} out of range {}", self.rows);
+        let reference = self.sense_amp.read_reference();
+        let out = BitVec::from_fn(self.cols, |j| {
+            let i = self.devices[r * self.cols + j].read_current(rng);
+            i.0 > reference.0
+        });
+        let cost = self.access_cost(&[r]);
+        self.stats.row_reads += 1;
+        self.stats.energy += cost.energy;
+        self.stats.busy_time += cost.latency;
+        (out, cost)
+    }
+
+    /// Executes a Scouting-Logic operation over the given stored rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row is out of range, rows repeat, or the operation
+    /// does not support the fan-in.
+    pub fn scout<R: Rng + ?Sized>(&mut self, op: ScoutOp, rows: &[usize], rng: &mut R) -> BitVec {
+        self.scout_with_cost(op, rows, rng).0
+    }
+
+    /// [`Self::scout`] returning the operation cost alongside.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::scout`].
+    pub fn scout_with_cost<R: Rng + ?Sized>(
+        &mut self,
+        op: ScoutOp,
+        rows: &[usize],
+        rng: &mut R,
+    ) -> (BitVec, OperationCost) {
+        let k = rows.len();
+        assert!(op.supports_fan_in(k), "{op:?} does not support fan-in {k}");
+        for (n, &r) in rows.iter().enumerate() {
+            assert!(r < self.rows, "row {r} out of range {}", self.rows);
+            assert!(
+                !rows[..n].contains(&r),
+                "row {r} activated twice in one scouting access"
+            );
+        }
+        let out = BitVec::from_fn(self.cols, |j| {
+            let mut i_in = Amperes::ZERO;
+            for &r in rows {
+                i_in += self.devices[r * self.cols + j].read_current(rng);
+            }
+            self.sense_amp.decide(op, k, i_in)
+        });
+        let cost = self.access_cost(rows);
+        self.stats.scout_ops += 1;
+        self.stats.energy += cost.energy;
+        self.stats.busy_time += cost.latency;
+        (out, cost)
+    }
+
+    /// The exact boolean result of the scouting access, from stored
+    /// states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row is out of range.
+    pub fn scout_exact(&self, op: ScoutOp, rows: &[usize]) -> BitVec {
+        BitVec::from_fn(self.cols, |j| {
+            let bits: Vec<bool> = rows
+                .iter()
+                .map(|&r| self.devices[r * self.cols + j].bit())
+                .collect();
+            op.apply(&bits)
+        })
+    }
+
+    /// The pre-refactor access costing: re-derives every activated
+    /// device's read energy (a `V/R` division each) on every access.
+    fn access_cost(&self, rows: &[usize]) -> OperationCost {
+        let mut energy = SENSE_AMP_ENERGY * self.cols as f64;
+        for &r in rows {
+            for j in 0..self.cols {
+                energy += self.devices[r * self.cols + j].read_energy();
+            }
+        }
+        OperationCost {
+            energy,
+            latency: self.params.read_latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_simkit::rng::seeded;
+
+    #[test]
+    fn reference_write_read_scout_round_trip() {
+        let mut rng = seeded(11);
+        let mut arr = ReferenceDigitalArray::new(2, 16, ReramParams::default(), &mut rng);
+        let a = BitVec::from_fn(16, |i| i % 3 == 0);
+        let b = BitVec::from_fn(16, |i| i % 2 == 0);
+        arr.write_row(0, &a);
+        arr.write_row(1, &b);
+        assert_eq!(arr.stored_row(0), a);
+        assert_eq!(arr.read_row(0, &mut rng), a);
+        assert_eq!(arr.scout(ScoutOp::And, &[0, 1], &mut rng), a.and(&b));
+        assert_eq!(arr.scout_exact(ScoutOp::Or, &[0, 1]), a.or(&b));
+        assert_eq!(arr.stats().row_writes, 2);
+        assert_eq!(arr.stats().scout_ops, 1);
+    }
+}

@@ -17,7 +17,10 @@
 //!   noise, and conductance drift `G(t) = G_prog · (t/t₀)^(−ν)`.
 //!
 //! Both models expose per-event energy and latency so array-level
-//! simulators can do bottom-up accounting.
+//! simulators can do bottom-up accounting. For array-scale simulation the
+//! binary devices also come in a struct-of-arrays form ([`bank`]): packed
+//! state words plus flat precomputed read-current/read-energy tables, the
+//! storage layout behind the word-parallel digital-tile fast path.
 //!
 //! # Example
 //!
@@ -36,9 +39,11 @@
 //! assert!((g.0 - target.0).abs() / target.0 < 0.1);
 //! ```
 
+pub mod bank;
 pub mod pcm;
 pub mod reram;
 pub mod retention;
 
+pub use bank::{CurrentExtremes, ReramBank};
 pub use pcm::{PcmDevice, PcmParams, ProgramReport};
 pub use reram::{ReramDevice, ReramParams, ReramState};

@@ -1724,6 +1724,11 @@ fn worker_loop(
             } => {
                 let before = *accelerator.stats();
                 accelerator.reset_pipeline();
+                accelerator.set_last_bits_tracking(
+                    instructions
+                        .iter()
+                        .any(|i| matches!(i, CimInstruction::StoreLast { .. })),
+                );
                 let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let mut rng = seeded(seed);
                     for instr in instructions {
@@ -1820,10 +1825,14 @@ fn run_job(
     // write-backs), so the resident rows survive for the next query.
     let mut written_rows: BTreeSet<(usize, usize)> = BTreeSet::new();
     let mut programmed_tiles: BTreeSet<usize> = BTreeSet::new();
+    let mut uses_store_last = false;
     for instr in &instructions {
         match instr {
-            CimInstruction::WriteRow { tile, row, .. }
-            | CimInstruction::StoreLast { tile, row } => {
+            CimInstruction::StoreLast { tile, row } => {
+                written_rows.insert((*tile, *row));
+                uses_store_last = true;
+            }
+            CimInstruction::WriteRow { tile, row, .. } => {
                 written_rows.insert((*tile, *row));
             }
             CimInstruction::ProgramMatrix { tile, .. } => {
@@ -1835,6 +1844,8 @@ fn run_job(
 
     let before = *accelerator.stats();
     accelerator.reset_pipeline();
+    // Streams without StoreLast skip the per-instruction operand clone.
+    accelerator.set_last_bits_tracking(uses_store_last);
     // A malformed stream that slips past validation (e.g. a raw job
     // with a shape mismatch) panics inside the accelerator; contain it
     // so one tenant cannot take the shard down.

@@ -74,6 +74,34 @@ impl BitVec {
         v
     }
 
+    /// Builds a vector of `len` bits directly from packed `u64` words
+    /// (bit `i` lives at `words[i / 64] >> (i % 64)`). Bits beyond `len`
+    /// in the last word are cleared.
+    ///
+    /// This is the word-parallel construction path: simulators that
+    /// compute 64 columns per machine word hand their result words over
+    /// without a per-bit [`BitVec::set`] loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != len.div_ceil(64)`.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(WORD_BITS),
+            "word count does not match bit length {len}"
+        );
+        let mut v = BitVec { words, len };
+        v.mask_tail();
+        v
+    }
+
+    /// Consumes the vector, returning its packed words (the inverse of
+    /// [`BitVec::from_words`]; the last word's unused high bits are zero).
+    pub fn into_words(self) -> Vec<u64> {
+        self.words
+    }
+
     /// Builds a vector from packed bytes, least-significant bit first.
     /// The resulting length is `bytes.len() * 8`.
     pub fn from_bytes(bytes: &[u8]) -> Self {
@@ -490,6 +518,27 @@ mod tests {
         }
         let ones: Vec<usize> = v.iter_ones().collect();
         assert_eq!(ones, vec![3, 64, 127, 149]);
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let v = BitVec::from_fn(130, |i| i % 3 == 0);
+        let w = BitVec::from_words(v.words().to_vec(), 130);
+        assert_eq!(w, v);
+        assert_eq!(w.clone().into_words(), v.words().to_vec());
+    }
+
+    #[test]
+    fn from_words_masks_tail() {
+        let v = BitVec::from_words(vec![!0u64, !0u64], 70);
+        assert_eq!(v.count_ones(), 70);
+        assert_eq!(v.words()[1] >> 6, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count")]
+    fn from_words_rejects_wrong_count() {
+        let _ = BitVec::from_words(vec![0u64], 70);
     }
 
     #[test]
