@@ -20,6 +20,13 @@
 //! cold-loading their own bins: the per-query row writes and simulated
 //! time show the amortization directly.
 //!
+//! The serving runs are traced through [`cim_obs`]: every `BENCH.json`
+//! serving group carries wall-clock latency percentiles (p50/p95/p99
+//! over per-job [`cim_runtime::JobTiming`]) and queue-depth gauge
+//! stats, and the `observability` group additionally writes a Chrome
+//! trace (`runtime_trace.json`) plus a deterministic snapshot
+//! (`runtime_snapshot.json`) and asserts the null-sink overhead bound.
+//!
 //! Run with `--release`; the debug simulator is an order of magnitude
 //! slower.
 
@@ -29,10 +36,14 @@ use cim_crossbar::reference::ReferenceDigitalArray;
 use cim_crossbar::scouting::ScoutOp;
 use cim_device::reram::ReramParams;
 use cim_nn::binarized::BinarizedMlp;
-use cim_runtime::{DatasetSpec, JobHandle, PoolConfig, RuntimePool, TenantId, WorkloadSpec};
+use cim_obs::{Histogram, RingRecorder, Snapshot, SpanId, Value};
+use cim_runtime::{
+    DatasetSpec, JobHandle, JobReport, PoolConfig, RuntimePool, TenantId, Tracer, WorkloadSpec,
+};
 use cim_simkit::bitvec::BitVec;
 use cim_simkit::rng::seeded;
 use rand::Rng;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One machine-readable benchmark row, collected into `BENCH.json` so the
@@ -45,6 +56,10 @@ struct BenchEntry {
     wall_ms: f64,
     /// The group's headline ratio (scaling or speedup vs its baseline).
     speedup: f64,
+    /// Group-specific extra fields (latency percentiles, queue-depth
+    /// stats, device cost drivers), serialized alongside the fixed
+    /// trio.
+    extras: Vec<(&'static str, f64)>,
 }
 
 impl BenchEntry {
@@ -54,23 +69,53 @@ impl BenchEntry {
             sim_makespan,
             wall_ms,
             speedup,
+            extras: Vec::new(),
         }
+    }
+
+    fn extra(mut self, key: &'static str, value: f64) -> Self {
+        self.extras.push((key, value));
+        self
     }
 }
 
+/// Wall-clock latency percentiles of a report set, in milliseconds,
+/// from the per-job [`cim_runtime::JobTiming`] stamped at completion.
+fn latency_percentiles_ms(reports: &[JobReport]) -> (f64, f64, f64) {
+    let mut hist = Histogram::new();
+    for report in reports {
+        hist.record(report.timing.total.as_nanos() as u64);
+    }
+    (
+        hist.p50() as f64 / 1e6,
+        hist.p95() as f64 / 1e6,
+        hist.p99() as f64 / 1e6,
+    )
+}
+
 /// Serializes the collected entries as `BENCH.json` in the working
-/// directory: `{"groups": {name: {sim_makespan, wall_ms, speedup}}}`.
+/// directory: `{"groups": {name: {sim_makespan, wall_ms, speedup,
+/// ...extras}}}`.
 fn write_bench_json(entries: &[BenchEntry]) {
     let rows: Vec<String> = entries
         .iter()
         .map(|e| {
-            format!(
-                "    \"{}\": {{\"sim_makespan\": {:e}, \"wall_ms\": {:.3}, \"speedup\": {:.3}}}",
-                e.group, e.sim_makespan, e.wall_ms, e.speedup
-            )
+            let mut fields = vec![
+                format!(
+                    "\"sim_makespan\": {}",
+                    cim_obs::json::number(e.sim_makespan)
+                ),
+                format!("\"wall_ms\": {:.3}", e.wall_ms),
+                format!("\"speedup\": {:.3}", e.speedup),
+            ];
+            for (key, value) in &e.extras {
+                fields.push(format!("\"{key}\": {}", cim_obs::json::number(*value)));
+            }
+            format!("    \"{}\": {{{}}}", e.group, fields.join(", "))
         })
         .collect();
     let json = format!("{{\n  \"groups\": {{\n{}\n  }}\n}}\n", rows.join(",\n"));
+    cim_obs::json::validate(&json).expect("BENCH.json must be valid JSON");
     std::fs::write("BENCH.json", &json).expect("write BENCH.json");
     println!("\nwrote BENCH.json ({} groups)", entries.len());
 }
@@ -143,7 +188,10 @@ fn shard_scaling() -> Vec<BenchEntry> {
     let mut entries = Vec::new();
     let mut sim_baseline = None;
     for shards in [1usize, 2, 4, 8] {
-        let pool = RuntimePool::new(PoolConfig::with_shards(shards));
+        // Trace the run into a ring recorder: the per-config BENCH rows
+        // carry the queue-depth gauge stats sampled at each plan.
+        let ring = Arc::new(RingRecorder::new(1 << 16));
+        let pool = RuntimePool::with_sink(PoolConfig::with_shards(shards), ring.clone());
         let handles: Vec<JobHandle> = jobs
             .iter()
             .map(|(tenant, spec)| pool.client(*tenant).submit(spec).expect("job fits pool"))
@@ -173,12 +221,28 @@ fn shard_scaling() -> Vec<BenchEntry> {
             wall_throughput,
             t.mean_speedup()
         );
-        entries.push(BenchEntry::new(
-            format!("shards_{shards}"),
-            sim_makespan,
-            wall_makespan * 1e3,
-            sim_throughput / base,
-        ));
+        let (p50_ms, p95_ms, p99_ms) = latency_percentiles_ms(&reports);
+        let snap = ring.snapshot();
+        assert_eq!(snap.unclosed, 0, "every span must close exactly once");
+        assert_eq!(snap.orphan_closes, 0, "no close without a matching open");
+        let (depth_max, depth_mean) = snap
+            .gauges
+            .get("queue_depth")
+            .map(|g| (g.max_or_zero(), g.mean()))
+            .unwrap_or((0.0, 0.0));
+        entries.push(
+            BenchEntry::new(
+                format!("shards_{shards}"),
+                sim_makespan,
+                wall_makespan * 1e3,
+                sim_throughput / base,
+            )
+            .extra("p50_ms", p50_ms)
+            .extra("p95_ms", p95_ms)
+            .extra("p99_ms", p99_ms)
+            .extra("queue_depth_max", depth_max)
+            .extra("queue_depth_mean", depth_mean),
+        );
     }
     entries
 }
@@ -268,12 +332,16 @@ fn resident_amortization() -> BenchEntry {
         usage.load_stats.energy.0,
         usage.query_stats.row_writes as f64 / usage.queries.max(1) as f64
     );
+    let (p50_ms, p95_ms, p99_ms) = latency_percentiles_ms(&warm_reports);
     BenchEntry::new(
         "resident_q6",
         warm_sim * QUERIES as f64,
         warm_wall * 1e3,
         cold_sim / warm_sim,
     )
+    .extra("p50_ms", p50_ms)
+    .extra("p95_ms", p95_ms)
+    .extra("p99_ms", p99_ms)
 }
 
 /// The resident-vs-cold comparison for NN weights: ≥ 8 batched
@@ -374,12 +442,52 @@ fn nn_resident_amortization() -> BenchEntry {
         speedup >= 3.0,
         "resident NN speedup {speedup:.2}x below the 3x acceptance bar"
     );
+
+    // Device-tier cost drivers (ROADMAP item 1): the claim is that
+    // program-and-verify pulses dominate the cold NN path while resident
+    // queries carry only per-MVM read-noise sampling. The counters either
+    // confirm or refute that directly: cold jobs must draw pulses, warm
+    // queries must draw none.
+    let cold_device = &cold.telemetry().device;
+    let cold_pulses = cold_device.program_pulses as f64 / INFERENCES as f64;
+    let cold_noise = cold_device.noise_samples as f64 / INFERENCES as f64;
+    let query_pulses = usage.query_device.program_pulses;
+    let query_noise = usage.query_device.noise_samples as f64 / INFERENCES as f64;
+    assert!(
+        cold_device.program_pulses > 0 && query_pulses == 0,
+        "resident queries must carry zero program-and-verify pulses \
+         (cold {} vs query {query_pulses})",
+        cold_device.program_pulses
+    );
+    println!(
+        "cost drivers/infer — cold: {cold_pulses:.0} program pulses + {cold_noise:.0} noise \
+         samples; resident: {query_pulses} pulses + {query_noise:.0} noise samples \
+         (load amortizes to {:.1} pulses/query)",
+        usage.amortized_load_pulses_per_query()
+    );
+    println!(
+        "=> confirms ROADMAP item 1: program-and-verify dominates the cold NN path; \
+         the resident path leaves only the scalar per-MVM noise loop"
+    );
+
+    let (p50_ms, p95_ms, p99_ms) = latency_percentiles_ms(&warm_reports);
     BenchEntry::new(
         "resident_nn",
         warm_sim * INFERENCES as f64,
         warm_wall * 1e3,
         speedup,
     )
+    .extra("p50_ms", p50_ms)
+    .extra("p95_ms", p95_ms)
+    .extra("p99_ms", p99_ms)
+    .extra("cold_program_pulses_per_infer", cold_pulses)
+    .extra("cold_noise_samples_per_infer", cold_noise)
+    .extra(
+        "load_program_pulses",
+        usage.load_device.program_pulses as f64,
+    )
+    .extra("query_program_pulses", query_pulses as f64)
+    .extra("query_noise_samples_per_infer", query_noise)
 }
 
 /// The scatter-gather scaling story: one Q6 select sized to 2x a
@@ -451,12 +559,16 @@ fn oversized_q6() -> BenchEntry {
         "split makespan {split_makespan:.3e}s must beat serialized chunking \
          {serial_makespan:.3e}s"
     );
+    let (p50_ms, p95_ms, p99_ms) = latency_percentiles_ms(std::slice::from_ref(&report));
     BenchEntry::new(
         "oversized_q6",
         split_makespan,
         split_wall * 1e3,
         serial_makespan / split_makespan,
     )
+    .extra("p50_ms", p50_ms)
+    .extra("p95_ms", p95_ms)
+    .extra("p99_ms", p99_ms)
 }
 
 /// The word-parallel digital-tile fast path vs the pre-refactor
@@ -549,6 +661,127 @@ fn scout_q6_fastpath() -> BenchEntry {
     BenchEntry::new("scout_q6_fastpath", sim_makespan, fast_wall * 1e3, speedup)
 }
 
+/// One seeded serving run traced into a ring recorder: a resident Q6
+/// table with queries (dataset-load spans), a small encryption, and an
+/// oversized select that scatters across both shards (per-part
+/// dispatch/execute spans plus the gather span). Jobs run one at a
+/// time so the planner sees an identical queue on every invocation —
+/// the snapshot must come out byte-identical across runs.
+fn traced_run() -> (String, String, Snapshot, f64) {
+    let ring = Arc::new(RingRecorder::new(1 << 16));
+    let pool = RuntimePool::with_sink(PoolConfig::with_shards(2), ring.clone());
+    let session = pool.client(TenantId(1));
+    let table = session
+        .register_dataset(&DatasetSpec::Q6Table {
+            rows: 2000,
+            table_seed: 42,
+        })
+        .expect("dataset fits pool");
+    for _ in 0..2 {
+        let report = session
+            .submit(&WorkloadSpec::Q6Query {
+                dataset: table.id(),
+                params: Q6Params::tpch_default(),
+            })
+            .expect("query fits pool")
+            .wait();
+        assert!(report.output.is_ok(), "{:?}", report.output);
+    }
+    let report = session
+        .submit(&WorkloadSpec::XorEncrypt {
+            message: (0..256u32).map(|b| b as u8).collect(),
+            key_seed: 9,
+        })
+        .expect("job fits pool")
+        .wait();
+    assert!(report.output.is_ok(), "{:?}", report.output);
+    // Six tiles against two free + four free: must scatter-gather.
+    let report = session
+        .submit(&WorkloadSpec::Q6Select {
+            rows: 6 * 1024,
+            table_seed: 77,
+            params: Q6Params::tpch_default(),
+        })
+        .expect("splits across the pool")
+        .wait();
+    assert!(report.output.is_ok(), "{:?}", report.output);
+    assert!(report.shards.len() >= 2, "the select actually scattered");
+    let sim_makespan = pool.telemetry().simulated_makespan().0;
+    drop(table);
+    let snap = ring.snapshot();
+    (ring.chrome_trace_json(), snap.to_json(), snap, sim_makespan)
+}
+
+/// The observability story itself: a traced seeded run exports a valid
+/// Chrome trace (`runtime_trace.json`) and a deterministic snapshot
+/// (`runtime_snapshot.json` — byte-identical across two identical
+/// runs), every span closes exactly once, and the default null-sink
+/// tracer stays under [`NULL_SINK_NS_PER_OP`] per open/close pair —
+/// the bound the CI perf-smoke job rides on.
+const NULL_SINK_NS_PER_OP: f64 = 100.0;
+
+fn observability() -> BenchEntry {
+    println!("\n# OBSERVABILITY — traced serving run, exports, and null-sink overhead\n");
+    let start = Instant::now();
+    let (trace_json, snap_json, snap, sim_makespan) = traced_run();
+    let wall = start.elapsed().as_secs_f64();
+
+    // Span integrity: every lifecycle stage closed exactly once.
+    assert_eq!(snap.unclosed, 0, "every span must close exactly once");
+    assert_eq!(snap.orphan_closes, 0, "no close without a matching open");
+    let job_roots = snap.roots_named("job").count();
+    let load_roots = snap.roots_named("dataset_load").count();
+    assert_eq!(job_roots, 4, "2 queries + 1 encrypt + 1 split select");
+    assert_eq!(load_roots, 1, "one resident dataset load");
+
+    // Exports: both files must be well-formed JSON, and the snapshot
+    // (which excludes wall-clock fields by construction) must be
+    // byte-identical on a second identically-seeded run.
+    cim_obs::json::validate(&trace_json).expect("Chrome trace must be valid JSON");
+    cim_obs::json::validate(&snap_json).expect("snapshot must be valid JSON");
+    let (_, snap_json_again, _, _) = traced_run();
+    assert_eq!(
+        snap_json, snap_json_again,
+        "seeded snapshots must be byte-identical across runs"
+    );
+    std::fs::write("runtime_trace.json", &trace_json).expect("write runtime_trace.json");
+    std::fs::write("runtime_snapshot.json", &snap_json).expect("write runtime_snapshot.json");
+
+    // Null-sink overhead: the default pool traces into a null sink, so
+    // an open/close pair on the disabled path must stay near-free.
+    let tracer = Tracer::disabled();
+    assert!(!tracer.enabled());
+    const OPS: u64 = 2_000_000;
+    let bench_start = Instant::now();
+    for i in 0..OPS {
+        let span = tracer.open("bench", SpanId::NONE, &[("i", Value::U64(i))]);
+        tracer.close(std::hint::black_box(span), 0.0, &[]);
+    }
+    let ns_per_op = bench_start.elapsed().as_nanos() as f64 / OPS as f64;
+
+    println!(
+        "{:>10} spans across {job_roots} jobs + {load_roots} dataset load (unclosed: {})",
+        snap.span_count(),
+        snap.unclosed
+    );
+    println!(
+        "{:>10} wrote runtime_trace.json ({} B) and runtime_snapshot.json ({} B, deterministic)",
+        "",
+        trace_json.len(),
+        snap_json.len()
+    );
+    println!("{:>10} null-sink open/close pair: {ns_per_op:.1} ns", "");
+    assert!(
+        ns_per_op < NULL_SINK_NS_PER_OP,
+        "null-sink overhead {ns_per_op:.1} ns/op broke the {NULL_SINK_NS_PER_OP} ns bound"
+    );
+
+    BenchEntry::new("observability", sim_makespan, wall * 1e3, 1.0)
+        .extra("spans", snap.span_count() as f64)
+        .extra("null_sink_ns_per_op", ns_per_op)
+        .extra("snapshot_bytes", snap_json.len() as f64)
+}
+
 fn main() {
     let mut entries = Vec::new();
     entries.push(scout_q6_fastpath());
@@ -556,5 +789,6 @@ fn main() {
     entries.push(resident_amortization());
     entries.push(nn_resident_amortization());
     entries.push(oversized_q6());
+    entries.push(observability());
     write_bench_json(&entries);
 }

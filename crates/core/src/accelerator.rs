@@ -46,6 +46,45 @@ impl ExecutionStats {
     }
 }
 
+/// Device-tier cost drivers summed over every tile of an accelerator.
+///
+/// Where [`ExecutionStats`] counts *instructions*, these count the work
+/// underneath them: memory words touched, ADC columns digitized,
+/// program-and-verify pulses fired, stochastic device reads drawn. All
+/// four are deterministic functions of the executed workload, so
+/// deltas around a job attribute device-level cost to that job exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DeviceCounters {
+    /// Machine words touched by digital row reads/writes.
+    pub word_accesses: u64,
+    /// Columns digitized by sampled (partial-width) digital reads.
+    pub sampled_columns: u64,
+    /// Program-and-verify pulses fired while programming analog tiles.
+    pub program_pulses: u64,
+    /// Stochastic per-device read samples drawn during analog MVMs.
+    pub noise_samples: u64,
+}
+
+impl DeviceCounters {
+    /// Element-wise difference (`self − earlier`), for bracketing a job.
+    pub fn delta(&self, earlier: &DeviceCounters) -> DeviceCounters {
+        DeviceCounters {
+            word_accesses: self.word_accesses - earlier.word_accesses,
+            sampled_columns: self.sampled_columns - earlier.sampled_columns,
+            program_pulses: self.program_pulses - earlier.program_pulses,
+            noise_samples: self.noise_samples - earlier.noise_samples,
+        }
+    }
+
+    /// Element-wise accumulation of `other` into `self`.
+    pub fn accumulate(&mut self, other: &DeviceCounters) {
+        self.word_accesses += other.word_accesses;
+        self.sampled_columns += other.sampled_columns;
+        self.program_pulses += other.program_pulses;
+        self.noise_samples += other.noise_samples;
+    }
+}
+
 /// Builder for [`CimAccelerator`].
 #[derive(Debug, Clone)]
 pub struct CimAcceleratorBuilder {
@@ -159,6 +198,25 @@ impl CimAccelerator {
     /// Accumulated execution statistics.
     pub fn stats(&self) -> &ExecutionStats {
         &self.stats
+    }
+
+    /// Device-tier cost drivers summed over all tiles (see
+    /// [`DeviceCounters`]). Like [`Self::stats`], monotonically
+    /// increasing: bracket an execution with before/after copies and
+    /// [`DeviceCounters::delta`] to attribute counts to it.
+    pub fn device_counters(&self) -> DeviceCounters {
+        let mut c = DeviceCounters::default();
+        for tile in &self.digital_tiles {
+            let s = tile.stats();
+            c.word_accesses += s.word_accesses;
+            c.sampled_columns += s.sampled_columns;
+        }
+        for tile in &self.analog_tiles {
+            let s = tile.stats();
+            c.program_pulses += s.program_pulses;
+            c.noise_samples += s.noise_samples;
+        }
+        c
     }
 
     /// Direct access to a digital tile (for workload setup/inspection).
@@ -628,5 +686,42 @@ mod tests {
     fn unknown_tile_panics() {
         let mut acc = small_accelerator();
         acc.execute(CimInstruction::ReadRow { tile: 9, row: 0 });
+    }
+
+    #[test]
+    fn device_counters_bracket_a_workload() {
+        let mut acc = small_accelerator();
+        let before = acc.device_counters();
+        assert_eq!(before, DeviceCounters::default());
+
+        acc.run([
+            CimInstruction::WriteRow {
+                tile: 0,
+                row: 0,
+                bits: BitVec::from_fn(32, |i| i % 2 == 0),
+            },
+            CimInstruction::ReadRow { tile: 0, row: 0 },
+            CimInstruction::ProgramMatrix {
+                tile: 0,
+                matrix: Matrix::from_fn(8, 8, |i, j| (i + j) as f64 / 16.0 - 0.25),
+            },
+            CimInstruction::Mvm {
+                tile: 0,
+                x: vec![1.0; 8],
+            },
+        ]);
+
+        let delta = acc.device_counters().delta(&before);
+        // A 32-bit row write + read touches words on both paths.
+        assert!(delta.word_accesses > 0, "no word accesses: {delta:?}");
+        // Program-and-verify fired pulses (already-converged devices
+        // may need none, so only positivity is portable across params).
+        assert!(delta.program_pulses > 0, "pulses: {delta:?}");
+        // A dense 8-input MVM samples every device of both tiles once.
+        assert_eq!(delta.noise_samples, 2 * 8 * 8);
+
+        let mut sum = DeviceCounters::default();
+        sum.accumulate(&delta);
+        assert_eq!(sum, delta);
     }
 }

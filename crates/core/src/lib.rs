@@ -58,7 +58,7 @@ pub mod address;
 pub mod isa;
 pub mod offload;
 
-pub use accelerator::{CimAccelerator, CimAcceleratorBuilder, ExecutionStats};
+pub use accelerator::{CimAccelerator, CimAcceleratorBuilder, DeviceCounters, ExecutionStats};
 pub use address::{AddressMap, TileRow};
 pub use isa::{CimClass, CimInstruction, CimResponse};
 pub use offload::{OffloadEstimate, Program, Section};

@@ -95,6 +95,10 @@ pub struct CrossbarStats {
     pub programs: u64,
     /// Total program-and-verify pulses across all devices.
     pub program_pulses: u64,
+    /// Per-device stochastic read samples drawn during analog products —
+    /// one per (nonzero input line × output line) per MVM, the noise-model
+    /// cost driver of every analog operation.
+    pub noise_samples: u64,
     /// Total energy across all operations.
     pub energy: Joules,
     /// Total busy time across all operations.
@@ -247,8 +251,9 @@ impl AnalogCrossbar {
         rng: &mut R,
     ) -> (Vec<f64>, OperationCost) {
         assert_eq!(x.len(), self.cols, "input length must equal cols");
-        let (y, cost) = self.product(x, true, rng);
+        let (y, cost, samples) = self.product(x, true, rng);
         self.stats.mvms += 1;
+        self.stats.noise_samples += samples;
         self.stats.energy += cost.energy;
         self.stats.busy_time += cost.latency;
         (y, cost)
@@ -276,8 +281,9 @@ impl AnalogCrossbar {
         rng: &mut R,
     ) -> (Vec<f64>, OperationCost) {
         assert_eq!(z.len(), self.rows, "input length must equal rows");
-        let (y, cost) = self.product(z, false, rng);
+        let (y, cost, samples) = self.product(z, false, rng);
         self.stats.transpose_mvms += 1;
+        self.stats.noise_samples += samples;
         self.stats.energy += cost.energy;
         self.stats.busy_time += cost.latency;
         (y, cost)
@@ -296,13 +302,14 @@ impl AnalogCrossbar {
 
     /// Shared analog read path. `forward == true` computes `A·x` (inputs
     /// indexed by matrix column), `forward == false` computes `Aᵀ·z`
-    /// (inputs indexed by matrix row).
+    /// (inputs indexed by matrix row). The third return is the number of
+    /// per-device stochastic read samples drawn.
     fn product<R: Rng + ?Sized>(
         &self,
         input: &[f64],
         forward: bool,
         rng: &mut R,
-    ) -> (Vec<f64>, OperationCost) {
+    ) -> (Vec<f64>, OperationCost, u64) {
         let mapping = self.mapping.expect("crossbar not programmed");
         let p = &self.params;
         let (n_in, n_out) = if forward {
@@ -320,7 +327,7 @@ impl AnalogCrossbar {
                 // An all-zero vector drives no rows: the converters still
                 // cycle, the devices dissipate nothing.
                 let cost = self.energy_model.mvm_cost(0.0, n_in, n_out);
-                return (vec![0.0; n_out], cost);
+                return (vec![0.0; n_out], cost, 0);
             }
             peak
         } else {
@@ -336,10 +343,12 @@ impl AnalogCrossbar {
         //    tracking instantaneous device power for the energy budget.
         let mut currents = vec![0.0f64; n_out];
         let mut device_power = 0.0f64;
+        let mut samples = 0u64;
         for (i, &v) in volts.iter().enumerate() {
             if v == 0.0 {
                 continue;
             }
+            samples += n_out as u64;
             for (j, current) in currents.iter_mut().enumerate() {
                 let idx = if forward {
                     j * self.cols + i
@@ -376,7 +385,7 @@ impl AnalogCrossbar {
         let y: Vec<f64> = digitized.iter().map(|&c| c * lsb_scale).collect();
 
         let cost = self.energy_model.mvm_cost(device_power, n_in, n_out);
-        (y, cost)
+        (y, cost, samples)
     }
 }
 
@@ -492,6 +501,7 @@ impl DifferentialCrossbar {
             transpose_mvms: a.transpose_mvms + b.transpose_mvms,
             programs: a.programs + b.programs,
             program_pulses: a.program_pulses + b.program_pulses,
+            noise_samples: a.noise_samples + b.noise_samples,
             energy: a.energy + b.energy,
             busy_time: a.busy_time.max(b.busy_time),
         }

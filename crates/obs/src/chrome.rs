@@ -1,0 +1,196 @@
+//! Chrome trace-event export.
+//!
+//! Emits the JSON object form of the [trace-event format] that
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load
+//! directly: one `"X"` (complete) event per closed span with
+//! microsecond `ts`/`dur`, one `"C"` (counter) event per counter or
+//! gauge sample. Spans are laid out on one track per shard — the
+//! `shard` attribute, when present, becomes the `tid` — so the pool's
+//! dispatch concurrency is visible at a glance.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::event::{Attr, Event, Value};
+use crate::json;
+use std::collections::BTreeMap;
+
+fn value_json(v: &Value) -> String {
+    match v {
+        Value::U64(n) => n.to_string(),
+        Value::F64(x) => json::number(*x),
+        Value::Str(s) => format!("\"{}\"", json::escape(s)),
+    }
+}
+
+fn args_json(attrs: &[Attr]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": {}", json::escape(k), value_json(v)));
+    }
+    out.push('}');
+    out
+}
+
+/// The thread-track id for a span: its `shard` attribute when present
+/// (offset by 1 to keep track 0 for the scheduler), 0 otherwise.
+fn tid(attrs: &[Attr]) -> u64 {
+    attrs
+        .iter()
+        .find_map(|(k, v)| match (k, v) {
+            (&"shard", Value::U64(n)) => Some(n + 1),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+/// Renders recorded events (oldest first) as a Chrome trace-event JSON
+/// document.
+///
+/// Spans missing their close within the window are skipped; counter
+/// events carry the running total per name so the counter track shows
+/// cumulative progress.
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    struct Open {
+        name: &'static str,
+        wall_ns: u64,
+        attrs: Vec<Attr>,
+    }
+    let mut open: BTreeMap<u64, Open> = BTreeMap::new();
+    let mut totals: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut entries: Vec<String> = Vec::new();
+
+    for event in events {
+        match event {
+            Event::Open {
+                span,
+                name,
+                wall_ns,
+                attrs,
+                ..
+            } => {
+                open.insert(
+                    span.0,
+                    Open {
+                        name,
+                        wall_ns: *wall_ns,
+                        attrs: attrs.clone(),
+                    },
+                );
+            }
+            Event::Close {
+                span,
+                wall_ns,
+                sim_seconds,
+                attrs,
+            } => {
+                let Some(o) = open.remove(&span.0) else {
+                    continue;
+                };
+                let mut all = o.attrs;
+                all.extend(attrs.iter().cloned());
+                all.push(("sim_seconds", Value::F64(*sim_seconds)));
+                entries.push(format!(
+                    "{{\"name\": \"{}\", \"ph\": \"X\", \"pid\": 1, \"tid\": {}, \
+                     \"ts\": {}, \"dur\": {}, \"args\": {}}}",
+                    json::escape(o.name),
+                    tid(&all),
+                    o.wall_ns / 1_000,
+                    wall_ns.saturating_sub(o.wall_ns) / 1_000,
+                    args_json(&all),
+                ));
+            }
+            Event::Counter {
+                name,
+                delta,
+                wall_ns,
+            } => {
+                let total = totals.entry(name).or_insert(0);
+                *total += delta;
+                entries.push(format!(
+                    "{{\"name\": \"{}\", \"ph\": \"C\", \"pid\": 1, \"tid\": 0, \
+                     \"ts\": {}, \"args\": {{\"value\": {}}}}}",
+                    json::escape(name),
+                    wall_ns / 1_000,
+                    total,
+                ));
+            }
+            Event::Gauge {
+                name,
+                value,
+                wall_ns,
+            } => {
+                entries.push(format!(
+                    "{{\"name\": \"{}\", \"ph\": \"C\", \"pid\": 1, \"tid\": 0, \
+                     \"ts\": {}, \"args\": {{\"value\": {}}}}}",
+                    json::escape(name),
+                    wall_ns / 1_000,
+                    json::number(*value),
+                ));
+            }
+        }
+    }
+
+    let mut out = String::from("{\"traceEvents\": [\n");
+    for (i, entry) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  ");
+        out.push_str(entry);
+    }
+    out.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SpanId;
+
+    #[test]
+    fn emits_complete_events_on_shard_tracks() {
+        let events = vec![
+            Event::Open {
+                span: SpanId(1),
+                parent: SpanId::NONE,
+                name: "execute",
+                wall_ns: 2_000,
+                attrs: vec![("shard", Value::U64(1)), ("job", Value::U64(7))],
+            },
+            Event::Close {
+                span: SpanId(1),
+                wall_ns: 9_000,
+                sim_seconds: 1e-6,
+                attrs: vec![],
+            },
+            Event::Counter {
+                name: "jobs_completed",
+                delta: 1,
+                wall_ns: 9_500,
+            },
+        ];
+        let doc = chrome_trace_json(&events);
+        json::validate(&doc).expect("valid JSON");
+        assert!(doc.contains("\"ph\": \"X\""));
+        assert!(doc.contains("\"tid\": 2"));
+        assert!(doc.contains("\"dur\": 7"));
+        assert!(doc.contains("\"ph\": \"C\""));
+    }
+
+    #[test]
+    fn unclosed_spans_are_skipped() {
+        let events = vec![Event::Open {
+            span: SpanId(1),
+            parent: SpanId::NONE,
+            name: "job",
+            wall_ns: 0,
+            attrs: vec![],
+        }];
+        let doc = chrome_trace_json(&events);
+        json::validate(&doc).expect("valid JSON");
+        assert!(!doc.contains("\"ph\": \"X\""));
+    }
+}

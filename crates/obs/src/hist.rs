@@ -1,0 +1,261 @@
+//! Log-bucketed, mergeable latency histograms.
+//!
+//! The bucket layout is HDR-style: values below 16 get exact unit
+//! buckets; above that, each power-of-two range is split into 16
+//! linear sub-buckets, so relative quantile error is bounded by ~6%
+//! at every magnitude while the whole table stays under 1000 buckets.
+//! Buckets are plain `u64` counts, so two histograms recorded
+//! independently (per shard, per group, per run) merge by addition —
+//! the property that lets percentiles aggregate without keeping raw
+//! samples.
+
+/// Sub-bucket resolution: 2^4 = 16 linear sub-buckets per octave.
+const SUB_BITS: u32 = 4;
+const SUB_COUNT: usize = 1 << SUB_BITS;
+/// Enough buckets to cover the full `u64` range at 16 sub-buckets per
+/// octave: `(64 - SUB_BITS) * 16 + 16`.
+const BUCKETS: usize = ((64 - SUB_BITS as usize) << SUB_BITS) + SUB_COUNT;
+
+/// Index of the bucket covering `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT as u64 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros();
+        let sub = ((v >> (exp - SUB_BITS)) & (SUB_COUNT as u64 - 1)) as usize;
+        (((exp - SUB_BITS + 1) as usize) << SUB_BITS) + sub
+    }
+}
+
+/// Upper bound (inclusive) of bucket `index` — the value quantiles
+/// report, so a quantile never under-states a latency.
+fn bucket_upper(index: usize) -> u64 {
+    if index < SUB_COUNT {
+        index as u64
+    } else {
+        let exp = (index >> SUB_BITS) as u32 + SUB_BITS - 1;
+        let sub = (index & (SUB_COUNT - 1)) as u64;
+        let width = 1u64 << (exp - SUB_BITS);
+        // `width - 1` first: the top bucket's bound is exactly
+        // `u64::MAX` and adding `width` before subtracting overflows.
+        ((SUB_COUNT as u64 + sub) << (exp - SUB_BITS)) + (width - 1)
+    }
+}
+
+/// A log-bucketed histogram of `u64` samples (typically nanoseconds).
+///
+/// Recording is O(1); merging is bucket-wise addition; quantiles are a
+/// single forward scan. Exact count/sum/min/max are tracked alongside
+/// the buckets.
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Adds every sample of `other` into `self` (bucket-wise), keeping
+    /// count/sum/min/max exact — the merge that aggregates per-shard or
+    /// per-group histograms.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: an upper bound of the
+    /// bucket holding the q-th sample, clamped to the exact max. Returns
+    /// 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based; q = 1.0 selects the last.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (50th percentile).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotonic() {
+        let mut prev = 0usize;
+        for v in [0u64, 1, 15, 16, 17, 31, 32, 100, 1 << 20, u64::MAX] {
+            let b = bucket_index(v);
+            assert!(b < BUCKETS, "bucket {b} out of range for {v}");
+            assert!(b >= prev, "bucket order broke at {v}");
+            assert!(bucket_upper(b) >= v, "upper {} < {v}", bucket_upper(b));
+            prev = b;
+        }
+        // Every bucket's upper bound maps back into the same bucket.
+        for index in 0..BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_upper(index)), index, "index {index}");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.quantile(1.0), 15);
+        assert_eq!(h.p50(), 7);
+    }
+
+    #[test]
+    fn quantiles_bound_relative_error() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 1000); // 1µs .. 10ms in ns
+        }
+        for (q, exact) in [(0.5, 5_000_000u64), (0.95, 9_500_000), (0.99, 9_900_000)] {
+            let approx = h.quantile(q);
+            let rel = (approx as f64 - exact as f64).abs() / exact as f64;
+            assert!(rel < 0.07, "q{q}: {approx} vs {exact} (rel {rel:.3})");
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for i in 0..500u64 {
+            let v = i * i + 3;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum(), whole.sum());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p99(), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! The bounded in-memory recorder: a drop-oldest ring of events.
+//!
+//! One mutex guards a preallocated `VecDeque`; the critical section is
+//! a single push (plus a pop when full), so contention between shard
+//! workers and the scheduler stays negligible next to the work each
+//! event describes. Everything derived — span forests, histograms,
+//! counter totals — is computed at read time from the retained events,
+//! keeping the record path minimal.
+
+use crate::event::{Event, TraceSink};
+use crate::snapshot::Snapshot;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default event capacity: comfortably holds the span traffic of tens
+/// of thousands of jobs before dropping.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+#[derive(Debug)]
+struct Ring {
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+/// A bounded, thread-safe [`TraceSink`] that retains the most recent
+/// events.
+///
+/// When the buffer is full the *oldest* event is dropped (and counted
+/// in [`RingRecorder::dropped`]): under overload the recorder degrades
+/// to a recent-history window instead of blocking emitters. Note that
+/// dropped opens/closes make the retained window unbalanced — size the
+/// capacity to the run when snapshot determinism matters.
+#[derive(Debug)]
+pub struct RingRecorder {
+    inner: Mutex<Ring>,
+    capacity: usize,
+}
+
+impl Default for RingRecorder {
+    fn default() -> Self {
+        RingRecorder::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl RingRecorder {
+    /// Creates a recorder retaining at most `capacity` events
+    /// (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingRecorder {
+            inner: Mutex::new(Ring {
+                events: VecDeque::with_capacity(capacity),
+                dropped: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events dropped so far because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("ring lock").dropped
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("ring lock").events.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was dropped).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner
+            .lock()
+            .expect("ring lock")
+            .events
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Reassembles the retained events into a [`Snapshot`] (span
+    /// forest, counters, gauge aggregates, per-stage wall histograms).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::from_events(&self.events())
+    }
+
+    /// The retained events as a Chrome trace-event JSON string (see
+    /// [`crate::chrome::chrome_trace_json`]).
+    pub fn chrome_trace_json(&self) -> String {
+        crate::chrome::chrome_trace_json(&self.events())
+    }
+}
+
+impl TraceSink for RingRecorder {
+    fn record(&self, event: Event) {
+        let mut ring = self.inner.lock().expect("ring lock");
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter(name: &'static str) -> Event {
+        Event::Counter {
+            name,
+            delta: 1,
+            wall_ns: 0,
+        }
+    }
+
+    #[test]
+    fn retains_in_order() {
+        let ring = RingRecorder::new(8);
+        ring.record(counter("a"));
+        ring.record(counter("b"));
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], Event::Counter { name: "a", .. }));
+        assert!(matches!(events[1], Event::Counter { name: "b", .. }));
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn drops_oldest_beyond_capacity() {
+        let ring = RingRecorder::new(2);
+        ring.record(counter("a"));
+        ring.record(counter("b"));
+        ring.record(counter("c"));
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], Event::Counter { name: "b", .. }));
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn concurrent_records_all_land() {
+        use std::sync::Arc;
+        let ring = Arc::new(RingRecorder::new(10_000));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        ring.record(counter("t"));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(ring.len(), 4000);
+        assert_eq!(ring.dropped(), 0);
+    }
+}

@@ -1,0 +1,409 @@
+//! Snapshot reassembly: the span forest, counter totals, gauge
+//! aggregates and per-stage latency histograms derived from a recorded
+//! event stream.
+//!
+//! [`Snapshot::to_json`] is the *deterministic* export: it excludes
+//! every wall-clock field and orders spans by `(name, attributes)`
+//! rather than by arrival, so two seeded runs of the same workload —
+//! whose span structure, ids and simulated times are pure functions of
+//! the submission order — serialize byte-identically even though their
+//! wall timings differ. Wall-derived data (the per-stage histograms)
+//! stays available programmatically via [`Snapshot::histograms`].
+
+use crate::event::{Attr, Event, SpanId};
+use crate::hist::Histogram;
+use crate::json;
+use crate::metrics::GaugeStats;
+use std::collections::BTreeMap;
+
+/// One reassembled span with its children.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Stage name.
+    pub name: &'static str,
+    /// Open- and close-time attributes, sorted by key.
+    pub attrs: Vec<Attr>,
+    /// Simulated accelerator seconds attributed at close.
+    pub sim_seconds: f64,
+    /// Wall-clock duration in nanoseconds (close − open). Excluded
+    /// from the deterministic JSON export.
+    pub wall_ns: u64,
+    /// Child spans, in deterministic `(name, attrs)` order.
+    pub children: Vec<SpanNode>,
+}
+
+/// A span's deterministic ordering key: its name plus each attribute's
+/// key and [`crate::event::Value::sort_key`] projection.
+type SpanSortKey = (&'static str, Vec<(&'static str, (u8, u64, &'static str))>);
+
+impl SpanNode {
+    fn sort_key(&self) -> SpanSortKey {
+        (
+            self.name,
+            self.attrs.iter().map(|(k, v)| (*k, v.sort_key())).collect(),
+        )
+    }
+
+    /// Total spans in this subtree (including `self`).
+    pub fn span_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(SpanNode::span_count)
+            .sum::<usize>()
+    }
+
+    /// Looks up an attribute by key.
+    pub fn attr(&self, key: &str) -> Option<&crate::event::Value> {
+        self.attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&format!("{{\"name\": \"{}\"", json::escape(self.name)));
+        out.push_str(", \"attrs\": {");
+        for (i, (k, v)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", json::escape(k), value_json(v)));
+        }
+        out.push_str("}, \"sim_seconds\": ");
+        out.push_str(&json::number(self.sim_seconds));
+        out.push_str(", \"children\": [");
+        for (i, child) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            child.write_json(out);
+        }
+        out.push_str("]}");
+    }
+}
+
+fn value_json(v: &crate::event::Value) -> String {
+    match v {
+        crate::event::Value::U64(n) => n.to_string(),
+        crate::event::Value::F64(x) => json::number(*x),
+        crate::event::Value::Str(s) => format!("\"{}\"", json::escape(s)),
+    }
+}
+
+/// Everything derived from one recorded event stream.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Root spans (no parent, or parent outside the retained window),
+    /// in deterministic `(name, attrs)` order.
+    pub roots: Vec<SpanNode>,
+    /// Total per counter name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Aggregate per gauge name.
+    pub gauges: BTreeMap<&'static str, GaugeStats>,
+    /// Wall-clock duration histogram per span name, for latency
+    /// percentiles by stage. Wall-derived, hence not part of
+    /// [`Snapshot::to_json`].
+    pub histograms: BTreeMap<&'static str, Histogram>,
+    /// Spans opened but not closed within the retained window.
+    pub unclosed: u64,
+    /// Close events whose open was not in the retained window.
+    pub orphan_closes: u64,
+}
+
+struct PartialSpan {
+    name: &'static str,
+    parent: SpanId,
+    open_ns: u64,
+    attrs: Vec<Attr>,
+    close: Option<(u64, f64, Vec<Attr>)>,
+    /// Child span ids in open order.
+    children: Vec<SpanId>,
+}
+
+impl Snapshot {
+    /// Reassembles a snapshot from recorded events (oldest first).
+    pub fn from_events(events: &[Event]) -> Snapshot {
+        let mut spans: BTreeMap<u64, PartialSpan> = BTreeMap::new();
+        let mut order: Vec<SpanId> = Vec::new();
+        let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<&'static str, GaugeStats> = BTreeMap::new();
+        let mut orphan_closes = 0u64;
+
+        for event in events {
+            match event {
+                Event::Open {
+                    span,
+                    parent,
+                    name,
+                    wall_ns,
+                    attrs,
+                } => {
+                    spans.insert(
+                        span.0,
+                        PartialSpan {
+                            name,
+                            parent: *parent,
+                            open_ns: *wall_ns,
+                            attrs: attrs.clone(),
+                            close: None,
+                            children: Vec::new(),
+                        },
+                    );
+                    order.push(*span);
+                    if parent.is_some() {
+                        if let Some(p) = spans.get_mut(&parent.0) {
+                            p.children.push(*span);
+                        }
+                    }
+                }
+                Event::Close {
+                    span,
+                    wall_ns,
+                    sim_seconds,
+                    attrs,
+                } => match spans.get_mut(&span.0) {
+                    Some(p) => p.close = Some((*wall_ns, *sim_seconds, attrs.clone())),
+                    None => orphan_closes += 1,
+                },
+                Event::Counter { name, delta, .. } => {
+                    *counters.entry(name).or_insert(0) += delta;
+                }
+                Event::Gauge { name, value, .. } => {
+                    gauges.entry(name).or_default().observe(*value);
+                }
+            }
+        }
+
+        let mut histograms: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+        let mut unclosed = 0u64;
+        for p in spans.values() {
+            match &p.close {
+                Some((close_ns, _, _)) => histograms
+                    .entry(p.name)
+                    .or_default()
+                    .record(close_ns.saturating_sub(p.open_ns)),
+                None => unclosed += 1,
+            }
+        }
+
+        // Assemble the forest: roots are spans whose parent is NONE or
+        // fell outside the retained window.
+        let mut roots = Vec::new();
+        for span in &order {
+            let is_root = spans
+                .get(&span.0)
+                .is_some_and(|p| !p.parent.is_some() || !spans.contains_key(&p.parent.0));
+            if is_root {
+                roots.push(build_node(*span, &spans));
+            }
+        }
+        roots.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+
+        Snapshot {
+            roots,
+            counters,
+            gauges,
+            histograms,
+            unclosed,
+            orphan_closes,
+        }
+    }
+
+    /// Total spans in the snapshot.
+    pub fn span_count(&self) -> usize {
+        self.roots.iter().map(SpanNode::span_count).sum()
+    }
+
+    /// Root spans with a given name.
+    pub fn roots_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanNode> + 'a {
+        self.roots.iter().filter(move |r| r.name == name)
+    }
+
+    /// The deterministic JSON export: the span forest (names, sorted
+    /// attributes, simulated seconds, children), counter totals, gauge
+    /// aggregates and per-stage span counts — every wall-clock field
+    /// excluded, every ordering by name/attribute. Seeded runs of the
+    /// same workload produce byte-identical output.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"spans\": [");
+        for (i, root) in self.roots.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            root.write_json(&mut out);
+        }
+        out.push_str("],\n  \"counters\": {");
+        for (i, (name, total)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", json::escape(name), total));
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (name, stats)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "\"{}\": {{\"count\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"last\": {}}}",
+                json::escape(name),
+                stats.count,
+                json::number(stats.min_or_zero()),
+                json::number(stats.max_or_zero()),
+                json::number(stats.mean()),
+                json::number(stats.last)
+            ));
+        }
+        out.push_str("},\n  \"stages\": {");
+        for (i, (name, hist)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", json::escape(name), hist.count()));
+        }
+        out.push_str(&format!(
+            "}},\n  \"unclosed\": {},\n  \"orphan_closes\": {}\n}}\n",
+            self.unclosed, self.orphan_closes
+        ));
+        out
+    }
+}
+
+fn build_node(span: SpanId, spans: &BTreeMap<u64, PartialSpan>) -> SpanNode {
+    let p = &spans[&span.0];
+    let (close_ns, sim_seconds, close_attrs) = match &p.close {
+        Some((ns, sim, attrs)) => (*ns, *sim, attrs.clone()),
+        None => (p.open_ns, 0.0, Vec::new()),
+    };
+    let mut attrs = p.attrs.clone();
+    attrs.extend(close_attrs);
+    attrs.sort_by_key(|(k, _)| *k);
+    let mut children: Vec<SpanNode> = p
+        .children
+        .iter()
+        .map(|child| build_node(*child, spans))
+        .collect();
+    children.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    SpanNode {
+        name: p.name,
+        attrs,
+        sim_seconds,
+        wall_ns: close_ns.saturating_sub(p.open_ns),
+        children,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Value;
+
+    fn open(span: u64, parent: u64, name: &'static str, wall: u64, attrs: Vec<Attr>) -> Event {
+        Event::Open {
+            span: SpanId(span),
+            parent: SpanId(parent),
+            name,
+            wall_ns: wall,
+            attrs,
+        }
+    }
+
+    fn close(span: u64, wall: u64, sim: f64) -> Event {
+        Event::Close {
+            span: SpanId(span),
+            wall_ns: wall,
+            sim_seconds: sim,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn reassembles_nested_spans() {
+        let events = vec![
+            open(1, 0, "job", 10, vec![("job", Value::U64(0))]),
+            open(2, 1, "compile", 11, vec![]),
+            close(2, 15, 0.0),
+            open(3, 1, "execute", 20, vec![("shard", Value::U64(1))]),
+            close(3, 50, 1e-5),
+            close(1, 60, 1e-5),
+        ];
+        let snap = Snapshot::from_events(&events);
+        assert_eq!(snap.roots.len(), 1);
+        let job = &snap.roots[0];
+        assert_eq!(job.name, "job");
+        assert_eq!(job.children.len(), 2);
+        assert_eq!(job.span_count(), 3);
+        assert_eq!(job.wall_ns, 50);
+        assert_eq!(snap.unclosed, 0);
+        assert_eq!(snap.orphan_closes, 0);
+        assert_eq!(snap.histograms["execute"].count(), 1);
+        assert_eq!(snap.histograms["execute"].max(), 30);
+    }
+
+    #[test]
+    fn json_is_deterministic_across_arrival_orders() {
+        // The same logical spans, recorded in different interleavings
+        // (as concurrent shard workers would), must serialize
+        // identically modulo wall times.
+        let a = vec![
+            open(1, 0, "job", 0, vec![("job", Value::U64(0))]),
+            open(2, 0, "job", 0, vec![("job", Value::U64(1))]),
+            close(1, 7, 0.5),
+            close(2, 9, 0.25),
+        ];
+        let b = vec![
+            open(5, 0, "job", 100, vec![("job", Value::U64(1))]),
+            open(9, 0, "job", 100, vec![("job", Value::U64(0))]),
+            close(9, 117, 0.5),
+            close(5, 119, 0.25),
+        ];
+        let ja = Snapshot::from_events(&a).to_json();
+        let jb = Snapshot::from_events(&b).to_json();
+        assert_eq!(ja, jb);
+        crate::json::validate(&ja).expect("valid JSON");
+    }
+
+    #[test]
+    fn counters_and_gauges_aggregate() {
+        let events = vec![
+            Event::Counter {
+                name: "jobs",
+                delta: 2,
+                wall_ns: 0,
+            },
+            Event::Counter {
+                name: "jobs",
+                delta: 1,
+                wall_ns: 5,
+            },
+            Event::Gauge {
+                name: "queue_depth",
+                value: 4.0,
+                wall_ns: 0,
+            },
+            Event::Gauge {
+                name: "queue_depth",
+                value: 2.0,
+                wall_ns: 9,
+            },
+        ];
+        let snap = Snapshot::from_events(&events);
+        assert_eq!(snap.counters["jobs"], 3);
+        let g = &snap.gauges["queue_depth"];
+        assert_eq!(g.count, 2);
+        assert_eq!(g.max, 4.0);
+        assert_eq!(g.last, 2.0);
+        crate::json::validate(&snap.to_json()).expect("valid JSON");
+    }
+
+    #[test]
+    fn unbalanced_streams_are_counted_not_lost() {
+        let events = vec![
+            open(1, 0, "job", 0, vec![]),
+            close(7, 3, 0.0), // orphan: open outside the window
+        ];
+        let snap = Snapshot::from_events(&events);
+        assert_eq!(snap.unclosed, 1);
+        assert_eq!(snap.orphan_closes, 1);
+        assert_eq!(snap.roots.len(), 1);
+    }
+}

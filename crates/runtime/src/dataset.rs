@@ -22,6 +22,7 @@ use cim_bitmap_db::tpch::LineItemTable;
 use cim_core::AddressMap;
 use cim_hdc::lang::LanguageTask;
 use cim_nn::binarized::BinarizedMlp;
+use cim_obs::SpanId;
 use std::sync::Arc;
 
 /// A data set that can be made resident in pool tiles and queried
@@ -240,6 +241,12 @@ pub(crate) struct DatasetRecord {
     /// Release scrubs still outstanding; the record is dropped when the
     /// last shard reports its scrub done.
     pub scrubs_pending: usize,
+    /// The dataset's `dataset_load` trace span, open until the last
+    /// shard chunk's load completes (then reset to [`SpanId::NONE`]).
+    pub span: SpanId,
+    /// Simulated seconds accumulated across the chunk loads, attributed
+    /// to the `dataset_load` span when it closes.
+    pub load_sim: f64,
 }
 
 impl DatasetRecord {

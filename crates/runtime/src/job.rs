@@ -254,6 +254,24 @@ pub enum JobKind {
     ImgFilter,
 }
 
+impl JobKind {
+    /// Stable lowercase label, used for trace attributes and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobKind::Q6Select => "q6-select",
+            JobKind::HdcClassify => "hdc-classify",
+            JobKind::XorEncrypt => "xor-encrypt",
+            JobKind::ScoutBulk => "scout-bulk",
+            JobKind::Raw => "raw",
+            JobKind::Q6Query => "q6-query",
+            JobKind::HdcQuery => "hdc-query",
+            JobKind::NnInfer => "nn-infer",
+            JobKind::NnQuery => "nn-query",
+            JobKind::ImgFilter => "img-filter",
+        }
+    }
+}
+
 impl WorkloadSpec {
     /// The workload's family.
     pub fn kind(&self) -> JobKind {
@@ -451,8 +469,32 @@ impl fmt::Display for JobError {
 
 impl std::error::Error for JobError {}
 
+/// Wall-clock latency of one job's trip through the pool, measured by
+/// the scheduler and stamped on the report at completion — so
+/// [`crate::JobHandle::wait`] callers see latency without wiring a
+/// trace sink.
+///
+/// Wall times vary run to run; [`JobReport`]'s equality deliberately
+/// ignores this field so reports of identical seeded executions still
+/// compare equal.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct JobTiming {
+    /// Submission (admission into the queue) to dispatch. For jobs that
+    /// failed before dispatch this covers submission to failure.
+    pub queued: std::time::Duration,
+    /// Dispatch to report completion (shard transit, execution, gather).
+    /// Zero for jobs that never dispatched.
+    pub service: std::time::Duration,
+    /// Submission to report completion (`queued` + `service`).
+    pub total: std::time::Duration,
+}
+
 /// Everything the pool reports back about one job.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares every deterministic field and ignores
+/// [`JobReport::timing`] (wall clock): two seeded runs of the same
+/// workload produce equal reports even though their latencies differ.
+#[derive(Debug, Clone)]
 pub struct JobReport {
     /// The job.
     pub job: JobId,
@@ -483,6 +525,31 @@ pub struct JobReport {
     /// Speedup/energy-gain estimate vs the conventional host, from the
     /// `cim-arch` §II-C analytical models.
     pub offload: OffloadEstimate,
+    /// Device-tier cost drivers attributed to this job: words touched,
+    /// columns sampled, program-and-verify pulses, analog noise-model
+    /// samples. Deterministic, unlike wall timing.
+    pub device: cim_core::DeviceCounters,
+    /// Wall-clock queue/service/total latency (excluded from equality).
+    pub timing: JobTiming,
+}
+
+impl PartialEq for JobReport {
+    fn eq(&self, other: &Self) -> bool {
+        // `timing` is deliberately omitted: wall-clock latency differs
+        // between otherwise identical seeded runs.
+        self.job == other.job
+            && self.tenant == other.tenant
+            && self.kind == other.kind
+            && self.dataset == other.dataset
+            && self.shard == other.shard
+            && self.shards == other.shards
+            && self.batch == other.batch
+            && self.output == other.output
+            && self.stats == other.stats
+            && self.maintenance == other.maintenance
+            && self.offload == other.offload
+            && self.device == other.device
+    }
 }
 
 #[cfg(test)]

@@ -41,9 +41,19 @@
 //!   decoded by the job's single finalizer over the gathered chunk
 //!   responses — bit-identical to one giant shard, so the pool's
 //!   aggregate capacity (not a shard's) bounds job size.
-//! * **[`telemetry`]** — aggregates [`cim_core::ExecutionStats`] per
-//!   job, per tenant, per dataset (load-vs-query split) and pool-wide,
-//!   and reports speedup-vs-host from the `cim-arch` analytical models.
+//! * **[`telemetry`]** — aggregates [`cim_core::ExecutionStats`] and
+//!   [`cim_core::DeviceCounters`] per job, per tenant, per dataset
+//!   (load-vs-query split) and pool-wide, and reports speedup-vs-host
+//!   from the `cim-arch` analytical models.
+//! * **[`trace`]** — the pool's observability front end over
+//!   [`cim_obs`]: build the pool with [`RuntimePool::with_sink`] and
+//!   every job lifecycle stage (submit → compile → queue → plan →
+//!   dispatch → execute → gather → finalize → report) and every dataset
+//!   load lands in the sink as a span carrying wall-clock and simulated
+//!   time plus tenant/dataset/shard/part attribution, alongside
+//!   queue-depth and batch-occupancy gauges sampled at each plan. The
+//!   default [`RuntimePool::new`] traces into a null sink at near-zero
+//!   cost.
 //!
 //! # Example
 //!
@@ -86,6 +96,7 @@ pub mod dataset;
 pub mod job;
 pub mod schedule;
 pub mod telemetry;
+pub mod trace;
 
 pub(crate) use schedule::mix_seed;
 
@@ -94,7 +105,8 @@ pub use compile::{CompileError, CompiledJob, Finalizer, HostProfile, TileDemand}
 pub use dataset::{DatasetHandle, DatasetSpec};
 pub use job::{
     DatasetId, HdcOutcome, ImgFilterOp, JobError, JobId, JobKind, JobOutput, JobReport, JobStatus,
-    NnOutcome, TenantId, WorkloadSpec,
+    JobTiming, NnOutcome, TenantId, WorkloadSpec,
 };
 pub use schedule::{PoolConfig, RuntimePool};
 pub use telemetry::{DatasetUsage, PoolTelemetry, TenantUsage};
+pub use trace::Tracer;

@@ -46,21 +46,24 @@ use crate::compile::{
 };
 use crate::dataset::{DatasetRecord, DatasetSpec, LoadProgress, ShardPlacement};
 use crate::job::{
-    DatasetId, JobError, JobId, JobOutput, JobReport, JobStatus, TenantId, WorkloadSpec,
+    DatasetId, JobError, JobId, JobOutput, JobReport, JobStatus, JobTiming, TenantId, WorkloadSpec,
 };
 use crate::telemetry::{stats_accumulate, stats_delta, PoolTelemetry};
+use crate::trace::{Attr, Tracer};
 use cim_arch::cim::CimSystem;
 use cim_arch::conventional::ConventionalMachine;
 use cim_core::isa::{CimInstruction, CimResponse};
 use cim_core::offload::{OffloadEstimate, Program};
-use cim_core::{AddressMap, CimAccelerator, CimAcceleratorBuilder, ExecutionStats};
+use cim_core::{AddressMap, CimAccelerator, CimAcceleratorBuilder, DeviceCounters, ExecutionStats};
 use cim_crossbar::energy::OperationCost;
+use cim_obs::{NullSink, SpanId, TraceSink, Value};
 use cim_simkit::rng::seeded;
 use cim_simkit::units::ByteSize;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Geometry and policy of a pool.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -182,6 +185,12 @@ struct PlacedJob {
     /// split job: its report routes to the gather step instead of
     /// completing the job directly.
     part: Option<u32>,
+    /// The job's root trace span (stamped by `mark_dispatched`, NONE
+    /// when tracing is disabled).
+    root: SpanId,
+    /// The per-part dispatch span, opened at dispatch and closed by the
+    /// worker once the part completes.
+    dispatch: SpanId,
 }
 
 /// One dispatch unit: co-resident jobs on one shard, executed in order.
@@ -199,6 +208,9 @@ enum WorkerMsg {
         id: DatasetId,
         instructions: Vec<CimInstruction>,
         seed: u64,
+        /// The dataset's `dataset_load` span, parent of the worker's
+        /// per-chunk `load_execute` span.
+        span: SpanId,
     },
     /// Scrub a released dataset's pinned tiles.
     ReleaseDataset {
@@ -220,7 +232,7 @@ enum Completion {
     },
     DatasetLoaded {
         id: DatasetId,
-        result: Result<ExecutionStats, String>,
+        result: Result<(ExecutionStats, DeviceCounters), String>,
     },
     DatasetReleased {
         id: DatasetId,
@@ -260,12 +272,31 @@ struct GatherState {
     finalizer: Finalizer,
     /// The offload estimate over the whole (unsplit) job.
     offload: OffloadEstimate,
+    /// The parent job's root span (gather/finalize spans nest under it).
+    root: SpanId,
+    /// The gather span, opened when the first part arrives.
+    span: SpanId,
+}
+
+/// Wall-clock and span bookkeeping of one in-flight job, kept from
+/// submission to report completion. Maintained even when tracing is
+/// disabled: the `Instant`s become [`JobTiming`] on the report.
+struct JobLifecycle {
+    /// The job's root span (NONE when tracing is disabled).
+    root: SpanId,
+    /// The queue span, open from admission until first dispatch.
+    queue: SpanId,
+    submitted: Instant,
+    /// Set when the first part dispatches.
+    dispatched: Option<Instant>,
 }
 
 /// Mutable pool state, behind [`PoolShared::state`].
 struct PoolState {
     pending: Vec<CompiledJob>,
     slots: BTreeMap<u64, Slot>,
+    /// Per-job wall-clock/span bookkeeping, keyed by job id.
+    lifecycles: BTreeMap<u64, JobLifecycle>,
     datasets: BTreeMap<u64, DatasetRecord>,
     /// In-flight cross-shard split jobs, keyed by job id.
     gathers: BTreeMap<u64, GatherState>,
@@ -289,6 +320,8 @@ pub(crate) struct PoolShared {
     to_shards: Vec<Sender<WorkerMsg>>,
     completions: Mutex<Receiver<Completion>>,
     state: Mutex<PoolState>,
+    /// The pool's trace front end; clones feed the shard workers.
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for PoolState {
@@ -312,19 +345,37 @@ pub struct RuntimePool {
 }
 
 impl RuntimePool {
-    /// Builds the shards and spawns one worker thread per shard.
+    /// Builds the shards and spawns one worker thread per shard, with
+    /// tracing disabled (a null sink — near-free on the hot path).
     ///
     /// # Panics
     ///
     /// Panics if the configuration has zero shards or zero digital
     /// tiles.
     pub fn new(cfg: PoolConfig) -> Self {
+        RuntimePool::with_sink(cfg, Arc::new(NullSink))
+    }
+
+    /// Builds the pool with every lifecycle stage traced into `sink`:
+    /// a span per job stage (submit/compile/queue/dispatch/execute/
+    /// gather/finalize/report) and per dataset load, plus queue-depth
+    /// and batch-occupancy gauges at each plan. Pass a
+    /// [`cim_obs::RingRecorder`] (keeping your own `Arc`) and read
+    /// snapshots or Chrome traces from it after — see the README's
+    /// "Observability" section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero shards or zero digital
+    /// tiles.
+    pub fn with_sink(cfg: PoolConfig, sink: Arc<dyn TraceSink>) -> Self {
         assert!(cfg.shards > 0, "pool needs at least one shard");
         assert!(
             cfg.digital_tiles > 0,
             "shards need at least one digital tile"
         );
         install_shard_panic_hook();
+        let tracer = Tracer::new(sink);
         let (report_tx, completions) = channel();
         let mut to_shards = Vec::with_capacity(cfg.shards);
         let mut joins = Vec::with_capacity(cfg.shards);
@@ -337,9 +388,12 @@ impl RuntimePool {
                 .build();
             let (tx, rx) = channel();
             let report_tx = report_tx.clone();
+            let worker_tracer = tracer.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("cim-shard-{shard}"))
-                .spawn(move || worker_loop(shard, accelerator, shard_seed, rx, report_tx))
+                .spawn(move || {
+                    worker_loop(shard, accelerator, shard_seed, rx, report_tx, worker_tracer)
+                })
                 .expect("spawn shard worker");
             to_shards.push(tx);
             joins.push(handle);
@@ -349,6 +403,7 @@ impl RuntimePool {
                 state: Mutex::new(PoolState {
                     pending: Vec::new(),
                     slots: BTreeMap::new(),
+                    lifecycles: BTreeMap::new(),
                     datasets: BTreeMap::new(),
                     gathers: BTreeMap::new(),
                     pinned_digital: vec![BTreeSet::new(); cfg.shards],
@@ -361,6 +416,7 @@ impl RuntimePool {
                 cfg,
                 to_shards,
                 completions: Mutex::new(completions),
+                tracer,
             }),
             joins,
         }
@@ -439,9 +495,9 @@ impl RuntimePool {
     pub fn drain_sequential(&mut self) -> Vec<JobReport> {
         let mut batches = {
             let mut st = self.shared.state.lock().expect("pool state");
-            let batches = plan(&mut st, &self.shared.cfg, false, 1);
+            let mut batches = plan(&mut st, &self.shared.cfg, false, 1, &self.shared.tracer);
             st.telemetry.batches += batches.len() as u64;
-            mark_dispatched(&mut st, &batches);
+            mark_dispatched(&mut st, &self.shared.tracer, &mut batches);
             batches
         };
         // One job per batch: order globally by job id for a strict
@@ -526,7 +582,33 @@ impl PoolShared {
             };
             (job, seed, resident)
         };
-        let compiled = match compile(
+        // The job's root span: every later stage (compile, queue,
+        // dispatch, execute, gather, finalize, report) nests under it.
+        let mut root_attrs: [Attr; 4] = [
+            ("job", Value::U64(job.0)),
+            ("tenant", Value::U64(tenant.0 as u64)),
+            ("kind", Value::Str(spec.kind().label())),
+            ("dataset", Value::U64(0)),
+        ];
+        let root_attr_count = match spec.dataset() {
+            Some(id) => {
+                root_attrs[3] = ("dataset", Value::U64(id.0));
+                4
+            }
+            None => 3,
+        };
+        let root = self
+            .tracer
+            .open("job", SpanId::NONE, &root_attrs[..root_attr_count]);
+        // Closes the root span for submissions rejected with a
+        // retryable error: no slot exists, so no report ever will.
+        let reject = |err: CompileError| -> CompileError {
+            self.tracer
+                .close(root, 0.0, &[("outcome", Value::Str("rejected"))]);
+            err
+        };
+        let compile_span = self.tracer.open("compile", root, &[]);
+        let compile_result = compile(
             spec,
             job,
             tenant,
@@ -534,7 +616,16 @@ impl PoolShared {
             seed,
             self.cfg.window_base(job.0),
             resident.as_ref(),
-        ) {
+        );
+        self.tracer.close(
+            compile_span,
+            0.0,
+            &[(
+                "outcome",
+                Value::Str(if compile_result.is_ok() { "ok" } else { "err" }),
+            )],
+        );
+        let compiled = match compile_result {
             Ok(compiled) => compiled,
             // Compile-time tile caps compare against hardware capacity
             // (the whole pool for tile-parallel workloads, one shard
@@ -551,6 +642,7 @@ impl PoolShared {
                     tenant,
                     spec,
                     claimed,
+                    root,
                     JobError::WorkloadTooLarge {
                         digital_required: required,
                         analog_required: 0,
@@ -568,6 +660,7 @@ impl PoolShared {
                     tenant,
                     spec,
                     claimed,
+                    root,
                     JobError::WorkloadTooLarge {
                         digital_required: 0,
                         analog_required: required,
@@ -576,7 +669,7 @@ impl PoolShared {
                     },
                 );
             }
-            Err(other) => return Err(other),
+            Err(other) => return Err(reject(other)),
         };
 
         // Phase 2 (locked): validate capacity against the pins as they
@@ -610,17 +703,18 @@ impl PoolShared {
                             analog_capacity: self.cfg.analog_tiles,
                         };
                         st.slots.insert(job.0, Slot::Queued { claimed });
-                        fail_at_dispatch(st, compiled, 0, error);
+                        open_queue_lifecycle(st, &self.tracer, job, root);
+                        fail_at_dispatch(st, &self.tracer, compiled, 0, error);
                         return Ok(job);
                     }
                     let pool_free: usize = (0..self.cfg.shards).map(free_digital).sum();
                     if compiled.demand.digital > pool_free {
                         // Would fit once pinned datasets release their
                         // tiles: transient, retryable.
-                        return Err(CompileError::NeedsMoreDigitalTiles {
+                        return Err(reject(CompileError::NeedsMoreDigitalTiles {
                             required: compiled.demand.digital,
                             available: pool_free,
-                        });
+                        }));
                     }
                     // Fits the pool's aggregate free tiles: enqueue;
                     // the planner splits it across shards at dispatch.
@@ -637,24 +731,26 @@ impl PoolShared {
                             analog_capacity: self.cfg.analog_tiles,
                         };
                         st.slots.insert(job.0, Slot::Queued { claimed });
-                        fail_at_dispatch(st, compiled, 0, error);
+                        open_queue_lifecycle(st, &self.tracer, job, root);
+                        fail_at_dispatch(st, &self.tracer, compiled, 0, error);
                         return Ok(job);
                     }
                     let best_digital = (0..self.cfg.shards).map(free_digital).max().unwrap_or(0);
                     if compiled.demand.digital > best_digital {
-                        return Err(CompileError::NeedsMoreDigitalTiles {
+                        return Err(reject(CompileError::NeedsMoreDigitalTiles {
                             required: compiled.demand.digital,
                             available: best_digital,
-                        });
+                        }));
                     }
-                    return Err(CompileError::NeedsMoreAnalogTiles {
+                    return Err(reject(CompileError::NeedsMoreAnalogTiles {
                         required: compiled.demand.analog,
                         available: (0..self.cfg.shards).map(free_analog).max().unwrap_or(0),
-                    });
+                    }));
                 }
             }
         }
         st.slots.insert(job.0, Slot::Queued { claimed });
+        open_queue_lifecycle(st, &self.tracer, job, root);
         st.pending.push(compiled);
         Ok(job)
     }
@@ -670,6 +766,7 @@ impl PoolShared {
         tenant: TenantId,
         spec: &WorkloadSpec,
         claimed: bool,
+        root: SpanId,
         error: JobError,
     ) -> Result<JobId, CompileError> {
         let host = ConventionalMachine::xeon_e5_2680();
@@ -687,12 +784,26 @@ impl PoolShared {
             stats: ExecutionStats::default(),
             maintenance: OperationCost::default(),
             offload,
+            device: DeviceCounters::default(),
+            timing: JobTiming::default(),
         };
         let mut st = self.state.lock().expect("pool state");
         let st = &mut *st;
         st.slots.insert(job.0, Slot::Queued { claimed });
+        // The job never queues (it failed before compiling into a
+        // stream), so its lifecycle has no queue span: the traced route
+        // is job → compile → report.
+        st.lifecycles.insert(
+            job.0,
+            JobLifecycle {
+                root,
+                queue: SpanId::NONE,
+                submitted: Instant::now(),
+                dispatched: None,
+            },
+        );
         st.telemetry.record(&report);
-        complete_job_slot(st, Box::new(report));
+        complete_job_slot(st, &self.tracer, Box::new(report));
         Ok(job)
     }
 
@@ -700,14 +811,40 @@ impl PoolShared {
     /// Non-blocking: reports arrive through the completion channel.
     pub(crate) fn flush(&self) {
         let mut st = self.state.lock().expect("pool state");
-        let batches = plan(
+        if st.pending.is_empty() {
+            // Nothing to plan: planning an empty queue is a no-op, so
+            // skip the plan span and gauges (waits flush eagerly, and
+            // an empty flush says nothing about queue pressure).
+            return;
+        }
+        self.tracer.gauge("queue_depth", st.pending.len() as f64);
+        let plan_span = self.tracer.open(
+            "plan",
+            SpanId::NONE,
+            &[("pending", Value::U64(st.pending.len() as u64))],
+        );
+        let mut batches = plan(
             &mut st,
             &self.cfg,
             self.cfg.coalesce,
             self.cfg.max_batch_jobs,
+            &self.tracer,
         );
         st.telemetry.batches += batches.len() as u64;
-        mark_dispatched(&mut st, &batches);
+        let jobs_placed: usize = batches.iter().map(|(_, b)| b.jobs.len()).sum();
+        if !batches.is_empty() {
+            self.tracer
+                .gauge("batch_occupancy", jobs_placed as f64 / batches.len() as f64);
+        }
+        self.tracer.close(
+            plan_span,
+            0.0,
+            &[
+                ("batches", Value::U64(batches.len() as u64)),
+                ("jobs", Value::U64(jobs_placed as u64)),
+            ],
+        );
+        mark_dispatched(&mut st, &self.tracer, &mut batches);
         for (shard, batch) in batches {
             self.to_shards[shard]
                 .send(WorkerMsg::Batch(batch))
@@ -853,6 +990,18 @@ impl PoolShared {
                 )
             });
             let shards: Vec<usize> = placements.iter().map(|p| p.shard).collect();
+            // The dataset's load span: one `load_execute` child per
+            // shard chunk, closed when the last chunk reports in.
+            let span = self.tracer.open(
+                "dataset_load",
+                SpanId::NONE,
+                &[
+                    ("dataset", Value::U64(id.0)),
+                    ("tenant", Value::U64(tenant.0 as u64)),
+                    ("kind", Value::Str(payload.kind_label())),
+                    ("shards", Value::U64(sends.len() as u64)),
+                ],
+            );
             st.datasets.insert(
                 id.0,
                 DatasetRecord {
@@ -868,6 +1017,8 @@ impl PoolShared {
                     seed,
                     released: false,
                     scrubs_pending: 0,
+                    span,
+                    load_sim: 0.0,
                 },
             );
             for (shard, instructions) in sends {
@@ -876,6 +1027,7 @@ impl PoolShared {
                         id,
                         instructions,
                         seed,
+                        span,
                     })
                     .expect("shard worker alive");
             }
@@ -945,7 +1097,7 @@ impl PoolShared {
         match completion {
             Completion::Job { report, part: None } => {
                 st.telemetry.record(&report);
-                complete_job_slot(st, report);
+                complete_job_slot(st, &self.tracer, report);
             }
             Completion::Job {
                 report,
@@ -958,30 +1110,57 @@ impl PoolShared {
                 let Some(gather) = st.gathers.get_mut(&job) else {
                     unreachable!("sub-report for a job with no gather state");
                 };
+                if !gather.span.is_some() && gather.root.is_some() {
+                    // The gather opens when the first part lands.
+                    gather.span = self.tracer.open(
+                        "gather",
+                        gather.root,
+                        &[("parts", Value::U64(gather.expected as u64))],
+                    );
+                }
                 gather.parts.insert(part, report);
                 if gather.parts.len() == gather.expected {
                     let gather = st.gathers.remove(&job).expect("present above");
+                    let (gather_span, root) = (gather.span, gather.root);
+                    self.tracer.close(gather_span, 0.0, &[]);
+                    let finalize = self.tracer.open("finalize", root, &[]);
                     let (report, shard_stats) = assemble_gathered(gather);
+                    self.tracer.close(finalize, 0.0, &[]);
                     st.telemetry.record_gathered(&report, shard_stats);
-                    complete_job_slot(st, Box::new(report));
+                    complete_job_slot(st, &self.tracer, Box::new(report));
                 }
             }
             Completion::DatasetLoaded { id, result } => {
                 if let Some(record) = st.datasets.get_mut(&id.0) {
                     record.load.pending = record.load.pending.saturating_sub(1);
                     match result {
-                        Ok(stats) => {
+                        Ok((stats, device)) => {
+                            record.load_sim += stats.busy_time.0;
                             st.telemetry.record_dataset_load(
                                 id,
                                 record.tenant,
                                 record.payload.kind_label(),
                                 record.resident_bytes,
                                 &stats,
+                                &device,
                             );
                         }
                         Err(message) => {
                             record.load.failure.get_or_insert(message);
                         }
+                    }
+                    if record.load.pending == 0 {
+                        let outcome = if record.load.failure.is_none() {
+                            "ok"
+                        } else {
+                            "err"
+                        };
+                        self.tracer.close(
+                            record.span,
+                            record.load_sim,
+                            &[("outcome", Value::Str(outcome))],
+                        );
+                        record.span = SpanId::NONE;
                     }
                 }
             }
@@ -1137,14 +1316,54 @@ impl PoolShared {
     }
 }
 
-/// Marks every planned job as dispatched, preserving its claim.
-fn mark_dispatched(st: &mut PoolState, batches: &[(usize, Batch)]) {
-    for (_, batch) in batches {
-        for placed in &batch.jobs {
+/// Opens the job's queue span and records its lifecycle entry — the
+/// common admission tail of every path that creates a queued slot.
+fn open_queue_lifecycle(st: &mut PoolState, tracer: &Tracer, job: JobId, root: SpanId) {
+    let queue = tracer.open("queue", root, &[]);
+    st.lifecycles.insert(
+        job.0,
+        JobLifecycle {
+            root,
+            queue,
+            submitted: Instant::now(),
+            dispatched: None,
+        },
+    );
+}
+
+/// Marks every planned job as dispatched, preserving its claim; stamps
+/// the dispatch wall-clock, closes the queue span and opens one
+/// `dispatch` span per placed part (a split job dispatches several).
+fn mark_dispatched(st: &mut PoolState, tracer: &Tracer, batches: &mut [(usize, Batch)]) {
+    let now = Instant::now();
+    for (shard, batch) in batches.iter_mut() {
+        let batch_id = batch.id;
+        for placed in batch.jobs.iter_mut() {
             let id = placed.compiled.job.0;
             if let Some(Slot::Queued { claimed }) = st.slots.get(&id) {
                 let claimed = *claimed;
                 st.slots.insert(id, Slot::Dispatched { claimed });
+            }
+            if let Some(lc) = st.lifecycles.get_mut(&id) {
+                if lc.dispatched.is_none() {
+                    lc.dispatched = Some(now);
+                    tracer.close(lc.queue, 0.0, &[]);
+                    lc.queue = SpanId::NONE;
+                }
+                placed.root = lc.root;
+                let mut attrs: [Attr; 3] = [
+                    ("shard", Value::U64(*shard as u64)),
+                    ("batch", Value::U64(batch_id)),
+                    ("part", Value::U64(0)),
+                ];
+                let count = match placed.part {
+                    Some(part) => {
+                        attrs[2] = ("part", Value::U64(part as u64));
+                        3
+                    }
+                    None => 2,
+                };
+                placed.dispatch = tracer.open("dispatch", lc.root, &attrs[..count]);
             }
         }
     }
@@ -1167,7 +1386,13 @@ fn offload_estimate(
 
 /// Fails a job at dispatch time (no shard ever saw it): synthesizes its
 /// report, completes its slot and records telemetry.
-fn fail_at_dispatch(st: &mut PoolState, compiled: CompiledJob, shard: usize, error: JobError) {
+fn fail_at_dispatch(
+    st: &mut PoolState,
+    tracer: &Tracer,
+    compiled: CompiledJob,
+    shard: usize,
+    error: JobError,
+) {
     let host = ConventionalMachine::xeon_e5_2680();
     let cim_system = CimSystem::paper_default();
     let offload = offload_estimate(&compiled, &host, &cim_system);
@@ -1183,28 +1408,37 @@ fn fail_at_dispatch(st: &mut PoolState, compiled: CompiledJob, shard: usize, err
         stats: ExecutionStats::default(),
         maintenance: OperationCost::default(),
         offload,
+        device: DeviceCounters::default(),
+        timing: JobTiming::default(),
     };
     st.telemetry.record(&report);
-    let claimed = matches!(
-        st.slots.get(&compiled.job.0),
-        Some(Slot::Queued { claimed: true }) | Some(Slot::Dispatched { claimed: true })
-    );
-    if matches!(st.slots.get(&compiled.job.0), Some(Slot::Abandoned)) {
-        st.slots.remove(&compiled.job.0);
-    } else {
-        st.slots.insert(
-            compiled.job.0,
-            Slot::Done {
-                claimed,
-                report: Box::new(report),
-            },
-        );
-    }
+    complete_job_slot(st, tracer, Box::new(report));
 }
 
 /// Moves a finished report into its slot (or discards it if the handle
-/// was dropped) — the common tail of direct and gathered completions.
-fn complete_job_slot(st: &mut PoolState, report: Box<JobReport>) {
+/// was dropped) — the common tail of direct, gathered and synthesized
+/// completions. Stamps the report's wall-clock [`JobTiming`] from the
+/// job's lifecycle, then closes the lifecycle's spans: the queue span
+/// if still open (the job never dispatched), a `report` child marking
+/// completion, and finally the root span carrying the job's simulated
+/// busy time.
+fn complete_job_slot(st: &mut PoolState, tracer: &Tracer, mut report: Box<JobReport>) {
+    let now = Instant::now();
+    if let Some(lc) = st.lifecycles.remove(&report.job.0) {
+        // `Instant::duration_since` saturates to zero, so a dispatch
+        // stamped after `now` (racing flusher) cannot panic here.
+        let dispatched = lc.dispatched.unwrap_or(now);
+        report.timing = JobTiming {
+            queued: dispatched.duration_since(lc.submitted),
+            service: now.duration_since(dispatched),
+            total: now.duration_since(lc.submitted),
+        };
+        tracer.close(lc.queue, 0.0, &[]);
+        let outcome = Value::Str(if report.output.is_ok() { "ok" } else { "err" });
+        let report_span = tracer.open("report", lc.root, &[]);
+        tracer.close(report_span, 0.0, &[("outcome", outcome)]);
+        tracer.close(lc.root, report.stats.busy_time.0, &[("outcome", outcome)]);
+    }
     match st.slots.get(&report.job.0) {
         Some(Slot::Abandoned) => {
             st.slots.remove(&report.job.0);
@@ -1233,6 +1467,7 @@ fn assemble_gathered(gather: GatherState) -> (JobReport, Vec<(usize, ExecutionSt
     let mut meta: Option<(JobId, TenantId, crate::job::JobKind, Option<DatasetId>, u64)> = None;
     let mut stats = ExecutionStats::default();
     let mut maintenance = OperationCost::default();
+    let mut device = DeviceCounters::default();
     let mut shards = Vec::with_capacity(parts.len());
     let mut shard_stats = Vec::with_capacity(parts.len());
     let mut responses = Vec::new();
@@ -1243,6 +1478,7 @@ fn assemble_gathered(gather: GatherState) -> (JobReport, Vec<(usize, ExecutionSt
         }
         stats_accumulate(&mut stats, &part.stats);
         maintenance = maintenance.then(part.maintenance);
+        device.accumulate(&part.device);
         shards.push(part.shard);
         shard_stats.push((part.shard, part.stats));
         match part.output {
@@ -1270,6 +1506,8 @@ fn assemble_gathered(gather: GatherState) -> (JobReport, Vec<(usize, ExecutionSt
         stats,
         maintenance,
         offload,
+        device,
+        timing: JobTiming::default(),
     };
     (report, shard_stats)
 }
@@ -1313,11 +1551,13 @@ fn scatter_assignment(
 }
 
 /// Registers gather state for a job about to scatter into `expected`
-/// sub-programs across shards.
+/// sub-programs across shards. `root` is the parent job's root span
+/// (gather/finalize spans open under it once parts arrive).
 fn register_gather(
     gathers: &mut BTreeMap<u64, GatherState>,
     parent: &CompiledJob,
     expected: usize,
+    root: SpanId,
 ) {
     let host = ConventionalMachine::xeon_e5_2680();
     let cim_system = CimSystem::paper_default();
@@ -1328,6 +1568,8 @@ fn register_gather(
             parts: BTreeMap::new(),
             finalizer: parent.finalizer.clone(),
             offload: offload_estimate(parent, &host, &cim_system),
+            root,
+            span: SpanId::NONE,
         },
     );
 }
@@ -1342,6 +1584,7 @@ fn plan(
     cfg: &PoolConfig,
     coalesce: bool,
     max_batch_jobs: usize,
+    tracer: &Tracer,
 ) -> Vec<(usize, Batch)> {
     let max_batch_jobs = max_batch_jobs.max(1);
     let mut shard_queues: Vec<Vec<RoutedJob>> = (0..cfg.shards).map(|_| Vec::new()).collect();
@@ -1398,7 +1641,11 @@ fn plan(
                         .map(|p| p.digital_tiles.len())
                         .collect();
                     let parts = split_by_digital_tile(&job, &chunks, cfg);
-                    register_gather(&mut st.gathers, &job, parts.len());
+                    let root = st
+                        .lifecycles
+                        .get(&job.job.0)
+                        .map_or(SpanId::NONE, |lc| lc.root);
+                    register_gather(&mut st.gathers, &job, parts.len(), root);
                     for (index, (part, placement)) in
                         parts.into_iter().zip(&record.placements).enumerate()
                     {
@@ -1449,7 +1696,11 @@ fn plan(
                     {
                         let sizes: Vec<usize> = assignment.iter().map(|&(_, n)| n).collect();
                         let parts = split_by_digital_tile(&job, &sizes, cfg);
-                        register_gather(&mut st.gathers, &job, parts.len());
+                        let root = st
+                            .lifecycles
+                            .get(&job.job.0)
+                            .map_or(SpanId::NONE, |lc| lc.root);
+                        register_gather(&mut st.gathers, &job, parts.len(), root);
                         for (index, (part, &(shard, _))) in
                             parts.into_iter().zip(&assignment).enumerate()
                         {
@@ -1511,6 +1762,8 @@ fn plan(
                         digital_map,
                         analog_map,
                         part: first.part,
+                        root: SpanId::NONE,
+                        dispatch: SpanId::NONE,
                     });
                     // Dataset jobs share the pinned tiles; no free-tile
                     // budget is consumed.
@@ -1536,6 +1789,8 @@ fn plan(
                         digital_map: free_digital[..need.digital].to_vec(),
                         analog_map: free_analog[..need.analog].to_vec(),
                         part: first.part,
+                        root: SpanId::NONE,
+                        dispatch: SpanId::NONE,
                     });
                     (need.digital, need.analog)
                 }
@@ -1571,6 +1826,8 @@ fn plan(
                                 digital_map,
                                 analog_map,
                                 part: routed.part,
+                                root: SpanId::NONE,
+                                dispatch: SpanId::NONE,
                             },
                             None => {
                                 let need = routed.compiled.demand;
@@ -1582,6 +1839,8 @@ fn plan(
                                         .to_vec(),
                                     part: routed.part,
                                     compiled: routed.compiled,
+                                    root: SpanId::NONE,
+                                    dispatch: SpanId::NONE,
                                 };
                                 digital_used += need.digital;
                                 analog_used += need.analog;
@@ -1620,7 +1879,7 @@ fn plan(
     }
 
     for (compiled, shard, error) in failures {
-        fail_at_dispatch(st, compiled, shard, error);
+        fail_at_dispatch(st, tracer, compiled, shard, error);
     }
     out
 }
@@ -1691,6 +1950,7 @@ fn worker_loop(
     shard_seed: u64,
     messages: Receiver<WorkerMsg>,
     completions: Sender<Completion>,
+    tracer: Tracer,
 ) {
     let host = ConventionalMachine::xeon_e5_2680();
     let cim_system = CimSystem::paper_default();
@@ -1699,6 +1959,7 @@ fn worker_loop(
             WorkerMsg::Batch(batch) => {
                 for placed in batch.jobs {
                     let part = placed.part;
+                    let dispatch = placed.dispatch;
                     let report = run_job(
                         shard,
                         batch.id,
@@ -1707,7 +1968,9 @@ fn worker_loop(
                         placed,
                         &host,
                         &cim_system,
+                        &tracer,
                     );
+                    tracer.close(dispatch, 0.0, &[]);
                     let completion = Completion::Job {
                         report: Box::new(report),
                         part,
@@ -1721,8 +1984,12 @@ fn worker_loop(
                 id,
                 instructions,
                 seed,
+                span,
             } => {
+                let exec_span =
+                    tracer.open("load_execute", span, &[("shard", Value::U64(shard as u64))]);
                 let before = *accelerator.stats();
+                let device_before = accelerator.device_counters();
                 accelerator.reset_pipeline();
                 accelerator.set_last_bits_tracking(
                     instructions
@@ -1737,7 +2004,9 @@ fn worker_loop(
                 }));
                 accelerator.reset_pipeline();
                 let stats = stats_delta(accelerator.stats(), &before);
-                let result = executed.map(|()| stats).map_err(panic_message);
+                let device = accelerator.device_counters().delta(&device_before);
+                tracer.close(exec_span, stats.busy_time.0, &[]);
+                let result = executed.map(|()| (stats, device)).map_err(panic_message);
                 if completions
                     .send(Completion::DatasetLoaded { id, result })
                     .is_err()
@@ -1772,6 +2041,7 @@ fn worker_loop(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_job(
     shard: usize,
     batch: u64,
@@ -1780,12 +2050,15 @@ fn run_job(
     placed: PlacedJob,
     host: &ConventionalMachine,
     cim_system: &CimSystem,
+    tracer: &Tracer,
 ) -> JobReport {
     let PlacedJob {
         compiled,
         digital_map,
         analog_map,
-        part: _,
+        part,
+        root,
+        dispatch,
     } = placed;
     let offload = offload_estimate(&compiled, host, cim_system);
 
@@ -1795,7 +2068,7 @@ fn run_job(
         compiled.kind,
         compiled.dataset,
     );
-    let base_report = move |output, stats, maintenance| JobReport {
+    let base_report = move |output, stats, maintenance, device| JobReport {
         job,
         tenant,
         kind,
@@ -1807,16 +2080,35 @@ fn run_job(
         stats,
         maintenance,
         offload,
+        device,
+        timing: JobTiming::default(),
     };
+
+    let mut exec_attrs: [Attr; 4] = [
+        ("job", Value::U64(job.0)),
+        ("shard", Value::U64(shard as u64)),
+        ("batch", Value::U64(batch)),
+        ("part", Value::U64(0)),
+    ];
+    let exec_attr_count = match part {
+        Some(index) => {
+            exec_attrs[3] = ("part", Value::U64(index as u64));
+            4
+        }
+        None => 3,
+    };
+    let exec_span = tracer.open("execute", dispatch, &exec_attrs[..exec_attr_count]);
 
     let instructions = match relocate(compiled.instructions, &digital_map, &analog_map) {
         Ok(instructions) => instructions,
         Err(e) => {
+            tracer.close(exec_span, 0.0, &[("outcome", Value::Str("err"))]);
             return base_report(
                 Err(e),
                 cim_core::ExecutionStats::default(),
                 OperationCost::default(),
-            )
+                DeviceCounters::default(),
+            );
         }
     };
 
@@ -1843,6 +2135,7 @@ fn run_job(
     }
 
     let before = *accelerator.stats();
+    let device_before = accelerator.device_counters();
     accelerator.reset_pipeline();
     // Streams without StoreLast skip the per-instruction operand clone.
     accelerator.set_last_bits_tracking(uses_store_last);
@@ -1863,6 +2156,17 @@ fn run_job(
     }));
     accelerator.reset_pipeline();
     let stats = stats_delta(accelerator.stats(), &before);
+    // The device delta is taken before the scrub so the job's counters
+    // reflect only its own work, not lease maintenance.
+    let device = accelerator.device_counters().delta(&device_before);
+    tracer.close(
+        exec_span,
+        stats.busy_time.0,
+        &[(
+            "outcome",
+            Value::Str(if executed.is_ok() { "ok" } else { "err" }),
+        )],
+    );
 
     // Scrub the lease before the next tenant takes it.
     let mut maintenance = OperationCost::default();
@@ -1875,12 +2179,23 @@ fn run_job(
     }
 
     let output = match executed {
-        Ok(outputs) => Ok(compiled.finalizer.finalize(outputs)),
+        Ok(outputs) => {
+            // Split parts skip the finalize span: the parent's single
+            // finalize runs host-side at gather completion.
+            let finalize = if part.is_none() {
+                tracer.open("finalize", root, &[])
+            } else {
+                SpanId::NONE
+            };
+            let output = Ok(compiled.finalizer.finalize(outputs));
+            tracer.close(finalize, 0.0, &[]);
+            output
+        }
         Err(panic) => Err(JobError::ExecutionPanic {
             message: panic_message(panic),
         }),
     };
-    base_report(output, stats, maintenance)
+    base_report(output, stats, maintenance, device)
 }
 
 #[cfg(test)]
@@ -2180,7 +2495,7 @@ mod tests {
             .unwrap();
         let batches = {
             let mut st = pool.shared.state.lock().unwrap();
-            plan(&mut st, pool.config(), true, 8)
+            plan(&mut st, pool.config(), true, 8, &Tracer::disabled())
         };
         assert_eq!(batches.len(), 2, "XOR and Q6 form separate batches");
         // The cheap XOR batch dispatches before the expensive Q6 batch.
@@ -2295,7 +2610,7 @@ mod tests {
             .unwrap();
         let batches = {
             let mut st = pool.shared.state.lock().unwrap();
-            plan(&mut st, pool.config(), true, 8)
+            plan(&mut st, pool.config(), true, 8, &Tracer::disabled())
         };
         assert_eq!(batches.len(), 1, "same-kind raw jobs coalesce");
         let order: Vec<JobId> = batches[0].1.jobs.iter().map(|p| p.compiled.job).collect();

@@ -16,7 +16,7 @@
 //! queries carry only query-side operations.
 
 use crate::job::{DatasetId, JobReport, TenantId};
-use cim_core::ExecutionStats;
+use cim_core::{DeviceCounters, ExecutionStats};
 use cim_crossbar::energy::OperationCost;
 use cim_simkit::units::Seconds;
 use std::collections::BTreeMap;
@@ -76,6 +76,11 @@ pub struct DatasetUsage {
     /// Accumulated query-side statistics (reductions, MVMs, scratch
     /// write-backs — no resident-data writes).
     pub query_stats: ExecutionStats,
+    /// Device-tier counters of the one-time load (word writes,
+    /// program-and-verify pulses).
+    pub load_device: DeviceCounters,
+    /// Accumulated device-tier counters of the queries served.
+    pub query_device: DeviceCounters,
 }
 
 impl DatasetUsage {
@@ -89,6 +94,15 @@ impl DatasetUsage {
     /// Load-side energy amortized over the queries served.
     pub fn amortized_load_energy_per_query(&self) -> f64 {
         self.load_stats.energy.0 / (self.queries.max(1)) as f64
+    }
+
+    /// Load-side program-and-verify pulses amortized over the queries
+    /// served — the analog counterpart of
+    /// [`DatasetUsage::amortized_load_writes_per_query`]: resident
+    /// weights are programmed once, then every query pays only MVM
+    /// noise samples.
+    pub fn amortized_load_pulses_per_query(&self) -> f64 {
+        self.load_device.program_pulses as f64 / (self.queries.max(1)) as f64
     }
 }
 
@@ -118,6 +132,13 @@ pub struct PoolTelemetry {
     /// Scrubbing overhead (tile hygiene between tenants), kept separate
     /// from tenant-attributed work.
     pub maintenance: OperationCost,
+    /// Sum of per-job device-tier counters (word accesses, sampled
+    /// columns, program-and-verify pulses, MVM noise samples) — the
+    /// physical cost drivers behind [`PoolTelemetry::pool`].
+    pub device: DeviceCounters,
+    /// Device-tier counters of dataset load programs, kept out of
+    /// [`PoolTelemetry::device`] like [`PoolTelemetry::dataset_load`].
+    pub dataset_load_device: DeviceCounters,
     /// Sum of the analytical speedup-vs-host estimates, for averaging.
     speedup_sum: f64,
 }
@@ -173,6 +194,7 @@ impl PoolTelemetry {
         }
         stats_accumulate(&mut tenant.stats, &report.stats);
         stats_accumulate(&mut self.pool, &report.stats);
+        self.device.accumulate(&report.device);
         for (shard, stats) in shard_stats {
             if let Some(entry) = self.per_shard.get_mut(shard) {
                 stats_accumulate(entry, &stats);
@@ -184,6 +206,7 @@ impl PoolTelemetry {
                 usage.queries += 1;
             }
             stats_accumulate(&mut usage.query_stats, &report.stats);
+            usage.query_device.accumulate(&report.device);
         }
         self.maintenance = self.maintenance.then(report.maintenance);
     }
@@ -199,6 +222,7 @@ impl PoolTelemetry {
         kind: &'static str,
         resident_bytes: u64,
         stats: &ExecutionStats,
+        device: &DeviceCounters,
     ) {
         let usage = self.datasets.entry(dataset.0).or_default();
         usage.tenant = tenant.0;
@@ -206,9 +230,22 @@ impl PoolTelemetry {
         usage.resident_bytes = resident_bytes;
         stats_accumulate(&mut usage.load_stats, stats);
         stats_accumulate(&mut self.dataset_load, stats);
+        usage.load_device.accumulate(device);
+        self.dataset_load_device.accumulate(device);
     }
 
     /// Mean analytical speedup-vs-host over successfully executed jobs.
+    ///
+    /// Failure accounting is deliberately asymmetric: a failed job
+    /// contributes to [`PoolTelemetry::jobs`], [`PoolTelemetry::pool`]
+    /// and its tenant/shard stat ledgers (a gathered split job that
+    /// fails in one part still burned real simulated work on the
+    /// others), but its offload estimate is *excluded* from this mean —
+    /// the estimate describes the speedup of work the caller got
+    /// results for, and a report whose output is `Err` delivered none.
+    /// The denominator is therefore `jobs - failures`, never `jobs`,
+    /// and mixing failing jobs into a pool cannot drag the mean toward
+    /// zero (see `mean_speedup_ignores_failed_jobs`).
     pub fn mean_speedup(&self) -> f64 {
         let executed = self.jobs - self.failures;
         if executed == 0 {
@@ -252,6 +289,16 @@ impl fmt::Display for PoolTelemetry {
             self.pool.busy_time.0,
             self.maintenance.energy.0,
             self.mean_speedup()
+        )?;
+        writeln!(
+            f,
+            "  device: {} word accesses, {} sampled columns, {} program pulses, \
+             {} noise samples (+{} pulses in dataset loads)",
+            self.device.word_accesses,
+            self.device.sampled_columns,
+            self.device.program_pulses,
+            self.device.noise_samples,
+            self.dataset_load_device.program_pulses
         )?;
         for (tenant, usage) in &self.per_tenant {
             writeln!(
@@ -309,5 +356,79 @@ mod tests {
         let t = PoolTelemetry::new(3);
         assert_eq!(t.per_shard.len(), 3);
         assert_eq!(t.mean_speedup(), 0.0);
+    }
+
+    /// Pins the failure-accounting asymmetry documented on
+    /// [`PoolTelemetry::mean_speedup`]: a failed job's stats fold into
+    /// the pool/tenant ledgers (split jobs burn real work before a part
+    /// fails), but its offload estimate never enters the speedup mean.
+    #[test]
+    fn mean_speedup_ignores_failed_jobs() {
+        use crate::job::{JobError, JobId, JobKind, JobOutput, JobReport, JobTiming};
+        use cim_arch::cim::CimSystem;
+        use cim_arch::conventional::ConventionalMachine;
+        use cim_core::offload::Program;
+        use cim_core::DeviceCounters;
+        use cim_crossbar::energy::OperationCost;
+        use cim_simkit::units::ByteSize;
+
+        let host = ConventionalMachine::xeon_e5_2680();
+        let cim = CimSystem::paper_default();
+        let offload = Program::streaming(ByteSize(4096), 0.5, 0.5, 0.5).estimate(&host, &cim);
+        let speedup = offload.speedup();
+        assert!(speedup > 0.0);
+        let report =
+            |job: u64, output: Result<JobOutput, JobError>, stats: ExecutionStats| JobReport {
+                job: JobId(job),
+                tenant: TenantId(0),
+                kind: JobKind::XorEncrypt,
+                dataset: None,
+                shard: 0,
+                shards: vec![0],
+                batch: job,
+                output,
+                stats,
+                maintenance: OperationCost::default(),
+                offload,
+                device: DeviceCounters::default(),
+                timing: JobTiming::default(),
+            };
+        let worked = ExecutionStats {
+            logic_ops: 5,
+            energy: Joules(1.0),
+            busy_time: Seconds(0.5),
+            ..ExecutionStats::default()
+        };
+
+        let mut t = PoolTelemetry::new(1);
+        t.record(&report(0, Ok(JobOutput::Cipher(vec![1])), worked));
+        t.record(&report(1, Ok(JobOutput::Cipher(vec![2])), worked));
+        // A failure that still burned simulated work, like a gathered
+        // split job whose last part panicked.
+        t.record(&report(
+            2,
+            Err(JobError::ExecutionPanic {
+                message: "boom".into(),
+            }),
+            worked,
+        ));
+
+        assert_eq!(t.jobs, 3);
+        assert_eq!(t.failures, 1);
+        // The failed job's stats are in the pool ledger...
+        assert_eq!(t.pool.logic_ops, 15);
+        // ...but the mean averages only the two successful estimates.
+        assert!((t.mean_speedup() - speedup).abs() < 1e-12);
+
+        // An all-failed pool has no executed jobs to average over.
+        let mut all_failed = PoolTelemetry::new(1);
+        all_failed.record(&report(
+            0,
+            Err(JobError::ExecutionPanic {
+                message: "boom".into(),
+            }),
+            worked,
+        ));
+        assert_eq!(all_failed.mean_speedup(), 0.0);
     }
 }

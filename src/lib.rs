@@ -19,7 +19,10 @@
 //! 6. [`cim_core`] — the CIM accelerator: ISA, tiles, offload model.
 //! 7. Applications: [`cim_bitmap_db`], [`cim_xor_cipher`], [`cim_amp`],
 //!    [`cim_imgproc`], [`cim_nn`], [`cim_hdc`].
-//! 8. [`cim_runtime`] — the multi-tenant accelerator-pool runtime that
+//! 8. [`cim_obs`] — dependency-free tracing, metrics and profiling
+//!    primitives: trace sinks, a ring recorder, mergeable latency
+//!    histograms, deterministic snapshot JSON and Chrome trace export.
+//! 9. [`cim_runtime`] — the multi-tenant accelerator-pool runtime that
 //!    serves batched application workloads across shards through
 //!    per-tenant sessions: non-blocking `JobHandle`s per submission and
 //!    reference-counted resident datasets that amortize array writes
@@ -35,6 +38,7 @@ pub use cim_device;
 pub use cim_hdc;
 pub use cim_imgproc;
 pub use cim_nn;
+pub use cim_obs;
 pub use cim_runtime;
 pub use cim_simkit;
 pub use cim_tech;
