@@ -122,6 +122,91 @@ impl Q6Indexes {
     }
 }
 
+/// Bit width of a [`q6_bin_key`]: a 2-bit column tag over an 8-bit bin
+/// value (bin values top out at 83 ship months).
+pub const Q6_BIN_KEY_WIDTH: usize = 10;
+
+/// Encodes one bitmap bin as an associative-lookup key: the predicate
+/// column tag (0 = month, 1 = discount, 2 = quantity) over the binned
+/// value. The encoding is the *build side* of a dictionary join: store
+/// every bin's key in a CAM, and a predicate value probes straight to
+/// its bin slot in one exact-match search instead of a host hash/scan.
+pub fn q6_bin_key(column: usize, value: i64) -> u64 {
+    debug_assert!(column < 3, "Q6 has three predicate columns");
+    debug_assert!((0..256).contains(&value), "bin values fit one byte");
+    ((column as u64) << 8) | value as u64
+}
+
+/// Every Q6 bin's [`q6_bin_key`] in CAM-slot order — month bins, then
+/// discount, then quantity, each ascending by value: the same row order
+/// [`Q6CimEngine`] stores the bins in, so a resolved slot index maps
+/// straight back to a bin with no indirection table.
+pub fn q6_bin_dictionary(idx: &Q6Indexes) -> Vec<u64> {
+    let mut keys = Vec::new();
+    for (column, index) in [&idx.month, &idx.discount, &idx.quantity]
+        .into_iter()
+        .enumerate()
+    {
+        let lo = match index.spec() {
+            BinSpec::Equality { lo, .. } => *lo,
+            BinSpec::Ranges { .. } => unreachable!("Q6 indexes are equality-binned"),
+        };
+        for b in 0..index.bin_count() {
+            keys.push(q6_bin_key(column, lo + b as i64));
+        }
+    }
+    keys
+}
+
+/// The probe side of the dictionary join: the key of every value the
+/// query's three predicate ranges select. Values outside a column's
+/// binned domain still probe (and miss), mirroring how
+/// [`BitmapIndex::select_range`] clips to the domain.
+pub fn q6_probe_keys(params: &Q6Params) -> Vec<u64> {
+    let ranges = Q6Indexes::predicate_ranges(params);
+    let mut keys = Vec::new();
+    for (column, (lo, hi)) in ranges.into_iter().enumerate() {
+        for value in lo.max(0)..=hi {
+            keys.push(q6_bin_key(column, value));
+        }
+    }
+    keys
+}
+
+/// Rebuilds the Query-6 row selection from resolved dictionary slots:
+/// each `Some(slot)` names one bin in [`q6_bin_dictionary`] order, the
+/// bins of each predicate column OR together, and the three column
+/// vectors AND. Probes that missed (`None`) contribute nothing — they
+/// were out-of-domain values, exactly the bins `select_range` clips.
+pub fn q6_selection_from_bin_slots(idx: &Q6Indexes, slots: &[Option<u32>]) -> BitVec {
+    let counts = [
+        idx.month.bin_count(),
+        idx.discount.bin_count(),
+        idx.quantity.bin_count(),
+    ];
+    let entries = idx.month.entries();
+    let mut columns = [
+        BitVec::zeros(entries),
+        BitVec::zeros(entries),
+        BitVec::zeros(entries),
+    ];
+    for slot in slots.iter().flatten() {
+        let mut slot = *slot as usize;
+        for (column, &count) in counts.iter().enumerate() {
+            if slot < count {
+                let index = [&idx.month, &idx.discount, &idx.quantity][column];
+                columns[column].or_assign(index.bin(slot));
+                break;
+            }
+            slot -= count;
+        }
+    }
+    let [mut sel, discount_sel, quantity_sel] = columns;
+    sel.and_assign(&discount_sel);
+    sel.and_assign(&quantity_sel);
+    sel
+}
+
 /// Bitmap plan on the host CPU.
 pub fn q6_bitmap_cpu(table: &LineItemTable, params: &Q6Params) -> PlanExecution {
     let idx = Q6Indexes::build(table);
@@ -377,6 +462,31 @@ mod tests {
         assert_eq!(scan.matching_rows, plan.result.matching_rows);
         assert!((scan.revenue - plan.result.revenue).abs() < 1e-6);
         assert!(plan.bitwise_ops > 0);
+    }
+
+    /// The dictionary join decomposes the bitmap plan into pure
+    /// exact-match lookups: probing every qualifying predicate value
+    /// against the bin-key dictionary and OR/AND-ing the resolved bins
+    /// reproduces the scalar scan's selection bit for bit.
+    #[test]
+    fn bin_dictionary_join_matches_scan() {
+        let t = table();
+        let p = Q6Params::tpch_default();
+        let idx = Q6Indexes::build(&t);
+        let dictionary = q6_bin_dictionary(&idx);
+        assert_eq!(dictionary.len(), 145, "84 + 11 + 50 bins");
+        assert!(dictionary.iter().all(|k| *k < 1 << Q6_BIN_KEY_WIDTH));
+        // Host-simulated exact-match lookup (first matching slot wins),
+        // the reference the pool's `KeyLookup` workload must reproduce.
+        let slots: Vec<Option<u32>> = q6_probe_keys(&p)
+            .iter()
+            .map(|probe| dictionary.iter().position(|k| k == probe).map(|s| s as u32))
+            .collect();
+        let sel = q6_selection_from_bin_slots(&idx, &slots);
+        for i in 0..t.rows() {
+            let expect = p.matches(t.ship_month[i], t.discount[i], t.quantity[i]);
+            assert_eq!(sel.get(i), expect, "row {i}");
+        }
     }
 
     #[test]

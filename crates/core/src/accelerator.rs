@@ -33,6 +33,10 @@ pub struct ExecutionStats {
     pub matrix_programs: u64,
     /// Analog matrix-vector products executed (forward + transpose).
     pub mvms: u64,
+    /// CAM key writes executed (each fires two row-write pulses).
+    pub key_writes: u64,
+    /// CAM match-line searches executed.
+    pub searches: u64,
     /// Total energy over all executed instructions.
     pub energy: Joules,
     /// Total busy time over all executed instructions.
@@ -42,7 +46,13 @@ pub struct ExecutionStats {
 impl ExecutionStats {
     /// Total instruction count.
     pub fn instructions(&self) -> u64 {
-        self.row_writes + self.row_reads + self.logic_ops + self.matrix_programs + self.mvms
+        self.row_writes
+            + self.row_reads
+            + self.logic_ops
+            + self.matrix_programs
+            + self.mvms
+            + self.key_writes
+            + self.searches
     }
 }
 
@@ -63,6 +73,8 @@ pub struct DeviceCounters {
     pub program_pulses: u64,
     /// Stochastic per-device read samples drawn during analog MVMs.
     pub noise_samples: u64,
+    /// CAM match-line evaluations fired (entries compared per search).
+    pub match_pulses: u64,
 }
 
 impl DeviceCounters {
@@ -73,6 +85,7 @@ impl DeviceCounters {
             sampled_columns: self.sampled_columns - earlier.sampled_columns,
             program_pulses: self.program_pulses - earlier.program_pulses,
             noise_samples: self.noise_samples - earlier.noise_samples,
+            match_pulses: self.match_pulses - earlier.match_pulses,
         }
     }
 
@@ -82,6 +95,7 @@ impl DeviceCounters {
         self.sampled_columns += other.sampled_columns;
         self.program_pulses += other.program_pulses;
         self.noise_samples += other.noise_samples;
+        self.match_pulses += other.match_pulses;
     }
 }
 
@@ -210,6 +224,7 @@ impl CimAccelerator {
             let s = tile.stats();
             c.word_accesses += s.word_accesses;
             c.sampled_columns += s.sampled_columns;
+            c.match_pulses += s.match_pulses;
         }
         for tile in &self.analog_tiles {
             let s = tile.stats();
@@ -424,6 +439,31 @@ fn execute_on(
             account(stats, cost);
             *last_bits = Some(bits);
             (CimResponse::Done, cost)
+        }
+        CimInstruction::WriteKey {
+            tile,
+            slot,
+            value,
+            care,
+        } => {
+            let cost = digital_tiles[tile].write_key(slot, &value, &care);
+            stats.key_writes += 1;
+            account(stats, cost);
+            (CimResponse::Done, cost)
+        }
+        CimInstruction::MatchSearch {
+            tile,
+            entries,
+            key,
+            kind,
+        } => {
+            // Match sets are entry-indexed (not tile-width), so they are
+            // not a storable `StoreLast` operand — they return to the
+            // host side for gathering/finalization.
+            let (bits, cost) = digital_tiles[tile].match_search(entries, &key, kind, rng);
+            stats.searches += 1;
+            account(stats, cost);
+            (CimResponse::Bits(bits), cost)
         }
         CimInstruction::ProgramMatrix { tile, matrix } => {
             let cost = analog_tiles[tile].program_matrix(&matrix, rng);
@@ -686,6 +726,41 @@ mod tests {
     fn unknown_tile_panics() {
         let mut acc = small_accelerator();
         acc.execute(CimInstruction::ReadRow { tile: 9, row: 0 });
+    }
+
+    #[test]
+    fn cam_search_serves_match_bits_and_counts() {
+        use crate::isa::MatchKind;
+        let mut acc = small_accelerator();
+        let keys: Vec<BitVec> = (0..3)
+            .map(|s| BitVec::from_fn(32, |j| (j + s) % 4 == 0))
+            .collect();
+        for (slot, key) in keys.iter().enumerate() {
+            acc.execute(CimInstruction::WriteKey {
+                tile: 0,
+                slot,
+                value: key.clone(),
+                care: BitVec::ones(32),
+            });
+        }
+        let before = acc.device_counters();
+        let hits = acc
+            .execute(CimInstruction::MatchSearch {
+                tile: 0,
+                entries: 3,
+                key: keys[1].clone(),
+                kind: MatchKind::Exact,
+            })
+            .into_bits()
+            .unwrap();
+        assert_eq!(hits.to_bools(), vec![false, true, false]);
+        let s = acc.stats();
+        assert_eq!(s.key_writes, 3);
+        assert_eq!(s.searches, 1);
+        assert_eq!(s.instructions(), 4);
+        assert!(s.energy.0 > 0.0);
+        let delta = acc.device_counters().delta(&before);
+        assert_eq!(delta.match_pulses, 3, "one pulse per searched entry");
     }
 
     #[test]

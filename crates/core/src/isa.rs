@@ -8,9 +8,11 @@
 //! accelerator in this workspace is a CIM-P design throughout, matching
 //! the paper's choice ("CIM-P entails a lesser impact on the design").
 
-use cim_crossbar::scouting::ScoutOp;
 use cim_simkit::bitvec::BitVec;
 use cim_simkit::linalg::Matrix;
+
+pub use cim_crossbar::cam::MatchKind;
+pub use cim_crossbar::scouting::ScoutOp;
 
 /// Where a CIM operation produces its result (§I taxonomy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -68,6 +70,31 @@ pub enum CimInstruction {
         /// Destination row within the tile.
         row: usize,
     },
+    /// Store one CAM entry (value + don't-care mask) into a digital
+    /// tile's entry slot: value row `2·slot`, care row `2·slot + 1`
+    /// (the TCAM row-pair layout of `cim_crossbar::cam`).
+    WriteKey {
+        /// Digital tile index.
+        tile: usize,
+        /// CAM entry slot within the tile (`rows / 2` slots).
+        slot: usize,
+        /// Stored value bits (must match the tile width).
+        value: BitVec,
+        /// Cared positions (`0` = wildcard; all-ones for exact match).
+        care: BitVec,
+    },
+    /// Match-line search over a digital tile's first `entries` CAM
+    /// slots: one access, one match bit per entry.
+    MatchSearch {
+        /// Digital tile index.
+        tile: usize,
+        /// Number of leading entry slots to search.
+        entries: usize,
+        /// The search key (must match the tile width).
+        key: BitVec,
+        /// Exact, ternary or analog range semantics.
+        kind: MatchKind,
+    },
     /// Program a signed matrix into an analog tile (differential pair).
     ProgramMatrix {
         /// Analog tile index.
@@ -98,6 +125,7 @@ impl CimInstruction {
     pub fn class(&self) -> CimClass {
         match self {
             CimInstruction::WriteRow { .. }
+            | CimInstruction::WriteKey { .. }
             | CimInstruction::StoreLast { .. }
             | CimInstruction::ProgramMatrix { .. } => CimClass::Array,
             _ => CimClass::Periphery,
@@ -115,6 +143,12 @@ impl CimInstruction {
                 ScoutOp::Xor => "CIM.XOR",
             },
             CimInstruction::StoreLast { .. } => "CIM.ST",
+            CimInstruction::WriteKey { .. } => "CAM.WK",
+            CimInstruction::MatchSearch { kind, .. } => match kind {
+                MatchKind::Exact => "CAM.EXACT",
+                MatchKind::Ternary => "CAM.TERN",
+                MatchKind::Range { .. } => "CAM.RANGE",
+            },
             CimInstruction::ProgramMatrix { .. } => "CIM.PROG",
             CimInstruction::Mvm { .. } => "CIM.MVM",
             CimInstruction::MvmT { .. } => "CIM.MVMT",
@@ -183,6 +217,31 @@ mod tests {
         assert_eq!(mk(ScoutOp::Or).mnemonic(), "CIM.OR");
         assert_eq!(mk(ScoutOp::And).mnemonic(), "CIM.AND");
         assert_eq!(mk(ScoutOp::Xor).mnemonic(), "CIM.XOR");
+    }
+
+    #[test]
+    fn cam_instructions_class_and_mnemonics() {
+        let wk = CimInstruction::WriteKey {
+            tile: 0,
+            slot: 0,
+            value: BitVec::zeros(4),
+            care: BitVec::ones(4),
+        };
+        assert_eq!(wk.class(), CimClass::Array);
+        assert_eq!(wk.mnemonic(), "CAM.WK");
+        let mk = |kind| CimInstruction::MatchSearch {
+            tile: 0,
+            entries: 2,
+            key: BitVec::zeros(4),
+            kind,
+        };
+        assert_eq!(mk(MatchKind::Exact).class(), CimClass::Periphery);
+        assert_eq!(mk(MatchKind::Exact).mnemonic(), "CAM.EXACT");
+        assert_eq!(mk(MatchKind::Ternary).mnemonic(), "CAM.TERN");
+        assert_eq!(
+            mk(MatchKind::Range { lo: 0, hi: 3 }).mnemonic(),
+            "CAM.RANGE"
+        );
     }
 
     #[test]

@@ -60,5 +60,5 @@ pub mod offload;
 
 pub use accelerator::{CimAccelerator, CimAcceleratorBuilder, DeviceCounters, ExecutionStats};
 pub use address::{AddressMap, TileRow};
-pub use isa::{CimClass, CimInstruction, CimResponse};
+pub use isa::{CimClass, CimInstruction, CimResponse, MatchKind};
 pub use offload::{OffloadEstimate, Program, Section};

@@ -75,8 +75,14 @@ pub struct DigitalStats {
     pub scout_ops: u64,
     /// Read accesses served entirely by the word-parallel tier.
     pub word_accesses: u64,
-    /// Columns whose sense decision needed explicit noise sampling.
+    /// Columns (or CAM match lines) whose sense decision needed
+    /// explicit noise sampling.
     pub sampled_columns: u64,
+    /// CAM match-line searches performed (see [`crate::cam`]).
+    pub searches: u64,
+    /// Match-line evaluations fired across all searches (entries
+    /// compared per search, the CAM-side device-cost driver).
+    pub match_pulses: u64,
     /// Total energy.
     pub energy: Joules,
     /// Total busy time.
@@ -153,6 +159,17 @@ impl DigitalArray {
     /// Accumulated execution statistics.
     pub fn stats(&self) -> &DigitalStats {
         &self.stats
+    }
+
+    /// The underlying device bank (CAM-mode access, see [`crate::cam`]).
+    pub(crate) fn bank(&self) -> &ReramBank {
+        &self.bank
+    }
+
+    /// Disjoint borrows of the bank and the statistics, so the CAM
+    /// match-line engine can read device state while accounting.
+    pub(crate) fn cam_parts(&mut self) -> (&ReramBank, &mut DigitalStats) {
+        (&self.bank, &mut self.stats)
     }
 
     /// Writes a bit vector into row `r` — a word copy into the packed
@@ -406,7 +423,7 @@ impl DigitalArray {
 }
 
 /// Multiplicative bounds of the clipped cycle-to-cycle log-normal noise.
-fn clip_factors(sigma: f64) -> (f64, f64) {
+pub(crate) fn clip_factors(sigma: f64) -> (f64, f64) {
     if sigma == 0.0 {
         (1.0, 1.0)
     } else {

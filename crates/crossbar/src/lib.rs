@@ -25,6 +25,10 @@
 //! word-parallel struct-of-arrays fast path; the original bit-serial
 //! simulator survives as [`reference::ReferenceDigitalArray`], the
 //! behavioural ground truth the fast path is property-tested against.
+//! The [`cam`] module adds a third discipline on the same tiles:
+//! content-addressable (match-line) search with exact, ternary and
+//! analog range semantics, mirrored by its own bit-serial
+//! [`cam::ReferenceCamArray`] ground truth.
 //! [`energy`] rolls per-event device/converter costs into per-operation
 //! budgets — reproducing the paper's 222 mW / 222 nJ crossbar read point.
 //!
@@ -48,6 +52,7 @@
 //! ```
 
 pub mod analog;
+pub mod cam;
 pub mod digital;
 pub mod energy;
 pub mod mapping;
@@ -56,6 +61,7 @@ pub mod scouting;
 pub mod tiled;
 
 pub use analog::{AnalogCrossbar, AnalogParams, DifferentialCrossbar};
+pub use cam::{CamArray, MatchKind, ReferenceCamArray, Rule, RuleSet};
 pub use digital::DigitalArray;
 pub use energy::{CrossbarEnergyModel, OperationCost, ReadBudget};
 pub use mapping::ConductanceMapping;

@@ -80,6 +80,13 @@ impl AssociativeMemory {
     /// Classifies a query by minimum Hamming distance, returning the
     /// label and the normalized distance to the winner.
     ///
+    /// Ties are deterministic: among equally distant prototypes the
+    /// *lowest* class index wins (strict `<` scan in ascending class
+    /// order). Every classifier in the workspace — [`crate::cim`]'s
+    /// in-array argmax and the runtime's `HdcClassify`/`HdcAssoc`
+    /// finalizers — resolves ties by the same rule, so their outputs
+    /// stay bit-comparable.
+    ///
     /// # Panics
     ///
     /// Panics if any class is untrained or dimensions differ.
@@ -161,6 +168,24 @@ mod tests {
         }
         let protos = am.finalize();
         assert!(protos[1].normalized_hamming(&a) < 0.2);
+    }
+
+    /// Pins the documented tie rule: equally distant prototypes resolve
+    /// to the lowest class index, never to scan order accidents.
+    #[test]
+    fn exact_ties_resolve_to_the_lowest_class_index() {
+        let mut rng = seeded(9);
+        let far = Hypervector::random(D, &mut rng);
+        let shared = Hypervector::random(D, &mut rng);
+        let mut am = AssociativeMemory::new(3, D);
+        am.train(0, &far);
+        // Classes 1 and 2 learn the identical prototype: a query at
+        // that prototype ties them at distance zero.
+        am.train(1, &shared);
+        am.train(2, &shared);
+        let (label, dist) = am.classify(&shared);
+        assert_eq!(label, 1, "lowest tied index wins");
+        assert_eq!(dist, 0.0);
     }
 
     #[test]

@@ -79,6 +79,11 @@ impl CimAssociativeMemory {
     /// Classifies a query in one analog array access, returning the
     /// winning class, the analog overlap scores, and the access cost.
     ///
+    /// Score ties resolve to the lowest class index (strict `>` scan),
+    /// the same deterministic rule as
+    /// [`crate::assoc::AssociativeMemory::classify`] and the runtime's
+    /// HDC finalizers.
+    ///
     /// # Panics
     ///
     /// Panics if the query dimension differs.

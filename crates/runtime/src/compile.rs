@@ -26,8 +26,9 @@ use crate::job::{
 use crate::schedule::PoolConfig;
 use cim_bitmap_db::query::{q6_result_from_selection, Q6Indexes};
 use cim_bitmap_db::tpch::{LineItemTable, Q6Params, DISCOUNT_LEVELS, MAX_QUANTITY, SHIP_MONTHS};
-use cim_core::isa::{CimInstruction, CimResponse};
+use cim_core::isa::{CimInstruction, CimResponse, MatchKind};
 use cim_core::AddressMap;
+use cim_crossbar::cam::{key_bits, RuleSet};
 use cim_crossbar::scouting::ScoutOp;
 use cim_hdc::lang::LanguageTask;
 use cim_imgproc::image::GrayImage;
@@ -120,8 +121,66 @@ pub enum Finalizer {
         /// Image row index carried by each output response, in order.
         reads: Vec<usize>,
     },
+    /// Reassemble per-tile match-line responses into one match set per
+    /// key. Responses are tile-major (all keys of virtual tile 0, then
+    /// tile 1, …), so a scatter-gathered search concatenates into the
+    /// identical sequence as an unsplit one.
+    Matches {
+        /// Number of search keys.
+        keys: usize,
+        /// CAM entry count per tile, in virtual tile order.
+        entries: Vec<usize>,
+    },
+    /// Reassemble per-tile match sets like [`Finalizer::Matches`], then
+    /// resolve each key to its lowest-index matching entry — the
+    /// priority encoder of a classification/lookup CAM.
+    Resolve {
+        /// Number of probe keys.
+        keys: usize,
+        /// CAM entry count per tile, in virtual tile order.
+        entries: Vec<usize>,
+    },
+    /// Decode an HDC associative-memory window sweep: per query, an
+    /// expanding sequence of Hamming-window searches over the class
+    /// prototypes. Candidates accumulate across windows until the
+    /// certified-stop rule proves the best candidate's overlap beats
+    /// every class still outside the window; the exact host re-rank
+    /// over the candidates then reproduces [`Finalizer::Hdc`]'s
+    /// lowest-index argmax bit for bit (falling back to an all-class
+    /// re-rank if the sweep never certifies).
+    Assoc {
+        /// Class prototypes as `d`-bit vectors, in class order.
+        prototypes: Vec<BitVec>,
+        /// Encoded queries as `d`-bit vectors, in sample order.
+        queries: Vec<BitVec>,
+        /// Ground-truth labels.
+        expected: Vec<usize>,
+        /// The `hi` bound of each sweep window, in emission order.
+        windows: Vec<u32>,
+    },
     /// Return every response verbatim.
     Raw,
+}
+
+/// Reassembles tile-major match-line responses (`entries.len()` tiles ×
+/// `keys` keys) into one concatenated match set per key.
+fn assemble_match_sets(outputs: Vec<CimResponse>, keys: usize, entries: &[usize]) -> Vec<BitVec> {
+    let total: usize = entries.iter().sum();
+    let mut bases = Vec::with_capacity(entries.len());
+    let mut base = 0usize;
+    for &n in entries {
+        bases.push(base);
+        base += n;
+    }
+    let mut sets = vec![BitVec::zeros(total); keys];
+    for (i, resp) in outputs.into_iter().enumerate() {
+        let (t, q) = (i / keys, i % keys);
+        let bits = resp.into_bits().expect("match search returns bits");
+        for s in bits.iter_ones() {
+            sets[q].set(bases[t] + s, true);
+        }
+    }
+    sets
 }
 
 impl Finalizer {
@@ -241,6 +300,82 @@ impl Finalizer {
                 let img = GrayImage::from_fn(*width, *height, |x, y| rows[y][x]);
                 JobOutput::Image(filter.apply(&img))
             }
+            Finalizer::Matches { keys, entries } => {
+                JobOutput::Matches(assemble_match_sets(outputs, *keys, entries))
+            }
+            Finalizer::Resolve { keys, entries } => {
+                let resolved = assemble_match_sets(outputs, *keys, entries)
+                    .into_iter()
+                    .map(|set| set.iter_ones().next().map(|s| s as u32))
+                    .collect();
+                JobOutput::Lookups(resolved)
+            }
+            Finalizer::Assoc {
+                prototypes,
+                queries,
+                expected,
+                windows,
+            } => {
+                let classes = prototypes.len();
+                let w = windows.len();
+                let responses: Vec<BitVec> = outputs
+                    .into_iter()
+                    .map(|r| r.into_bits().expect("match search returns bits"))
+                    .collect();
+                assert_eq!(
+                    responses.len(),
+                    queries.len() * w,
+                    "one response per window"
+                );
+                let p_max = prototypes.iter().map(BitVec::count_ones).max().unwrap_or(0);
+                let predictions = queries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, query)| {
+                        let q_ones = query.count_ones();
+                        let overlap = |c: usize| prototypes[c].and(query).count_ones();
+                        // Ascending-index scan with strict `>` keeps the
+                        // lowest class index on overlap ties — the same
+                        // rule as `Finalizer::Hdc`'s argmax.
+                        let best_of = |set: &BitVec| {
+                            let mut best: Option<(usize, usize)> = None;
+                            for c in set.iter_ones().filter(|&c| c < classes) {
+                                let o = overlap(c);
+                                if best.is_none_or(|(_, bo)| o > bo) {
+                                    best = Some((c, o));
+                                }
+                            }
+                            best
+                        };
+                        let mut candidates = BitVec::zeros(classes);
+                        for (wi, &h) in windows.iter().enumerate() {
+                            for c in responses[i * w + wi].iter_ones() {
+                                if c < classes {
+                                    candidates.set(c, true);
+                                }
+                            }
+                            if let Some((bc, bo)) = best_of(&candidates) {
+                                // Every class still outside a `[0, h]`
+                                // Hamming window has overlap at most
+                                // `(p_max + q_ones - h - 1) / 2`; once the
+                                // best candidate provably beats that, the
+                                // global argmax (ties included) is already
+                                // in the candidate set.
+                                if 2 * bo + h as usize >= p_max + q_ones {
+                                    return bc;
+                                }
+                            }
+                        }
+                        // The sweep never certified (possible only under
+                        // sense noise): exact re-rank over every class.
+                        best_of(&BitVec::ones(classes)).map_or(0, |(bc, _)| bc)
+                    })
+                    .collect();
+                JobOutput::Hdc(HdcOutcome {
+                    predictions,
+                    expected: expected.clone(),
+                })
+            }
             Finalizer::Raw => JobOutput::Responses(outputs),
         }
     }
@@ -304,6 +439,11 @@ impl CompiledJob {
                 CimInstruction::WriteRow { .. }
                 | CimInstruction::ReadRow { .. }
                 | CimInstruction::StoreLast { .. } => 1,
+                // A key write is two row pulses (value + care); a search
+                // pulses every activated match line at once, so it costs
+                // the entries it touches, like a wide Logic access.
+                CimInstruction::WriteKey { .. } => 2,
+                CimInstruction::MatchSearch { entries, .. } => *entries as u64,
                 CimInstruction::Logic { rows, .. } => rows.len() as u64,
                 CimInstruction::Mvm { .. } | CimInstruction::MvmT { .. } => 100,
                 CimInstruction::ProgramMatrix { matrix, .. } => {
@@ -530,6 +670,42 @@ pub(crate) fn compile(
                 seed,
             )
         }
+        WorkloadSpec::CamSearch {
+            dataset,
+            kind,
+            keys,
+        } => {
+            let record = resident.expect("scheduler resolves the dataset before compiling");
+            compile_cam_search(*dataset, record, *kind, keys, job, tenant, cfg, seed)
+        }
+        WorkloadSpec::RuleClassify { dataset, packets } => {
+            let record = resident.expect("scheduler resolves the dataset before compiling");
+            compile_rule_classify(*dataset, record, packets, job, tenant, cfg, seed)
+        }
+        WorkloadSpec::KeyLookup { dataset, probes } => {
+            let record = resident.expect("scheduler resolves the dataset before compiling");
+            compile_key_lookup(*dataset, record, probes, job, tenant, cfg, seed)
+        }
+        WorkloadSpec::HdcAssoc {
+            classes,
+            d,
+            ngram,
+            train_len,
+            samples,
+            sample_len,
+        } => compile_hdc_assoc(
+            *classes,
+            *d,
+            *ngram,
+            *train_len,
+            *samples,
+            *sample_len,
+            job,
+            tenant,
+            cfg,
+            seed,
+            window_base,
+        ),
         WorkloadSpec::Q6Select {
             rows,
             table_seed,
@@ -886,6 +1062,340 @@ fn compile_q6_query(
         },
         seed,
         splittable: true,
+    })
+}
+
+/// Emits the tile-major search pattern of an associative query: every
+/// key searched against every resident tile, tile 0's keys first —
+/// the order [`assemble_match_sets`] reassembles, and the order a
+/// scatter-gathered split reproduces by chunk concatenation.
+fn emit_cam_searches(
+    instructions: &mut Vec<CimInstruction>,
+    entries: &[usize],
+    keys: &[BitVec],
+    kind: MatchKind,
+    width: usize,
+    cfg: &PoolConfig,
+) {
+    let padded: Vec<BitVec> = keys
+        .iter()
+        .map(|k| BitVec::from_fn(cfg.tile_cols, |j| j < width && k.get(j)))
+        .collect();
+    for (t, &n) in entries.iter().enumerate() {
+        for key in &padded {
+            instructions.push(CimInstruction::MatchSearch {
+                tile: t,
+                entries: n,
+                key: key.clone(),
+                kind,
+            });
+        }
+    }
+}
+
+/// A raw associative search against a resident CAM dataset (rule table
+/// or key dictionary): one match-line access per key per resident tile,
+/// reassembled into per-key match sets host-side.
+#[allow(clippy::too_many_arguments)]
+fn compile_cam_search(
+    dataset: DatasetId,
+    record: &ResidentView,
+    kind: MatchKind,
+    keys: &[BitVec],
+    job: JobId,
+    tenant: TenantId,
+    cfg: &PoolConfig,
+    seed: u64,
+) -> Result<CompiledJob, CompileError> {
+    let (width, entries) = match &record.payload {
+        ResidentPayload::CamRules { rules, entries } => (rules.width(), entries.clone()),
+        ResidentPayload::CamKeys { width, entries, .. } => (*width, entries.clone()),
+        _ => return Err(CompileError::DatasetKindMismatch { dataset }),
+    };
+    if keys.is_empty() {
+        return Err(CompileError::EmptyWorkload);
+    }
+    if let MatchKind::Range { lo, hi } = kind {
+        // An empty window can match nothing: no work to run.
+        if lo > hi {
+            return Err(CompileError::EmptyWorkload);
+        }
+    }
+    for k in keys {
+        if k.len() != width {
+            return Err(CompileError::BadOperandWidth {
+                width: k.len(),
+                max: width,
+            });
+        }
+    }
+    let mut instructions = Vec::with_capacity(entries.len() * keys.len());
+    emit_cam_searches(&mut instructions, &entries, keys, kind, width, cfg);
+    Ok(CompiledJob {
+        job,
+        tenant,
+        kind: JobKind::CamSearch,
+        dataset: Some(dataset),
+        demand: TileDemand {
+            digital: entries.len(),
+            analog: 0,
+        },
+        outputs: (0..instructions.len()).collect(),
+        instructions,
+        finalizer: Finalizer::Matches {
+            keys: keys.len(),
+            entries,
+        },
+        placement: record.placement,
+        resident_bytes: record.resident_bytes,
+        host_profile: HostProfile {
+            accel_fraction: 0.9,
+            l1_miss: 1.0,
+            l2_miss: 1.0,
+        },
+        seed,
+        splittable: true,
+    })
+}
+
+/// Packet classification against a resident rule table: a ternary
+/// search per packet, resolved to the highest-priority (lowest-index)
+/// matching rule — bit-identical to [`RuleSet::classify`].
+#[allow(clippy::too_many_arguments)]
+fn compile_rule_classify(
+    dataset: DatasetId,
+    record: &ResidentView,
+    packets: &[u64],
+    job: JobId,
+    tenant: TenantId,
+    cfg: &PoolConfig,
+    seed: u64,
+) -> Result<CompiledJob, CompileError> {
+    let ResidentPayload::CamRules { rules, entries } = &record.payload else {
+        return Err(CompileError::DatasetKindMismatch { dataset });
+    };
+    if packets.is_empty() {
+        return Err(CompileError::EmptyWorkload);
+    }
+    let width = rules.width();
+    let keys: Vec<BitVec> = packets.iter().map(|&p| key_bits(p, width)).collect();
+    let mut instructions = Vec::with_capacity(entries.len() * keys.len());
+    emit_cam_searches(
+        &mut instructions,
+        entries,
+        &keys,
+        MatchKind::Ternary,
+        width,
+        cfg,
+    );
+    Ok(CompiledJob {
+        job,
+        tenant,
+        kind: JobKind::RuleClassify,
+        dataset: Some(dataset),
+        demand: TileDemand {
+            digital: entries.len(),
+            analog: 0,
+        },
+        outputs: (0..instructions.len()).collect(),
+        instructions,
+        finalizer: Finalizer::Resolve {
+            keys: keys.len(),
+            entries: entries.clone(),
+        },
+        placement: record.placement,
+        resident_bytes: record.resident_bytes,
+        host_profile: HostProfile {
+            accel_fraction: 0.9,
+            l1_miss: 1.0,
+            l2_miss: 1.0,
+        },
+        seed,
+        splittable: true,
+    })
+}
+
+/// Key lookup against a resident dictionary: an exact search per probe,
+/// resolved to the lowest-index matching slot — the CAM half of a
+/// dictionary join.
+#[allow(clippy::too_many_arguments)]
+fn compile_key_lookup(
+    dataset: DatasetId,
+    record: &ResidentView,
+    probes: &[u64],
+    job: JobId,
+    tenant: TenantId,
+    cfg: &PoolConfig,
+    seed: u64,
+) -> Result<CompiledJob, CompileError> {
+    let ResidentPayload::CamKeys {
+        keys: stored,
+        width,
+        entries,
+    } = &record.payload
+    else {
+        return Err(CompileError::DatasetKindMismatch { dataset });
+    };
+    // One dictionary key went into one CAM slot at load time; lookup
+    // resolution maps match-set bit positions straight back to
+    // dictionary indices, which only holds while the counts agree.
+    debug_assert_eq!(stored.len(), entries.iter().sum::<usize>());
+    if probes.is_empty() {
+        return Err(CompileError::EmptyWorkload);
+    }
+    let keys: Vec<BitVec> = probes.iter().map(|&p| key_bits(p, *width)).collect();
+    let mut instructions = Vec::with_capacity(entries.len() * keys.len());
+    emit_cam_searches(
+        &mut instructions,
+        entries,
+        &keys,
+        MatchKind::Exact,
+        *width,
+        cfg,
+    );
+    Ok(CompiledJob {
+        job,
+        tenant,
+        kind: JobKind::KeyLookup,
+        dataset: Some(dataset),
+        demand: TileDemand {
+            digital: entries.len(),
+            analog: 0,
+        },
+        outputs: (0..instructions.len()).collect(),
+        instructions,
+        finalizer: Finalizer::Resolve {
+            keys: keys.len(),
+            entries: entries.clone(),
+        },
+        placement: record.placement,
+        resident_bytes: record.resident_bytes,
+        host_profile: HostProfile {
+            accel_fraction: 0.9,
+            l1_miss: 1.0,
+            l2_miss: 1.0,
+        },
+        seed,
+        splittable: true,
+    })
+}
+
+/// HDC associative memory on a CAM tile: class prototypes stored as
+/// binary-CAM entries, each query resolved by an expanding
+/// Hamming-window sweep ([`MatchKind::Range`] searches) plus the
+/// certified host re-rank of [`Finalizer::Assoc`]. Same task training
+/// and query sampling as [`compile_hdc`], so for one seed the two
+/// paths classify the identical queries.
+#[allow(clippy::too_many_arguments)]
+fn compile_hdc_assoc(
+    classes: usize,
+    d: usize,
+    ngram: usize,
+    train_len: usize,
+    samples: usize,
+    sample_len: usize,
+    job: JobId,
+    tenant: TenantId,
+    cfg: &PoolConfig,
+    seed: u64,
+    window_base: u64,
+) -> Result<CompiledJob, CompileError> {
+    if classes == 0 || samples == 0 || sample_len == 0 {
+        return Err(CompileError::EmptyWorkload);
+    }
+    if 2 * classes > cfg.tile_rows {
+        return Err(CompileError::NeedsMoreTileRows {
+            required: 2 * classes,
+            available: cfg.tile_rows,
+        });
+    }
+    if d > cfg.tile_cols {
+        return Err(CompileError::BadOperandWidth {
+            width: d,
+            max: cfg.tile_cols,
+        });
+    }
+    let mut task = LanguageTask::train(classes, d, ngram, train_len, seed);
+    let raw = task.memory.finalize().to_vec();
+    let prototypes: Vec<BitVec> = raw
+        .iter()
+        .map(|p| BitVec::from_fn(d, |j| p.bits().get(j)))
+        .collect();
+    let pad = |bits: &BitVec| BitVec::from_fn(cfg.tile_cols, |j| j < d && bits.get(j));
+    // All-ones care over the hypervector dimensions: match-line current
+    // is the full Hamming distance (binary-CAM discipline); padding
+    // columns never conduct.
+    let care = BitVec::from_fn(cfg.tile_cols, |j| j < d);
+    let mut instructions: Vec<CimInstruction> = prototypes
+        .iter()
+        .enumerate()
+        .map(|(slot, p)| CimInstruction::WriteKey {
+            tile: 0,
+            slot,
+            value: pad(p),
+            care: care.clone(),
+        })
+        .collect();
+    // Exponential window sweep [0,0], [0,1], [0,3], … capped at the
+    // full dimension: O(log d) searches per query, and the final window
+    // spans every possible Hamming distance.
+    let mut windows = vec![0u32];
+    let mut h = 1usize;
+    while h < d {
+        windows.push(h as u32);
+        h = 2 * h + 1;
+    }
+    if *windows.last().expect("at least one window") < d as u32 {
+        windows.push(d as u32);
+    }
+    let mut outputs = Vec::with_capacity(samples * windows.len());
+    let mut queries = Vec::with_capacity(samples);
+    let mut expected = Vec::with_capacity(samples);
+    let mut sample_rng = seeded(crate::mix_seed(seed, 0x5A17));
+    for i in 0..samples {
+        let class = i % classes;
+        let text = task.languages[class].sample_text(sample_len, &mut sample_rng);
+        let encoded = task.encoder.encode_sequence(&text);
+        let query = BitVec::from_fn(d, |j| encoded.bits().get(j));
+        let key = pad(&query);
+        for &h in &windows {
+            instructions.push(CimInstruction::MatchSearch {
+                tile: 0,
+                entries: classes,
+                key: key.clone(),
+                kind: MatchKind::Range { lo: 0, hi: h },
+            });
+            outputs.push(instructions.len() - 1);
+        }
+        queries.push(query);
+        expected.push(class);
+    }
+    Ok(CompiledJob {
+        job,
+        tenant,
+        kind: JobKind::HdcAssoc,
+        dataset: None,
+        demand: TileDemand {
+            digital: 1,
+            analog: 0,
+        },
+        instructions,
+        outputs,
+        finalizer: Finalizer::Assoc {
+            prototypes,
+            queries,
+            expected,
+            windows,
+        },
+        placement: digital_placement(window_base, 1, cfg),
+        resident_bytes: (2 * classes * cfg.tile_cols.div_ceil(8)) as u64,
+        host_profile: HostProfile {
+            accel_fraction: 0.85,
+            l1_miss: 0.9,
+            l2_miss: 0.9,
+        },
+        seed,
+        splittable: false,
     })
 }
 
@@ -1249,6 +1759,74 @@ pub(crate) struct DatasetProgram {
     pub resident_bytes: u64,
 }
 
+/// Validates a CAM entry width: keys travel as `u64` words, so the
+/// width is bounded by 64 bits as well as the tile geometry.
+fn cam_entry_width_check(width: usize, cfg: &PoolConfig) -> Result<(), CompileError> {
+    let max = 64.min(cfg.tile_cols);
+    if width == 0 || width > max {
+        return Err(CompileError::BadOperandWidth { width, max });
+    }
+    Ok(())
+}
+
+/// Digital tiles a CAM dataset of `count` entries pins: each tile holds
+/// `tile_rows / 2` row-pair slots, and the pin may span the whole pool
+/// (CAM loads are tile-parallel and split across shards like Q6 bins).
+fn cam_entry_tiles(count: usize, cfg: &PoolConfig) -> Result<usize, CompileError> {
+    let per_tile = cfg.tile_rows / 2;
+    if per_tile == 0 {
+        return Err(CompileError::NeedsMoreTileRows {
+            required: 2,
+            available: cfg.tile_rows,
+        });
+    }
+    let tiles = count.div_ceil(per_tile);
+    let pool_tiles = cfg.digital_tiles * cfg.shards;
+    if tiles > pool_tiles {
+        return Err(CompileError::NeedsMoreDigitalTiles {
+            required: tiles,
+            available: pool_tiles,
+        });
+    }
+    Ok(tiles)
+}
+
+/// Emits the load writes of a CAM dataset: entry `e` lands in slot
+/// `e % slots_per_tile` of virtual tile `e / slots_per_tile`, value and
+/// care both padded to the tile width (padding cells carry zero care,
+/// so they never conduct). Returns the writes and the per-tile entry
+/// counts, in virtual tile order.
+fn emit_cam_entry_writes<I>(
+    pairs: I,
+    tiles: usize,
+    width: usize,
+    cfg: &PoolConfig,
+) -> (Vec<CimInstruction>, Vec<usize>)
+where
+    I: Iterator<Item = (BitVec, BitVec)>,
+{
+    let per_tile = cfg.tile_rows / 2;
+    let pad = |bits: &BitVec| BitVec::from_fn(cfg.tile_cols, |j| j < width && bits.get(j));
+    let mut instructions = Vec::new();
+    let mut entries = vec![0usize; tiles];
+    for (e, (value, care)) in pairs.enumerate() {
+        let (tile, slot) = (e / per_tile, e % per_tile);
+        entries[tile] = slot + 1;
+        instructions.push(CimInstruction::WriteKey {
+            tile,
+            slot,
+            value: pad(&value),
+            care: pad(&care),
+        });
+    }
+    (instructions, entries)
+}
+
+/// Bytes of CAM entries resident across tiles (two full rows per entry).
+fn cam_resident_bytes(count: usize, cfg: &PoolConfig) -> u64 {
+    2 * count as u64 * cfg.tile_cols.div_ceil(8) as u64
+}
+
 /// Lowers a [`DatasetSpec`] into its one-time load program.
 pub(crate) fn compile_dataset_load(
     spec: &DatasetSpec,
@@ -1338,6 +1916,72 @@ pub(crate) fn compile_dataset_load(
                     d: *d,
                 },
                 resident_bytes: (*classes * *d) as u64 / 8,
+            })
+        }
+        DatasetSpec::CamRules {
+            rules,
+            width,
+            wildcard_density,
+            seed: table_seed,
+        } => {
+            cam_entry_width_check(*width, cfg)?;
+            if *rules == 0 {
+                return Err(CompileError::EmptyWorkload);
+            }
+            let tiles = cam_entry_tiles(*rules, cfg).map_err(|e| match e {
+                CompileError::NeedsMoreDigitalTiles { required, .. } => too_large(required, 0),
+                other => other,
+            })?;
+            let set = RuleSet::generate(*rules, *width, *wildcard_density, *table_seed);
+            let (instructions, entries) = emit_cam_entry_writes(
+                set.rules()
+                    .iter()
+                    .map(|r| (r.value.clone(), r.care.clone())),
+                tiles,
+                *width,
+                cfg,
+            );
+            Ok(DatasetProgram {
+                instructions,
+                demand: TileDemand {
+                    digital: tiles,
+                    analog: 0,
+                },
+                payload: ResidentPayload::CamRules {
+                    rules: Arc::new(set),
+                    entries,
+                },
+                resident_bytes: cam_resident_bytes(*rules, cfg),
+            })
+        }
+        DatasetSpec::CamKeys { keys, width } => {
+            cam_entry_width_check(*width, cfg)?;
+            if keys.is_empty() {
+                return Err(CompileError::EmptyWorkload);
+            }
+            let tiles = cam_entry_tiles(keys.len(), cfg).map_err(|e| match e {
+                CompileError::NeedsMoreDigitalTiles { required, .. } => too_large(required, 0),
+                other => other,
+            })?;
+            let care = BitVec::ones(*width);
+            let (instructions, entries) = emit_cam_entry_writes(
+                keys.iter().map(|&k| (key_bits(k, *width), care.clone())),
+                tiles,
+                *width,
+                cfg,
+            );
+            Ok(DatasetProgram {
+                instructions,
+                demand: TileDemand {
+                    digital: tiles,
+                    analog: 0,
+                },
+                payload: ResidentPayload::CamKeys {
+                    keys: Arc::new(keys.clone()),
+                    width: *width,
+                    entries,
+                },
+                resident_bytes: cam_resident_bytes(keys.len(), cfg),
             })
         }
         DatasetSpec::NnWeights { network } => {
@@ -1651,7 +2295,9 @@ fn digital_tile_of(instr: &CimInstruction) -> Option<usize> {
         CimInstruction::WriteRow { tile, .. }
         | CimInstruction::ReadRow { tile, .. }
         | CimInstruction::Logic { tile, .. }
-        | CimInstruction::StoreLast { tile, .. } => Some(*tile),
+        | CimInstruction::StoreLast { tile, .. }
+        | CimInstruction::WriteKey { tile, .. }
+        | CimInstruction::MatchSearch { tile, .. } => Some(*tile),
         CimInstruction::ProgramMatrix { .. }
         | CimInstruction::Mvm { .. }
         | CimInstruction::MvmT { .. } => None,
@@ -1664,7 +2310,9 @@ fn retile_digital(instr: &mut CimInstruction, to: usize) {
         CimInstruction::WriteRow { tile, .. }
         | CimInstruction::ReadRow { tile, .. }
         | CimInstruction::Logic { tile, .. }
-        | CimInstruction::StoreLast { tile, .. } => *tile = to,
+        | CimInstruction::StoreLast { tile, .. }
+        | CimInstruction::WriteKey { tile, .. }
+        | CimInstruction::MatchSearch { tile, .. } => *tile = to,
         _ => unreachable!("splittable streams are digital-only"),
     }
 }

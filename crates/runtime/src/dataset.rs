@@ -20,6 +20,7 @@ use crate::job::{DatasetId, TenantId};
 use crate::schedule::PoolShared;
 use cim_bitmap_db::tpch::LineItemTable;
 use cim_core::AddressMap;
+use cim_crossbar::cam::RuleSet;
 use cim_hdc::lang::LanguageTask;
 use cim_nn::binarized::BinarizedMlp;
 use cim_obs::SpanId;
@@ -50,6 +51,32 @@ pub enum DatasetSpec {
         ngram: usize,
         /// Training symbols per language.
         train_len: usize,
+    },
+    /// A synthetic priority-ordered ternary rule table, resident as CAM
+    /// entries (value + care row pairs) in digital tiles. Searched with
+    /// [`crate::WorkloadSpec::CamSearch`] and classified against with
+    /// [`crate::WorkloadSpec::RuleClassify`].
+    CamRules {
+        /// Rules to generate.
+        rules: usize,
+        /// Rule width in bits (≤ 64 so packets fit machine words).
+        width: usize,
+        /// Per-bit wildcard probability.
+        wildcard_density: f64,
+        /// Seed of the synthetic table.
+        seed: u64,
+    },
+    /// An explicit key dictionary, resident as binary-CAM entries
+    /// (all-ones care rows) in digital tiles — the build side of a
+    /// dictionary join. Probed with
+    /// [`crate::WorkloadSpec::KeyLookup`] (exact search, lowest-index
+    /// slot wins) or searched raw with
+    /// [`crate::WorkloadSpec::CamSearch`].
+    CamKeys {
+        /// The dictionary keys, one CAM slot each (low `width` bits).
+        keys: Vec<u64>,
+        /// Key width in bits (1..=64).
+        width: usize,
     },
     /// A binarized network's weight matrices, resident as one
     /// programmed analog tile per layer — the canonical stationary
@@ -163,6 +190,19 @@ pub(crate) enum ResidentPayload {
     /// inter-layer activations host-side; finalization decodes scores
     /// against its final layer's fan-in).
     Nn { network: Arc<BinarizedMlp> },
+    /// CAM rule table: the generating rules (host scan references for
+    /// classification) and the entry count of each resident tile.
+    CamRules {
+        rules: Arc<RuleSet>,
+        entries: Vec<usize>,
+    },
+    /// CAM key dictionary: the stored keys (host probe references) and
+    /// the entry count of each resident tile.
+    CamKeys {
+        keys: Arc<Vec<u64>>,
+        width: usize,
+        entries: Vec<usize>,
+    },
 }
 
 impl ResidentPayload {
@@ -172,6 +212,8 @@ impl ResidentPayload {
             ResidentPayload::Q6 { .. } => "q6-table",
             ResidentPayload::Hdc { .. } => "hdc-prototypes",
             ResidentPayload::Nn { .. } => "nn-weights",
+            ResidentPayload::CamRules { .. } => "cam-rules",
+            ResidentPayload::CamKeys { .. } => "cam-keys",
         }
     }
 }

@@ -8,7 +8,7 @@
 
 use cim_bitmap_db::query::Q6Result;
 use cim_bitmap_db::tpch::Q6Params;
-use cim_core::isa::{CimInstruction, CimResponse};
+use cim_core::isa::{CimInstruction, CimResponse, MatchKind};
 use cim_core::offload::OffloadEstimate;
 use cim_core::ExecutionStats;
 use cim_crossbar::energy::OperationCost;
@@ -172,6 +172,63 @@ pub enum WorkloadSpec {
         /// Input vectors, one inference each.
         inputs: Vec<BitVec>,
     },
+    /// An associative search against a resident
+    /// [`crate::DatasetSpec::CamRules`] or
+    /// [`crate::DatasetSpec::CamKeys`] dataset: every key is one
+    /// match-line access per resident tile, returning the raw per-entry
+    /// match bits. The lowest-level associative workload — the
+    /// classification and lookup specs below are conveniences over it.
+    CamSearch {
+        /// The registered dataset to search.
+        dataset: DatasetId,
+        /// Exact, ternary or analog range semantics.
+        kind: MatchKind,
+        /// Search keys, one match-line access per key per tile (each
+        /// key's width must equal the dataset's entry width).
+        keys: Vec<BitVec>,
+    },
+    /// Packet classification against a resident
+    /// [`crate::DatasetSpec::CamRules`] rule table: one ternary search
+    /// per packet, resolved to the highest-priority (lowest-index)
+    /// matching rule host-side. Bit-identical to
+    /// [`cim_crossbar::RuleSet::classify`].
+    RuleClassify {
+        /// The registered rule table to classify against.
+        dataset: DatasetId,
+        /// Packets as machine words (low `width` bits used).
+        packets: Vec<u64>,
+    },
+    /// Key lookup against a resident [`crate::DatasetSpec::CamKeys`]
+    /// dictionary: one exact search per probe, resolved to the
+    /// lowest-index matching slot host-side — the CAM-side half of a
+    /// dictionary join.
+    KeyLookup {
+        /// The registered key dictionary to probe.
+        dataset: DatasetId,
+        /// Probe keys as machine words (low `width` bits used).
+        probes: Vec<u64>,
+    },
+    /// Hyperdimensional associative memory served by the CAM tiles:
+    /// class prototypes stored as CAM entries, each query resolved by an
+    /// expanding Hamming-distance window sweep
+    /// ([`MatchKind::Range`]) with a host re-rank over the final match
+    /// set. Replaces [`WorkloadSpec::HdcClassify`]'s host-side argmax
+    /// with in-memory search; predictions are bit-identical to it under
+    /// binarized readout.
+    HdcAssoc {
+        /// Number of synthetic languages.
+        classes: usize,
+        /// Hypervector dimension.
+        d: usize,
+        /// n-gram order of the encoder.
+        ngram: usize,
+        /// Training symbols per language.
+        train_len: usize,
+        /// Queries to classify (round-robin over classes).
+        samples: usize,
+        /// Symbols per query.
+        sample_len: usize,
+    },
     /// Image filtering, the `cim-imgproc` workload: the 8-bit-quantized
     /// image resides as packed rows in digital tiles and every output
     /// row streams its `(2r+1)`-row neighbourhood through row reads —
@@ -250,6 +307,14 @@ pub enum JobKind {
     NnInfer,
     /// [`WorkloadSpec::NnQuery`].
     NnQuery,
+    /// [`WorkloadSpec::CamSearch`].
+    CamSearch,
+    /// [`WorkloadSpec::RuleClassify`].
+    RuleClassify,
+    /// [`WorkloadSpec::KeyLookup`].
+    KeyLookup,
+    /// [`WorkloadSpec::HdcAssoc`].
+    HdcAssoc,
     /// [`WorkloadSpec::ImgFilter`].
     ImgFilter,
 }
@@ -267,6 +332,10 @@ impl JobKind {
             JobKind::HdcQuery => "hdc-query",
             JobKind::NnInfer => "nn-infer",
             JobKind::NnQuery => "nn-query",
+            JobKind::CamSearch => "cam-search",
+            JobKind::RuleClassify => "rule-classify",
+            JobKind::KeyLookup => "key-lookup",
+            JobKind::HdcAssoc => "hdc-assoc",
             JobKind::ImgFilter => "img-filter",
         }
     }
@@ -285,6 +354,10 @@ impl WorkloadSpec {
             WorkloadSpec::HdcQuery { .. } => JobKind::HdcQuery,
             WorkloadSpec::NnInfer { .. } => JobKind::NnInfer,
             WorkloadSpec::NnQuery { .. } => JobKind::NnQuery,
+            WorkloadSpec::CamSearch { .. } => JobKind::CamSearch,
+            WorkloadSpec::RuleClassify { .. } => JobKind::RuleClassify,
+            WorkloadSpec::KeyLookup { .. } => JobKind::KeyLookup,
+            WorkloadSpec::HdcAssoc { .. } => JobKind::HdcAssoc,
             WorkloadSpec::ImgFilter { .. } => JobKind::ImgFilter,
         }
     }
@@ -294,7 +367,10 @@ impl WorkloadSpec {
         match self {
             WorkloadSpec::Q6Query { dataset, .. }
             | WorkloadSpec::HdcQuery { dataset, .. }
-            | WorkloadSpec::NnQuery { dataset, .. } => Some(*dataset),
+            | WorkloadSpec::NnQuery { dataset, .. }
+            | WorkloadSpec::CamSearch { dataset, .. }
+            | WorkloadSpec::RuleClassify { dataset, .. }
+            | WorkloadSpec::KeyLookup { dataset, .. } => Some(*dataset),
             _ => None,
         }
     }
@@ -350,6 +426,15 @@ pub enum JobOutput {
     Nn(NnOutcome),
     /// A filtered image.
     Image(GrayImage),
+    /// Per-key match sets of a [`WorkloadSpec::CamSearch`] job: bit `s`
+    /// of entry `keys[q]` is set when resident entry `s` matched key
+    /// `q` (entries in dataset order across tiles).
+    Matches(Vec<BitVec>),
+    /// Per-probe resolved slots: for [`WorkloadSpec::RuleClassify`] the
+    /// highest-priority (lowest-index) matching rule, for
+    /// [`WorkloadSpec::KeyLookup`] the lowest-index matching dictionary
+    /// slot; `None` when nothing matched.
+    Lookups(Vec<Option<u32>>),
     /// Raw responses of every instruction in a [`WorkloadSpec::Raw`] job.
     Responses(Vec<CimResponse>),
 }
@@ -630,6 +715,40 @@ mod tests {
         assert_eq!(img.kind(), JobKind::ImgFilter);
         assert_eq!(img.dataset(), None);
         assert_eq!(ImgFilterOp::Box { radius: 3 }.radius(), 3);
+    }
+
+    #[test]
+    fn cam_specs_classify_and_name_their_dataset() {
+        let search = WorkloadSpec::CamSearch {
+            dataset: DatasetId(5),
+            kind: MatchKind::Ternary,
+            keys: vec![BitVec::zeros(16)],
+        };
+        assert_eq!(search.kind(), JobKind::CamSearch);
+        assert_eq!(search.kind().label(), "cam-search");
+        assert_eq!(search.dataset(), Some(DatasetId(5)));
+        let classify = WorkloadSpec::RuleClassify {
+            dataset: DatasetId(6),
+            packets: vec![0b1010],
+        };
+        assert_eq!(classify.kind().label(), "rule-classify");
+        assert_eq!(classify.dataset(), Some(DatasetId(6)));
+        let lookup = WorkloadSpec::KeyLookup {
+            dataset: DatasetId(7),
+            probes: vec![3, 9],
+        };
+        assert_eq!(lookup.kind().label(), "key-lookup");
+        assert_eq!(lookup.dataset(), Some(DatasetId(7)));
+        let assoc = WorkloadSpec::HdcAssoc {
+            classes: 4,
+            d: 256,
+            ngram: 3,
+            train_len: 100,
+            samples: 8,
+            sample_len: 20,
+        };
+        assert_eq!(assoc.kind().label(), "hdc-assoc");
+        assert_eq!(assoc.dataset(), None, "HdcAssoc carries its own prototypes");
     }
 
     #[test]

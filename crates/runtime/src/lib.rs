@@ -14,7 +14,8 @@
 //! * **[`client`]** — per-tenant sessions. [`PoolClient::submit`] is
 //!   non-blocking and returns a [`JobHandle`] (`poll`/`wait`);
 //!   [`PoolClient::register_dataset`] pins resident data (Q6 bitmap
-//!   bins, HDC prototypes, binarized NN weight matrices) into pool
+//!   bins, HDC prototypes, binarized NN weight matrices, CAM rule
+//!   tables and key dictionaries) into pool
 //!   tiles behind a reference-counted [`DatasetHandle`] so repeated
 //!   queries skip the resident-data writes — the amortization the
 //!   paper's accelerator model wins by, with NN weights as the
@@ -22,7 +23,9 @@
 //! * **[`compile`]** — lowers each application workload (TPC-H Q6
 //!   bitmap select, HDC language classification, binarized NN
 //!   inference, box/guided image filtering, one-time-pad XOR, bulk
-//!   Scouting-Logic reductions, raw streams, and dataset queries) into
+//!   Scouting-Logic reductions, raw streams, associative CAM searches
+//!   — exact, ternary, and analog range match over resident rule
+//!   tables and key dictionaries — and dataset queries) into
 //!   a [`cim_core::CimInstruction`] stream over virtual tiles plus a
 //!   resident-data placement in the extended address space
 //!   ([`cim_core::AddressMap`]). With this layer every application
@@ -100,6 +103,9 @@ pub mod trace;
 
 pub(crate) use schedule::mix_seed;
 
+pub use cim_core::isa::MatchKind;
+pub use cim_crossbar::analog::AnalogParams;
+pub use cim_device::reram::ReramParams;
 pub use client::{JobHandle, PoolClient};
 pub use compile::{CompileError, CompiledJob, Finalizer, HostProfile, TileDemand};
 pub use dataset::{DatasetHandle, DatasetSpec};

@@ -55,7 +55,9 @@ use cim_arch::conventional::ConventionalMachine;
 use cim_core::isa::{CimInstruction, CimResponse};
 use cim_core::offload::{OffloadEstimate, Program};
 use cim_core::{AddressMap, CimAccelerator, CimAcceleratorBuilder, DeviceCounters, ExecutionStats};
+use cim_crossbar::analog::AnalogParams;
 use cim_crossbar::energy::OperationCost;
+use cim_device::reram::ReramParams;
 use cim_obs::{NullSink, SpanId, TraceSink, Value};
 use cim_simkit::rng::seeded;
 use cim_simkit::units::ByteSize;
@@ -95,6 +97,16 @@ pub struct PoolConfig {
     pub max_batch_cost: u64,
     /// Whether to coalesce compatible jobs at all.
     pub coalesce: bool,
+    /// Binary-device technology of every shard's digital tiles. The
+    /// default is the workspace's representative HfO₂ ReRAM; tests that
+    /// need provably exact analog range-match windows zero the
+    /// variation sigmas here.
+    pub reram_params: ReramParams,
+    /// Analog-tile configuration (PCM devices, converter resolutions,
+    /// drift) of every shard. Defaults to the realistic stack;
+    /// [`AnalogParams::ideal`] isolates algorithmic behaviour from
+    /// analog non-idealities.
+    pub analog_params: AnalogParams,
 }
 
 impl Default for PoolConfig {
@@ -112,6 +124,8 @@ impl Default for PoolConfig {
             max_batch_jobs: 8,
             max_batch_cost: 1 << 14,
             coalesce: true,
+            reram_params: ReramParams::default(),
+            analog_params: AnalogParams::default(),
         }
     }
 }
@@ -384,6 +398,8 @@ impl RuntimePool {
             let accelerator = CimAcceleratorBuilder::new()
                 .digital_tiles(cfg.digital_tiles, cfg.tile_rows, cfg.tile_cols)
                 .analog_tiles(cfg.analog_tiles, cfg.analog_rows, cfg.analog_cols)
+                .reram_params(cfg.reram_params)
+                .analog_params(cfg.analog_params)
                 .seed(shard_seed)
                 .build();
             let (tx, rx) = channel();
@@ -967,9 +983,14 @@ impl PoolShared {
                     .expect("load program stays inside its demand");
                 let scrub_rows: Vec<(usize, usize)> = relocated
                     .iter()
-                    .filter_map(|i| match i {
-                        CimInstruction::WriteRow { tile, row, .. } => Some((*tile, *row)),
-                        _ => None,
+                    .flat_map(|i| match i {
+                        CimInstruction::WriteRow { tile, row, .. } => vec![(*tile, *row)],
+                        // A key write pulses both rows of the entry's
+                        // row pair; release must scrub them both.
+                        CimInstruction::WriteKey { tile, slot, .. } => {
+                            vec![(*tile, 2 * slot), (*tile, 2 * slot + 1)]
+                        }
+                        _ => vec![],
                     })
                     .collect();
                 placements.push(ShardPlacement {
@@ -1913,6 +1934,10 @@ fn relocate(
     for (index, instr) in instructions.iter_mut().enumerate() {
         match instr {
             CimInstruction::WriteRow { tile, .. } => *tile = digital(*tile)?,
+            CimInstruction::WriteKey { tile, .. } => *tile = digital(*tile)?,
+            // Match sets are entry-indexed, not tile-width: the
+            // accelerator never latches them as a `StoreLast` operand.
+            CimInstruction::MatchSearch { tile, .. } => *tile = digital(*tile)?,
             CimInstruction::ReadRow { tile, .. } => {
                 have_bits = true;
                 *tile = digital(*tile)?;
@@ -2127,6 +2152,10 @@ fn run_job(
             CimInstruction::WriteRow { tile, row, .. } => {
                 written_rows.insert((*tile, *row));
             }
+            CimInstruction::WriteKey { tile, slot, .. } => {
+                written_rows.insert((*tile, 2 * slot));
+                written_rows.insert((*tile, 2 * slot + 1));
+            }
             CimInstruction::ProgramMatrix { tile, .. } => {
                 programmed_tiles.insert(*tile);
             }
@@ -2205,7 +2234,9 @@ mod tests {
     use crate::job::{JobKind, JobOutput};
     use cim_bitmap_db::query::q6_scan;
     use cim_bitmap_db::tpch::{LineItemTable, Q6Params};
+    use cim_crossbar::cam::{key_bits, MatchKind, RuleSet};
     use cim_crossbar::scouting::ScoutOp;
+    use cim_nn::binarized::BinarizedMlp;
     use cim_simkit::bitvec::BitVec;
     use cim_xor_cipher::otp::OneTimePad;
 
@@ -2724,6 +2755,297 @@ mod tests {
         assert_eq!(usage.queries, 3);
         assert_eq!(usage.load_stats.row_writes, 2 * 145, "bins written once");
         assert!(usage.amortized_load_writes_per_query() < usage.load_stats.row_writes as f64);
+    }
+
+    /// Tentpole: a resident ternary rule table classifies packets
+    /// through the pool bit-identically to the host-side priority scan.
+    #[test]
+    fn rule_classify_through_pool_matches_host_scan() {
+        let pool = RuntimePool::new(PoolConfig::with_shards(2));
+        let session = pool.client(TenantId(3));
+        let table = session
+            .register_dataset(&DatasetSpec::CamRules {
+                rules: 96,
+                width: 32,
+                wildcard_density: 0.3,
+                seed: 77,
+            })
+            .unwrap();
+        let host = RuleSet::generate(96, 32, 0.3, 77);
+        let mut rng = seeded(4242);
+        let packets: Vec<u64> = (0..40)
+            .map(|_| {
+                host.sample_packet(&mut rng)
+                    .iter_ones()
+                    .fold(0u64, |acc, j| acc | 1 << j)
+            })
+            .collect();
+        let report = session
+            .submit(&WorkloadSpec::RuleClassify {
+                dataset: table.id(),
+                packets: packets.clone(),
+            })
+            .unwrap()
+            .wait();
+        let expected: Vec<Option<u32>> = packets
+            .iter()
+            .map(|&p| host.classify(&key_bits(p, 32)))
+            .collect();
+        assert!(
+            expected.iter().any(|m| m.is_some()),
+            "sampled packets hit rules"
+        );
+        assert_eq!(report.output, Ok(JobOutput::Lookups(expected)));
+        assert_eq!(
+            report.stats.row_writes, 0,
+            "rule writes were paid at registration"
+        );
+        assert!(report.stats.searches > 0);
+        let usage = &pool.telemetry().datasets[&table.id().0];
+        assert_eq!(usage.kind, "cam-rules");
+        assert!(
+            usage.load_stats.key_writes > 0,
+            "keys written once, at load"
+        );
+    }
+
+    /// Tentpole: an exact-match key dictionary resolves probes to their
+    /// lowest matching slot — the build side of a dictionary join — and
+    /// misses come back as `None`.
+    #[test]
+    fn key_lookup_resolves_lowest_slot_and_misses() {
+        let pool = RuntimePool::new(PoolConfig::with_shards(1));
+        let session = pool.client(TenantId(4));
+        // Slot 1 and slot 3 store the same key: the lower slot must win,
+        // mirroring the host-side first-match scan.
+        let keys: Vec<u64> = vec![5, 9, 14, 9, 21, 33];
+        let dict = session
+            .register_dataset(&DatasetSpec::CamKeys {
+                keys: keys.clone(),
+                width: 16,
+            })
+            .unwrap();
+        let probes: Vec<u64> = vec![9, 33, 7, 5, 1000];
+        let report = session
+            .submit(&WorkloadSpec::KeyLookup {
+                dataset: dict.id(),
+                probes: probes.clone(),
+            })
+            .unwrap()
+            .wait();
+        let expected: Vec<Option<u32>> = probes
+            .iter()
+            .map(|p| keys.iter().position(|k| k == p).map(|i| i as u32))
+            .collect();
+        assert_eq!(expected[0], Some(1), "duplicate key resolves to slot 1");
+        assert_eq!(report.output, Ok(JobOutput::Lookups(expected)));
+    }
+
+    /// Tentpole: raw ternary match sets served through the pool equal
+    /// the host reference rule-by-rule, and in steady state every
+    /// search is certified on the word-parallel tier — no match line
+    /// ever needs explicit noise sampling.
+    #[test]
+    fn cam_search_matches_host_sets_on_the_word_tier() {
+        let pool = RuntimePool::new(PoolConfig::with_shards(1));
+        let session = pool.client(TenantId(5));
+        // 120 rules span two tiles (80 entry slots each at 160 rows).
+        let table = session
+            .register_dataset(&DatasetSpec::CamRules {
+                rules: 120,
+                width: 24,
+                wildcard_density: 0.25,
+                seed: 13,
+            })
+            .unwrap();
+        let host = RuleSet::generate(120, 24, 0.25, 13);
+        let mut rng = seeded(99);
+        let packets: Vec<BitVec> = (0..16).map(|_| host.sample_packet(&mut rng)).collect();
+        let keys: Vec<BitVec> = packets
+            .iter()
+            .map(|p| BitVec::from_fn(24, |j| p.get(j)))
+            .collect();
+        let report = session
+            .submit(&WorkloadSpec::CamSearch {
+                dataset: table.id(),
+                kind: MatchKind::Ternary,
+                keys,
+            })
+            .unwrap()
+            .wait();
+        let expected: Vec<BitVec> = packets.iter().map(|p| host.matches(p)).collect();
+        assert_eq!(report.output, Ok(JobOutput::Matches(expected)));
+        assert_eq!(report.stats.searches, 2 * 16, "two tiles x 16 keys");
+        assert_eq!(
+            report.device.match_pulses,
+            120 * 16,
+            "every entry fires once per key"
+        );
+        assert_eq!(
+            report.device.sampled_columns, 0,
+            "steady state: the word-parallel tier certifies every match line"
+        );
+    }
+
+    /// Tentpole: a rule table bigger than one shard scatters its CAM
+    /// entries across shards, and searches gather bit-identically to
+    /// the host reference — the split is invisible to the caller.
+    #[test]
+    fn split_cam_rules_search_matches_host_across_shards() {
+        let pool = RuntimePool::new(PoolConfig::with_shards(2));
+        let session = pool.client(TenantId(6));
+        // 400 rules need 5 tiles; a shard has 4, so the pin must span
+        // both shards.
+        let table = session
+            .register_dataset(&DatasetSpec::CamRules {
+                rules: 400,
+                width: 48,
+                wildcard_density: 0.4,
+                seed: 31,
+            })
+            .unwrap();
+        assert_eq!(table.shards().len(), 2, "pin scattered across shards");
+        let host = RuleSet::generate(400, 48, 0.4, 31);
+        let mut rng = seeded(7);
+        let packets: Vec<BitVec> = (0..8).map(|_| host.sample_packet(&mut rng)).collect();
+        let report = session
+            .submit(&WorkloadSpec::CamSearch {
+                dataset: table.id(),
+                kind: MatchKind::Ternary,
+                keys: packets
+                    .iter()
+                    .map(|p| BitVec::from_fn(48, |j| p.get(j)))
+                    .collect(),
+            })
+            .unwrap()
+            .wait();
+        let expected: Vec<BitVec> = packets.iter().map(|p| host.matches(p)).collect();
+        assert_eq!(report.output, Ok(JobOutput::Matches(expected)));
+        assert_eq!(report.shards.len(), 2, "search scatter-gathered");
+        // Priority classification decodes from the same gathered sets.
+        let classify = session
+            .submit(&WorkloadSpec::RuleClassify {
+                dataset: table.id(),
+                packets: packets
+                    .iter()
+                    .map(|p| p.iter_ones().fold(0u64, |acc, j| acc | 1 << j))
+                    .collect(),
+            })
+            .unwrap()
+            .wait();
+        let expected: Vec<Option<u32>> = packets.iter().map(|p| host.classify(p)).collect();
+        assert_eq!(classify.output, Ok(JobOutput::Lookups(expected)));
+    }
+
+    /// Satellite: the associative-memory path (`HdcAssoc`, range-match
+    /// sweep over CAM prototypes) reproduces the MVM classifier
+    /// (`HdcClassify`) bit for bit — same task seed, same queries, same
+    /// lowest-index argmax — on noise-free devices where both sides'
+    /// decisions are provably exact.
+    #[test]
+    fn hdc_assoc_matches_hdc_classify_bit_for_bit() {
+        let cfg = PoolConfig {
+            shards: 1,
+            reram_params: ReramParams {
+                sigma_d2d: 0.0,
+                sigma_c2c: 0.0,
+                ..ReramParams::default()
+            },
+            analog_params: AnalogParams::ideal(),
+            ..PoolConfig::default()
+        };
+        let run = |spec: &WorkloadSpec| {
+            // A fresh pool per spec: both jobs get index 0, hence the
+            // same derived seed, task, and query stream.
+            let pool = RuntimePool::new(cfg);
+            let report = pool.client(TenantId(0)).submit(spec).unwrap().wait();
+            match report.output.unwrap() {
+                JobOutput::Hdc(outcome) => outcome,
+                other => panic!("wrong output {other:?}"),
+            }
+        };
+        // d caps at tile_cols: CAM prototypes live in one digital tile.
+        let classify = run(&WorkloadSpec::HdcClassify {
+            classes: 4,
+            d: 1024,
+            ngram: 3,
+            train_len: 2000,
+            samples: 12,
+            sample_len: 300,
+        });
+        let assoc = run(&WorkloadSpec::HdcAssoc {
+            classes: 4,
+            d: 1024,
+            ngram: 3,
+            train_len: 2000,
+            samples: 12,
+            sample_len: 300,
+        });
+        assert_eq!(assoc, classify, "associative memory = MVM classifier");
+        let right = assoc
+            .predictions
+            .iter()
+            .zip(&assoc.expected)
+            .filter(|(p, e)| p == e)
+            .count();
+        assert!(right * 2 > assoc.expected.len(), "classifier is sane");
+    }
+
+    /// Satellite: cheapest-first dispatch holds across a mixed CAM /
+    /// Q6 / NN backlog — the CAM search (cost = entries per search)
+    /// jumps ahead of the costlier bitmap select and MVM-heavy
+    /// inference even though it was submitted last.
+    #[test]
+    fn mixed_cam_q6_nn_backlog_dispatches_cheapest_first() {
+        let pool = RuntimePool::new(PoolConfig::with_shards(1));
+        let session = pool.client(TenantId(0));
+        let table = session
+            .register_dataset(&DatasetSpec::CamRules {
+                rules: 64,
+                width: 16,
+                wildcard_density: 0.2,
+                seed: 5,
+            })
+            .unwrap();
+        let _nn = session
+            .submit(&WorkloadSpec::NnInfer {
+                network: BinarizedMlp::random(&[8, 6, 3], 5),
+                inputs: vec![BitVec::from_fn(8, |j| j % 2 == 0)],
+            })
+            .unwrap();
+        let _q6 = session
+            .submit(&WorkloadSpec::Q6Select {
+                rows: 1800,
+                table_seed: 21,
+                params: Q6Params::tpch_default(),
+            })
+            .unwrap();
+        let cam = session
+            .submit(&WorkloadSpec::CamSearch {
+                dataset: table.id(),
+                kind: MatchKind::Exact,
+                keys: vec![key_bits(3, 16)],
+            })
+            .unwrap();
+        let batches = {
+            let mut st = pool.shared.state.lock().unwrap();
+            plan(&mut st, pool.config(), true, 8, &Tracer::disabled())
+        };
+        let order: Vec<(u64, JobId)> = batches
+            .iter()
+            .map(|(_, b)| {
+                (
+                    b.jobs.iter().map(|p| p.compiled.estimated_cost()).sum(),
+                    b.jobs[0].compiled.job,
+                )
+            })
+            .collect();
+        assert_eq!(order.len(), 3, "three families, three batches: {order:?}");
+        assert!(
+            order.windows(2).all(|w| w[0].0 <= w[1].0),
+            "batches dispatch cheapest-first: {order:?}"
+        );
+        assert_eq!(order[0].1, cam.id(), "the cheap CAM search goes first");
     }
 
     /// Regression: a fresh-lease job must route around shards whose

@@ -30,6 +30,8 @@ pub fn stats_delta(after: &ExecutionStats, before: &ExecutionStats) -> Execution
         logic_ops: after.logic_ops - before.logic_ops,
         matrix_programs: after.matrix_programs - before.matrix_programs,
         mvms: after.mvms - before.mvms,
+        key_writes: after.key_writes - before.key_writes,
+        searches: after.searches - before.searches,
         energy: after.energy - before.energy,
         busy_time: after.busy_time - before.busy_time,
     }
@@ -42,6 +44,8 @@ pub fn stats_accumulate(dst: &mut ExecutionStats, s: &ExecutionStats) {
     dst.logic_ops += s.logic_ops;
     dst.matrix_programs += s.matrix_programs;
     dst.mvms += s.mvms;
+    dst.key_writes += s.key_writes;
+    dst.searches += s.searches;
     dst.energy += s.energy;
     dst.busy_time += s.busy_time;
 }
@@ -63,7 +67,8 @@ pub struct DatasetUsage {
     /// The owning tenant.
     pub tenant: u32,
     /// What is resident (`"q6-table"`, `"hdc-prototypes"`,
-    /// `"nn-weights"`), recorded when the load completes.
+    /// `"nn-weights"`, `"cam-rules"`, `"cam-keys"`), recorded when the
+    /// load completes.
     pub kind: &'static str,
     /// Bytes resident in the pinned tiles.
     pub resident_bytes: u64,
@@ -342,6 +347,8 @@ mod tests {
             logic_ops: 2,
             matrix_programs: 0,
             mvms: 4,
+            key_writes: 2,
+            searches: 6,
             energy: Joules(1.5),
             busy_time: Seconds(0.25),
         };

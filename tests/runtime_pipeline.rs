@@ -11,7 +11,10 @@
 //!    until the last `DatasetHandle` drops, and are never readable by
 //!    another tenant.
 
-use cim_repro::cim_bitmap_db::query::q6_scan;
+use cim_repro::cim_bitmap_db::query::{
+    q6_bin_dictionary, q6_probe_keys, q6_result_from_selection, q6_scan,
+    q6_selection_from_bin_slots, Q6Indexes, Q6_BIN_KEY_WIDTH,
+};
 use cim_repro::cim_bitmap_db::tpch::{LineItemTable, Q6Params};
 use cim_repro::cim_core::isa::CimInstruction;
 use cim_repro::cim_core::ExecutionStats;
@@ -549,4 +552,52 @@ fn resident_hdc_prototypes_serve_queries() {
     let usage = &telemetry.datasets[&prototypes.id().0];
     assert_eq!(usage.load_stats.matrix_programs, 1, "programmed once");
     assert_eq!(usage.queries, 2);
+}
+
+/// The CAM-side half of a dictionary join closes the Q6 bitmap plan:
+/// the bin dictionary lives resident in CAM slots, the predicate values
+/// resolve to bin slots through `KeyLookup` exact searches, and the
+/// host reassembles the selection — revenue matches the scalar scan bit
+/// for bit. Exact match is noise-immune (zero mismatches ⇒ exactly zero
+/// match-line current), so no noise knobs are needed.
+#[test]
+fn key_lookup_joins_the_q6_bitmap_plan() {
+    let table = LineItemTable::generate(1500, 23);
+    let params = Q6Params::tpch_default();
+    let idx = Q6Indexes::build(&table);
+
+    let pool = RuntimePool::new(PoolConfig::default());
+    let session = pool.client(TenantId(8));
+    let dictionary = session
+        .register_dataset(&DatasetSpec::CamKeys {
+            keys: q6_bin_dictionary(&idx),
+            width: Q6_BIN_KEY_WIDTH,
+        })
+        .unwrap();
+    let probes = q6_probe_keys(&params);
+    let report = session
+        .submit(&WorkloadSpec::KeyLookup {
+            dataset: dictionary.id(),
+            probes: probes.clone(),
+        })
+        .unwrap()
+        .wait();
+
+    let slots = match report.output.expect("lookup serves") {
+        JobOutput::Lookups(slots) => slots,
+        other => panic!("unexpected output {other:?}"),
+    };
+    assert_eq!(slots.len(), probes.len());
+    assert!(slots.iter().any(Option::is_some), "predicates hit bins");
+    assert_eq!(report.stats.row_writes, 0, "dictionary already resident");
+    assert!(report.stats.searches >= probes.len() as u64);
+
+    let selection = q6_selection_from_bin_slots(&idx, &slots);
+    let joined = q6_result_from_selection(&table, &params, &selection);
+    assert_eq!(joined, q6_scan(&table, &params), "join equals scalar scan");
+
+    let telemetry = pool.telemetry();
+    let usage = &telemetry.datasets[&dictionary.id().0];
+    assert_eq!(usage.kind, "cam-keys");
+    assert!(usage.load_stats.key_writes > 0, "keys written at load");
 }
