@@ -821,6 +821,69 @@ fn traced_run() -> (String, String, Snapshot, f64) {
 /// the bound the CI perf-smoke job rides on.
 const NULL_SINK_NS_PER_OP: f64 = 100.0;
 
+/// Verify-all serving overhead: the same mixed job set served with the
+/// `cim-lint` admission verifier extended to *every* compiled program
+/// (`PoolConfig::verify_all_programs`) versus the default raw-only
+/// mode. The verifier is one linear abstract-interpretation pass per
+/// instruction stream, so it must stay in the measurement noise next
+/// to compilation and simulation: the entry asserts < 5% wall-clock
+/// overhead and records the measured fraction as `verify_overhead`.
+fn verify_all_overhead() -> BenchEntry {
+    println!("\n# VERIFY-ALL — admission-verifier overhead on the mixed job set (2 shards)\n");
+    let jobs = job_set();
+    let serve = |verify_all: bool| -> (f64, f64) {
+        let mut cfg = PoolConfig::with_shards(2);
+        cfg.verify_all_programs = verify_all;
+        let pool = RuntimePool::new(cfg);
+        // Submission included in the measured window: the verifier
+        // runs at admission, timing `wait_all` alone would hide it.
+        let start = Instant::now();
+        let handles: Vec<JobHandle> = jobs
+            .iter()
+            .map(|(tenant, spec)| pool.client(*tenant).submit(spec).expect("job fits pool"))
+            .collect();
+        let reports = pool.client(TenantId(0)).wait_all(handles);
+        let wall = start.elapsed().as_secs_f64();
+        assert!(
+            reports.iter().all(|r| r.output.is_ok()),
+            "all jobs must verify clean and complete"
+        );
+        (wall, pool.telemetry().simulated_makespan().0)
+    };
+    // One discarded warm-up (allocator + page-cache effects land on the
+    // first serve), then interleaved best-of-3 per mode: interleaving
+    // cancels slow host drift and minima damp scheduler noise, which
+    // single back-to-back runs at a 5% bar are hostage to.
+    serve(false);
+    let (mut wall_base, mut wall_verify, mut sim) = (f64::INFINITY, f64::INFINITY, 0.0);
+    for _ in 0..3 {
+        wall_base = wall_base.min(serve(false).0);
+        let (wall, s) = serve(true);
+        wall_verify = wall_verify.min(wall);
+        sim = s;
+    }
+    let overhead = (wall_verify - wall_base) / wall_base;
+    println!("{:>12} {:>12} {:>10}", "base (s)", "verify (s)", "overhead");
+    println!(
+        "{:>12.3} {:>12.3} {:>9.2}%",
+        wall_base,
+        wall_verify,
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.05,
+        "verify-all overhead {:.2}% exceeds the 5% serving bar",
+        overhead * 100.0
+    );
+    BenchEntry::new(
+        "verify_all_overhead",
+        sim,
+        wall_verify * 1e3,
+        wall_base / wall_verify,
+    )
+    .extra("verify_overhead", overhead)
+}
+
 fn observability() -> BenchEntry {
     println!("\n# OBSERVABILITY — traced serving run, exports, and null-sink overhead\n");
     let start = Instant::now();
@@ -891,6 +954,7 @@ fn main() {
     entries.push(nn_resident_amortization());
     entries.push(cam_search_vs_host_scan());
     entries.push(oversized_q6());
+    entries.push(verify_all_overhead());
     entries.push(observability());
     write_bench_json(&entries);
 }

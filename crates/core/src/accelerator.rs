@@ -431,9 +431,10 @@ fn execute_on(
             (CimResponse::Bits(bits), cost)
         }
         CimInstruction::StoreLast { tile, row } => {
-            let bits = last_bits
-                .take()
-                .expect("StoreLast with no preceding bits-producing instruction");
+            let bits = match last_bits.take() {
+                Some(bits) => bits,
+                None => panic!("StoreLast with no preceding bits-producing instruction"),
+            };
             let cost = digital_tiles[tile].write_row(row, &bits);
             stats.row_writes += 1;
             account(stats, cost);

@@ -156,6 +156,129 @@ impl CimInstruction {
     }
 }
 
+/// Which tile family an instruction addresses. The two families have
+/// separate index spaces (see [`CimInstruction`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TileFamily {
+    /// Binary ReRAM tiles: row writes/reads, Scouting Logic, CAM mode.
+    Digital,
+    /// PCM differential crossbars: matrix programming and MVMs.
+    Analog,
+}
+
+/// The static effect summary of one instruction: which tile it
+/// addresses, which digital rows it reads and writes, whether it
+/// defines or consumes the accelerator's `last_bits` latch, and which
+/// CAM entry slots it touches.
+///
+/// This is the per-instruction ground truth static analyzers build on
+/// (the `cim-lint` abstract interpreter walks a program folding these
+/// summaries): it is derived here, next to the executor semantics, so
+/// the analysis can never drift from what [`CimInstruction`] actually
+/// does to a tile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EffectSummary {
+    /// The tile family the instruction addresses.
+    pub family: TileFamily,
+    /// The tile index within its family.
+    pub tile: usize,
+    /// Digital rows the instruction senses (activated rows of a logic
+    /// operation, the read row, the value+care rows of a match-line
+    /// search). Empty for analog instructions.
+    pub rows_read: Vec<usize>,
+    /// Digital rows the instruction stores into (row writes, latch
+    /// write-backs, the value+care row pair of a CAM key write).
+    pub rows_written: Vec<usize>,
+    /// Whether the instruction leaves a bit-vector result in the
+    /// `last_bits` latch for a following
+    /// [`CimInstruction::StoreLast`]. Match searches return bits but do
+    /// *not* define the latch (match sets are entry-indexed, not
+    /// tile-width).
+    pub defines_latch: bool,
+    /// Whether the instruction requires a live `last_bits` latch
+    /// (today only [`CimInstruction::StoreLast`], which takes the latch
+    /// and re-defines it with the same value).
+    pub consumes_latch: bool,
+    /// CAM entry slots the instruction touches (the written slot of a
+    /// key write; every searched slot of a match search).
+    pub cam_slots: Vec<usize>,
+    /// Whether the instruction senses the tile's programmed matrix
+    /// (analog MVMs, forward and transpose).
+    pub reads_matrix: bool,
+    /// Whether the instruction reprograms the tile's matrix.
+    pub writes_matrix: bool,
+}
+
+impl EffectSummary {
+    /// An effect-free summary addressing one tile; the per-instruction
+    /// constructors fill in what actually happens.
+    fn at(family: TileFamily, tile: usize) -> Self {
+        EffectSummary {
+            family,
+            tile,
+            rows_read: Vec::new(),
+            rows_written: Vec::new(),
+            defines_latch: false,
+            consumes_latch: false,
+            cam_slots: Vec::new(),
+            reads_matrix: false,
+            writes_matrix: false,
+        }
+    }
+}
+
+impl CimInstruction {
+    /// The static [`EffectSummary`] of this instruction.
+    ///
+    /// Mirrors the executor in `cim_core::accelerator` effect for
+    /// effect: a `StoreLast` both consumes and re-defines the latch
+    /// (the executor puts the taken value back), and a `MatchSearch`
+    /// reads the value+care row pair of every searched entry without
+    /// touching the latch.
+    pub fn effects(&self) -> EffectSummary {
+        match self {
+            CimInstruction::WriteRow { tile, row, .. } => EffectSummary {
+                rows_written: vec![*row],
+                ..EffectSummary::at(TileFamily::Digital, *tile)
+            },
+            CimInstruction::ReadRow { tile, row } => EffectSummary {
+                rows_read: vec![*row],
+                defines_latch: true,
+                ..EffectSummary::at(TileFamily::Digital, *tile)
+            },
+            CimInstruction::Logic { tile, rows, .. } => EffectSummary {
+                rows_read: rows.clone(),
+                defines_latch: true,
+                ..EffectSummary::at(TileFamily::Digital, *tile)
+            },
+            CimInstruction::StoreLast { tile, row } => EffectSummary {
+                rows_written: vec![*row],
+                defines_latch: true,
+                consumes_latch: true,
+                ..EffectSummary::at(TileFamily::Digital, *tile)
+            },
+            CimInstruction::WriteKey { tile, slot, .. } => EffectSummary {
+                rows_written: vec![2 * slot, 2 * slot + 1],
+                cam_slots: vec![*slot],
+                ..EffectSummary::at(TileFamily::Digital, *tile)
+            },
+            CimInstruction::MatchSearch { tile, entries, .. } => EffectSummary {
+                rows_read: (0..2 * entries).collect(),
+                cam_slots: (0..*entries).collect(),
+                ..EffectSummary::at(TileFamily::Digital, *tile)
+            },
+            CimInstruction::ProgramMatrix { tile, .. } => EffectSummary {
+                writes_matrix: true,
+                ..EffectSummary::at(TileFamily::Analog, *tile)
+            },
+            CimInstruction::Mvm { tile, .. } | CimInstruction::MvmT { tile, .. } => EffectSummary {
+                reads_matrix: true,
+                ..EffectSummary::at(TileFamily::Analog, *tile)
+            },
+        }
+    }
+}
+
 /// The value an instruction returns.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CimResponse {
@@ -242,6 +365,67 @@ mod tests {
             mk(MatchKind::Range { lo: 0, hi: 3 }).mnemonic(),
             "CAM.RANGE"
         );
+    }
+
+    #[test]
+    fn effects_mirror_executor_semantics() {
+        let st = CimInstruction::StoreLast { tile: 1, row: 5 };
+        let e = st.effects();
+        assert_eq!(e.family, TileFamily::Digital);
+        assert_eq!(e.tile, 1);
+        assert_eq!(e.rows_written, vec![5]);
+        // The executor takes the latch and puts the value back.
+        assert!(e.consumes_latch && e.defines_latch);
+
+        let logic = CimInstruction::Logic {
+            tile: 0,
+            op: ScoutOp::And,
+            rows: vec![2, 7, 3],
+        };
+        let e = logic.effects();
+        assert_eq!(e.rows_read, vec![2, 7, 3]);
+        assert!(e.defines_latch && !e.consumes_latch);
+        assert!(e.rows_written.is_empty());
+
+        let wk = CimInstruction::WriteKey {
+            tile: 0,
+            slot: 3,
+            value: BitVec::zeros(8),
+            care: BitVec::ones(8),
+        };
+        let e = wk.effects();
+        assert_eq!(e.rows_written, vec![6, 7], "TCAM row pair of slot 3");
+        assert_eq!(e.cam_slots, vec![3]);
+
+        let ms = CimInstruction::MatchSearch {
+            tile: 0,
+            entries: 2,
+            key: BitVec::zeros(8),
+            kind: MatchKind::Exact,
+        };
+        let e = ms.effects();
+        assert_eq!(e.rows_read, vec![0, 1, 2, 3]);
+        assert_eq!(e.cam_slots, vec![0, 1]);
+        // Match sets are entry-indexed, not a storable latch operand.
+        assert!(!e.defines_latch);
+
+        let pm = CimInstruction::ProgramMatrix {
+            tile: 1,
+            matrix: Matrix::from_fn(2, 2, |_, _| 1.0),
+        };
+        let e = pm.effects();
+        assert_eq!(e.family, TileFamily::Analog);
+        assert!(e.writes_matrix && !e.reads_matrix);
+        let mv = CimInstruction::Mvm {
+            tile: 1,
+            x: vec![0.0; 2],
+        };
+        assert!(mv.effects().reads_matrix);
+        let mvt = CimInstruction::MvmT {
+            tile: 1,
+            z: vec![0.0; 2],
+        };
+        assert!(mvt.effects().reads_matrix && !mvt.effects().writes_matrix);
     }
 
     #[test]

@@ -53,6 +53,8 @@
 //! assert_eq!(resp.into_bits().unwrap().count_ones(), 64);
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod accelerator;
 pub mod address;
 pub mod isa;
@@ -60,5 +62,5 @@ pub mod offload;
 
 pub use accelerator::{CimAccelerator, CimAcceleratorBuilder, DeviceCounters, ExecutionStats};
 pub use address::{AddressMap, TileRow};
-pub use isa::{CimClass, CimInstruction, CimResponse, MatchKind};
+pub use isa::{CimClass, CimInstruction, CimResponse, EffectSummary, MatchKind, TileFamily};
 pub use offload::{OffloadEstimate, Program, Section};

@@ -56,6 +56,35 @@ impl PoolClient {
         })
     }
 
+    /// Test seam: submits without admission-time verification, so
+    /// in-crate tests can still exercise the execution-side
+    /// containment paths (panic isolation, tile-fault relocation) the
+    /// verifier now blocks at the front door.
+    #[cfg(test)]
+    pub(crate) fn submit_unverified(&self, spec: &WorkloadSpec) -> Result<JobHandle, CompileError> {
+        let job = self
+            .shared
+            .submit_spec_unverified(self.tenant, spec, true)?;
+        Ok(JobHandle {
+            shared: Arc::clone(&self.shared),
+            job,
+        })
+    }
+
+    /// Statically verifies a workload without submitting it.
+    ///
+    /// Compiles the spec exactly as [`PoolClient::submit`] would and
+    /// runs the `cim-lint` verifier on the resulting instruction
+    /// stream, returning the full [`cim_lint::LintReport`] — warnings
+    /// included, which a submission would accept silently. Nothing is
+    /// enqueued and no job id is consumed, so tooling can gate or
+    /// debug raw streams before paying for a submission. Compile
+    /// errors (bad geometry, unknown or foreign dataset…) surface the
+    /// same way they would on submit.
+    pub fn verify(&self, spec: &WorkloadSpec) -> Result<cim_lint::LintReport, CompileError> {
+        self.shared.verify_spec(self.tenant, spec)
+    }
+
     /// Loads a dataset into pool-managed tiles and returns the lease.
     ///
     /// Blocks until the resident data is written (the one-time cost the

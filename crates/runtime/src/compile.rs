@@ -162,6 +162,25 @@ pub enum Finalizer {
     Raw,
 }
 
+/// Decodes a bits response. Finalizers only consume outputs their own
+/// compiler emitted, so any other shape is a compiler bug — a runtime
+/// invariant, not a tenant-reachable state.
+fn bits_of(resp: CimResponse) -> BitVec {
+    match resp.into_bits() {
+        Some(bits) => bits,
+        None => unreachable!("compiled output promised a bit vector"),
+    }
+}
+
+/// Decodes a vector response; see [`bits_of`] for why failure is
+/// unreachable.
+fn vector_of(resp: CimResponse) -> Vec<f64> {
+    match resp.into_vector() {
+        Some(v) => v,
+        None => unreachable!("compiled output promised a vector"),
+    }
+}
+
 /// Reassembles tile-major match-line responses (`entries.len()` tiles ×
 /// `keys` keys) into one concatenated match set per key.
 fn assemble_match_sets(outputs: Vec<CimResponse>, keys: usize, entries: &[usize]) -> Vec<BitVec> {
@@ -175,7 +194,7 @@ fn assemble_match_sets(outputs: Vec<CimResponse>, keys: usize, entries: &[usize]
     let mut sets = vec![BitVec::zeros(total); keys];
     for (i, resp) in outputs.into_iter().enumerate() {
         let (t, q) = (i / keys, i % keys);
-        let bits = resp.into_bits().expect("match search returns bits");
+        let bits = bits_of(resp);
         for s in bits.iter_ones() {
             sets[q].set(bases[t] + s, true);
         }
@@ -200,7 +219,7 @@ impl Finalizer {
                 let mut selection = BitVec::zeros(table.rows());
                 let mut start = 0;
                 for (resp, &width) in outputs.into_iter().zip(widths) {
-                    let bits = resp.into_bits().expect("Q6 output is a bit vector");
+                    let bits = bits_of(resp);
                     for j in bits.iter_ones() {
                         if j < width {
                             selection.set(start + j, true);
@@ -214,7 +233,7 @@ impl Finalizer {
                 let predictions = outputs
                     .into_iter()
                     .map(|resp| {
-                        let scores = resp.into_vector().expect("HDC output is a vector");
+                        let scores = vector_of(resp);
                         let mut best = 0;
                         for (c, &s) in scores.iter().enumerate().take(*classes) {
                             if s > scores[best] {
@@ -233,7 +252,7 @@ impl Finalizer {
                 let mut bits = BitVec::zeros(len * 8);
                 let mut cursor = 0;
                 for resp in outputs {
-                    let chunk = resp.into_bits().expect("cipher output is a bit vector");
+                    let chunk = bits_of(resp);
                     for j in 0..chunk.len() {
                         if cursor + j < len * 8 && chunk.get(j) {
                             bits.set(cursor + j, true);
@@ -248,7 +267,7 @@ impl Finalizer {
             Finalizer::Bits { width, op } => {
                 let mut merged: Option<BitVec> = None;
                 for resp in outputs {
-                    let partial = resp.into_bits().expect("reduction output is a bit vector");
+                    let partial = bits_of(resp);
                     merged = Some(match merged {
                         None => partial,
                         Some(acc) => match op {
@@ -258,14 +277,17 @@ impl Finalizer {
                         },
                     });
                 }
-                let full = merged.expect("at least one reduction output");
+                let full = match merged {
+                    Some(full) => full,
+                    None => unreachable!("a reduction always has at least one output"),
+                };
                 JobOutput::Bits(BitVec::from_fn(*width, |j| full.get(j)))
             }
             Finalizer::Nn { classes, fan_in } => {
                 let mut predictions = Vec::with_capacity(outputs.len());
                 let mut scores = Vec::with_capacity(outputs.len());
                 for resp in outputs {
-                    let y = resp.into_vector().expect("NN output is a vector");
+                    let y = vector_of(resp);
                     let s: Vec<i64> = y
                         .iter()
                         .take(*classes)
@@ -289,7 +311,7 @@ impl Finalizer {
                 // re-read rows; identical copies overwrite harmlessly).
                 let mut rows: Vec<Vec<f64>> = vec![Vec::new(); *height];
                 for (resp, &y) in outputs.into_iter().zip(reads) {
-                    let bits = resp.into_bits().expect("image row is a bit vector");
+                    let bits = bits_of(resp);
                     let bytes = bits.to_bytes();
                     rows[y] = bytes[..*width].iter().map(|&b| b as f64 / 255.0).collect();
                 }
@@ -318,10 +340,7 @@ impl Finalizer {
             } => {
                 let classes = prototypes.len();
                 let w = windows.len();
-                let responses: Vec<BitVec> = outputs
-                    .into_iter()
-                    .map(|r| r.into_bits().expect("match search returns bits"))
-                    .collect();
+                let responses: Vec<BitVec> = outputs.into_iter().map(bits_of).collect();
                 assert_eq!(
                     responses.len(),
                     queries.len() * w,
@@ -623,7 +642,7 @@ const Q6_SCRATCH_ROWS: usize = 6;
 /// Row bases of the Q6 tile layout: `(month, discount, quantity,
 /// scratch)`. Resident bins occupy `month..scratch`; queries reduce
 /// into `scratch..scratch + Q6_SCRATCH_ROWS`.
-fn q6_row_bases() -> (usize, usize, usize, usize) {
+pub(crate) fn q6_row_bases() -> (usize, usize, usize, usize) {
     let month_base = 0usize;
     let discount_base = SHIP_MONTHS as usize;
     let quantity_base = discount_base + DISCOUNT_LEVELS as usize;
@@ -648,9 +667,9 @@ pub(crate) fn compile(
     window_base: u64,
     resident: Option<&ResidentView>,
 ) -> Result<CompiledJob, CompileError> {
-    match spec {
+    let compiled = match spec {
         WorkloadSpec::Q6Query { dataset, params } => {
-            let record = resident.expect("scheduler resolves the dataset before compiling");
+            let record = resident_view(resident);
             compile_q6_query(*dataset, record, *params, job, tenant, cfg, seed)
         }
         WorkloadSpec::HdcQuery {
@@ -658,7 +677,7 @@ pub(crate) fn compile(
             samples,
             sample_len,
         } => {
-            let record = resident.expect("scheduler resolves the dataset before compiling");
+            let record = resident_view(resident);
             compile_hdc_query(
                 *dataset,
                 record,
@@ -675,15 +694,15 @@ pub(crate) fn compile(
             kind,
             keys,
         } => {
-            let record = resident.expect("scheduler resolves the dataset before compiling");
+            let record = resident_view(resident);
             compile_cam_search(*dataset, record, *kind, keys, job, tenant, cfg, seed)
         }
         WorkloadSpec::RuleClassify { dataset, packets } => {
-            let record = resident.expect("scheduler resolves the dataset before compiling");
+            let record = resident_view(resident);
             compile_rule_classify(*dataset, record, packets, job, tenant, cfg, seed)
         }
         WorkloadSpec::KeyLookup { dataset, probes } => {
-            let record = resident.expect("scheduler resolves the dataset before compiling");
+            let record = resident_view(resident);
             compile_key_lookup(*dataset, record, probes, job, tenant, cfg, seed)
         }
         WorkloadSpec::HdcAssoc {
@@ -743,7 +762,7 @@ pub(crate) fn compile(
             compile_nn_infer(network, inputs, job, tenant, cfg, seed)
         }
         WorkloadSpec::NnQuery { dataset, inputs } => {
-            let record = resident.expect("scheduler resolves the dataset before compiling");
+            let record = resident_view(resident);
             compile_nn_query(*dataset, record, inputs, job, tenant, cfg, seed)
         }
         WorkloadSpec::ImgFilter { image, filter } => {
@@ -754,6 +773,44 @@ pub(crate) fn compile(
         }
         WorkloadSpec::ScoutBulk { op, rows } => {
             compile_scout(*op, rows, job, tenant, cfg, seed, window_base)
+        }
+        WorkloadSpec::RawQuery {
+            dataset,
+            instructions,
+        } => {
+            let record = resident_view(resident);
+            // The stream addresses the dataset's pinned tiles: demand
+            // is exactly the pin, so the scheduler maps virtual tiles
+            // onto the dataset's placement like any other query.
+            let analog = match &record.payload {
+                ResidentPayload::Hdc { .. } => 1,
+                ResidentPayload::Nn { network } => network.layers().len(),
+                ResidentPayload::Q6 { .. }
+                | ResidentPayload::CamRules { .. }
+                | ResidentPayload::CamKeys { .. } => 0,
+            };
+            Ok(CompiledJob {
+                job,
+                tenant,
+                kind: JobKind::Raw,
+                dataset: Some(*dataset),
+                demand: TileDemand {
+                    digital: record.digital_tiles,
+                    analog,
+                },
+                instructions: instructions.clone(),
+                outputs: (0..instructions.len()).collect(),
+                finalizer: Finalizer::Raw,
+                placement: record.placement,
+                resident_bytes: record.resident_bytes,
+                host_profile: HostProfile {
+                    accel_fraction: 0.5,
+                    l1_miss: 0.5,
+                    l2_miss: 0.5,
+                },
+                seed,
+                splittable: false,
+            })
         }
         WorkloadSpec::Raw {
             digital_tiles,
@@ -781,6 +838,37 @@ pub(crate) fn compile(
             seed,
             splittable: false,
         }),
+    }?;
+    // The compiler holds its own output to the lint-clean bar: in debug
+    // builds every non-raw program is re-checked by the static verifier
+    // at submit, so a lowering bug surfaces here with a rule code
+    // instead of as a mid-batch shard panic. Raw streams are tenant
+    // input, checked (and rejected, not asserted) by admission instead.
+    #[cfg(debug_assertions)]
+    if compiled.kind != JobKind::Raw {
+        let report = cim_lint::lint(
+            &compiled.instructions,
+            &compiled.outputs,
+            &crate::verify::lint_target(compiled.demand, cfg, resident),
+        );
+        debug_assert!(
+            report.is_clean(),
+            "compiler emitted a program the verifier rejects ({kind:?}):\n{text}",
+            kind = compiled.kind,
+            text = report.to_text()
+        );
+    }
+    Ok(compiled)
+}
+
+/// The resident view the scheduler resolved before compiling. Query
+/// specs never reach `compile` without one (submission resolves the
+/// dataset under the pool lock before lowering), so a missing view is a
+/// scheduler bug, not a tenant error.
+fn resident_view(resident: Option<&ResidentView>) -> &ResidentView {
+    match resident {
+        Some(view) => view,
+        None => unreachable!("scheduler resolves the dataset before compiling"),
     }
 }
 
@@ -844,7 +932,10 @@ fn emit_reduce(
             break;
         }
     }
-    acc.expect("reduction produced a result")
+    match acc {
+        Some(row) => row,
+        None => unreachable!("the reduction loop always runs at least once"),
+    }
 }
 
 /// Validates a Q6 footprint against the tile geometry and returns the
@@ -1345,7 +1436,7 @@ fn compile_hdc_assoc(
         windows.push(h as u32);
         h = 2 * h + 1;
     }
-    if *windows.last().expect("at least one window") < d as u32 {
+    if windows.last().copied().unwrap_or(0) < d as u32 {
         windows.push(d as u32);
     }
     let mut outputs = Vec::with_capacity(samples * windows.len());
@@ -1541,7 +1632,10 @@ fn emit_nn_inference(
 /// The NN finalizer for a network: decode against the final layer's
 /// class count and fan-in.
 fn nn_finalizer(mlp: &BinarizedMlp) -> Finalizer {
-    let last = mlp.layers().last().expect("nonempty network");
+    let last = match mlp.layers().last() {
+        Some(layer) => layer,
+        None => unreachable!("binarized networks have at least one layer"),
+    };
     Finalizer::Nn {
         classes: last.rows(),
         fan_in: last.cols(),
@@ -2257,10 +2351,13 @@ fn compile_scout(
         // For multi-step reductions the result sits in a scratch row,
         // but the final Logic response already carries the same bits,
         // so the chunk's output is always its last Logic instruction.
-        let last_logic = instructions
+        let last_logic = match instructions
             .iter()
             .rposition(|i| matches!(i, CimInstruction::Logic { .. }))
-            .expect("reduction emitted at least one logic op");
+        {
+            Some(index) => index,
+            None => unreachable!("a reduction emits at least one logic op"),
+        };
         outputs.push(last_logic);
     }
 
@@ -2350,7 +2447,10 @@ pub(crate) fn split_by_digital_tile(
         let mut instructions = Vec::new();
         let mut outputs = Vec::new();
         for (index, instr) in parent.instructions.iter().enumerate() {
-            let tile = digital_tile_of(instr).expect("splittable streams are digital-only");
+            let tile = match digital_tile_of(instr) {
+                Some(tile) => tile,
+                None => unreachable!("splittable streams are digital-only"),
+            };
             if (base..base + chunk).contains(&tile) {
                 let mut instr = instr.clone();
                 retile_digital(&mut instr, tile - base);
@@ -2406,7 +2506,10 @@ pub(crate) fn split_load_by_tile(
     for &chunk in chunks {
         let mut part = Vec::new();
         for instr in instructions {
-            let tile = digital_tile_of(instr).expect("digital load programs split");
+            let tile = match digital_tile_of(instr) {
+                Some(tile) => tile,
+                None => unreachable!("digital load programs split"),
+            };
             if (base..base + chunk).contains(&tile) {
                 let mut instr = instr.clone();
                 retile_digital(&mut instr, tile - base);

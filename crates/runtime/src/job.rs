@@ -125,6 +125,21 @@ pub enum WorkloadSpec {
         /// The stream to execute.
         instructions: Vec<CimInstruction>,
     },
+    /// A raw pre-compiled instruction stream executed over a resident
+    /// dataset's pinned tiles (virtual tile indices into the dataset's
+    /// placement).
+    ///
+    /// The tooling escape hatch for datasets: custom query programs the
+    /// built-in query specs do not cover. The verifier always checks
+    /// these streams — reads of dataset rows are fine, but writes into
+    /// anything the dataset pinned are rejected at admission
+    /// (`L007-RESIDENT-WRITE`), since the dataset outlives the job.
+    RawQuery {
+        /// The registered dataset whose tiles the stream addresses.
+        dataset: DatasetId,
+        /// The stream to execute.
+        instructions: Vec<CimInstruction>,
+    },
     /// A Query-6 selection against a resident
     /// [`crate::DatasetSpec::Q6Table`] dataset: the bitmap bins are
     /// already pinned in the dataset's tiles, so the job carries only
@@ -349,7 +364,7 @@ impl WorkloadSpec {
             WorkloadSpec::HdcClassify { .. } => JobKind::HdcClassify,
             WorkloadSpec::XorEncrypt { .. } => JobKind::XorEncrypt,
             WorkloadSpec::ScoutBulk { .. } => JobKind::ScoutBulk,
-            WorkloadSpec::Raw { .. } => JobKind::Raw,
+            WorkloadSpec::Raw { .. } | WorkloadSpec::RawQuery { .. } => JobKind::Raw,
             WorkloadSpec::Q6Query { .. } => JobKind::Q6Query,
             WorkloadSpec::HdcQuery { .. } => JobKind::HdcQuery,
             WorkloadSpec::NnInfer { .. } => JobKind::NnInfer,
@@ -370,7 +385,8 @@ impl WorkloadSpec {
             | WorkloadSpec::NnQuery { dataset, .. }
             | WorkloadSpec::CamSearch { dataset, .. }
             | WorkloadSpec::RuleClassify { dataset, .. }
-            | WorkloadSpec::KeyLookup { dataset, .. } => Some(*dataset),
+            | WorkloadSpec::KeyLookup { dataset, .. }
+            | WorkloadSpec::RawQuery { dataset, .. } => Some(*dataset),
             _ => None,
         }
     }
@@ -483,6 +499,18 @@ pub enum JobError {
         /// The dataset the job referenced.
         dataset: DatasetId,
     },
+    /// The static verifier (`cim-lint`) found error-severity defects in
+    /// the compiled instruction stream: the program would fault, read
+    /// garbage, or corrupt resident state on the accelerator. Terminal
+    /// and raised before any device state is touched — the pool stays
+    /// fully serviceable. Raw streams are always verified; compiled
+    /// workloads too when [`crate::PoolConfig::verify_all_programs`] is
+    /// set.
+    RejectedByVerifier {
+        /// The error-severity findings, in instruction order, with
+        /// stable rule codes (`L001-UNINIT-READ` …).
+        diagnostics: Vec<cim_lint::Diagnostic>,
+    },
     /// The workload can never be admitted on this pool: even with every
     /// tile free — and cross-shard splitting for tile-parallel
     /// workloads — its demand exceeds what the pool owns. Terminal:
@@ -536,6 +564,13 @@ impl fmt::Display for JobError {
             ),
             JobError::DatasetReleased { dataset } => {
                 write!(f, "{dataset} was released before the job dispatched")
+            }
+            JobError::RejectedByVerifier { diagnostics } => {
+                write!(f, "rejected by verifier: {} error(s)", diagnostics.len())?;
+                if let Some(first) = diagnostics.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
             }
             JobError::WorkloadTooLarge {
                 digital_required,

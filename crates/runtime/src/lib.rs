@@ -44,6 +44,13 @@
 //!   decoded by the job's single finalizer over the gathered chunk
 //!   responses — bit-identical to one giant shard, so the pool's
 //!   aggregate capacity (not a shard's) bounds job size.
+//! * **verify** — admission-time static verification through the
+//!   `cim-lint` analyzer: raw instruction streams are always checked,
+//!   and every compiled program too under
+//!   [`PoolConfig::verify_all_programs`]. Programs with error-severity
+//!   findings fail terminally with [`JobError::RejectedByVerifier`]
+//!   (stable `L00x` rule codes) before any device state is touched;
+//!   [`PoolClient::verify`] runs the same check standalone.
 //! * **[`telemetry`]** — aggregates [`cim_core::ExecutionStats`] and
 //!   [`cim_core::DeviceCounters`] per job, per tenant, per dataset
 //!   (load-vs-query split) and pool-wide, and reports speedup-vs-host
@@ -93,6 +100,8 @@
 //! assert!(t.datasets[&table.id().0].load_stats.row_writes > 0);
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod client;
 pub mod compile;
 pub mod dataset;
@@ -100,12 +109,14 @@ pub mod job;
 pub mod schedule;
 pub mod telemetry;
 pub mod trace;
+pub(crate) mod verify;
 
 pub(crate) use schedule::mix_seed;
 
 pub use cim_core::isa::MatchKind;
 pub use cim_crossbar::analog::AnalogParams;
 pub use cim_device::reram::ReramParams;
+pub use cim_lint::{Diagnostic, LintReport, RuleCode, Severity};
 pub use client::{JobHandle, PoolClient};
 pub use compile::{CompileError, CompiledJob, Finalizer, HostProfile, TileDemand};
 pub use dataset::{DatasetHandle, DatasetSpec};

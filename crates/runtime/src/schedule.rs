@@ -46,7 +46,8 @@ use crate::compile::{
 };
 use crate::dataset::{DatasetRecord, DatasetSpec, LoadProgress, ShardPlacement};
 use crate::job::{
-    DatasetId, JobError, JobId, JobOutput, JobReport, JobStatus, JobTiming, TenantId, WorkloadSpec,
+    DatasetId, JobError, JobId, JobKind, JobOutput, JobReport, JobStatus, JobTiming, TenantId,
+    WorkloadSpec,
 };
 use crate::telemetry::{stats_accumulate, stats_delta, PoolTelemetry};
 use crate::trace::{Attr, Tracer};
@@ -97,6 +98,15 @@ pub struct PoolConfig {
     pub max_batch_cost: u64,
     /// Whether to coalesce compatible jobs at all.
     pub coalesce: bool,
+    /// Run the `cim-lint` static verifier on *every* compiled program
+    /// at submission, not just raw streams. Raw instruction streams
+    /// ([`crate::WorkloadSpec::Raw`] / [`crate::WorkloadSpec::RawQuery`])
+    /// are always verified regardless of this flag, since they are
+    /// tenant input; setting it extends the same check to the pool's
+    /// own compiler output as a defense-in-depth serving mode. Programs
+    /// with error-severity findings fail terminally with
+    /// [`JobError::RejectedByVerifier`] before touching any shard.
+    pub verify_all_programs: bool,
     /// Binary-device technology of every shard's digital tiles. The
     /// default is the workspace's representative HfO₂ ReRAM; tests that
     /// need provably exact analog range-match windows zero the
@@ -124,6 +134,7 @@ impl Default for PoolConfig {
             max_batch_jobs: 8,
             max_batch_cost: 1 << 14,
             coalesce: true,
+            verify_all_programs: false,
             reram_params: ReramParams::default(),
             analog_params: AnalogParams::default(),
         }
@@ -178,6 +189,17 @@ fn install_shard_panic_hook() {
             }
         }));
     });
+}
+
+/// Locks a pool mutex, recovering the guard from a poisoned lock.
+/// Shard-worker panics are contained per job (the worker catches them
+/// and reports [`JobError::ExecutionPanic`]), so the pool state behind
+/// a poisoned mutex is still consistent — propagating the poison would
+/// turn one contained panic into a pool-wide outage.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Deterministic seed mixing (SplitMix64 finalizer over the pair).
@@ -410,7 +432,7 @@ impl RuntimePool {
                 .spawn(move || {
                     worker_loop(shard, accelerator, shard_seed, rx, report_tx, worker_tracer)
                 })
-                .expect("spawn shard worker");
+                .unwrap_or_else(|e| panic!("spawn shard worker: {e}"));
             to_shards.push(tx);
             joins.push(handle);
         }
@@ -456,19 +478,14 @@ impl RuntimePool {
 
     /// Jobs queued but not yet dispatched.
     pub fn pending_jobs(&self) -> usize {
-        self.shared.state.lock().expect("pool state").pending.len()
+        lock(&self.shared.state).pending.len()
     }
 
     /// A snapshot of the telemetry aggregated over everything completed
     /// so far (also drains any completions that already arrived).
     pub fn telemetry(&self) -> PoolTelemetry {
         self.shared.try_pump();
-        self.shared
-            .state
-            .lock()
-            .expect("pool state")
-            .telemetry
-            .clone()
+        lock(&self.shared.state).telemetry.clone()
     }
 
     /// Dispatches every queued job to the shards without waiting for
@@ -510,7 +527,7 @@ impl RuntimePool {
     /// handle-claimed jobs remain claimable through their handles).
     pub fn drain_sequential(&mut self) -> Vec<JobReport> {
         let mut batches = {
-            let mut st = self.shared.state.lock().expect("pool state");
+            let mut st = lock(&self.shared.state);
             let mut batches = plan(&mut st, &self.shared.cfg, false, 1, &self.shared.tracer);
             st.telemetry.batches += batches.len() as u64;
             mark_dispatched(&mut st, &self.shared.tracer, &mut batches);
@@ -527,15 +544,19 @@ impl RuntimePool {
             let job = batch.jobs[0].compiled.job;
             self.shared.to_shards[shard]
                 .send(WorkerMsg::Batch(batch))
-                .expect("shard worker alive");
+                .unwrap_or_else(|_| panic!("shard worker disconnected before the pool shut down"));
             while let Some((_, next)) = batches.peek() {
                 if next.jobs[0].compiled.job != job {
                     break;
                 }
-                let (shard, batch) = batches.next().expect("peeked above");
+                let Some((shard, batch)) = batches.next() else {
+                    unreachable!("peeked above");
+                };
                 self.shared.to_shards[shard]
                     .send(WorkerMsg::Batch(batch))
-                    .expect("shard worker alive");
+                    .unwrap_or_else(|_| {
+                        panic!("shard worker disconnected before the pool shut down")
+                    });
             }
             self.shared.pump_until(|st| {
                 !matches!(
@@ -568,6 +589,30 @@ impl PoolShared {
         spec: &WorkloadSpec,
         claimed: bool,
     ) -> Result<JobId, CompileError> {
+        self.submit_spec_inner(tenant, spec, claimed, true)
+    }
+
+    /// Test seam: submits with the static verifier bypassed, so the
+    /// runtime's last-line containment paths (relocation tile faults,
+    /// in-shard panic capture) stay exercisable now that admission
+    /// rejects such streams up front.
+    #[cfg(test)]
+    pub(crate) fn submit_spec_unverified(
+        &self,
+        tenant: TenantId,
+        spec: &WorkloadSpec,
+        claimed: bool,
+    ) -> Result<JobId, CompileError> {
+        self.submit_spec_inner(tenant, spec, claimed, false)
+    }
+
+    fn submit_spec_inner(
+        &self,
+        tenant: TenantId,
+        spec: &WorkloadSpec,
+        claimed: bool,
+        verify: bool,
+    ) -> Result<JobId, CompileError> {
         // Phase 1 (locked): assign the id and snapshot the queried
         // dataset. Compilation itself (table generation, HDC training)
         // runs unlocked below, so one session's heavy submit cannot
@@ -575,7 +620,7 @@ impl PoolShared {
         // compile leaves a gap in the id sequence, which is harmless:
         // ids only need to be unique and ordered.
         let (job, seed, resident) = {
-            let mut st = self.state.lock().expect("pool state");
+            let mut st = lock(&self.state);
             let job = JobId(st.next_job);
             st.next_job += 1;
             let seed = mix_seed(self.cfg.seed, 0x0B0B ^ job.0);
@@ -688,9 +733,30 @@ impl PoolShared {
             Err(other) => return Err(reject(other)),
         };
 
+        // Static verification: raw streams are tenant input and always
+        // checked; the verify-all serving mode extends the check to
+        // compiled programs. Error-severity findings are terminal — the
+        // program can never execute correctly, so a synthesized failure
+        // report is completed immediately and no device state is ever
+        // touched. The pool stays fully serviceable.
+        if verify && (compiled.kind == JobKind::Raw || self.cfg.verify_all_programs) {
+            let report = crate::verify::verify_compiled(&compiled, &self.cfg, resident.as_ref());
+            if report.has_errors() {
+                let error = JobError::RejectedByVerifier {
+                    diagnostics: report.errors(),
+                };
+                let mut st = lock(&self.state);
+                let st = &mut *st;
+                st.slots.insert(job.0, Slot::Queued { claimed });
+                open_queue_lifecycle(st, &self.tracer, job, root);
+                fail_at_dispatch(st, &self.tracer, compiled, 0, error);
+                return Ok(job);
+            }
+        }
+
         // Phase 2 (locked): validate capacity against the pins as they
         // are now, and enqueue.
-        let mut st = self.state.lock().expect("pool state");
+        let mut st = lock(&self.state);
         let st = &mut *st;
         if compiled.dataset.is_none() {
             // Fresh leases are carved from un-pinned tiles: the job
@@ -803,7 +869,7 @@ impl PoolShared {
             device: DeviceCounters::default(),
             timing: JobTiming::default(),
         };
-        let mut st = self.state.lock().expect("pool state");
+        let mut st = lock(&self.state);
         let st = &mut *st;
         st.slots.insert(job.0, Slot::Queued { claimed });
         // The job never queues (it failed before compiling into a
@@ -823,10 +889,60 @@ impl PoolShared {
         Ok(job)
     }
 
+    /// Compiles `spec` exactly as a submission would and runs the
+    /// static verifier on the result, without enqueuing anything: no
+    /// job id is consumed, no slot or report is created, and no shard
+    /// is touched. Dataset resolution and access checks match
+    /// submission, so a clean verdict here means the same spec would
+    /// pass the admission verifier.
+    pub(crate) fn verify_spec(
+        &self,
+        tenant: TenantId,
+        spec: &WorkloadSpec,
+    ) -> Result<cim_lint::LintReport, CompileError> {
+        let (probe, seed, resident) = {
+            let st = lock(&self.state);
+            let probe = JobId(st.next_job);
+            let seed = mix_seed(self.cfg.seed, 0x0B0B ^ probe.0);
+            let resident = match spec.dataset() {
+                Some(id) => {
+                    let record = st
+                        .datasets
+                        .get(&id.0)
+                        .filter(|r| !r.released)
+                        .ok_or(CompileError::UnknownDataset { dataset: id })?;
+                    if record.tenant != tenant {
+                        return Err(CompileError::DatasetAccessDenied {
+                            dataset: id,
+                            owner: record.tenant,
+                        });
+                    }
+                    Some(record.view())
+                }
+                None => None,
+            };
+            (probe, seed, resident)
+        };
+        let compiled = compile(
+            spec,
+            probe,
+            tenant,
+            &self.cfg,
+            seed,
+            self.cfg.window_base(probe.0),
+            resident.as_ref(),
+        )?;
+        Ok(crate::verify::verify_compiled(
+            &compiled,
+            &self.cfg,
+            resident.as_ref(),
+        ))
+    }
+
     /// Plans the pending queue and dispatches it to the shard workers.
     /// Non-blocking: reports arrive through the completion channel.
     pub(crate) fn flush(&self) {
-        let mut st = self.state.lock().expect("pool state");
+        let mut st = lock(&self.state);
         if st.pending.is_empty() {
             // Nothing to plan: planning an empty queue is a no-op, so
             // skip the plan span and gauges (waits flush eagerly, and
@@ -864,7 +980,7 @@ impl PoolShared {
         for (shard, batch) in batches {
             self.to_shards[shard]
                 .send(WorkerMsg::Batch(batch))
-                .expect("shard worker alive");
+                .unwrap_or_else(|_| panic!("shard worker disconnected before the pool shut down"));
         }
     }
 
@@ -881,7 +997,7 @@ impl PoolShared {
         // load program — table generation and HDC training — without
         // holding the pool lock.
         let (id, seed) = {
-            let mut st = self.state.lock().expect("pool state");
+            let mut st = lock(&self.state);
             let id = DatasetId(st.next_dataset);
             st.next_dataset += 1;
             (id, mix_seed(self.cfg.seed, 0xDA7A ^ id.0))
@@ -894,7 +1010,7 @@ impl PoolShared {
         } = compile_dataset_load(spec, &self.cfg, seed)?;
 
         let shards: Vec<usize> = {
-            let mut st = self.state.lock().expect("pool state");
+            let mut st = lock(&self.state);
             let st = &mut *st;
 
             let free = |st: &PoolState, s: usize| {
@@ -979,8 +1095,10 @@ impl PoolShared {
                 st.pinned_digital[shard].extend(digital_tiles.iter().copied());
                 st.pinned_analog[shard].extend(analog_tiles.iter().copied());
 
-                let relocated = relocate(chunk_instructions, &digital_tiles, &analog_tiles)
-                    .expect("load program stays inside its demand");
+                let relocated = match relocate(chunk_instructions, &digital_tiles, &analog_tiles) {
+                    Ok(relocated) => relocated,
+                    Err(_) => unreachable!("load program stays inside its demand"),
+                };
                 let scrub_rows: Vec<(usize, usize)> = relocated
                     .iter()
                     .flat_map(|i| match i {
@@ -1050,20 +1168,20 @@ impl PoolShared {
                         seed,
                         span,
                     })
-                    .expect("shard worker alive");
+                    .unwrap_or_else(|_| {
+                        panic!("shard worker disconnected before the pool shut down")
+                    });
             }
             shards
         };
 
         self.pump_until(|st| st.datasets.get(&id.0).is_none_or(|r| r.load.pending == 0));
         let failure = {
-            let st = self.state.lock().expect("pool state");
-            st.datasets
-                .get(&id.0)
-                .expect("dataset record")
-                .load
-                .failure
-                .clone()
+            let st = lock(&self.state);
+            match st.datasets.get(&id.0) {
+                Some(record) => record.load.failure.clone(),
+                None => unreachable!("dataset record"),
+            }
         };
         match failure {
             None => Ok((id, shards)),
@@ -1081,7 +1199,7 @@ impl PoolShared {
     /// [`crate::DatasetHandle`] drop (and by load-failure rollback);
     /// idempotent.
     pub(crate) fn release_dataset(&self, id: DatasetId) {
-        let mut st = self.state.lock().expect("pool state");
+        let mut st = lock(&self.state);
         let st = &mut *st;
         let Some(record) = st.datasets.get_mut(&id.0) else {
             return;
@@ -1113,7 +1231,7 @@ impl PoolShared {
 
     /// Folds one completion into the pool state.
     fn process(&self, completion: Completion) {
-        let mut st = self.state.lock().expect("pool state");
+        let mut st = lock(&self.state);
         let st = &mut *st;
         match completion {
             Completion::Job { report, part: None } => {
@@ -1141,7 +1259,9 @@ impl PoolShared {
                 }
                 gather.parts.insert(part, report);
                 if gather.parts.len() == gather.expected {
-                    let gather = st.gathers.remove(&job).expect("present above");
+                    let Some(gather) = st.gathers.remove(&job) else {
+                        unreachable!("present above");
+                    };
                     let (gather_span, root) = (gather.span, gather.root);
                     self.tracer.close(gather_span, 0.0, &[]);
                     let finalize = self.tracer.open("finalize", root, &[]);
@@ -1213,21 +1333,21 @@ impl PoolShared {
     fn pump_until(&self, done: impl Fn(&PoolState) -> bool) {
         loop {
             {
-                let st = self.state.lock().expect("pool state");
+                let st = lock(&self.state);
                 if done(&st) {
                     return;
                 }
             }
             let completion = {
-                let rx = self.completions.lock().expect("completion receiver");
+                let rx = lock(&self.completions);
                 {
-                    let st = self.state.lock().expect("pool state");
+                    let st = lock(&self.state);
                     if done(&st) {
                         return;
                     }
                 }
                 rx.recv()
-                    .expect("pool shut down while completions were outstanding")
+                    .unwrap_or_else(|_| panic!("pool shut down while completions were outstanding"))
             };
             self.process(completion);
         }
@@ -1246,7 +1366,7 @@ impl PoolShared {
 
     /// Removes and returns the job's report if it is ready.
     fn try_take_done(&self, job: JobId) -> Option<JobReport> {
-        let mut st = self.state.lock().expect("pool state");
+        let mut st = lock(&self.state);
         if matches!(st.slots.get(&job.0), Some(Slot::Done { .. })) {
             let Some(Slot::Done { report, .. }) = st.slots.remove(&job.0) else {
                 unreachable!("checked above");
@@ -1259,7 +1379,7 @@ impl PoolShared {
     /// Non-blocking status of a job.
     pub(crate) fn poll_job(&self, job: JobId) -> JobStatus {
         self.try_pump();
-        let st = self.state.lock().expect("pool state");
+        let st = lock(&self.state);
         match st.slots.get(&job.0) {
             Some(Slot::Queued { .. }) => JobStatus::Queued,
             Some(Slot::Dispatched { .. }) => JobStatus::Dispatched,
@@ -1282,14 +1402,15 @@ impl PoolShared {
                 Some(Slot::Queued { .. }) | Some(Slot::Dispatched { .. })
             )
         });
-        self.try_take_done(job)
-            .expect("the waited job's slot holds its report (handles are the sole takers)")
+        self.try_take_done(job).unwrap_or_else(|| {
+            panic!("the waited job's slot holds its report (handles are the sole takers)")
+        })
     }
 
     /// Drops a handle's claim: if the report is ready it is discarded,
     /// otherwise it will be discarded (after telemetry) on arrival.
     pub(crate) fn abandon_job(&self, job: JobId) {
-        let mut st = self.state.lock().expect("pool state");
+        let mut st = lock(&self.state);
         match st.slots.get(&job.0) {
             Some(Slot::Done { .. }) => {
                 st.slots.remove(&job.0);
@@ -1319,7 +1440,7 @@ impl PoolShared {
     /// Removes and returns every unclaimed completed report, sorted by
     /// job id.
     fn take_unclaimed_done(&self) -> Vec<JobReport> {
-        let mut st = self.state.lock().expect("pool state");
+        let mut st = lock(&self.state);
         let ids: Vec<u64> = st
             .slots
             .iter()
@@ -1510,7 +1631,9 @@ fn assemble_gathered(gather: GatherState) -> (JobReport, Vec<(usize, ExecutionSt
             }
         }
     }
-    let (job, tenant, kind, dataset, batch) = meta.expect("a gather holds at least one part");
+    let Some((job, tenant, kind, dataset, batch)) = meta else {
+        unreachable!("a gather holds at least one part");
+    };
     let output = match error {
         Some(e) => Err(e),
         None => Ok(finalizer.finalize(responses)),
@@ -1748,7 +1871,7 @@ fn plan(
                 }
                 let shard = (0..cfg.shards)
                     .min_by_key(|&s| (loads[s], s))
-                    .expect("at least one shard");
+                    .unwrap_or_else(|| unreachable!("at least one shard"));
                 loads[shard] += job.estimated_cost();
                 shard_queues[shard].push(RoutedJob {
                     compiled: job,
@@ -1884,7 +2007,10 @@ fn plan(
         shard_batches.sort_by_key(|(cost, jobs)| {
             (
                 *cost,
-                jobs.iter().map(|p| p.compiled.job).min().expect("nonempty"),
+                jobs.iter()
+                    .map(|p| p.compiled.job)
+                    .min()
+                    .unwrap_or_else(|| unreachable!("nonempty")),
             )
         });
         for (_, jobs) in shard_batches {
@@ -2236,6 +2362,7 @@ mod tests {
     use cim_bitmap_db::tpch::{LineItemTable, Q6Params};
     use cim_crossbar::cam::{key_bits, MatchKind, RuleSet};
     use cim_crossbar::scouting::ScoutOp;
+    use cim_lint::RuleCode;
     use cim_nn::binarized::BinarizedMlp;
     use cim_simkit::bitvec::BitVec;
     use cim_xor_cipher::otp::OneTimePad;
@@ -2398,17 +2525,101 @@ mod tests {
             .unwrap();
         let bad_report = bad.wait();
         let good_report = good.wait();
-        assert_eq!(
-            bad_report.output,
-            Err(JobError::TileFault {
-                virtual_tile: 3,
-                granted: 1,
-                analog: false,
-            })
+        // The verifier rejects the out-of-bounds tile at admission,
+        // before any device state is touched.
+        assert!(
+            matches!(
+                &bad_report.output,
+                Err(JobError::RejectedByVerifier { diagnostics })
+                    if diagnostics.iter().any(|d| d.rule == RuleCode::TileBounds)
+            ),
+            "{:?}",
+            bad_report.output
         );
         assert_eq!(bad_report.stats.instructions(), 0, "faulted job never ran");
         assert!(good_report.output.is_ok(), "co-tenant unaffected");
         assert_eq!(pool.telemetry().failures, 1);
+    }
+
+    /// Dynamic scrub verification: the admission verifier rejects any
+    /// tenant program that reads rows it never wrote (L001), so the
+    /// physical residue checks run through the unverified seam — the
+    /// defense-in-depth layer behind the static guarantee. Covers both
+    /// scrub paths: per-job lease release and dataset lease release.
+    #[test]
+    fn scrubbed_tiles_show_no_residue_to_unverified_probes() {
+        let pool = RuntimePool::new(PoolConfig::with_shards(1));
+        let marker = BitVec::from_fn(1024, |j| j % 2 == 0);
+
+        // Per-job scrub: tenant A fills a row, tenant B probes the
+        // recycled physical tile and must see zeros.
+        let first = pool
+            .client(TenantId(10))
+            .submit(&WorkloadSpec::Raw {
+                digital_tiles: 1,
+                analog_tiles: 0,
+                instructions: vec![CimInstruction::WriteRow {
+                    tile: 0,
+                    row: 5,
+                    bits: marker.clone(),
+                }],
+            })
+            .unwrap()
+            .wait();
+        assert!(first.output.is_ok());
+        let probe = pool
+            .client(TenantId(11))
+            .submit_unverified(&WorkloadSpec::Raw {
+                digital_tiles: 1,
+                analog_tiles: 0,
+                instructions: vec![CimInstruction::ReadRow { tile: 0, row: 5 }],
+            })
+            .unwrap()
+            .wait();
+        match probe.output.as_ref().unwrap() {
+            JobOutput::Responses(responses) => {
+                let bits = responses[0].clone().into_bits().unwrap();
+                assert_eq!(bits.count_ones(), 0, "tenant B saw tenant A's data");
+                assert_ne!(bits, marker);
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+
+        // Dataset-release scrub: resident Q6 bins vacate their tile
+        // only after the last handle drops, leaving zeros behind.
+        let table = pool
+            .client(TenantId(10))
+            .register_dataset(&DatasetSpec::Q6Table {
+                rows: 500,
+                table_seed: 3,
+            })
+            .unwrap();
+        drop(table);
+        let after = pool
+            .client(TenantId(11))
+            .submit_unverified(&WorkloadSpec::Raw {
+                digital_tiles: 1,
+                analog_tiles: 0,
+                instructions: (0..145)
+                    .map(|row| CimInstruction::ReadRow { tile: 0, row })
+                    .collect(),
+            })
+            .unwrap()
+            .wait();
+        match after.output.as_ref().unwrap() {
+            JobOutput::Responses(responses) => {
+                assert_eq!(responses.len(), 145);
+                for resp in responses {
+                    let bits = resp.clone().into_bits().unwrap();
+                    assert_eq!(
+                        bits.count_ones(),
+                        0,
+                        "released dataset rows must be scrubbed before reuse"
+                    );
+                }
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
     }
 
     #[test]
@@ -2422,9 +2633,14 @@ mod tests {
                 instructions: vec![CimInstruction::StoreLast { tile: 0, row: 0 }],
             })
             .unwrap();
-        assert_eq!(
-            handle.wait().output,
-            Err(JobError::StoreWithoutResult { index: 0 })
+        let output = handle.wait().output;
+        assert!(
+            matches!(
+                &output,
+                Err(JobError::RejectedByVerifier { diagnostics })
+                    if diagnostics.iter().any(|d| d.rule == RuleCode::LatchUndef)
+            ),
+            "{output:?}"
         );
     }
 
@@ -2432,10 +2648,13 @@ mod tests {
     fn panicking_stream_fails_job_but_not_shard() {
         let pool = RuntimePool::new(PoolConfig::with_shards(1));
         // A width-mismatched write panics inside the tile; the shard
-        // must survive and serve the co-tenant normally.
+        // must survive and serve the co-tenant normally. The verifier
+        // would reject this stream at admission (L008), so it enters
+        // through the unverified test seam: containment is the
+        // defense-in-depth layer behind the verifier.
         let bad = pool
             .client(TenantId(0))
-            .submit(&WorkloadSpec::Raw {
+            .submit_unverified(&WorkloadSpec::Raw {
                 digital_tiles: 1,
                 analog_tiles: 0,
                 instructions: vec![CimInstruction::WriteRow {
@@ -2573,9 +2792,10 @@ mod tests {
     fn wait_after_worker_panic_returns_failure_report() {
         let pool = RuntimePool::new(PoolConfig::with_shards(1));
         let session = pool.client(TenantId(0));
-        // Width-mismatched write: panics inside the accelerator.
+        // Width-mismatched write: panics inside the accelerator. The
+        // unverified seam lets it past the admission verifier.
         let handle = session
-            .submit(&WorkloadSpec::Raw {
+            .submit_unverified(&WorkloadSpec::Raw {
                 digital_tiles: 1,
                 analog_tiles: 0,
                 instructions: vec![CimInstruction::WriteRow {
@@ -2618,7 +2838,7 @@ mod tests {
         let pool = RuntimePool::new(PoolConfig::with_shards(1));
         let session = pool.client(TenantId(0));
         let wide = session
-            .submit(&WorkloadSpec::Raw {
+            .submit_unverified(&WorkloadSpec::Raw {
                 digital_tiles: 1,
                 analog_tiles: 0,
                 instructions: vec![CimInstruction::Logic {
@@ -2629,7 +2849,7 @@ mod tests {
             })
             .unwrap();
         let narrow = session
-            .submit(&WorkloadSpec::Raw {
+            .submit_unverified(&WorkloadSpec::Raw {
                 digital_tiles: 1,
                 analog_tiles: 0,
                 instructions: vec![CimInstruction::Logic {

@@ -1,0 +1,78 @@
+//! Admission-time static verification: the bridge between the pool and
+//! the `cim-lint` analyzer.
+//!
+//! The pool verifies raw instruction streams ([`crate::WorkloadSpec::Raw`]
+//! and [`crate::WorkloadSpec::RawQuery`]) unconditionally, and every
+//! compiled workload when [`crate::PoolConfig::verify_all_programs`] is
+//! set. A program with error-severity findings is rejected with a
+//! terminal [`crate::JobError::RejectedByVerifier`] report *before* any
+//! device state is touched — the shard never sees the stream.
+//!
+//! This module's job is building the [`LintTarget`]: the compiled job's
+//! declared tile demand plus whatever the queried dataset already made
+//! resident (Q6 bin rows, CAM entry row pairs, programmed prototype or
+//! weight matrices), so reads of resident data verify clean while
+//! writes over it are rejected.
+
+use crate::compile::{q6_row_bases, CompiledJob, TileDemand};
+use crate::dataset::{ResidentPayload, ResidentView};
+use crate::schedule::PoolConfig;
+use cim_lint::{Geometry, LintReport, LintTarget};
+
+/// Builds the lint target a job with `demand` runs against: the pool's
+/// per-tile geometry with the job's own tile counts, plus the resident
+/// rows/matrices of the dataset it queries, if any.
+pub(crate) fn lint_target(
+    demand: TileDemand,
+    cfg: &PoolConfig,
+    resident: Option<&ResidentView>,
+) -> LintTarget {
+    let geometry = Geometry {
+        digital_tiles: demand.digital,
+        tile_rows: cfg.tile_rows,
+        tile_cols: cfg.tile_cols,
+        analog_tiles: demand.analog,
+        analog_rows: cfg.analog_rows,
+        analog_cols: cfg.analog_cols,
+        scout_fan_in: cfg.scout_fan_in,
+    };
+    let mut target = LintTarget::new(geometry);
+    let Some(view) = resident else {
+        return target;
+    };
+    match &view.payload {
+        // Q6 bins occupy every row below the scratch region on each
+        // pinned tile; queries may only write the scratch rows above.
+        ResidentPayload::Q6 { widths, .. } => {
+            let (_, _, _, scratch_base) = q6_row_bases();
+            for tile in 0..widths.len() {
+                target = target.with_resident_rows(tile, 0..scratch_base);
+            }
+        }
+        // CAM entries are (value, care) row pairs from row 0 up.
+        ResidentPayload::CamRules { entries, .. } | ResidentPayload::CamKeys { entries, .. } => {
+            for (tile, &n) in entries.iter().enumerate() {
+                target = target.with_resident_rows(tile, 0..2 * n);
+            }
+        }
+        // Prototype / weight matrices: every analog tile the job
+        // demands is programmed by the dataset.
+        ResidentPayload::Hdc { .. } | ResidentPayload::Nn { .. } => {
+            for tile in 0..demand.analog {
+                target = target.with_resident_analog(tile);
+            }
+        }
+    }
+    target
+}
+
+/// Statically verifies a compiled job against the pool geometry and its
+/// resident dataset. Deterministic: same job, same config, same report.
+pub(crate) fn verify_compiled(
+    compiled: &CompiledJob,
+    cfg: &PoolConfig,
+    resident: Option<&ResidentView>,
+) -> LintReport {
+    let target = lint_target(compiled.demand, cfg, resident);
+    cim_lint::lint(&compiled.instructions, &compiled.outputs, &target)
+}

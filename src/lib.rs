@@ -22,12 +22,16 @@
 //! 8. [`cim_obs`] — dependency-free tracing, metrics and profiling
 //!    primitives: trace sinks, a ring recorder, mergeable latency
 //!    histograms, deterministic snapshot JSON and Chrome trace export.
-//! 9. [`cim_runtime`] — the multi-tenant accelerator-pool runtime that
-//!    serves batched application workloads across shards through
-//!    per-tenant sessions: non-blocking `JobHandle`s per submission and
-//!    reference-counted resident datasets that amortize array writes
-//!    across queries (see the "Serving workloads" section of
-//!    README.md).
+//! 9. [`cim_lint`] — the static program verifier for compiled CIM
+//!    instruction streams: per-instruction effect summaries fed to an
+//!    abstract interpreter with stable `L00x` rule codes, run at pool
+//!    admission and available standalone.
+//! 10. [`cim_runtime`] — the multi-tenant accelerator-pool runtime that
+//!     serves batched application workloads across shards through
+//!     per-tenant sessions: non-blocking `JobHandle`s per submission
+//!     and reference-counted resident datasets that amortize array
+//!     writes across queries (see the "Serving workloads" section of
+//!     README.md).
 
 pub use cim_amp;
 pub use cim_arch;
@@ -37,6 +41,7 @@ pub use cim_crossbar;
 pub use cim_device;
 pub use cim_hdc;
 pub use cim_imgproc;
+pub use cim_lint;
 pub use cim_nn;
 pub use cim_obs;
 pub use cim_runtime;

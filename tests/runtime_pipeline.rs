@@ -21,8 +21,8 @@ use cim_repro::cim_core::ExecutionStats;
 use cim_repro::cim_crossbar::scouting::ScoutOp;
 use cim_repro::cim_imgproc::image::GrayImage;
 use cim_repro::cim_runtime::{
-    CompileError, DatasetSpec, ImgFilterOp, JobHandle, JobOutput, PoolConfig, RuntimePool,
-    TenantId, WorkloadSpec,
+    CompileError, DatasetSpec, ImgFilterOp, JobError, JobHandle, JobOutput, PoolConfig, RuleCode,
+    RuntimePool, TenantId, WorkloadSpec,
 };
 use cim_repro::cim_simkit::bitvec::BitVec;
 
@@ -228,8 +228,14 @@ fn tenants_cannot_read_each_others_tiles() {
         "lease scrubbing must actually write"
     );
 
-    // Tenant B reads the row tenant A wrote (same physical tile 0, the
-    // first job completed so the lease was recycled).
+    // Tenant B tries to read the row tenant A wrote (same physical
+    // tile 0, the first job completed so the lease was recycled). The
+    // admission verifier rejects the probe outright: a raw stream may
+    // only read rows it wrote itself (L001), so a cross-tenant residue
+    // probe is not even expressible — isolation is enforced statically,
+    // one layer before the scrub. (The dynamic check that the scrub
+    // really zeroes the rows lives in the runtime's in-crate suite,
+    // behind the verifier through a test-only seam.)
     let probe = pool.client(TenantId(11));
     let read_back = probe
         .submit(&WorkloadSpec::Raw {
@@ -247,18 +253,24 @@ fn tenants_cannot_read_each_others_tiles() {
         })
         .unwrap();
 
-    match read_back.wait().output.as_ref().unwrap() {
-        JobOutput::Responses(responses) => {
-            let bits = responses[0].clone().into_bits().unwrap();
-            assert_eq!(bits.count_ones(), 0, "tenant B saw tenant A's data");
-            assert_ne!(bits, marker);
+    match read_back.wait().output {
+        Err(JobError::RejectedByVerifier { diagnostics }) => {
+            assert!(
+                diagnostics.iter().any(|d| d.rule == RuleCode::UninitRead),
+                "{diagnostics:?}"
+            );
         }
-        other => panic!("unexpected output {other:?}"),
+        other => panic!("cross-tenant probe must be rejected, got {other:?}"),
     }
-    assert!(
-        escape.wait().output.is_err(),
-        "out-of-lease access must tile-fault"
-    );
+    match escape.wait().output {
+        Err(JobError::RejectedByVerifier { diagnostics }) => {
+            assert!(
+                diagnostics.iter().any(|d| d.rule == RuleCode::TileBounds),
+                "{diagnostics:?}"
+            );
+        }
+        other => panic!("out-of-lease access must be rejected, got {other:?}"),
+    }
 }
 
 #[test]
@@ -428,8 +440,12 @@ fn dataset_lease_scrubbed_only_after_last_handle_drops() {
             available: 3,
         }
     ));
-    // …and a maximal fresh lease maps around the pinned tile: reading
-    // the bin rows through every granted tile sees no resident data.
+    // …and a probing read of the resident rows through a fresh lease
+    // is rejected at admission: a raw stream may only read rows it
+    // wrote itself (L001), so resident data cannot be probed even
+    // through the lease that maps around the pinned tile. (The dynamic
+    // residue checks live in the runtime's in-crate suite, behind the
+    // verifier through a test-only seam.)
     let probe = spy
         .submit(&WorkloadSpec::Raw {
             digital_tiles: 3,
@@ -440,14 +456,14 @@ fn dataset_lease_scrubbed_only_after_last_handle_drops() {
         })
         .unwrap()
         .wait();
-    match probe.output.as_ref().unwrap() {
-        JobOutput::Responses(responses) => {
-            for resp in responses {
-                let bits = resp.clone().into_bits().unwrap();
-                assert_eq!(bits.count_ones(), 0, "fresh lease saw resident data");
-            }
+    match probe.output {
+        Err(JobError::RejectedByVerifier { ref diagnostics }) => {
+            assert!(
+                diagnostics.iter().any(|d| d.rule == RuleCode::UninitRead),
+                "{diagnostics:?}"
+            );
         }
-        other => panic!("unexpected output {other:?}"),
+        ref other => panic!("resident-data probe must be rejected, got {other:?}"),
     }
 
     // Dropping one of two handles must NOT release the lease: queries
@@ -479,6 +495,8 @@ fn dataset_lease_scrubbed_only_after_last_handle_drops() {
         .unwrap_err();
     assert!(matches!(dead, CompileError::UnknownDataset { .. }));
 
+    // A probe of the freed rows is still inexpressible for a tenant —
+    // same L001 rejection as above, release or no release.
     let after = spy
         .submit(&WorkloadSpec::Raw {
             digital_tiles: 1,
@@ -489,20 +507,11 @@ fn dataset_lease_scrubbed_only_after_last_handle_drops() {
         })
         .unwrap()
         .wait();
-    match after.output.as_ref().unwrap() {
-        JobOutput::Responses(responses) => {
-            assert_eq!(responses.len(), 145);
-            for resp in responses {
-                let bits = resp.clone().into_bits().unwrap();
-                assert_eq!(
-                    bits.count_ones(),
-                    0,
-                    "released dataset rows must be scrubbed before reuse"
-                );
-            }
-        }
-        other => panic!("unexpected output {other:?}"),
-    }
+    assert!(
+        matches!(after.output, Err(JobError::RejectedByVerifier { .. })),
+        "{:?}",
+        after.output
+    );
 }
 
 /// HDC prototypes stay programmed across query jobs and serve with the
