@@ -39,8 +39,8 @@ use cim_device::reram::ReramParams;
 use cim_nn::binarized::BinarizedMlp;
 use cim_obs::{Histogram, RingRecorder, Snapshot, SpanId, Value};
 use cim_runtime::{
-    DatasetSpec, JobHandle, JobOutput, JobReport, MatchKind, PoolConfig, RuntimePool, TenantId,
-    Tracer, WorkloadSpec,
+    DatasetSpec, JobHandle, JobOutput, JobReport, JobRoute, MatchKind, OffloadPolicy, PoolConfig,
+    RuntimePool, TenantId, Tracer, WorkloadSpec,
 };
 use cim_simkit::bitvec::BitVec;
 use cim_simkit::rng::seeded;
@@ -884,6 +884,131 @@ fn verify_all_overhead() -> BenchEntry {
     .extra("verify_overhead", overhead)
 }
 
+/// The offload planner's wall-clock case: a swarm of tiny host-winning
+/// jobs around a few accelerator-scale selects, served under
+/// `CostDriven` versus `AlwaysCim`. The planner compares each job's
+/// certified cost-envelope latency bound against the analytical host
+/// estimate at admission and serves the tiny jobs from the host lane —
+/// skipping compile-side simulation work entirely — so the cost-driven
+/// pool must beat the all-CIM pool in wall clock by at least
+/// [`HOST_OFFLOAD_FLOOR`], with bit-identical outputs. The floor is
+/// asserted so CI catches a planner regression.
+const HOST_OFFLOAD_FLOOR: f64 = 1.1;
+
+fn host_offload() -> BenchEntry {
+    println!(
+        "\n# HOST OFFLOAD — cost-driven planner vs always-CIM on a tiny/large mix (2 shards)\n"
+    );
+    let params = Q6Params::tpch_default();
+    let mut jobs = Vec::new();
+    for i in 0..64u64 {
+        jobs.push(WorkloadSpec::XorEncrypt {
+            message: (0..512u32)
+                .map(|b| (b as u8).wrapping_add(i as u8))
+                .collect(),
+            key_seed: 1000 + i,
+        });
+        jobs.push(WorkloadSpec::ScoutBulk {
+            op: ScoutOp::Or,
+            rows: (0..12)
+                .map(|r| BitVec::from_fn(1024, |j| (j + r) % 5 == i as usize % 5))
+                .collect(),
+        });
+    }
+    for i in 0..2u64 {
+        jobs.push(WorkloadSpec::Q6Select {
+            rows: 1000,
+            table_seed: 500 + i,
+            params,
+        });
+    }
+
+    let serve = |policy: OffloadPolicy| -> (f64, Vec<JobReport>, f64, f64) {
+        let mut cfg = PoolConfig::with_shards(2);
+        cfg.offload_policy = policy;
+        let pool = RuntimePool::new(cfg);
+        let session = pool.client(TenantId(1));
+        let start = Instant::now();
+        let handles: Vec<JobHandle> = jobs
+            .iter()
+            .map(|spec| session.submit(spec).expect("job fits pool"))
+            .collect();
+        let reports = session.wait_all(handles);
+        let wall = start.elapsed().as_secs_f64();
+        assert!(reports.iter().all(|r| r.output.is_ok()));
+        let t = pool.telemetry();
+        (
+            wall,
+            reports,
+            t.host_routed.jobs as f64,
+            t.simulated_makespan().0,
+        )
+    };
+
+    // Warm-up, then interleaved best-of-3 per policy (same protocol as
+    // the verify-all overhead entry: minima damp scheduler noise).
+    serve(OffloadPolicy::AlwaysCim);
+    let driven_policy = OffloadPolicy::CostDriven { threshold: 1.0 };
+    let (mut wall_cim, mut wall_driven) = (f64::INFINITY, f64::INFINITY);
+    let (mut cim_reports, mut driven_reports) = (Vec::new(), Vec::new());
+    let (mut host_routed, mut sim) = (0.0, 0.0);
+    for _ in 0..3 {
+        let (wall, reports, _, _) = serve(OffloadPolicy::AlwaysCim);
+        wall_cim = wall_cim.min(wall);
+        cim_reports = reports;
+        let (wall, reports, routed, s) = serve(driven_policy);
+        wall_driven = wall_driven.min(wall);
+        (driven_reports, host_routed, sim) = (reports, routed, s);
+    }
+
+    // Routing is a pure performance decision: not one output bit moves.
+    for (c, d) in cim_reports.iter().zip(&driven_reports) {
+        assert_eq!(c.kind, d.kind);
+        assert_eq!(
+            c.output, d.output,
+            "cost-driven routing changed an output on {:?}",
+            c.kind
+        );
+        assert!(c.route == JobRoute::Cim, "always-CIM pool routed host");
+        if d.route == JobRoute::Host {
+            assert!(d.shards.is_empty(), "host job claims shards");
+        }
+    }
+    assert!(
+        host_routed > 0.0,
+        "the cost-driven planner never used the host lane"
+    );
+    let speedup = wall_cim / wall_driven;
+    println!(
+        "{:>16} {:>6} {:>12} {:>10} {:>9}",
+        "policy", "jobs", "host-routed", "wall (s)", "speedup"
+    );
+    println!(
+        "{:>16} {:>6} {:>12} {:>10.3} {:>9}",
+        "always-CIM",
+        cim_reports.len(),
+        0,
+        wall_cim,
+        "1.00x"
+    );
+    println!(
+        "{:>16} {:>6} {:>12} {:>10.3} {:>8.2}x",
+        "cost-driven",
+        driven_reports.len(),
+        host_routed,
+        wall_driven,
+        speedup
+    );
+    assert!(
+        speedup >= HOST_OFFLOAD_FLOOR,
+        "host-offload speedup {speedup:.2}x regressed below the {HOST_OFFLOAD_FLOOR}x floor"
+    );
+    BenchEntry::new("host_offload", sim, wall_driven * 1e3, speedup)
+        .extra("host_routed", host_routed)
+        .extra("cim_wall_ms", wall_cim * 1e3)
+        .extra("jobs", driven_reports.len() as f64)
+}
+
 fn observability() -> BenchEntry {
     println!("\n# OBSERVABILITY — traced serving run, exports, and null-sink overhead\n");
     let start = Instant::now();
@@ -955,6 +1080,7 @@ fn main() {
     entries.push(cam_search_vs_host_scan());
     entries.push(oversized_q6());
     entries.push(verify_all_overhead());
+    entries.push(host_offload());
     entries.push(observability());
     write_bench_json(&entries);
 }

@@ -203,6 +203,21 @@ impl LintReport {
         out
     }
 
+    /// Like [`Self::to_json`], with the cost pass's envelope embedded
+    /// as an optional trailing `"cost"` section (omitted when `None`,
+    /// in which case the output equals [`Self::to_json`] exactly —
+    /// existing consumers of the plain shape keep parsing).
+    pub fn to_json_with(&self, cost: Option<&crate::CostEnvelope>) -> String {
+        let base = self.to_json();
+        match cost {
+            None => base,
+            Some(env) => {
+                let body = base.strip_suffix('}').unwrap_or(&base).to_string();
+                format!("{body}, \"cost\": {}}}", env.to_json())
+            }
+        }
+    }
+
     /// Deterministic JSON rendering:
     /// `{"errors": N, "warnings": M, "diagnostics": [{"rule", "severity",
     /// "instr_index", "message"}, …]}`.
@@ -299,6 +314,17 @@ mod tests {
         assert!(json.contains("\"errors\": 1"));
         assert!(json.contains("\\\"used\\\""), "quotes escaped: {json}");
         assert_eq!(report.errors().len(), 1);
+    }
+
+    #[test]
+    fn json_with_cost_section_extends_the_plain_shape() {
+        let report = LintReport::default();
+        assert_eq!(report.to_json_with(None), report.to_json());
+        let env = crate::CostEnvelope::default();
+        let json = report.to_json_with(Some(&env));
+        assert!(json.starts_with("{\"errors\": 0, \"warnings\": 0"));
+        assert!(json.contains("\"cost\": {\"cost_units\": 0"));
+        assert!(json.ends_with("}}"));
     }
 
     #[test]

@@ -42,6 +42,15 @@
 //! `L008-WIDTH-MISMATCH`) and render deterministically as text
 //! ([`LintReport::to_text`]) or JSON ([`LintReport::to_json`]).
 //!
+//! A second pass, [`cost`], runs the same effect-summary walk but
+//! certifies a [`CostEnvelope`] instead of diagnostics: exact per-tile-
+//! family instruction/pulse counts, sound upper bounds on the measured
+//! device counters, per-row write wear, and latency/energy bounds from
+//! the `cim-arch`/`cim-tech` analytical models. The envelope is the
+//! TDO-CIM-style cost input an admission-time offload planner compares
+//! against a host-fallback estimate; [`LintReport::to_json_with`]
+//! embeds it as the report's optional `cost` section.
+//!
 //! # Example
 //!
 //! ```
@@ -75,7 +84,9 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod check;
+mod cost;
 mod diag;
 
 pub use check::{lint, Geometry, LintTarget};
+pub use cost::{cost, CostEnvelope, CostModel};
 pub use diag::{Diagnostic, LintReport, RuleCode, Severity};

@@ -71,17 +71,23 @@ impl PoolClient {
         })
     }
 
-    /// Statically verifies a workload without submitting it.
+    /// Statically verifies and cost-analyzes a workload without
+    /// submitting it.
     ///
     /// Compiles the spec exactly as [`PoolClient::submit`] would and
-    /// runs the `cim-lint` verifier on the resulting instruction
+    /// runs both `cim-lint` passes on the resulting instruction
     /// stream, returning the full [`cim_lint::LintReport`] — warnings
-    /// included, which a submission would accept silently. Nothing is
-    /// enqueued and no job id is consumed, so tooling can gate or
-    /// debug raw streams before paying for a submission. Compile
-    /// errors (bad geometry, unknown or foreign dataset…) surface the
-    /// same way they would on submit.
-    pub fn verify(&self, spec: &WorkloadSpec) -> Result<cim_lint::LintReport, CompileError> {
+    /// included, which a submission would accept silently — alongside
+    /// the certified [`cim_lint::CostEnvelope`] the offload planner
+    /// would weigh against the host fallback. Nothing is enqueued and
+    /// no job id is consumed, so tooling can gate, price or debug raw
+    /// streams before paying for a submission. Compile errors (bad
+    /// geometry, unknown or foreign dataset…) surface the same way
+    /// they would on submit.
+    pub fn verify(
+        &self,
+        spec: &WorkloadSpec,
+    ) -> Result<(cim_lint::LintReport, cim_lint::CostEnvelope), CompileError> {
         self.shared.verify_spec(self.tenant, spec)
     }
 

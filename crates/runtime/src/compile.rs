@@ -24,14 +24,15 @@ use crate::job::{
     WorkloadSpec,
 };
 use crate::schedule::PoolConfig;
-use cim_bitmap_db::query::{q6_result_from_selection, Q6Indexes};
+use cim_bitmap_db::query::{q6_result_from_selection, q6_scan, Q6Indexes};
 use cim_bitmap_db::tpch::{LineItemTable, Q6Params, DISCOUNT_LEVELS, MAX_QUANTITY, SHIP_MONTHS};
 use cim_core::isa::{CimInstruction, CimResponse, MatchKind};
 use cim_core::AddressMap;
-use cim_crossbar::cam::{key_bits, RuleSet};
+use cim_crossbar::cam::{host_match, key_bits, RuleSet};
 use cim_crossbar::scouting::ScoutOp;
 use cim_hdc::lang::LanguageTask;
 use cim_imgproc::image::GrayImage;
+use cim_lint::CostEnvelope;
 use cim_nn::binarized::{argmax_scores, snap_to_parity, BinarizedMlp};
 use cim_simkit::bitvec::BitVec;
 use cim_simkit::linalg::Matrix;
@@ -439,38 +440,36 @@ pub struct CompiledJob {
     /// This is what lets a job bigger than any one shard still serve
     /// from the pool's aggregate capacity.
     pub splittable: bool,
+    /// The certified cost envelope of the instruction stream — the
+    /// `cim_lint::cost` pass over this job against the pool geometry,
+    /// sealed at compile time (and per part when a job splits). The one
+    /// cost authority: batching, balancing and the offload planner all
+    /// read it.
+    pub envelope: CostEnvelope,
+    /// The host-fallback result, precomputed at compile time for
+    /// workload kinds whose host reference path is certified
+    /// bit-identical to the CIM execution. `None` when the kind has no
+    /// such certificate (raw streams, analog-score HDC) or when the
+    /// pool policy never routes to the host — the planner can only
+    /// pick the host lane when this is `Some`.
+    pub host: Option<JobOutput>,
 }
 
 impl CompiledJob {
     /// Deterministic load estimate for shard balancing, in units of one
-    /// digital row access. Analog operations are weighted by their
-    /// simulated-latency ratio (a 1 µs MVM cycle vs a 10 ns row write),
-    /// matrix programming by its device count, and logic accesses by
-    /// the rows they activate: a Scouting access fans current through
-    /// every selected row simultaneously, so a wide raw reduction costs
-    /// what it touches, not one — otherwise a single wide-fan-in job
-    /// could slip a whole shard's worth of work past
-    /// [`PoolConfig::max_batch_cost`] as "one instruction".
+    /// digital row access: the [`CostEnvelope::cost_units`] scalar of
+    /// the job's sealed envelope. Analog operations are weighted by
+    /// their simulated-latency ratio (a 1 µs MVM cycle vs a 10 ns row
+    /// write), matrix programming by its device count, and logic
+    /// accesses by the rows they activate: a Scouting access fans
+    /// current through every selected row simultaneously, so a wide raw
+    /// reduction costs what it touches, not one — otherwise a single
+    /// wide-fan-in job could slip a whole shard's worth of work past
+    /// [`PoolConfig::max_batch_cost`] as "one instruction". The
+    /// analyzer is the single cost authority; this accessor exists so
+    /// batching and balancing read the same scalar everywhere.
     pub fn estimated_cost(&self) -> u64 {
-        self.instructions
-            .iter()
-            .map(|instr| match instr {
-                CimInstruction::WriteRow { .. }
-                | CimInstruction::ReadRow { .. }
-                | CimInstruction::StoreLast { .. } => 1,
-                // A key write is two row pulses (value + care); a search
-                // pulses every activated match line at once, so it costs
-                // the entries it touches, like a wide Logic access.
-                CimInstruction::WriteKey { .. } => 2,
-                CimInstruction::MatchSearch { entries, .. } => *entries as u64,
-                CimInstruction::Logic { rows, .. } => rows.len() as u64,
-                CimInstruction::Mvm { .. } | CimInstruction::MvmT { .. } => 100,
-                CimInstruction::ProgramMatrix { matrix, .. } => {
-                    (matrix.rows() * matrix.cols()) as u64 / 64
-                }
-            })
-            .sum::<u64>()
-            + 1
+        self.envelope.cost_units
     }
 }
 
@@ -667,7 +666,7 @@ pub(crate) fn compile(
     window_base: u64,
     resident: Option<&ResidentView>,
 ) -> Result<CompiledJob, CompileError> {
-    let compiled = match spec {
+    let mut compiled = match spec {
         WorkloadSpec::Q6Query { dataset, params } => {
             let record = resident_view(resident);
             compile_q6_query(*dataset, record, *params, job, tenant, cfg, seed)
@@ -810,6 +809,8 @@ pub(crate) fn compile(
                 },
                 seed,
                 splittable: false,
+                envelope: CostEnvelope::default(),
+                host: None,
             })
         }
         WorkloadSpec::Raw {
@@ -837,8 +838,20 @@ pub(crate) fn compile(
             },
             seed,
             splittable: false,
+            envelope: CostEnvelope::default(),
+            host: None,
         }),
     }?;
+    // Seal the certified cost envelope: every admitted job carries the
+    // analyzer's verdict, and batching/balancing read nothing else.
+    compiled.envelope = crate::verify::envelope_of(&compiled.instructions, compiled.demand, cfg);
+    // Precompute the host-fallback result for kinds with a certified
+    // bit-identical host path, but only when the pool's policy can ever
+    // route to the host — under `AlwaysCim` the work would be pure
+    // waste at admission time.
+    if cfg.offload_policy != crate::schedule::OffloadPolicy::AlwaysCim {
+        compiled.host = host_reference(spec, &compiled, cfg, resident);
+    }
     // The compiler holds its own output to the lint-clean bar: in debug
     // builds every non-raw program is re-checked by the static verifier
     // at submit, so a lowering bug surfaces here with a rule code
@@ -882,6 +895,206 @@ fn digital_placement(base: u64, tiles: usize, cfg: &PoolConfig) -> Option<Addres
         cfg.tile_rows,
         cfg.tile_cols.div_ceil(8),
     ))
+}
+
+/// `true` when the pool's ReRAM model is noise-free: no
+/// device-to-device variation and no cycle-to-cycle read noise, so
+/// every digital sense and CAM match line resolves deterministically at
+/// its nominal current. Range-window CAM searches (and the HDC
+/// associative sweep built on them) are exact precisely in this regime;
+/// the host-route planner only trusts them then.
+fn reram_noise_free(cfg: &PoolConfig) -> bool {
+    cfg.reram_params.sigma_d2d == 0.0 && cfg.reram_params.sigma_c2c == 0.0
+}
+
+/// The `(value, care)` CAM entry pairs a resident dataset stores, in
+/// dataset order across tiles — the host-side view of the match array.
+fn cam_entry_pairs(payload: &ResidentPayload) -> Option<Vec<(BitVec, BitVec)>> {
+    match payload {
+        ResidentPayload::CamRules { rules, .. } => Some(
+            rules
+                .rules()
+                .iter()
+                .map(|r| (r.value.clone(), r.care.clone()))
+                .collect(),
+        ),
+        ResidentPayload::CamKeys { keys, width, .. } => Some(
+            keys.iter()
+                .map(|&k| (key_bits(k, *width), BitVec::ones(*width)))
+                .collect(),
+        ),
+        _ => None,
+    }
+}
+
+/// Host scan over the entry pairs: one match set per key, bit `s` set
+/// when entry `s` matches — the same shape [`Finalizer::Matches`]
+/// assembles from match-line responses.
+fn host_match_sets(entries: &[(BitVec, BitVec)], keys: &[BitVec], kind: MatchKind) -> Vec<BitVec> {
+    keys.iter()
+        .map(|key| {
+            BitVec::from_fn(entries.len(), |s| {
+                host_match(&entries[s].0, &entries[s].1, key, kind)
+            })
+        })
+        .collect()
+}
+
+/// Exact host inference of a binarized network: the integer score
+/// vector per input (what [`snap_to_parity`] recovers from the analog
+/// responses) and its argmax prediction.
+fn nn_host_scores(mlp: &BinarizedMlp, inputs: &[BitVec]) -> JobOutput {
+    let mut predictions = Vec::with_capacity(inputs.len());
+    let mut scores = Vec::with_capacity(inputs.len());
+    for x in inputs {
+        let s = mlp.scores(x);
+        predictions.push(argmax_scores(&s));
+        scores.push(s);
+    }
+    JobOutput::Nn(NnOutcome {
+        predictions,
+        scores,
+    })
+}
+
+/// Computes the host-fallback result of a compiled job, or `None` when
+/// the workload kind carries no certificate that its host path is
+/// bit-identical to the CIM execution under the pool's device models.
+///
+/// The certificates, per kind:
+///
+/// * **Q6** — the device selects, the finalizer aggregates via
+///   `q6_result_from_selection`, which equals [`q6_scan`] whenever the
+///   selection is exact; digital scouting over bitmap bins is exact by
+///   the margin analysis the serving tests pin.
+/// * **XOR / scout / image** — pure digital row logic plus host float
+///   work already shared with the reference path.
+/// * **NN** — [`snap_to_parity`] recovers the exact integer scores
+///   under the bounded analog noise the compiler provisioned for.
+/// * **CAM exact/ternary** — `[0, 0]` mismatch windows resolve on the
+///   word-safe path regardless of noise; range windows (and the HDC
+///   associative sweep over them) are only certified when
+///   [`reram_noise_free`] holds.
+/// * **Analog-score HDC** ([`WorkloadSpec::HdcClassify`] /
+///   [`WorkloadSpec::HdcQuery`]) — the finalizer argmaxes raw crossbar
+///   read-outs through the DAC/ADC quantization path, which carries no
+///   exactness certificate even with noise disabled: never host-routed.
+/// * **Raw streams** — tenant instruction streams have no host
+///   semantics at all.
+fn host_reference(
+    spec: &WorkloadSpec,
+    compiled: &CompiledJob,
+    cfg: &PoolConfig,
+    resident: Option<&ResidentView>,
+) -> Option<JobOutput> {
+    match spec {
+        WorkloadSpec::Q6Select { .. } | WorkloadSpec::Q6Query { .. } => {
+            let Finalizer::Q6 { table, params, .. } = &compiled.finalizer else {
+                return None;
+            };
+            Some(JobOutput::Q6(q6_scan(table, params)))
+        }
+        WorkloadSpec::XorEncrypt { message, key_seed } => {
+            let pad = OneTimePad::generate(message.len(), *key_seed);
+            pad.encrypt(message).ok().map(JobOutput::Cipher)
+        }
+        WorkloadSpec::ScoutBulk { op, rows } => {
+            let mut acc = rows.first()?.clone();
+            for r in &rows[1..] {
+                acc = match op {
+                    ScoutOp::Or => acc.or(r),
+                    ScoutOp::And => acc.and(r),
+                    ScoutOp::Xor => acc.xor(r),
+                };
+            }
+            Some(JobOutput::Bits(acc))
+        }
+        WorkloadSpec::ImgFilter { image, filter } => {
+            // The device path writes the 8-bit-quantized image and the
+            // finalizer reassembles exactly those bytes, so the host
+            // reference is the filter over the quantized image.
+            Some(JobOutput::Image(filter.apply(&image.quantized(8))))
+        }
+        WorkloadSpec::NnInfer { network, inputs } => Some(nn_host_scores(network, inputs)),
+        WorkloadSpec::NnQuery { inputs, .. } => {
+            let ResidentPayload::Nn { network } = &resident?.payload else {
+                return None;
+            };
+            Some(nn_host_scores(network, inputs))
+        }
+        WorkloadSpec::CamSearch { kind, keys, .. } => {
+            if matches!(kind, MatchKind::Range { .. }) && !reram_noise_free(cfg) {
+                return None;
+            }
+            let entries = cam_entry_pairs(&resident?.payload)?;
+            Some(JobOutput::Matches(host_match_sets(&entries, keys, *kind)))
+        }
+        WorkloadSpec::RuleClassify { packets, .. } => {
+            let ResidentPayload::CamRules { rules, .. } = &resident?.payload else {
+                return None;
+            };
+            Some(JobOutput::Lookups(
+                packets
+                    .iter()
+                    .map(|&p| rules.classify(&key_bits(p, rules.width())))
+                    .collect(),
+            ))
+        }
+        WorkloadSpec::KeyLookup { probes, .. } => {
+            let ResidentPayload::CamKeys { keys, width, .. } = &resident?.payload else {
+                return None;
+            };
+            Some(JobOutput::Lookups(
+                probes
+                    .iter()
+                    .map(|&p| {
+                        let probe = key_bits(p, *width);
+                        keys.iter()
+                            .position(|&k| key_bits(k, *width) == probe)
+                            .map(|i| i as u32)
+                    })
+                    .collect(),
+            ))
+        }
+        WorkloadSpec::HdcAssoc { .. } => {
+            if !reram_noise_free(cfg) {
+                return None;
+            }
+            let Finalizer::Assoc {
+                prototypes,
+                queries,
+                expected,
+                ..
+            } = &compiled.finalizer
+            else {
+                return None;
+            };
+            // The noise-free sweep provably returns the global
+            // lowest-index argmax of prototype/query overlap — compute
+            // it directly.
+            let predictions = queries
+                .iter()
+                .map(|query| {
+                    let mut best: Option<(usize, usize)> = None;
+                    for (c, proto) in prototypes.iter().enumerate() {
+                        let o = proto.and(query).count_ones();
+                        if best.is_none_or(|(_, bo)| o > bo) {
+                            best = Some((c, o));
+                        }
+                    }
+                    best.map_or(0, |(bc, _)| bc)
+                })
+                .collect();
+            Some(JobOutput::Hdc(HdcOutcome {
+                predictions,
+                expected: expected.clone(),
+            }))
+        }
+        WorkloadSpec::HdcClassify { .. }
+        | WorkloadSpec::HdcQuery { .. }
+        | WorkloadSpec::Raw { .. }
+        | WorkloadSpec::RawQuery { .. } => None,
+    }
 }
 
 /// Emits a fan-in-limited OR/AND reduction over `rows`, ping-ponging
@@ -1103,6 +1316,8 @@ fn compile_q6(
         },
         seed,
         splittable: true,
+        envelope: CostEnvelope::default(),
+        host: None,
     })
 }
 
@@ -1153,6 +1368,8 @@ fn compile_q6_query(
         },
         seed,
         splittable: true,
+        envelope: CostEnvelope::default(),
+        host: None,
     })
 }
 
@@ -1246,6 +1463,8 @@ fn compile_cam_search(
         },
         seed,
         splittable: true,
+        envelope: CostEnvelope::default(),
+        host: None,
     })
 }
 
@@ -1303,6 +1522,8 @@ fn compile_rule_classify(
         },
         seed,
         splittable: true,
+        envelope: CostEnvelope::default(),
+        host: None,
     })
 }
 
@@ -1368,6 +1589,8 @@ fn compile_key_lookup(
         },
         seed,
         splittable: true,
+        envelope: CostEnvelope::default(),
+        host: None,
     })
 }
 
@@ -1487,6 +1710,8 @@ fn compile_hdc_assoc(
         },
         seed,
         splittable: false,
+        envelope: CostEnvelope::default(),
+        host: None,
     })
 }
 
@@ -1554,6 +1779,8 @@ fn compile_hdc_query(
         },
         seed,
         splittable: false,
+        envelope: CostEnvelope::default(),
+        host: None,
     })
 }
 
@@ -1696,6 +1923,8 @@ fn compile_nn_infer(
         },
         seed,
         splittable: false,
+        envelope: CostEnvelope::default(),
+        host: None,
     })
 }
 
@@ -1740,6 +1969,8 @@ fn compile_nn_query(
         },
         seed,
         splittable: false,
+        envelope: CostEnvelope::default(),
+        host: None,
     })
 }
 
@@ -1835,6 +2066,8 @@ fn compile_img(
         },
         seed,
         splittable: false,
+        envelope: CostEnvelope::default(),
+        host: None,
     })
 }
 
@@ -2190,6 +2423,8 @@ fn compile_hdc(
         },
         seed,
         splittable: false,
+        envelope: CostEnvelope::default(),
+        host: None,
     })
 }
 
@@ -2263,6 +2498,8 @@ fn compile_xor(
         },
         seed,
         splittable: false,
+        envelope: CostEnvelope::default(),
+        host: None,
     })
 }
 
@@ -2382,6 +2619,8 @@ fn compile_scout(
         },
         seed,
         splittable: true,
+        envelope: CostEnvelope::default(),
+        host: None,
     })
 }
 
@@ -2468,15 +2707,19 @@ pub(crate) fn split_by_digital_tile(
                 row_bytes,
             )
         });
+        let demand = TileDemand {
+            digital: chunk,
+            analog: 0,
+        };
+        // Parts are balanced and batched by their own envelopes, so
+        // each sub-stream is re-analyzed against its chunk geometry.
+        let envelope = crate::verify::envelope_of(&instructions, demand, cfg);
         parts.push(CompiledJob {
             job: parent.job,
             tenant: parent.tenant,
             kind: parent.kind,
             dataset: parent.dataset,
-            demand: TileDemand {
-                digital: chunk,
-                analog: 0,
-            },
+            demand,
             instructions,
             outputs,
             finalizer: Finalizer::Raw,
@@ -2488,6 +2731,10 @@ pub(crate) fn split_by_digital_tile(
             // part cannot change results, only keep streams private.
             seed: crate::mix_seed(parent.seed, 0x5EED ^ part as u64),
             splittable: false,
+            envelope,
+            // A part is always CIM work: the planner routes whole jobs
+            // to the host before any split happens.
+            host: None,
         });
         base += chunk;
     }

@@ -609,6 +609,19 @@ pub struct JobTiming {
     pub total: std::time::Duration,
 }
 
+/// Where the admission planner executed a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobRoute {
+    /// The job ran on the CIM pool (shards, batches, device models).
+    Cim,
+    /// The offload planner kept the job on the host: its envelope lost
+    /// to the host-fallback cost (or the policy forced the host lane),
+    /// and the precomputed bit-identical host result was served without
+    /// touching a shard — `shards` is empty and no batch id is
+    /// consumed.
+    Host,
+}
+
 /// Everything the pool reports back about one job.
 ///
 /// Equality compares every deterministic field and ignores
@@ -634,8 +647,11 @@ pub struct JobReport {
     /// failed before reaching any shard.
     pub shards: Vec<usize>,
     /// Batch it was coalesced into (`u64::MAX` if the job failed at
-    /// dispatch and never reached a shard).
+    /// dispatch and never reached a shard, or was host-routed).
     pub batch: u64,
+    /// Which lane the planner executed the job on. Host-routed jobs
+    /// report `shards: []` and a `u64::MAX` batch.
+    pub route: JobRoute,
     /// Decoded output, or the isolation/validation error.
     pub output: Result<JobOutput, JobError>,
     /// Instruction counts, energy and busy time attributed to this job.
@@ -664,6 +680,7 @@ impl PartialEq for JobReport {
             && self.shard == other.shard
             && self.shards == other.shards
             && self.batch == other.batch
+            && self.route == other.route
             && self.output == other.output
             && self.stats == other.stats
             && self.maintenance == other.maintenance

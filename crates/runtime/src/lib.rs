@@ -35,7 +35,14 @@
 //! * **[`schedule`]** — a job queue with deterministic shard selection,
 //!   per-tile admission over free (un-pinned) tiles, cost-aware batch
 //!   coalescing, and one worker thread per shard (std threads +
-//!   channels; no async dependency). Per-job seeded noise streams and
+//!   channels; no async dependency). Admission doubles as a TDO-CIM
+//!   style offload planner: every compiled job is sealed with the
+//!   `cim-lint` cost pass's certified [`cim_lint::CostEnvelope`], and
+//!   under [`PoolConfig::offload_policy`] jobs whose host fallback
+//!   beats their envelope's latency bound execute on a host lane —
+//!   bit-identical output, `shards: []`, [`JobRoute::Host`] in the
+//!   report — while [`PoolConfig::max_inflight_cost`] backpressures
+//!   submission on the summed in-flight envelope cost. Per-job seeded noise streams and
 //!   exclusive tile leases make batched execution bit-identical to
 //!   sequential execution, and tile scrubbing keeps tenants from ever
 //!   observing each other's data. Tile-parallel jobs (and `Q6Table`
@@ -50,7 +57,8 @@
 //!   [`PoolConfig::verify_all_programs`]. Programs with error-severity
 //!   findings fail terminally with [`JobError::RejectedByVerifier`]
 //!   (stable `L00x` rule codes) before any device state is touched;
-//!   [`PoolClient::verify`] runs the same check standalone.
+//!   [`PoolClient::verify`] runs the same check standalone and also
+//!   returns the job's certified cost envelope.
 //! * **[`telemetry`]** — aggregates [`cim_core::ExecutionStats`] and
 //!   [`cim_core::DeviceCounters`] per job, per tenant, per dataset
 //!   (load-vs-query split) and pool-wide, and reports speedup-vs-host
@@ -116,14 +124,14 @@ pub(crate) use schedule::mix_seed;
 pub use cim_core::isa::MatchKind;
 pub use cim_crossbar::analog::AnalogParams;
 pub use cim_device::reram::ReramParams;
-pub use cim_lint::{Diagnostic, LintReport, RuleCode, Severity};
+pub use cim_lint::{CostEnvelope, Diagnostic, LintReport, RuleCode, Severity};
 pub use client::{JobHandle, PoolClient};
 pub use compile::{CompileError, CompiledJob, Finalizer, HostProfile, TileDemand};
 pub use dataset::{DatasetHandle, DatasetSpec};
 pub use job::{
-    DatasetId, HdcOutcome, ImgFilterOp, JobError, JobId, JobKind, JobOutput, JobReport, JobStatus,
-    JobTiming, NnOutcome, TenantId, WorkloadSpec,
+    DatasetId, HdcOutcome, ImgFilterOp, JobError, JobId, JobKind, JobOutput, JobReport, JobRoute,
+    JobStatus, JobTiming, NnOutcome, TenantId, WorkloadSpec,
 };
-pub use schedule::{PoolConfig, RuntimePool};
-pub use telemetry::{DatasetUsage, PoolTelemetry, TenantUsage};
+pub use schedule::{OffloadPolicy, PoolConfig, RuntimePool};
+pub use telemetry::{DatasetUsage, HostRoutedLedger, PoolTelemetry, TenantUsage};
 pub use trace::Tracer;

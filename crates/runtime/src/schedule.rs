@@ -46,8 +46,8 @@ use crate::compile::{
 };
 use crate::dataset::{DatasetRecord, DatasetSpec, LoadProgress, ShardPlacement};
 use crate::job::{
-    DatasetId, JobError, JobId, JobKind, JobOutput, JobReport, JobStatus, JobTiming, TenantId,
-    WorkloadSpec,
+    DatasetId, JobError, JobId, JobKind, JobOutput, JobReport, JobRoute, JobStatus, JobTiming,
+    TenantId, WorkloadSpec,
 };
 use crate::telemetry::{stats_accumulate, stats_delta, PoolTelemetry};
 use crate::trace::{Attr, Tracer};
@@ -67,6 +67,31 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// How the admission planner decides between the CIM pool and the
+/// host-executor lane, in the TDO-CIM mold: compare the job's certified
+/// [`cim_lint::CostEnvelope`] against the analytical host-fallback cost
+/// and only offload what the accelerator actually wins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OffloadPolicy {
+    /// Every job runs on the CIM pool (the pre-planner behaviour, and
+    /// the default). No host references are precomputed.
+    AlwaysCim,
+    /// Every job with a certified bit-identical host path runs on the
+    /// host lane; jobs without one (raw streams, analog-score HDC)
+    /// still run on the pool.
+    AlwaysHost,
+    /// Route by cost: a host-eligible job runs on the host when the
+    /// analytical host delay is at most `threshold` times the
+    /// envelope's CIM latency bound. `threshold = 1.0` offloads only
+    /// jobs the accelerator strictly loses; larger values keep more
+    /// small jobs off the shards (amortizing the per-job offload
+    /// overhead), smaller values favour the accelerator.
+    CostDriven {
+        /// Host-delay multiplier a job must beat to stay on the host.
+        threshold: f64,
+    },
+}
 
 /// Geometry and policy of a pool.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -117,6 +142,20 @@ pub struct PoolConfig {
     /// [`AnalogParams::ideal`] isolates algorithmic behaviour from
     /// analog non-idealities.
     pub analog_params: AnalogParams,
+    /// The admission planner's host-offload policy. Under anything but
+    /// [`OffloadPolicy::AlwaysCim`], compilation precomputes host
+    /// references for eligible kinds and the planner may serve a job
+    /// from the host lane (reported with [`crate::JobRoute::Host`],
+    /// empty `shards`, bit-identical output).
+    pub offload_policy: OffloadPolicy,
+    /// Submit-side backpressure budget: the summed
+    /// [`cim_lint::CostEnvelope::cost_units`] of CIM-routed jobs
+    /// admitted but not yet completed. A submission that would push the
+    /// in-flight total past the budget blocks (pumping completions)
+    /// until enough envelope drains. `u64::MAX` (the default) disables
+    /// the gate. The first in-flight job is always admitted, so a
+    /// single job larger than the whole budget still runs.
+    pub max_inflight_cost: u64,
 }
 
 impl Default for PoolConfig {
@@ -137,6 +176,8 @@ impl Default for PoolConfig {
             verify_all_programs: false,
             reram_params: ReramParams::default(),
             analog_params: AnalogParams::default(),
+            offload_policy: OffloadPolicy::AlwaysCim,
+            max_inflight_cost: u64::MAX,
         }
     }
 }
@@ -330,6 +371,12 @@ struct JobLifecycle {
 /// Mutable pool state, behind [`PoolShared::state`].
 struct PoolState {
     pending: Vec<CompiledJob>,
+    /// Envelope cost of every CIM-routed job admitted but not yet
+    /// completed, keyed by job id; `inflight_total` is its running sum.
+    /// [`PoolConfig::max_inflight_cost`] gates submissions against the
+    /// total.
+    inflight: BTreeMap<u64, u64>,
+    inflight_total: u64,
     slots: BTreeMap<u64, Slot>,
     /// Per-job wall-clock/span bookkeeping, keyed by job id.
     lifecycles: BTreeMap<u64, JobLifecycle>,
@@ -440,6 +487,8 @@ impl RuntimePool {
             shared: Arc::new(PoolShared {
                 state: Mutex::new(PoolState {
                     pending: Vec::new(),
+                    inflight: BTreeMap::new(),
+                    inflight_total: 0,
                     slots: BTreeMap::new(),
                     lifecycles: BTreeMap::new(),
                     datasets: BTreeMap::new(),
@@ -754,6 +803,38 @@ impl PoolShared {
             }
         }
 
+        // Admission planning (TDO-CIM §offload decision): a job with a
+        // certified bit-identical host reference may be served from the
+        // host-executor lane instead of the pool. `AlwaysHost` forces
+        // every eligible job there; `CostDriven` offloads only when the
+        // analytical host delay beats the envelope's CIM latency bound
+        // by the configured margin. Ineligible jobs (raw streams,
+        // analog-score HDC) always run on the pool.
+        let host_route = match self.cfg.offload_policy {
+            OffloadPolicy::AlwaysCim => false,
+            OffloadPolicy::AlwaysHost => compiled.host.is_some(),
+            OffloadPolicy::CostDriven { threshold } => {
+                compiled.host.is_some() && {
+                    let host = ConventionalMachine::xeon_e5_2680();
+                    let cim_system = CimSystem::paper_default();
+                    let est = offload_estimate(&compiled, &host, &cim_system);
+                    est.conventional_delay.0 <= threshold * compiled.envelope.latency_bound.0
+                }
+            }
+        };
+        if host_route {
+            return self.execute_host(compiled, claimed, root);
+        }
+
+        // Submit-side backpressure: block (flushing and pumping
+        // completions) while the summed in-flight envelope would
+        // overrun the budget. An empty in-flight set always admits, so
+        // one oversized job still runs.
+        if self.cfg.max_inflight_cost != u64::MAX {
+            let cost = compiled.envelope.cost_units;
+            self.await_inflight_budget(cost);
+        }
+
         // Phase 2 (locked): validate capacity against the pins as they
         // are now, and enqueue.
         let mut st = lock(&self.state);
@@ -833,7 +914,94 @@ impl PoolShared {
         }
         st.slots.insert(job.0, Slot::Queued { claimed });
         open_queue_lifecycle(st, &self.tracer, job, root);
+        st.inflight.insert(job.0, compiled.envelope.cost_units);
+        st.inflight_total = st
+            .inflight_total
+            .saturating_add(compiled.envelope.cost_units);
         st.pending.push(compiled);
+        Ok(job)
+    }
+
+    /// Blocks until `cost` more envelope units fit under
+    /// [`PoolConfig::max_inflight_cost`] (or nothing is in flight).
+    /// Each wait iteration flushes the pending queue so in-flight work
+    /// actually drains, then folds in one completion.
+    fn await_inflight_budget(&self, cost: u64) {
+        let fits = |st: &PoolState| {
+            st.inflight.is_empty()
+                || st.inflight_total.saturating_add(cost) <= self.cfg.max_inflight_cost
+        };
+        loop {
+            {
+                let st = lock(&self.state);
+                if fits(&st) {
+                    return;
+                }
+            }
+            self.flush();
+            let completion = {
+                let rx = lock(&self.completions);
+                {
+                    let st = lock(&self.state);
+                    if fits(&st) {
+                        return;
+                    }
+                }
+                rx.recv()
+                    .unwrap_or_else(|_| panic!("pool shut down while completions were outstanding"))
+            };
+            self.process(completion);
+        }
+    }
+
+    /// Serves a host-routed job on the planner's host-executor lane:
+    /// the precomputed bit-identical host result completes the job
+    /// immediately — empty `shards`, no batch id consumed, no device
+    /// state touched — under a `host_execute` span, and telemetry books
+    /// it in the host-routed ledger instead of the speedup mean.
+    fn execute_host(
+        &self,
+        mut compiled: CompiledJob,
+        claimed: bool,
+        root: SpanId,
+    ) -> Result<JobId, CompileError> {
+        let output = match compiled.host.take() {
+            Some(output) => output,
+            None => unreachable!("host routing requires a precomputed host reference"),
+        };
+        let host = ConventionalMachine::xeon_e5_2680();
+        let cim_system = CimSystem::paper_default();
+        let offload = offload_estimate(&compiled, &host, &cim_system);
+        let span = self.tracer.open(
+            "host_execute",
+            root,
+            &[("cost_units", Value::U64(compiled.envelope.cost_units))],
+        );
+        self.tracer
+            .close(span, 0.0, &[("outcome", Value::Str("ok"))]);
+        let report = JobReport {
+            job: compiled.job,
+            tenant: compiled.tenant,
+            kind: compiled.kind,
+            dataset: compiled.dataset,
+            shard: 0,
+            shards: Vec::new(),
+            batch: u64::MAX,
+            route: JobRoute::Host,
+            output: Ok(output),
+            stats: ExecutionStats::default(),
+            maintenance: OperationCost::default(),
+            offload,
+            device: DeviceCounters::default(),
+            timing: JobTiming::default(),
+        };
+        let job = compiled.job;
+        let mut st = lock(&self.state);
+        let st = &mut *st;
+        st.slots.insert(job.0, Slot::Queued { claimed });
+        open_queue_lifecycle(st, &self.tracer, job, root);
+        st.telemetry.record(&report);
+        complete_job_slot(st, &self.tracer, Box::new(report));
         Ok(job)
     }
 
@@ -862,6 +1030,7 @@ impl PoolShared {
             shard: 0,
             shards: Vec::new(),
             batch: u64::MAX,
+            route: JobRoute::Cim,
             output: Err(error),
             stats: ExecutionStats::default(),
             maintenance: OperationCost::default(),
@@ -889,17 +1058,19 @@ impl PoolShared {
         Ok(job)
     }
 
-    /// Compiles `spec` exactly as a submission would and runs the
-    /// static verifier on the result, without enqueuing anything: no
-    /// job id is consumed, no slot or report is created, and no shard
-    /// is touched. Dataset resolution and access checks match
-    /// submission, so a clean verdict here means the same spec would
-    /// pass the admission verifier.
+    /// Compiles `spec` exactly as a submission would and runs both
+    /// static passes on the result — the safety verifier and the cost
+    /// analyzer — without enqueuing anything: no job id is consumed, no
+    /// slot or report is created, and no shard is touched. Dataset
+    /// resolution and access checks match submission, so a clean
+    /// verdict here means the same spec would pass the admission
+    /// verifier, and the returned envelope is exactly what the offload
+    /// planner would compare against the host fallback.
     pub(crate) fn verify_spec(
         &self,
         tenant: TenantId,
         spec: &WorkloadSpec,
-    ) -> Result<cim_lint::LintReport, CompileError> {
+    ) -> Result<(cim_lint::LintReport, cim_lint::CostEnvelope), CompileError> {
         let (probe, seed, resident) = {
             let st = lock(&self.state);
             let probe = JobId(st.next_job);
@@ -932,11 +1103,8 @@ impl PoolShared {
             self.cfg.window_base(probe.0),
             resident.as_ref(),
         )?;
-        Ok(crate::verify::verify_compiled(
-            &compiled,
-            &self.cfg,
-            resident.as_ref(),
-        ))
+        let report = crate::verify::verify_compiled(&compiled, &self.cfg, resident.as_ref());
+        Ok((report, compiled.envelope))
     }
 
     /// Plans the pending queue and dispatches it to the shard workers.
@@ -1546,6 +1714,7 @@ fn fail_at_dispatch(
         shard,
         shards: Vec::new(),
         batch: u64::MAX,
+        route: JobRoute::Cim,
         output: Err(error),
         stats: ExecutionStats::default(),
         maintenance: OperationCost::default(),
@@ -1565,6 +1734,12 @@ fn fail_at_dispatch(
 /// completion, and finally the root span carrying the job's simulated
 /// busy time.
 fn complete_job_slot(st: &mut PoolState, tracer: &Tracer, mut report: Box<JobReport>) {
+    // The job's envelope leaves the in-flight ledger (no-op for jobs
+    // that never enqueued: host-routed, failed-terminal), releasing
+    // submit-side backpressure.
+    if let Some(cost) = st.inflight.remove(&report.job.0) {
+        st.inflight_total = st.inflight_total.saturating_sub(cost);
+    }
     let now = Instant::now();
     if let Some(lc) = st.lifecycles.remove(&report.job.0) {
         // `Instant::duration_since` saturates to zero, so a dispatch
@@ -1646,6 +1821,7 @@ fn assemble_gathered(gather: GatherState) -> (JobReport, Vec<(usize, ExecutionSt
         shard: shards[0],
         shards: shards.clone(),
         batch,
+        route: JobRoute::Cim,
         output,
         stats,
         maintenance,
@@ -2227,6 +2403,7 @@ fn run_job(
         shard,
         shards: vec![shard],
         batch,
+        route: JobRoute::Cim,
         output,
         stats,
         maintenance,

@@ -15,7 +15,7 @@
 //! paper argues for directly measurable: load writes are paid once,
 //! queries carry only query-side operations.
 
-use crate::job::{DatasetId, JobReport, TenantId};
+use crate::job::{DatasetId, JobReport, JobRoute, TenantId};
 use cim_core::{DeviceCounters, ExecutionStats};
 use cim_crossbar::energy::OperationCost;
 use cim_simkit::units::Seconds;
@@ -111,6 +111,34 @@ impl DatasetUsage {
     }
 }
 
+/// Jobs the admission planner served on the host-executor lane.
+///
+/// Host-routed jobs never touch a shard, so their analytical offload
+/// estimates describe work the accelerator *didn't* do; folding them
+/// into [`PoolTelemetry::mean_speedup`] would pollute the accelerator's
+/// own figure of merit. They get this ledger instead, with their own
+/// mean over the estimates the planner declined.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HostRoutedLedger {
+    /// Jobs served on the host lane.
+    pub jobs: u64,
+    /// Sum of the declined analytical speedup estimates, for averaging.
+    forgone_sum: f64,
+}
+
+impl HostRoutedLedger {
+    /// Mean analytical speedup the planner declined by keeping these
+    /// jobs on the host — under a cost-driven policy this should sit
+    /// near or below 1, precisely the jobs not worth offloading.
+    pub fn mean_forgone_speedup(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.forgone_sum / self.jobs as f64
+        }
+    }
+}
+
 /// Pool-wide aggregation across jobs, tenants and shards.
 #[derive(Debug, Clone, Default)]
 pub struct PoolTelemetry {
@@ -144,7 +172,11 @@ pub struct PoolTelemetry {
     /// Device-tier counters of dataset load programs, kept out of
     /// [`PoolTelemetry::device`] like [`PoolTelemetry::dataset_load`].
     pub dataset_load_device: DeviceCounters,
-    /// Sum of the analytical speedup-vs-host estimates, for averaging.
+    /// Jobs the offload planner served on the host lane, kept out of
+    /// the accelerator's speedup mean.
+    pub host_routed: HostRoutedLedger,
+    /// Sum of the analytical speedup-vs-host estimates of CIM-executed
+    /// jobs, for averaging.
     speedup_sum: f64,
 }
 
@@ -189,8 +221,15 @@ impl PoolTelemetry {
                 tenant.jobs += 1;
                 // Offload estimates describe executed work; failed jobs
                 // never touched the accelerator and must not inflate the
-                // pool-wide speedup.
-                self.speedup_sum += report.offload.speedup();
+                // pool-wide speedup. Host-routed jobs executed, but not
+                // *here*: their declined estimates go to the host
+                // ledger, never the accelerator's mean.
+                if report.route == JobRoute::Host {
+                    self.host_routed.jobs += 1;
+                    self.host_routed.forgone_sum += report.offload.speedup();
+                } else {
+                    self.speedup_sum += report.offload.speedup();
+                }
             }
             Err(_) => {
                 tenant.failed += 1;
@@ -206,12 +245,17 @@ impl PoolTelemetry {
             }
         }
         if let Some(dataset) = report.dataset {
-            let usage = self.datasets.entry(dataset.0).or_default();
-            if report.output.is_ok() {
-                usage.queries += 1;
+            // A host-routed dataset query never read the resident
+            // tiles: it must not inflate the dataset's query count (the
+            // amortization denominator) or its device ledgers.
+            if report.route == JobRoute::Cim {
+                let usage = self.datasets.entry(dataset.0).or_default();
+                if report.output.is_ok() {
+                    usage.queries += 1;
+                }
+                stats_accumulate(&mut usage.query_stats, &report.stats);
+                usage.query_device.accumulate(&report.device);
             }
-            stats_accumulate(&mut usage.query_stats, &report.stats);
-            usage.query_device.accumulate(&report.device);
         }
         self.maintenance = self.maintenance.then(report.maintenance);
     }
@@ -250,9 +294,13 @@ impl PoolTelemetry {
     /// results for, and a report whose output is `Err` delivered none.
     /// The denominator is therefore `jobs - failures`, never `jobs`,
     /// and mixing failing jobs into a pool cannot drag the mean toward
-    /// zero (see `mean_speedup_ignores_failed_jobs`).
+    /// zero (see `mean_speedup_ignores_failed_jobs`). Host-routed jobs
+    /// are likewise excluded on both sides of the division — they
+    /// executed on the host, so their estimates live in
+    /// [`PoolTelemetry::host_routed`] (see
+    /// `host_routed_jobs_stay_out_of_the_speedup_mean`).
     pub fn mean_speedup(&self) -> f64 {
-        let executed = self.jobs - self.failures;
+        let executed = self.jobs - self.failures - self.host_routed.jobs;
         if executed == 0 {
             0.0
         } else {
@@ -295,6 +343,14 @@ impl fmt::Display for PoolTelemetry {
             self.maintenance.energy.0,
             self.mean_speedup()
         )?;
+        if self.host_routed.jobs > 0 {
+            writeln!(
+                f,
+                "  host lane: {} jobs routed, mean forgone est. speedup {:.1}x",
+                self.host_routed.jobs,
+                self.host_routed.mean_forgone_speedup()
+            )?;
+        }
         writeln!(
             f,
             "  device: {} word accesses, {} sampled columns, {} program pulses, \
@@ -393,6 +449,7 @@ mod tests {
                 shard: 0,
                 shards: vec![0],
                 batch: job,
+                route: JobRoute::Cim,
                 output,
                 stats,
                 maintenance: OperationCost::default(),
@@ -437,5 +494,77 @@ mod tests {
             worked,
         ));
         assert_eq!(all_failed.mean_speedup(), 0.0);
+    }
+
+    /// Pins the host-lane accounting on [`PoolTelemetry::mean_speedup`]:
+    /// a host-routed job is counted (jobs, tenant ledger) but its
+    /// declined offload estimate lands in the [`HostRoutedLedger`], not
+    /// the accelerator's speedup mean — routing tiny jobs to the host
+    /// must leave the CIM figure of merit untouched on both sides of
+    /// the division.
+    #[test]
+    fn host_routed_jobs_stay_out_of_the_speedup_mean() {
+        use crate::job::{JobError, JobId, JobKind, JobOutput, JobReport, JobTiming};
+        use cim_arch::cim::CimSystem;
+        use cim_arch::conventional::ConventionalMachine;
+        use cim_core::offload::Program;
+        use cim_core::DeviceCounters;
+        use cim_crossbar::energy::OperationCost;
+        use cim_simkit::units::ByteSize;
+
+        let host = ConventionalMachine::xeon_e5_2680();
+        let cim = CimSystem::paper_default();
+        let big = Program::streaming(ByteSize(1 << 20), 0.5, 0.5, 0.5).estimate(&host, &cim);
+        let tiny = Program::streaming(ByteSize(64), 0.5, 0.5, 0.5).estimate(&host, &cim);
+        let report = |job: u64, route: JobRoute, offload| JobReport {
+            job: JobId(job),
+            tenant: TenantId(0),
+            kind: JobKind::XorEncrypt,
+            dataset: None,
+            shard: 0,
+            shards: if route == JobRoute::Host {
+                Vec::new()
+            } else {
+                vec![0]
+            },
+            batch: job,
+            route,
+            output: Ok::<_, JobError>(JobOutput::Cipher(vec![1])),
+            stats: ExecutionStats::default(),
+            maintenance: OperationCost::default(),
+            offload,
+            device: DeviceCounters::default(),
+            timing: JobTiming::default(),
+        };
+
+        let mut t = PoolTelemetry::new(1);
+        t.record(&report(0, JobRoute::Cim, big));
+        t.record(&report(1, JobRoute::Host, tiny));
+        t.record(&report(2, JobRoute::Host, tiny));
+
+        assert_eq!(t.jobs, 3);
+        assert_eq!(t.failures, 0);
+        assert_eq!(t.host_routed.jobs, 2);
+        // The accelerator mean averages exactly the one CIM job, as if
+        // the host-routed pair had never been submitted…
+        assert!((t.mean_speedup() - big.speedup()).abs() < 1e-12);
+        // …while the host ledger averages exactly the declined pair.
+        assert!((t.host_routed.mean_forgone_speedup() - tiny.speedup()).abs() < 1e-12);
+        // All three jobs still count for the tenant.
+        assert_eq!(t.per_tenant[&0].jobs, 3);
+
+        // A host-only pool has no accelerator mean at all.
+        let mut host_only = PoolTelemetry::new(1);
+        host_only.record(&report(0, JobRoute::Host, tiny));
+        assert_eq!(host_only.mean_speedup(), 0.0);
+        assert!(host_only.mean_host_line_present());
+    }
+
+    impl PoolTelemetry {
+        /// Test seam: the Display output advertises the host lane
+        /// exactly when something was routed there.
+        fn mean_host_line_present(&self) -> bool {
+            format!("{self}").contains("host lane:")
+        }
     }
 }

@@ -17,7 +17,42 @@
 use crate::compile::{q6_row_bases, CompiledJob, TileDemand};
 use crate::dataset::{ResidentPayload, ResidentView};
 use crate::schedule::PoolConfig;
-use cim_lint::{Geometry, LintReport, LintTarget};
+use cim_arch::cim::CimUnitParams;
+use cim_core::isa::CimInstruction;
+use cim_lint::{CostEnvelope, CostModel, Geometry, LintReport, LintTarget};
+
+/// The per-tile analysis geometry of a job with `demand` tiles under
+/// the pool's configuration — shared by the safety and cost passes so
+/// both analyze the identical machine.
+pub(crate) fn lint_geometry(demand: TileDemand, cfg: &PoolConfig) -> Geometry {
+    Geometry {
+        digital_tiles: demand.digital,
+        tile_rows: cfg.tile_rows,
+        tile_cols: cfg.tile_cols,
+        analog_tiles: demand.analog,
+        analog_rows: cfg.analog_rows,
+        analog_cols: cfg.analog_cols,
+        scout_fan_in: cfg.scout_fan_in,
+    }
+}
+
+/// Runs the `cim-lint` cost pass over an instruction stream against
+/// the pool geometry: the certified [`CostEnvelope`] every compiled
+/// job (and every split part) is sealed with. The model prices pulses
+/// with the paper-default CIM unit parameters and bounds
+/// program-and-verify by the pool's own PCM pulse budget, so the
+/// envelope is sound for the exact devices the shards simulate.
+pub(crate) fn envelope_of(
+    instructions: &[CimInstruction],
+    demand: TileDemand,
+    cfg: &PoolConfig,
+) -> CostEnvelope {
+    let model = CostModel::from_models(
+        &CimUnitParams::default(),
+        cfg.analog_params.pcm.max_program_pulses,
+    );
+    cim_lint::cost(instructions, &lint_geometry(demand, cfg), &model)
+}
 
 /// Builds the lint target a job with `demand` runs against: the pool's
 /// per-tile geometry with the job's own tile counts, plus the resident
@@ -27,16 +62,7 @@ pub(crate) fn lint_target(
     cfg: &PoolConfig,
     resident: Option<&ResidentView>,
 ) -> LintTarget {
-    let geometry = Geometry {
-        digital_tiles: demand.digital,
-        tile_rows: cfg.tile_rows,
-        tile_cols: cfg.tile_cols,
-        analog_tiles: demand.analog,
-        analog_rows: cfg.analog_rows,
-        analog_cols: cfg.analog_cols,
-        scout_fan_in: cfg.scout_fan_in,
-    };
-    let mut target = LintTarget::new(geometry);
+    let mut target = LintTarget::new(lint_geometry(demand, cfg));
     let Some(view) = resident else {
         return target;
     };

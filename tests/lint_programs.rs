@@ -36,7 +36,7 @@ fn pool() -> RuntimePool {
 /// `make_spec`) and asserts the report is spotless: no errors, no
 /// warnings. Dataset handles stay alive for the duration of the check.
 fn assert_clean(pool: &RuntimePool, spec: &WorkloadSpec) -> Result<(), TestCaseError> {
-    let report = pool
+    let (report, envelope) = pool
         .client(TenantId(0))
         .verify(spec)
         .map_err(|e| TestCaseError::fail(format!("compile failed: {e}")))?;
@@ -44,6 +44,11 @@ fn assert_clean(pool: &RuntimePool, spec: &WorkloadSpec) -> Result<(), TestCaseE
         report.is_clean(),
         "compiler output not lint-clean:\n{}",
         report.to_text()
+    );
+    prop_assert!(
+        envelope.cost_units > 0,
+        "cost pass priced a non-empty program at zero:\n{}",
+        envelope.to_text()
     );
     Ok(())
 }
@@ -580,7 +585,7 @@ fn standalone_verify_consumes_nothing() {
     let pool = pool();
     let session = pool.client(TenantId(0));
     let bad = raw(vec![CimInstruction::ReadRow { tile: 7, row: 0 }]);
-    let report = session.verify(&bad).unwrap();
+    let (report, _envelope) = session.verify(&bad).unwrap();
     assert!(report.has_errors());
     assert!(report
         .errors()
