@@ -31,9 +31,10 @@
 //! slower.
 
 use cim_bitmap_db::tpch::Q6Params;
-use cim_crossbar::cam::RuleSet;
+use cim_crossbar::analog::{AnalogParams, DifferentialCrossbar};
+use cim_crossbar::cam::{host_match, CamArray, MatchKind as CamMatchKind, RuleSet};
 use cim_crossbar::digital::DigitalArray;
-use cim_crossbar::reference::ReferenceDigitalArray;
+use cim_crossbar::reference::{ReferenceDifferentialCrossbar, ReferenceDigitalArray};
 use cim_crossbar::scouting::ScoutOp;
 use cim_device::reram::ReramParams;
 use cim_nn::binarized::BinarizedMlp;
@@ -43,6 +44,7 @@ use cim_runtime::{
     RuntimePool, TenantId, Tracer, WorkloadSpec,
 };
 use cim_simkit::bitvec::BitVec;
+use cim_simkit::linalg::Matrix;
 use cim_simkit::rng::seeded;
 use rand::Rng;
 use std::sync::Arc;
@@ -762,6 +764,309 @@ fn scout_q6_fastpath() -> BenchEntry {
     BenchEntry::new("scout_q6_fastpath", sim_makespan, fast_wall * 1e3, speedup)
 }
 
+/// The word-parallel analog fast path vs the per-device reference
+/// crossbar, on the MVM shapes the pool actually serves.
+///
+/// Both differential pairs hold the same weights under default (noisy)
+/// PCM parameters. Four lanes are measured:
+///
+/// * **serving MVMs** (the headline) — repeated reads against a resident
+///   128×128 matrix: the SoA path does one contiguous dot product plus a
+///   single aggregate noise draw per output line, the reference one RNG
+///   draw per device. Floor: [`ANALOG_MVM_FLOOR`]×.
+/// * **cold programming** — a fresh pair program-and-verified from
+///   scratch each round (the dominant cost of the cold NN path): batched
+///   masked rounds vs the per-device pulse loop. Floor:
+///   [`ANALOG_PROGRAM_FLOOR`]×.
+/// * **resident-NN serving** — the `[256, 32, 8]` binarized cascade (two
+///   chained layer MVMs per inference) against resident weights.
+/// * **HDC serving** — one 8×2048 class-prototype score MVM per query,
+///   the associative-memory shape of the HDC classifier.
+///
+/// Both floors are asserted so the CI perf-smoke job catches a
+/// regression of the vectorized path.
+const ANALOG_MVM_FLOOR: f64 = 5.0;
+const ANALOG_PROGRAM_FLOOR: f64 = 3.0;
+
+fn analog_mvm() -> BenchEntry {
+    println!("\n# ANALOG FAST PATH — SoA vectorized crossbar vs per-device reference\n");
+    const ROWS: usize = 128;
+    const COLS: usize = 128;
+    const MVM_ITERS: usize = 300;
+    const PROGRAM_ROUNDS: usize = 6;
+    let params = AnalogParams::default();
+    let w = Matrix::from_fn(ROWS, COLS, |i, j| {
+        ((i * 31 + j * 17) % 97) as f64 / 96.0 - 0.5
+    });
+    let x: Vec<f64> = (0..COLS).map(|j| (j % 13) as f64 / 12.0 - 0.5).collect();
+
+    // Cold programming: a fresh pair programmed from scratch per round.
+    let mut rng = seeded(0xA9);
+    let start = Instant::now();
+    let mut fast = {
+        let mut pair = DifferentialCrossbar::new(ROWS, COLS, params);
+        pair.program_matrix(&w, &mut rng);
+        for _ in 1..PROGRAM_ROUNDS {
+            pair = DifferentialCrossbar::new(ROWS, COLS, params);
+            pair.program_matrix(&w, &mut rng);
+        }
+        pair
+    };
+    let fast_prog = start.elapsed().as_secs_f64() / PROGRAM_ROUNDS as f64;
+    let mut rng = seeded(0xA9);
+    let start = Instant::now();
+    let mut reference = {
+        let mut pair = ReferenceDifferentialCrossbar::new(ROWS, COLS, params);
+        pair.program_matrix(&w, &mut rng);
+        for _ in 1..PROGRAM_ROUNDS {
+            pair = ReferenceDifferentialCrossbar::new(ROWS, COLS, params);
+            pair.program_matrix(&w, &mut rng);
+        }
+        pair
+    };
+    let ref_prog = start.elapsed().as_secs_f64() / PROGRAM_ROUNDS as f64;
+    let program_speedup = ref_prog / fast_prog;
+
+    // Serving: repeated MVMs against the resident matrix.
+    let mut rng = seeded(0xF00D);
+    let start = Instant::now();
+    for _ in 0..MVM_ITERS {
+        std::hint::black_box(fast.matvec(&x, &mut rng));
+    }
+    let fast_mvm_wall = start.elapsed().as_secs_f64();
+    let mut rng = seeded(0xF00D);
+    let start = Instant::now();
+    for _ in 0..MVM_ITERS {
+        std::hint::black_box(reference.matvec(&x, &mut rng));
+    }
+    let ref_mvm_wall = start.elapsed().as_secs_f64();
+    let speedup = ref_mvm_wall / fast_mvm_wall;
+    let sim_makespan = fast.stats().busy_time.0;
+
+    // Resident-NN lane: the [256, 32, 8] binarized cascade, two chained
+    // layer MVMs per inference with a sign activation between them.
+    const INFERS: usize = 200;
+    let l1 = Matrix::from_fn(
+        32,
+        256,
+        |i, j| if (i * 7 + j) % 2 == 0 { 1.0 } else { -1.0 },
+    );
+    let l2 = Matrix::from_fn(8, 32, |i, j| if (i * 5 + j) % 3 == 0 { 1.0 } else { -1.0 });
+    let nn_in: Vec<f64> = (0..256)
+        .map(|j| if j % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
+    let sign = |v: &f64| if *v >= 0.0 { 1.0 } else { -1.0 };
+    let nn_lane = |wall: &mut f64, mv: &mut dyn FnMut(&[f64], bool) -> Vec<f64>| {
+        let start = Instant::now();
+        for _ in 0..INFERS {
+            let hidden: Vec<f64> = mv(&nn_in, true).iter().map(sign).collect();
+            std::hint::black_box(mv(&hidden, false));
+        }
+        *wall = start.elapsed().as_secs_f64();
+    };
+    let (mut fast_nn_wall, mut ref_nn_wall) = (0.0, 0.0);
+    {
+        let mut fa = DifferentialCrossbar::new(32, 256, params);
+        let mut fb = DifferentialCrossbar::new(8, 32, params);
+        let mut rng = seeded(0x11A);
+        fa.program_matrix(&l1, &mut rng);
+        fb.program_matrix(&l2, &mut rng);
+        nn_lane(&mut fast_nn_wall, &mut |x, first| {
+            if first {
+                fa.matvec(x, &mut rng)
+            } else {
+                fb.matvec(x, &mut rng)
+            }
+        });
+        let mut ra = ReferenceDifferentialCrossbar::new(32, 256, params);
+        let mut rb = ReferenceDifferentialCrossbar::new(8, 32, params);
+        let mut rng = seeded(0x11A);
+        ra.program_matrix(&l1, &mut rng);
+        rb.program_matrix(&l2, &mut rng);
+        nn_lane(&mut ref_nn_wall, &mut |x, first| {
+            if first {
+                ra.matvec(x, &mut rng)
+            } else {
+                rb.matvec(x, &mut rng)
+            }
+        });
+    }
+    let nn_speedup = ref_nn_wall / fast_nn_wall;
+
+    // HDC lane: one wide class-score MVM (8 classes × d = 2048) per
+    // query against resident bipolar prototypes.
+    const HDC_QUERIES: usize = 50;
+    const HDC_D: usize = 2048;
+    let proto = Matrix::from_fn(
+        8,
+        HDC_D,
+        |i, j| if (i * 13 + j * 7) % 2 == 0 { 1.0 } else { -1.0 },
+    );
+    let query: Vec<f64> = (0..HDC_D)
+        .map(|j| if (j * 3) % 5 < 2 { 1.0 } else { -1.0 })
+        .collect();
+    let mut fast_hdc = DifferentialCrossbar::new(8, HDC_D, params);
+    let mut rng = seeded(0x11D);
+    fast_hdc.program_matrix(&proto, &mut rng);
+    let start = Instant::now();
+    for _ in 0..HDC_QUERIES {
+        std::hint::black_box(fast_hdc.matvec(&query, &mut rng));
+    }
+    let fast_hdc_wall = start.elapsed().as_secs_f64();
+    let mut ref_hdc = ReferenceDifferentialCrossbar::new(8, HDC_D, params);
+    let mut rng = seeded(0x11D);
+    ref_hdc.program_matrix(&proto, &mut rng);
+    let start = Instant::now();
+    for _ in 0..HDC_QUERIES {
+        std::hint::black_box(ref_hdc.matvec(&query, &mut rng));
+    }
+    let ref_hdc_wall = start.elapsed().as_secs_f64();
+    let hdc_speedup = ref_hdc_wall / fast_hdc_wall;
+
+    println!(
+        "{:>22} {:>14} {:>14} {:>9}",
+        "lane", "fast", "reference", "speedup"
+    );
+    println!(
+        "{:>22} {:>11.2} us {:>11.2} us {:>8.1}x",
+        "128x128 MVM",
+        fast_mvm_wall / MVM_ITERS as f64 * 1e6,
+        ref_mvm_wall / MVM_ITERS as f64 * 1e6,
+        speedup
+    );
+    println!(
+        "{:>22} {:>11.2} ms {:>11.2} ms {:>8.1}x",
+        "cold program",
+        fast_prog * 1e3,
+        ref_prog * 1e3,
+        program_speedup
+    );
+    println!(
+        "{:>22} {:>11.2} us {:>11.2} us {:>8.1}x",
+        "NN inference",
+        fast_nn_wall / INFERS as f64 * 1e6,
+        ref_nn_wall / INFERS as f64 * 1e6,
+        nn_speedup
+    );
+    println!(
+        "{:>22} {:>11.2} us {:>11.2} us {:>8.1}x",
+        "HDC query",
+        fast_hdc_wall / HDC_QUERIES as f64 * 1e6,
+        ref_hdc_wall / HDC_QUERIES as f64 * 1e6,
+        hdc_speedup
+    );
+    assert!(
+        speedup >= ANALOG_MVM_FLOOR,
+        "analog MVM speedup {speedup:.2}x regressed below the {ANALOG_MVM_FLOOR}x floor"
+    );
+    assert!(
+        program_speedup >= ANALOG_PROGRAM_FLOOR,
+        "cold program speedup {program_speedup:.2}x regressed below the \
+         {ANALOG_PROGRAM_FLOOR}x floor"
+    );
+    BenchEntry::new("analog_mvm", sim_makespan, fast_mvm_wall * 1e3, speedup)
+        .extra("program_speedup", program_speedup)
+        .extra("fast_mvm_us", fast_mvm_wall / MVM_ITERS as f64 * 1e6)
+        .extra("ref_mvm_us", ref_mvm_wall / MVM_ITERS as f64 * 1e6)
+        .extra("fast_program_ms", fast_prog * 1e3)
+        .extra("ref_program_ms", ref_prog * 1e3)
+        .extra("nn_serving_speedup", nn_speedup)
+        .extra("nn_infer_per_s", INFERS as f64 / fast_nn_wall)
+        .extra("hdc_serving_speedup", hdc_speedup)
+        .extra("hdc_query_per_s", HDC_QUERIES as f64 / fast_hdc_wall)
+}
+
+/// Measured accuracy of analog `Range` CAM matching versus window width
+/// (ROADMAP item 4's open question: how wide a mismatch window survives
+/// device-to-device variation).
+///
+/// A seeded CAM under default ReRAM variation answers `Range { lo: 0,
+/// hi: w }` searches for widening `w`; every match line is scored
+/// against the exact host baseline [`host_match`]. The aggregate
+/// match-line current spread grows like √(conducting cells)·σ_d2d while
+/// the decision gap stays one LRS current, so wide windows near the
+/// typical mismatch count start misdeciding — the measured curve lands
+/// in `BENCH.json` as `acc_w{w}` plus the headline
+/// `widest_exact_window`, the largest measured width with a perfect
+/// match set. Width 1 (the window the word tier certifies) must stay
+/// exact.
+fn cam_range_accuracy() -> BenchEntry {
+    println!("\n# CAM RANGE ACCURACY — analog window match vs exact host baseline\n");
+    const ENTRIES: usize = 64;
+    const WIDTH: usize = 64;
+    const KEYS: usize = 200;
+    const WIDTHS: [u32; 9] = [1, 2, 4, 8, 16, 24, 32, 40, 48];
+    let mut rng = seeded(0xCA4E);
+    let mut cam = CamArray::new(ENTRIES, WIDTH, ReramParams::default(), &mut rng);
+    let care = BitVec::ones(WIDTH);
+    let stored: Vec<BitVec> = (0..ENTRIES)
+        .map(|_| BitVec::from_fn(WIDTH, |_| rng.gen()))
+        .collect();
+    for (slot, value) in stored.iter().enumerate() {
+        cam.write_key(slot, value, &care);
+    }
+    let keys: Vec<BitVec> = (0..KEYS)
+        .map(|_| BitVec::from_fn(WIDTH, |_| rng.gen()))
+        .collect();
+
+    let start = Instant::now();
+    let mut curve = Vec::new();
+    for &hi in &WIDTHS {
+        let kind = CamMatchKind::Range { lo: 0, hi };
+        let mut correct = 0usize;
+        for key in &keys {
+            let (hits, _) = cam.search(key, kind, &mut rng);
+            for (slot, value) in stored.iter().enumerate() {
+                if hits.get(slot) == host_match(value, &care, key, kind) {
+                    correct += 1;
+                }
+            }
+        }
+        curve.push((hi, correct as f64 / (KEYS * ENTRIES) as f64));
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let sim_makespan = cam.stats().busy_time.0;
+
+    println!("{:>12} {:>10}", "window [0,w]", "accuracy");
+    for &(w, acc) in &curve {
+        println!("{:>12} {:>10.4}", w, acc);
+    }
+    let widest_exact = curve
+        .iter()
+        .take_while(|&&(_, acc)| acc == 1.0)
+        .last()
+        .map(|&(w, _)| w)
+        .unwrap_or(0);
+    println!("\nwidest exactly-decided window: [0, {widest_exact}]");
+    assert_eq!(
+        curve[0].1, 1.0,
+        "width-1 range windows (the certified tier) must decide exactly"
+    );
+    let mut entry = BenchEntry::new(
+        "cam_range_accuracy",
+        sim_makespan,
+        wall * 1e3,
+        widest_exact as f64,
+    );
+    for &(w, acc) in &curve {
+        entry = entry.extra(
+            match w {
+                1 => "acc_w1",
+                2 => "acc_w2",
+                4 => "acc_w4",
+                8 => "acc_w8",
+                16 => "acc_w16",
+                24 => "acc_w24",
+                32 => "acc_w32",
+                40 => "acc_w40",
+                _ => "acc_w48",
+            },
+            acc,
+        );
+    }
+    entry.extra("widest_exact_window", widest_exact as f64)
+}
+
 /// One seeded serving run traced into a ring recorder: a resident Q6
 /// table with queries (dataset-load spans), a small encryption, and an
 /// oversized select that scatters across both shards (per-part
@@ -1074,6 +1379,8 @@ fn observability() -> BenchEntry {
 fn main() {
     let mut entries = Vec::new();
     entries.push(scout_q6_fastpath());
+    entries.push(analog_mvm());
+    entries.push(cam_range_accuracy());
     entries.extend(shard_scaling());
     entries.push(resident_amortization());
     entries.push(nn_resident_amortization());

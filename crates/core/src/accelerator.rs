@@ -71,8 +71,12 @@ pub struct DeviceCounters {
     pub sampled_columns: u64,
     /// Program-and-verify pulses fired while programming analog tiles.
     pub program_pulses: u64,
-    /// Stochastic per-device read samples drawn during analog MVMs.
+    /// Stochastic read samples drawn during analog MVMs — one aggregate
+    /// draw per output line on the sampled tier of the fast path.
     pub noise_samples: u64,
+    /// Analog products served on the nominal no-sampling tier
+    /// (`sigma_read == 0` or an all-zero input: zero stochastic draws).
+    pub nominal_mvms: u64,
     /// CAM match-line evaluations fired (entries compared per search).
     pub match_pulses: u64,
 }
@@ -85,6 +89,7 @@ impl DeviceCounters {
             sampled_columns: self.sampled_columns - earlier.sampled_columns,
             program_pulses: self.program_pulses - earlier.program_pulses,
             noise_samples: self.noise_samples - earlier.noise_samples,
+            nominal_mvms: self.nominal_mvms - earlier.nominal_mvms,
             match_pulses: self.match_pulses - earlier.match_pulses,
         }
     }
@@ -95,6 +100,7 @@ impl DeviceCounters {
         self.sampled_columns += other.sampled_columns;
         self.program_pulses += other.program_pulses;
         self.noise_samples += other.noise_samples;
+        self.nominal_mvms += other.nominal_mvms;
         self.match_pulses += other.match_pulses;
     }
 }
@@ -230,6 +236,7 @@ impl CimAccelerator {
             let s = tile.stats();
             c.program_pulses += s.program_pulses;
             c.noise_samples += s.noise_samples;
+            c.nominal_mvms += s.nominal_mvms;
         }
         c
     }
@@ -793,8 +800,11 @@ mod tests {
         // Program-and-verify fired pulses (already-converged devices
         // may need none, so only positivity is portable across params).
         assert!(delta.program_pulses > 0, "pulses: {delta:?}");
-        // A dense 8-input MVM samples every device of both tiles once.
-        assert_eq!(delta.noise_samples, 2 * 8 * 8);
+        // This accelerator's ideal params have `sigma_read == 0`, so the
+        // MVM is served on the nominal tier: zero stochastic draws, one
+        // nominal product per tile of the differential pair.
+        assert_eq!(delta.noise_samples, 0);
+        assert_eq!(delta.nominal_mvms, 2);
 
         let mut sum = DeviceCounters::default();
         sum.accumulate(&delta);

@@ -17,13 +17,40 @@
 //!
 //! [`DifferentialCrossbar`] pairs two arrays with a subtraction circuit to
 //! represent signed matrices.
+//!
+//! # The word-parallel fast path
+//!
+//! Device state lives in a struct-of-arrays [`PcmBank`] (flat conductance
+//! and pulse-ledger vectors in fabrication order), and the read path is
+//! vectorized: each output line is one dot product over a contiguous
+//! conductance slice, and read noise is sampled per *output line* from the
+//! exact aggregate distribution of the per-device draws —
+//! `I_j ~ N(Σ V·g, σ_eff)` with `σ_eff² = Σ (V·σ_read·g)²`, which is
+//! distribution-identical to summing one Gaussian per device. Two tiers
+//! result:
+//!
+//! * **nominal** (`sigma_read == 0`, or an all-zero input): no stochastic
+//!   draws at all — counted in [`CrossbarStats::nominal_mvms`];
+//! * **sampled** (`sigma_read > 0`): one aggregate Gaussian per output
+//!   line — counted in [`CrossbarStats::noise_samples`].
+//!
+//! Programming is batched through [`PcmBank::program_and_verify`]: one RNG
+//! pass per pulse round over only the still-unconverged devices, with
+//! per-device pulse counts and the wear ledger preserved. The
+//! pre-refactor per-device simulator is kept as
+//! [`crate::reference::ReferenceAnalogCrossbar`], pinned against this
+//! implementation by the `analog_equivalence` proptest suite:
+//! bit-identical stored state and outputs at zero sigmas, distributional
+//! agreement otherwise, accounting to 1e-12 relative.
 
 use crate::energy::{CrossbarEnergyModel, OperationCost};
 use crate::mapping::{split_signed, ConductanceMapping};
-use cim_device::pcm::{PcmDevice, PcmParams};
+use cim_device::pcm::PcmParams;
+use cim_device::pcm_bank::PcmBank;
 use cim_simkit::linalg::Matrix;
 use cim_simkit::quant::UniformQuantizer;
-use cim_simkit::units::{Joules, Seconds, Volts};
+use cim_simkit::rng::standard_normal;
+use cim_simkit::units::{Seconds, Volts};
 use rand::Rng;
 
 /// Configuration of an analog crossbar tile.
@@ -91,30 +118,63 @@ pub struct CrossbarStats {
     pub mvms: u64,
     /// Completed transpose matrix-vector products.
     pub transpose_mvms: u64,
+    /// Products served on the nominal no-sampling tier: `sigma_read == 0`
+    /// configurations and all-zero inputs, where the fast path draws no
+    /// stochastic samples at all.
+    pub nominal_mvms: u64,
     /// Matrix programming operations.
     pub programs: u64,
     /// Total program-and-verify pulses across all devices.
     pub program_pulses: u64,
-    /// Per-device stochastic read samples drawn during analog products —
-    /// one per (nonzero input line × output line) per MVM, the noise-model
-    /// cost driver of every analog operation.
+    /// Stochastic read samples drawn during analog products. The fast
+    /// path draws one *aggregate* sample per output line per sampled-tier
+    /// MVM (`N(Σ V·g, σ_eff)`, distribution-identical to per-device
+    /// draws); the per-device reference simulator draws one per
+    /// (nonzero input line × output line).
     pub noise_samples: u64,
     /// Total energy across all operations.
-    pub energy: Joules,
+    pub energy: cim_simkit::units::Joules,
     /// Total busy time across all operations.
     pub busy_time: Seconds,
 }
 
+impl CrossbarStats {
+    /// Combines the statistics of two tiles operating in parallel:
+    /// counters and energy add, busy time overlaps (max).
+    pub fn merged(&self, other: &CrossbarStats) -> CrossbarStats {
+        CrossbarStats {
+            mvms: self.mvms + other.mvms,
+            transpose_mvms: self.transpose_mvms + other.transpose_mvms,
+            nominal_mvms: self.nominal_mvms + other.nominal_mvms,
+            programs: self.programs + other.programs,
+            program_pulses: self.program_pulses + other.program_pulses,
+            noise_samples: self.noise_samples + other.noise_samples,
+            energy: self.energy + other.energy,
+            busy_time: self.busy_time.max(other.busy_time),
+        }
+    }
+}
+
 /// A single analog crossbar tile storing a non-negative matrix.
+///
+/// Device state lives in a struct-of-arrays [`PcmBank`]; the read and
+/// program paths are the vectorized fast path described in the
+/// [module docs](self).
 #[derive(Debug, Clone)]
 pub struct AnalogCrossbar {
     rows: usize,
     cols: usize,
     params: AnalogParams,
-    devices: Vec<PcmDevice>,
+    bank: PcmBank,
     mapping: Option<ConductanceMapping>,
     energy_model: CrossbarEnergyModel,
     stats: CrossbarStats,
+    /// Reusable DAC-output scratch buffer (row voltages).
+    volts: Vec<f64>,
+    /// Reusable per-output-line variance accumulator scratch buffer.
+    sq: Vec<f64>,
+    /// Reusable programming-target scratch buffer.
+    targets: Vec<f64>,
 }
 
 impl AnalogCrossbar {
@@ -125,16 +185,19 @@ impl AnalogCrossbar {
     /// Panics if either dimension is zero.
     pub fn new(rows: usize, cols: usize, params: AnalogParams) -> Self {
         assert!(rows > 0 && cols > 0, "crossbar dimensions must be nonzero");
-        let devices = vec![PcmDevice::new(params.pcm); rows * cols];
+        let bank = PcmBank::new(rows, cols, params.pcm);
         let energy_model = CrossbarEnergyModel::for_tile(rows, cols, params.adc_bits);
         AnalogCrossbar {
             rows,
             cols,
             params,
-            devices,
+            bank,
             mapping: None,
             energy_model,
             stats: CrossbarStats::default(),
+            volts: Vec::new(),
+            sq: Vec::new(),
+            targets: Vec::new(),
         }
     }
 
@@ -158,6 +221,12 @@ impl AnalogCrossbar {
         self.mapping.as_ref()
     }
 
+    /// The underlying struct-of-arrays device bank (conductances and the
+    /// per-device wear ledger).
+    pub fn bank(&self) -> &PcmBank {
+        &self.bank
+    }
+
     /// Programs a non-negative matrix, deriving the mapping from its
     /// largest entry. Returns the total programming cost.
     ///
@@ -172,7 +241,8 @@ impl AnalogCrossbar {
     }
 
     /// Programs a non-negative matrix under an explicit mapping (shared
-    /// across the tiles of a differential pair).
+    /// across the tiles of a differential pair), via one batched
+    /// program-and-verify pass over the whole bank.
     ///
     /// # Panics
     ///
@@ -189,32 +259,27 @@ impl AnalogCrossbar {
             (self.rows, self.cols),
             "matrix shape mismatch"
         );
-        let mut pulses = 0u64;
-        let mut energy = Joules::ZERO;
-        let mut latency = Seconds::ZERO;
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                let w = m.get(i, j);
-                assert!(w >= 0.0, "negative weight {w} on a single-ended tile");
-                let target = mapping.weight_to_conductance(w);
-                let report = self.devices[i * self.cols + j].program_and_verify(
-                    target,
-                    self.params.program_tolerance,
-                    rng,
-                );
-                pulses += report.pulses as u64;
-                energy += report.energy;
-                // Rows are programmed sequentially; devices within a row in
-                // parallel, so the row latency is its slowest device.
-                latency = latency.max(report.latency);
-            }
-        }
+        let mut targets = std::mem::take(&mut self.targets);
+        targets.clear();
+        targets.extend(m.as_slice().iter().map(|&w| {
+            assert!(w >= 0.0, "negative weight {w} on a single-ended tile");
+            mapping.weight_to_conductance(w).0
+        }));
+        let report = self
+            .bank
+            .program_and_verify(&targets, self.params.program_tolerance, rng);
+        self.targets = targets;
         self.mapping = Some(mapping);
         self.stats.programs += 1;
-        self.stats.program_pulses += pulses;
-        self.stats.energy += energy;
-        self.stats.busy_time += latency;
-        OperationCost { energy, latency }
+        self.stats.program_pulses += report.pulses;
+        self.stats.energy += report.energy;
+        // Rows program in lock-step rounds, so the pass takes as long as
+        // its slowest device.
+        self.stats.busy_time += report.latency;
+        OperationCost {
+            energy: report.energy,
+            latency: report.latency,
+        }
     }
 
     /// The matrix the tile currently encodes, decoded from programmed
@@ -224,10 +289,17 @@ impl AnalogCrossbar {
     ///
     /// Panics if the tile was never programmed.
     pub fn stored_matrix(&self) -> Matrix {
-        let mapping = self.mapping.expect("crossbar not programmed");
-        Matrix::from_fn(self.rows, self.cols, |i, j| {
-            mapping.conductance_to_weight(self.devices[i * self.cols + j].programmed_conductance())
-        })
+        let mapping = match self.mapping {
+            Some(m) => m,
+            None => panic!("crossbar not programmed"),
+        };
+        let weights = self
+            .bank
+            .conductances()
+            .iter()
+            .map(|&g| mapping.conductance_to_weight(cim_simkit::units::Siemens(g)))
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, weights)
     }
 
     /// Forward analog product `y = A·x` (`x.len() == cols`, output length
@@ -253,7 +325,7 @@ impl AnalogCrossbar {
         assert_eq!(x.len(), self.cols, "input length must equal cols");
         let (y, cost, samples) = self.product(x, true, rng);
         self.stats.mvms += 1;
-        self.stats.noise_samples += samples;
+        self.note_samples(samples);
         self.stats.energy += cost.energy;
         self.stats.busy_time += cost.latency;
         (y, cost)
@@ -283,7 +355,7 @@ impl AnalogCrossbar {
         assert_eq!(z.len(), self.rows, "input length must equal rows");
         let (y, cost, samples) = self.product(z, false, rng);
         self.stats.transpose_mvms += 1;
-        self.stats.noise_samples += samples;
+        self.note_samples(samples);
         self.stats.energy += cost.energy;
         self.stats.busy_time += cost.latency;
         (y, cost)
@@ -300,18 +372,30 @@ impl AnalogCrossbar {
         self.stored_matrix().matvec(x)
     }
 
-    /// Shared analog read path. `forward == true` computes `A·x` (inputs
-    /// indexed by matrix column), `forward == false` computes `Aᵀ·z`
-    /// (inputs indexed by matrix row). The third return is the number of
-    /// per-device stochastic read samples drawn.
+    fn note_samples(&mut self, samples: u64) {
+        if samples == 0 {
+            self.stats.nominal_mvms += 1;
+        } else {
+            self.stats.noise_samples += samples;
+        }
+    }
+
+    /// Shared vectorized analog read path. `forward == true` computes
+    /// `A·x` (inputs indexed by matrix column), `forward == false`
+    /// computes `Aᵀ·z` (inputs indexed by matrix row). The third return
+    /// is the number of aggregate stochastic samples drawn (one per
+    /// output line on the sampled tier, zero on the nominal tier).
     fn product<R: Rng + ?Sized>(
-        &self,
+        &mut self,
         input: &[f64],
         forward: bool,
         rng: &mut R,
     ) -> (Vec<f64>, OperationCost, u64) {
-        let mapping = self.mapping.expect("crossbar not programmed");
-        let p = &self.params;
+        let mapping = match self.mapping {
+            Some(m) => m,
+            None => panic!("crossbar not programmed"),
+        };
+        let p = self.params;
         let (n_in, n_out) = if forward {
             (self.cols, self.rows)
         } else {
@@ -320,7 +404,7 @@ impl AnalogCrossbar {
 
         // 1. Digital pre-scaler: normalize the vector to the DAC full
         //    scale (undone on the outputs), then DAC-quantize and convert
-        //    to row voltages.
+        //    to row voltages — into the reusable scratch buffer.
         let in_scale = if p.dynamic_input_scaling {
             let peak = input.iter().fold(0.0f64, |m, v| m.max(v.abs()));
             if peak == 0.0 {
@@ -333,33 +417,89 @@ impl AnalogCrossbar {
         } else {
             p.input_full_scale
         };
+        let mut volts = std::mem::take(&mut self.volts);
         let dac = UniformQuantizer::mid_tread(p.dac_bits, 1.0);
-        let volts: Vec<f64> = input
-            .iter()
-            .map(|&x| dac.quantize(x / in_scale) * p.read_voltage.0)
-            .collect();
+        volts.clear();
+        volts.extend(
+            input
+                .iter()
+                .map(|&x| dac.quantize(x / in_scale) * p.read_voltage.0),
+        );
 
-        // 2. Kirchhoff accumulation with per-device read-noise samples,
-        //    tracking instantaneous device power for the energy budget.
+        // 2. Kirchhoff accumulation over contiguous conductance rows: each
+        //    output line is one dot product, tracking Σ V·g (the mean
+        //    current), Σ (V·g)² (the aggregate noise variance, sampled
+        //    tier only) and instantaneous device power. The per-device
+        //    drifted conductance `g·(t/t₀)^(−ν)` is formed inside the loop
+        //    so the accumulation is bit-identical to the per-device
+        //    reference at `sigma_read == 0`.
+        let drift = self.bank.drift_factor(p.age);
+        let g = self.bank.conductances();
+        let sampled = p.pcm.sigma_read > 0.0;
         let mut currents = vec![0.0f64; n_out];
+        let mut sq = std::mem::take(&mut self.sq);
+        sq.clear();
+        sq.resize(if sampled { n_out } else { 0 }, 0.0);
         let mut device_power = 0.0f64;
-        let mut samples = 0u64;
-        for (i, &v) in volts.iter().enumerate() {
-            if v == 0.0 {
-                continue;
-            }
-            samples += n_out as u64;
+        if forward {
             for (j, current) in currents.iter_mut().enumerate() {
-                let idx = if forward {
-                    j * self.cols + i
+                let row = &g[j * self.cols..(j + 1) * self.cols];
+                let mut sum = 0.0f64;
+                let mut sumsq = 0.0f64;
+                let mut power = 0.0f64;
+                if sampled {
+                    for (&v, &gp) in volts.iter().zip(row) {
+                        let t = v * (gp * drift);
+                        sum += t;
+                        sumsq += t * t;
+                        power += v * t;
+                    }
+                    sq[j] = sumsq;
                 } else {
-                    i * self.cols + j
-                };
-                let g = self.devices[idx].read(p.age, rng).0;
-                *current += v * g;
-                device_power += v * v * g;
+                    for (&v, &gp) in volts.iter().zip(row) {
+                        let t = v * (gp * drift);
+                        sum += t;
+                        power += v * t;
+                    }
+                }
+                *current = sum;
+                device_power += power;
+            }
+        } else {
+            for (i, &v) in volts.iter().enumerate() {
+                if v == 0.0 {
+                    continue;
+                }
+                let row = &g[i * self.cols..(i + 1) * self.cols];
+                if sampled {
+                    for ((current, s), &gp) in currents.iter_mut().zip(sq.iter_mut()).zip(row) {
+                        let t = v * (gp * drift);
+                        *current += t;
+                        *s += t * t;
+                        device_power += v * t;
+                    }
+                } else {
+                    for (current, &gp) in currents.iter_mut().zip(row) {
+                        let t = v * (gp * drift);
+                        *current += t;
+                        device_power += v * t;
+                    }
+                }
             }
         }
+
+        // 2b. Sampled tier: one aggregate Gaussian per output line,
+        //     N(Σ V·g, σ_eff) with σ_eff² = σ_read²·Σ (V·g)² —
+        //     distribution-identical to summing a per-device draw for
+        //     every activated device.
+        let samples = if sampled {
+            for (current, &sumsq) in currents.iter_mut().zip(&sq) {
+                *current += p.pcm.sigma_read * sumsq.sqrt() * standard_normal(rng);
+            }
+            n_out as u64
+        } else {
+            0
+        };
 
         // 3. Reference-line subtraction of the g_min offset.
         let v_sum: f64 = volts.iter().sum();
@@ -376,16 +516,20 @@ impl AnalogCrossbar {
         let peak_current = currents.iter().fold(0.0f64, |m, c| m.max(c.abs()));
         let full_scale = p.adc_full_scale_override.unwrap_or(peak_current).max(1e-18);
         let adc = UniformQuantizer::mid_tread(p.adc_bits, full_scale);
-        let digitized: Vec<f64> = currents.iter().map(|&c| adc.quantize(c)).collect();
 
-        // 5. Rescale current-domain values to weight×input units,
-        //    undoing the digital pre-scaler.
+        // 5. Rescale current-domain values to weight×input units, undoing
+        //    the digital pre-scaler — in place: `currents` becomes the
+        //    output vector.
         let lsb_scale = in_scale * mapping.w_max()
             / (p.read_voltage.0 * (mapping.g_max().0 - mapping.g_min().0));
-        let y: Vec<f64> = digitized.iter().map(|&c| c * lsb_scale).collect();
+        for c in &mut currents {
+            *c = adc.quantize(*c) * lsb_scale;
+        }
 
         let cost = self.energy_model.mvm_cost(device_power, n_in, n_out);
-        (y, cost, samples)
+        self.volts = volts;
+        self.sq = sq;
+        (currents, cost, samples)
     }
 }
 
@@ -494,17 +638,7 @@ impl DifferentialCrossbar {
 
     /// Combined statistics of both tiles.
     pub fn stats(&self) -> CrossbarStats {
-        let a = self.positive.stats();
-        let b = self.negative.stats();
-        CrossbarStats {
-            mvms: a.mvms + b.mvms,
-            transpose_mvms: a.transpose_mvms + b.transpose_mvms,
-            programs: a.programs + b.programs,
-            program_pulses: a.program_pulses + b.program_pulses,
-            noise_samples: a.noise_samples + b.noise_samples,
-            energy: a.energy + b.energy,
-            busy_time: a.busy_time.max(b.busy_time),
-        }
+        self.positive.stats().merged(self.negative.stats())
     }
 }
 
@@ -624,8 +758,39 @@ mod tests {
         assert_eq!(s.transpose_mvms, 1);
         assert_eq!(s.programs, 1);
         assert!(s.program_pulses >= 16, "pulses {}", s.program_pulses);
+        // Default params sample one aggregate draw per output line.
+        assert_eq!(s.noise_samples, 3 * 4);
+        assert_eq!(s.nominal_mvms, 0);
         assert!(s.energy.0 > 0.0);
         assert!(s.busy_time.0 > 0.0);
+    }
+
+    #[test]
+    fn nominal_tier_draws_no_samples() {
+        let mut rng = seeded(13);
+        let a = test_matrix(6, 6);
+        let mut params = AnalogParams::default();
+        params.pcm.sigma_read = 0.0;
+        let mut xbar = AnalogCrossbar::new(6, 6, params);
+        xbar.program_matrix(&a, &mut rng);
+        xbar.matvec(&[0.3; 6], &mut rng);
+        xbar.matvec_t(&[0.2; 6], &mut rng);
+        let s = xbar.stats();
+        assert_eq!(s.noise_samples, 0);
+        assert_eq!(s.nominal_mvms, 2);
+    }
+
+    #[test]
+    fn wear_ledger_tracks_per_device_pulses() {
+        let mut rng = seeded(14);
+        let a = test_matrix(4, 4);
+        let mut xbar = AnalogCrossbar::new(4, 4, AnalogParams::default());
+        xbar.program_matrix(&a, &mut rng);
+        let ledger: u64 = xbar.bank().total_pulses();
+        assert_eq!(ledger, xbar.stats().program_pulses);
+        // The all-zero weight maps to g_min: that fresh device needs no
+        // pulse, so its ledger entry stays zero.
+        assert_eq!(xbar.bank().pulse_count(0, 0), 0);
     }
 
     #[test]
@@ -682,6 +847,8 @@ mod tests {
         xbar.program_matrix(&a, &mut rng);
         let y = xbar.matvec(&[0.0; 8], &mut rng);
         assert!(y.iter().all(|&v| v.abs() < 1e-9), "{y:?}");
+        // All-zero inputs draw nothing: served on the nominal tier.
+        assert_eq!(xbar.stats().nominal_mvms, 1);
     }
 
     #[test]

@@ -51,6 +51,8 @@
 //! }
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod analog;
 pub mod cam;
 pub mod digital;
@@ -65,6 +67,8 @@ pub use cam::{CamArray, MatchKind, ReferenceCamArray, Rule, RuleSet};
 pub use digital::DigitalArray;
 pub use energy::{CrossbarEnergyModel, OperationCost, ReadBudget};
 pub use mapping::ConductanceMapping;
-pub use reference::ReferenceDigitalArray;
+pub use reference::{
+    ReferenceAnalogCrossbar, ReferenceDifferentialCrossbar, ReferenceDigitalArray,
+};
 pub use scouting::{ScoutOp, SenseAmplifier};
 pub use tiled::TiledMatrixEngine;

@@ -1,4 +1,4 @@
-//! Bit-serial reference implementation of the digital array.
+//! Per-device reference implementations of the array simulators.
 //!
 //! [`ReferenceDigitalArray`] is the original `Vec<ReramDevice>` simulator:
 //! one [`ReramDevice`] struct per bit, a fresh `V/R` division per activated
@@ -14,14 +14,28 @@
 //!   path's wall-clock speedup over this pre-refactor inner loop and
 //!   asserts it stays above its floor.
 //!
-//! The API mirrors [`crate::digital::DigitalArray`]'s access surface.
+//! [`ReferenceAnalogCrossbar`] and [`ReferenceDifferentialCrossbar`] play
+//! the same two roles for the analog layer: they are the pre-refactor
+//! `Vec<PcmDevice>` simulator — per-device program-and-verify with one RNG
+//! draw per pulse, and a scalar double loop drawing per-device read noise
+//! on every MVM — pinned against the vectorized
+//! [`crate::analog::AnalogCrossbar`] by the `analog_equivalence` suite and
+//! raced by the `analog_mvm` perf-smoke group.
+//!
+//! The APIs mirror [`crate::digital::DigitalArray`]'s and
+//! [`crate::analog::AnalogCrossbar`]'s access surfaces.
 
+use crate::analog::{AnalogParams, CrossbarStats};
 use crate::digital::{DigitalStats, SENSE_AMP_ENERGY};
-use crate::energy::OperationCost;
+use crate::energy::{CrossbarEnergyModel, OperationCost};
+use crate::mapping::{split_signed, ConductanceMapping};
 use crate::scouting::{ScoutOp, SenseAmplifier};
+use cim_device::pcm::PcmDevice;
 use cim_device::reram::{ReramDevice, ReramParams};
 use cim_simkit::bitvec::BitVec;
-use cim_simkit::units::{Amperes, Joules};
+use cim_simkit::linalg::Matrix;
+use cim_simkit::quant::UniformQuantizer;
+use cim_simkit::units::{Amperes, Joules, Seconds};
 use rand::Rng;
 
 /// A `rows × cols` array of individually modelled binary devices.
@@ -213,6 +227,398 @@ impl ReferenceDigitalArray {
     }
 }
 
+/// A `rows × cols` analog tile of individually modelled PCM devices — the
+/// pre-refactor behavioural ground truth for
+/// [`crate::analog::AnalogCrossbar`].
+///
+/// Programming runs iterative program-and-verify one device at a time
+/// (one RNG draw per pulse, device-major order); every analog product
+/// draws per-device read noise in a scalar double loop, so its
+/// [`CrossbarStats::noise_samples`] counts one sample per
+/// (nonzero input line × output line) per MVM.
+#[derive(Debug, Clone)]
+pub struct ReferenceAnalogCrossbar {
+    rows: usize,
+    cols: usize,
+    params: AnalogParams,
+    devices: Vec<PcmDevice>,
+    mapping: Option<ConductanceMapping>,
+    energy_model: CrossbarEnergyModel,
+    stats: CrossbarStats,
+}
+
+impl ReferenceAnalogCrossbar {
+    /// Creates an unprogrammed `rows × cols` tile, every device in the
+    /// fully-RESET state (same fabrication contract as the fast path —
+    /// PCM fabrication draws no RNG).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize, params: AnalogParams) -> Self {
+        assert!(rows > 0 && cols > 0, "crossbar dimensions must be nonzero");
+        let devices = vec![PcmDevice::new(params.pcm); rows * cols];
+        let energy_model = CrossbarEnergyModel::for_tile(rows, cols, params.adc_bits);
+        ReferenceAnalogCrossbar {
+            rows,
+            cols,
+            params,
+            devices,
+            mapping: None,
+            energy_model,
+            stats: CrossbarStats::default(),
+        }
+    }
+
+    /// Tile dimensions `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Tile configuration.
+    pub fn params(&self) -> &AnalogParams {
+        &self.params
+    }
+
+    /// Accumulated execution statistics.
+    pub fn stats(&self) -> &CrossbarStats {
+        &self.stats
+    }
+
+    /// The active weight↔conductance mapping, if programmed.
+    pub fn mapping(&self) -> Option<&ConductanceMapping> {
+        self.mapping.as_ref()
+    }
+
+    /// Programs a non-negative matrix, deriving the mapping from its
+    /// largest entry. Returns the total programming cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape mismatches the tile, contains negative
+    /// entries, or is all zeros.
+    pub fn program_matrix<R: Rng + ?Sized>(&mut self, m: &Matrix, rng: &mut R) -> OperationCost {
+        let mapping =
+            ConductanceMapping::for_matrix(self.params.pcm.g_min, self.params.pcm.g_max, m);
+        self.program_matrix_with_mapping(m, mapping, rng)
+    }
+
+    /// Programs a non-negative matrix under an explicit mapping, running
+    /// program-and-verify per device with one RNG draw per pulse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape mismatches the tile or contains negative
+    /// entries.
+    pub fn program_matrix_with_mapping<R: Rng + ?Sized>(
+        &mut self,
+        m: &Matrix,
+        mapping: ConductanceMapping,
+        rng: &mut R,
+    ) -> OperationCost {
+        assert_eq!(
+            (m.rows(), m.cols()),
+            (self.rows, self.cols),
+            "matrix shape mismatch"
+        );
+        let mut pulses = 0u64;
+        let mut energy = Joules::ZERO;
+        let mut latency = Seconds::ZERO;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let w = m.get(i, j);
+                assert!(w >= 0.0, "negative weight {w} on a single-ended tile");
+                let target = mapping.weight_to_conductance(w);
+                let report = self.devices[i * self.cols + j].program_and_verify(
+                    target,
+                    self.params.program_tolerance,
+                    rng,
+                );
+                pulses += report.pulses as u64;
+                energy += report.energy;
+                // Rows are programmed sequentially; devices within a row in
+                // parallel, so the row latency is its slowest device.
+                latency = latency.max(report.latency);
+            }
+        }
+        self.mapping = Some(mapping);
+        self.stats.programs += 1;
+        self.stats.program_pulses += pulses;
+        self.stats.energy += energy;
+        self.stats.busy_time += latency;
+        OperationCost { energy, latency }
+    }
+
+    /// The matrix the tile currently encodes, decoded from programmed
+    /// (noise-free, pre-drift) conductances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile was never programmed.
+    pub fn stored_matrix(&self) -> Matrix {
+        let mapping = match self.mapping {
+            Some(m) => m,
+            None => panic!("crossbar not programmed"),
+        };
+        Matrix::from_fn(self.rows, self.cols, |i, j| {
+            mapping.conductance_to_weight(self.devices[i * self.cols + j].programmed_conductance())
+        })
+    }
+
+    /// Forward analog product `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile was never programmed or `x.len() != cols`.
+    pub fn matvec<R: Rng + ?Sized>(&mut self, x: &[f64], rng: &mut R) -> Vec<f64> {
+        self.matvec_with_cost(x, rng).0
+    }
+
+    /// Forward analog product returning the operation cost alongside.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile was never programmed or `x.len() != cols`.
+    pub fn matvec_with_cost<R: Rng + ?Sized>(
+        &mut self,
+        x: &[f64],
+        rng: &mut R,
+    ) -> (Vec<f64>, OperationCost) {
+        assert_eq!(x.len(), self.cols, "input length must equal cols");
+        let (y, cost, samples) = self.product(x, true, rng);
+        self.stats.mvms += 1;
+        self.stats.noise_samples += samples;
+        self.stats.energy += cost.energy;
+        self.stats.busy_time += cost.latency;
+        (y, cost)
+    }
+
+    /// Transpose analog product `x = Aᵀ·z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile was never programmed or `z.len() != rows`.
+    pub fn matvec_t<R: Rng + ?Sized>(&mut self, z: &[f64], rng: &mut R) -> Vec<f64> {
+        self.matvec_t_with_cost(z, rng).0
+    }
+
+    /// Transpose analog product returning the operation cost alongside.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile was never programmed or `z.len() != rows`.
+    pub fn matvec_t_with_cost<R: Rng + ?Sized>(
+        &mut self,
+        z: &[f64],
+        rng: &mut R,
+    ) -> (Vec<f64>, OperationCost) {
+        assert_eq!(z.len(), self.rows, "input length must equal rows");
+        let (y, cost, samples) = self.product(z, false, rng);
+        self.stats.transpose_mvms += 1;
+        self.stats.noise_samples += samples;
+        self.stats.energy += cost.energy;
+        self.stats.busy_time += cost.latency;
+        (y, cost)
+    }
+
+    /// The product `A·x` computed from programmed conductances without
+    /// noise, drift or quantization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile was never programmed.
+    pub fn ideal_matvec(&self, x: &[f64]) -> Vec<f64> {
+        self.stored_matrix().matvec(x)
+    }
+
+    /// The pre-refactor analog read path: a scalar double loop drawing one
+    /// stochastic read per activated device. The third return is the
+    /// number of per-device samples drawn.
+    fn product<R: Rng + ?Sized>(
+        &self,
+        input: &[f64],
+        forward: bool,
+        rng: &mut R,
+    ) -> (Vec<f64>, OperationCost, u64) {
+        let mapping = match self.mapping {
+            Some(m) => m,
+            None => panic!("crossbar not programmed"),
+        };
+        let p = &self.params;
+        let (n_in, n_out) = if forward {
+            (self.cols, self.rows)
+        } else {
+            (self.rows, self.cols)
+        };
+
+        // 1. Digital pre-scaler, DAC quantization, row voltages.
+        let in_scale = if p.dynamic_input_scaling {
+            let peak = input.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            if peak == 0.0 {
+                let cost = self.energy_model.mvm_cost(0.0, n_in, n_out);
+                return (vec![0.0; n_out], cost, 0);
+            }
+            peak
+        } else {
+            p.input_full_scale
+        };
+        let dac = UniformQuantizer::mid_tread(p.dac_bits, 1.0);
+        let volts: Vec<f64> = input
+            .iter()
+            .map(|&x| dac.quantize(x / in_scale) * p.read_voltage.0)
+            .collect();
+
+        // 2. Kirchhoff accumulation with per-device read-noise samples.
+        let mut currents = vec![0.0f64; n_out];
+        let mut device_power = 0.0f64;
+        let mut samples = 0u64;
+        for (i, &v) in volts.iter().enumerate() {
+            if v == 0.0 {
+                continue;
+            }
+            samples += n_out as u64;
+            for (j, current) in currents.iter_mut().enumerate() {
+                let idx = if forward {
+                    j * self.cols + i
+                } else {
+                    i * self.cols + j
+                };
+                let g = self.devices[idx].read(p.age, rng).0;
+                *current += v * g;
+                device_power += v * v * g;
+            }
+        }
+
+        // 3. Reference-line subtraction of the g_min offset.
+        let v_sum: f64 = volts.iter().sum();
+        let offset = v_sum * mapping.g_min().0;
+        for c in &mut currents {
+            *c -= offset;
+        }
+
+        // 4. Auto-ranging ADC quantization in the current domain.
+        let peak_current = currents.iter().fold(0.0f64, |m, c| m.max(c.abs()));
+        let full_scale = p.adc_full_scale_override.unwrap_or(peak_current).max(1e-18);
+        let adc = UniformQuantizer::mid_tread(p.adc_bits, full_scale);
+        let digitized: Vec<f64> = currents.iter().map(|&c| adc.quantize(c)).collect();
+
+        // 5. Rescale to weight×input units, undoing the pre-scaler.
+        let lsb_scale = in_scale * mapping.w_max()
+            / (p.read_voltage.0 * (mapping.g_max().0 - mapping.g_min().0));
+        let y: Vec<f64> = digitized.iter().map(|&c| c * lsb_scale).collect();
+
+        let cost = self.energy_model.mvm_cost(device_power, n_in, n_out);
+        (y, cost, samples)
+    }
+}
+
+/// The per-device differential pair: two [`ReferenceAnalogCrossbar`] tiles
+/// and a subtraction circuit, mirroring
+/// [`crate::analog::DifferentialCrossbar`].
+#[derive(Debug, Clone)]
+pub struct ReferenceDifferentialCrossbar {
+    positive: ReferenceAnalogCrossbar,
+    negative: ReferenceAnalogCrossbar,
+}
+
+impl ReferenceDifferentialCrossbar {
+    /// Creates an unprogrammed differential pair of `rows × cols` tiles.
+    pub fn new(rows: usize, cols: usize, params: AnalogParams) -> Self {
+        ReferenceDifferentialCrossbar {
+            positive: ReferenceAnalogCrossbar::new(rows, cols, params),
+            negative: ReferenceAnalogCrossbar::new(rows, cols, params),
+        }
+    }
+
+    /// Tile dimensions `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.positive.shape()
+    }
+
+    /// Programs a signed matrix under one shared mapping, positive part
+    /// first then negative magnitudes (device-major RNG order within each
+    /// tile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape mismatches the tiles or is all zeros.
+    pub fn program_matrix<R: Rng + ?Sized>(&mut self, m: &Matrix, rng: &mut R) -> OperationCost {
+        let mapping = ConductanceMapping::for_matrix(
+            self.positive.params.pcm.g_min,
+            self.positive.params.pcm.g_max,
+            m,
+        );
+        let (pos, neg) = split_signed(m);
+        let c1 = self
+            .positive
+            .program_matrix_with_mapping(&pos, mapping, rng);
+        let c2 = self
+            .negative
+            .program_matrix_with_mapping(&neg, mapping, rng);
+        OperationCost {
+            energy: c1.energy + c2.energy,
+            // The two tiles program in parallel.
+            latency: c1.latency.max(c2.latency),
+        }
+    }
+
+    /// The signed matrix currently encoded (noise-free view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair was never programmed.
+    pub fn stored_matrix(&self) -> Matrix {
+        let p = self.positive.stored_matrix();
+        let n = self.negative.stored_matrix();
+        Matrix::from_fn(p.rows(), p.cols(), |i, j| p.get(i, j) - n.get(i, j))
+    }
+
+    /// Forward product `y = A·x` through both tiles.
+    pub fn matvec<R: Rng + ?Sized>(&mut self, x: &[f64], rng: &mut R) -> Vec<f64> {
+        self.matvec_with_cost(x, rng).0
+    }
+
+    /// Forward product with its operation cost (tiles in parallel).
+    pub fn matvec_with_cost<R: Rng + ?Sized>(
+        &mut self,
+        x: &[f64],
+        rng: &mut R,
+    ) -> (Vec<f64>, OperationCost) {
+        let (yp, cp) = self.positive.matvec_with_cost(x, rng);
+        let (yn, cn) = self.negative.matvec_with_cost(x, rng);
+        let y = yp.iter().zip(&yn).map(|(a, b)| a - b).collect();
+        (
+            y,
+            OperationCost {
+                energy: cp.energy + cn.energy,
+                latency: cp.latency.max(cn.latency),
+            },
+        )
+    }
+
+    /// Transpose product `x = Aᵀ·z` through both tiles.
+    pub fn matvec_t<R: Rng + ?Sized>(&mut self, z: &[f64], rng: &mut R) -> Vec<f64> {
+        self.matvec_t_with_cost(z, rng).0
+    }
+
+    /// Transpose product with its operation cost (tiles in parallel).
+    pub fn matvec_t_with_cost<R: Rng + ?Sized>(
+        &mut self,
+        z: &[f64],
+        rng: &mut R,
+    ) -> (Vec<f64>, OperationCost) {
+        let (yp, cp) = self.positive.matvec_t_with_cost(z, rng);
+        let (yn, cn) = self.negative.matvec_t_with_cost(z, rng);
+        let y = yp.iter().zip(&yn).map(|(a, b)| a - b).collect();
+        (y, cp.alongside(cn))
+    }
+
+    /// Combined statistics of both tiles.
+    pub fn stats(&self) -> CrossbarStats {
+        self.positive.stats().merged(self.negative.stats())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,5 +638,29 @@ mod tests {
         assert_eq!(arr.scout_exact(ScoutOp::Or, &[0, 1]), a.or(&b));
         assert_eq!(arr.stats().row_writes, 2);
         assert_eq!(arr.stats().scout_ops, 1);
+    }
+
+    #[test]
+    fn reference_analog_round_trip() {
+        use cim_simkit::stats::rmse;
+        let mut rng = seeded(21);
+        let a = Matrix::from_fn(6, 5, |i, j| ((i as f64 - 2.0 * j as f64) / 6.0).sin());
+        let mut pair = ReferenceDifferentialCrossbar::new(6, 5, AnalogParams::ideal());
+        pair.program_matrix(&a, &mut rng);
+        let x: Vec<f64> = (0..5).map(|i| (i as f64) / 5.0 - 0.4).collect();
+        let y = pair.matvec(&x, &mut rng);
+        assert!(rmse(&a.matvec(&x), &y) < 2e-3);
+        let z: Vec<f64> = (0..6).map(|i| 0.3 - (i as f64) / 7.0).collect();
+        let yt = pair.matvec_t(&z, &mut rng);
+        assert!(rmse(&a.matvec_t(&z), &yt) < 2e-3);
+        let s = pair.stats();
+        assert_eq!(s.programs, 2);
+        assert_eq!(s.mvms, 2);
+        assert_eq!(s.transpose_mvms, 2);
+        // The reference never uses the aggregate tier.
+        assert_eq!(s.nominal_mvms, 0);
+        // Per-device sampling: one draw per (nonzero input × output line);
+        // x has one exactly-zero entry, so its MVM drives only 4 rows.
+        assert_eq!(s.noise_samples, 2 * (4 * 6 + 6 * 5) as u64);
     }
 }

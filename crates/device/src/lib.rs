@@ -17,10 +17,14 @@
 //!   noise, and conductance drift `G(t) = G_prog · (t/t₀)^(−ν)`.
 //!
 //! Both models expose per-event energy and latency so array-level
-//! simulators can do bottom-up accounting. For array-scale simulation the
-//! binary devices also come in a struct-of-arrays form ([`bank`]): packed
-//! state words plus flat precomputed read-current/read-energy tables, the
-//! storage layout behind the word-parallel digital-tile fast path.
+//! simulators can do bottom-up accounting. For array-scale simulation both
+//! families also come in struct-of-arrays form: the binary devices as
+//! [`bank`] (packed state words plus flat precomputed
+//! read-current/read-energy tables, the storage layout behind the
+//! word-parallel digital-tile fast path) and the PCM devices as
+//! [`pcm_bank`] (flat conductance and pulse-ledger vectors in fabrication
+//! order with batched program-and-verify, the storage layout behind the
+//! vectorized analog-crossbar fast path).
 //!
 //! # Example
 //!
@@ -39,11 +43,15 @@
 //! assert!((g.0 - target.0).abs() / target.0 < 0.1);
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod bank;
 pub mod pcm;
+pub mod pcm_bank;
 pub mod reram;
 pub mod retention;
 
 pub use bank::{CurrentExtremes, ReramBank};
 pub use pcm::{PcmDevice, PcmParams, ProgramReport};
+pub use pcm_bank::{BankProgramReport, PcmBank};
 pub use reram::{ReramDevice, ReramParams, ReramState};

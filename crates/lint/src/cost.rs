@@ -134,10 +134,15 @@ pub struct CostEnvelope {
     /// searched match line.
     pub sampled_column_bound: u64,
     /// Upper bound on `DeviceCounters::program_pulses`:
-    /// `programmed_devices × max_program_pulses`.
+    /// `programmed_devices × max_program_pulses`. The batched
+    /// program-and-verify pass pulses only still-unconverged devices
+    /// each round, so the per-device cap — and hence this product —
+    /// stays a sound ceiling.
     pub program_pulse_bound: u64,
-    /// Upper bound on `DeviceCounters::noise_samples`: an MVM samples
-    /// each device of the differential pair at most once.
+    /// Upper bound on `DeviceCounters::noise_samples`: the fast path
+    /// draws at most one aggregate sample per *output line* per tile of
+    /// the differential pair (`2 × rows` per `Mvm`, `2 × cols` per
+    /// `MvmT`); the nominal tier draws none.
     pub noise_sample_bound: u64,
     /// Write-wear ledger: write pulses per `(digital tile, row)`,
     /// accumulated from each instruction's effect summary. Keys are
@@ -338,9 +343,16 @@ pub fn cost(program: &[CimInstruction], geometry: &Geometry, model: &CostModel) 
                 env.programmed_devices += devices;
                 env.program_pulse_bound += devices * model.max_program_pulses;
             }
-            CimInstruction::Mvm { .. } | CimInstruction::MvmT { .. } => {
+            CimInstruction::Mvm { .. } => {
                 env.mvms += 1;
-                env.noise_sample_bound += 2 * (geometry.analog_rows * geometry.analog_cols) as u64;
+                // One aggregate sample per output line (forward products
+                // read the rows), per tile of the differential pair.
+                env.noise_sample_bound += 2 * geometry.analog_rows as u64;
+            }
+            CimInstruction::MvmT { .. } => {
+                env.mvms += 1;
+                // Transpose products read the columns.
+                env.noise_sample_bound += 2 * geometry.analog_cols as u64;
             }
         }
         // Fold the effect summary's written rows into the wear ledger —
@@ -454,7 +466,11 @@ mod tests {
         assert_eq!(env.word_access_bound, 3, "read + scout + search");
         assert_eq!(env.sampled_column_bound, 64 + 64 + 1);
         assert_eq!(env.program_pulse_bound, 2 * 32 * 20);
-        assert_eq!(env.noise_sample_bound, 2 * 4 * 8);
+        assert_eq!(
+            env.noise_sample_bound,
+            2 * 4,
+            "one sample per output line per tile"
+        );
         assert!(env.latency_bound.0 > 0.0 && env.energy_bound.0 > 0.0);
     }
 

@@ -1,0 +1,412 @@
+//! Property suite pinning the vectorized SoA analog crossbar against the
+//! per-device reference simulator.
+//!
+//! `DifferentialCrossbar` (struct-of-arrays `PcmBank` storage, one dot
+//! product per output line, per-output-line aggregate noise sampling,
+//! batched masked program-and-verify) and `ReferenceDifferentialCrossbar`
+//! (one `PcmDevice` per cell, per-pulse and per-device RNG draws) are
+//! driven through the same random operation scripts across random
+//! geometries. The suite asserts, mirroring `soa_equivalence`:
+//!
+//! * **states & outputs** — stored matrices, product outputs, pulse
+//!   counts and per-op costs are bit-identical (costs to 1e-12 relative)
+//!   whenever `sigma_prog == 0 && sigma_read == 0`, with and without
+//!   drift;
+//! * **accounting** — under default (noisy) parameters both
+//!   implementations keep their pulse/energy/latency identities
+//!   (`energy = pulse_energy × pulses`, latency capped by the pulse
+//!   budget, one aggregate sample per output line on the fast path, one
+//!   per activated device on the reference) to 1e-12 relative;
+//! * **distributions** — with noise on, the aggregate per-output-line
+//!   sampler and the batched programmer agree with the per-device
+//!   reference in mean and variance over seeded ensembles.
+
+use cim_repro::cim_crossbar::analog::{AnalogParams, DifferentialCrossbar};
+use cim_repro::cim_crossbar::reference::ReferenceDifferentialCrossbar;
+use cim_repro::cim_simkit::linalg::Matrix;
+use cim_repro::cim_simkit::rng::seeded;
+use cim_repro::cim_simkit::stats::Summary;
+use cim_repro::cim_simkit::units::Seconds;
+use proptest::prelude::*;
+
+/// 1e-12 relative agreement (the fast path folds device power and pulse
+/// energy in a different floating-point association than the per-device
+/// loop).
+fn rel_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(f64::MIN_POSITIVE)
+}
+
+/// One scripted operation, decoded from two random words.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Program { pattern: u64 },
+    Mvm { pattern: u64 },
+    MvmT { pattern: u64 },
+}
+
+fn decode_ops(sels: &[u8], args: &[u64]) -> Vec<Op> {
+    // Every script opens with a program so products never hit an
+    // unprogrammed pair.
+    std::iter::once(Op::Program { pattern: 0 })
+        .chain(sels.iter().zip(args).map(|(&sel, &x)| match sel % 4 {
+            0 => Op::Program { pattern: x },
+            1 | 2 => Op::Mvm { pattern: x },
+            _ => Op::MvmT { pattern: x },
+        }))
+        .collect()
+}
+
+fn hash(v: u64) -> u64 {
+    v.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// A signed test matrix derived from `pattern`, entries in `[-1, 1]`.
+fn pattern_matrix(rows: usize, cols: usize, pattern: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        let h = hash((i * cols + j + 1) as u64 ^ pattern);
+        (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    })
+}
+
+/// A signed test vector with exact zeros mixed in (so the zero-input-line
+/// skip of both read paths is exercised); nonzero entries stay clear of
+/// the DAC's dead zone.
+fn pattern_vec(n: usize, pattern: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let h = hash((i + 1) as u64 ^ pattern);
+            if h.is_multiple_of(8) {
+                0.0
+            } else {
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                let v = u * 2.0 - 1.0;
+                if v >= 0.0 {
+                    0.1 + 0.9 * v
+                } else {
+                    -0.1 + 0.9 * v
+                }
+            }
+        })
+        .collect()
+}
+
+/// Runs one script against both implementations and checks the
+/// equivalence classes that hold for `params`: bit-identical outputs and
+/// states with zero sigmas, per-op accounting identities always.
+fn check_equivalence(
+    rows: usize,
+    cols: usize,
+    params: AnalogParams,
+    seed: u64,
+    sels: &[u8],
+    args: &[u64],
+) -> Result<(), TestCaseError> {
+    // Trajectories coincide exactly when programming and reads are both
+    // deterministic; with noise on, the two implementations consume RNG
+    // differently and only the accounting identities are comparable.
+    let deterministic = params.pcm.sigma_prog == 0.0 && params.pcm.sigma_read == 0.0;
+    let pulse_energy = params.pcm.program_pulse_energy.0;
+    let pulse_latency = params.pcm.program_pulse_latency.0;
+    let pulse_cap = params.pcm.max_program_pulses as f64;
+
+    let mut fast = DifferentialCrossbar::new(rows, cols, params);
+    let mut reference = ReferenceDifferentialCrossbar::new(rows, cols, params);
+    let mut fast_rng = seeded(seed ^ 0x517E);
+    let mut ref_rng = seeded(seed ^ 0x517E);
+
+    for op in decode_ops(sels, args) {
+        match op {
+            Op::Program { pattern } => {
+                let m = pattern_matrix(rows, cols, pattern);
+                let before_f = fast.stats().program_pulses;
+                let before_r = reference.stats().program_pulses;
+                let fc = fast.program_matrix(&m, &mut fast_rng);
+                let rc = reference.program_matrix(&m, &mut ref_rng);
+                let dp_f = fast.stats().program_pulses - before_f;
+                let dp_r = reference.stats().program_pulses - before_r;
+                // Accounting identities hold per implementation under any
+                // noise setting.
+                prop_assert!(
+                    rel_close(fc.energy.0, pulse_energy * dp_f as f64),
+                    "fast program energy {} vs {} pulses",
+                    fc.energy.0,
+                    dp_f
+                );
+                prop_assert!(
+                    rel_close(rc.energy.0, pulse_energy * dp_r as f64),
+                    "reference program energy {} vs {} pulses",
+                    rc.energy.0,
+                    dp_r
+                );
+                prop_assert!(fc.latency.0 <= pulse_latency * pulse_cap * (1.0 + 1e-12));
+                prop_assert!(rc.latency.0 <= pulse_latency * pulse_cap * (1.0 + 1e-12));
+                if deterministic {
+                    prop_assert_eq!(dp_f, dp_r, "pulse counts diverged");
+                    prop_assert!(rel_close(fc.energy.0, rc.energy.0));
+                    prop_assert!(rel_close(fc.latency.0, rc.latency.0));
+                    let (fm, rm) = (fast.stored_matrix(), reference.stored_matrix());
+                    prop_assert_eq!(
+                        fm.as_slice(),
+                        rm.as_slice(),
+                        "stored state diverged after program"
+                    );
+                }
+            }
+            Op::Mvm { pattern } => {
+                let x = pattern_vec(cols, pattern);
+                let before_f = fast.stats().noise_samples;
+                let before_r = reference.stats().noise_samples;
+                let (fy, fc) = fast.matvec_with_cost(&x, &mut fast_rng);
+                let (ry, rc) = reference.matvec_with_cost(&x, &mut ref_rng);
+                check_product(
+                    &fy,
+                    &ry,
+                    fc.energy.0,
+                    rc.energy.0,
+                    fc.latency.0,
+                    rc.latency.0,
+                    deterministic,
+                )?;
+                check_samples(
+                    params,
+                    &x,
+                    rows,
+                    fast.stats().noise_samples - before_f,
+                    reference.stats().noise_samples - before_r,
+                )?;
+            }
+            Op::MvmT { pattern } => {
+                let z = pattern_vec(rows, pattern);
+                let before_f = fast.stats().noise_samples;
+                let before_r = reference.stats().noise_samples;
+                let (fy, fc) = fast.matvec_t_with_cost(&z, &mut fast_rng);
+                let (ry, rc) = reference.matvec_t_with_cost(&z, &mut ref_rng);
+                check_product(
+                    &fy,
+                    &ry,
+                    fc.energy.0,
+                    rc.energy.0,
+                    fc.latency.0,
+                    rc.latency.0,
+                    deterministic,
+                )?;
+                check_samples(
+                    params,
+                    &z,
+                    cols,
+                    fast.stats().noise_samples - before_f,
+                    reference.stats().noise_samples - before_r,
+                )?;
+            }
+        }
+    }
+
+    // Operation tallies always agree; full accounting coincides to 1e-12
+    // when the trajectories do.
+    let (fs, rs) = (fast.stats(), reference.stats());
+    prop_assert_eq!(fs.mvms, rs.mvms);
+    prop_assert_eq!(fs.transpose_mvms, rs.transpose_mvms);
+    prop_assert_eq!(fs.programs, rs.programs);
+    if deterministic {
+        prop_assert_eq!(fs.program_pulses, rs.program_pulses);
+        prop_assert!(
+            rel_close(fs.energy.0, rs.energy.0),
+            "total energy {} vs {}",
+            fs.energy.0,
+            rs.energy.0
+        );
+        prop_assert!(
+            rel_close(fs.busy_time.0, rs.busy_time.0),
+            "busy time {} vs {}",
+            fs.busy_time.0,
+            rs.busy_time.0
+        );
+        let (fm, rm) = (fast.stored_matrix(), reference.stored_matrix());
+        prop_assert_eq!(fm.as_slice(), rm.as_slice());
+    }
+    Ok(())
+}
+
+/// Output and per-op cost comparison for one product.
+fn check_product(
+    fy: &[f64],
+    ry: &[f64],
+    fe: f64,
+    re: f64,
+    fl: f64,
+    rl: f64,
+    deterministic: bool,
+) -> Result<(), TestCaseError> {
+    if deterministic {
+        prop_assert_eq!(fy, ry, "product outputs diverged");
+        prop_assert!(rel_close(fe, re), "product energy {} vs {}", fe, re);
+        prop_assert!(rel_close(fl, rl), "product latency {} vs {}", fl, rl);
+    }
+    Ok(())
+}
+
+/// Tier counter contract for one product over a differential pair: the
+/// fast path draws one aggregate sample per output line (zero on the
+/// nominal tier), the reference one per activated device.
+fn check_samples(
+    params: AnalogParams,
+    input: &[f64],
+    n_out: usize,
+    fast_delta: u64,
+    ref_delta: u64,
+) -> Result<(), TestCaseError> {
+    let nnz = input.iter().filter(|&&v| v != 0.0).count() as u64;
+    if params.pcm.sigma_read > 0.0 && nnz > 0 {
+        prop_assert_eq!(fast_delta, 2 * n_out as u64);
+    } else {
+        prop_assert_eq!(fast_delta, 0);
+    }
+    if nnz > 0 {
+        prop_assert_eq!(ref_delta, 2 * nnz * n_out as u64);
+    } else {
+        prop_assert_eq!(ref_delta, 0);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn soa_matches_reference_ideal_devices(
+        rows in 2usize..12,
+        cols in 2usize..12,
+        seed in any::<u64>(),
+        sels in prop::collection::vec(any::<u8>(), 12),
+        args in prop::collection::vec(any::<u64>(), 12),
+    ) {
+        check_equivalence(rows, cols, AnalogParams::ideal(), seed, &sels, &args)?;
+    }
+
+    #[test]
+    fn soa_matches_reference_under_drift(
+        rows in 2usize..12,
+        cols in 2usize..12,
+        seed in any::<u64>(),
+        sels in prop::collection::vec(any::<u8>(), 12),
+        args in prop::collection::vec(any::<u64>(), 12),
+    ) {
+        // Zero sigmas but heavy drift and coarse default converters: the
+        // deterministic trajectory must stay bit-identical with the
+        // per-device drifted-conductance evaluation.
+        let mut params = AnalogParams::default();
+        params.pcm.sigma_prog = 0.0;
+        params.pcm.sigma_read = 0.0;
+        params.age = Seconds(1e5);
+        check_equivalence(rows, cols, params, seed, &sels, &args)?;
+    }
+
+    #[test]
+    fn soa_accounting_holds_under_noise(
+        rows in 2usize..12,
+        cols in 2usize..12,
+        seed in any::<u64>(),
+        sels in prop::collection::vec(any::<u8>(), 12),
+        args in prop::collection::vec(any::<u64>(), 12),
+    ) {
+        // Default noisy parameters: trajectories diverge (different RNG
+        // consumption), but each implementation's pulse/energy/latency
+        // identities and the tier counter contracts must hold.
+        check_equivalence(rows, cols, AnalogParams::default(), seed, &sels, &args)?;
+    }
+}
+
+/// With identical programmed states (`sigma_prog == 0`) and read noise
+/// on, the per-output-line aggregate sampler must match the per-device
+/// reference in mean and variance over a seeded ensemble.
+#[test]
+fn read_noise_distribution_matches_reference() {
+    let mut params = AnalogParams::ideal();
+    params.pcm.sigma_read = 0.01;
+    let (rows, cols) = (6, 5);
+    let a = pattern_matrix(rows, cols, 0xD15);
+    let x = pattern_vec(cols, 0xD16);
+
+    let mut fast = DifferentialCrossbar::new(rows, cols, params);
+    let mut reference = ReferenceDifferentialCrossbar::new(rows, cols, params);
+    let mut fast_rng = seeded(0xF00D);
+    let mut ref_rng = seeded(0xBEEF);
+    fast.program_matrix(&a, &mut fast_rng);
+    reference.program_matrix(&a, &mut ref_rng);
+    assert_eq!(
+        fast.stored_matrix().as_slice(),
+        reference.stored_matrix().as_slice(),
+        "states must coincide before comparing read distributions"
+    );
+
+    const TRIALS: usize = 4000;
+    let mut fast_line0 = Vec::with_capacity(TRIALS);
+    let mut ref_line0 = Vec::with_capacity(TRIALS);
+    for _ in 0..TRIALS {
+        fast_line0.push(fast.matvec(&x, &mut fast_rng)[0]);
+        ref_line0.push(reference.matvec(&x, &mut ref_rng)[0]);
+    }
+    let f = Summary::of(&fast_line0);
+    let r = Summary::of(&ref_line0);
+    // Means agree within a few standard errors of each other.
+    let se = r.std / (TRIALS as f64).sqrt();
+    assert!(
+        (f.mean - r.mean).abs() < 6.0 * se,
+        "means diverge: fast {} vs reference {} (se {se})",
+        f.mean,
+        r.mean
+    );
+    // The aggregate draw carries the exact per-device variance.
+    assert!(r.std > 0.0, "reference read noise should be visible");
+    let ratio = f.std / r.std;
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "std ratio {ratio}: fast {} vs reference {}",
+        f.std,
+        r.std
+    );
+}
+
+/// With programming noise on, the batched masked program-and-verify must
+/// match the per-device loop in pulse statistics and stored-error spread
+/// over a seeded ensemble.
+#[test]
+fn program_noise_distribution_matches_reference() {
+    let params = AnalogParams::default();
+    let (rows, cols) = (8, 6);
+    let a = pattern_matrix(rows, cols, 0xAB1E);
+
+    let mut fast_pulses = 0u64;
+    let mut ref_pulses = 0u64;
+    let mut fast_err = Vec::new();
+    let mut ref_err = Vec::new();
+    for seed in 0..100u64 {
+        let mut fast = DifferentialCrossbar::new(rows, cols, params);
+        let mut reference = ReferenceDifferentialCrossbar::new(rows, cols, params);
+        fast.program_matrix(&a, &mut seeded(seed));
+        reference.program_matrix(&a, &mut seeded(seed ^ 0x5EED));
+        fast_pulses += fast.stats().program_pulses;
+        ref_pulses += reference.stats().program_pulses;
+        let fs = fast.stored_matrix();
+        let rs = reference.stored_matrix();
+        for i in 0..rows {
+            for j in 0..cols {
+                fast_err.push(fs.get(i, j) - a.get(i, j));
+                ref_err.push(rs.get(i, j) - a.get(i, j));
+            }
+        }
+    }
+    let pulse_ratio = fast_pulses as f64 / ref_pulses as f64;
+    assert!(
+        (pulse_ratio - 1.0).abs() < 0.05,
+        "pulse ratio {pulse_ratio}: fast {fast_pulses} vs reference {ref_pulses}"
+    );
+    let f = Summary::of(&fast_err);
+    let r = Summary::of(&ref_err);
+    assert!(r.std > 0.0, "programming noise should leave residual error");
+    let spread_ratio = f.std / r.std;
+    assert!(
+        (0.9..1.1).contains(&spread_ratio),
+        "stored-error spread ratio {spread_ratio}"
+    );
+}

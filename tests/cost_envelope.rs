@@ -35,6 +35,7 @@ use cim_repro::cim_runtime::{
     RuntimePool, TenantId, WorkloadSpec,
 };
 use cim_repro::cim_simkit::bitvec::BitVec;
+use cim_repro::cim_simkit::linalg::Matrix;
 use cim_repro::cim_simkit::rng::seeded;
 use proptest::prelude::*;
 use rand::Rng;
@@ -104,6 +105,14 @@ fn assert_sound(pool: &RuntimePool, spec: &WorkloadSpec) -> Result<JobReport, Te
         "noise samples {} > bound {}",
         d.noise_samples,
         env.noise_sample_bound
+    );
+    // Nominal-tier products draw nothing; each Mvm/MvmT instruction
+    // touches the two tiles of one differential pair at most once.
+    prop_assert!(
+        d.nominal_mvms <= 2 * env.mvms,
+        "nominal products {} > 2 × {} MVM instructions",
+        d.nominal_mvms,
+        env.mvms
     );
     Ok(report)
 }
@@ -333,6 +342,65 @@ fn raw_stream_envelope_is_sound() {
         ],
     };
     assert_sound(&pool(), &spec).unwrap();
+}
+
+/// A raw analog stream exercising both product axes of the
+/// per-output-line noise bound and the masked program-and-verify pulse
+/// bound.
+fn raw_analog_spec() -> WorkloadSpec {
+    let mut rng = seeded(0xA11A);
+    let matrix = Matrix::from_fn(8, 6, |_, _| rng.gen::<f64>() - 0.5);
+    WorkloadSpec::Raw {
+        digital_tiles: 0,
+        analog_tiles: 1,
+        instructions: vec![
+            CimInstruction::ProgramMatrix { tile: 0, matrix },
+            CimInstruction::Mvm {
+                tile: 0,
+                x: vec![0.5; 6],
+            },
+            CimInstruction::MvmT {
+                tile: 0,
+                z: vec![0.25; 8],
+            },
+        ],
+    }
+}
+
+fn small_analog_pool() -> PoolConfig {
+    let mut cfg = PoolConfig::with_shards(1);
+    cfg.analog_rows = 8;
+    cfg.analog_cols = 6;
+    cfg
+}
+
+/// The analog envelope stays sound on the sampled tier (default params,
+/// `sigma_read > 0`), where dense inputs meet the per-output-line bound
+/// with equality.
+#[test]
+fn raw_analog_stream_envelope_is_sound_on_the_sampled_tier() {
+    let report = assert_sound(&RuntimePool::new(small_analog_pool()), &raw_analog_spec()).unwrap();
+    let d = &report.device;
+    assert_eq!(
+        d.noise_samples,
+        2 * 8 + 2 * 6,
+        "one aggregate draw per output line per tile: Mvm reads the rows, MvmT the columns"
+    );
+    assert_eq!(d.nominal_mvms, 0);
+    assert!(d.program_pulses > 0);
+}
+
+/// With `sigma_read == 0` every product lands on the nominal tier: zero
+/// draws measured, still under the (unchanged) static bound.
+#[test]
+fn raw_analog_stream_envelope_is_sound_on_the_nominal_tier() {
+    let mut cfg = small_analog_pool();
+    cfg.analog_params.pcm.sigma_read = 0.0;
+    let report = assert_sound(&RuntimePool::new(cfg), &raw_analog_spec()).unwrap();
+    let d = &report.device;
+    assert_eq!(d.noise_samples, 0);
+    assert_eq!(d.nominal_mvms, 2 * 2, "two instructions × two tiles");
+    assert!(d.program_pulses > 0);
 }
 
 // ---------------------------------------------------------------------
